@@ -1,0 +1,86 @@
+//! Criterion benchmarks for experiment E10: the polynomial classifiers
+//! (CSR, MVCSR) scale with the schedule, while the exact NP-complete
+//! classifiers (VSR, MVSR) are only run on small instances.
+//!
+//! Also covers experiment E1/E2/E3 costs: classifying the Figure 1 examples
+//! and checking Theorem 1 / Theorem 2 on a fixed small schedule.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvcc_classify::swaps::serial_reachable_by_swaps;
+use mvcc_classify::{is_csr, is_mvcsr, is_mvsr, is_vsr, taxonomy};
+use mvcc_workload::{random_interleaving, random_transaction_system, WorkloadConfig};
+use std::time::Duration;
+
+fn schedule_of(transactions: usize, steps: usize, entities: usize) -> mvcc_core::Schedule {
+    let cfg = WorkloadConfig {
+        transactions,
+        steps_per_transaction: steps,
+        entities,
+        read_ratio: 0.7,
+        zipf_theta: 0.3,
+        seed: 0xbe9c4,
+    };
+    let sys = random_transaction_system(&cfg);
+    random_interleaving(&sys, 42)
+}
+
+fn bench_polynomial_classifiers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classify_polynomial");
+    group.measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300)).sample_size(20);
+    for &(txns, steps) in &[(4usize, 4usize), (8, 4), (16, 8), (32, 8), (64, 8)] {
+        let s = schedule_of(txns, steps, 16);
+        group.bench_with_input(
+            BenchmarkId::new("csr", format!("{txns}x{steps}")),
+            &s,
+            |b, s| b.iter(|| is_csr(s)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("mvcsr", format!("{txns}x{steps}")),
+            &s,
+            |b, s| b.iter(|| is_mvcsr(s)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_np_classifiers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classify_np_complete");
+    group.measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300)).sample_size(10);
+    for &txns in &[3usize, 4, 5, 6] {
+        let s = schedule_of(txns, 4, 6);
+        group.bench_with_input(BenchmarkId::new("vsr", txns), &s, |b, s| {
+            b.iter(|| is_vsr(s))
+        });
+        group.bench_with_input(BenchmarkId::new("mvsr", txns), &s, |b, s| {
+            b.iter(|| is_mvsr(s))
+        });
+    }
+    group.finish();
+}
+
+fn bench_figure1_and_theorems(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure1");
+    group.measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300)).sample_size(10);
+    let examples = mvcc_core::examples::figure1();
+    group.bench_function("classify_all_examples", |b| {
+        b.iter(|| {
+            examples
+                .iter()
+                .map(|ex| taxonomy::classify(&ex.schedule))
+                .count()
+        })
+    });
+    let s4 = examples[3].schedule.clone();
+    group.bench_function("theorem2_swap_reachability", |b| {
+        b.iter(|| serial_reachable_by_swaps(&s4))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_polynomial_classifiers,
+    bench_np_classifiers,
+    bench_figure1_and_theorems
+);
+criterion_main!(benches);

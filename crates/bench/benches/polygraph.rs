@@ -1,0 +1,53 @@
+//! Criterion benchmarks for the polygraph substrate (experiments E5/E10):
+//! acyclicity solving on random polygraphs and on the outputs of the
+//! SAT→polygraph reduction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvcc_graph::poly_acyclic::{brute_force_acyclic, solve_polygraph};
+use mvcc_reductions::sat_to_polygraph;
+use mvcc_workload::{random_polygraph, random_restricted_formula};
+use std::time::Duration;
+
+fn bench_random_polygraphs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("polygraph_acyclicity");
+    group.measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300)).sample_size(20);
+    for &(nodes, choices) in &[(6usize, 3usize), (10, 5), (14, 8), (20, 12)] {
+        let p = random_polygraph(nodes, 0.2, choices, 99);
+        group.bench_with_input(
+            BenchmarkId::new("backtracking", format!("{nodes}n_{choices}c")),
+            &p,
+            |b, p| b.iter(|| solve_polygraph(p).is_some()),
+        );
+        if p.choice_count() <= 10 {
+            group.bench_with_input(
+                BenchmarkId::new("brute_force", format!("{nodes}n_{choices}c")),
+                &p,
+                |b, p| b.iter(|| brute_force_acyclic(p).is_some()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_sat_reduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat_to_polygraph");
+    group.measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300)).sample_size(20);
+    for &(vars, clauses) in &[(3usize, 4usize), (5, 8), (8, 16)] {
+        let f = random_restricted_formula(vars, clauses, 7);
+        group.bench_with_input(
+            BenchmarkId::new("reduce", format!("{vars}v_{clauses}c")),
+            &f,
+            |b, f| b.iter(|| sat_to_polygraph(f).polygraph.choice_count()),
+        );
+        let p = sat_to_polygraph(&f).polygraph;
+        group.bench_with_input(
+            BenchmarkId::new("solve_reduced", format!("{vars}v_{clauses}c")),
+            &p,
+            |b, p| b.iter(|| solve_polygraph(p).is_some()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_random_polygraphs, bench_sat_reduction);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion benchmarks for the scheduler zoo (experiment E9): per-step
+//! decision cost of every scheduler on the same random interleaving.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvcc_scheduler::{
+    run_abort, MvSgtScheduler, MvtoScheduler, SerialScheduler, SgtScheduler,
+    TimestampScheduler, TwoPhaseLockingScheduler,
+};
+use mvcc_workload::{random_interleaving, random_transaction_system, WorkloadConfig};
+use std::time::Duration;
+
+fn workload(transactions: usize, entities: usize) -> (mvcc_core::TransactionSystem, mvcc_core::Schedule) {
+    let cfg = WorkloadConfig {
+        transactions,
+        steps_per_transaction: 6,
+        entities,
+        read_ratio: 0.8,
+        zipf_theta: 0.6,
+        seed: 0x5c4ed,
+    };
+    let sys = random_transaction_system(&cfg);
+    let s = random_interleaving(&sys, 17);
+    (sys, s)
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_abort_mode");
+    group.measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300)).sample_size(20);
+    for &(txns, entities) in &[(8usize, 8usize), (16, 16), (32, 16)] {
+        let (sys, s) = workload(txns, entities);
+        let label = format!("{txns}txns_{entities}ent");
+        group.bench_with_input(BenchmarkId::new("serial", &label), &s, |b, s| {
+            b.iter(|| {
+                let mut sched = SerialScheduler::new(&sys);
+                run_abort(&mut sched, s).committed.len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("2pl", &label), &s, |b, s| {
+            b.iter(|| {
+                let mut sched = TwoPhaseLockingScheduler::new(&sys);
+                run_abort(&mut sched, s).committed.len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("to", &label), &s, |b, s| {
+            b.iter(|| {
+                let mut sched = TimestampScheduler::new();
+                run_abort(&mut sched, s).committed.len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sgt", &label), &s, |b, s| {
+            b.iter(|| {
+                let mut sched = SgtScheduler::new();
+                run_abort(&mut sched, s).committed.len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("mvto", &label), &s, |b, s| {
+            b.iter(|| {
+                let mut sched = MvtoScheduler::new();
+                run_abort(&mut sched, s).committed.len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("mv-sgt", &label), &s, |b, s| {
+            b.iter(|| {
+                let mut sched = MvSgtScheduler::new();
+                run_abort(&mut sched, s).committed.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

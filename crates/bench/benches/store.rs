@@ -1,0 +1,94 @@
+//! Criterion benchmarks for the multiversion storage substrate
+//! (experiment E11): read/write/commit throughput, version-chain length
+//! sensitivity, and garbage collection.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvcc_core::{EntityId, TxId};
+use mvcc_store::{gc, MvStore};
+use std::time::Duration;
+
+fn store_with_history(entities: u32, versions_per_entity: u32) -> MvStore {
+    let store = MvStore::with_entities(
+        (0..entities).map(EntityId),
+        Bytes::from_static(b"init"),
+    );
+    let mut tx = 1u32;
+    for v in 0..versions_per_entity {
+        for e in 0..entities {
+            let h = store.begin(TxId(tx)).unwrap();
+            store.write(h, EntityId(e), Bytes::from(format!("v{v}"))).unwrap();
+            store.commit(h, false).unwrap();
+            tx += 1;
+        }
+    }
+    store
+}
+
+fn bench_read_write_commit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_ops");
+    group.measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300)).sample_size(30);
+    for &chain_len in &[1u32, 8, 64] {
+        let store = store_with_history(16, chain_len);
+        group.bench_with_input(
+            BenchmarkId::new("read_latest", chain_len),
+            &store,
+            |b, store| {
+                let mut tx = 10_000u32;
+                b.iter(|| {
+                    tx += 1;
+                    let h = store.begin(TxId(tx)).unwrap();
+                    for e in 0..16 {
+                        let _ = store.read_latest(h, EntityId(e)).unwrap();
+                    }
+                    store.abort(h).unwrap();
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("snapshot_read", chain_len),
+            &store,
+            |b, store| {
+                let mut tx = 20_000u32;
+                b.iter(|| {
+                    tx += 1;
+                    let h = store.begin(TxId(tx)).unwrap();
+                    for e in 0..16 {
+                        let _ = store.read_snapshot(h, EntityId(e)).unwrap();
+                    }
+                    store.abort(h).unwrap();
+                })
+            },
+        );
+    }
+    let store = MvStore::with_entities((0..16).map(EntityId), Bytes::from_static(b"0"));
+    let mut tx = 0u32;
+    group.bench_function("write_commit", |b| {
+        b.iter(|| {
+            tx += 1;
+            let h = store.begin(TxId(tx)).unwrap();
+            store
+                .write(h, EntityId(tx % 16), Bytes::from_static(b"payload"))
+                .unwrap();
+            store.commit(h, true).unwrap();
+        })
+    });
+    group.finish();
+}
+
+fn bench_gc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_gc");
+    group.measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300)).sample_size(10);
+    for &versions in &[16u32, 128] {
+        group.bench_with_input(BenchmarkId::new("collect", versions), &versions, |b, &v| {
+            b.iter_with_setup(
+                || store_with_history(8, v),
+                |store| gc::collect(&store).reclaimed,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_read_write_commit, bench_gc);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Experiment E1: regenerate Figure 1 of the paper.
+//!
+//! Prints (a) the six example schedules with their computed class
+//! memberships and the region of the figure they witness, and (b) a census
+//! of *every* interleaving of a small transaction system plus a random
+//! population, showing how the regions are inhabited — the "topography of
+//! all schedules".
+//!
+//! Run with `cargo run -p mvcc-bench --bin figure1 --release`.
+
+use mvcc_bench::experiments::{figure1_census, figure1_rows};
+use mvcc_bench::Table;
+use mvcc_classify::taxonomy::{classify, Census};
+use mvcc_core::display::grid;
+use mvcc_core::examples::{figure1, Figure1Region};
+use mvcc_workload::{random_interleaving, random_transaction_system, WorkloadConfig};
+
+fn yes_no(b: bool) -> &'static str {
+    if b {
+        "yes"
+    } else {
+        "no"
+    }
+}
+
+fn main() {
+    println!("Reproduction of Figure 1: the topography of all schedules\n");
+
+    // Part (a): the six examples.
+    let mut table = Table::new(
+        "Figure 1 examples",
+        &[
+            "#", "schedule", "serial", "CSR", "SR(VSR)", "MVCSR", "MVSR", "DMVSR", "region",
+            "matches paper",
+        ],
+    );
+    for row in figure1_rows() {
+        table.row(&[
+            row.number.to_string(),
+            row.schedule.clone(),
+            yes_no(row.flags[0]).into(),
+            yes_no(row.flags[1]).into(),
+            yes_no(row.flags[2]).into(),
+            yes_no(row.flags[3]).into(),
+            yes_no(row.flags[4]).into(),
+            yes_no(row.flags[5]).into(),
+            format!("{:?}", row.computed_region),
+            yes_no(row.matches()).into(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    println!("Example schedules in the paper's grid layout:\n");
+    for ex in figure1() {
+        println!("({}) {}", ex.number, ex.region.description());
+        println!("{}", grid(&ex.schedule));
+    }
+
+    // Part (b): exhaustive census of a small system.
+    let (total, census) = figure1_census();
+    println!(
+        "Census of all {total} interleavings of the 3-transaction census system:\n{census}\n"
+    );
+
+    // Part (c): census over random interleavings of a larger workload
+    // (classified with the exact algorithms, so the sizes stay moderate).
+    let cfg = WorkloadConfig {
+        transactions: 4,
+        steps_per_transaction: 3,
+        entities: 3,
+        read_ratio: 0.6,
+        zipf_theta: 0.5,
+        seed: 2024,
+    };
+    let schedules: Vec<_> = (0..200)
+        .map(|i| {
+            let sys = random_transaction_system(&cfg.with_seed(cfg.seed + i));
+            random_interleaving(&sys, i as u64)
+        })
+        .collect();
+    let census = Census::build(schedules.iter());
+    println!("Census of 200 random 4-transaction interleavings:\n{census}\n");
+
+    // Region witnesses drawn from the random population (first hit each).
+    let mut witnesses = Table::new(
+        "Random witnesses per region",
+        &["region", "example schedule"],
+    );
+    for region in Figure1Region::all() {
+        if let Some(s) = schedules.iter().find(|s| classify(s).region() == region) {
+            witnesses.row(&[format!("{region:?}"), s.to_string()]);
+        }
+    }
+    println!("{}", witnesses.render());
+}

@@ -1,0 +1,54 @@
+//! Experiment E9: the acceptance-rate comparison behind the paper's
+//! motivation — "by maintaining multiple versions of each data entity, we
+//! can achieve concurrency control schemes of enhanced performance".
+//!
+//! For each workload configuration the whole scheduler zoo is run over the
+//! same random interleavings in both execution modes of the harness;
+//! single-version schedulers (serial, 2PL, TO, SGT) are compared against the
+//! multiversion ones (MVTO, MV-SGT).
+//!
+//! Run with `cargo run -p mvcc-bench --bin scheduler_comparison --release`.
+
+use mvcc_bench::experiments::scheduler_comparison;
+use mvcc_bench::Table;
+use mvcc_workload::{suites, WorkloadConfig};
+
+fn print_sweep(title: &str, configs: &[WorkloadConfig], repetitions: usize) {
+    println!("### {title} ({repetitions} random interleavings per row)\n");
+    for cfg in configs {
+        let rows = scheduler_comparison(cfg, repetitions);
+        let mut table = Table::new(
+            cfg.label(),
+            &[
+                "scheduler",
+                "multiversion",
+                "mean accepted prefix",
+                "full schedules accepted",
+                "mean committed txns",
+            ],
+        );
+        for row in rows {
+            table.row(&[
+                row.scheduler.to_string(),
+                if row.multiversion { "yes" } else { "no" }.into(),
+                format!("{:.1}%", row.mean_prefix_ratio * 100.0),
+                format!("{:.1}%", row.full_acceptance_rate * 100.0),
+                format!("{:.1}%", row.mean_commit_ratio * 100.0),
+            ]);
+        }
+        println!("{}", table.render());
+    }
+}
+
+fn main() {
+    let repetitions = 40;
+    print_sweep("E9a: contention sweep", &suites::e9_contention_sweep(), repetitions);
+    print_sweep("E9b: read-ratio sweep", &suites::e9_read_ratio_sweep(), repetitions);
+    print_sweep("E9c: scale sweep", &suites::e9_scale_sweep(), repetitions);
+    println!(
+        "Reading the tables: every multiversion scheduler should dominate its single-version\n\
+         counterpart (MV-SGT >= SGT, MVTO >= TO) on every row; the gap widens with contention\n\
+         (fewer entities, hotter Zipfian skew, fewer reads) -- the shape the paper's\n\
+         introduction asserts."
+    );
+}

@@ -1,0 +1,170 @@
+//! Experiments E2–E8 and E10: the theorem-by-theorem tables.
+//!
+//! * Theorem 1/2/3 — MVCSR via the MVCG, the swap characterisation and the
+//!   containment census;
+//! * Theorem 4 — the polygraph → schedule-pair reduction and the exact OLS
+//!   verdicts;
+//! * Section 4 — the OLS counterexample pair;
+//! * Theorem 5 — the polygraph → forced-read-from schedule reduction;
+//! * Theorem 6 — the adaptive construction against the greedy maximal
+//!   scheduler;
+//! * E10 — the polynomial/NP-complete classifier cost separation.
+//!
+//! Run with `cargo run -p mvcc-bench --bin theorem_tables --release`.
+
+use mvcc_bench::experiments::{
+    classifier_scaling, polygraph_corpus, theorem4_table, theorem5_table,
+};
+use mvcc_bench::Table;
+use mvcc_classify::swaps::swap_distance_to_serial;
+use mvcc_classify::{is_mvcsr, is_mvsr};
+use mvcc_core::examples::section4_pair;
+use mvcc_graph::poly_acyclic::is_acyclic_polygraph;
+use mvcc_reductions::ols::{is_ols, ols_violation};
+use mvcc_reductions::theorem6::adaptive_schedule;
+use mvcc_scheduler::GreedyMaximalScheduler;
+use mvcc_workload::{perturbed_serial, random_transaction_system, suites, WorkloadConfig};
+
+fn main() {
+    theorem2_table();
+    section4_table();
+    theorem4_and_5_tables();
+    theorem6_table();
+    complexity_table();
+}
+
+/// Theorem 2: schedules produced by k legal switches from a serial schedule
+/// are MVCSR, and the swap distance back to a serial schedule is bounded by
+/// the number of switches applied.
+fn theorem2_table() {
+    let cfg = WorkloadConfig {
+        transactions: 3,
+        steps_per_transaction: 3,
+        entities: 4,
+        read_ratio: 0.6,
+        zipf_theta: 0.0,
+        seed: 7,
+    };
+    let sys = random_transaction_system(&cfg);
+    let mut table = Table::new(
+        "Theorem 2: switches of adjacent non-conflicting steps (3 txns x 3 steps)",
+        &["switches applied", "MVCSR", "swap distance back to serial"],
+    );
+    for requested in [0usize, 1, 2, 4, 8, 16, 32] {
+        let (s, applied) = perturbed_serial(&sys, requested, requested as u64 + 1);
+        let distance = swap_distance_to_serial(&s)
+            .map(|d| d.to_string())
+            .unwrap_or_else(|| "unreachable".into());
+        table.row(&[
+            format!("{applied} (requested {requested})"),
+            is_mvcsr(&s).to_string(),
+            distance,
+        ]);
+    }
+    println!("{}", table.render());
+}
+
+/// Section 4: the pair {s, s'} proving MVCSR is not OLS.
+fn section4_table() {
+    let (s, s_prime) = section4_pair();
+    let mut table = Table::new(
+        "Section 4: the on-line schedulability counterexample",
+        &["schedule", "MVCSR", "MVSR", "in OLS pair"],
+    );
+    let pair = [s.clone(), s_prime.clone()];
+    let ols = is_ols(&pair);
+    for (name, sched) in [("s", &s), ("s'", &s_prime)] {
+        table.row(&[
+            format!("{name} = {sched}"),
+            is_mvcsr(sched).to_string(),
+            is_mvsr(sched).to_string(),
+            ols.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    if let Some(v) = ols_violation(&pair) {
+        println!(
+            "  -> not OLS: the serializing version functions disagree on the shared prefix of length {}\n",
+            v.prefix_len
+        );
+    }
+}
+
+/// Theorems 4 and 5 over the polygraph corpus.
+fn theorem4_and_5_tables() {
+    let corpus = polygraph_corpus();
+    let mut t4 = Table::new(
+        "Theorem 4: polygraph -> pair of MVCSR schedules (OLS iff acyclic)",
+        &["polygraph", "steps per schedule", "acyclic", "pair OLS", "OLS check ms", "consistent"],
+    );
+    for row in theorem4_table(&corpus) {
+        t4.row(&[
+            row.polygraph.clone(),
+            row.schedule_steps.to_string(),
+            row.acyclic.to_string(),
+            row.ols.to_string(),
+            format!("{:.2}", row.ols_ms),
+            row.consistent().to_string(),
+        ]);
+    }
+    println!("{}", t4.render());
+
+    let mut t5 = Table::new(
+        "Theorem 5: polygraph -> forced-read-from schedule (MVSR iff acyclic)",
+        &["polygraph", "steps", "acyclic", "schedule MVSR", "consistent"],
+    );
+    for row in theorem5_table(&corpus) {
+        t5.row(&[
+            row.polygraph.clone(),
+            row.schedule_steps.to_string(),
+            row.acyclic.to_string(),
+            row.mvsr.to_string(),
+            row.consistent().to_string(),
+        ]);
+    }
+    println!("{}", t5.render());
+}
+
+/// Theorem 6: the adaptive construction against the greedy maximal
+/// scheduler.
+fn theorem6_table() {
+    let corpus = polygraph_corpus();
+    let mut table = Table::new(
+        "Theorem 6: adaptive construction vs. the greedy maximal scheduler",
+        &["polygraph", "acyclic", "schedule accepted", "amendments", "choices pinned", "consistent"],
+    );
+    for p in &corpus {
+        let acyclic = is_acyclic_polygraph(p);
+        let out = adaptive_schedule(p, || Box::new(GreedyMaximalScheduler::new()));
+        table.row(&[
+            format!("{}n/{}a/{}c", p.node_count(), p.arc_count(), p.choice_count()),
+            acyclic.to_string(),
+            out.accepted.to_string(),
+            out.amendments.to_string(),
+            out.choices_pinned.to_string(),
+            (out.accepted == acyclic).to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+}
+
+/// E10: classifier cost separation.
+fn complexity_table() {
+    let rows = classifier_scaling(&suites::e10_sizes(), 6);
+    let mut table = Table::new(
+        "E10: classifier cost (microseconds; NP-complete tests skipped on large instances)",
+        &["workload", "steps", "CSR us", "MVCSR us", "VSR us", "MVSR us"],
+    );
+    let fmt_opt = |v: Option<f64>| v.map(|x| format!("{x:.1}")).unwrap_or_else(|| "-".into());
+    for row in rows {
+        table.row(&[
+            row.label.clone(),
+            row.steps.to_string(),
+            format!("{:.1}", row.csr_us),
+            format!("{:.1}", row.mvcsr_us),
+            fmt_opt(row.vsr_us),
+            fmt_opt(row.mvsr_us),
+        ]);
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,392 @@
+//! Experiment drivers: the row-computing functions behind the table
+//! binaries (`figure1`, `theorem_tables`, `scheduler_comparison`).
+//!
+//! Keeping them in the library makes each experiment unit-testable and lets
+//! the Criterion benches reuse the same code paths, so the numbers in
+//! `EXPERIMENTS.md` and the benchmark results come from one implementation.
+
+use mvcc_classify::taxonomy::{classify, Census};
+use mvcc_classify::{is_csr, is_mvcsr, is_mvsr, is_vsr};
+use mvcc_core::examples::{figure1, Figure1Region};
+use mvcc_core::Schedule;
+use mvcc_graph::poly_acyclic::is_acyclic_polygraph;
+use mvcc_graph::Polygraph;
+use mvcc_reductions::ols::is_ols;
+use mvcc_reductions::{theorem4_schedules, theorem5_schedule};
+use mvcc_scheduler::{
+    run_abort, run_prefix, MvSgtScheduler, MvtoScheduler, Scheduler, SerialScheduler,
+    SgtScheduler, TimestampScheduler, TwoPhaseLockingScheduler,
+};
+use mvcc_workload::{random_interleaving, random_transaction_system, WorkloadConfig};
+use std::time::Instant;
+
+/// One row of the Figure 1 example table (experiment E1).
+#[derive(Debug, Clone)]
+pub struct Figure1Row {
+    /// Example number (1..=6).
+    pub number: usize,
+    /// The schedule in linear notation.
+    pub schedule: String,
+    /// Classification flags `[serial, csr, vsr, mvcsr, mvsr, dmvsr]`.
+    pub flags: [bool; 6],
+    /// The region computed by the classifiers.
+    pub computed_region: Figure1Region,
+    /// The region the paper claims.
+    pub claimed_region: Figure1Region,
+}
+
+impl Figure1Row {
+    /// `true` when the classifiers agree with the paper's placement.
+    pub fn matches(&self) -> bool {
+        self.computed_region == self.claimed_region
+    }
+}
+
+/// Classifies the six example schedules of Figure 1 (experiment E1).
+pub fn figure1_rows() -> Vec<Figure1Row> {
+    figure1()
+        .into_iter()
+        .map(|ex| {
+            let c = classify(&ex.schedule);
+            Figure1Row {
+                number: ex.number,
+                schedule: ex.schedule.to_string(),
+                flags: [c.serial, c.csr, c.vsr, c.mvcsr, c.mvsr, c.dmvsr],
+                computed_region: c.region(),
+                claimed_region: ex.region,
+            }
+        })
+        .collect()
+}
+
+/// The census of all interleavings of a fixed small transaction system
+/// (the "topography" of Figure 1 over an exhaustive population).
+pub fn figure1_census() -> (usize, Census) {
+    let sys = Schedule::parse("Ra(x) Wa(y) Rb(y) Wb(x) Wc(y)")
+        .expect("census system parses")
+        .tx_system();
+    let all = Schedule::all_interleavings(&sys);
+    let census = Census::build(all.iter());
+    (all.len(), census)
+}
+
+/// One row of the scheduler-comparison table (experiment E9).
+#[derive(Debug, Clone)]
+pub struct SchedulerRow {
+    /// Scheduler name.
+    pub scheduler: &'static str,
+    /// Whether it is a multiversion scheduler.
+    pub multiversion: bool,
+    /// Fraction of input steps accepted in prefix-recognition mode,
+    /// averaged over the repetitions.
+    pub mean_prefix_ratio: f64,
+    /// Fraction of runs in which the entire interleaving was accepted.
+    pub full_acceptance_rate: f64,
+    /// Fraction of transactions committed in abort-and-continue mode.
+    pub mean_commit_ratio: f64,
+}
+
+fn scheduler_zoo(sys: &mvcc_core::TransactionSystem) -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(SerialScheduler::new(sys)),
+        Box::new(TwoPhaseLockingScheduler::new(sys)),
+        Box::new(TimestampScheduler::new()),
+        Box::new(SgtScheduler::new()),
+        Box::new(MvtoScheduler::new()),
+        Box::new(MvSgtScheduler::new()),
+    ]
+}
+
+/// Runs the scheduler zoo over `repetitions` random interleavings of the
+/// workload and aggregates acceptance statistics (experiment E9).
+pub fn scheduler_comparison(config: &WorkloadConfig, repetitions: usize) -> Vec<SchedulerRow> {
+    let names: Vec<(&'static str, bool)> = {
+        let sys = random_transaction_system(config);
+        scheduler_zoo(&sys)
+            .iter()
+            .map(|s| (s.name(), s.is_multiversion()))
+            .collect()
+    };
+    let mut prefix_sum = vec![0.0f64; names.len()];
+    let mut full_sum = vec![0.0f64; names.len()];
+    let mut commit_sum = vec![0.0f64; names.len()];
+
+    for rep in 0..repetitions {
+        let cfg = config.with_seed(config.seed.wrapping_add(rep as u64 * 7919));
+        let sys = random_transaction_system(&cfg);
+        let schedule = random_interleaving(&sys, cfg.seed ^ 0x51ab);
+        for (idx, mut sched) in scheduler_zoo(&sys).into_iter().enumerate() {
+            let prefix = run_prefix(sched.as_mut(), &schedule);
+            prefix_sum[idx] += prefix.acceptance_ratio();
+            full_sum[idx] += if prefix.accepted_all { 1.0 } else { 0.0 };
+            let abort = run_abort(sched.as_mut(), &schedule);
+            commit_sum[idx] += abort.commit_ratio();
+        }
+    }
+
+    let n = repetitions.max(1) as f64;
+    names
+        .into_iter()
+        .enumerate()
+        .map(|(idx, (scheduler, multiversion))| SchedulerRow {
+            scheduler,
+            multiversion,
+            mean_prefix_ratio: prefix_sum[idx] / n,
+            full_acceptance_rate: full_sum[idx] / n,
+            mean_commit_ratio: commit_sum[idx] / n,
+        })
+        .collect()
+}
+
+/// One row of the classifier-scaling table (experiment E10).
+#[derive(Debug, Clone)]
+pub struct ClassifierRow {
+    /// Workload label.
+    pub label: String,
+    /// Number of steps in the schedule.
+    pub steps: usize,
+    /// Microseconds for the CSR test.
+    pub csr_us: f64,
+    /// Microseconds for the MVCSR test.
+    pub mvcsr_us: f64,
+    /// Microseconds for the VSR test (`None` when skipped as too large).
+    pub vsr_us: Option<f64>,
+    /// Microseconds for the MVSR test (`None` when skipped as too large).
+    pub mvsr_us: Option<f64>,
+}
+
+/// Measures the polynomial classifiers on every configuration and the
+/// NP-complete ones only while the transaction count stays tractable
+/// (experiment E10: the complexity separation the paper asserts).
+pub fn classifier_scaling(configs: &[WorkloadConfig], np_limit_txns: usize) -> Vec<ClassifierRow> {
+    configs
+        .iter()
+        .map(|cfg| {
+            let sys = random_transaction_system(cfg);
+            let s = random_interleaving(&sys, cfg.seed ^ 0xc1a5);
+            let time_us = |f: &dyn Fn() -> bool| {
+                let start = Instant::now();
+                let _ = f();
+                start.elapsed().as_secs_f64() * 1e6
+            };
+            let csr_us = time_us(&|| is_csr(&s));
+            let mvcsr_us = time_us(&|| is_mvcsr(&s));
+            let (vsr_us, mvsr_us) = if cfg.transactions <= np_limit_txns {
+                (Some(time_us(&|| is_vsr(&s))), Some(time_us(&|| is_mvsr(&s))))
+            } else {
+                (None, None)
+            };
+            ClassifierRow {
+                label: cfg.label(),
+                steps: s.len(),
+                csr_us,
+                mvcsr_us,
+                vsr_us,
+                mvsr_us,
+            }
+        })
+        .collect()
+}
+
+/// One row of the Theorem 4 table (experiment E5).
+#[derive(Debug, Clone)]
+pub struct Theorem4Row {
+    /// Polygraph shape `nodes/arcs/choices`.
+    pub polygraph: String,
+    /// Steps in each constructed schedule.
+    pub schedule_steps: usize,
+    /// Whether the polygraph is acyclic.
+    pub acyclic: bool,
+    /// Whether the constructed pair is OLS.
+    pub ols: bool,
+    /// Milliseconds spent in the exact OLS check.
+    pub ols_ms: f64,
+}
+
+impl Theorem4Row {
+    /// The reduction is correct when the two verdicts coincide.
+    pub fn consistent(&self) -> bool {
+        self.acyclic == self.ols
+    }
+}
+
+/// Runs the Theorem 4 pipeline over the given polygraphs (experiment E5).
+pub fn theorem4_table(polygraphs: &[Polygraph]) -> Vec<Theorem4Row> {
+    polygraphs
+        .iter()
+        .map(|p| {
+            let inst = theorem4_schedules(p);
+            let acyclic = is_acyclic_polygraph(p);
+            let start = Instant::now();
+            let ols = is_ols(&[inst.s1.clone(), inst.s2.clone()]);
+            let ols_ms = start.elapsed().as_secs_f64() * 1e3;
+            Theorem4Row {
+                polygraph: format!(
+                    "{}n/{}a/{}c",
+                    p.node_count(),
+                    p.arc_count(),
+                    p.choice_count()
+                ),
+                schedule_steps: inst.s1.len(),
+                acyclic,
+                ols,
+                ols_ms,
+            }
+        })
+        .collect()
+}
+
+/// One row of the Theorem 5 table (experiment E7).
+#[derive(Debug, Clone)]
+pub struct Theorem5Row {
+    /// Polygraph shape.
+    pub polygraph: String,
+    /// Steps in the constructed schedule.
+    pub schedule_steps: usize,
+    /// Whether the polygraph is acyclic.
+    pub acyclic: bool,
+    /// Whether the constructed schedule is MVSR (⇔ accepted by every
+    /// maximal multiversion scheduler, by Corollary 1).
+    pub mvsr: bool,
+}
+
+impl Theorem5Row {
+    /// The reduction is correct when the two verdicts coincide.
+    pub fn consistent(&self) -> bool {
+        self.acyclic == self.mvsr
+    }
+}
+
+/// Runs the Theorem 5 pipeline over the given polygraphs (experiment E7).
+pub fn theorem5_table(polygraphs: &[Polygraph]) -> Vec<Theorem5Row> {
+    polygraphs
+        .iter()
+        .map(|p| {
+            let s = theorem5_schedule(p);
+            Theorem5Row {
+                polygraph: format!(
+                    "{}n/{}a/{}c",
+                    p.node_count(),
+                    p.arc_count(),
+                    p.choice_count()
+                ),
+                schedule_steps: s.len(),
+                acyclic: is_acyclic_polygraph(p),
+                mvsr: is_mvsr(&s),
+            }
+        })
+        .collect()
+}
+
+/// The standard small polygraph corpus used by the tables: a mix of acyclic
+/// and cyclic instances that the exact checkers can handle.
+pub fn polygraph_corpus() -> Vec<Polygraph> {
+    use mvcc_graph::NodeId;
+    let mut corpus = Vec::new();
+    // Single-choice acyclic.
+    let mut p = Polygraph::with_nodes(3);
+    p.add_choice(NodeId(0), NodeId(1), NodeId(2));
+    corpus.push(p);
+    // Two chained choices.
+    let mut p = Polygraph::with_nodes(6);
+    p.add_choice(NodeId(0), NodeId(1), NodeId(2));
+    p.add_choice(NodeId(3), NodeId(4), NodeId(5));
+    p.add_arc(NodeId(2), NodeId(3));
+    corpus.push(p);
+    // Handcrafted cyclic polygraph (every selection closes a cycle).
+    let mut p = Polygraph::with_nodes(6);
+    p.add_choice(NodeId(0), NodeId(1), NodeId(2));
+    p.add_choice(NodeId(3), NodeId(4), NodeId(5));
+    p.add_arc(NodeId(1), NodeId(0));
+    p.add_arc(NodeId(4), NodeId(3));
+    p.add_arc(NodeId(2), NodeId(4));
+    p.add_arc(NodeId(5), NodeId(1));
+    corpus.push(p);
+    // Random instances from the workload generator.
+    for seed in 0..3 {
+        corpus.push(mvcc_workload::random_polygraph(5, 0.25, 2, seed));
+    }
+    corpus
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_rows_all_match_the_paper() {
+        let rows = figure1_rows();
+        assert_eq!(rows.len(), 6);
+        assert!(rows.iter().all(|r| r.matches()), "{rows:?}");
+    }
+
+    #[test]
+    fn census_covers_every_region_population() {
+        let (total, census) = figure1_census();
+        assert_eq!(total, census.total());
+        assert_eq!(census.containment_violations, 0);
+        assert!(census.count(Figure1Region::Serial) > 0);
+    }
+
+    #[test]
+    fn scheduler_comparison_shows_the_multiversion_advantage() {
+        let cfg = WorkloadConfig {
+            transactions: 4,
+            steps_per_transaction: 3,
+            entities: 4,
+            read_ratio: 0.7,
+            zipf_theta: 0.5,
+            seed: 11,
+        };
+        let rows = scheduler_comparison(&cfg, 12);
+        assert_eq!(rows.len(), 6);
+        let get = |name: &str| rows.iter().find(|r| r.scheduler == name).unwrap().clone();
+        let serial = get("serial");
+        let sgt = get("sgt");
+        let mv_sgt = get("mv-sgt");
+        // The ordering the paper's story requires: serial <= SGT <= MV-SGT.
+        assert!(serial.mean_prefix_ratio <= sgt.mean_prefix_ratio + 1e-9);
+        assert!(sgt.mean_prefix_ratio <= mv_sgt.mean_prefix_ratio + 1e-9);
+        assert!(serial.mean_commit_ratio <= mv_sgt.mean_commit_ratio + 1e-9);
+        // Every ratio is a valid probability.
+        for r in &rows {
+            assert!((0.0..=1.0).contains(&r.mean_prefix_ratio));
+            assert!((0.0..=1.0).contains(&r.full_acceptance_rate));
+            assert!((0.0..=1.0).contains(&r.mean_commit_ratio));
+        }
+    }
+
+    #[test]
+    fn classifier_scaling_runs_polynomial_tests_everywhere() {
+        let configs = vec![
+            WorkloadConfig {
+                transactions: 3,
+                steps_per_transaction: 3,
+                entities: 4,
+                ..WorkloadConfig::default()
+            },
+            WorkloadConfig {
+                transactions: 12,
+                steps_per_transaction: 4,
+                entities: 8,
+                ..WorkloadConfig::default()
+            },
+        ];
+        let rows = classifier_scaling(&configs, 6);
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].vsr_us.is_some() && rows[0].mvsr_us.is_some());
+        assert!(rows[1].vsr_us.is_none() && rows[1].mvsr_us.is_none());
+        assert!(rows.iter().all(|r| r.csr_us >= 0.0 && r.mvcsr_us >= 0.0));
+    }
+
+    #[test]
+    fn theorem_tables_are_consistent_on_the_corpus() {
+        let corpus = polygraph_corpus();
+        assert!(corpus.len() >= 5);
+        let t4 = theorem4_table(&corpus);
+        assert!(t4.iter().all(|r| r.consistent()), "{t4:?}");
+        assert!(t4.iter().any(|r| r.acyclic) && t4.iter().any(|r| !r.acyclic));
+        let t5 = theorem5_table(&corpus);
+        assert!(t5.iter().all(|r| r.consistent()), "{t5:?}");
+    }
+}

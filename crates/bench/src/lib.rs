@@ -1,0 +1,18 @@
+//! # mvcc-bench
+//!
+//! The experiment harness: Criterion micro-benchmarks (under `benches/`) and
+//! table-printing binaries (under `src/bin/`) that regenerate the paper's
+//! Figure 1 and the derived experiment tables E1–E11 described in
+//! `DESIGN.md` / `EXPERIMENTS.md`.
+//!
+//! This library crate holds the small pieces shared by the binaries: plain
+//! text table rendering and the experiment drivers that compute rows (so
+//! they can be unit-tested without running the binaries).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;

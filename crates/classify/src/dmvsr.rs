@@ -1,0 +1,107 @@
+//! DMVSR: the restricted-model relative of MVSR from [PK84], discussed in
+//! Section 3 of the paper.
+//!
+//! [PK84] shows that MVSR is polynomial in the *restricted model* in which no
+//! transaction writes an entity it has not read.  A schedule in the general
+//! model is **DMVSR** if it is MVSR once an appropriate read step is inserted
+//! immediately before each "readless write" (a write of an entity the
+//! transaction has not read earlier).  The paper notes that MVCSR corresponds
+//! to [PK84]'s `MRW` class, a superset of DMVSR (`MWW` in their notation);
+//! the containment `DMVSR ⊆ MVCSR ⊆ MVSR` is exercised by the tests below
+//! and by the Figure 1 census.
+
+use mvcc_core::{Schedule, Step};
+
+/// The "patched" schedule used by the DMVSR definition: a read step
+/// `R_i(x)` is inserted immediately before every write `W_i(x)` whose
+/// transaction has not read `x` earlier in program order.
+pub fn patch_readless_writes(schedule: &Schedule) -> Schedule {
+    let mut out: Vec<Step> = Vec::with_capacity(schedule.len());
+    // Track, per transaction, the set of entities it has read so far.
+    use std::collections::{BTreeSet, HashMap};
+    let mut read_so_far: HashMap<mvcc_core::TxId, BTreeSet<mvcc_core::EntityId>> = HashMap::new();
+    for &step in schedule.steps() {
+        if step.is_write() {
+            let seen = read_so_far.entry(step.tx).or_default();
+            if !seen.contains(&step.entity) {
+                out.push(Step::read(step.tx, step.entity));
+                seen.insert(step.entity);
+            }
+        } else {
+            read_so_far.entry(step.tx).or_default().insert(step.entity);
+        }
+        out.push(step);
+    }
+    Schedule::from_steps(out)
+}
+
+/// `true` iff `schedule` is DMVSR: its readless-write patching is MVSR.
+pub fn is_dmvsr(schedule: &Schedule) -> bool {
+    crate::mvsr::is_mvsr(&patch_readless_writes(schedule))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvcc_core::TxId;
+
+    #[test]
+    fn patching_inserts_reads_before_blind_writes_only() {
+        let s = Schedule::parse("Wa(x) Rb(y) Wb(y) Wb(z)").unwrap();
+        let patched = patch_readless_writes(&s);
+        // W_a(x) gets a read, W_b(y) does not (B read y already), W_b(z) does.
+        assert_eq!(patched.to_string(), "R1(x) W1(x) R2(y) W2(y) R2(z) W2(z)");
+    }
+
+    #[test]
+    fn patching_is_idempotent_on_restricted_schedules() {
+        let s = Schedule::parse("Ra(x) Wa(x) Rb(x) Wb(x)").unwrap();
+        assert!(s.tx_system().is_restricted_model());
+        assert_eq!(patch_readless_writes(&s).steps(), s.steps());
+    }
+
+    #[test]
+    fn patched_schedule_is_in_the_restricted_model() {
+        let s = Schedule::parse("Wa(x) Wb(x) Wc(y) Rc(x) Wc(x)").unwrap();
+        let patched = patch_readless_writes(&s);
+        assert!(patched.tx_system().is_restricted_model());
+    }
+
+    #[test]
+    fn dmvsr_implies_mvcsr_exhaustively() {
+        // The paper: DMVSR (= MWW of [PK84]) is contained in MVCSR (= MRW).
+        let sys = Schedule::parse("Ra(x) Wa(y) Rb(y) Wb(x) Wc(x)")
+            .unwrap()
+            .tx_system();
+        for s in Schedule::all_interleavings(&sys) {
+            if is_dmvsr(&s) {
+                assert!(crate::mvcsr::is_mvcsr(&s), "DMVSR but not MVCSR: {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn dmvsr_is_strictly_weaker_than_mvsr_somewhere() {
+        // There exist MVSR schedules that are not DMVSR (patching a blind
+        // write can destroy serializability); Figure 1's example (2) is one.
+        let s2 = &mvcc_core::examples::figure1()[1].schedule;
+        assert!(crate::mvsr::is_mvsr(s2));
+        assert!(!is_dmvsr(s2));
+    }
+
+    #[test]
+    fn serial_restricted_schedules_are_dmvsr() {
+        let s = Schedule::parse("Ra(x) Wa(x) Rb(x) Wb(x)").unwrap();
+        assert!(is_dmvsr(&s));
+    }
+
+    #[test]
+    fn section4_pair_members_are_dmvsr() {
+        // [PK84] prove DMVSR is not OLS using a pair of (restricted-model)
+        // schedules; both members are individually DMVSR.
+        let (s, s_prime) = mvcc_core::examples::section4_pair();
+        assert!(is_dmvsr(&s));
+        assert!(is_dmvsr(&s_prime));
+        let _ = TxId(1);
+    }
+}

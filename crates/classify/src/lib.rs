@@ -1,0 +1,48 @@
+//! # mvcc-classify
+//!
+//! Schedule classifiers for every correctness class that appears in
+//! Hadzilacos & Papadimitriou's *Algorithmic Aspects of Multiversion
+//! Concurrency Control*:
+//!
+//! | class | definition | complexity | module |
+//! |-------|------------|------------|--------|
+//! | serial | transactions run back-to-back | linear | [`taxonomy`] |
+//! | CSR | conflict-equivalent to a serial schedule (conflict graph acyclic) | polynomial | [`csr`] |
+//! | VSR ("SR") | view-equivalent to a serial schedule | NP-complete | [`vsr`] |
+//! | MVCSR | multiversion-conflict-equivalent to a serial schedule (MVCG acyclic, Theorem 1) | polynomial | [`mvcsr`] |
+//! | MVSR | some version function makes it view-equivalent to a serial schedule | NP-complete | [`mvsr`] |
+//! | DMVSR | MVSR after patching readless writes ([PK84]) | NP-complete | [`dmvsr`] |
+//!
+//! Each NP-complete classifier is an exact search with pruning plus, where
+//! available, an independent formulation (the VSR polygraph) used for
+//! cross-validation.  [`taxonomy`] combines the classifiers into the region
+//! map of the paper's Figure 1, and [`swaps`] provides the
+//! swap-characterisation of MVCSR (Theorem 2).
+//!
+//! ```
+//! use mvcc_core::Schedule;
+//! use mvcc_classify::taxonomy::classify;
+//!
+//! let s = Schedule::parse("Ra(x) Rb(x) Wa(x) Wb(x)").unwrap();
+//! let c = classify(&s);
+//! assert!(!c.mvsr, "Figure 1, example (1) is not even MVSR");
+//! assert!(!c.csr && !c.vsr && !c.mvcsr);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csr;
+pub mod dmvsr;
+pub mod mvcsr;
+pub mod mvsr;
+pub mod serialization;
+pub mod swaps;
+pub mod taxonomy;
+pub mod vsr;
+
+pub use csr::{conflict_graph, csr_witness, is_csr};
+pub use mvcsr::{is_mvcsr, mv_conflict_graph, mvcsr_witness};
+pub use mvsr::{is_mvsr, mvsr_witness};
+pub use taxonomy::{classify, Classification};
+pub use vsr::is_vsr;

@@ -1,0 +1,479 @@
+//! The common currency of the NP-complete classifiers: serializing
+//! READ-FROM maps.
+//!
+//! For a schedule `s` of a transaction system `τ` and a *serial order* `r`
+//! (a permutation of the transactions of `τ`), the standard version function
+//! of the serial schedule induced by `r` determines, for every read step of
+//! `τ`, the transaction it reads from.  A serial order is a **serialization**
+//! of `s` (in the multiversion sense) iff that induced read-from assignment
+//! is *realizable* in `s`: every read can be served the required version,
+//! i.e. the required writer's write precedes the read in `s` (the initial
+//! version and a transaction's own earlier writes are always available).
+//!
+//! * `s` is **MVSR** iff it has at least one serialization
+//!   (see [`crate::mvsr`]).
+//! * `s` is **VSR** iff some serialization's read-from assignment coincides
+//!   with the *standard* read-froms of `s` and the final writers also match
+//!   (see [`crate::vsr`]).
+//! * A set of schedules is **OLS** iff, for every common prefix, the
+//!   restrictions of the serializing assignments intersect
+//!   (see `mvcc-reductions::ols`).
+
+use mvcc_core::{Schedule, TransactionSystem, TxId, VersionFunction, VersionSource};
+use std::collections::HashMap;
+
+/// The read-from assignment induced by running the transaction system
+/// serially in order `order`, expressed per read step *position of `s`*.
+///
+/// Also records, per entity, the final writer under `order` (used by the VSR
+/// check, where the final state must match).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SerialReadFroms {
+    /// The serial order of transactions.
+    pub order: Vec<TxId>,
+    /// For each read position of `s`: the version source the serial order
+    /// makes that read observe.
+    pub read_sources: HashMap<usize, VersionSource>,
+    /// For each entity (by id): the last writer under the serial order, or
+    /// `None` when nobody writes it.
+    pub final_writers: HashMap<mvcc_core::EntityId, Option<TxId>>,
+}
+
+impl SerialReadFroms {
+    /// Converts this assignment into a full [`VersionFunction`] for `s`
+    /// (final reads assigned to the serial order's final writers).
+    pub fn to_version_function(&self, s: &Schedule) -> VersionFunction {
+        let mut vf = VersionFunction::new();
+        for (&pos, &src) in &self.read_sources {
+            vf.assign(pos, src);
+        }
+        for entity in s.entities_accessed() {
+            let src = match self.final_writers.get(&entity) {
+                Some(Some(tx)) => VersionSource::Tx(*tx),
+                _ => VersionSource::Initial,
+            };
+            vf.assign_final(entity, src);
+        }
+        vf
+    }
+}
+
+/// Computes the read-from assignment that the serial order `order` induces
+/// on the reads of `s`, without checking realizability.
+pub fn serial_read_froms(s: &Schedule, order: &[TxId]) -> SerialReadFroms {
+    let sys = s.tx_system();
+    serial_read_froms_of_system(s, &sys, order)
+}
+
+/// As [`serial_read_froms`], with the transaction system passed explicitly
+/// (avoids recomputing it in hot loops).
+pub fn serial_read_froms_of_system(
+    s: &Schedule,
+    sys: &TransactionSystem,
+    order: &[TxId],
+) -> SerialReadFroms {
+    let pos_in_order: HashMap<TxId, usize> =
+        order.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+
+    // For every entity, the writers in serial-order position order.
+    let mut writers_by_entity: HashMap<mvcc_core::EntityId, Vec<(usize, TxId)>> = HashMap::new();
+    for tx in sys.transactions() {
+        if let Some(&p) = pos_in_order.get(&tx.id) {
+            for e in tx.write_set() {
+                writers_by_entity.entry(e).or_default().push((p, tx.id));
+            }
+        }
+    }
+    for v in writers_by_entity.values_mut() {
+        v.sort();
+    }
+
+    // Per-transaction program-order index of each step of `s`.
+    let mut step_index_within_tx: HashMap<TxId, usize> = HashMap::new();
+    let mut read_sources = HashMap::new();
+
+    for (pos, step) in s.steps().iter().enumerate() {
+        let idx = step_index_within_tx.entry(step.tx).or_insert(0);
+        let my_index = *idx;
+        *idx += 1;
+        if !step.is_read() {
+            continue;
+        }
+        // Does the reading transaction itself write the entity earlier in
+        // program order?  Then, serially, it reads its own latest version.
+        let own_earlier_write = sys
+            .get(step.tx)
+            .map(|t| {
+                t.accesses[..my_index]
+                    .iter()
+                    .any(|&(a, e)| a.is_write() && e == step.entity)
+            })
+            .unwrap_or(false);
+        let source = if own_earlier_write {
+            VersionSource::Tx(step.tx)
+        } else {
+            // The last transaction strictly before `step.tx` in the serial
+            // order that writes the entity.
+            let my_order_pos = pos_in_order.get(&step.tx).copied();
+            match my_order_pos {
+                None => VersionSource::Initial,
+                Some(my_pos) => writers_by_entity
+                    .get(&step.entity)
+                    .and_then(|ws| {
+                        ws.iter()
+                            .rev()
+                            .find(|&&(p, w)| p < my_pos && w != step.tx)
+                            .map(|&(_, w)| VersionSource::Tx(w))
+                    })
+                    .unwrap_or(VersionSource::Initial),
+            }
+        };
+        read_sources.insert(pos, source);
+    }
+
+    let mut final_writers = HashMap::new();
+    for entity in s.entities_accessed() {
+        let w = writers_by_entity
+            .get(&entity)
+            .and_then(|ws| ws.last().map(|&(_, t)| t));
+        final_writers.insert(entity, w);
+    }
+
+    SerialReadFroms {
+        order: order.to_vec(),
+        read_sources,
+        final_writers,
+    }
+}
+
+/// `true` if the read-from assignment `rf` is *realizable* in `s`: every
+/// read can actually be served the required version, i.e. the required
+/// writer has a write of that entity earlier in `s` (initial versions and a
+/// transaction's own earlier writes are always available).
+pub fn is_realizable(s: &Schedule, rf: &SerialReadFroms) -> bool {
+    for (&pos, &src) in &rf.read_sources {
+        let step = s.steps()[pos];
+        match src {
+            VersionSource::Initial => {}
+            VersionSource::Tx(writer) if writer == step.tx => {
+                // Own earlier write: guaranteed by program order.
+            }
+            VersionSource::Tx(writer) => {
+                let available = s.steps()[..pos]
+                    .iter()
+                    .any(|w| w.is_write() && w.entity == step.entity && w.tx == writer);
+                if !available {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Enumerates every serialization of `s`: every permutation of its
+/// transactions whose induced read-from assignment is realizable in `s`.
+///
+/// The search places transactions one at a time and prunes as soon as a
+/// placed transaction's reads become unrealizable, which keeps the search
+/// far below `n!` on most inputs (but necessarily exponential in the worst
+/// case).  Set `limit` to stop early after that many serializations have
+/// been found (`None` enumerates all).
+pub fn serializations(s: &Schedule, limit: Option<usize>) -> Vec<SerialReadFroms> {
+    let sys = s.tx_system();
+    let tx_ids = sys.tx_ids();
+    let mut out = Vec::new();
+    let mut order: Vec<TxId> = Vec::with_capacity(tx_ids.len());
+    let mut used = vec![false; tx_ids.len()];
+    search(
+        s,
+        &sys,
+        &tx_ids,
+        &mut order,
+        &mut used,
+        &mut out,
+        limit,
+    );
+    out
+}
+
+/// Enumerates serializations of `s` whose induced read-from assignment agrees
+/// with `required` on every read position `required` mentions.  This is the
+/// work-horse of the greedy "maximal" scheduler and of Lemma 1/2 style
+/// completability checks: with `limit = Some(1)` it decides, with pruning,
+/// whether a prefix with committed read-froms still has a serializable
+/// completion.
+pub fn serializations_extending(
+    s: &Schedule,
+    required: &HashMap<usize, VersionSource>,
+    limit: Option<usize>,
+) -> Vec<SerialReadFroms> {
+    serializations_filtered(s, limit, &|pos, src| {
+        required.get(&pos).map(|&r| r == src).unwrap_or(true)
+    })
+}
+
+/// `true` iff `s` has at least one serialization agreeing with `required`.
+pub fn has_serialization_extending(
+    s: &Schedule,
+    required: &HashMap<usize, VersionSource>,
+) -> bool {
+    !serializations_extending(s, required, Some(1)).is_empty()
+}
+
+/// Shared implementation: enumerate serializations whose induced source for
+/// every read position satisfies `accept(pos, source)`.
+fn serializations_filtered(
+    s: &Schedule,
+    limit: Option<usize>,
+    accept: &dyn Fn(usize, VersionSource) -> bool,
+) -> Vec<SerialReadFroms> {
+    let sys = s.tx_system();
+    let tx_ids = sys.tx_ids();
+    let mut out = Vec::new();
+    let mut order: Vec<TxId> = Vec::with_capacity(tx_ids.len());
+    let mut used = vec![false; tx_ids.len()];
+    search_filtered(s, &sys, &tx_ids, &mut order, &mut used, &mut out, limit, accept);
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search_filtered(
+    s: &Schedule,
+    sys: &TransactionSystem,
+    tx_ids: &[TxId],
+    order: &mut Vec<TxId>,
+    used: &mut Vec<bool>,
+    out: &mut Vec<SerialReadFroms>,
+    limit: Option<usize>,
+    accept: &dyn Fn(usize, VersionSource) -> bool,
+) -> bool {
+    if let Some(l) = limit {
+        if out.len() >= l {
+            return true;
+        }
+    }
+    if order.len() == tx_ids.len() {
+        let rf = serial_read_froms_of_system(s, sys, order);
+        if is_realizable(s, &rf) && rf.read_sources.iter().all(|(&p, &src)| accept(p, src)) {
+            out.push(rf);
+        }
+        return limit.map(|l| out.len() >= l).unwrap_or(false);
+    }
+    for (i, &tx) in tx_ids.iter().enumerate() {
+        if used[i] {
+            continue;
+        }
+        order.push(tx);
+        used[i] = true;
+        if partial_realizable(s, sys, order) && partial_accepts(s, sys, order, accept) {
+            let done = search_filtered(s, sys, tx_ids, order, used, out, limit, accept);
+            if done {
+                used[i] = false;
+                order.pop();
+                return true;
+            }
+        }
+        used[i] = false;
+        order.pop();
+    }
+    false
+}
+
+/// Checks that the determined reads (those of already-placed transactions)
+/// satisfy the acceptance predicate.
+fn partial_accepts(
+    s: &Schedule,
+    sys: &TransactionSystem,
+    partial: &[TxId],
+    accept: &dyn Fn(usize, VersionSource) -> bool,
+) -> bool {
+    let rf = serial_read_froms_of_system(s, sys, partial);
+    let placed: std::collections::BTreeSet<TxId> = partial.iter().copied().collect();
+    rf.read_sources.iter().all(|(&pos, &src)| {
+        let tx = s.steps()[pos].tx;
+        !placed.contains(&tx) || accept(pos, src)
+    })
+}
+
+fn search(
+    s: &Schedule,
+    sys: &TransactionSystem,
+    tx_ids: &[TxId],
+    order: &mut Vec<TxId>,
+    used: &mut Vec<bool>,
+    out: &mut Vec<SerialReadFroms>,
+    limit: Option<usize>,
+) -> bool {
+    if let Some(l) = limit {
+        if out.len() >= l {
+            return true;
+        }
+    }
+    if order.len() == tx_ids.len() {
+        let rf = serial_read_froms_of_system(s, sys, order);
+        if is_realizable(s, &rf) {
+            out.push(rf);
+        }
+        return limit.map(|l| out.len() >= l).unwrap_or(false);
+    }
+    for (i, &tx) in tx_ids.iter().enumerate() {
+        if used[i] {
+            continue;
+        }
+        order.push(tx);
+        used[i] = true;
+        // Prune: the reads of the transaction just placed are now fully
+        // determined (only earlier transactions can serve them); check
+        // realizability of those reads.
+        if partial_realizable(s, sys, order) {
+            let done = search(s, sys, tx_ids, order, used, out, limit);
+            if done {
+                used[i] = false;
+                order.pop();
+                return true;
+            }
+        }
+        used[i] = false;
+        order.pop();
+    }
+    false
+}
+
+/// Checks realizability of the reads of transactions already placed in the
+/// partial order (their sources cannot change as more transactions are
+/// appended).
+fn partial_realizable(s: &Schedule, sys: &TransactionSystem, partial: &[TxId]) -> bool {
+    let rf = serial_read_froms_of_system(s, sys, partial);
+    let placed: std::collections::BTreeSet<TxId> = partial.iter().copied().collect();
+    for (&pos, &src) in &rf.read_sources {
+        let step = s.steps()[pos];
+        if !placed.contains(&step.tx) {
+            continue;
+        }
+        match src {
+            VersionSource::Initial => {}
+            VersionSource::Tx(writer) if writer == step.tx => {}
+            VersionSource::Tx(writer) => {
+                let available = s.steps()[..pos]
+                    .iter()
+                    .any(|w| w.is_write() && w.entity == step.entity && w.tx == writer);
+                if !available {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvcc_core::{EntityId, Schedule};
+
+    #[test]
+    fn serial_read_froms_of_a_simple_chain() {
+        // A writes x, B reads it. Order AB: B <- A; order BA: B <- initial.
+        let s = Schedule::parse("Wa(x) Rb(x)").unwrap();
+        let ab = serial_read_froms(&s, &[TxId(1), TxId(2)]);
+        assert_eq!(ab.read_sources[&1], VersionSource::Tx(TxId(1)));
+        assert_eq!(ab.final_writers[&EntityId(0)], Some(TxId(1)));
+        let ba = serial_read_froms(&s, &[TxId(2), TxId(1)]);
+        assert_eq!(ba.read_sources[&1], VersionSource::Initial);
+    }
+
+    #[test]
+    fn own_write_takes_priority_in_serial_order() {
+        // A: R(x) W(x) R(x): the second read observes A's own write no
+        // matter where other writers sit in the serial order.
+        let s = Schedule::parse("Ra(x) Wa(x) Wb(x) Ra(x)").unwrap();
+        let rf = serial_read_froms(&s, &[TxId(2), TxId(1)]);
+        assert_eq!(rf.read_sources[&0], VersionSource::Tx(TxId(2)), "first read sees B");
+        assert_eq!(rf.read_sources[&3], VersionSource::Tx(TxId(1)), "second read sees own write");
+    }
+
+    #[test]
+    fn realizability_requires_the_writer_to_have_written_already() {
+        let s = Schedule::parse("Rb(x) Wa(x)").unwrap();
+        // Serial order AB would make B read from A, but A's write comes after
+        // the read in s: not realizable ("a read that arrived too early").
+        let ab = serial_read_froms(&s, &[TxId(1), TxId(2)]);
+        assert!(!is_realizable(&s, &ab));
+        // Serial order BA has B read the initial version: realizable.
+        let ba = serial_read_froms(&s, &[TxId(2), TxId(1)]);
+        assert!(is_realizable(&s, &ba));
+    }
+
+    #[test]
+    fn serializations_of_the_non_mvsr_example_are_empty() {
+        let s = Schedule::parse("Ra(x) Rb(x) Wa(x) Wb(x)").unwrap();
+        assert!(serializations(&s, None).is_empty());
+    }
+
+    #[test]
+    fn serializations_of_a_serial_schedule_include_its_own_order() {
+        let s = Schedule::parse("Ra(x) Wa(x) Rb(x) Wb(y)").unwrap();
+        let all = serializations(&s, None);
+        assert!(all.iter().any(|rf| rf.order == vec![TxId(1), TxId(2)]));
+    }
+
+    #[test]
+    fn limit_stops_early() {
+        let s = Schedule::parse("Ra(x) Wb(y) Rc(z)").unwrap();
+        // No conflicts at all: all 6 permutations serialize.
+        assert_eq!(serializations(&s, None).len(), 6);
+        assert_eq!(serializations(&s, Some(2)).len(), 2);
+    }
+
+    #[test]
+    fn version_function_conversion_is_valid() {
+        let s = Schedule::parse("Wa(x) Rb(x) Wb(y)").unwrap();
+        let all = serializations(&s, None);
+        for rf in &all {
+            let vf = rf.to_version_function(&s);
+            assert!(vf.validate(&s).is_ok(), "order {:?}", rf.order);
+        }
+    }
+
+    #[test]
+    fn extending_search_respects_required_assignments() {
+        use std::collections::HashMap;
+        let s = Schedule::parse("Wa(x) Rb(x) Wb(y) Ra(y)").unwrap();
+        // Require R_b(x) (position 1) to read the initial version: only the
+        // B-before-A serialization remains, and it also fixes R_a(y).
+        let mut req = HashMap::new();
+        req.insert(1usize, VersionSource::Initial);
+        let found = serializations_extending(&s, &req, None);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].order, vec![TxId(2), TxId(1)]);
+        assert!(has_serialization_extending(&s, &req));
+
+        // Requiring an impossible assignment yields nothing.
+        let mut impossible = HashMap::new();
+        impossible.insert(1usize, VersionSource::Tx(TxId(2)));
+        assert!(!has_serialization_extending(&s, &impossible));
+    }
+
+    #[test]
+    fn extending_search_with_empty_requirements_matches_plain_enumeration() {
+        use std::collections::HashMap;
+        let s = Schedule::parse("Wa(x) Rb(x) Rc(y) Wb(y) Wc(x)").unwrap();
+        let plain = serializations(&s, None).len();
+        let filtered = serializations_extending(&s, &HashMap::new(), None).len();
+        assert_eq!(plain, filtered);
+    }
+
+    #[test]
+    fn section4_schedules_have_unique_serializations() {
+        let (s, s_prime) = mvcc_core::examples::section4_pair();
+        let ser_s = serializations(&s, None);
+        let ser_sp = serializations(&s_prime, None);
+        assert_eq!(ser_s.len(), 1, "s serializes only as A B");
+        assert_eq!(ser_s[0].order, vec![TxId(1), TxId(2)]);
+        assert_eq!(ser_sp.len(), 1, "s' serializes only as B A");
+        assert_eq!(ser_sp[0].order, vec![TxId(2), TxId(1)]);
+        // And they disagree on what R_B(x) (position 2 in both) must read.
+        assert_ne!(ser_s[0].read_sources[&2], ser_sp[0].read_sources[&2]);
+    }
+}

@@ -1,0 +1,315 @@
+//! View serializability (VSR) — the class the paper calls "SR".
+//!
+//! A schedule is VSR iff it is view-equivalent (identical READ-FROM relation
+//! of the padded schedule, under the standard version function) to some
+//! serial schedule of the same transaction system.  Testing VSR is
+//! NP-complete [Papadimitriou 1979]; two exact implementations are provided:
+//!
+//! * [`is_vsr`] / [`vsr_witness`]: a branch-and-bound search over serial
+//!   orders that prunes as soon as a placed transaction's reads disagree
+//!   with the schedule's standard read-froms;
+//! * [`vsr_polygraph`] / [`is_vsr_polygraph`]: the polygraph formulation of
+//!   [P79] (one choice per read-from/interfering-writer pair), solved with
+//!   the exact polygraph solver of `mvcc-graph`.  The two agree on every
+//!   input; the test-suite cross-checks them exhaustively on small systems.
+
+use crate::serialization::{serial_read_froms_of_system, SerialReadFroms};
+use mvcc_core::{EntityId, ReadFromRelation, Schedule, TransactionSystem, TxId, VersionSource};
+use mvcc_graph::poly_acyclic::solve_polygraph;
+use mvcc_graph::{NodeId, Polygraph};
+use std::collections::{BTreeSet, HashMap};
+
+/// The standard (single-version) read-from source of every read position of
+/// `s`, plus the final writer of every entity.
+fn standard_targets(s: &Schedule) -> (HashMap<usize, VersionSource>, HashMap<EntityId, Option<TxId>>) {
+    let mut reads = HashMap::new();
+    for pos in s.all_read_positions() {
+        let e = s.steps()[pos].entity;
+        let src = s
+            .last_writer_before(pos, e)
+            .map(VersionSource::Tx)
+            .unwrap_or(VersionSource::Initial);
+        reads.insert(pos, src);
+    }
+    let mut finals = HashMap::new();
+    for e in s.entities_accessed() {
+        finals.insert(e, s.final_writer(e));
+    }
+    (reads, finals)
+}
+
+/// `true` iff `schedule` is view-serializable.
+pub fn is_vsr(schedule: &Schedule) -> bool {
+    vsr_witness(schedule).is_some()
+}
+
+/// Returns a serial order to which `schedule` is view-equivalent, or `None`.
+pub fn vsr_witness(schedule: &Schedule) -> Option<Vec<TxId>> {
+    let sys = schedule.tx_system();
+    let ids = sys.tx_ids();
+    let (target_reads, target_finals) = standard_targets(schedule);
+    let mut order = Vec::with_capacity(ids.len());
+    let mut used = vec![false; ids.len()];
+    search(
+        schedule,
+        &sys,
+        &ids,
+        &target_reads,
+        &target_finals,
+        &mut order,
+        &mut used,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search(
+    s: &Schedule,
+    sys: &TransactionSystem,
+    ids: &[TxId],
+    target_reads: &HashMap<usize, VersionSource>,
+    target_finals: &HashMap<EntityId, Option<TxId>>,
+    order: &mut Vec<TxId>,
+    used: &mut Vec<bool>,
+) -> Option<Vec<TxId>> {
+    if order.len() == ids.len() {
+        let rf = serial_read_froms_of_system(s, sys, order);
+        if reads_match(&rf, target_reads, s, order, true) && finals_match(&rf, target_finals) {
+            return Some(order.clone());
+        }
+        return None;
+    }
+    for i in 0..ids.len() {
+        if used[i] {
+            continue;
+        }
+        order.push(ids[i]);
+        used[i] = true;
+        let rf = serial_read_froms_of_system(s, sys, order);
+        if reads_match(&rf, target_reads, s, order, false) {
+            if let Some(found) = search(s, sys, ids, target_reads, target_finals, order, used) {
+                used[i] = false;
+                order.pop();
+                return Some(found);
+            }
+        }
+        used[i] = false;
+        order.pop();
+    }
+    None
+}
+
+/// Checks that the reads of the transactions already placed agree with the
+/// schedule's standard read-froms.  When `complete` is true all reads are
+/// checked.
+fn reads_match(
+    rf: &SerialReadFroms,
+    target: &HashMap<usize, VersionSource>,
+    s: &Schedule,
+    placed: &[TxId],
+    complete: bool,
+) -> bool {
+    let placed_set: BTreeSet<TxId> = placed.iter().copied().collect();
+    for (&pos, &src) in &rf.read_sources {
+        let tx = s.steps()[pos].tx;
+        if !complete && !placed_set.contains(&tx) {
+            continue;
+        }
+        if target.get(&pos) != Some(&src) {
+            return false;
+        }
+    }
+    true
+}
+
+fn finals_match(rf: &SerialReadFroms, target: &HashMap<EntityId, Option<TxId>>) -> bool {
+    target
+        .iter()
+        .all(|(e, w)| rf.final_writers.get(e).unwrap_or(&None) == w)
+}
+
+/// The VSR polygraph of `schedule` ([P79]): nodes are the transactions plus
+/// `T0` and `Tf`; there is an arc from every writer to every transaction
+/// that reads from it (under the standard version function of the padded
+/// schedule), plus `T0 → t → Tf` ordering arcs; and for every read-from
+/// `(reader ← writer)` on entity `x` and every *other* transaction `k` that
+/// writes `x`, a choice "either `k` before `writer` or `reader` before `k`".
+///
+/// Two refinements handle transactions that write an entity they also read:
+/// a read served by the reader's *own* earlier write imposes no constraint,
+/// and a read served by another transaction even though the reader wrote the
+/// entity earlier in program order can never be reproduced by a serial
+/// schedule — the polygraph is then made deliberately cyclic (arc `Tf → T0`)
+/// so that the acyclicity verdict stays equivalent to view-serializability.
+///
+/// The schedule is view-serializable iff this polygraph is acyclic.
+pub fn vsr_polygraph(schedule: &Schedule) -> (Polygraph, HashMap<TxId, NodeId>) {
+    let txs = schedule.tx_ids();
+    let mut p = Polygraph::with_nodes(0);
+    let mut node_of: HashMap<TxId, NodeId> = HashMap::new();
+    let t0 = p.add_node("T0");
+    let tf = p.add_node("Tf");
+    node_of.insert(TxId::INITIAL, t0);
+    node_of.insert(TxId::FINAL, tf);
+    for &tx in &txs {
+        let n = p.add_node(format!("{tx}"));
+        node_of.insert(tx, n);
+        p.add_arc(t0, n);
+        p.add_arc(n, tf);
+    }
+    p.add_arc(t0, tf);
+
+    // Writers of every entity (ordinary transactions only).
+    let mut writers: HashMap<EntityId, BTreeSet<TxId>> = HashMap::new();
+    for step in schedule.steps() {
+        if step.is_write() {
+            writers.entry(step.entity).or_default().insert(step.tx);
+        }
+    }
+
+    let add_read_constraint = |p: &mut Polygraph,
+                                   reader_tx: TxId,
+                                   writer_tx: TxId,
+                                   entity: EntityId,
+                                   impossible: bool| {
+        if impossible {
+            // No serial schedule can realise this read-from: poison the
+            // polygraph with a guaranteed cycle.
+            p.add_arc(node_of[&TxId::FINAL], node_of[&TxId::INITIAL]);
+            return;
+        }
+        if reader_tx == writer_tx {
+            // Reading one's own earlier write constrains nothing.
+            return;
+        }
+        let reader = node_of[&reader_tx];
+        let writer = node_of[&writer_tx];
+        p.add_arc(writer, reader);
+        if let Some(ws) = writers.get(&entity) {
+            for &k in ws {
+                if k == reader_tx || k == writer_tx {
+                    continue;
+                }
+                let kn = node_of[&k];
+                // Choice (j = reader, k, i = writer): branches
+                // (reader, k) or (k, writer); mandatory arc (writer, reader).
+                p.add_choice(reader, kn, writer);
+            }
+        }
+    };
+
+    // Ordinary reads, handled positionally so that the reader's own earlier
+    // writes (program order) are taken into account.
+    for pos in schedule.all_read_positions() {
+        let step = schedule.steps()[pos];
+        let source = schedule
+            .last_writer_before(pos, step.entity)
+            .map(VersionSource::Tx)
+            .unwrap_or(VersionSource::Initial);
+        let writer_tx = source.as_tx();
+        let own_earlier_write = schedule.steps()[..pos]
+            .iter()
+            .any(|w| w.is_write() && w.tx == step.tx && w.entity == step.entity);
+        let impossible = own_earlier_write && writer_tx != step.tx;
+        add_read_constraint(&mut p, step.tx, writer_tx, step.entity, impossible);
+    }
+
+    // The padded final reads (one per entity), taken from the READ-FROM
+    // relation; `Tf` never writes, so they are never "impossible".
+    let rel = ReadFromRelation::of_schedule(schedule);
+    for entry in rel.entries() {
+        if entry.reader == TxId::FINAL {
+            add_read_constraint(&mut p, entry.reader, entry.writer, entry.entity, false);
+        }
+    }
+    (p, node_of)
+}
+
+/// `true` iff `schedule` is view-serializable, decided through the polygraph
+/// formulation.
+pub fn is_vsr_polygraph(schedule: &Schedule) -> bool {
+    let (p, _) = vsr_polygraph(schedule);
+    solve_polygraph(&p).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_schedules_are_vsr() {
+        let s = Schedule::parse("Ra(x) Wa(x) Rb(x) Wb(x)").unwrap();
+        assert!(is_vsr(&s));
+        assert_eq!(vsr_witness(&s), Some(vec![TxId(1), TxId(2)]));
+        assert!(is_vsr_polygraph(&s));
+    }
+
+    #[test]
+    fn lost_update_is_not_vsr() {
+        let s = Schedule::parse("Ra(x) Rb(x) Wa(x) Wb(x)").unwrap();
+        assert!(!is_vsr(&s));
+        assert!(!is_vsr_polygraph(&s));
+    }
+
+    #[test]
+    fn vsr_but_not_csr_blind_write_example() {
+        // The classic blind-write example: view-equivalent to A B C although
+        // the conflict graph has a cycle between A and B.
+        let s5 = &mvcc_core::examples::figure1()[4].schedule;
+        assert!(is_vsr(s5));
+        assert!(!crate::csr::is_csr(s5));
+        assert!(is_vsr_polygraph(s5));
+    }
+
+    #[test]
+    fn figure1_vsr_claims() {
+        let examples = mvcc_core::examples::figure1();
+        let expected = [false, false, true, false, true, true];
+        for (ex, want) in examples.iter().zip(expected) {
+            assert_eq!(
+                is_vsr(&ex.schedule),
+                want,
+                "Figure 1 example ({}) SR claim",
+                ex.number
+            );
+        }
+    }
+
+    #[test]
+    fn witness_is_view_equivalent() {
+        let s = Schedule::parse("Wa(x) Rb(x) Rc(y) Wc(x) Wb(y) Wd(x)").unwrap();
+        let order = vsr_witness(&s).unwrap();
+        let serial = Schedule::serial(&s.tx_system(), &order);
+        assert!(mvcc_core::equivalence::view_equivalent(&s, &serial));
+    }
+
+    #[test]
+    fn csr_implies_vsr_exhaustively() {
+        let sys = Schedule::parse("Ra(x) Wa(y) Rb(y) Wb(x)").unwrap().tx_system();
+        for s in Schedule::all_interleavings(&sys) {
+            if crate::csr::is_csr(&s) {
+                assert!(is_vsr(&s), "CSR but not VSR: {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn polygraph_formulation_agrees_with_search_exhaustively() {
+        // Includes a blind writer so that VSR and CSR genuinely differ.
+        let sys = Schedule::parse("Ra(x) Wa(x) Wa(y) Rb(x) Wb(y) Wc(y)")
+            .unwrap()
+            .tx_system();
+        for s in Schedule::all_interleavings(&sys) {
+            assert_eq!(is_vsr(&s), is_vsr_polygraph(&s), "schedule {s}");
+        }
+    }
+
+    #[test]
+    fn polygraph_formulation_agrees_on_own_write_readers() {
+        let sys = Schedule::parse("Ra(x) Wa(x) Ra(x) Rb(x) Wb(x)")
+            .unwrap()
+            .tx_system();
+        for s in Schedule::all_interleavings(&sys) {
+            assert_eq!(is_vsr(&s), is_vsr_polygraph(&s), "schedule {s}");
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Equivalence notions between schedules.
+//!
+//! * **Conflict equivalence** (single-version): all single-version
+//!   conflicting pairs appear in the same order in both schedules.
+//! * **Multiversion conflict equivalence** (Section 3): all *multiversion*
+//!   conflicting pairs of `s` (read before a later write of the same entity)
+//!   appear in the same order in `s'`.  Note the asymmetry: this is *not* an
+//!   equivalence relation, exactly as the paper points out.
+//! * **View equivalence**: identical READ-FROM relations of the padded
+//!   schedules (under the standard version function, or under explicitly
+//!   provided version functions for *full* schedules).
+
+use crate::conflict::{mv_conflicts, sv_conflicts};
+use crate::{ReadFromRelation, Schedule, Step, VersionFunction};
+use std::collections::HashMap;
+
+/// Returns the position of every step of `schedule` keyed by the step's
+/// occurrence: `(step, k)` means the `k`-th occurrence (0-based) of an
+/// identical step value.  Duplicate steps (same transaction, action and
+/// entity appearing twice) are disambiguated by occurrence index.
+fn occurrence_positions(schedule: &Schedule) -> HashMap<(Step, usize), usize> {
+    let mut counts: HashMap<Step, usize> = HashMap::new();
+    let mut map = HashMap::new();
+    for (pos, &step) in schedule.steps().iter().enumerate() {
+        let k = counts.entry(step).or_insert(0);
+        map.insert((step, *k), pos);
+        *k += 1;
+    }
+    map
+}
+
+/// Checks that every ordered pair of steps of `a` selected by `pred` appears
+/// in the same relative order in `b`.  Both schedules must contain the same
+/// multiset of steps (i.e. be schedules of the same transaction system);
+/// otherwise `false` is returned.
+fn order_preserved(a: &Schedule, b: &Schedule, pred: impl Fn(&Step, &Step) -> bool) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let pos_b = occurrence_positions(b);
+    let mut counts: HashMap<Step, usize> = HashMap::new();
+    // Occurrence-indexed position of every step of `a` in `b`.
+    let mut a_in_b: Vec<usize> = Vec::with_capacity(a.len());
+    for &step in a.steps() {
+        let k = counts.entry(step).or_insert(0);
+        match pos_b.get(&(step, *k)) {
+            Some(&p) => a_in_b.push(p),
+            None => return false,
+        }
+        *k += 1;
+    }
+    let steps = a.steps();
+    for i in 0..steps.len() {
+        for j in (i + 1)..steps.len() {
+            if pred(&steps[i], &steps[j]) && a_in_b[i] > a_in_b[j] {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Single-version conflict equivalence: `a` and `b` are schedules of the same
+/// transaction system and order every single-version conflicting pair the
+/// same way.
+pub fn conflict_equivalent(a: &Schedule, b: &Schedule) -> bool {
+    order_preserved(a, b, sv_conflicts) && order_preserved(b, a, sv_conflicts)
+}
+
+/// Multiversion conflict equivalence of `a` **to** `b` (Section 3): every
+/// multiversion conflicting pair of `a` appears in the same order in `b`.
+///
+/// This relation is *not* symmetric; [`mv_conflict_equivalent`] checks the
+/// direction used in the definition of MVCSR ("s is multiversion
+/// conflict-equivalent to s′").
+pub fn mv_conflict_equivalent(a: &Schedule, b: &Schedule) -> bool {
+    order_preserved(a, b, mv_conflicts)
+}
+
+/// View equivalence of two schedules under their standard version functions
+/// (padded with `T0`/`Tf`), i.e. the single-version notion used to define
+/// view-serializability.
+pub fn view_equivalent(a: &Schedule, b: &Schedule) -> bool {
+    if a.tx_system() != b.tx_system() {
+        return false;
+    }
+    ReadFromRelation::of_schedule(a) == ReadFromRelation::of_schedule(b)
+}
+
+/// View equivalence of two *full* schedules `(a, va)` and `(b, vb)`:
+/// identical READ-FROM relations of the padded full schedules.
+pub fn full_view_equivalent(
+    a: &Schedule,
+    va: &VersionFunction,
+    b: &Schedule,
+    vb: &VersionFunction,
+) -> bool {
+    if a.tx_system() != b.tx_system() {
+        return false;
+    }
+    ReadFromRelation::of_full_schedule(a, va) == ReadFromRelation::of_full_schedule(b, vb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Schedule, VersionFunction, VersionSource};
+    use crate::{EntityId, TxId};
+
+    #[test]
+    fn conflict_equivalence_is_symmetric_and_detects_reordering() {
+        let a = Schedule::parse("Ra(x) Wb(y) Wa(x)").unwrap();
+        let b = Schedule::parse("Wb(y) Ra(x) Wa(x)").unwrap();
+        assert!(conflict_equivalent(&a, &b));
+        assert!(conflict_equivalent(&b, &a));
+
+        let c = Schedule::parse("Ra(x) Wa(x) Rb(x)").unwrap();
+        let d = Schedule::parse("Ra(x) Rb(x) Wa(x)").unwrap();
+        assert!(!conflict_equivalent(&c, &d));
+    }
+
+    #[test]
+    fn conflict_equivalence_requires_same_system() {
+        let a = Schedule::parse("Ra(x)").unwrap();
+        let b = Schedule::parse("Rb(x)").unwrap();
+        assert!(!conflict_equivalent(&a, &b));
+        let c = Schedule::parse("Ra(x) Ra(x)").unwrap();
+        assert!(!conflict_equivalent(&a, &c));
+    }
+
+    #[test]
+    fn mv_conflict_equivalence_is_asymmetric() {
+        // s:  Wa(x) Rb(x)   (no MV conflicts: write before read)
+        // s': Rb(x) Wa(x)   (one MV conflict: the read precedes the write)
+        let s = Schedule::parse("Wa(x) Rb(x)").unwrap();
+        let s_prime = Schedule::parse("Rb(x) Wa(x)").unwrap();
+        // s has no MV conflicting pairs, so it is MV-conflict-equivalent to
+        // anything with the same steps ...
+        assert!(mv_conflict_equivalent(&s, &s_prime));
+        // ... but s' has the pair (Rb, Wa) which appears reversed in s.
+        assert!(!mv_conflict_equivalent(&s_prime, &s));
+    }
+
+    #[test]
+    fn view_equivalence_standard() {
+        // Classic: these two are view-equivalent but order WW differently.
+        let a = Schedule::parse("Ra(x) Wa(x) Rb(x) Wb(x)").unwrap();
+        let serial_ab = Schedule::serial(&a.tx_system(), &[TxId(1), TxId(2)]);
+        assert!(view_equivalent(&a, &serial_ab));
+
+        let c = Schedule::parse("Ra(x) Rb(x) Wa(x) Wb(x)").unwrap();
+        assert!(!view_equivalent(&c, &serial_ab));
+    }
+
+    #[test]
+    fn full_view_equivalence_with_custom_version_function() {
+        // s2 of Figure 1: MVSR via a version function under which the padded
+        // final transaction observes A's version of x (an *older* version
+        // than the latest one, which C wrote).
+        let s = Schedule::parse("Wa(x) Rb(x) Rc(y) Wb(y) Wc(x)").unwrap();
+        let serial = Schedule::serial(&s.tx_system(), &[TxId(3), TxId(1), TxId(2)]);
+        let v_serial = VersionFunction::standard(&serial);
+
+        let mut v = VersionFunction::standard(&s);
+        v.assign_final(EntityId(0), VersionSource::Tx(TxId(1))); // final x observed from A
+
+        assert!(full_view_equivalent(&s, &v, &serial, &v_serial));
+        // The standard version function does not serialize it this way.
+        let v_std = VersionFunction::standard(&s);
+        assert!(!full_view_equivalent(&s, &v_std, &serial, &v_serial));
+    }
+
+    #[test]
+    fn order_preserved_handles_duplicate_steps() {
+        // A transaction reading the same entity twice: occurrences must be
+        // matched positionally, not collapsed.
+        let a = Schedule::parse("Ra(x) Wb(x) Ra(x)").unwrap();
+        let b = Schedule::parse("Ra(x) Ra(x) Wb(x)").unwrap();
+        // In `a` the second read follows the write; in `b` it precedes it.
+        assert!(!conflict_equivalent(&a, &b));
+        assert!(mv_conflict_equivalent(&b, &a) == false);
+    }
+
+    #[test]
+    fn identical_schedules_are_equivalent_under_every_notion() {
+        let s = Schedule::parse("Ra(x) Wb(x) Rc(y) Wa(y)").unwrap();
+        assert!(conflict_equivalent(&s, &s));
+        assert!(mv_conflict_equivalent(&s, &s));
+        assert!(view_equivalent(&s, &s));
+    }
+}

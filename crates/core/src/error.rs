@@ -1,0 +1,94 @@
+//! Error type for the core schedule model.
+
+use std::fmt;
+
+/// Errors raised while building, parsing or validating schedules and version
+/// functions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The schedule text could not be parsed.
+    Parse {
+        /// Zero-based token index at which parsing failed.
+        position: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A step sequence is not a valid shuffle of its transaction system
+    /// (e.g. a transaction's steps appear out of program order).
+    NotAShuffle {
+        /// The offending transaction.
+        tx: crate::TxId,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A version function refers to a step that is not a read step, or
+    /// assigns a version that is not available at that point of the schedule.
+    InvalidVersionFunction {
+        /// Index of the offending read step (schedule position), or the
+        /// length of the schedule for the padded final reads.
+        position: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// An operation was asked about a transaction or entity that does not
+    /// occur in the schedule.
+    UnknownId(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Parse { position, message } => {
+                write!(f, "parse error at token {position}: {message}")
+            }
+            CoreError::NotAShuffle { tx, message } => {
+                write!(f, "steps of {tx} do not form a shuffle: {message}")
+            }
+            CoreError::InvalidVersionFunction { position, message } => {
+                write!(f, "invalid version function at step {position}: {message}")
+            }
+            CoreError::UnknownId(what) => write!(f, "unknown identifier: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TxId;
+
+    #[test]
+    fn display_parse_error() {
+        let e = CoreError::Parse {
+            position: 3,
+            message: "expected '('".into(),
+        };
+        assert_eq!(e.to_string(), "parse error at token 3: expected '('");
+    }
+
+    #[test]
+    fn display_not_a_shuffle() {
+        let e = CoreError::NotAShuffle {
+            tx: TxId(2),
+            message: "duplicate step".into(),
+        };
+        assert!(e.to_string().contains("T2"));
+    }
+
+    #[test]
+    fn display_invalid_version_function() {
+        let e = CoreError::InvalidVersionFunction {
+            position: 5,
+            message: "write follows read".into(),
+        };
+        assert!(e.to_string().contains("step 5"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_error<E: std::error::Error>(_e: E) {}
+        takes_error(CoreError::UnknownId("x".into()));
+    }
+}

@@ -1,0 +1,203 @@
+//! The worked examples of the paper.
+//!
+//! * [`figure1`] returns the six example schedules of Figure 1, one per
+//!   region of the "topography of all schedules".
+//! * [`section4_pair`] returns the pair `{s, s'}` of MVCSR schedules used in
+//!   Section 4 to show that MVCSR is **not** on-line schedulable: both start
+//!   with the same prefix, but `s` can only be serialized as `A B` (which
+//!   forces `R_B(x)` to read A's version) while `s'` can only be serialized
+//!   as `B A` (which forces `R_B(x)` to read the initial version).
+//!
+//! Two of the Figure 1 schedules are reconstructed from a scan of the paper
+//! whose transaction lists are ambiguous (`s3`'s fourth transaction and
+//! `s5`'s third transaction); the versions used here are chosen so that every
+//! region of Figure 1 is witnessed, and the classification of every example
+//! is asserted by the integration tests in `tests/theorems.rs` and by the
+//! Figure 1 harness.
+
+use crate::Schedule;
+
+/// Which region of Figure 1 a schedule belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Figure1Region {
+    /// Outside MVSR altogether.
+    NotMvsr,
+    /// MVSR, but neither view-serializable nor MVCSR.
+    MvsrOnly,
+    /// View-serializable (SR) but not MVCSR (hence not CSR).
+    SrNotMvcsr,
+    /// MVCSR but not view-serializable.
+    MvcsrNotSr,
+    /// Both MVCSR and view-serializable, but not CSR.
+    MvcsrAndSrNotCsr,
+    /// Serial (hence in every class).
+    Serial,
+}
+
+impl Figure1Region {
+    /// Every region, in the order the paper lists its examples.
+    pub fn all() -> [Figure1Region; 6] {
+        [
+            Figure1Region::NotMvsr,
+            Figure1Region::MvsrOnly,
+            Figure1Region::SrNotMvcsr,
+            Figure1Region::MvcsrNotSr,
+            Figure1Region::MvcsrAndSrNotCsr,
+            Figure1Region::Serial,
+        ]
+    }
+
+    /// The paper's one-line description of the region.
+    pub fn description(self) -> &'static str {
+        match self {
+            Figure1Region::NotMvsr => "a non-MVSR schedule",
+            Figure1Region::MvsrOnly => "an MVSR schedule that is not SR or MVCSR",
+            Figure1Region::SrNotMvcsr => "an SR schedule that is not MVCSR",
+            Figure1Region::MvcsrNotSr => "an MVCSR schedule that is not SR",
+            Figure1Region::MvcsrAndSrNotCsr => "an MVCSR schedule that is SR but not CSR",
+            Figure1Region::Serial => "any serial schedule",
+        }
+    }
+}
+
+/// One example of Figure 1: the schedule and the region it witnesses.
+#[derive(Debug, Clone)]
+pub struct Figure1Example {
+    /// Index in the figure (1..=6).
+    pub number: usize,
+    /// The example schedule.
+    pub schedule: Schedule,
+    /// The region it is claimed to witness.
+    pub region: Figure1Region,
+}
+
+/// The six example schedules of Figure 1.
+///
+/// Transactions are written `a`, `b`, `c`, `d` (mapping to `T1..T4`).
+pub fn figure1() -> Vec<Figure1Example> {
+    let parse = |text: &str| Schedule::parse(text).expect("example schedules are well formed");
+    vec![
+        // (1) Both transactions read x before either writes it; no version
+        // function can make either read the other's write.
+        Figure1Example {
+            number: 1,
+            schedule: parse("Ra(x) Rb(x) Wa(x) Wb(x)"),
+            region: Figure1Region::NotMvsr,
+        },
+        // (2) A: W(x); B: R(x) W(y); C: R(y) W(x).  The standard version
+        // function cannot serialize it, but letting the final state observe
+        // A's version of x serializes it as C A B.
+        Figure1Example {
+            number: 2,
+            schedule: parse("Wa(x) Rb(x) Rc(y) Wb(y) Wc(x)"),
+            region: Figure1Region::MvsrOnly,
+        },
+        // (3) A: W(x); B: R(x) W(y); C: R(y) W(x); D: W(x).
+        // View-serializable as C A B D, but the multiversion conflict graph
+        // has the cycle B -> C -> B.  (The scan of the paper is ambiguous on
+        // D's entity; a final writer of x is required for the region to be
+        // non-empty, see the module documentation.)
+        Figure1Example {
+            number: 3,
+            schedule: parse("Wa(x) Rb(x) Rc(y) Wc(x) Wb(y) Wd(x)"),
+            region: Figure1Region::SrNotMvcsr,
+        },
+        // (4) A: R(x) W(x) R(y) W(y); B: R(x) R(y) W(y).  MVCSR (the only
+        // multiversion conflict arc is B -> A) but the standard version
+        // function matches no serial order; serializable as B A only by
+        // sending R_B(x) to the initial version.
+        Figure1Example {
+            number: 4,
+            schedule: parse("Ra(x) Wa(x) Rb(x) Rb(y) Wb(y) Ra(y) Wa(y)"),
+            region: Figure1Region::MvcsrNotSr,
+        },
+        // (5) A: R(x) W(x) W(y); B: R(x) W(y); C: W(y).  The conflict graph
+        // has the classic W-W / R-W cycle between A and B, but C's final
+        // blind write of y masks it, so the schedule is view-serializable
+        // (as A B C); it has no multiversion conflicts at all.
+        Figure1Example {
+            number: 5,
+            schedule: parse("Ra(x) Wa(x) Rb(x) Wb(y) Wa(y) Wc(y)"),
+            region: Figure1Region::MvcsrAndSrNotCsr,
+        },
+        // (6) Any serial schedule.
+        Figure1Example {
+            number: 6,
+            schedule: parse("Ra(x) Wa(x) Rb(x) Wb(x)"),
+            region: Figure1Region::Serial,
+        },
+    ]
+}
+
+/// The Section 4 pair `{s, s'}` showing that MVCSR (indeed, even DMVSR) is
+/// not on-line schedulable.
+///
+/// Both schedules share the prefix `Ra(x) Wa(x) Rb(x)`.  `s` is serializable
+/// only as `A B`, which requires the version function to map `Rb(x)` to A's
+/// version; `s'` is serializable only as `B A`, which requires it to map
+/// `Rb(x)` to the initial version.  No single version function for the
+/// common prefix extends to serializing version functions of both, so no
+/// multiversion scheduler can accept both schedules.
+pub fn section4_pair() -> (Schedule, Schedule) {
+    let s = Schedule::parse("Ra(x) Wa(x) Rb(x) Ra(y) Wa(y) Rb(y) Wb(y)")
+        .expect("well formed");
+    let s_prime = Schedule::parse("Ra(x) Wa(x) Rb(x) Rb(y) Wb(y) Ra(y) Wa(y)")
+        .expect("well formed");
+    (s, s_prime)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_has_six_examples_in_region_order() {
+        let examples = figure1();
+        assert_eq!(examples.len(), 6);
+        for (i, ex) in examples.iter().enumerate() {
+            assert_eq!(ex.number, i + 1);
+            assert_eq!(ex.region, Figure1Region::all()[i]);
+        }
+    }
+
+    #[test]
+    fn only_the_last_example_is_serial() {
+        let examples = figure1();
+        for ex in &examples {
+            let expect_serial = ex.region == Figure1Region::Serial;
+            assert_eq!(
+                ex.schedule.is_serial(),
+                expect_serial,
+                "example {} serial mismatch",
+                ex.number
+            );
+        }
+    }
+
+    #[test]
+    fn section4_pair_share_a_prefix_of_three_steps() {
+        let (s, s_prime) = section4_pair();
+        assert_eq!(s.common_prefix_len(&s_prime), 3);
+        assert_eq!(s.tx_system(), s_prime.tx_system());
+        assert_eq!(s.len(), 7);
+        assert_eq!(s_prime.len(), 7);
+    }
+
+    #[test]
+    fn region_descriptions_are_distinct() {
+        use std::collections::BTreeSet;
+        let set: BTreeSet<&str> = Figure1Region::all()
+            .iter()
+            .map(|r| r.description())
+            .collect();
+        assert_eq!(set.len(), 6);
+    }
+
+    #[test]
+    fn example_schedules_are_valid_shuffles_of_their_systems() {
+        for ex in figure1() {
+            let sys = ex.schedule.tx_system();
+            assert!(ex.schedule.is_shuffle_of(&sys));
+        }
+    }
+}

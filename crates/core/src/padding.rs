@@ -1,0 +1,144 @@
+//! Explicit padding of schedules with the initial transaction `T0` and the
+//! final transaction `Tf`.
+//!
+//! The paper pads every schedule with an initial transaction `T0` that writes
+//! all entities and a final transaction `Tf` that reads all entities; "the
+//! padded schedule of s is correct iff s is correct".  Most of this workspace
+//! treats padding *implicitly* (see [`crate::readfrom`]), which avoids
+//! cluttering schedules with bookkeeping steps; this module provides the
+//! explicit, materialised padded schedule for code (and tests) that want to
+//! work with it directly, plus helpers to go back and forth.
+
+use crate::{Schedule, Step, TxId};
+
+/// A materialised padded schedule: `T0`'s writes, then the original steps,
+/// then `Tf`'s reads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PaddedSchedule {
+    /// The padded step sequence.
+    schedule: Schedule,
+    /// Number of `T0` write steps at the front.
+    prefix_len: usize,
+    /// Number of `Tf` read steps at the back.
+    suffix_len: usize,
+}
+
+impl PaddedSchedule {
+    /// Pads `schedule` with `T0` writes of every accessed entity at the front
+    /// and `Tf` reads of every accessed entity at the back.
+    pub fn new(schedule: &Schedule) -> Self {
+        let entities = schedule.entities_accessed();
+        let mut steps: Vec<Step> =
+            Vec::with_capacity(schedule.len() + 2 * entities.len());
+        for &e in &entities {
+            steps.push(Step::write(TxId::INITIAL, e));
+        }
+        steps.extend_from_slice(schedule.steps());
+        for &e in &entities {
+            steps.push(Step::read(TxId::FINAL, e));
+        }
+        PaddedSchedule {
+            schedule: Schedule::from_steps(steps),
+            prefix_len: entities.len(),
+            suffix_len: entities.len(),
+        }
+    }
+
+    /// The padded schedule as a plain [`Schedule`].
+    pub fn as_schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// Number of `T0` steps at the front.
+    pub fn prefix_len(&self) -> usize {
+        self.prefix_len
+    }
+
+    /// Number of `Tf` steps at the back.
+    pub fn suffix_len(&self) -> usize {
+        self.suffix_len
+    }
+
+    /// Recovers the original, unpadded schedule.
+    pub fn unpadded(&self) -> Schedule {
+        let steps = self.schedule.steps();
+        Schedule::from_steps(
+            steps[self.prefix_len..steps.len() - self.suffix_len].to_vec(),
+        )
+    }
+
+    /// Maps a position of the unpadded schedule to the corresponding
+    /// position of the padded schedule.
+    pub fn pad_position(&self, unpadded_pos: usize) -> usize {
+        unpadded_pos + self.prefix_len
+    }
+
+    /// Maps a position of the padded schedule back to the unpadded schedule,
+    /// returning `None` for padding steps.
+    pub fn unpad_position(&self, padded_pos: usize) -> Option<usize> {
+        if padded_pos < self.prefix_len {
+            return None;
+        }
+        let p = padded_pos - self.prefix_len;
+        if p < self.schedule.len() - self.prefix_len - self.suffix_len {
+            Some(p)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EntityId, Schedule};
+
+    #[test]
+    fn padding_adds_t0_writes_and_tf_reads() {
+        let s = Schedule::parse("Ra(x) Wb(y)").unwrap();
+        let p = PaddedSchedule::new(&s);
+        let steps = p.as_schedule().steps();
+        assert_eq!(steps.len(), 2 + 2 + 2);
+        assert_eq!(steps[0], Step::write(TxId::INITIAL, EntityId(0)));
+        assert_eq!(steps[1], Step::write(TxId::INITIAL, EntityId(1)));
+        assert_eq!(steps[4], Step::read(TxId::FINAL, EntityId(0)));
+        assert_eq!(steps[5], Step::read(TxId::FINAL, EntityId(1)));
+        assert_eq!(p.prefix_len(), 2);
+        assert_eq!(p.suffix_len(), 2);
+    }
+
+    #[test]
+    fn unpadded_round_trips() {
+        let s = Schedule::parse("Ra(x) Wa(x) Rb(x)").unwrap();
+        let p = PaddedSchedule::new(&s);
+        assert_eq!(p.unpadded().steps(), s.steps());
+    }
+
+    #[test]
+    fn position_mapping() {
+        let s = Schedule::parse("Ra(x) Wa(y) Rb(z)").unwrap();
+        let p = PaddedSchedule::new(&s);
+        assert_eq!(p.pad_position(0), 3);
+        assert_eq!(p.unpad_position(3), Some(0));
+        assert_eq!(p.unpad_position(0), None, "T0 write");
+        assert_eq!(p.unpad_position(7), None, "Tf read");
+    }
+
+    #[test]
+    fn padded_reads_from_t0_under_standard_version_function() {
+        use crate::ReadFromRelation;
+        let s = Schedule::parse("Ra(x)").unwrap();
+        let p = PaddedSchedule::new(&s);
+        // In the materialised padded schedule, the standard version function
+        // sends A's read to T0's explicit write.
+        let rel = ReadFromRelation::of_schedule(p.as_schedule());
+        assert!(rel.contains(TxId(1), EntityId(0), TxId::INITIAL));
+    }
+
+    #[test]
+    fn empty_schedule_pads_to_empty() {
+        let p = PaddedSchedule::new(&Schedule::empty());
+        assert!(p.as_schedule().is_empty());
+        assert!(p.unpadded().is_empty());
+    }
+}

@@ -1,0 +1,133 @@
+//! Steps: the atomic read and write accesses issued by transactions.
+
+use crate::{EntityId, TxId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kind of access a step performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Action {
+    /// A read step `R_i(x)`.
+    Read,
+    /// A write step `W_i(x)`: appends a new version of the entity.
+    Write,
+}
+
+impl Action {
+    /// `true` for [`Action::Read`].
+    #[inline]
+    pub fn is_read(self) -> bool {
+        matches!(self, Action::Read)
+    }
+
+    /// `true` for [`Action::Write`].
+    #[inline]
+    pub fn is_write(self) -> bool {
+        matches!(self, Action::Write)
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Read => write!(f, "R"),
+            Action::Write => write!(f, "W"),
+        }
+    }
+}
+
+/// A single step of a schedule: transaction `tx` performs `action` on
+/// `entity`.
+///
+/// Following the paper, a write step's new value is an uninterpreted function
+/// of the values previously read by the same transaction, so the step itself
+/// carries no value payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Step {
+    /// The issuing transaction.
+    pub tx: TxId,
+    /// Whether this is a read or a write.
+    pub action: Action,
+    /// The accessed entity.
+    pub entity: EntityId,
+}
+
+impl Step {
+    /// Convenience constructor for a read step.
+    #[inline]
+    pub fn read(tx: TxId, entity: EntityId) -> Self {
+        Step {
+            tx,
+            action: Action::Read,
+            entity,
+        }
+    }
+
+    /// Convenience constructor for a write step.
+    #[inline]
+    pub fn write(tx: TxId, entity: EntityId) -> Self {
+        Step {
+            tx,
+            action: Action::Write,
+            entity,
+        }
+    }
+
+    /// `true` if this is a read step.
+    #[inline]
+    pub fn is_read(&self) -> bool {
+        self.action.is_read()
+    }
+
+    /// `true` if this is a write step.
+    #[inline]
+    pub fn is_write(&self) -> bool {
+        self.action.is_write()
+    }
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}({})", self.action, self.tx.0, self.entity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_action() {
+        let r = Step::read(TxId(1), EntityId(0));
+        let w = Step::write(TxId(2), EntityId(1));
+        assert!(r.is_read() && !r.is_write());
+        assert!(w.is_write() && !w.is_read());
+        assert_eq!(r.tx, TxId(1));
+        assert_eq!(w.entity, EntityId(1));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Step::read(TxId(1), EntityId(0)).to_string(), "R1(x)");
+        assert_eq!(Step::write(TxId(3), EntityId(1)).to_string(), "W3(y)");
+    }
+
+    #[test]
+    fn action_predicates() {
+        assert!(Action::Read.is_read());
+        assert!(!Action::Read.is_write());
+        assert!(Action::Write.is_write());
+        assert_eq!(Action::Read.to_string(), "R");
+        assert_eq!(Action::Write.to_string(), "W");
+    }
+
+    #[test]
+    fn steps_are_ordered_and_hashable() {
+        use std::collections::BTreeSet;
+        let mut set = BTreeSet::new();
+        set.insert(Step::read(TxId(1), EntityId(0)));
+        set.insert(Step::read(TxId(1), EntityId(0)));
+        set.insert(Step::write(TxId(1), EntityId(0)));
+        assert_eq!(set.len(), 2);
+    }
+}

@@ -1,0 +1,99 @@
+//! Graphviz DOT export for digraphs and polygraphs.
+//!
+//! The experiment binaries use these to dump the conflict graphs,
+//! multiversion conflict graphs and reduction polygraphs behind a table row
+//! so that a reader can inspect them.
+
+use crate::{DiGraph, Polygraph};
+use std::fmt::Write as _;
+
+/// Renders `graph` as a Graphviz `digraph`.
+pub fn digraph_to_dot(graph: &DiGraph, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {name} {{");
+    for node in graph.nodes() {
+        let _ = writeln!(out, "  {} [label=\"{}\"];", node.index(), escape(graph.label(node)));
+    }
+    for (a, b) in graph.arcs() {
+        let _ = writeln!(out, "  {} -> {};", a.index(), b.index());
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders `polygraph` as a Graphviz `digraph`: mandatory arcs are solid,
+/// choice branches dashed and labelled with the choice index.
+pub fn polygraph_to_dot(polygraph: &Polygraph, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {name} {{");
+    for i in 0..polygraph.node_count() {
+        let _ = writeln!(
+            out,
+            "  {} [label=\"{}\"];",
+            i,
+            escape(polygraph.label(crate::NodeId(i as u32)))
+        );
+    }
+    for (a, b) in polygraph.arcs() {
+        let _ = writeln!(out, "  {} -> {};", a.index(), b.index());
+    }
+    for (idx, c) in polygraph.choices().iter().enumerate() {
+        let (j, k) = c.first_branch();
+        let (k2, i) = c.second_branch();
+        let _ = writeln!(
+            out,
+            "  {} -> {} [style=dashed, label=\"c{idx}\"];",
+            j.index(),
+            k.index()
+        );
+        let _ = writeln!(
+            out,
+            "  {} -> {} [style=dashed, label=\"c{idx}\"];",
+            k2.index(),
+            i.index()
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    #[test]
+    fn digraph_dot_contains_nodes_and_arcs() {
+        let mut g = DiGraph::new();
+        let a = g.add_node("T1");
+        let b = g.add_node("T2");
+        g.add_arc(a, b);
+        let dot = digraph_to_dot(&g, "conflicts");
+        assert!(dot.starts_with("digraph conflicts {"));
+        assert!(dot.contains("label=\"T1\""));
+        assert!(dot.contains("0 -> 1;"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn polygraph_dot_marks_choices_dashed() {
+        let mut p = Polygraph::with_nodes(3);
+        p.add_choice(NodeId(0), NodeId(1), NodeId(2));
+        let dot = polygraph_to_dot(&p, "P");
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("2 -> 0;"), "mandatory arc is solid");
+        assert!(dot.matches("dashed").count() == 2);
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let mut g = DiGraph::new();
+        g.add_node("a\"b");
+        let dot = digraph_to_dot(&g, "g");
+        assert!(dot.contains("a\\\"b"));
+    }
+}

@@ -1,0 +1,254 @@
+//! Exact solvers for polygraph acyclicity.
+//!
+//! Polygraph acyclicity is NP-complete (Papadimitriou 1979); the paper's
+//! Theorems 4–6 reduce it to questions about multiversion schedulers.  Two
+//! exact solvers are provided:
+//!
+//! * [`brute_force_acyclic`] enumerates all `2^|C|` branch selections — the
+//!   reference implementation used to cross-check everything else;
+//! * [`solve_polygraph`] is a backtracking search that assigns one choice at
+//!   a time, prunes selections whose partial graph is already cyclic, and
+//!   propagates forced branches.  It is exponential in the worst case (it
+//!   must be, unless P = NP) but handles the polygraphs produced by the
+//!   reductions comfortably.
+
+use crate::polygraph::Polygraph;
+use crate::topo::{is_acyclic, topological_sort};
+use crate::{DiGraph, NodeId};
+
+/// A witness that a polygraph is acyclic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolygraphSolution {
+    /// For each choice (by index), `true` if the first branch `(j, k)` was
+    /// selected and `false` if the second branch `(k, i)` was.
+    pub selection: Vec<bool>,
+    /// The compatible acyclic graph.
+    pub graph: DiGraph,
+    /// A topological order of the compatible graph.
+    pub order: Vec<NodeId>,
+}
+
+/// Reference solver: tries every branch selection.
+pub fn brute_force_acyclic(polygraph: &Polygraph) -> Option<PolygraphSolution> {
+    let m = polygraph.choice_count();
+    assert!(m < 26, "brute force is for small polygraphs only");
+    for bits in 0..(1u64 << m) {
+        let selection: Vec<bool> = (0..m).map(|i| bits & (1 << i) != 0).collect();
+        let graph = polygraph.compatible_graph(&selection);
+        if let Some(order) = topological_sort(&graph) {
+            return Some(PolygraphSolution {
+                selection,
+                graph,
+                order,
+            });
+        }
+    }
+    None
+}
+
+/// Backtracking solver with pruning and unit propagation.
+pub fn solve_polygraph(polygraph: &Polygraph) -> Option<PolygraphSolution> {
+    let base = polygraph.base_graph();
+    if !is_acyclic(&base) {
+        return None;
+    }
+    let m = polygraph.choice_count();
+    let mut assignment: Vec<Option<bool>> = vec![None; m];
+    if backtrack(polygraph, &base, &mut assignment, 0) {
+        let selection: Vec<bool> = assignment.into_iter().map(|a| a.unwrap_or(true)).collect();
+        let graph = polygraph.compatible_graph(&selection);
+        let order = topological_sort(&graph).expect("backtracking returned a cyclic selection");
+        Some(PolygraphSolution {
+            selection,
+            graph,
+            order,
+        })
+    } else {
+        None
+    }
+}
+
+/// Current partial graph given `assignment[..idx]` decided.
+fn partial_graph(polygraph: &Polygraph, base: &DiGraph, assignment: &[Option<bool>]) -> DiGraph {
+    let mut g = base.clone();
+    for (choice, assigned) in polygraph.choices().iter().zip(assignment) {
+        if let Some(take_first) = assigned {
+            let (a, b) = if *take_first {
+                choice.first_branch()
+            } else {
+                choice.second_branch()
+            };
+            g.add_arc(a, b);
+        }
+    }
+    g
+}
+
+fn backtrack(
+    polygraph: &Polygraph,
+    base: &DiGraph,
+    assignment: &mut Vec<Option<bool>>,
+    idx: usize,
+) -> bool {
+    if idx == assignment.len() {
+        return is_acyclic(&partial_graph(polygraph, base, assignment));
+    }
+    let current = partial_graph(polygraph, base, &assignment[..]);
+    if !is_acyclic(&current) {
+        return false;
+    }
+    let choice = polygraph.choices()[idx];
+    // Try the branch that does not immediately close a path-cycle first
+    // (cheap look-ahead): adding (a, b) creates a cycle iff b already
+    // reaches a.
+    let (j, k) = choice.first_branch();
+    let (k2, i) = choice.second_branch();
+    let first_ok = !current.has_path(k, j);
+    let second_ok = !current.has_path(i, k2);
+    let order: [(bool, bool); 2] = if first_ok {
+        [(true, first_ok), (false, second_ok)]
+    } else {
+        [(false, second_ok), (true, first_ok)]
+    };
+    for (value, feasible) in order {
+        if !feasible {
+            continue;
+        }
+        assignment[idx] = Some(value);
+        if backtrack(polygraph, base, assignment, idx + 1) {
+            return true;
+        }
+        assignment[idx] = None;
+    }
+    false
+}
+
+/// `true` iff the polygraph has a compatible acyclic graph.
+pub fn is_acyclic_polygraph(polygraph: &Polygraph) -> bool {
+    solve_polygraph(polygraph).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    /// A forced cycle: choice (j, k, i) where both branches close a cycle
+    /// with existing arcs.
+    fn forced_cyclic() -> Polygraph {
+        let mut p = Polygraph::with_nodes(3);
+        // choice (j=0, k=1, i=2): mandatory arc (2,0); branches (0,1) or (1,2).
+        p.add_choice(n(0), n(1), n(2));
+        // Arcs that make both branches cyclic: (1,0) kills branch (0,1)?
+        // (0,1)+(1,0) cycle; (1,2): with (2,0),(0,?),... add (2,1): (1,2)+(2,1) cycle.
+        p.add_arc(n(1), n(0));
+        p.add_arc(n(2), n(1));
+        p
+    }
+
+    #[test]
+    fn empty_polygraph_is_acyclic() {
+        let p = Polygraph::with_nodes(4);
+        assert!(is_acyclic_polygraph(&p));
+        let sol = solve_polygraph(&p).unwrap();
+        assert!(sol.selection.is_empty());
+        assert_eq!(sol.order.len(), 4);
+    }
+
+    #[test]
+    fn single_choice_is_acyclic() {
+        let mut p = Polygraph::with_nodes(3);
+        p.add_choice(n(0), n(1), n(2));
+        let sol = solve_polygraph(&p).unwrap();
+        assert!(p.is_compatible(&sol.graph));
+        assert!(is_acyclic(&sol.graph));
+        assert_eq!(brute_force_acyclic(&p).is_some(), true);
+    }
+
+    #[test]
+    fn cyclic_base_graph_is_rejected_immediately() {
+        let mut p = Polygraph::with_nodes(2);
+        p.add_arc(n(0), n(1));
+        p.add_arc(n(1), n(0));
+        assert!(!is_acyclic_polygraph(&p));
+        assert!(brute_force_acyclic(&p).is_none());
+    }
+
+    #[test]
+    fn forced_cycle_detected() {
+        let p = forced_cyclic();
+        assert!(!is_acyclic_polygraph(&p));
+        assert!(brute_force_acyclic(&p).is_none());
+    }
+
+    #[test]
+    fn choice_with_one_feasible_branch() {
+        let mut p = Polygraph::with_nodes(3);
+        p.add_choice(n(0), n(1), n(2));
+        // Kill the first branch only: arc (1,0) makes (0,1) cyclic.
+        p.add_arc(n(1), n(0));
+        let sol = solve_polygraph(&p).unwrap();
+        assert_eq!(sol.selection, vec![false], "second branch is forced");
+        assert!(is_acyclic(&sol.graph));
+    }
+
+    #[test]
+    fn solution_graph_is_compatible_and_order_valid() {
+        use crate::topo::is_topological_order;
+        let mut p = Polygraph::with_nodes(6);
+        p.add_choice(n(0), n(1), n(2));
+        p.add_choice(n(3), n(4), n(5));
+        p.add_arc(n(2), n(3));
+        let sol = solve_polygraph(&p).unwrap();
+        assert!(p.is_compatible(&sol.graph));
+        assert!(is_topological_order(&sol.graph, &sol.order));
+    }
+
+    #[test]
+    fn backtracking_agrees_with_brute_force_on_random_polygraphs() {
+        // Deterministic xorshift so the test is reproducible.
+        let mut seed = 0x2545f4914f6cdd1du64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        let mut acyclic_seen = 0;
+        let mut cyclic_seen = 0;
+        for _ in 0..120 {
+            let nodes = 3 + (next() % 4) as usize;
+            let mut p = Polygraph::with_nodes(nodes);
+            let n_arcs = next() % (nodes as u64);
+            for _ in 0..n_arcs {
+                let a = (next() % nodes as u64) as u32;
+                let b = (next() % nodes as u64) as u32;
+                if a != b {
+                    p.add_arc(NodeId(a), NodeId(b));
+                }
+            }
+            let n_choices = 1 + next() % 4;
+            for _ in 0..n_choices {
+                let j = (next() % nodes as u64) as u32;
+                let k = (next() % nodes as u64) as u32;
+                let i = (next() % nodes as u64) as u32;
+                if j != k && k != i && i != j {
+                    p.add_choice(NodeId(j), NodeId(k), NodeId(i));
+                }
+            }
+            let fast = is_acyclic_polygraph(&p);
+            let slow = brute_force_acyclic(&p).is_some();
+            assert_eq!(fast, slow, "disagreement on {p}");
+            if fast {
+                acyclic_seen += 1;
+            } else {
+                cyclic_seen += 1;
+            }
+        }
+        assert!(acyclic_seen > 0 && cyclic_seen > 0, "trivial test corpus");
+    }
+}

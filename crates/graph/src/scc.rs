@@ -1,0 +1,164 @@
+//! Strongly connected components (Tarjan's algorithm, iterative).
+//!
+//! Used by the serialization-graph-testing schedulers to identify the set of
+//! transactions involved in a conflict cycle, and by the workload analysis
+//! tables.
+
+use crate::{DiGraph, NodeId};
+
+/// Computes the strongly connected components of `graph`.
+///
+/// Components are returned in reverse topological order of the condensation
+/// (i.e. a component appears before every component it can reach), each as a
+/// sorted vector of node ids.
+pub fn strongly_connected_components(graph: &DiGraph) -> Vec<Vec<NodeId>> {
+    let n = graph.node_count();
+    const UNVISITED: usize = usize::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut next_index = 0usize;
+    let mut components: Vec<Vec<NodeId>> = Vec::new();
+
+    // Iterative Tarjan: call stack of (node, successor list, position).
+    for start in graph.nodes() {
+        if index[start.index()] != UNVISITED {
+            continue;
+        }
+        let mut call: Vec<(NodeId, Vec<NodeId>, usize)> = Vec::new();
+        index[start.index()] = next_index;
+        low[start.index()] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start.index()] = true;
+        call.push((start, graph.successors(start).collect(), 0));
+
+        while let Some((node, succs, idx)) = call.last_mut() {
+            if *idx < succs.len() {
+                let next = succs[*idx];
+                *idx += 1;
+                if index[next.index()] == UNVISITED {
+                    index[next.index()] = next_index;
+                    low[next.index()] = next_index;
+                    next_index += 1;
+                    stack.push(next);
+                    on_stack[next.index()] = true;
+                    call.push((next, graph.successors(next).collect(), 0));
+                } else if on_stack[next.index()] {
+                    let node_i = node.index();
+                    low[node_i] = low[node_i].min(index[next.index()]);
+                }
+            } else {
+                let (node, _, _) = call.pop().expect("non-empty");
+                if let Some((parent, _, _)) = call.last() {
+                    let p = parent.index();
+                    low[p] = low[p].min(low[node.index()]);
+                }
+                if low[node.index()] == index[node.index()] {
+                    let mut component = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("stack invariant");
+                        on_stack[w.index()] = false;
+                        component.push(w);
+                        if w == node {
+                            break;
+                        }
+                    }
+                    component.sort();
+                    components.push(component);
+                }
+            }
+        }
+    }
+    components
+}
+
+/// `true` if every strongly connected component is a single node without a
+/// self-loop — an alternative acyclicity check used to cross-validate the
+/// topological sort.
+pub fn is_acyclic_by_scc(graph: &DiGraph) -> bool {
+    strongly_connected_components(graph)
+        .iter()
+        .all(|c| c.len() == 1 && !graph.has_arc(c[0], c[0]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo::is_acyclic;
+
+    #[test]
+    fn single_component_for_a_cycle() {
+        let mut g = DiGraph::with_nodes(3);
+        g.add_arc(NodeId(0), NodeId(1));
+        g.add_arc(NodeId(1), NodeId(2));
+        g.add_arc(NodeId(2), NodeId(0));
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), 1);
+        assert_eq!(sccs[0], vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert!(!is_acyclic_by_scc(&g));
+    }
+
+    #[test]
+    fn dag_has_singleton_components() {
+        let mut g = DiGraph::with_nodes(4);
+        g.add_arc(NodeId(0), NodeId(1));
+        g.add_arc(NodeId(1), NodeId(2));
+        g.add_arc(NodeId(0), NodeId(3));
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), 4);
+        assert!(is_acyclic_by_scc(&g));
+    }
+
+    #[test]
+    fn mixed_graph() {
+        // 0 <-> 1 form a component; 2 and 3 are singletons; 3 has a self-loop.
+        let mut g = DiGraph::with_nodes(4);
+        g.add_arc(NodeId(0), NodeId(1));
+        g.add_arc(NodeId(1), NodeId(0));
+        g.add_arc(NodeId(1), NodeId(2));
+        g.add_arc(NodeId(3), NodeId(3));
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), 3);
+        assert!(sccs.contains(&vec![NodeId(0), NodeId(1)]));
+        assert!(!is_acyclic_by_scc(&g));
+    }
+
+    #[test]
+    fn scc_acyclicity_agrees_with_topological_sort() {
+        // Deterministic pseudo-random graphs.
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for trial in 0..50 {
+            let n = 3 + (trial % 7);
+            let mut g = DiGraph::with_nodes(n);
+            let arcs = next() % (2 * n as u64);
+            for _ in 0..arcs {
+                let a = (next() % n as u64) as u32;
+                let b = (next() % n as u64) as u32;
+                if a != b {
+                    g.add_arc(NodeId(a), NodeId(b));
+                }
+            }
+            assert_eq!(is_acyclic_by_scc(&g), is_acyclic(&g), "graph: {g:?}");
+        }
+    }
+
+    #[test]
+    fn reverse_topological_order_of_condensation() {
+        // 0 -> 1 -> 2: component containing 2 must be listed before the one
+        // containing 0.
+        let mut g = DiGraph::with_nodes(3);
+        g.add_arc(NodeId(0), NodeId(1));
+        g.add_arc(NodeId(1), NodeId(2));
+        let sccs = strongly_connected_components(&g);
+        let pos = |n: NodeId| sccs.iter().position(|c| c.contains(&n)).unwrap();
+        assert!(pos(NodeId(2)) < pos(NodeId(0)));
+    }
+}

@@ -1,0 +1,185 @@
+//! NP certificates and the Lemma 1 / Corollary 1 helpers.
+//!
+//! * Theorem 4's membership argument: "a succinct certificate of on-line
+//!   schedulability of `{s1, s2}` consists of two version functions
+//!   `V1, V2` and two serial schedules `r1, r2`; `V1` and `V2` must agree on
+//!   the longest common prefix" — [`verify_ols_certificate`] checks exactly
+//!   that.
+//! * Corollary 1: "if the version function of a prefix of an MVSR schedule
+//!   is uniquely determined then the prefix is accepted by all maximal
+//!   multiversion schedulers" — [`forced_read_froms`] reports the uniquely
+//!   determined read-froms (when they are unique), which the Theorem 5 and
+//!   Theorem 6 constructions rely on.
+
+use mvcc_classify::serialization::serializations;
+use mvcc_core::equivalence::full_view_equivalent;
+use mvcc_core::{Schedule, TxId, VersionFunction, VersionSource};
+use std::collections::BTreeMap;
+
+/// A certificate for the on-line schedulability of a pair of schedules.
+#[derive(Debug, Clone)]
+pub struct OlsCertificate {
+    /// Version function for the first schedule.
+    pub v1: VersionFunction,
+    /// Serial order witnessing serializability of `(s1, v1)`.
+    pub r1: Vec<TxId>,
+    /// Version function for the second schedule.
+    pub v2: VersionFunction,
+    /// Serial order witnessing serializability of `(s2, v2)`.
+    pub r2: Vec<TxId>,
+}
+
+/// Verifies an OLS certificate for the pair `{s1, s2}` exactly as in the
+/// NP-membership argument of Theorem 4:
+///
+/// 1. `(s1, v1)` is view-equivalent to the serial schedule `r1` (and likewise
+///    for `s2`), and
+/// 2. `v1` and `v2` agree on every read step of the longest common prefix.
+pub fn verify_ols_certificate(s1: &Schedule, s2: &Schedule, cert: &OlsCertificate) -> bool {
+    let serial1 = Schedule::serial(&s1.tx_system(), &cert.r1);
+    let serial2 = Schedule::serial(&s2.tx_system(), &cert.r2);
+    if !full_view_equivalent(s1, &cert.v1, &serial1, &VersionFunction::standard(&serial1)) {
+        return false;
+    }
+    if !full_view_equivalent(s2, &cert.v2, &serial2, &VersionFunction::standard(&serial2)) {
+        return false;
+    }
+    let common = s1.common_prefix_len(s2);
+    for pos in 0..common {
+        if s1.steps()[pos].is_read() && cert.v1.get(pos) != cert.v2.get(pos) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Produces an OLS certificate for a pair of schedules by exhaustive search,
+/// or `None` if the pair is not OLS (used to cross-validate the checker and
+/// to print witnesses in the experiment harness).
+pub fn find_ols_certificate(s1: &Schedule, s2: &Schedule) -> Option<OlsCertificate> {
+    let common = s1.common_prefix_len(s2);
+    let sers1 = serializations(s1, None);
+    let sers2 = serializations(s2, None);
+    for rf1 in &sers1 {
+        for rf2 in &sers2 {
+            let agree = (0..common).all(|pos| {
+                !s1.steps()[pos].is_read()
+                    || rf1.read_sources.get(&pos) == rf2.read_sources.get(&pos)
+            });
+            if agree {
+                return Some(OlsCertificate {
+                    v1: rf1.to_version_function(s1),
+                    r1: rf1.order.clone(),
+                    v2: rf2.to_version_function(s2),
+                    r2: rf2.order.clone(),
+                });
+            }
+        }
+    }
+    None
+}
+
+/// If every serialization of `s` induces the *same* read-from assignment,
+/// returns that assignment (read position ↦ source); returns `None` when the
+/// schedule is not MVSR or when two serializations disagree on some read.
+///
+/// This is the hypothesis of Corollary 1 ("there are no read-from choices"),
+/// which the Theorem 5 construction establishes for its output schedules.
+pub fn forced_read_froms(s: &Schedule) -> Option<BTreeMap<usize, VersionSource>> {
+    let sers = serializations(s, None);
+    let first = sers.first()?;
+    let reference: BTreeMap<usize, VersionSource> =
+        first.read_sources.iter().map(|(&p, &v)| (p, v)).collect();
+    for rf in &sers[1..] {
+        for (&pos, &src) in &rf.read_sources {
+            if reference.get(&pos) != Some(&src) {
+                return None;
+            }
+        }
+    }
+    Some(reference)
+}
+
+/// Lemma 1, as a checkable predicate: a (maximal) scheduler may reject step
+/// `h` after accepting the prefix `p` with read-froms `assigned` only if
+/// `p·h` has no serializable completion extending `assigned`.  This helper
+/// reports whether such a completion of the *offered prefix itself* exists;
+/// the Theorem 6 construction uses it to decide which step a maximal
+/// scheduler must accept.
+pub fn has_serializable_completion(
+    prefix_with_step: &Schedule,
+    assigned: &BTreeMap<usize, VersionSource>,
+) -> bool {
+    serializations(prefix_with_step, None).iter().any(|rf| {
+        assigned
+            .iter()
+            .all(|(pos, src)| rf.read_sources.get(pos) == Some(src))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvcc_core::examples::section4_pair;
+
+    #[test]
+    fn certificate_found_for_an_ols_pair() {
+        let s1 = Schedule::parse("Wa(x) Rb(x) Wb(y)").unwrap();
+        let s2 = Schedule::parse("Wa(x) Rb(x) Wb(y) Ra(y)").unwrap();
+        let cert = find_ols_certificate(&s1, &s2).expect("pair is OLS");
+        assert!(verify_ols_certificate(&s1, &s2, &cert));
+    }
+
+    #[test]
+    fn no_certificate_for_the_section4_pair() {
+        let (s, s_prime) = section4_pair();
+        assert!(find_ols_certificate(&s, &s_prime).is_none());
+    }
+
+    #[test]
+    fn tampered_certificate_is_rejected() {
+        let s1 = Schedule::parse("Wa(x) Rb(x) Wb(y)").unwrap();
+        let s2 = Schedule::parse("Wa(x) Rb(x) Wb(y) Ra(y)").unwrap();
+        let mut cert = find_ols_certificate(&s1, &s2).unwrap();
+        // Flip the shared read's assignment in one of the version functions.
+        cert.v1.assign(1, VersionSource::Initial);
+        assert!(!verify_ols_certificate(&s1, &s2, &cert));
+    }
+
+    #[test]
+    fn forced_read_froms_of_a_forced_schedule() {
+        // Wa(x) Rb(x) Rb(y) Wb(y): B must read x from A (reading x0 would
+        // put B before A, but then the final read of x ... is unconstrained;
+        // actually both orders serialize, so the read is NOT forced).
+        let free = Schedule::parse("Wa(x) Rb(x)").unwrap();
+        assert!(forced_read_froms(&free).is_none());
+
+        // Ra(y) Wb(y) forces A before B, and then Wa(x) Rb(x) pins R_b(x).
+        let forced = Schedule::parse("Ra(y) Wa(x) Wb(y) Rb(x)").unwrap();
+        let map = forced_read_froms(&forced).expect("unique serialization");
+        assert_eq!(map.get(&3), Some(&VersionSource::Tx(TxId(1))));
+    }
+
+    #[test]
+    fn forced_read_froms_none_for_non_mvsr() {
+        let s1 = &mvcc_core::examples::figure1()[0].schedule;
+        assert!(forced_read_froms(s1).is_none());
+    }
+
+    #[test]
+    fn lemma1_predicate() {
+        // After accepting Wa(x) Rb(x) with R_b(x) <- A, the continuation
+        // exists (serialize A B)...
+        let prefix = Schedule::parse("Wa(x) Rb(x)").unwrap();
+        let mut assigned = BTreeMap::new();
+        assigned.insert(1usize, VersionSource::Tx(TxId(1)));
+        assert!(has_serializable_completion(&prefix, &assigned));
+        // ...but after also seeing W_b(x) R_a(x) with R_a(x) forced to read
+        // B's version AND R_b(x) pinned to A's, no serial order works.
+        let longer = Schedule::parse("Wa(x) Rb(x) Wb(x) Ra(x)").unwrap();
+        let mut impossible = BTreeMap::new();
+        impossible.insert(1usize, VersionSource::Tx(TxId(1)));
+        impossible.insert(3usize, VersionSource::Tx(TxId(2)));
+        assert!(!has_serializable_completion(&longer, &impossible));
+    }
+}

@@ -1,0 +1,206 @@
+//! On-line schedulability (OLS) of a set of schedules — Section 4.
+//!
+//! A subset `S` of MVSR is *on-line schedulable* if, for every prefix `p` of
+//! a schedule in `S`, there is a version function `V` defined on `p` such
+//! that every schedule `p·q` in `S` has a serializing version function
+//! extending `V`.  OLS is exactly the property a set of schedules must have
+//! to be recognisable by a multiversion scheduler, and Theorem 4 shows that
+//! deciding it is NP-complete even for pairs of MVCSR schedules.
+//!
+//! The checker below is definition-level and exact: for every prefix it
+//! intersects the restrictions of the schedules' serializing read-from
+//! assignments.  It is exponential (it has to be, unless P = NP) and is
+//! meant for the reduction-scale instances used in tests, examples and the
+//! experiment harness.
+
+use mvcc_classify::serialization::{serializations, SerialReadFroms};
+use mvcc_core::{Schedule, VersionSource};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A witness that a set of schedules is *not* OLS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OlsViolation {
+    /// Length of the offending prefix.
+    pub prefix_len: usize,
+    /// Indices (into the input slice) of the schedules sharing that prefix
+    /// whose serializing version functions cannot be reconciled.
+    pub schedules: Vec<usize>,
+}
+
+/// The restriction of a serializing read-from assignment to the first
+/// `prefix_len` steps, as a canonical map.
+fn restriction(rf: &SerialReadFroms, prefix_len: usize) -> BTreeMap<usize, VersionSource> {
+    rf.read_sources
+        .iter()
+        .filter(|(&pos, _)| pos < prefix_len)
+        .map(|(&pos, &src)| (pos, src))
+        .collect()
+}
+
+/// All distinct restrictions of the schedule's serializations to the given
+/// prefix length.
+fn restrictions(
+    serializations_of: &[SerialReadFroms],
+    prefix_len: usize,
+) -> BTreeSet<BTreeMap<usize, VersionSource>> {
+    serializations_of
+        .iter()
+        .map(|rf| restriction(rf, prefix_len))
+        .collect()
+}
+
+/// Checks whether `schedules` is an OLS set, returning a violation witness
+/// if it is not.
+///
+/// A schedule that is not MVSR at all makes the set trivially non-OLS (the
+/// full schedule is a prefix of itself with no serializing version
+/// function); this matches the definition, which requires `S ⊆ MVSR`.
+pub fn ols_violation(schedules: &[Schedule]) -> Option<OlsViolation> {
+    // Pre-compute the serializations of every schedule once.
+    let all: Vec<Vec<SerialReadFroms>> =
+        schedules.iter().map(|s| serializations(s, None)).collect();
+
+    for (idx, (s, sers)) in schedules.iter().zip(&all).enumerate() {
+        if sers.is_empty() {
+            return Some(OlsViolation {
+                prefix_len: s.len(),
+                schedules: vec![idx],
+            });
+        }
+    }
+
+    // Candidate prefixes.  Checking *every* prefix is sound but wasteful:
+    // if two prefixes p ⊂ p' have the same member set, a common assignment
+    // for p' restricts to one for p, so only the longest prefix of each
+    // member set matters.  The longest prefix shared by a group of
+    // schedules always has the length of some pairwise longest common
+    // prefix, so those lengths (the "branch points") are the only ones we
+    // need to examine.
+    let mut interesting: BTreeSet<(usize, usize)> = BTreeSet::new(); // (schedule idx, len)
+    for (a_idx, a) in schedules.iter().enumerate() {
+        for (b_idx, b) in schedules.iter().enumerate() {
+            if a_idx == b_idx {
+                continue;
+            }
+            let common = a.common_prefix_len(b);
+            if common > 0 {
+                interesting.insert((a_idx, common));
+            }
+        }
+    }
+
+    let mut seen_prefixes: BTreeSet<Vec<mvcc_core::Step>> = BTreeSet::new();
+    for (a_idx, len) in interesting {
+        let s = &schedules[a_idx];
+        {
+            let prefix_steps = s.steps()[..len].to_vec();
+            if !seen_prefixes.insert(prefix_steps.clone()) {
+                continue;
+            }
+            // Schedules having this prefix.
+            let members: Vec<usize> = schedules
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.len() >= len && t.steps()[..len] == prefix_steps[..])
+                .map(|(i, _)| i)
+                .collect();
+            if members.len() < 2 {
+                continue;
+            }
+            // Intersect the restriction sets of all members.
+            let mut common: Option<BTreeSet<BTreeMap<usize, VersionSource>>> = None;
+            for &m in &members {
+                let r = restrictions(&all[m], len);
+                common = Some(match common {
+                    None => r,
+                    Some(c) => c.intersection(&r).cloned().collect(),
+                });
+            }
+            if common.map(|c| c.is_empty()).unwrap_or(false) {
+                return Some(OlsViolation {
+                    prefix_len: len,
+                    schedules: members,
+                });
+            }
+        }
+    }
+    None
+}
+
+/// `true` iff `schedules` is an OLS set.
+pub fn is_ols(schedules: &[Schedule]) -> bool {
+    ols_violation(schedules).is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_singleton_mvsr_sets_are_ols() {
+        assert!(is_ols(&[]));
+        let s = Schedule::parse("Ra(x) Wa(x) Rb(x) Wb(x)").unwrap();
+        assert!(is_ols(&[s]));
+    }
+
+    #[test]
+    fn a_non_mvsr_member_breaks_ols() {
+        let s1 = mvcc_core::examples::figure1()[0].schedule.clone();
+        let violation = ols_violation(&[s1.clone()]).unwrap();
+        assert_eq!(violation.prefix_len, s1.len());
+        assert_eq!(violation.schedules, vec![0]);
+    }
+
+    #[test]
+    fn section4_pair_is_not_ols() {
+        // The paper's own witness that MVCSR (even DMVSR) is not OLS.
+        let (s, s_prime) = mvcc_core::examples::section4_pair();
+        let violation = ols_violation(&[s.clone(), s_prime.clone()]).unwrap();
+        assert!(violation.prefix_len <= s.common_prefix_len(&s_prime));
+        assert_eq!(violation.schedules, vec![0, 1]);
+        assert!(!is_ols(&[s, s_prime]));
+    }
+
+    #[test]
+    fn identical_schedules_are_ols() {
+        let (s, _) = mvcc_core::examples::section4_pair();
+        assert!(is_ols(&[s.clone(), s.clone()]));
+    }
+
+    #[test]
+    fn disjoint_transaction_systems_are_ols() {
+        let s1 = Schedule::parse("Ra(x) Wa(x)").unwrap();
+        let s2 = Schedule::parse("Rb(y) Wb(y)").unwrap();
+        assert!(is_ols(&[s1, s2]));
+    }
+
+    #[test]
+    fn compatible_continuations_are_ols() {
+        // Two continuations of the same prefix that can both be serialized
+        // with the same choice for the shared read.
+        let s1 = Schedule::parse("Wa(x) Rb(x) Wb(y)").unwrap();
+        let s2 = Schedule::parse("Wa(x) Rb(x) Wb(y) Ra(y)").unwrap();
+        // s2 extends s1; both serializable as A B with R_B(x) <- A.
+        assert!(is_ols(&[s1, s2]));
+    }
+
+    #[test]
+    fn serial_schedules_of_the_same_system_can_fail_ols() {
+        // Even two *serial* schedules may be incompatible if an early read
+        // must be assigned differently: here they do not share a non-trivial
+        // prefix, so they are OLS.
+        let sys = Schedule::parse("Ra(x) Wa(x) Rb(x) Wb(x)").unwrap().tx_system();
+        let ab = Schedule::serial(&sys, &[mvcc_core::TxId(1), mvcc_core::TxId(2)]);
+        let ba = Schedule::serial(&sys, &[mvcc_core::TxId(2), mvcc_core::TxId(1)]);
+        assert!(is_ols(&[ab, ba]));
+    }
+
+    #[test]
+    fn violation_reports_the_shortest_bad_prefix() {
+        let (s, s_prime) = mvcc_core::examples::section4_pair();
+        let violation = ols_violation(&[s, s_prime]).unwrap();
+        // The incompatibility appears exactly when R_B(x) (step index 2) has
+        // been read: prefix length 3.
+        assert_eq!(violation.prefix_len, 3);
+    }
+}

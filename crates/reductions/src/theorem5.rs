@@ -1,0 +1,184 @@
+//! Theorem 5: membership in any maximal OLS subset of MVSR is NP-hard.
+//!
+//! The construction maps a polygraph `P` (assumptions (b), (c)) to a single
+//! schedule `s` whose read-froms are *forced* — every serializing version
+//! function must assign `R_i(a) ← a_0`, `R_j(b) ← b_i` and `R_j(b') ← b'_i`
+//! — so that by Corollary 1 the schedule is accepted by **every** maximal
+//! multiversion scheduler when it is MVSR, and by none when it is not.  The
+//! schedule is MVSR iff `P` is acyclic, so an efficient maximal scheduler
+//! would decide polygraph acyclicity.
+//!
+//! For each choice `b = (j, k, i)` with mandatory arc `a = (i, j)` the
+//! segment
+//!
+//! ```text
+//! R_i(a) W_j(a)  W_i(b) R_j(b) W_k(b)  W_k(b') W_i(b') R_j(b')
+//! ```
+//!
+//! is appended (fresh entities per choice); bare arcs contribute only their
+//! `R_i(a) W_j(a)` part, as in [`crate::theorem4`].
+
+use mvcc_core::{EntityId, Schedule, Step, TxId};
+use mvcc_graph::Polygraph;
+use std::collections::BTreeSet;
+
+/// Runs the Theorem 5 construction, returning the schedule with forced
+/// read-froms.
+pub fn theorem5_schedule(polygraph: &Polygraph) -> Schedule {
+    assert!(
+        polygraph.first_branches_acyclic(),
+        "Theorem 5 uses polygraphs with acyclic first branches"
+    );
+    assert!(
+        polygraph.base_acyclic(),
+        "Theorem 5 uses polygraphs with acyclic mandatory arcs"
+    );
+    let tx = |node: mvcc_graph::NodeId| TxId(node.0 + 1);
+    let mut steps: Vec<Step> = Vec::new();
+    let mut next_entity = 0u32;
+    let mut fresh = || {
+        let e = EntityId(next_entity);
+        next_entity += 1;
+        e
+    };
+
+    for choice in polygraph.choices() {
+        let (j, k, i) = (tx(choice.j), tx(choice.k), tx(choice.i));
+        let ea = fresh();
+        let eb = fresh();
+        let ebp = fresh();
+        // R_i(a) W_j(a): forces R_i(a) <- a_0, hence i before j.
+        steps.push(Step::read(i, ea));
+        steps.push(Step::write(j, ea));
+        // W_i(b) R_j(b) W_k(b): R_j(b) can only be served b_i or b_0; b_0 is
+        // excluded by i < j, so k may not fall between i and j.
+        steps.push(Step::write(i, eb));
+        steps.push(Step::read(j, eb));
+        steps.push(Step::write(k, eb));
+        // W_k(b') W_i(b') R_j(b'): R_j(b') could be served b'_k, but that
+        // would require k between i and j, contradicting the previous
+        // segment; so it too is forced to b'_i.
+        steps.push(Step::write(k, ebp));
+        steps.push(Step::write(i, ebp));
+        steps.push(Step::read(j, ebp));
+    }
+
+    let with_choice: BTreeSet<_> = polygraph
+        .choices()
+        .iter()
+        .map(|c| c.mandatory_arc())
+        .collect();
+    for (from, to) in polygraph.arcs() {
+        if with_choice.contains(&(from, to)) {
+            continue;
+        }
+        let ea = fresh();
+        steps.push(Step::read(tx(from), ea));
+        steps.push(Step::write(tx(to), ea));
+    }
+
+    Schedule::from_steps(steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::certificates::forced_read_froms;
+    use crate::sat::{CnfFormula, Literal};
+    use crate::sat_to_polygraph::sat_to_polygraph;
+    use mvcc_classify::is_mvsr;
+    use mvcc_graph::poly_acyclic::is_acyclic_polygraph;
+    use mvcc_graph::NodeId;
+
+    fn acyclic_polygraph() -> Polygraph {
+        let mut p = Polygraph::with_nodes(3);
+        p.add_choice(NodeId(0), NodeId(1), NodeId(2));
+        p
+    }
+
+    fn cyclic_polygraph() -> Polygraph {
+        let mut f = CnfFormula::new(1);
+        f.add_clause(vec![Literal::pos(0)]);
+        f.add_clause(vec![Literal::neg(0)]);
+        sat_to_polygraph(&f).polygraph
+    }
+
+    #[test]
+    fn acyclic_polygraph_gives_an_mvsr_schedule() {
+        let p = acyclic_polygraph();
+        assert!(is_acyclic_polygraph(&p));
+        let s = theorem5_schedule(&p);
+        assert!(is_mvsr(&s));
+    }
+
+    #[test]
+    fn cyclic_polygraph_gives_a_non_mvsr_schedule() {
+        let p = cyclic_polygraph();
+        assert!(!is_acyclic_polygraph(&p));
+        let s = theorem5_schedule(&p);
+        assert!(!is_mvsr(&s));
+    }
+
+    #[test]
+    fn read_froms_are_forced_when_mvsr() {
+        // Corollary 1's hypothesis: the serializing version function of the
+        // schedule is uniquely determined.
+        let p = acyclic_polygraph();
+        let s = theorem5_schedule(&p);
+        assert!(forced_read_froms(&s).is_some());
+    }
+
+    #[test]
+    fn forced_read_froms_point_at_the_choice_transactions() {
+        use mvcc_core::VersionSource;
+        let p = acyclic_polygraph();
+        let s = theorem5_schedule(&p);
+        let forced = forced_read_froms(&s).unwrap();
+        // Choice (j=0, k=1, i=2) maps to transactions j=T1, k=T2, i=T3.
+        // R_i(a) at position 0 reads the initial version; R_j(b) at position
+        // 3 and R_j(b') at position 7 read T3's versions.
+        assert_eq!(forced.get(&0), Some(&VersionSource::Initial));
+        assert_eq!(forced.get(&3), Some(&VersionSource::Tx(TxId(3))));
+        assert_eq!(forced.get(&7), Some(&VersionSource::Tx(TxId(3))));
+    }
+
+    #[test]
+    fn equivalence_on_pseudorandom_polygraphs() {
+        let mut seed = 0x77777777u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        let mut both = [0usize; 2];
+        for _ in 0..40 {
+            let base = 4 + (next() % 2) as usize;
+            let mut p = Polygraph::with_nodes(base);
+            for a in 0..base {
+                for b in (a + 1)..base {
+                    if next() % 3 == 0 {
+                        p.add_arc(NodeId(b as u32), NodeId(a as u32));
+                    }
+                }
+            }
+            for _ in 0..2 {
+                let j = (next() % base as u64) as u32;
+                let i = (next() % base as u64) as u32;
+                let k = (next() % base as u64) as u32;
+                if i == j || j == k || i == k {
+                    continue;
+                }
+                p.add_choice(NodeId(j), NodeId(k), NodeId(i));
+            }
+            if !p.base_acyclic() || !p.first_branches_acyclic() || p.choice_count() == 0 {
+                continue;
+            }
+            let acyclic = is_acyclic_polygraph(&p);
+            let s = theorem5_schedule(&p);
+            assert_eq!(is_mvsr(&s), acyclic, "Theorem 5 equivalence broke on {p}");
+            both[acyclic as usize] += 1;
+        }
+        assert!(both[1] > 0, "corpus never produced an acyclic case");
+    }
+}

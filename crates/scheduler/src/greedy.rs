@@ -1,0 +1,235 @@
+//! A greedy approximation of a *maximal* multiversion scheduler.
+//!
+//! Theorems 5 and 6 show that no efficient scheduler can recognise a maximal
+//! OLS subset of MVSR (or MVCSR).  This scheduler is the natural — and
+//! necessarily exponential-time — greedy attempt: it keeps the accepted
+//! prefix together with the read-from assignments it has committed to, and
+//!
+//! * serves an arriving read the **latest** version under which the extended
+//!   prefix still has a serialization consistent with all previously
+//!   committed read-froms (falling back to older versions);
+//! * accepts an arriving write iff the extended prefix still has such a
+//!   serialization;
+//! * rejects otherwise.
+//!
+//! By Lemma 1 this behaviour is what any maximal scheduler must do *given*
+//! its previous version choices — and Theorem 6 builds, adaptively, an input
+//! on which any such scheduler either rejects an MVCSR schedule or solves an
+//! NP-hard problem.  The Theorem 6 construction in `mvcc-reductions` drives
+//! exactly this object.
+
+use crate::{Decision, Scheduler};
+use mvcc_classify::serialization::has_serialization_extending;
+use mvcc_core::{Action, Schedule, Step, TxId, VersionSource};
+use std::collections::HashMap;
+
+/// Greedy prefix-serializability-preserving multiversion scheduler.
+#[derive(Debug, Clone, Default)]
+pub struct GreedyMaximalScheduler {
+    accepted: Vec<Step>,
+    /// Read-from assignments committed so far, keyed by accepted-step index.
+    assignments: HashMap<usize, VersionSource>,
+}
+
+impl GreedyMaximalScheduler {
+    /// Creates the greedy scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The accepted prefix.
+    pub fn accepted_schedule(&self) -> Schedule {
+        Schedule::from_steps(self.accepted.clone())
+    }
+
+    /// The read-from assignment committed for the accepted read at index
+    /// `idx` of the accepted prefix.
+    pub fn assignment(&self, idx: usize) -> Option<VersionSource> {
+        self.assignments.get(&idx).copied()
+    }
+
+    /// Whether `prefix` still has a serialization agreeing with every
+    /// committed assignment (plus an optional tentative one).
+    fn has_consistent_serialization(
+        &self,
+        prefix: &Schedule,
+        extra: Option<(usize, VersionSource)>,
+    ) -> bool {
+        let mut required = self.assignments.clone();
+        if let Some((pos, src)) = extra {
+            required.insert(pos, src);
+        }
+        has_serialization_extending(prefix, &required)
+    }
+
+    /// The candidate versions for a read, latest-first (then the initial
+    /// version).
+    fn candidates(&self, step: &Step) -> Vec<VersionSource> {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut out = Vec::new();
+        for prev in self.accepted.iter().rev() {
+            if prev.action == Action::Write && prev.entity == step.entity && seen.insert(prev.tx) {
+                out.push(VersionSource::Tx(prev.tx));
+            }
+        }
+        out.push(VersionSource::Initial);
+        out
+    }
+}
+
+impl Scheduler for GreedyMaximalScheduler {
+    fn name(&self) -> &'static str {
+        "greedy-max"
+    }
+
+    fn is_multiversion(&self) -> bool {
+        true
+    }
+
+    fn offer(&mut self, step: Step) -> Decision {
+        let extended = {
+            let mut steps = self.accepted.clone();
+            steps.push(step);
+            Schedule::from_steps(steps)
+        };
+        match step.action {
+            Action::Read => {
+                let pos = self.accepted.len();
+                for candidate in self.candidates(&step) {
+                    if self.has_consistent_serialization(&extended, Some((pos, candidate))) {
+                        self.assignments.insert(pos, candidate);
+                        self.accepted.push(step);
+                        return Decision::Accept {
+                            read_from: Some(candidate),
+                        };
+                    }
+                }
+                Decision::Reject
+            }
+            Action::Write => {
+                if !self.has_consistent_serialization(&extended, None) {
+                    return Decision::Reject;
+                }
+                self.accepted.push(step);
+                Decision::ACCEPT
+            }
+        }
+    }
+
+    fn abort(&mut self, tx: TxId) {
+        let mut new_accepted = Vec::with_capacity(self.accepted.len());
+        let mut new_assignments = HashMap::new();
+        for (idx, step) in self.accepted.iter().enumerate() {
+            if step.tx == tx {
+                continue;
+            }
+            if let Some(&src) = self.assignments.get(&idx) {
+                let src = match src {
+                    VersionSource::Tx(t) if t == tx => VersionSource::Initial,
+                    other => other,
+                };
+                new_assignments.insert(new_accepted.len(), src);
+            }
+            new_accepted.push(*step);
+        }
+        self.accepted = new_accepted;
+        self.assignments = new_assignments;
+    }
+
+    fn reset(&mut self) {
+        self.accepted.clear();
+        self.assignments.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvcc_core::Schedule;
+
+    fn run_all(s: &Schedule) -> bool {
+        let mut sched = GreedyMaximalScheduler::new();
+        s.steps().iter().all(|&st| sched.offer(st).is_accept())
+    }
+
+    #[test]
+    fn accepts_every_mvsr_interleaving_of_a_small_system_or_more() {
+        // Greediness can in principle lose some MVSR schedules (that is the
+        // content of Section 4), but it must accept at least the MVCSR ones
+        // generated here and never accept a non-MVSR prefix.
+        let sys = Schedule::parse("Ra(x) Wa(y) Rb(y) Wb(x)").unwrap().tx_system();
+        for s in Schedule::all_interleavings(&sys) {
+            if run_all(&s) {
+                assert!(mvcc_classify::is_mvsr(&s), "greedy accepted non-MVSR {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_the_unserializable_step() {
+        let s1 = &mvcc_core::examples::figure1()[0].schedule;
+        let mut sched = GreedyMaximalScheduler::new();
+        let d: Vec<bool> = s1.steps().iter().map(|&st| sched.offer(st).is_accept()).collect();
+        assert!(d.iter().any(|&x| !x), "some step of a non-MVSR schedule must be rejected");
+    }
+
+    #[test]
+    fn serves_the_latest_version_when_unconstrained() {
+        let mut sched = GreedyMaximalScheduler::new();
+        let s = Schedule::parse("Wa(x) Wb(x) Rc(x)").unwrap();
+        let d: Vec<Decision> = s.steps().iter().map(|&st| sched.offer(st)).collect();
+        assert_eq!(d[2].read_from(), Some(VersionSource::Tx(TxId(2))));
+    }
+
+    #[test]
+    fn section4_prefix_forces_a_choice_that_loses_one_continuation() {
+        // Feed the common prefix of the Section 4 pair; whatever the greedy
+        // scheduler assigns to R_B(x), one of the two continuations must be
+        // rejected at some step -- the executable content of "MVCSR is not
+        // OLS".
+        let (s, s_prime) = mvcc_core::examples::section4_pair();
+        let prefix_len = s.common_prefix_len(&s_prime);
+
+        let run = |full: &Schedule| -> bool {
+            let mut sched = GreedyMaximalScheduler::new();
+            full.steps().iter().all(|&st| sched.offer(st).is_accept())
+        };
+        let s_ok = run(&s);
+        let sp_ok = run(&s_prime);
+        // Each schedule individually is MVSR, so a scheduler that saw only
+        // one of them could accept it; but the greedy choice at the shared
+        // prefix is the same in both runs, so at most one can be accepted.
+        assert!(
+            !(s_ok && sp_ok),
+            "prefix of length {prefix_len} cannot be completed both ways"
+        );
+        assert!(s_ok || sp_ok, "the greedy choice serves at least one continuation");
+    }
+
+    #[test]
+    fn greedy_version_choice_can_lose_an_mvsr_schedule() {
+        // Figure 1 example (4) is MVSR (serializable as B A, with R_B(x)
+        // reading the initial version), but the greedy scheduler eagerly
+        // serves R_B(x) the *latest* version -- committing to the A B
+        // serialization -- and must then reject a later step.  This is
+        // Lemma 1 in action: the only reason a (would-be maximal) scheduler
+        // rejects an MVSR schedule is that it used the "wrong" version
+        // function earlier.
+        let s4 = &mvcc_core::examples::figure1()[3].schedule;
+        assert!(mvcc_classify::is_mvsr(s4));
+        assert!(!run_all(s4));
+    }
+
+    #[test]
+    fn abort_and_reset() {
+        let mut sched = GreedyMaximalScheduler::new();
+        let s = Schedule::parse("Wa(x) Rb(x)").unwrap();
+        assert!(sched.offer(s.steps()[0]).is_accept());
+        assert!(sched.offer(s.steps()[1]).is_accept());
+        sched.abort(TxId(1));
+        assert_eq!(sched.accepted_schedule().len(), 1);
+        sched.reset();
+        assert_eq!(sched.accepted_schedule().len(), 0);
+        assert_eq!(sched.name(), "greedy-max");
+    }
+}

@@ -1,0 +1,176 @@
+//! Serialization-graph testing (SGT): the most permissive single-version
+//! scheduler.
+//!
+//! SGT maintains the conflict graph of the accepted prefix and accepts a
+//! step iff the arcs it induces keep the graph acyclic.  SGT accepts exactly
+//! the prefixes of CSR schedules, so in the acceptance-rate experiment it is
+//! the upper bound of what single-version conflict-based scheduling can do —
+//! the gap between SGT and [`crate::MvSgtScheduler`] is precisely the gap
+//! between CSR and MVCSR that motivates the paper.
+
+use crate::{Decision, Scheduler};
+use mvcc_core::conflict::sv_conflicts;
+use mvcc_core::{Step, TxId};
+use std::collections::{HashMap, HashSet};
+
+/// Conflict-graph-testing scheduler.
+#[derive(Debug, Clone, Default)]
+pub struct SgtScheduler {
+    /// Accepted steps, in order.
+    accepted: Vec<Step>,
+    /// Current arcs of the conflict graph.
+    arcs: HashSet<(TxId, TxId)>,
+}
+
+impl SgtScheduler {
+    /// Creates an SGT scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The arcs the new step would add to the conflict graph.
+    fn induced_arcs(&self, step: &Step) -> Vec<(TxId, TxId)> {
+        self.accepted
+            .iter()
+            .filter(|prev| sv_conflicts(prev, step))
+            .map(|prev| (prev.tx, step.tx))
+            .collect()
+    }
+
+    fn acyclic_with(&self, extra: &[(TxId, TxId)]) -> bool {
+        // Small graphs: simple DFS over the union.
+        let mut adj: HashMap<TxId, Vec<TxId>> = HashMap::new();
+        for &(a, b) in self.arcs.iter().chain(extra.iter()) {
+            if a != b {
+                adj.entry(a).or_default().push(b);
+            }
+        }
+        let nodes: HashSet<TxId> = adj
+            .keys()
+            .copied()
+            .chain(adj.values().flatten().copied())
+            .collect();
+        let mut state: HashMap<TxId, u8> = HashMap::new(); // 1 = in progress, 2 = done
+        fn dfs(
+            n: TxId,
+            adj: &HashMap<TxId, Vec<TxId>>,
+            state: &mut HashMap<TxId, u8>,
+        ) -> bool {
+            state.insert(n, 1);
+            for &m in adj.get(&n).map(|v| v.as_slice()).unwrap_or(&[]) {
+                match state.get(&m) {
+                    Some(1) => return false,
+                    Some(_) => {}
+                    None => {
+                        if !dfs(m, adj, state) {
+                            return false;
+                        }
+                    }
+                }
+            }
+            state.insert(n, 2);
+            true
+        }
+        for &n in &nodes {
+            if !state.contains_key(&n) && !dfs(n, &adj, &mut state) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl Scheduler for SgtScheduler {
+    fn name(&self) -> &'static str {
+        "sgt"
+    }
+
+    fn is_multiversion(&self) -> bool {
+        false
+    }
+
+    fn offer(&mut self, step: Step) -> Decision {
+        let new_arcs = self.induced_arcs(&step);
+        if !self.acyclic_with(&new_arcs) {
+            return Decision::Reject;
+        }
+        self.arcs.extend(new_arcs);
+        self.accepted.push(step);
+        Decision::ACCEPT
+    }
+
+    fn abort(&mut self, tx: TxId) {
+        self.accepted.retain(|s| s.tx != tx);
+        self.arcs.retain(|&(a, b)| a != tx && b != tx);
+    }
+
+    fn reset(&mut self) {
+        self.accepted.clear();
+        self.arcs.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvcc_core::Schedule;
+
+    fn run_all(s: &Schedule) -> bool {
+        let mut sched = SgtScheduler::new();
+        s.steps().iter().all(|&st| sched.offer(st).is_accept())
+    }
+
+    #[test]
+    fn accepts_exactly_the_csr_interleavings() {
+        let sys = Schedule::parse("Ra(x) Wa(y) Rb(y) Wb(x) Wc(x)")
+            .unwrap()
+            .tx_system();
+        for s in Schedule::all_interleavings(&sys) {
+            assert_eq!(run_all(&s), mvcc_classify::is_csr(&s), "schedule {s}");
+        }
+    }
+
+    #[test]
+    fn rejects_the_step_that_closes_a_cycle() {
+        let s = Schedule::parse("Ra(x) Rb(x) Wa(x) Wb(x)").unwrap();
+        let mut sched = SgtScheduler::new();
+        let d: Vec<bool> = s.steps().iter().map(|&st| sched.offer(st).is_accept()).collect();
+        assert_eq!(d, vec![true, true, true, false]);
+    }
+
+    #[test]
+    fn abort_removes_the_transaction_from_the_graph() {
+        let s = Schedule::parse("Ra(x) Rb(x) Wa(x) Wb(x)").unwrap();
+        let mut sched = SgtScheduler::new();
+        for &st in &s.steps()[..3] {
+            assert!(sched.offer(st).is_accept());
+        }
+        assert!(!sched.offer(s.steps()[3]).is_accept());
+        sched.abort(TxId(1));
+        // With A gone, B's write no longer closes a cycle.
+        assert!(sched.offer(s.steps()[3]).is_accept());
+    }
+
+    #[test]
+    fn accepts_more_than_2pl() {
+        // Schedule accepted by SGT but not by immediate-reject 2PL:
+        // A reads x, B writes x afterwards (conflict A->B only).
+        let s = Schedule::parse("Ra(x) Wb(x) Wa(y) Rb(z)").unwrap();
+        assert!(run_all(&s));
+        let mut twopl = crate::TwoPhaseLockingScheduler::new(&s.tx_system());
+        let all_2pl = s.steps().iter().all(|&st| twopl.offer(st).is_accept());
+        assert!(!all_2pl);
+    }
+
+    #[test]
+    fn reset_clears_graph() {
+        let s = Schedule::parse("Ra(x) Rb(x) Wa(x) Wb(x)").unwrap();
+        let mut sched = SgtScheduler::new();
+        for &st in s.steps() {
+            let _ = sched.offer(st);
+        }
+        sched.reset();
+        assert!(run_all(&Schedule::parse("Ra(x) Wa(x)").unwrap()));
+        assert_eq!(sched.name(), "sgt");
+    }
+}

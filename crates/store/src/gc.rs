@@ -1,0 +1,115 @@
+//! Version garbage collection.
+//!
+//! Old versions are what a multiversion scheduler trades space for; a real
+//! engine must eventually reclaim them.  A committed version can be dropped
+//! once no active (or future) snapshot can read it: the *watermark* is the
+//! minimum snapshot timestamp of the active transactions (or the current
+//! commit timestamp when none is active), and every committed version
+//! superseded by a newer version committed at or before the watermark is
+//! unreachable.
+
+use crate::store::MvStore;
+
+/// A report of one garbage-collection pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GcReport {
+    /// The watermark used.
+    pub watermark: u64,
+    /// Versions reclaimed in this pass.
+    pub reclaimed: usize,
+    /// Versions remaining after the pass.
+    pub remaining: usize,
+}
+
+/// Computes the GC watermark of `store`: the minimum active snapshot
+/// timestamp, or the current commit timestamp when no transaction is active.
+pub fn watermark(store: &MvStore) -> u64 {
+    store
+        .active_snapshots()
+        .into_iter()
+        .min()
+        .unwrap_or_else(|| store.current_ts())
+}
+
+/// Runs one garbage-collection pass over every version chain.
+pub fn collect(store: &MvStore) -> GcReport {
+    let wm = watermark(store);
+    let reclaimed = store.prune_all(wm);
+    GcReport {
+        watermark: wm,
+        reclaimed,
+        remaining: store.total_versions(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use mvcc_core::{EntityId, TxId};
+
+    const X: EntityId = EntityId(0);
+
+    fn updated_store(updates: u32) -> MvStore {
+        let store = MvStore::with_entities([X], Bytes::from_static(b"0"));
+        for i in 1..=updates {
+            let t = store.begin(TxId(i)).unwrap();
+            store.write(t, X, Bytes::from(i.to_string())).unwrap();
+            store.commit(t, false).unwrap();
+        }
+        store
+    }
+
+    #[test]
+    fn gc_with_no_active_transactions_keeps_only_the_newest_version() {
+        let store = updated_store(10);
+        assert_eq!(store.version_count(X), 11);
+        let report = collect(&store);
+        assert_eq!(report.watermark, 10);
+        assert_eq!(report.reclaimed, 10);
+        assert_eq!(report.remaining, 1);
+    }
+
+    #[test]
+    fn active_snapshot_pins_old_versions() {
+        let store = updated_store(3);
+        // A long-running reader pins the snapshot at ts=3.
+        let reader = store.begin(TxId(100)).unwrap();
+        for i in 4..=6u32 {
+            let t = store.begin(TxId(i)).unwrap();
+            store.write(t, X, Bytes::from(i.to_string())).unwrap();
+            store.commit(t, false).unwrap();
+        }
+        assert_eq!(store.version_count(X), 7);
+        let report = collect(&store);
+        assert_eq!(report.watermark, 3);
+        // Versions 0, 1, 2 are superseded by the one committed at 3 and can
+        // go; versions 3..=6 must stay.
+        assert_eq!(report.reclaimed, 3);
+        assert_eq!(store.version_count(X), 4);
+        // The pinned reader still sees its snapshot value.
+        assert_eq!(
+            store.read_snapshot(reader, X).unwrap(),
+            Bytes::from_static(b"3")
+        );
+    }
+
+    #[test]
+    fn gc_is_idempotent() {
+        let store = updated_store(5);
+        let first = collect(&store);
+        let second = collect(&store);
+        assert!(first.reclaimed > 0);
+        assert_eq!(second.reclaimed, 0);
+        assert_eq!(second.remaining, first.remaining);
+    }
+
+    #[test]
+    fn empty_store_gc() {
+        let store = MvStore::new();
+        let report = collect(&store);
+        assert_eq!(report.reclaimed, 0);
+        assert_eq!(report.remaining, 0);
+        assert_eq!(report.watermark, 0);
+    }
+}

@@ -1,0 +1,517 @@
+//! The transactional multiversion key-value store.
+//!
+//! The store keeps one [`VersionChain`](crate::VersionChain) per entity and
+//! exposes the operations a scheduler needs: begin, read (either the latest
+//! committed version, a snapshot-visible version, or an explicitly chosen
+//! writer's version — the version function made operational), write, commit
+//! and abort.  A global commit counter provides the timestamps used by
+//! snapshot visibility and garbage collection.
+//!
+//! Concurrency: the store is guarded by a single [`parking_lot::RwLock`]
+//! around the chain map plus a mutex for transaction state, which is ample
+//! for the experiment workloads (the paper's contribution is the scheduling
+//! theory, not a lock-free engine); the API is `&self` so the store can be
+//! shared across threads by the bench harness.
+
+use crate::version_chain::VersionChain;
+use bytes::Bytes;
+use mvcc_core::{EntityId, TxId, VersionSource};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Status of a transaction known to the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxStatus {
+    /// Begun and neither committed nor aborted.
+    Active,
+    /// Committed at the contained timestamp.
+    Committed(u64),
+    /// Aborted.
+    Aborted,
+}
+
+/// Errors returned by store operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The transaction is not active (never begun, already finished).
+    NotActive(TxId),
+    /// The entity has no version visible under the requested rule.
+    NoVisibleVersion(EntityId),
+    /// The requested writer never wrote the entity (invalid version choice).
+    NoSuchVersion(EntityId, TxId),
+    /// Snapshot-isolation write-write conflict (first committer wins).
+    WriteConflict(EntityId, TxId),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::NotActive(tx) => write!(f, "{tx} is not active"),
+            StoreError::NoVisibleVersion(e) => write!(f, "no visible version of {e}"),
+            StoreError::NoSuchVersion(e, tx) => write!(f, "{tx} never wrote {e}"),
+            StoreError::WriteConflict(e, tx) => {
+                write!(f, "write-write conflict on {e} against {tx}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Per-transaction bookkeeping.
+#[derive(Debug, Clone)]
+struct TxRecord {
+    status: TxStatus,
+    /// Snapshot timestamp (commit counter at begin).
+    snapshot_ts: u64,
+    /// Entities written (for commit/abort and SI conflict checks).
+    write_set: BTreeSet<EntityId>,
+    /// Entities read and the writer observed (the realized READ-FROM).
+    read_set: Vec<(EntityId, TxId)>,
+}
+
+/// A handle identifying a transaction begun on the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TxHandle {
+    /// The transaction id.
+    pub id: TxId,
+}
+
+/// The multiversion store.
+#[derive(Debug, Default)]
+pub struct MvStore {
+    chains: RwLock<BTreeMap<EntityId, VersionChain>>,
+    txs: Mutex<BTreeMap<TxId, TxRecord>>,
+    commit_counter: Mutex<u64>,
+}
+
+impl MvStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a store with an initial version (value `initial`) for each of
+    /// the given entities — the explicit `T0` of the paper.
+    pub fn with_entities(entities: impl IntoIterator<Item = EntityId>, initial: Bytes) -> Self {
+        let store = Self::new();
+        {
+            let mut chains = store.chains.write();
+            for e in entities {
+                chains.insert(e, VersionChain::with_initial(initial.clone()));
+            }
+        }
+        store
+    }
+
+    /// Begins transaction `tx`.  Re-beginning an aborted transaction resets
+    /// it; re-beginning an active or committed transaction is an error.
+    pub fn begin(&self, tx: TxId) -> Result<TxHandle, StoreError> {
+        let snapshot_ts = *self.commit_counter.lock();
+        let mut txs = self.txs.lock();
+        match txs.get(&tx).map(|r| r.status) {
+            Some(TxStatus::Active) | Some(TxStatus::Committed(_)) => {
+                return Err(StoreError::NotActive(tx))
+            }
+            _ => {}
+        }
+        txs.insert(
+            tx,
+            TxRecord {
+                status: TxStatus::Active,
+                snapshot_ts,
+                write_set: BTreeSet::new(),
+                read_set: Vec::new(),
+            },
+        );
+        Ok(TxHandle { id: tx })
+    }
+
+    fn with_active<T>(
+        &self,
+        tx: TxId,
+        f: impl FnOnce(&mut TxRecord) -> Result<T, StoreError>,
+    ) -> Result<T, StoreError> {
+        let mut txs = self.txs.lock();
+        let record = txs.get_mut(&tx).ok_or(StoreError::NotActive(tx))?;
+        if record.status != TxStatus::Active {
+            return Err(StoreError::NotActive(tx));
+        }
+        f(record)
+    }
+
+    /// Reads the *latest committed* version of `entity` (single-version
+    /// semantics; a transaction sees its own uncommitted writes first).
+    pub fn read_latest(&self, tx: TxHandle, entity: EntityId) -> Result<Bytes, StoreError> {
+        let chains = self.chains.read();
+        let chain = chains
+            .get(&entity)
+            .ok_or(StoreError::NoVisibleVersion(entity))?;
+        let version = chain
+            .latest_by(tx.id)
+            .or_else(|| chain.latest_committed())
+            .ok_or(StoreError::NoVisibleVersion(entity))?;
+        let (value, writer) = (version.value.clone(), version.writer);
+        drop(chains);
+        self.with_active(tx.id, |r| {
+            r.read_set.push((entity, writer));
+            Ok(value)
+        })
+    }
+
+    /// Reads the version of `entity` visible to the transaction's snapshot
+    /// (snapshot isolation reads; own writes are visible).
+    pub fn read_snapshot(&self, tx: TxHandle, entity: EntityId) -> Result<Bytes, StoreError> {
+        let snapshot_ts = {
+            let txs = self.txs.lock();
+            let record = txs.get(&tx.id).ok_or(StoreError::NotActive(tx.id))?;
+            if record.status != TxStatus::Active {
+                return Err(StoreError::NotActive(tx.id));
+            }
+            record.snapshot_ts
+        };
+        let chains = self.chains.read();
+        let chain = chains
+            .get(&entity)
+            .ok_or(StoreError::NoVisibleVersion(entity))?;
+        let version = chain
+            .visible_at(snapshot_ts, Some(tx.id))
+            .ok_or(StoreError::NoVisibleVersion(entity))?;
+        let (value, writer) = (version.value.clone(), version.writer);
+        drop(chains);
+        self.with_active(tx.id, |r| {
+            r.read_set.push((entity, writer));
+            Ok(value)
+        })
+    }
+
+    /// Reads the version of `entity` written by an explicitly chosen writer
+    /// (the operational form of a version function's assignment).
+    pub fn read_version(
+        &self,
+        tx: TxHandle,
+        entity: EntityId,
+        source: VersionSource,
+    ) -> Result<Bytes, StoreError> {
+        let writer = source.as_tx();
+        let chains = self.chains.read();
+        let chain = chains
+            .get(&entity)
+            .ok_or(StoreError::NoVisibleVersion(entity))?;
+        let version = chain
+            .latest_by(writer)
+            .ok_or(StoreError::NoSuchVersion(entity, writer))?;
+        let value = version.value.clone();
+        drop(chains);
+        self.with_active(tx.id, |r| {
+            r.read_set.push((entity, writer));
+            Ok(value)
+        })
+    }
+
+    /// Writes a new version of `entity`.
+    pub fn write(&self, tx: TxHandle, entity: EntityId, value: Bytes) -> Result<(), StoreError> {
+        self.with_active(tx.id, |r| {
+            r.write_set.insert(entity);
+            Ok(())
+        })?;
+        let mut chains = self.chains.write();
+        chains
+            .entry(entity)
+            .or_insert_with(VersionChain::new)
+            .append(tx.id, value);
+        Ok(())
+    }
+
+    /// Commits the transaction, assigning it the next commit timestamp.
+    ///
+    /// When `first_committer_wins` is set (snapshot-isolation mode), the
+    /// commit fails with [`StoreError::WriteConflict`] if another
+    /// transaction committed a version of an entity in this transaction's
+    /// write set after this transaction's snapshot.
+    pub fn commit(&self, tx: TxHandle, first_committer_wins: bool) -> Result<u64, StoreError> {
+        // Validate under the tx lock, then bump the counter.
+        let mut txs = self.txs.lock();
+        let record = txs.get_mut(&tx.id).ok_or(StoreError::NotActive(tx.id))?;
+        if record.status != TxStatus::Active {
+            return Err(StoreError::NotActive(tx.id));
+        }
+        if first_committer_wins {
+            let chains = self.chains.read();
+            for &entity in &record.write_set {
+                if let Some(chain) = chains.get(&entity) {
+                    let conflict = chain.versions().iter().any(|v| {
+                        v.writer != tx.id
+                            && v.commit_ts
+                                .map(|ts| ts > record.snapshot_ts)
+                                .unwrap_or(false)
+                    });
+                    if conflict {
+                        let winner = chain
+                            .versions()
+                            .iter()
+                            .rev()
+                            .find(|v| v.writer != tx.id && v.is_committed())
+                            .map(|v| v.writer)
+                            .unwrap_or(TxId::INITIAL);
+                        record.status = TxStatus::Aborted;
+                        drop(chains);
+                        self.purge_writes(tx.id, &record.write_set.clone());
+                        return Err(StoreError::WriteConflict(entity, winner));
+                    }
+                }
+            }
+        }
+        let mut counter = self.commit_counter.lock();
+        *counter += 1;
+        let ts = *counter;
+        record.status = TxStatus::Committed(ts);
+        let write_set = record.write_set.clone();
+        drop(counter);
+        drop(txs);
+        let mut chains = self.chains.write();
+        for entity in write_set {
+            if let Some(chain) = chains.get_mut(&entity) {
+                chain.commit_writer(tx.id, ts);
+            }
+        }
+        Ok(ts)
+    }
+
+    /// Aborts the transaction, removing its uncommitted versions.
+    pub fn abort(&self, tx: TxHandle) -> Result<(), StoreError> {
+        let write_set = self.with_active(tx.id, |r| {
+            r.status = TxStatus::Aborted;
+            Ok(r.write_set.clone())
+        })?;
+        self.purge_writes(tx.id, &write_set);
+        Ok(())
+    }
+
+    fn purge_writes(&self, tx: TxId, write_set: &BTreeSet<EntityId>) {
+        let mut chains = self.chains.write();
+        for entity in write_set {
+            if let Some(chain) = chains.get_mut(entity) {
+                chain.remove_writer(tx);
+            }
+        }
+    }
+
+    /// The status of a transaction, if known.
+    pub fn status(&self, tx: TxId) -> Option<TxStatus> {
+        self.txs.lock().get(&tx).map(|r| r.status)
+    }
+
+    /// The realized READ-FROM pairs of a transaction (entity, writer), in
+    /// read order.
+    pub fn reads_of(&self, tx: TxId) -> Vec<(EntityId, TxId)> {
+        self.txs
+            .lock()
+            .get(&tx)
+            .map(|r| r.read_set.clone())
+            .unwrap_or_default()
+    }
+
+    /// The current commit timestamp high-water mark.
+    pub fn current_ts(&self) -> u64 {
+        *self.commit_counter.lock()
+    }
+
+    /// Number of versions stored for `entity`.
+    pub fn version_count(&self, entity: EntityId) -> usize {
+        self.chains
+            .read()
+            .get(&entity)
+            .map(|c| c.len())
+            .unwrap_or(0)
+    }
+
+    /// Total number of versions across all entities.
+    pub fn total_versions(&self) -> usize {
+        self.chains.read().values().map(|c| c.len()).sum()
+    }
+
+    /// Applies [`VersionChain::prune`] to every chain with the given
+    /// watermark, returning the number of reclaimed versions (see
+    /// [`crate::gc`]).
+    pub fn prune_all(&self, watermark: u64) -> usize {
+        let mut chains = self.chains.write();
+        chains.values_mut().map(|c| c.prune(watermark)).sum()
+    }
+
+    /// Snapshot timestamps of all active transactions (used to compute the
+    /// GC watermark).
+    pub fn active_snapshots(&self) -> Vec<u64> {
+        self.txs
+            .lock()
+            .values()
+            .filter(|r| r.status == TxStatus::Active)
+            .map(|r| r.snapshot_ts)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+    const X: EntityId = EntityId(0);
+    const Y: EntityId = EntityId(1);
+
+    fn store() -> MvStore {
+        MvStore::with_entities([X, Y], b("init"))
+    }
+
+    #[test]
+    fn begin_read_write_commit_cycle() {
+        let s = store();
+        let t1 = s.begin(TxId(1)).unwrap();
+        assert_eq!(s.read_latest(t1, X).unwrap(), b("init"));
+        s.write(t1, X, b("one")).unwrap();
+        // Own write visible to itself, not to others.
+        assert_eq!(s.read_latest(t1, X).unwrap(), b("one"));
+        let t2 = s.begin(TxId(2)).unwrap();
+        assert_eq!(s.read_latest(t2, X).unwrap(), b("init"));
+        let ts = s.commit(t1, false).unwrap();
+        assert_eq!(s.status(TxId(1)), Some(TxStatus::Committed(ts)));
+        // After commit, new readers see it.
+        let t3 = s.begin(TxId(3)).unwrap();
+        assert_eq!(s.read_latest(t3, X).unwrap(), b("one"));
+    }
+
+    #[test]
+    fn abort_discards_writes() {
+        let s = store();
+        let t1 = s.begin(TxId(1)).unwrap();
+        s.write(t1, X, b("doomed")).unwrap();
+        s.abort(t1).unwrap();
+        assert_eq!(s.status(TxId(1)), Some(TxStatus::Aborted));
+        let t2 = s.begin(TxId(2)).unwrap();
+        assert_eq!(s.read_latest(t2, X).unwrap(), b("init"));
+        assert_eq!(s.version_count(X), 1);
+    }
+
+    #[test]
+    fn snapshot_reads_ignore_later_commits() {
+        let s = store();
+        let reader = s.begin(TxId(1)).unwrap();
+        let writer = s.begin(TxId(2)).unwrap();
+        s.write(writer, X, b("new")).unwrap();
+        s.commit(writer, false).unwrap();
+        // Snapshot read: the reader began before the writer committed.
+        assert_eq!(s.read_snapshot(reader, X).unwrap(), b("init"));
+        // Latest read: sees the committed version.
+        assert_eq!(s.read_latest(reader, X).unwrap(), b("new"));
+    }
+
+    #[test]
+    fn explicit_version_reads_follow_the_version_function() {
+        let s = store();
+        let t1 = s.begin(TxId(1)).unwrap();
+        s.write(t1, X, b("t1")).unwrap();
+        s.commit(t1, false).unwrap();
+        let t2 = s.begin(TxId(2)).unwrap();
+        s.write(t2, X, b("t2")).unwrap();
+        s.commit(t2, false).unwrap();
+        let t3 = s.begin(TxId(3)).unwrap();
+        assert_eq!(
+            s.read_version(t3, X, VersionSource::Tx(TxId(1))).unwrap(),
+            b("t1"),
+            "an old version can still be served"
+        );
+        assert_eq!(
+            s.read_version(t3, X, VersionSource::Initial).unwrap(),
+            b("init")
+        );
+        assert!(matches!(
+            s.read_version(t3, Y, VersionSource::Tx(TxId(2))),
+            Err(StoreError::NoSuchVersion(_, _))
+        ));
+        assert_eq!(s.reads_of(TxId(3)).len(), 2);
+    }
+
+    #[test]
+    fn first_committer_wins_detects_write_write_conflicts() {
+        let s = store();
+        let t1 = s.begin(TxId(1)).unwrap();
+        let t2 = s.begin(TxId(2)).unwrap();
+        s.write(t1, X, b("t1")).unwrap();
+        s.write(t2, X, b("t2")).unwrap();
+        assert!(s.commit(t1, true).is_ok());
+        let err = s.commit(t2, true).unwrap_err();
+        assert!(matches!(err, StoreError::WriteConflict(e, w) if e == X && w == TxId(1)));
+        assert_eq!(s.status(TxId(2)), Some(TxStatus::Aborted));
+        // The loser's version is gone.
+        let t3 = s.begin(TxId(3)).unwrap();
+        assert_eq!(s.read_latest(t3, X).unwrap(), b("t1"));
+    }
+
+    #[test]
+    fn disjoint_writes_commit_under_snapshot_isolation() {
+        let s = store();
+        let t1 = s.begin(TxId(1)).unwrap();
+        let t2 = s.begin(TxId(2)).unwrap();
+        s.write(t1, X, b("t1")).unwrap();
+        s.write(t2, Y, b("t2")).unwrap();
+        assert!(s.commit(t1, true).is_ok());
+        assert!(s.commit(t2, true).is_ok());
+    }
+
+    #[test]
+    fn lifecycle_errors() {
+        let s = store();
+        let t1 = s.begin(TxId(1)).unwrap();
+        assert!(s.begin(TxId(1)).is_err(), "double begin");
+        s.commit(t1, false).unwrap();
+        assert!(s.read_latest(t1, X).is_err(), "read after commit");
+        assert!(s.commit(t1, false).is_err(), "double commit");
+        assert!(s.abort(t1).is_err(), "abort after commit");
+        assert!(s
+            .read_latest(TxHandle { id: TxId(9) }, X)
+            .is_err(), "unknown transaction");
+        // An aborted transaction may be re-begun.
+        let t2 = s.begin(TxId(2)).unwrap();
+        s.abort(t2).unwrap();
+        assert!(s.begin(TxId(2)).is_ok());
+    }
+
+    #[test]
+    fn version_counts_and_gc_hooks() {
+        let s = store();
+        for i in 1..=4u32 {
+            let t = s.begin(TxId(i)).unwrap();
+            s.write(t, X, b("v")).unwrap();
+            s.commit(t, false).unwrap();
+        }
+        assert_eq!(s.version_count(X), 5);
+        assert_eq!(s.total_versions(), 6);
+        let reclaimed = s.prune_all(s.current_ts());
+        assert_eq!(reclaimed, 4, "only the newest committed version survives");
+        assert_eq!(s.version_count(X), 1);
+    }
+
+    #[test]
+    fn concurrent_access_from_threads() {
+        use std::sync::Arc;
+        let s = Arc::new(MvStore::with_entities([X], b("0")));
+        let mut handles = Vec::new();
+        for i in 1..=8u32 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                let t = s.begin(TxId(i)).unwrap();
+                let _ = s.read_latest(t, X).unwrap();
+                s.write(t, X, Bytes::from(i.to_string())).unwrap();
+                s.commit(t, false).unwrap();
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.version_count(X), 9);
+        assert_eq!(s.current_ts(), 8);
+    }
+}

@@ -1,0 +1,108 @@
+//! Workload configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a randomly generated transaction workload.
+///
+/// The defaults correspond to the "base" workload of experiment E9 (see
+/// `EXPERIMENTS.md`); the sweep tables vary one field at a time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Number of transactions.
+    pub transactions: usize,
+    /// Steps per transaction.
+    pub steps_per_transaction: usize,
+    /// Number of distinct entities.
+    pub entities: usize,
+    /// Probability that a step is a read (as opposed to a write).
+    pub read_ratio: f64,
+    /// Zipfian skew of entity selection (`0.0` = uniform).
+    pub zipf_theta: f64,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            transactions: 8,
+            steps_per_transaction: 4,
+            entities: 16,
+            read_ratio: 0.8,
+            zipf_theta: 0.0,
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl WorkloadConfig {
+    /// Total number of steps the workload will contain.
+    pub fn total_steps(&self) -> usize {
+        self.transactions * self.steps_per_transaction
+    }
+
+    /// Returns a copy with a different seed (used to generate repetitions).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// A human-readable one-line description used as a table row label.
+    pub fn label(&self) -> String {
+        format!(
+            "txns={} steps={} entities={} reads={:.0}% zipf={:.1}",
+            self.transactions,
+            self.steps_per_transaction,
+            self.entities,
+            self.read_ratio * 100.0,
+            self.zipf_theta
+        )
+    }
+
+    /// Basic sanity checks (non-zero sizes, ratios within range).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.transactions == 0 || self.steps_per_transaction == 0 || self.entities == 0 {
+            return Err("transactions, steps and entities must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.read_ratio) {
+            return Err("read_ratio must lie in [0, 1]".into());
+        }
+        if self.zipf_theta < 0.0 {
+            return Err("zipf_theta must be non-negative".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        let c = WorkloadConfig::default();
+        assert!(c.validate().is_ok());
+        assert_eq!(c.total_steps(), 32);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut c = WorkloadConfig::default();
+        c.transactions = 0;
+        assert!(c.validate().is_err());
+        let mut c = WorkloadConfig::default();
+        c.read_ratio = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = WorkloadConfig::default();
+        c.zipf_theta = -1.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn label_and_with_seed() {
+        let c = WorkloadConfig::default().with_seed(42);
+        assert_eq!(c.seed, 42);
+        assert!(c.label().contains("txns=8"));
+        assert!(c.label().contains("reads=80%"));
+    }
+}

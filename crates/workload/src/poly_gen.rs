@@ -1,0 +1,152 @@
+//! Random polygraphs and random restricted CNF formulas for the reduction
+//! benchmarks (experiments E5, E7, E10).
+
+use mvcc_graph::{NodeId, Polygraph};
+use mvcc_reductions::sat::{CnfFormula, Literal};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a random polygraph with `nodes` nodes, roughly `arc_density`
+/// mandatory arcs per node pair "downhill" (so assumption (c) holds) and
+/// `choices` choices whose first branches also point downhill (so assumption
+/// (b) holds).  The polygraphs are exactly the shape the Theorem 4/5
+/// constructions expect.
+pub fn random_polygraph(nodes: usize, arc_density: f64, choices: usize, seed: u64) -> Polygraph {
+    assert!(nodes >= 3, "need at least three nodes for a choice");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut p = Polygraph::with_nodes(nodes);
+    // Mandatory arcs: from a higher-numbered node to a lower-numbered one,
+    // which keeps the base graph acyclic.
+    for a in 0..nodes {
+        for b in (a + 1)..nodes {
+            if rng.gen_bool(arc_density.clamp(0.0, 1.0)) {
+                p.add_arc(NodeId(b as u32), NodeId(a as u32));
+            }
+        }
+    }
+    let mut added = 0;
+    let mut attempts = 0;
+    while added < choices && attempts < choices * 20 {
+        attempts += 1;
+        let mut picks: Vec<u32> = (0..3).map(|_| rng.gen_range(0..nodes as u32)).collect();
+        picks.sort_unstable();
+        picks.dedup();
+        if picks.len() < 3 {
+            continue;
+        }
+        // First branch (j, k) points downhill: j > k.
+        let (k, i, j) = (picks[0], picks[1], picks[2]);
+        p.add_choice(NodeId(j), NodeId(k), NodeId(i));
+        if !p.base_acyclic() || !p.first_branches_acyclic() {
+            // Adding the mandatory arc (i, j) may have broken assumption (c)
+            // (it points uphill); back out by rebuilding without it.
+            let mut q = Polygraph::with_nodes(nodes);
+            for (a, b) in p.arcs() {
+                if (a, b) != (NodeId(i), NodeId(j)) {
+                    q.add_arc(a, b);
+                }
+            }
+            for c in p.choices().iter().take(p.choice_count() - 1) {
+                q.add_choice(c.j, c.k, c.i);
+            }
+            p = q;
+            continue;
+        }
+        added += 1;
+    }
+    p
+}
+
+/// Generates a random formula in the paper's restricted fragment: `clauses`
+/// clauses of two or three literals, each clause all-positive or
+/// all-negative.
+pub fn random_restricted_formula(variables: usize, clauses: usize, seed: u64) -> CnfFormula {
+    assert!(variables >= 2);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut f = CnfFormula::new(variables);
+    for _ in 0..clauses {
+        let len = if rng.gen_bool(0.5) { 2 } else { 3.min(variables) };
+        let positive = rng.gen_bool(0.5);
+        let mut vars: Vec<usize> = Vec::new();
+        while vars.len() < len {
+            let v = rng.gen_range(0..variables);
+            if !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+        f.add_clause(
+            vars.into_iter()
+                .map(|v| {
+                    if positive {
+                        Literal::pos(v)
+                    } else {
+                        Literal::neg(v)
+                    }
+                })
+                .collect(),
+        );
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_polygraph_satisfies_the_assumptions() {
+        for seed in 0..10 {
+            let p = random_polygraph(6, 0.3, 3, seed);
+            assert!(p.base_acyclic(), "assumption (c)");
+            assert!(p.first_branches_acyclic(), "assumption (b)");
+            assert!(p.choice_count() <= 3);
+        }
+    }
+
+    #[test]
+    fn random_polygraph_is_deterministic_per_seed() {
+        let a = random_polygraph(6, 0.4, 4, 7);
+        let b = random_polygraph(6, 0.4, 4, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn restricted_formula_shape() {
+        let f = random_restricted_formula(5, 8, 3);
+        assert_eq!(f.num_vars, 5);
+        assert_eq!(f.clauses.len(), 8);
+        assert!(f.is_restricted());
+        for c in &f.clauses {
+            let vars: std::collections::BTreeSet<_> = c.iter().map(|l| l.var).collect();
+            assert_eq!(vars.len(), c.len(), "duplicate variable in clause");
+        }
+    }
+
+    #[test]
+    fn restricted_formulas_use_both_polarities_and_are_solvable() {
+        // Sparse monotone formulas are almost always satisfiable (that is
+        // fine: the reduction benchmarks care about instance *size*, not the
+        // SAT/UNSAT split); check that both clause polarities occur and that
+        // the DPLL solver handles every generated instance.
+        let mut pos_clauses = 0;
+        let mut neg_clauses = 0;
+        for seed in 0..20 {
+            let f = random_restricted_formula(3, 6, seed);
+            for c in &f.clauses {
+                if c[0].positive {
+                    pos_clauses += 1;
+                } else {
+                    neg_clauses += 1;
+                }
+            }
+            let _ = f.satisfiable_dpll();
+        }
+        assert!(pos_clauses > 0 && neg_clauses > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least three nodes")]
+    fn tiny_polygraph_request_panics() {
+        let _ = random_polygraph(2, 0.5, 1, 0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Random interleavings of a transaction system.
+
+use crate::WorkloadConfig;
+use mvcc_core::{Schedule, Step, TransactionSystem};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Produces one uniformly random interleaving of `system` (uniform over all
+/// shuffles: at each position, a transaction is chosen with probability
+/// proportional to its number of remaining steps).
+pub fn random_interleaving(system: &TransactionSystem, seed: u64) -> Schedule {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut cursors: Vec<usize> = vec![0; system.len()];
+    let mut remaining: Vec<usize> = system.transactions().iter().map(|t| t.len()).collect();
+    let mut total: usize = remaining.iter().sum();
+    let mut steps: Vec<Step> = Vec::with_capacity(total);
+    while total > 0 {
+        let mut pick = rng.gen_range(0..total);
+        let mut chosen = 0;
+        for (idx, &rem) in remaining.iter().enumerate() {
+            if pick < rem {
+                chosen = idx;
+                break;
+            }
+            pick -= rem;
+        }
+        let tx = &system.transactions()[chosen];
+        let (action, entity) = tx.accesses[cursors[chosen]];
+        steps.push(Step {
+            tx: tx.id,
+            action,
+            entity,
+        });
+        cursors[chosen] += 1;
+        remaining[chosen] -= 1;
+        total -= 1;
+    }
+    Schedule::from_steps(steps)
+}
+
+/// Produces `count` random interleavings of the workload described by
+/// `config` (a fresh transaction system per repetition, derived seeds).
+pub fn random_interleavings(config: &WorkloadConfig, count: usize) -> Vec<Schedule> {
+    (0..count)
+        .map(|i| {
+            let cfg = config.with_seed(config.seed.wrapping_add(i as u64).wrapping_mul(0x9e37));
+            let sys = crate::random_transaction_system(&cfg);
+            random_interleaving(&sys, cfg.seed ^ 0xabcdef)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random_transaction_system;
+
+    #[test]
+    fn interleaving_is_a_shuffle_of_the_system() {
+        let sys = random_transaction_system(&WorkloadConfig::default());
+        let s = random_interleaving(&sys, 1);
+        assert!(s.is_shuffle_of(&sys));
+        assert_eq!(s.len(), sys.total_steps());
+    }
+
+    #[test]
+    fn different_seeds_give_different_interleavings() {
+        let sys = random_transaction_system(&WorkloadConfig::default());
+        let a = random_interleaving(&sys, 1);
+        let b = random_interleaving(&sys, 2);
+        let c = random_interleaving(&sys, 1);
+        assert_eq!(a.steps(), c.steps(), "same seed, same interleaving");
+        assert_ne!(a.steps(), b.steps(), "different seed, different interleaving");
+    }
+
+    #[test]
+    fn batch_generation_yields_the_requested_count() {
+        let batch = random_interleavings(&WorkloadConfig::default(), 7);
+        assert_eq!(batch.len(), 7);
+        for s in &batch {
+            assert_eq!(s.len(), WorkloadConfig::default().total_steps());
+        }
+    }
+
+    #[test]
+    fn single_transaction_interleaving_is_serial() {
+        let cfg = WorkloadConfig {
+            transactions: 1,
+            ..WorkloadConfig::default()
+        };
+        let sys = random_transaction_system(&cfg);
+        let s = random_interleaving(&sys, 3);
+        assert!(s.is_serial());
+    }
+}

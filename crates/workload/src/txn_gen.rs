@@ -1,0 +1,134 @@
+//! Random transaction systems.
+
+use crate::{WorkloadConfig, Zipfian};
+use mvcc_core::{Action, EntityId, Transaction, TransactionSystem, TxId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a random transaction system according to `config`.
+///
+/// Each transaction performs `steps_per_transaction` accesses; the entity of
+/// each access is drawn from a Zipfian distribution with skew
+/// `config.zipf_theta` and the action is a read with probability
+/// `config.read_ratio`.  A transaction never writes the same entity twice
+/// (re-drawn), mirroring the paper's model where a transaction's second
+/// write of an entity would simply supersede the first.
+pub fn random_transaction_system(config: &WorkloadConfig) -> TransactionSystem {
+    config.validate().expect("invalid workload configuration");
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let zipf = Zipfian::new(config.entities, config.zipf_theta);
+    let mut transactions = Vec::with_capacity(config.transactions);
+    for t in 0..config.transactions {
+        let mut accesses: Vec<(Action, EntityId)> = Vec::with_capacity(config.steps_per_transaction);
+        let mut written: Vec<EntityId> = Vec::new();
+        for _ in 0..config.steps_per_transaction {
+            let action = if rng.gen_bool(config.read_ratio) {
+                Action::Read
+            } else {
+                Action::Write
+            };
+            let mut entity = EntityId(zipf.sample(&mut rng) as u32);
+            if action == Action::Write {
+                let mut attempts = 0;
+                while written.contains(&entity) && attempts < 8 {
+                    entity = EntityId(zipf.sample(&mut rng) as u32);
+                    attempts += 1;
+                }
+                if written.contains(&entity) {
+                    // Fall back to a read when the hot set is exhausted.
+                    accesses.push((Action::Read, entity));
+                    continue;
+                }
+                written.push(entity);
+            }
+            accesses.push((action, entity));
+        }
+        transactions.push(Transaction::new(TxId(t as u32 + 1), accesses));
+    }
+    TransactionSystem::new(transactions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_the_requested_shape() {
+        let config = WorkloadConfig {
+            transactions: 5,
+            steps_per_transaction: 3,
+            entities: 4,
+            ..WorkloadConfig::default()
+        };
+        let sys = random_transaction_system(&config);
+        assert_eq!(sys.len(), 5);
+        assert!(sys.transactions().iter().all(|t| t.len() == 3));
+        assert!(sys
+            .entities()
+            .iter()
+            .all(|e| e.index() < config.entities));
+    }
+
+    #[test]
+    fn deterministic_for_a_fixed_seed() {
+        let config = WorkloadConfig::default();
+        let a = random_transaction_system(&config);
+        let b = random_transaction_system(&config);
+        assert_eq!(a, b);
+        let c = random_transaction_system(&config.with_seed(999));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn read_ratio_extremes() {
+        let all_reads = random_transaction_system(&WorkloadConfig {
+            read_ratio: 1.0,
+            ..WorkloadConfig::default()
+        });
+        assert!(all_reads
+            .transactions()
+            .iter()
+            .all(|t| t.write_set().is_empty()));
+
+        let all_writes = random_transaction_system(&WorkloadConfig {
+            read_ratio: 0.0,
+            entities: 64,
+            ..WorkloadConfig::default()
+        });
+        assert!(all_writes
+            .transactions()
+            .iter()
+            .all(|t| t.read_set().is_empty()));
+    }
+
+    #[test]
+    fn no_transaction_writes_an_entity_twice() {
+        let config = WorkloadConfig {
+            transactions: 10,
+            steps_per_transaction: 6,
+            entities: 3,
+            read_ratio: 0.2,
+            zipf_theta: 1.0,
+            seed: 17,
+        };
+        let sys = random_transaction_system(&config);
+        for t in sys.transactions() {
+            let writes: Vec<_> = t
+                .accesses
+                .iter()
+                .filter(|(a, _)| a.is_write())
+                .map(|&(_, e)| e)
+                .collect();
+            let distinct: std::collections::BTreeSet<_> = writes.iter().collect();
+            assert_eq!(writes.len(), distinct.len(), "duplicate write in {t}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid workload configuration")]
+    fn invalid_config_panics() {
+        let mut config = WorkloadConfig::default();
+        config.entities = 0;
+        let _ = random_transaction_system(&config);
+    }
+}

@@ -1,0 +1,118 @@
+//! Zipfian entity selection (hot-spot access patterns).
+//!
+//! The acceptance-rate experiments sweep the skew parameter θ to show how
+//! contention magnifies the gap between single-version and multiversion
+//! schedulers: the hotter the hot spot, the more read-write conflicts, the
+//! more a multiversion scheduler gains by serving old versions.
+
+use rand::Rng;
+
+/// A Zipfian distribution over `0..n` with skew parameter `theta`.
+///
+/// `theta = 0` is the uniform distribution; larger values concentrate mass
+/// on the smallest indices.  Sampling uses the inverse-CDF over the
+/// precomputed normalised weights (the `n` values used in the experiments
+/// are small, so the O(n) setup and O(log n) sampling are irrelevant).
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    cumulative: Vec<f64>,
+}
+
+impl Zipfian {
+    /// Creates a Zipfian distribution over `0..n` with skew `theta`.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "empty support");
+        assert!(theta >= 0.0, "negative skew");
+        let weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(theta)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cumulative = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        Zipfian { cumulative }
+    }
+
+    /// Number of items in the support.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// `true` if the support is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Samples an index in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+
+    /// The probability of index `i`.
+    pub fn probability(&self, i: usize) -> f64 {
+        if i == 0 {
+            self.cumulative[0]
+        } else {
+            self.cumulative[i] - self.cumulative[i - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_theta_is_zero() {
+        let z = Zipfian::new(4, 0.0);
+        for i in 0..4 {
+            assert!((z.probability(i) - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_on_small_indices() {
+        let z = Zipfian::new(10, 1.2);
+        assert!(z.probability(0) > z.probability(1));
+        assert!(z.probability(1) > z.probability(9));
+        let total: f64 = (0..10).map(|i| z.probability(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn samples_are_in_range_and_biased() {
+        let z = Zipfian::new(8, 0.99);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut counts = [0usize; 8];
+        for _ in 0..4000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts.iter().sum::<usize>() == 4000);
+        assert!(counts[0] > counts[7], "hot key sampled more often");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty support")]
+    fn empty_support_panics() {
+        let _ = Zipfian::new(0, 1.0);
+    }
+
+    #[test]
+    fn len_reports_support_size() {
+        let z = Zipfian::new(5, 0.5);
+        assert_eq!(z.len(), 5);
+        assert!(!z.is_empty());
+    }
+}

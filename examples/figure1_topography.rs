@@ -1,0 +1,56 @@
+//! Reproduce Figure 1 of the paper from the library's public API: classify
+//! the six example schedules and print the topography census.
+//!
+//! (The `mvcc-bench` crate has a more detailed version of this as the
+//! `figure1` binary; this example shows how little code a user needs.)
+//!
+//! Run with `cargo run --example figure1_topography`.
+
+use mvcc_repro::classify::taxonomy::{classify, Census};
+use mvcc_repro::core::examples::{figure1, Figure1Region};
+use mvcc_repro::prelude::*;
+
+fn main() {
+    println!("The six example schedules of Figure 1:\n");
+    for ex in figure1() {
+        let c = classify(&ex.schedule);
+        println!("({}) {}", ex.number, ex.region.description());
+        println!("    {}", ex.schedule);
+        println!(
+            "    serial={} CSR={} SR={} MVCSR={} MVSR={}  ->  {:?} (paper says {:?})",
+            c.serial,
+            c.csr,
+            c.vsr,
+            c.mvcsr,
+            c.mvsr,
+            c.region(),
+            ex.region
+        );
+        assert_eq!(c.region(), ex.region, "classification must match the paper");
+        println!();
+    }
+
+    // The topography over every interleaving of a small transaction system.
+    let sys = Schedule::parse("Ra(x) Wa(y) Rb(y) Wb(x) Wc(y)")
+        .unwrap()
+        .tx_system();
+    let all = Schedule::all_interleavings(&sys);
+    let census = Census::build(all.iter());
+    println!(
+        "Topography over all {} interleavings of a 3-transaction system:\n{}",
+        all.len(),
+        census
+    );
+
+    // The containments of Figure 1, checked over the census population.
+    assert_eq!(census.containment_violations, 0);
+    println!(
+        "\nEvery schedule respected the containments serial ⊆ CSR ⊆ SR ⊆ MVSR and CSR ⊆ MVCSR ⊆ MVSR."
+    );
+    let interesting = Figure1Region::MvcsrNotSr;
+    println!(
+        "Schedules that only a multiversion scheduler can accept ({:?}): {}",
+        interesting,
+        census.count(interesting)
+    );
+}

@@ -1,0 +1,78 @@
+//! Compare the scheduler zoo on a contended workload: the executable form
+//! of the paper's claim that multiversion schedulers have "enhanced
+//! performance".
+//!
+//! Run with `cargo run --example scheduler_showdown --release`.
+
+use mvcc_repro::prelude::*;
+use mvcc_repro::workload::{random_interleaving, random_transaction_system};
+
+fn main() {
+    let config = WorkloadConfig {
+        transactions: 8,
+        steps_per_transaction: 4,
+        entities: 6,
+        read_ratio: 0.75,
+        zipf_theta: 0.8,
+        seed: 42,
+    };
+    println!("workload: {}\n", config.label());
+
+    let repetitions = 50;
+    let mut totals: Vec<(String, bool, f64, f64)> = Vec::new();
+
+    for rep in 0..repetitions {
+        let cfg = config.with_seed(config.seed + rep);
+        let sys = random_transaction_system(&cfg);
+        let schedule = random_interleaving(&sys, rep);
+
+        let schedulers: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(SerialScheduler::new(&sys)),
+            Box::new(TwoPhaseLockingScheduler::new(&sys)),
+            Box::new(TimestampScheduler::new()),
+            Box::new(SgtScheduler::new()),
+            Box::new(MvtoScheduler::new()),
+            Box::new(MvSgtScheduler::new()),
+        ];
+        for (idx, mut sched) in schedulers.into_iter().enumerate() {
+            let name = sched.name().to_string();
+            let mv = sched.is_multiversion();
+            let prefix = run_prefix(sched.as_mut(), &schedule);
+            let abort = run_abort(sched.as_mut(), &schedule);
+            if totals.len() <= idx {
+                totals.push((name, mv, 0.0, 0.0));
+            }
+            totals[idx].2 += prefix.acceptance_ratio();
+            totals[idx].3 += abort.commit_ratio();
+        }
+    }
+
+    println!(
+        "{:<10} {:<12} {:>22} {:>22}",
+        "scheduler", "multiversion", "mean accepted prefix", "mean committed txns"
+    );
+    for (name, mv, prefix_sum, commit_sum) in &totals {
+        println!(
+            "{:<10} {:<12} {:>21.1}% {:>21.1}%",
+            name,
+            if *mv { "yes" } else { "no" },
+            100.0 * prefix_sum / repetitions as f64,
+            100.0 * commit_sum / repetitions as f64,
+        );
+    }
+
+    let single_best = totals[..4]
+        .iter()
+        .map(|t| t.3)
+        .fold(f64::MIN, f64::max);
+    let multi_best = totals[4..]
+        .iter()
+        .map(|t| t.3)
+        .fold(f64::MIN, f64::max);
+    println!(
+        "\nbest multiversion commit ratio {:.1}% vs best single-version {:.1}% -- the gap the paper's introduction promises.",
+        100.0 * multi_best / repetitions as f64,
+        100.0 * single_best / repetitions as f64
+    );
+    assert!(multi_best >= single_best);
+}

@@ -1,0 +1,166 @@
+//! Property-based tests (proptest) over randomly generated schedules:
+//! the paper's containments, characterisations and scheduler guarantees as
+//! invariants over the whole schedule space (small sizes, exact checkers).
+
+use mvcc_repro::classify::swaps::{swap_neighbours, serial_reachable_by_swaps};
+use mvcc_repro::classify::taxonomy::classify;
+use mvcc_repro::classify::vsr::is_vsr_polygraph;
+use mvcc_repro::classify::{is_csr, is_mvcsr, is_mvsr, is_vsr};
+use mvcc_repro::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a random schedule over at most `max_txns` transactions,
+/// `max_entities` entities and exactly `steps` steps.
+fn schedule_strategy(
+    max_txns: u32,
+    max_entities: u32,
+    steps: usize,
+) -> impl Strategy<Value = Schedule> {
+    proptest::collection::vec(
+        (1..=max_txns, 0..max_entities, proptest::bool::ANY),
+        steps,
+    )
+    .prop_map(|raw| {
+        Schedule::from_steps(
+            raw.into_iter()
+                .map(|(tx, entity, is_read)| {
+                    if is_read {
+                        Step::read(TxId(tx), EntityId(entity))
+                    } else {
+                        Step::write(TxId(tx), EntityId(entity))
+                    }
+                })
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        .. ProptestConfig::default()
+    })]
+
+    /// Figure 1's containments hold for every schedule:
+    /// serial ⊆ CSR ⊆ VSR ⊆ MVSR and CSR ⊆ MVCSR ⊆ MVSR, DMVSR ⊆ MVSR.
+    #[test]
+    fn containments_hold(s in schedule_strategy(4, 3, 8)) {
+        let c = classify(&s);
+        prop_assert!(c.respects_containments(), "classification {c} violates Figure 1 on {s}");
+    }
+
+    /// Theorem 1: the MVCG test equals the definition-level check.
+    #[test]
+    fn theorem1_graph_equals_definition(s in schedule_strategy(4, 3, 7)) {
+        prop_assert_eq!(
+            is_mvcsr(&s),
+            mvcc_repro::classify::mvcsr::is_mvcsr_by_definition(&s)
+        );
+    }
+
+    /// Theorem 2: MVCSR iff a serial schedule is reachable by legal switches.
+    #[test]
+    fn theorem2_swaps(s in schedule_strategy(3, 3, 7)) {
+        prop_assert_eq!(serial_reachable_by_swaps(&s), is_mvcsr(&s));
+    }
+
+    /// A legal switch never changes the transaction system and never
+    /// reverses a multiversion-conflicting pair of the original schedule:
+    /// the original is multiversion-conflict-equivalent to every neighbour
+    /// (the induction step in the proof of Theorem 2).  Note that the
+    /// *neighbour* may still fall out of MVCSR — the relation is
+    /// deliberately asymmetric, which is why Theorem 2 asks for a path from
+    /// the schedule *to* a serial one and not the other way round.
+    #[test]
+    fn legal_switches_preserve_mv_conflict_order(s in schedule_strategy(4, 3, 8)) {
+        for neighbour in swap_neighbours(&s) {
+            prop_assert_eq!(neighbour.tx_system(), s.tx_system());
+            prop_assert!(mvcc_repro::core::equivalence::mv_conflict_equivalent(&s, &neighbour));
+        }
+    }
+
+    /// The two independent VSR deciders (branch-and-bound search and the
+    /// polygraph formulation) always agree.
+    #[test]
+    fn vsr_deciders_agree(s in schedule_strategy(4, 3, 7)) {
+        prop_assert_eq!(is_vsr(&s), is_vsr_polygraph(&s));
+    }
+
+    /// The MVSR witness, when it exists, really serializes the schedule.
+    #[test]
+    fn mvsr_witness_is_sound(s in schedule_strategy(4, 3, 7)) {
+        if let Some((order, vf)) = mvcc_repro::classify::mvsr_witness(&s) {
+            prop_assert!(vf.validate(&s).is_ok());
+            let serial = Schedule::serial(&s.tx_system(), &order);
+            prop_assert!(mvcc_repro::core::equivalence::full_view_equivalent(
+                &s,
+                &vf,
+                &serial,
+                &VersionFunction::standard(&serial)
+            ));
+        }
+    }
+
+    /// The standard version function is always valid, and the READ-FROM
+    /// relation it induces mentions only transactions of the schedule (or
+    /// the padding transactions).
+    #[test]
+    fn standard_version_function_is_valid(s in schedule_strategy(5, 4, 10)) {
+        let vf = VersionFunction::standard(&s);
+        prop_assert!(vf.validate(&s).is_ok());
+        let rel = ReadFromRelation::of_full_schedule(&s, &vf);
+        let txs: std::collections::BTreeSet<TxId> = s.tx_ids().into_iter().collect();
+        for entry in rel.entries() {
+            prop_assert!(entry.writer == TxId::INITIAL || txs.contains(&entry.writer));
+            prop_assert!(entry.reader == TxId::FINAL || txs.contains(&entry.reader));
+        }
+    }
+
+    /// Single-version schedulers only commit conflict-serializable
+    /// projections; the multiversion conflict-graph scheduler only commits
+    /// MVCSR projections.
+    #[test]
+    fn scheduler_soundness(s in schedule_strategy(4, 3, 10)) {
+        let mut sgt = SgtScheduler::new();
+        let committed = run_abort(&mut sgt, &s).committed_schedule;
+        prop_assert!(is_csr(&committed));
+
+        let mut mvsgt = MvSgtScheduler::new();
+        let committed = run_abort(&mut mvsgt, &s).committed_schedule;
+        prop_assert!(is_mvcsr(&committed));
+
+        let mut mvto = MvtoScheduler::new();
+        let committed = run_abort(&mut mvto, &s).committed_schedule;
+        prop_assert!(is_mvsr(&committed));
+    }
+
+    /// Prefix-mode acceptance ordering: MV-SGT accepts at least as long a
+    /// prefix as SGT, which accepts at least as long a prefix as strict 2PL
+    /// rejection-free operation would imply for serial prefixes.
+    #[test]
+    fn acceptance_ordering(s in schedule_strategy(4, 3, 10)) {
+        let mut sgt = SgtScheduler::new();
+        let mut mvsgt = MvSgtScheduler::new();
+        let sv = run_prefix(&mut sgt, &s).accepted_steps;
+        let mv = run_prefix(&mut mvsgt, &s).accepted_steps;
+        prop_assert!(mv >= sv);
+    }
+
+    /// Schedule parsing round-trips through display.
+    #[test]
+    fn schedule_display_round_trips(s in schedule_strategy(5, 4, 12)) {
+        let text = s.to_string();
+        let reparsed = Schedule::parse(&text).unwrap();
+        prop_assert_eq!(reparsed.steps(), s.steps());
+    }
+
+    /// A singleton set containing an MVSR schedule is always OLS; adding the
+    /// identical schedule again changes nothing.
+    #[test]
+    fn singleton_ols(s in schedule_strategy(3, 2, 6)) {
+        if is_mvsr(&s) {
+            prop_assert!(is_ols(&[s.clone()]));
+            prop_assert!(is_ols(&[s.clone(), s.clone()]));
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Workspace-level integration tests for the hardness pipeline (Sections 4
+//! and 5): SAT → polygraph → schedules → OLS / maximal-scheduler verdicts,
+//! exercised through the umbrella crate.
+
+use mvcc_repro::classify::{is_mvcsr, is_mvsr};
+use mvcc_repro::graph::poly_acyclic::is_acyclic_polygraph;
+use mvcc_repro::graph::{NodeId, Polygraph};
+use mvcc_repro::prelude::*;
+use mvcc_repro::reductions::certificates::{forced_read_froms, verify_ols_certificate, find_ols_certificate};
+use mvcc_repro::reductions::sat::{CnfFormula, Literal};
+use mvcc_repro::reductions::theorem6::adaptive_schedule;
+use mvcc_repro::reductions::{sat_to_polygraph, theorem4_schedules, theorem5_schedule};
+use mvcc_repro::scheduler::GreedyMaximalScheduler;
+
+fn acyclic_polygraph() -> Polygraph {
+    let mut p = Polygraph::with_nodes(6);
+    p.add_choice(NodeId(0), NodeId(1), NodeId(2));
+    p.add_choice(NodeId(3), NodeId(4), NodeId(5));
+    p.add_arc(NodeId(2), NodeId(3));
+    p
+}
+
+fn cyclic_polygraph() -> Polygraph {
+    let mut p = Polygraph::with_nodes(6);
+    p.add_choice(NodeId(0), NodeId(1), NodeId(2));
+    p.add_choice(NodeId(3), NodeId(4), NodeId(5));
+    p.add_arc(NodeId(1), NodeId(0));
+    p.add_arc(NodeId(4), NodeId(3));
+    p.add_arc(NodeId(2), NodeId(4));
+    p.add_arc(NodeId(5), NodeId(1));
+    p
+}
+
+/// The full SAT chain on a satisfiable instance (Theorem 4 forward).
+#[test]
+fn sat_chain_satisfiable_end_to_end() {
+    let mut formula = CnfFormula::new(2);
+    formula.add_clause(vec![Literal::pos(0), Literal::pos(1)]);
+    formula.add_clause(vec![Literal::neg(0), Literal::neg(1)]);
+    assert!(formula.satisfiable_dpll().is_some());
+
+    let reduced = sat_to_polygraph(&formula);
+    assert!(reduced.polygraph.choices_node_disjoint());
+    assert!(is_acyclic_polygraph(&reduced.polygraph));
+
+    let inst = theorem4_schedules(&reduced.polygraph);
+    assert!(is_mvcsr(&inst.s1) && is_mvcsr(&inst.s2));
+    assert!(is_ols(&[inst.s1.clone(), inst.s2.clone()]));
+
+    // And the certificate of OLS membership verifies (NP membership side).
+    let cert = find_ols_certificate(&inst.s1, &inst.s2).expect("certificate exists");
+    assert!(verify_ols_certificate(&inst.s1, &inst.s2, &cert));
+}
+
+/// Theorem 4 on handcrafted polygraphs, both directions.
+#[test]
+fn theorem4_equivalence_both_directions() {
+    let acyclic = acyclic_polygraph();
+    let inst = theorem4_schedules(&acyclic);
+    assert!(is_acyclic_polygraph(&acyclic));
+    assert!(is_ols(&[inst.s1, inst.s2]));
+
+    let cyclic = cyclic_polygraph();
+    let inst = theorem4_schedules(&cyclic);
+    assert!(!is_acyclic_polygraph(&cyclic));
+    assert!(!is_ols(&[inst.s1, inst.s2]));
+}
+
+/// Theorem 5: the forced-read-from schedule is MVSR iff the polygraph is
+/// acyclic, and when it is MVSR its read-froms are unique (Corollary 1).
+#[test]
+fn theorem5_equivalence_and_forced_read_froms() {
+    let acyclic = acyclic_polygraph();
+    let s = theorem5_schedule(&acyclic);
+    assert!(is_mvsr(&s));
+    assert!(forced_read_froms(&s).is_some());
+
+    let cyclic = cyclic_polygraph();
+    let s = theorem5_schedule(&cyclic);
+    assert!(!is_mvsr(&s));
+    assert!(forced_read_froms(&s).is_none());
+}
+
+/// Theorem 6: the adaptive construction drives the greedy maximal scheduler
+/// to accept exactly when the polygraph is acyclic, and the constructed
+/// schedule is always MVCSR.
+#[test]
+fn theorem6_adaptive_construction_against_greedy_scheduler() {
+    for (p, expect_accept) in [(acyclic_polygraph(), true), (cyclic_polygraph(), false)] {
+        let out = adaptive_schedule(&p, || Box::new(GreedyMaximalScheduler::new()));
+        assert!(is_mvcsr(&out.schedule), "Theorem 6 schedules are MVCSR");
+        assert_eq!(out.accepted, expect_accept);
+    }
+}
+
+/// The reduction from SAT produces polygraphs whose acyclicity matches
+/// satisfiability across a deterministic mini-corpus (the polygraph leg of
+/// the chain, cheap enough to sweep).
+#[test]
+fn sat_to_polygraph_matches_dpll_on_a_corpus() {
+    let mut formulas = Vec::new();
+    for seed in 0..8u64 {
+        formulas.push(mvcc_repro::workload::random_restricted_formula(3, 4, seed));
+    }
+    // Plus a known unsatisfiable one.
+    let mut unsat = CnfFormula::new(1);
+    unsat.add_clause(vec![Literal::pos(0)]);
+    unsat.add_clause(vec![Literal::neg(0)]);
+    formulas.push(unsat);
+
+    for f in formulas {
+        let sat = f.satisfiable_dpll().is_some();
+        let acyclic = is_acyclic_polygraph(&sat_to_polygraph(&f).polygraph);
+        assert_eq!(sat, acyclic, "mismatch on {f}");
+    }
+}
+
+/// The OLS checker, the scheduler zoo and the reduction agree on the
+/// *meaning* of OLS: when a Theorem 4 pair is OLS, the greedy maximal
+/// scheduler can accept both members using one shared prefix decision.
+#[test]
+fn ols_pairs_are_jointly_acceptable_by_a_maximal_scheduler() {
+    let inst = theorem4_schedules(&acyclic_polygraph());
+    let run = |s: &Schedule| {
+        let mut sched = GreedyMaximalScheduler::new();
+        s.steps().iter().all(|&st| sched.offer(st).is_accept())
+    };
+    assert!(run(&inst.s1) || run(&inst.s2), "at least one member must be acceptable greedily");
+}

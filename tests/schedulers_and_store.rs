@@ -1,0 +1,136 @@
+//! Workspace-level integration tests: the scheduler zoo's output classes,
+//! the acceptance-rate ordering of experiment E9, and the storage engine
+//! executing what the schedulers decide.
+
+use mvcc_repro::classify::{is_csr, is_mvcsr, is_mvsr};
+use mvcc_repro::prelude::*;
+use mvcc_repro::store::bytes::Bytes;
+use mvcc_repro::store::{execute_with_scheduler, gc, MvStore};
+use mvcc_repro::workload::{random_interleaving, random_transaction_system};
+
+fn workload(seed: u64) -> (TransactionSystem, Schedule) {
+    let cfg = WorkloadConfig {
+        transactions: 5,
+        steps_per_transaction: 4,
+        entities: 4,
+        read_ratio: 0.7,
+        zipf_theta: 0.7,
+        seed,
+    };
+    let sys = random_transaction_system(&cfg);
+    let s = random_interleaving(&sys, seed ^ 0xf00d);
+    (sys, s)
+}
+
+/// Every scheduler's committed projection lies in the class the theory
+/// assigns to it: locking/TO/SGT produce CSR schedules, MV-SGT produces
+/// MVCSR schedules, MVTO produces MVSR schedules.
+#[test]
+fn committed_projections_lie_in_the_expected_classes() {
+    for seed in 0..15u64 {
+        let (sys, s) = workload(seed);
+
+        let mut twopl = TwoPhaseLockingScheduler::new(&sys);
+        assert!(is_csr(&run_abort(&mut twopl, &s).committed_schedule));
+
+        let mut to = TimestampScheduler::new();
+        assert!(is_csr(&run_abort(&mut to, &s).committed_schedule));
+
+        let mut sgt = SgtScheduler::new();
+        assert!(is_csr(&run_abort(&mut sgt, &s).committed_schedule));
+
+        let mut mvsgt = MvSgtScheduler::new();
+        assert!(is_mvcsr(&run_abort(&mut mvsgt, &s).committed_schedule));
+
+        let mut mvto = MvtoScheduler::new();
+        assert!(is_mvsr(&run_abort(&mut mvto, &s).committed_schedule));
+    }
+}
+
+/// Experiment E9's qualitative shape: on identical inputs the multiversion
+/// conflict-graph scheduler never accepts a shorter prefix than the
+/// single-version one, and in aggregate accepts strictly more.
+#[test]
+fn multiversion_accepts_at_least_as_much_and_sometimes_strictly_more() {
+    let mut mv_total = 0usize;
+    let mut sv_total = 0usize;
+    for seed in 0..40u64 {
+        let (_, s) = workload(seed);
+        let mut sgt = SgtScheduler::new();
+        let mut mvsgt = MvSgtScheduler::new();
+        let sv = run_prefix(&mut sgt, &s).accepted_steps;
+        let mv = run_prefix(&mut mvsgt, &s).accepted_steps;
+        assert!(mv >= sv, "MV-SGT fell behind SGT on seed {seed}");
+        mv_total += mv;
+        sv_total += sv;
+    }
+    assert!(
+        mv_total > sv_total,
+        "over the corpus the multiversion scheduler should be strictly ahead"
+    );
+}
+
+/// The same ordering holds between multiversion and single-version
+/// timestamp ordering.
+#[test]
+fn mvto_dominates_single_version_to() {
+    let mut mv_total = 0usize;
+    let mut sv_total = 0usize;
+    for seed in 100..140u64 {
+        let (_, s) = workload(seed);
+        let mut to = TimestampScheduler::new();
+        let mut mvto = MvtoScheduler::new();
+        sv_total += run_abort(&mut to, &s).committed.len();
+        mv_total += run_abort(&mut mvto, &s).committed.len();
+    }
+    assert!(mv_total > sv_total);
+}
+
+/// Scheduler decisions drive the store end to end, and aborted transactions
+/// leave no garbage behind once collected.
+#[test]
+fn store_execution_respects_scheduler_decisions_and_gc_cleans_up() {
+    for seed in 0..10u64 {
+        let (_, s) = workload(seed);
+        let store = MvStore::with_entities(s.entities_accessed(), Bytes::from_static(b"0"));
+        let mut sched = MvSgtScheduler::new();
+        let report = execute_with_scheduler(&store, &s, &mut sched).expect("execution succeeds");
+        // Committed and aborted partition the transactions that were offered.
+        for tx in s.tx_ids() {
+            let committed = report.committed.contains(&tx);
+            let aborted = report.aborted.contains(&tx);
+            assert!(committed ^ aborted || (!committed && !aborted));
+        }
+        // After GC at the final watermark each entity keeps exactly one
+        // committed version (plus nothing uncommitted).
+        let collected = gc::collect(&store);
+        assert_eq!(collected.remaining, store.total_versions());
+        for e in s.entities_accessed() {
+            assert!(store.version_count(e) >= 1);
+        }
+    }
+}
+
+/// The store's realized READ-FROM relation for a full-schedule replay equals
+/// the symbolic relation computed by the core crate.
+#[test]
+fn realized_read_from_matches_symbolic_read_from() {
+    for ex in mvcc_repro::core::examples::figure1() {
+        if !is_mvsr(&ex.schedule) {
+            continue;
+        }
+        let (_, vf) = mvcc_repro::classify::mvsr_witness(&ex.schedule).unwrap();
+        let store =
+            MvStore::with_entities(ex.schedule.entities_accessed(), Bytes::from_static(b"0"));
+        let report =
+            mvcc_repro::store::execute_full_schedule(&store, &ex.schedule, &vf).unwrap();
+        let symbolic = ReadFromRelation::of_full_schedule(&ex.schedule, &vf);
+        for entry in report.read_from.entries() {
+            assert!(
+                symbolic.contains(entry.reader, entry.entity, entry.writer),
+                "spurious read-from {entry} in example ({})",
+                ex.number
+            );
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Workspace-level integration tests: the paper's figure and theorems
+//! exercised through the umbrella crate's public API.
+
+use mvcc_repro::classify::swaps::serial_reachable_by_swaps;
+use mvcc_repro::classify::taxonomy::{classify, Census};
+use mvcc_repro::classify::{is_csr, is_mvcsr, is_mvsr, is_vsr, mvcsr_witness};
+use mvcc_repro::core::examples::{figure1, section4_pair, Figure1Region};
+use mvcc_repro::core::equivalence::full_view_equivalent;
+use mvcc_repro::prelude::*;
+use mvcc_repro::reductions::ols::{is_ols, ols_violation};
+
+/// Experiment E1: every example of Figure 1 lands in the region the paper
+/// claims for it.
+#[test]
+fn figure1_examples_match_the_paper() {
+    for ex in figure1() {
+        let c = classify(&ex.schedule);
+        assert_eq!(
+            c.region(),
+            ex.region,
+            "example ({}) `{}` classified as {c}",
+            ex.number,
+            ex.schedule
+        );
+    }
+}
+
+/// Experiment E1 (census): over every interleaving of a small system the
+/// containments of Figure 1 hold and each non-empty region is consistent
+/// with the class flags.
+#[test]
+fn figure1_census_respects_containments() {
+    let sys = Schedule::parse("Ra(x) Wa(y) Rb(y) Wb(x) Wc(y)")
+        .unwrap()
+        .tx_system();
+    let all = Schedule::all_interleavings(&sys);
+    let census = Census::build(all.iter());
+    assert_eq!(census.containment_violations, 0);
+    assert_eq!(census.total(), all.len());
+    assert!(census.count(Figure1Region::Serial) >= 6);
+}
+
+/// Theorem 1: the MVCG acyclicity test agrees with the definition of MVCSR
+/// (multiversion-conflict equivalence to some serial schedule) on every
+/// interleaving of a small system.
+#[test]
+fn theorem1_mvcg_test_equals_definition() {
+    let sys = Schedule::parse("Ra(x) Wa(y) Rb(y) Wb(x) Wc(x)")
+        .unwrap()
+        .tx_system();
+    for s in Schedule::all_interleavings(&sys) {
+        let by_graph = is_mvcsr(&s);
+        let by_definition = mvcc_repro::classify::mvcsr::is_mvcsr_by_definition(&s);
+        assert_eq!(by_graph, by_definition, "Theorem 1 fails on {s}");
+    }
+}
+
+/// Theorem 2: MVCSR membership coincides with reachability of a serial
+/// schedule through switches of adjacent non-conflicting steps.
+#[test]
+fn theorem2_swap_characterisation() {
+    let sys = Schedule::parse("Ra(x) Wa(x) Rb(x) Wb(y) Rc(y)")
+        .unwrap()
+        .tx_system();
+    for s in Schedule::all_interleavings(&sys) {
+        assert_eq!(
+            serial_reachable_by_swaps(&s),
+            is_mvcsr(&s),
+            "Theorem 2 fails on {s}"
+        );
+    }
+}
+
+/// Theorem 3: every MVCSR schedule is MVSR, and constructively so — the
+/// version function derived from the MVCG order serializes it.
+#[test]
+fn theorem3_mvcsr_subset_of_mvsr_constructively() {
+    let sys = Schedule::parse("Ra(x) Wa(y) Rb(y) Wb(x) Rc(x) Wc(y)")
+        .unwrap()
+        .tx_system();
+    let mut verified = 0;
+    for s in Schedule::all_interleavings(&sys).into_iter().step_by(3) {
+        if !is_mvcsr(&s) {
+            continue;
+        }
+        assert!(is_mvsr(&s), "Theorem 3 fails on {s}");
+        let (order, vf) = mvcc_repro::classify::mvcsr::mvcsr_version_function(&s).unwrap();
+        let serial = Schedule::serial(&s.tx_system(), &order);
+        assert!(full_view_equivalent(
+            &s,
+            &vf,
+            &serial,
+            &VersionFunction::standard(&serial)
+        ));
+        verified += 1;
+    }
+    assert!(verified > 10, "the corpus should contain many MVCSR schedules");
+}
+
+/// The strict-containment witnesses of Figure 1: each region separates two
+/// classes.
+#[test]
+fn class_separations_are_witnessed() {
+    let ex = figure1();
+    // MVSR \ (SR ∪ MVCSR)
+    assert!(is_mvsr(&ex[1].schedule) && !is_vsr(&ex[1].schedule) && !is_mvcsr(&ex[1].schedule));
+    // SR \ MVCSR
+    assert!(is_vsr(&ex[2].schedule) && !is_mvcsr(&ex[2].schedule));
+    // MVCSR \ SR
+    assert!(is_mvcsr(&ex[3].schedule) && !is_vsr(&ex[3].schedule));
+    // (MVCSR ∩ SR) \ CSR
+    assert!(is_mvcsr(&ex[4].schedule) && is_vsr(&ex[4].schedule) && !is_csr(&ex[4].schedule));
+    // Not MVSR at all.
+    assert!(!is_mvsr(&ex[0].schedule));
+}
+
+/// Section 4: the pair {s, s'} is the OLS counterexample — each schedule is
+/// individually MVCSR (and hence MVSR), both have unique serializations, and
+/// the pair is not on-line schedulable.
+#[test]
+fn section4_pair_is_the_ols_counterexample() {
+    let (s, s_prime) = section4_pair();
+    assert!(is_mvcsr(&s) && is_mvcsr(&s_prime));
+    assert!(is_mvsr(&s) && is_mvsr(&s_prime));
+    assert!(!is_ols(&[s.clone(), s_prime.clone()]));
+    let violation = ols_violation(&[s.clone(), s_prime.clone()]).unwrap();
+    assert_eq!(violation.prefix_len, 3, "the clash is at the shared read of x");
+    assert_eq!(violation.schedules, vec![0, 1]);
+    // Each schedule alone is perfectly schedulable.
+    assert!(is_ols(&[s]));
+    assert!(is_ols(&[s_prime]));
+}
+
+/// The witness returned by the MVCSR classifier is usable end-to-end: its
+/// serial order is a topological order of the MVCG.
+#[test]
+fn mvcsr_witness_is_topological() {
+    let s = figure1()[3].schedule.clone();
+    let order = mvcsr_witness(&s).unwrap();
+    let g = mvcc_repro::classify::mv_conflict_graph(&s);
+    let pos: std::collections::HashMap<_, _> =
+        order.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+    for (from, to) in g.graph.arcs() {
+        let from_tx = g.tx_of_node[from.index()];
+        let to_tx = g.tx_of_node[to.index()];
+        assert!(pos[&from_tx] < pos[&to_tx]);
+    }
+}
