@@ -26,7 +26,10 @@ fn schedule_of(transactions: usize, steps: usize, entities: usize) -> mvcc_core:
 
 fn bench_polynomial_classifiers(c: &mut Criterion) {
     let mut group = c.benchmark_group("classify_polynomial");
-    group.measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(20);
     for &(txns, steps) in &[(4usize, 4usize), (8, 4), (16, 8), (32, 8), (64, 8)] {
         let s = schedule_of(txns, steps, 16);
         group.bench_with_input(
@@ -45,7 +48,10 @@ fn bench_polynomial_classifiers(c: &mut Criterion) {
 
 fn bench_np_classifiers(c: &mut Criterion) {
     let mut group = c.benchmark_group("classify_np_complete");
-    group.measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300)).sample_size(10);
+    group
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(10);
     for &txns in &[3usize, 4, 5, 6] {
         let s = schedule_of(txns, 4, 6);
         group.bench_with_input(BenchmarkId::new("vsr", txns), &s, |b, s| {
@@ -60,14 +66,17 @@ fn bench_np_classifiers(c: &mut Criterion) {
 
 fn bench_figure1_and_theorems(c: &mut Criterion) {
     let mut group = c.benchmark_group("figure1");
-    group.measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300)).sample_size(10);
+    group
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(10);
     let examples = mvcc_core::examples::figure1();
     group.bench_function("classify_all_examples", |b| {
         b.iter(|| {
             examples
                 .iter()
                 .map(|ex| taxonomy::classify(&ex.schedule))
-                .count()
+                .collect::<Vec<_>>()
         })
     });
     let s4 = examples[3].schedule.clone();

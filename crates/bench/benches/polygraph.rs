@@ -10,7 +10,10 @@ use std::time::Duration;
 
 fn bench_random_polygraphs(c: &mut Criterion) {
     let mut group = c.benchmark_group("polygraph_acyclicity");
-    group.measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(20);
     for &(nodes, choices) in &[(6usize, 3usize), (10, 5), (14, 8), (20, 12)] {
         let p = random_polygraph(nodes, 0.2, choices, 99);
         group.bench_with_input(
@@ -31,7 +34,10 @@ fn bench_random_polygraphs(c: &mut Criterion) {
 
 fn bench_sat_reduction(c: &mut Criterion) {
     let mut group = c.benchmark_group("sat_to_polygraph");
-    group.measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(20);
     for &(vars, clauses) in &[(3usize, 4usize), (5, 8), (8, 16)] {
         let f = random_restricted_formula(vars, clauses, 7);
         group.bench_with_input(

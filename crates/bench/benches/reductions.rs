@@ -10,7 +10,10 @@ use std::time::Duration;
 
 fn bench_constructions(c: &mut Criterion) {
     let mut group = c.benchmark_group("reduction_constructions");
-    group.measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(20);
     for (idx, p) in polygraph_corpus().into_iter().enumerate() {
         group.bench_with_input(BenchmarkId::new("theorem4_build", idx), &p, |b, p| {
             b.iter(|| theorem4_schedules(p).s1.len())
@@ -24,7 +27,10 @@ fn bench_constructions(c: &mut Criterion) {
 
 fn bench_ols_check(c: &mut Criterion) {
     let mut group = c.benchmark_group("ols_check");
-    group.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300)).sample_size(10);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(10);
     for (idx, p) in polygraph_corpus().into_iter().enumerate().take(4) {
         let inst = theorem4_schedules(&p);
         let pair = [inst.s1, inst.s2];
@@ -37,12 +43,20 @@ fn bench_ols_check(c: &mut Criterion) {
 
 fn bench_section4_pair(c: &mut Criterion) {
     let mut group = c.benchmark_group("section4");
-    group.measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(20);
     let (s, s_prime) = mvcc_core::examples::section4_pair();
     let pair = [s, s_prime];
     group.bench_function("is_ols_counterexample", |b| b.iter(|| is_ols(&pair)));
     group.finish();
 }
 
-criterion_group!(benches, bench_constructions, bench_ols_check, bench_section4_pair);
+criterion_group!(
+    benches,
+    bench_constructions,
+    bench_ols_check,
+    bench_section4_pair
+);
 criterion_main!(benches);

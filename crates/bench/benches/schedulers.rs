@@ -3,13 +3,16 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mvcc_scheduler::{
-    run_abort, MvSgtScheduler, MvtoScheduler, SerialScheduler, SgtScheduler,
-    TimestampScheduler, TwoPhaseLockingScheduler,
+    run_abort, MvSgtScheduler, MvtoScheduler, SerialScheduler, SgtScheduler, TimestampScheduler,
+    TwoPhaseLockingScheduler,
 };
 use mvcc_workload::{random_interleaving, random_transaction_system, WorkloadConfig};
 use std::time::Duration;
 
-fn workload(transactions: usize, entities: usize) -> (mvcc_core::TransactionSystem, mvcc_core::Schedule) {
+fn workload(
+    transactions: usize,
+    entities: usize,
+) -> (mvcc_core::TransactionSystem, mvcc_core::Schedule) {
     let cfg = WorkloadConfig {
         transactions,
         steps_per_transaction: 6,
@@ -25,7 +28,10 @@ fn workload(transactions: usize, entities: usize) -> (mvcc_core::TransactionSyst
 
 fn bench_schedulers(c: &mut Criterion) {
     let mut group = c.benchmark_group("scheduler_abort_mode");
-    group.measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(20);
     for &(txns, entities) in &[(8usize, 8usize), (16, 16), (32, 16)] {
         let (sys, s) = workload(txns, entities);
         let label = format!("{txns}txns_{entities}ent");

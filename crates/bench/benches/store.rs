@@ -2,22 +2,21 @@
 //! (experiment E11): read/write/commit throughput, version-chain length
 //! sensitivity, and garbage collection.
 
-use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mvcc_core::{EntityId, TxId};
+use mvcc_store::bytes::Bytes;
 use mvcc_store::{gc, MvStore};
 use std::time::Duration;
 
 fn store_with_history(entities: u32, versions_per_entity: u32) -> MvStore {
-    let store = MvStore::with_entities(
-        (0..entities).map(EntityId),
-        Bytes::from_static(b"init"),
-    );
+    let store = MvStore::with_entities((0..entities).map(EntityId), Bytes::from_static(b"init"));
     let mut tx = 1u32;
     for v in 0..versions_per_entity {
         for e in 0..entities {
             let h = store.begin(TxId(tx)).unwrap();
-            store.write(h, EntityId(e), Bytes::from(format!("v{v}"))).unwrap();
+            store
+                .write(h, EntityId(e), Bytes::from(format!("v{v}")))
+                .unwrap();
             store.commit(h, false).unwrap();
             tx += 1;
         }
@@ -27,7 +26,10 @@ fn store_with_history(entities: u32, versions_per_entity: u32) -> MvStore {
 
 fn bench_read_write_commit(c: &mut Criterion) {
     let mut group = c.benchmark_group("store_ops");
-    group.measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300)).sample_size(30);
+    group
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(30);
     for &chain_len in &[1u32, 8, 64] {
         let store = store_with_history(16, chain_len);
         group.bench_with_input(
@@ -78,7 +80,10 @@ fn bench_read_write_commit(c: &mut Criterion) {
 
 fn bench_gc(c: &mut Criterion) {
     let mut group = c.benchmark_group("store_gc");
-    group.measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300)).sample_size(10);
+    group
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(10);
     for &versions in &[16u32, 128] {
         group.bench_with_input(BenchmarkId::new("collect", versions), &versions, |b, &v| {
             b.iter_with_setup(

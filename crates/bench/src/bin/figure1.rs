@@ -30,7 +30,15 @@ fn main() {
     let mut table = Table::new(
         "Figure 1 examples",
         &[
-            "#", "schedule", "serial", "CSR", "SR(VSR)", "MVCSR", "MVSR", "DMVSR", "region",
+            "#",
+            "schedule",
+            "serial",
+            "CSR",
+            "SR(VSR)",
+            "MVCSR",
+            "MVSR",
+            "DMVSR",
+            "region",
             "matches paper",
         ],
     );
@@ -58,9 +66,7 @@ fn main() {
 
     // Part (b): exhaustive census of a small system.
     let (total, census) = figure1_census();
-    println!(
-        "Census of all {total} interleavings of the 3-transaction census system:\n{census}\n"
-    );
+    println!("Census of all {total} interleavings of the 3-transaction census system:\n{census}\n");
 
     // Part (c): census over random interleavings of a larger workload
     // (classified with the exact algorithms, so the sizes stay moderate).
@@ -75,7 +81,7 @@ fn main() {
     let schedules: Vec<_> = (0..200)
         .map(|i| {
             let sys = random_transaction_system(&cfg.with_seed(cfg.seed + i));
-            random_interleaving(&sys, i as u64)
+            random_interleaving(&sys, i)
         })
         .collect();
     let census = Census::build(schedules.iter());

@@ -42,8 +42,16 @@ fn print_sweep(title: &str, configs: &[WorkloadConfig], repetitions: usize) {
 
 fn main() {
     let repetitions = 40;
-    print_sweep("E9a: contention sweep", &suites::e9_contention_sweep(), repetitions);
-    print_sweep("E9b: read-ratio sweep", &suites::e9_read_ratio_sweep(), repetitions);
+    print_sweep(
+        "E9a: contention sweep",
+        &suites::e9_contention_sweep(),
+        repetitions,
+    );
+    print_sweep(
+        "E9b: read-ratio sweep",
+        &suites::e9_read_ratio_sweep(),
+        repetitions,
+    );
     print_sweep("E9c: scale sweep", &suites::e9_scale_sweep(), repetitions);
     println!(
         "Reading the tables: every multiversion scheduler should dominate its single-version\n\

@@ -95,7 +95,14 @@ fn theorem4_and_5_tables() {
     let corpus = polygraph_corpus();
     let mut t4 = Table::new(
         "Theorem 4: polygraph -> pair of MVCSR schedules (OLS iff acyclic)",
-        &["polygraph", "steps per schedule", "acyclic", "pair OLS", "OLS check ms", "consistent"],
+        &[
+            "polygraph",
+            "steps per schedule",
+            "acyclic",
+            "pair OLS",
+            "OLS check ms",
+            "consistent",
+        ],
     );
     for row in theorem4_table(&corpus) {
         t4.row(&[
@@ -111,7 +118,13 @@ fn theorem4_and_5_tables() {
 
     let mut t5 = Table::new(
         "Theorem 5: polygraph -> forced-read-from schedule (MVSR iff acyclic)",
-        &["polygraph", "steps", "acyclic", "schedule MVSR", "consistent"],
+        &[
+            "polygraph",
+            "steps",
+            "acyclic",
+            "schedule MVSR",
+            "consistent",
+        ],
     );
     for row in theorem5_table(&corpus) {
         t5.row(&[
@@ -131,13 +144,25 @@ fn theorem6_table() {
     let corpus = polygraph_corpus();
     let mut table = Table::new(
         "Theorem 6: adaptive construction vs. the greedy maximal scheduler",
-        &["polygraph", "acyclic", "schedule accepted", "amendments", "choices pinned", "consistent"],
+        &[
+            "polygraph",
+            "acyclic",
+            "schedule accepted",
+            "amendments",
+            "choices pinned",
+            "consistent",
+        ],
     );
     for p in &corpus {
         let acyclic = is_acyclic_polygraph(p);
         let out = adaptive_schedule(p, || Box::new(GreedyMaximalScheduler::new()));
         table.row(&[
-            format!("{}n/{}a/{}c", p.node_count(), p.arc_count(), p.choice_count()),
+            format!(
+                "{}n/{}a/{}c",
+                p.node_count(),
+                p.arc_count(),
+                p.choice_count()
+            ),
             acyclic.to_string(),
             out.accepted.to_string(),
             out.amendments.to_string(),
@@ -153,7 +178,9 @@ fn complexity_table() {
     let rows = classifier_scaling(&suites::e10_sizes(), 6);
     let mut table = Table::new(
         "E10: classifier cost (microseconds; NP-complete tests skipped on large instances)",
-        &["workload", "steps", "CSR us", "MVCSR us", "VSR us", "MVSR us"],
+        &[
+            "workload", "steps", "CSR us", "MVCSR us", "VSR us", "MVSR us",
+        ],
     );
     let fmt_opt = |v: Option<f64>| v.map(|x| format!("{x:.1}")).unwrap_or_else(|| "-".into());
     for row in rows {

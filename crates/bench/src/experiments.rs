@@ -14,8 +14,8 @@ use mvcc_graph::Polygraph;
 use mvcc_reductions::ols::is_ols;
 use mvcc_reductions::{theorem4_schedules, theorem5_schedule};
 use mvcc_scheduler::{
-    run_abort, run_prefix, MvSgtScheduler, MvtoScheduler, Scheduler, SerialScheduler,
-    SgtScheduler, TimestampScheduler, TwoPhaseLockingScheduler,
+    run_abort, run_prefix, MvSgtScheduler, MvtoScheduler, Scheduler, SerialScheduler, SgtScheduler,
+    TimestampScheduler, TwoPhaseLockingScheduler,
 };
 use mvcc_workload::{random_interleaving, random_transaction_system, WorkloadConfig};
 use std::time::Instant;
@@ -172,7 +172,10 @@ pub fn classifier_scaling(configs: &[WorkloadConfig], np_limit_txns: usize) -> V
             let csr_us = time_us(&|| is_csr(&s));
             let mvcsr_us = time_us(&|| is_mvcsr(&s));
             let (vsr_us, mvsr_us) = if cfg.transactions <= np_limit_txns {
-                (Some(time_us(&|| is_vsr(&s))), Some(time_us(&|| is_mvsr(&s))))
+                (
+                    Some(time_us(&|| is_vsr(&s))),
+                    Some(time_us(&|| is_mvsr(&s))),
+                )
             } else {
                 (None, None)
             };

@@ -144,7 +144,9 @@ mod tests {
     #[test]
     fn graph_test_agrees_with_definition_on_all_interleavings() {
         // Exhaustive check over every interleaving of a small system.
-        let sys = Schedule::parse("Ra(x) Wa(y) Rb(y) Wb(x)").unwrap().tx_system();
+        let sys = Schedule::parse("Ra(x) Wa(y) Rb(y) Wb(x)")
+            .unwrap()
+            .tx_system();
         for s in Schedule::all_interleavings(&sys) {
             assert_eq!(is_csr(&s), is_csr_by_definition(&s), "schedule {s}");
         }

@@ -1,12 +1,12 @@
-//! DMVSR: the restricted-model relative of MVSR from [PK84], discussed in
+//! DMVSR: the restricted-model relative of MVSR from \[PK84\], discussed in
 //! Section 3 of the paper.
 //!
-//! [PK84] shows that MVSR is polynomial in the *restricted model* in which no
+//! \[PK84\] shows that MVSR is polynomial in the *restricted model* in which no
 //! transaction writes an entity it has not read.  A schedule in the general
 //! model is **DMVSR** if it is MVSR once an appropriate read step is inserted
 //! immediately before each "readless write" (a write of an entity the
 //! transaction has not read earlier).  The paper notes that MVCSR corresponds
-//! to [PK84]'s `MRW` class, a superset of DMVSR (`MWW` in their notation);
+//! to \[PK84\]'s `MRW` class, a superset of DMVSR (`MWW` in their notation);
 //! the containment `DMVSR ⊆ MVCSR ⊆ MVSR` is exercised by the tests below
 //! and by the Figure 1 census.
 

@@ -11,7 +11,7 @@
 //! | VSR ("SR") | view-equivalent to a serial schedule | NP-complete | [`vsr`] |
 //! | MVCSR | multiversion-conflict-equivalent to a serial schedule (MVCG acyclic, Theorem 1) | polynomial | [`mvcsr`] |
 //! | MVSR | some version function makes it view-equivalent to a serial schedule | NP-complete | [`mvsr`] |
-//! | DMVSR | MVSR after patching readless writes ([PK84]) | NP-complete | [`dmvsr`] |
+//! | DMVSR | MVSR after patching readless writes (\[PK84\]) | NP-complete | [`dmvsr`] |
 //!
 //! Each NP-complete classifier is an exact search with pruning plus, where
 //! available, an independent formulation (the VSR polygraph) used for

@@ -122,7 +122,9 @@ mod tests {
 
     #[test]
     fn csr_implies_mvcsr_on_small_systems() {
-        let sys = Schedule::parse("Ra(x) Wa(y) Rb(y) Wb(x)").unwrap().tx_system();
+        let sys = Schedule::parse("Ra(x) Wa(y) Rb(y) Wb(x)")
+            .unwrap()
+            .tx_system();
         for s in Schedule::all_interleavings(&sys) {
             if crate::csr::is_csr(&s) {
                 assert!(is_mvcsr(&s), "CSR schedule not MVCSR: {s}");
@@ -134,7 +136,9 @@ mod tests {
     fn theorem1_graph_test_matches_definition() {
         // Exhaustive: every interleaving of two 2-step transactions plus a
         // blind writer.
-        let sys = Schedule::parse("Ra(x) Wa(y) Rb(y) Wb(x) Wc(x)").unwrap().tx_system();
+        let sys = Schedule::parse("Ra(x) Wa(y) Rb(y) Wb(x) Wc(x)")
+            .unwrap()
+            .tx_system();
         for s in Schedule::all_interleavings(&sys) {
             assert_eq!(is_mvcsr(&s), is_mvcsr_by_definition(&s), "schedule {s}");
         }

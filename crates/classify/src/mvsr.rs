@@ -3,7 +3,7 @@
 //!
 //! A schedule `s` is MVSR iff there is a version function `V` such that
 //! `(s, V)` is view-equivalent to `(r, V_r)` for some serial schedule `r`.
-//! Testing MVSR is NP-complete [PK84]; the exact test below searches over
+//! Testing MVSR is NP-complete \[PK84\]; the exact test below searches over
 //! serial orders with pruning (see [`crate::serialization`]), and returns a
 //! complete witness — the serial order *and* the version function — when one
 //! exists.

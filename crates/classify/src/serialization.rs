@@ -20,7 +20,7 @@
 //!   (see `mvcc-reductions::ols`).
 
 use mvcc_core::{Schedule, TransactionSystem, TxId, VersionFunction, VersionSource};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// The read-from assignment induced by running the transaction system
 /// serially in order `order`, expressed per read step *position of `s`*.
@@ -180,21 +180,7 @@ pub fn is_realizable(s: &Schedule, rf: &SerialReadFroms) -> bool {
 /// case).  Set `limit` to stop early after that many serializations have
 /// been found (`None` enumerates all).
 pub fn serializations(s: &Schedule, limit: Option<usize>) -> Vec<SerialReadFroms> {
-    let sys = s.tx_system();
-    let tx_ids = sys.tx_ids();
-    let mut out = Vec::new();
-    let mut order: Vec<TxId> = Vec::with_capacity(tx_ids.len());
-    let mut used = vec![false; tx_ids.len()];
-    search(
-        s,
-        &sys,
-        &tx_ids,
-        &mut order,
-        &mut used,
-        &mut out,
-        limit,
-    );
-    out
+    serializations_filtered(s, limit, &|_, _| true)
 }
 
 /// Enumerates serializations of `s` whose induced read-from assignment agrees
@@ -208,163 +194,766 @@ pub fn serializations_extending(
     required: &HashMap<usize, VersionSource>,
     limit: Option<usize>,
 ) -> Vec<SerialReadFroms> {
-    serializations_filtered(s, limit, &|pos, src| {
-        required.get(&pos).map(|&r| r == src).unwrap_or(true)
-    })
+    let sys = s.tx_system();
+    let accept =
+        |pos: usize, src: VersionSource| required.get(&pos).map(|&r| r == src).unwrap_or(true);
+    let mut engine = SearchEngine::build(s, &sys, limit, &accept);
+    engine.apply_required(required);
+    if engine.infeasible {
+        return Vec::new();
+    }
+    let mut order = Vec::with_capacity(engine.txs.len());
+    let mut last_writer = BTreeMap::new();
+    engine.dfs(&mut order, 0, &mut last_writer);
+    engine.out
 }
 
 /// `true` iff `s` has at least one serialization agreeing with `required`.
-pub fn has_serialization_extending(
+pub fn has_serialization_extending(s: &Schedule, required: &HashMap<usize, VersionSource>) -> bool {
+    !serializations_extending(s, required, Some(1)).is_empty()
+}
+
+/// As [`has_serialization_extending`], but giving up after `node_budget`
+/// search nodes: `Some(answer)` when the search settled the question in
+/// budget, `None` when it ran out.  Lets callers with many candidate maps
+/// probe them all cheaply first (a feasible map is usually found in a
+/// handful of nodes, while a refutation may need exhaustive search) and fall
+/// back to full searches only when every probe was inconclusive.
+pub fn has_serialization_extending_budgeted(
     s: &Schedule,
     required: &HashMap<usize, VersionSource>,
-) -> bool {
-    !serializations_extending(s, required, Some(1)).is_empty()
+    node_budget: u64,
+) -> Option<bool> {
+    let sys = s.tx_system();
+    let accept =
+        |pos: usize, src: VersionSource| required.get(&pos).map(|&r| r == src).unwrap_or(true);
+    let mut engine = SearchEngine::build(s, &sys, Some(1), &accept);
+    engine.apply_required(required);
+    if engine.infeasible {
+        return Some(false);
+    }
+    engine.budget = node_budget;
+    let mut order = Vec::with_capacity(engine.txs.len());
+    let mut last_writer = BTreeMap::new();
+    engine.dfs(&mut order, 0, &mut last_writer);
+    if !engine.out.is_empty() {
+        Some(true)
+    } else if engine.budget_exhausted {
+        None
+    } else {
+        Some(false)
+    }
+}
+
+/// Enumerates the distinct restrictions to the first `prefix_len` steps of
+/// the read-from assignments induced by the serializations of `s` — without
+/// enumerating the serializations themselves.
+///
+/// The serializations of a schedule can be factorially many (any group of
+/// commuting transactions permutes freely), but their *restrictions* to a
+/// prefix are few: one per achievable assignment of sources to the prefix's
+/// reads.  The search explores serial orders only until every transaction
+/// reading inside the prefix has been placed (at which point the restriction
+/// is fully determined), validates each *new* restriction with a single
+/// memoized completability check, and dedups revisited search states.  This
+/// is what makes the OLS checker of `mvcc-reductions` feasible on
+/// Theorem 4/5 instances whose transaction count rules out enumeration.
+///
+/// The result is empty iff `s` has no serialization at all (i.e. `s` is not
+/// MVSR); a schedule with no reads in the prefix yields the singleton set
+/// containing the empty restriction.
+pub fn achievable_prefix_restrictions(
+    s: &Schedule,
+    prefix_len: usize,
+) -> std::collections::BTreeSet<std::collections::BTreeMap<usize, VersionSource>> {
+    achievable_prefix_restrictions_bounded(s, prefix_len, None)
+}
+
+/// As [`achievable_prefix_restrictions`], stopping after `max` distinct
+/// restrictions have been found (useful when the caller only needs to know
+/// whether there are zero, one, or several).
+pub fn achievable_prefix_restrictions_bounded(
+    s: &Schedule,
+    prefix_len: usize,
+    max: Option<usize>,
+) -> std::collections::BTreeSet<std::collections::BTreeMap<usize, VersionSource>> {
+    let sys = s.tx_system();
+    let accept = |_: usize, _: VersionSource| true;
+    let mut engine = SearchEngine::build(s, &sys, None, &accept);
+    let prefix_len = prefix_len.min(s.len());
+
+    if engine.txs.len() > 128 {
+        // Beyond the bitmask the dedup machinery does not apply; fall back
+        // to projecting plain enumeration (instances this big are out of
+        // reach for every exact NP checker in this crate anyway).  `max` is
+        // honored with a growing enumeration limit, so a small bound stops
+        // long before the (potentially factorial) full enumeration.
+        let mut limit = max.unwrap_or(usize::MAX).max(1);
+        loop {
+            let sers = serializations(
+                s,
+                if limit == usize::MAX {
+                    None
+                } else {
+                    Some(limit)
+                },
+            );
+            let exhausted = sers.len() < limit;
+            let out: std::collections::BTreeSet<_> = sers
+                .into_iter()
+                .map(|rf| {
+                    rf.read_sources
+                        .iter()
+                        .filter(|(&pos, _)| pos < prefix_len)
+                        .map(|(&pos, &src)| (pos, src))
+                        .collect()
+                })
+                .collect();
+            let satisfied = max.map(|m| out.len() >= m).unwrap_or(false);
+            if exhausted || satisfied {
+                return out;
+            }
+            limit = limit.saturating_mul(2);
+        }
+    }
+
+    // Transactions that read inside the prefix: the restriction is fully
+    // determined exactly when all of them have been placed.
+    let readers_remaining = engine
+        .txs
+        .iter()
+        .filter(|t| t.reads.iter().any(|&(pos, _, _)| pos < prefix_len))
+        .count();
+
+    let mut out = std::collections::BTreeSet::new();
+    let mut visited = std::collections::HashSet::new();
+    let mut last_writer = BTreeMap::new();
+    let mut restriction = BTreeMap::new();
+    engine.restriction_dfs(
+        prefix_len,
+        readers_remaining,
+        &mut visited,
+        0,
+        0,
+        &mut last_writer,
+        &mut restriction,
+        &mut out,
+        max,
+    );
+    out
 }
 
 /// Shared implementation: enumerate serializations whose induced source for
 /// every read position satisfies `accept(pos, source)`.
+///
+/// The search places transactions one at a time.  Placing a transaction
+/// fully determines the sources of *its* reads (only the already-placed
+/// transactions can serve them), so each placement is checked incrementally
+/// in time proportional to that transaction's reads.  Whether a partial
+/// order can still be completed depends only on (a) the *set* of placed
+/// transactions and (b) the last placed writer of each entity — so search
+/// states that failed are memoized on exactly that signature, which prunes
+/// the factorial thrash on reduction-scale instances (Theorems 4–6 emit one
+/// transaction per polygraph node).
 fn serializations_filtered(
     s: &Schedule,
     limit: Option<usize>,
     accept: &dyn Fn(usize, VersionSource) -> bool,
 ) -> Vec<SerialReadFroms> {
     let sys = s.tx_system();
-    let tx_ids = sys.tx_ids();
-    let mut out = Vec::new();
-    let mut order: Vec<TxId> = Vec::with_capacity(tx_ids.len());
-    let mut used = vec![false; tx_ids.len()];
-    search_filtered(s, &sys, &tx_ids, &mut order, &mut used, &mut out, limit, accept);
-    out
+    let mut engine = SearchEngine::build(s, &sys, limit, accept);
+    let mut order = Vec::with_capacity(engine.txs.len());
+    let mut last_writer = BTreeMap::new();
+    engine.dfs(&mut order, 0, &mut last_writer);
+    engine.out
 }
 
-#[allow(clippy::too_many_arguments)]
-fn search_filtered(
-    s: &Schedule,
-    sys: &TransactionSystem,
-    tx_ids: &[TxId],
-    order: &mut Vec<TxId>,
-    used: &mut Vec<bool>,
-    out: &mut Vec<SerialReadFroms>,
+struct TxPlacement {
+    id: TxId,
+    /// Reads in program order: (schedule position, entity, reads own
+    /// earlier write).
+    reads: Vec<(usize, mvcc_core::EntityId, bool)>,
+    writes: Vec<mvcc_core::EntityId>,
+    /// For each read without an own earlier write: (schedule position,
+    /// entity, bitmask of transactions whose write of the entity precedes
+    /// the read in `s`).  Used by the forward check.
+    open_reads: Vec<(usize, mvcc_core::EntityId, u128)>,
+    /// Reads of this transaction pinned by a `required` map (see
+    /// [`SearchEngine::apply_required`]): (entity, required source).
+    required_reads: Vec<(mvcc_core::EntityId, VersionSource)>,
+}
+
+struct SearchEngine<'a> {
+    s: &'a Schedule,
+    sys: &'a TransactionSystem,
+    txs: Vec<TxPlacement>,
+    first_write: HashMap<(mvcc_core::EntityId, TxId), usize>,
+    accept: &'a dyn Fn(usize, VersionSource) -> bool,
     limit: Option<usize>,
-    accept: &dyn Fn(usize, VersionSource) -> bool,
-) -> bool {
-    if let Some(l) = limit {
-        if out.len() >= l {
-            return true;
+    out: Vec<SerialReadFroms>,
+    /// States (placed set, last writer per entity) with no acceptable
+    /// completion.  Only populated while the transaction count fits the
+    /// bitmask; beyond that the search still runs, just without memoization.
+    dead: std::collections::HashSet<(u128, Vec<(mvcc_core::EntityId, TxId)>)>,
+    /// Index of each transaction in `txs` (for the required-read check).
+    tx_index: HashMap<TxId, usize>,
+    /// Hard precedence constraints derived from a `required` map:
+    /// `pred[i]` is the set of transactions that must precede `txs[i]` in
+    /// every acceptable serial order.  Empty unless `apply_required` ran.
+    pred: Vec<u128>,
+    /// Set when the precedence constraints are cyclic: no serial order can
+    /// satisfy the `required` map at all.
+    infeasible: bool,
+    /// Remaining search-node budget (`u64::MAX` = unbounded).  When it runs
+    /// out the search unwinds without an answer and sets
+    /// `budget_exhausted`; dead-state memos recorded so far stay valid.
+    budget: u64,
+    /// Whether the last run was cut short by the node budget.
+    budget_exhausted: bool,
+}
+
+/// Outcome of a search subtree.
+enum Dfs {
+    /// The limit was reached; unwind immediately.
+    Stop,
+    /// At least one serialization was emitted below this node.
+    FoundSome,
+    /// The subtree was exhausted without emitting anything.
+    Nothing,
+}
+
+impl<'a> SearchEngine<'a> {
+    /// Prepares the placement tables for `s`: per-transaction reads aligned
+    /// with schedule positions, write sets, earliest-write positions and the
+    /// forward-check availability masks.
+    fn build(
+        s: &'a Schedule,
+        sys: &'a TransactionSystem,
+        limit: Option<usize>,
+        accept: &'a dyn Fn(usize, VersionSource) -> bool,
+    ) -> Self {
+        let tx_ids = sys.tx_ids();
+
+        // Per-transaction placement info, aligning program order with
+        // schedule positions.
+        let mut positions_of_tx: HashMap<TxId, Vec<usize>> = HashMap::new();
+        for (pos, step) in s.steps().iter().enumerate() {
+            positions_of_tx.entry(step.tx).or_default().push(pos);
         }
-    }
-    if order.len() == tx_ids.len() {
-        let rf = serial_read_froms_of_system(s, sys, order);
-        if is_realizable(s, &rf) && rf.read_sources.iter().all(|(&p, &src)| accept(p, src)) {
-            out.push(rf);
-        }
-        return limit.map(|l| out.len() >= l).unwrap_or(false);
-    }
-    for (i, &tx) in tx_ids.iter().enumerate() {
-        if used[i] {
-            continue;
-        }
-        order.push(tx);
-        used[i] = true;
-        if partial_realizable(s, sys, order) && partial_accepts(s, sys, order, accept) {
-            let done = search_filtered(s, sys, tx_ids, order, used, out, limit, accept);
-            if done {
-                used[i] = false;
-                order.pop();
-                return true;
+
+        // Candidate order heuristic: try transactions by first appearance in
+        // the schedule.  Serial witnesses of near-serial and
+        // reduction-generated schedules correlate strongly with schedule
+        // order, so the search finds them with little backtracking
+        // (enumeration semantics are unaffected).
+        let mut tx_ids_by_first_step = tx_ids.clone();
+        tx_ids_by_first_step.sort_by_key(|id| {
+            positions_of_tx
+                .get(id)
+                .and_then(|ps| ps.first().copied())
+                .unwrap_or(usize::MAX)
+        });
+
+        // Earliest write position of each (entity, writer): a read at
+        // position `pos` can be served by `writer` iff that write exists
+        // before `pos`.
+        let mut first_write: HashMap<(mvcc_core::EntityId, TxId), usize> = HashMap::new();
+        for (pos, step) in s.steps().iter().enumerate() {
+            if step.is_write() {
+                first_write.entry((step.entity, step.tx)).or_insert(pos);
             }
         }
-        used[i] = false;
-        order.pop();
-    }
-    false
-}
 
-/// Checks that the determined reads (those of already-placed transactions)
-/// satisfy the acceptance predicate.
-fn partial_accepts(
-    s: &Schedule,
-    sys: &TransactionSystem,
-    partial: &[TxId],
-    accept: &dyn Fn(usize, VersionSource) -> bool,
-) -> bool {
-    let rf = serial_read_froms_of_system(s, sys, partial);
-    let placed: std::collections::BTreeSet<TxId> = partial.iter().copied().collect();
-    rf.read_sources.iter().all(|(&pos, &src)| {
-        let tx = s.steps()[pos].tx;
-        !placed.contains(&tx) || accept(pos, src)
-    })
-}
+        let mut txs: Vec<TxPlacement> = Vec::with_capacity(tx_ids.len());
+        for &id in &tx_ids_by_first_step {
+            let tx = sys.get(id).expect("tx of the system");
+            let positions = &positions_of_tx[&id];
+            let mut reads = Vec::new();
+            for (k, &(action, entity)) in tx.accesses.iter().enumerate() {
+                if action.is_read() {
+                    let own_earlier_write = tx.accesses[..k]
+                        .iter()
+                        .any(|&(a, e)| a.is_write() && e == entity);
+                    reads.push((positions[k], entity, own_earlier_write));
+                }
+            }
+            txs.push(TxPlacement {
+                id,
+                reads,
+                writes: tx.write_set().into_iter().collect(),
+                open_reads: Vec::new(),
+                required_reads: Vec::new(),
+            });
+        }
 
-fn search(
-    s: &Schedule,
-    sys: &TransactionSystem,
-    tx_ids: &[TxId],
-    order: &mut Vec<TxId>,
-    used: &mut Vec<bool>,
-    out: &mut Vec<SerialReadFroms>,
-    limit: Option<usize>,
-) -> bool {
-    if let Some(l) = limit {
-        if out.len() >= l {
-            return true;
-        }
-    }
-    if order.len() == tx_ids.len() {
-        let rf = serial_read_froms_of_system(s, sys, order);
-        if is_realizable(s, &rf) {
-            out.push(rf);
-        }
-        return limit.map(|l| out.len() >= l).unwrap_or(false);
-    }
-    for (i, &tx) in tx_ids.iter().enumerate() {
-        if used[i] {
-            continue;
-        }
-        order.push(tx);
-        used[i] = true;
-        // Prune: the reads of the transaction just placed are now fully
-        // determined (only earlier transactions can serve them); check
-        // realizability of those reads.
-        if partial_realizable(s, sys, order) {
-            let done = search(s, sys, tx_ids, order, used, out, limit);
-            if done {
-                used[i] = false;
-                order.pop();
-                return true;
+        // Availability masks for the forward check (only meaningful while
+        // the transaction count fits the bitmask; the check is skipped
+        // otherwise).
+        if txs.len() <= 128 {
+            for i in 0..txs.len() {
+                let mut open = Vec::new();
+                for &(pos, entity, own) in &txs[i].reads {
+                    if own {
+                        continue;
+                    }
+                    let mut mask = 0u128;
+                    for (j, other) in txs.iter().enumerate() {
+                        if j != i
+                            && first_write
+                                .get(&(entity, other.id))
+                                .map(|&fp| fp < pos)
+                                .unwrap_or(false)
+                        {
+                            mask |= 1 << j;
+                        }
+                    }
+                    open.push((pos, entity, mask));
+                }
+                txs[i].open_reads = open;
             }
         }
-        used[i] = false;
-        order.pop();
-    }
-    false
-}
 
-/// Checks realizability of the reads of transactions already placed in the
-/// partial order (their sources cannot change as more transactions are
-/// appended).
-fn partial_realizable(s: &Schedule, sys: &TransactionSystem, partial: &[TxId]) -> bool {
-    let rf = serial_read_froms_of_system(s, sys, partial);
-    let placed: std::collections::BTreeSet<TxId> = partial.iter().copied().collect();
-    for (&pos, &src) in &rf.read_sources {
-        let step = s.steps()[pos];
-        if !placed.contains(&step.tx) {
-            continue;
+        let tx_index = txs.iter().enumerate().map(|(i, t)| (t.id, i)).collect();
+        let pred = vec![0u128; txs.len()];
+        SearchEngine {
+            s,
+            sys,
+            txs,
+            first_write,
+            accept,
+            limit,
+            out: Vec::new(),
+            dead: std::collections::HashSet::new(),
+            tx_index,
+            pred,
+            infeasible: false,
+            budget: u64::MAX,
+            budget_exhausted: false,
         }
-        match src {
-            VersionSource::Initial => {}
-            VersionSource::Tx(writer) if writer == step.tx => {}
-            VersionSource::Tx(writer) => {
-                let available = s.steps()[..pos]
-                    .iter()
-                    .any(|w| w.is_write() && w.entity == step.entity && w.tx == writer);
-                if !available {
-                    return false;
+    }
+
+    /// Registers a `required` read-from map so the forward check can
+    /// propagate it: a read pinned to `Initial` dies as soon as any writer
+    /// of its entity is placed before its reader, and a read pinned to
+    /// `Tx(w)` dies as soon as `w` stops being the entity's last writer
+    /// while the reader is still unplaced.  The `accept` predicate passed to
+    /// [`SearchEngine::build`] must enforce the same map at placement time.
+    fn apply_required(&mut self, required: &HashMap<usize, VersionSource>) {
+        for i in 0..self.txs.len() {
+            let mut pinned = Vec::new();
+            for &(pos, entity, own) in &self.txs[i].reads {
+                if own {
+                    continue;
+                }
+                if let Some(&src) = required.get(&pos) {
+                    pinned.push((entity, src));
+                }
+            }
+            self.txs[i].required_reads = pinned;
+        }
+        if self.txs.len() > 128 {
+            return;
+        }
+
+        // Hard precedence edges: a read pinned to `Tx(w)` puts `w` before
+        // its reader; a read pinned to `Initial` puts its reader before
+        // every writer of the entity.  A cycle among these proves the map
+        // unsatisfiable outright — this is exactly how the Theorem 4/5
+        // constructions encode polygraph arcs, so refutations that would
+        // otherwise need exhaustive search fall out of a linear check.
+        let writers_of: HashMap<mvcc_core::EntityId, Vec<usize>> = {
+            let mut m: HashMap<mvcc_core::EntityId, Vec<usize>> = HashMap::new();
+            for (j, t) in self.txs.iter().enumerate() {
+                for &e in &t.writes {
+                    m.entry(e).or_default().push(j);
+                }
+            }
+            m
+        };
+        for i in 0..self.txs.len() {
+            for k in 0..self.txs[i].required_reads.len() {
+                let (entity, src) = self.txs[i].required_reads[k];
+                match src {
+                    VersionSource::Tx(w) => {
+                        if let Some(&wi) = self.tx_index.get(&w) {
+                            if wi != i {
+                                self.pred[i] |= 1 << wi;
+                            }
+                        }
+                    }
+                    VersionSource::Initial => {
+                        if let Some(ws) = writers_of.get(&entity) {
+                            for &j in ws {
+                                if j != i {
+                                    self.pred[j] |= 1 << i;
+                                }
+                            }
+                        }
+                    }
                 }
             }
         }
+
+        // Kahn's algorithm: if the precedence graph has a cycle, no serial
+        // order satisfies `required`.
+        let n = self.txs.len();
+        let mut placed = 0u128;
+        let mut progressed = true;
+        let mut count = 0;
+        while progressed {
+            progressed = false;
+            for i in 0..n {
+                if placed & (1 << i) == 0 && self.pred[i] & !placed == 0 {
+                    placed |= 1 << i;
+                    count += 1;
+                    progressed = true;
+                }
+            }
+        }
+        if count < n {
+            self.infeasible = true;
+        }
     }
-    true
+
+    fn dfs(
+        &mut self,
+        order: &mut Vec<TxId>,
+        used: u128,
+        last_writer: &mut BTreeMap<mvcc_core::EntityId, TxId>,
+    ) -> Dfs {
+        if self.budget == 0 {
+            self.budget_exhausted = true;
+            return Dfs::Stop;
+        }
+        self.budget -= 1;
+        if order.len() == self.txs.len() {
+            // Every placement was checked incrementally, so the induced
+            // assignment is realizable and accepted by construction.
+            self.out
+                .push(serial_read_froms_of_system(self.s, self.sys, order));
+            return match self.limit {
+                Some(l) if self.out.len() >= l => Dfs::Stop,
+                _ => Dfs::FoundSome,
+            };
+        }
+
+        let memoize = self.txs.len() <= 128;
+        let key = if memoize {
+            let sig: Vec<_> = last_writer.iter().map(|(&e, &t)| (e, t)).collect();
+            if self.dead.contains(&(used, sig.clone())) {
+                return Dfs::Nothing;
+            }
+            Some((used, sig))
+        } else {
+            None
+        };
+
+        // Forward check: every read of every unplaced transaction must still
+        // be servable by SOME completion (see `forward_check`); a failed
+        // check proves the whole subtree dead.
+        if memoize && !self.forward_check(used, last_writer) {
+            if let Some(key) = key {
+                self.dead.insert(key);
+            }
+            return Dfs::Nothing;
+        }
+
+        let mut found = false;
+        for i in 0..self.txs.len() {
+            if memoize && used & (1 << i) != 0 {
+                continue;
+            }
+            if !memoize && order.contains(&self.txs[i].id) {
+                continue;
+            }
+            if memoize && self.pred[i] & !used != 0 {
+                // A hard predecessor is still unplaced.
+                continue;
+            }
+            if !self.can_place(i, last_writer) {
+                continue;
+            }
+            let tx_id = self.txs[i].id;
+            order.push(tx_id);
+            let saved: Vec<_> = self.txs[i]
+                .writes
+                .iter()
+                .map(|&e| (e, last_writer.insert(e, tx_id)))
+                .collect();
+            let next_used = if memoize { used | (1 << i) } else { used };
+            let result = self.dfs(order, next_used, last_writer);
+            for (e, old) in saved {
+                match old {
+                    Some(w) => last_writer.insert(e, w),
+                    None => last_writer.remove(&e),
+                };
+            }
+            order.pop();
+            match result {
+                Dfs::Stop => return Dfs::Stop,
+                Dfs::FoundSome => found = true,
+                Dfs::Nothing => {}
+            }
+        }
+
+        if found {
+            Dfs::FoundSome
+        } else {
+            if let Some(key) = key {
+                self.dead.insert(key);
+            }
+            Dfs::Nothing
+        }
+    }
+
+    /// Whether transaction `i` can be placed next: each of its reads must be
+    /// servable (the serially-determined source exists before the read in
+    /// `s`) and pass the acceptance predicate.
+    fn can_place(&self, i: usize, last_writer: &BTreeMap<mvcc_core::EntityId, TxId>) -> bool {
+        let tx = &self.txs[i];
+        tx.reads.iter().all(|&(pos, entity, own_earlier_write)| {
+            let source = if own_earlier_write {
+                VersionSource::Tx(tx.id)
+            } else {
+                match last_writer.get(&entity) {
+                    Some(&w) => VersionSource::Tx(w),
+                    None => VersionSource::Initial,
+                }
+            };
+            let realizable = match source {
+                VersionSource::Initial => true,
+                VersionSource::Tx(w) if w == tx.id => true,
+                VersionSource::Tx(w) => self
+                    .first_write
+                    .get(&(entity, w))
+                    .map(|&fp| fp < pos)
+                    .unwrap_or(false),
+            };
+            realizable && (self.accept)(pos, source)
+        })
+    }
+}
+
+/// Search-state key of [`SearchEngine::restriction_dfs`]: placed set, last
+/// writers, restriction so far.
+type RestrictionState = (
+    u128,
+    Vec<(mvcc_core::EntityId, TxId)>,
+    Vec<(usize, VersionSource)>,
+);
+
+impl SearchEngine<'_> {
+    /// Whether the partial state can be completed to a full realizable
+    /// serialization (existence only, nothing emitted).  Shares the dead
+    /// memo with the other search modes; must only be called with the
+    /// accept-everything predicate, so "dead" keeps one meaning throughout.
+    fn completes(
+        &mut self,
+        placed: usize,
+        used: u128,
+        last_writer: &mut BTreeMap<mvcc_core::EntityId, TxId>,
+    ) -> bool {
+        if placed == self.txs.len() {
+            return true;
+        }
+        let sig: Vec<_> = last_writer.iter().map(|(&e, &t)| (e, t)).collect();
+        if self.dead.contains(&(used, sig.clone())) {
+            return false;
+        }
+        if !self.forward_check(used, last_writer) {
+            self.dead.insert((used, sig));
+            return false;
+        }
+        for i in 0..self.txs.len() {
+            if used & (1 << i) != 0 || !self.can_place(i, last_writer) {
+                continue;
+            }
+            let tx_id = self.txs[i].id;
+            let saved: Vec<_> = self.txs[i]
+                .writes
+                .iter()
+                .map(|&e| (e, last_writer.insert(e, tx_id)))
+                .collect();
+            let done = self.completes(placed + 1, used | (1 << i), last_writer);
+            for (e, old) in saved {
+                match old {
+                    Some(w) => last_writer.insert(e, w),
+                    None => last_writer.remove(&e),
+                };
+            }
+            if done {
+                return true;
+            }
+        }
+        self.dead.insert((used, sig));
+        false
+    }
+
+    /// Necessary condition for any completion: each unplaced read without an
+    /// own earlier write must still be servable — by the current last writer
+    /// (if its write is early enough), by `Initial` (if no writer of the
+    /// entity was placed yet), or by an available unplaced writer placed in
+    /// between.
+    fn forward_check(&self, used: u128, last_writer: &BTreeMap<mvcc_core::EntityId, TxId>) -> bool {
+        for (i, tx) in self.txs.iter().enumerate() {
+            if used & (1 << i) != 0 {
+                continue;
+            }
+            for &(pos, entity, avail_mask) in &tx.open_reads {
+                let lw_ok = match last_writer.get(&entity) {
+                    None => true, // Initial is still reachable
+                    Some(&w) => self
+                        .first_write
+                        .get(&(entity, w))
+                        .map(|&fp| fp < pos)
+                        .unwrap_or(false),
+                };
+                if !lw_ok && avail_mask & !used == 0 {
+                    return false;
+                }
+            }
+            // Required-read propagation (empty unless `apply_required` ran):
+            // `Initial` is unreachable once any writer was placed, and
+            // `Tx(w)` is unreachable once `w` is placed but no longer the
+            // last writer.
+            for &(entity, src) in &tx.required_reads {
+                match src {
+                    VersionSource::Initial => {
+                        if last_writer.contains_key(&entity) {
+                            return false;
+                        }
+                    }
+                    VersionSource::Tx(w) => {
+                        if w == tx.id {
+                            // Pinned to a version the reader itself writes
+                            // only later in program order: never servable.
+                            return false;
+                        }
+                        if let Some(&wi) = self.tx_index.get(&w) {
+                            let placed = used & (1 << wi) != 0;
+                            if placed && last_writer.get(&entity) != Some(&w) {
+                                return false;
+                            }
+                        } else {
+                            // Unknown writer: no serialization can realize it.
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Enumerates the achievable restrictions of the serializing read-from
+    /// assignments to the first `prefix_len` schedule positions — see
+    /// [`achievable_prefix_restrictions`].  Returns `true` when the search
+    /// stopped early because `max` restrictions were found.
+    ///
+    /// Explores serial orders only until every prefix reader is placed
+    /// (which pins the restriction), then validates new restrictions with
+    /// one memoized [`SearchEngine::completes`] call.  Distinct search
+    /// states are deduped on (placed set, last writers, restriction so far):
+    /// revisiting one cannot contribute restrictions the first visit did
+    /// not.  Only correct with the accept-everything predicate.
+    #[allow(clippy::too_many_arguments)]
+    fn restriction_dfs(
+        &mut self,
+        prefix_len: usize,
+        readers_remaining: usize,
+        visited: &mut std::collections::HashSet<RestrictionState>,
+        placed: usize,
+        used: u128,
+        last_writer: &mut BTreeMap<mvcc_core::EntityId, TxId>,
+        restriction: &mut BTreeMap<usize, VersionSource>,
+        out: &mut std::collections::BTreeSet<BTreeMap<usize, VersionSource>>,
+        max: Option<usize>,
+    ) -> bool {
+        if readers_remaining == 0 {
+            if !out.contains(restriction) && self.completes(placed, used, last_writer) {
+                out.insert(restriction.clone());
+                if let Some(m) = max {
+                    if out.len() >= m {
+                        return true;
+                    }
+                }
+            }
+            return false;
+        }
+        let sig: Vec<_> = last_writer.iter().map(|(&e, &t)| (e, t)).collect();
+        if self.dead.contains(&(used, sig.clone())) {
+            return false;
+        }
+        if !self.forward_check(used, last_writer) {
+            self.dead.insert((used, sig));
+            return false;
+        }
+        let state: RestrictionState = (
+            used,
+            sig,
+            restriction.iter().map(|(&p, &v)| (p, v)).collect(),
+        );
+        if !visited.insert(state) {
+            return false;
+        }
+
+        for i in 0..self.txs.len() {
+            if used & (1 << i) != 0 || !self.can_place(i, last_writer) {
+                continue;
+            }
+            let tx_id = self.txs[i].id;
+            // Record the sources of this transaction's prefix reads; they
+            // are pinned at placement time (only earlier transactions can
+            // serve them).
+            let mut recorded = Vec::new();
+            let mut reads_in_prefix = false;
+            for &(pos, entity, own) in &self.txs[i].reads {
+                if pos >= prefix_len {
+                    continue;
+                }
+                reads_in_prefix = true;
+                let source = if own {
+                    VersionSource::Tx(tx_id)
+                } else {
+                    match last_writer.get(&entity) {
+                        Some(&w) => VersionSource::Tx(w),
+                        None => VersionSource::Initial,
+                    }
+                };
+                restriction.insert(pos, source);
+                recorded.push(pos);
+            }
+            let saved: Vec<_> = self.txs[i]
+                .writes
+                .iter()
+                .map(|&e| (e, last_writer.insert(e, tx_id)))
+                .collect();
+            let stop = self.restriction_dfs(
+                prefix_len,
+                readers_remaining - usize::from(reads_in_prefix),
+                visited,
+                placed + 1,
+                used | (1 << i),
+                last_writer,
+                restriction,
+                out,
+                max,
+            );
+            for (e, old) in saved {
+                match old {
+                    Some(w) => last_writer.insert(e, w),
+                    None => last_writer.remove(&e),
+                };
+            }
+            for pos in recorded {
+                restriction.remove(&pos);
+            }
+            if stop {
+                return true;
+            }
+        }
+        false
+    }
 }
 
 #[cfg(test)]
@@ -389,8 +978,16 @@ mod tests {
         // matter where other writers sit in the serial order.
         let s = Schedule::parse("Ra(x) Wa(x) Wb(x) Ra(x)").unwrap();
         let rf = serial_read_froms(&s, &[TxId(2), TxId(1)]);
-        assert_eq!(rf.read_sources[&0], VersionSource::Tx(TxId(2)), "first read sees B");
-        assert_eq!(rf.read_sources[&3], VersionSource::Tx(TxId(1)), "second read sees own write");
+        assert_eq!(
+            rf.read_sources[&0],
+            VersionSource::Tx(TxId(2)),
+            "first read sees B"
+        );
+        assert_eq!(
+            rf.read_sources[&3],
+            VersionSource::Tx(TxId(1)),
+            "second read sees own write"
+        );
     }
 
     #[test]

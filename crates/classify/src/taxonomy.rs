@@ -20,7 +20,7 @@ pub struct Classification {
     pub mvcsr: bool,
     /// Multiversion serializable.
     pub mvsr: bool,
-    /// DMVSR ([PK84], via readless-write patching).
+    /// DMVSR (\[PK84\], via readless-write patching).
     pub dmvsr: bool,
 }
 
@@ -124,7 +124,10 @@ impl Census {
 
     /// Count for a region (0 when the region was never seen).
     pub fn count(&self, region: Figure1Region) -> usize {
-        self.counts.get(&format!("{region:?}")).copied().unwrap_or(0)
+        self.counts
+            .get(&format!("{region:?}"))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Iterates `(region name, count)` in alphabetical order.
@@ -139,7 +142,11 @@ impl fmt::Display for Census {
         for (region, count) in self.iter() {
             writeln!(f, "  {region:<22} {count}")?;
         }
-        write!(f, "  containment violations: {}", self.containment_violations)
+        write!(
+            f,
+            "  containment violations: {}",
+            self.containment_violations
+        )
     }
 }
 
@@ -178,14 +185,10 @@ mod tests {
 
     #[test]
     fn every_region_of_figure1_is_non_empty_in_a_combined_census() {
-        let schedules: Vec<Schedule> =
-            figure1().into_iter().map(|ex| ex.schedule).collect();
+        let schedules: Vec<Schedule> = figure1().into_iter().map(|ex| ex.schedule).collect();
         let census = Census::build(schedules.iter());
         for region in Figure1Region::all() {
-            assert!(
-                census.count(region) >= 1,
-                "region {region:?} not witnessed"
-            );
+            assert!(census.count(region) >= 1, "region {region:?} not witnessed");
         }
     }
 

@@ -9,7 +9,7 @@
 //!   orders that prunes as soon as a placed transaction's reads disagree
 //!   with the schedule's standard read-froms;
 //! * [`vsr_polygraph`] / [`is_vsr_polygraph`]: the polygraph formulation of
-//!   [P79] (one choice per read-from/interfering-writer pair), solved with
+//!   \[P79\] (one choice per read-from/interfering-writer pair), solved with
 //!   the exact polygraph solver of `mvcc-graph`.  The two agree on every
 //!   input; the test-suite cross-checks them exhaustively on small systems.
 
@@ -21,7 +21,12 @@ use std::collections::{BTreeSet, HashMap};
 
 /// The standard (single-version) read-from source of every read position of
 /// `s`, plus the final writer of every entity.
-fn standard_targets(s: &Schedule) -> (HashMap<usize, VersionSource>, HashMap<EntityId, Option<TxId>>) {
+fn standard_targets(
+    s: &Schedule,
+) -> (
+    HashMap<usize, VersionSource>,
+    HashMap<EntityId, Option<TxId>>,
+) {
     let mut reads = HashMap::new();
     for pos in s.all_read_positions() {
         let e = s.steps()[pos].entity;
@@ -127,7 +132,7 @@ fn finals_match(rf: &SerialReadFroms, target: &HashMap<EntityId, Option<TxId>>) 
         .all(|(e, w)| rf.final_writers.get(e).unwrap_or(&None) == w)
 }
 
-/// The VSR polygraph of `schedule` ([P79]): nodes are the transactions plus
+/// The VSR polygraph of `schedule` (\[P79\]): nodes are the transactions plus
 /// `T0` and `Tf`; there is an arc from every writer to every transaction
 /// that reads from it (under the standard version function of the padded
 /// schedule), plus `T0 → t → Tf` ordering arcs; and for every read-from
@@ -167,10 +172,10 @@ pub fn vsr_polygraph(schedule: &Schedule) -> (Polygraph, HashMap<TxId, NodeId>) 
     }
 
     let add_read_constraint = |p: &mut Polygraph,
-                                   reader_tx: TxId,
-                                   writer_tx: TxId,
-                                   entity: EntityId,
-                                   impossible: bool| {
+                               reader_tx: TxId,
+                               writer_tx: TxId,
+                               entity: EntityId,
+                               impossible: bool| {
         if impossible {
             // No serial schedule can realise this read-from: poison the
             // polygraph with a guaranteed cycle.
@@ -284,7 +289,9 @@ mod tests {
 
     #[test]
     fn csr_implies_vsr_exhaustively() {
-        let sys = Schedule::parse("Ra(x) Wa(y) Rb(y) Wb(x)").unwrap().tx_system();
+        let sys = Schedule::parse("Ra(x) Wa(y) Rb(y) Wb(x)")
+            .unwrap()
+            .tx_system();
         for s in Schedule::all_interleavings(&sys) {
             if crate::csr::is_csr(&s) {
                 assert!(is_vsr(&s), "CSR but not VSR: {s}");

@@ -55,10 +55,7 @@ pub fn sv_conflicts(first: &Step, second: &Step) -> bool {
 /// conflict: `first` is a read, `second` is a write on the same entity, and
 /// the steps belong to different transactions.
 pub fn mv_conflicts(first: &Step, second: &Step) -> bool {
-    first.tx != second.tx
-        && first.entity == second.entity
-        && first.is_read()
-        && second.is_write()
+    first.tx != second.tx && first.entity == second.entity && first.is_read() && second.is_write()
 }
 
 /// An ordered conflicting pair of step positions within one schedule.
@@ -122,9 +119,18 @@ mod tests {
 
     #[test]
     fn single_version_conflicts_cover_rw_wr_ww() {
-        assert_eq!(sv_conflict_kind(&r(1, 0), &w(2, 0)), Some(ConflictKind::ReadWrite));
-        assert_eq!(sv_conflict_kind(&w(1, 0), &r(2, 0)), Some(ConflictKind::WriteRead));
-        assert_eq!(sv_conflict_kind(&w(1, 0), &w(2, 0)), Some(ConflictKind::WriteWrite));
+        assert_eq!(
+            sv_conflict_kind(&r(1, 0), &w(2, 0)),
+            Some(ConflictKind::ReadWrite)
+        );
+        assert_eq!(
+            sv_conflict_kind(&w(1, 0), &r(2, 0)),
+            Some(ConflictKind::WriteRead)
+        );
+        assert_eq!(
+            sv_conflict_kind(&w(1, 0), &w(2, 0)),
+            Some(ConflictKind::WriteWrite)
+        );
         assert_eq!(sv_conflict_kind(&r(1, 0), &r(2, 0)), None);
     }
 
@@ -139,8 +145,14 @@ mod tests {
     #[test]
     fn multiversion_conflict_is_read_then_write_only() {
         assert!(mv_conflicts(&r(1, 0), &w(2, 0)));
-        assert!(!mv_conflicts(&w(1, 0), &r(2, 0)), "write-read is not an MV conflict");
-        assert!(!mv_conflicts(&w(1, 0), &w(2, 0)), "write-write is not an MV conflict");
+        assert!(
+            !mv_conflicts(&w(1, 0), &r(2, 0)),
+            "write-read is not an MV conflict"
+        );
+        assert!(
+            !mv_conflicts(&w(1, 0), &w(2, 0)),
+            "write-write is not an MV conflict"
+        );
         assert!(!mv_conflicts(&r(1, 0), &r(2, 0)));
     }
 

@@ -24,17 +24,14 @@ pub fn grid(schedule: &Schedule) -> String {
         return String::from("(empty schedule)\n");
     }
     // Column width: widest rendered step plus one space.
-    let rendered: Vec<String> = schedule.steps().iter().map(|s| {
-        format!("{}({})", s.action, s.entity)
-    }).collect();
+    let rendered: Vec<String> = schedule
+        .steps()
+        .iter()
+        .map(|s| format!("{}({})", s.action, s.entity))
+        .collect();
     let col_width = rendered.iter().map(|r| r.len()).max().unwrap_or(4) + 1;
 
-    let label_width = txs
-        .iter()
-        .map(|t| format!("{t}").len())
-        .max()
-        .unwrap_or(2)
-        + 1;
+    let label_width = txs.iter().map(|t| format!("{t}").len()).max().unwrap_or(2) + 1;
 
     let mut out = String::new();
     for &tx in &txs {

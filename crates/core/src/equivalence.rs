@@ -104,8 +104,8 @@ pub fn full_view_equivalent(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Schedule, VersionFunction, VersionSource};
     use crate::{EntityId, TxId};
+    use crate::{Schedule, VersionFunction, VersionSource};
 
     #[test]
     fn conflict_equivalence_is_symmetric_and_detects_reordering() {
@@ -178,7 +178,7 @@ mod tests {
         let b = Schedule::parse("Ra(x) Ra(x) Wb(x)").unwrap();
         // In `a` the second read follows the write; in `b` it precedes it.
         assert!(!conflict_equivalent(&a, &b));
-        assert!(mv_conflict_equivalent(&b, &a) == false);
+        assert!(!mv_conflict_equivalent(&b, &a));
     }
 
     #[test]

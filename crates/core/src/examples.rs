@@ -139,10 +139,9 @@ pub fn figure1() -> Vec<Figure1Example> {
 /// common prefix extends to serializing version functions of both, so no
 /// multiversion scheduler can accept both schedules.
 pub fn section4_pair() -> (Schedule, Schedule) {
-    let s = Schedule::parse("Ra(x) Wa(x) Rb(x) Ra(y) Wa(y) Rb(y) Wb(y)")
-        .expect("well formed");
-    let s_prime = Schedule::parse("Ra(x) Wa(x) Rb(x) Rb(y) Wb(y) Ra(y) Wa(y)")
-        .expect("well formed");
+    let s = Schedule::parse("Ra(x) Wa(x) Rb(x) Ra(y) Wa(y) Rb(y) Wb(y)").expect("well formed");
+    let s_prime =
+        Schedule::parse("Ra(x) Wa(x) Rb(x) Rb(y) Wb(y) Ra(y) Wa(y)").expect("well formed");
     (s, s_prime)
 }
 

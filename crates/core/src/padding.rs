@@ -28,8 +28,7 @@ impl PaddedSchedule {
     /// and `Tf` reads of every accessed entity at the back.
     pub fn new(schedule: &Schedule) -> Self {
         let entities = schedule.entities_accessed();
-        let mut steps: Vec<Step> =
-            Vec::with_capacity(schedule.len() + 2 * entities.len());
+        let mut steps: Vec<Step> = Vec::with_capacity(schedule.len() + 2 * entities.len());
         for &e in &entities {
             steps.push(Step::write(TxId::INITIAL, e));
         }
@@ -62,9 +61,7 @@ impl PaddedSchedule {
     /// Recovers the original, unpadded schedule.
     pub fn unpadded(&self) -> Schedule {
         let steps = self.schedule.steps();
-        Schedule::from_steps(
-            steps[self.prefix_len..steps.len() - self.suffix_len].to_vec(),
-        )
+        Schedule::from_steps(steps[self.prefix_len..steps.len() - self.suffix_len].to_vec())
     }
 
     /// Maps a position of the unpadded schedule to the corresponding

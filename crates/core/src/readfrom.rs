@@ -31,7 +31,11 @@ pub struct ReadFrom {
 
 impl fmt::Display for ReadFrom {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} reads {} from {}", self.reader, self.entity, self.writer)
+        write!(
+            f,
+            "{} reads {} from {}",
+            self.reader, self.entity, self.writer
+        )
     }
 }
 
@@ -140,7 +144,9 @@ impl ReadFromRelation {
     pub fn by_reader(&self) -> BTreeMap<TxId, BTreeSet<(EntityId, TxId)>> {
         let mut out: BTreeMap<TxId, BTreeSet<(EntityId, TxId)>> = BTreeMap::new();
         for e in &self.entries {
-            out.entry(e.reader).or_default().insert((e.entity, e.writer));
+            out.entry(e.reader)
+                .or_default()
+                .insert((e.entity, e.writer));
         }
         out
     }

@@ -1,6 +1,8 @@
 //! Schedules: interleavings of the steps of a transaction system.
 
-use crate::{Action, CoreError, EntityId, EntityInterner, Step, Transaction, TransactionSystem, TxId};
+use crate::{
+    Action, CoreError, EntityId, EntityInterner, Step, Transaction, TransactionSystem, TxId,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -144,7 +146,11 @@ impl Schedule {
 
     /// Number of distinct transactions.
     pub fn num_transactions(&self) -> usize {
-        self.steps.iter().map(|s| s.tx).collect::<BTreeSet<_>>().len()
+        self.steps
+            .iter()
+            .map(|s| s.tx)
+            .collect::<BTreeSet<_>>()
+            .len()
     }
 
     /// The distinct entities accessed, in ascending id order.
@@ -295,7 +301,8 @@ impl Schedule {
     /// would serve to a read at position `pos` of `entity`: the last previous
     /// writer, or `None` for the initial version.
     pub fn last_writer_before(&self, pos: usize, entity: EntityId) -> Option<TxId> {
-        self.last_write_before(pos, entity).map(|i| self.steps[i].tx)
+        self.last_write_before(pos, entity)
+            .map(|i| self.steps[i].tx)
     }
 
     /// The transaction that wrote the final version of `entity`, or `None`
@@ -511,7 +518,9 @@ mod tests {
     #[test]
     fn all_interleavings_counts_match_multinomial() {
         // Two transactions with 2 steps each: C(4,2) = 6 interleavings.
-        let sys = Schedule::parse("Ra(x) Wa(x) Rb(x) Wb(x)").unwrap().tx_system();
+        let sys = Schedule::parse("Ra(x) Wa(x) Rb(x) Wb(x)")
+            .unwrap()
+            .tx_system();
         let all = Schedule::all_interleavings(&sys);
         assert_eq!(all.len(), 6);
         assert!(all.iter().all(|s| s.is_shuffle_of(&sys)));

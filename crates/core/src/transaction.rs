@@ -106,7 +106,7 @@ impl Transaction {
     }
 
     /// `true` if the transaction contains a write on an entity it never
-    /// reads ("readless write").  The restricted model of [PK84] disallows
+    /// reads ("readless write").  The restricted model of \[PK84\] disallows
     /// these; DMVSR is defined by patching them (see `mvcc-classify`).
     pub fn has_readless_write(&self) -> bool {
         let reads = self.read_set();
@@ -137,7 +137,7 @@ impl fmt::Display for Transaction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}:", self.id)?;
         for step in self.steps() {
-            write!(f, " {}{}({})", step.action, "", step.entity)?;
+            write!(f, " {}({})", step.action, step.entity)?;
         }
         Ok(())
     }
@@ -198,7 +198,7 @@ impl TransactionSystem {
     }
 
     /// `true` if no transaction has a readless write (the restricted model
-    /// of [PK84] in which MVSR is polynomial).
+    /// of \[PK84\] in which MVSR is polynomial).
     pub fn is_restricted_model(&self) -> bool {
         self.transactions.iter().all(|t| !t.has_readless_write())
     }
@@ -232,10 +232,7 @@ mod tests {
     fn tx(id: u32, accesses: &[(Action, u32)]) -> Transaction {
         Transaction::new(
             TxId(id),
-            accesses
-                .iter()
-                .map(|&(a, e)| (a, EntityId(e)))
-                .collect(),
+            accesses.iter().map(|&(a, e)| (a, EntityId(e))).collect(),
         )
     }
 

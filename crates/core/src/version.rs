@@ -58,7 +58,8 @@ impl fmt::Display for VersionSource {
 ///
 /// Ordinary read steps are keyed by their position in the schedule.  The
 /// *padded* final transaction `Tf` reads every entity after the schedule
-/// ends; its reads are keyed by entity in [`VersionFunction::final_reads`].
+/// ends; its reads are keyed by entity (see [`VersionFunction::assign_final`]
+/// and [`VersionFunction::get_final`]).
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct VersionFunction {
     /// Assignment for each read step position of the schedule.
@@ -170,12 +171,12 @@ impl VersionFunction {
             }
         }
         for entity in schedule.entities_accessed() {
-            let source =
-                self.get_final(entity)
-                    .ok_or(CoreError::InvalidVersionFunction {
-                        position: schedule.len(),
-                        message: format!("final read of {entity} has no assigned version"),
-                    })?;
+            let source = self
+                .get_final(entity)
+                .ok_or(CoreError::InvalidVersionFunction {
+                    position: schedule.len(),
+                    message: format!("final read of {entity} has no assigned version"),
+                })?;
             if let VersionSource::Tx(writer) = source {
                 let has_write = schedule
                     .steps()
@@ -184,7 +185,9 @@ impl VersionFunction {
                 if !has_write {
                     return Err(CoreError::InvalidVersionFunction {
                         position: schedule.len(),
-                        message: format!("final read of {entity} assigned to {writer}, which never writes it"),
+                        message: format!(
+                            "final read of {entity} assigned to {writer}, which never writes it"
+                        ),
                     });
                 }
             }
@@ -196,13 +199,9 @@ impl VersionFunction {
     /// position both of them assign (used when checking extensions of a
     /// prefix's version function, Section 4).
     pub fn agrees_with(&self, other: &VersionFunction) -> bool {
-        self.assignments.iter().all(|(pos, src)| {
-            other
-                .assignments
-                .get(pos)
-                .map(|o| o == src)
-                .unwrap_or(true)
-        })
+        self.assignments
+            .iter()
+            .all(|(pos, src)| other.assignments.get(pos).map(|o| o == src).unwrap_or(true))
     }
 
     /// `true` if this version function extends `prefix_vf`: every assignment
@@ -405,8 +404,7 @@ mod tests {
         assert_eq!(all.len(), 9);
         assert!(all.iter().all(|vf| vf.validate(&s).is_ok()));
         // All distinct.
-        let set: std::collections::BTreeSet<String> =
-            all.iter().map(|v| v.to_string()).collect();
+        let set: std::collections::BTreeSet<String> = all.iter().map(|v| v.to_string()).collect();
         assert_eq!(set.len(), 9);
     }
 
@@ -427,7 +425,10 @@ mod tests {
     #[test]
     fn version_source_round_trip() {
         assert_eq!(VersionSource::Initial.as_tx(), TxId::INITIAL);
-        assert_eq!(VersionSource::from_tx(TxId::INITIAL), VersionSource::Initial);
+        assert_eq!(
+            VersionSource::from_tx(TxId::INITIAL),
+            VersionSource::Initial
+        );
         assert_eq!(VersionSource::from_tx(TxId(3)), VersionSource::Tx(TxId(3)));
         assert_eq!(VersionSource::Tx(TxId(3)).as_tx(), TxId(3));
     }

@@ -12,7 +12,12 @@ pub fn digraph_to_dot(graph: &DiGraph, name: &str) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "digraph {name} {{");
     for node in graph.nodes() {
-        let _ = writeln!(out, "  {} [label=\"{}\"];", node.index(), escape(graph.label(node)));
+        let _ = writeln!(
+            out,
+            "  {} [label=\"{}\"];",
+            node.index(),
+            escape(graph.label(node))
+        );
     }
     for (a, b) in graph.arcs() {
         let _ = writeln!(out, "  {} -> {};", a.index(), b.index());

@@ -166,7 +166,7 @@ mod tests {
         let sol = solve_polygraph(&p).unwrap();
         assert!(p.is_compatible(&sol.graph));
         assert!(is_acyclic(&sol.graph));
-        assert_eq!(brute_force_acyclic(&p).is_some(), true);
+        assert!(brute_force_acyclic(&p).is_some());
     }
 
     #[test]

@@ -195,11 +195,8 @@ impl Polygraph {
     /// Assumption (a) of Theorem 4: every arc has at least one corresponding
     /// choice `(j, k, i)` with `(i, j)` that arc.
     pub fn every_arc_has_choice(&self) -> bool {
-        let with_choice: BTreeSet<(NodeId, NodeId)> = self
-            .choices
-            .iter()
-            .map(|c| c.mandatory_arc())
-            .collect();
+        let with_choice: BTreeSet<(NodeId, NodeId)> =
+            self.choices.iter().map(|c| c.mandatory_arc()).collect();
         self.arcs.iter().all(|a| with_choice.contains(a))
     }
 
@@ -242,11 +239,8 @@ impl Polygraph {
     /// participate in no other arcs or choices).
     pub fn normalized(&self) -> Polygraph {
         let mut out = self.clone();
-        let with_choice: BTreeSet<(NodeId, NodeId)> = self
-            .choices
-            .iter()
-            .map(|c| c.mandatory_arc())
-            .collect();
+        let with_choice: BTreeSet<(NodeId, NodeId)> =
+            self.choices.iter().map(|c| c.mandatory_arc()).collect();
         let missing: Vec<(NodeId, NodeId)> = self
             .arcs
             .iter()
@@ -308,7 +302,10 @@ mod tests {
         assert!(g_second.has_arc(n(1), n(2)));
         assert!(p.is_compatible(&g_first));
         assert!(p.is_compatible(&g_second));
-        assert!(!p.is_compatible(&p.first_branch_graph()), "missing mandatory arc");
+        assert!(
+            !p.is_compatible(&p.first_branch_graph()),
+            "missing mandatory arc"
+        );
     }
 
     #[test]

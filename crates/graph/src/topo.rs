@@ -1,8 +1,8 @@
 //! Topological sorting (Kahn's algorithm).
 
 use crate::{DiGraph, NodeId};
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Returns a topological order of `graph`, or `None` if the graph has a
 /// cycle.  Ties are broken by node id, so the result is deterministic (and is

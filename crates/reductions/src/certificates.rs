@@ -11,10 +11,13 @@
 //!   determined read-froms (when they are unique), which the Theorem 5 and
 //!   Theorem 6 constructions rely on.
 
-use mvcc_classify::serialization::serializations;
+use mvcc_classify::serialization::{
+    achievable_prefix_restrictions, achievable_prefix_restrictions_bounded,
+    has_serialization_extending, serializations_extending,
+};
 use mvcc_core::equivalence::full_view_equivalent;
 use mvcc_core::{Schedule, TxId, VersionFunction, VersionSource};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// A certificate for the on-line schedulability of a pair of schedules.
 #[derive(Debug, Clone)]
@@ -58,25 +61,21 @@ pub fn verify_ols_certificate(s1: &Schedule, s2: &Schedule, cert: &OlsCertificat
 /// to print witnesses in the experiment harness).
 pub fn find_ols_certificate(s1: &Schedule, s2: &Schedule) -> Option<OlsCertificate> {
     let common = s1.common_prefix_len(s2);
-    let sers1 = serializations(s1, None);
-    let sers2 = serializations(s2, None);
-    for rf1 in &sers1 {
-        for rf2 in &sers2 {
-            let agree = (0..common).all(|pos| {
-                !s1.steps()[pos].is_read()
-                    || rf1.read_sources.get(&pos) == rf2.read_sources.get(&pos)
-            });
-            if agree {
-                return Some(OlsCertificate {
-                    v1: rf1.to_version_function(s1),
-                    r1: rf1.order.clone(),
-                    v2: rf2.to_version_function(s2),
-                    r2: rf2.order.clone(),
-                });
-            }
-        }
-    }
-    None
+    // Search over achievable prefix *restrictions* instead of pairs of full
+    // serializations: two serializations agree on the common prefix iff they
+    // extend the same restriction, so it suffices to enumerate one side's
+    // restrictions, find one `s2` can extend too (budget-first probing, see
+    // `first_shared_restriction`), and materialize a serialization per side.
+    let candidates = achievable_prefix_restrictions(s1, common);
+    let required = crate::ols::first_shared_restriction(&candidates, &[s2])?;
+    let rf1 = serializations_extending(s1, &required, Some(1)).pop()?;
+    let rf2 = serializations_extending(s2, &required, Some(1)).pop()?;
+    Some(OlsCertificate {
+        v1: rf1.to_version_function(s1),
+        r1: rf1.order.clone(),
+        v2: rf2.to_version_function(s2),
+        r2: rf2.order.clone(),
+    })
 }
 
 /// If every serialization of `s` induces the *same* read-from assignment,
@@ -86,18 +85,16 @@ pub fn find_ols_certificate(s1: &Schedule, s2: &Schedule) -> Option<OlsCertifica
 /// This is the hypothesis of Corollary 1 ("there are no read-from choices"),
 /// which the Theorem 5 construction establishes for its output schedules.
 pub fn forced_read_froms(s: &Schedule) -> Option<BTreeMap<usize, VersionSource>> {
-    let sers = serializations(s, None);
-    let first = sers.first()?;
-    let reference: BTreeMap<usize, VersionSource> =
-        first.read_sources.iter().map(|(&p, &v)| (p, v)).collect();
-    for rf in &sers[1..] {
-        for (&pos, &src) in &rf.read_sources {
-            if reference.get(&pos) != Some(&src) {
-                return None;
-            }
-        }
+    // The read-froms are forced iff the achievable restrictions to the whole
+    // schedule form a singleton — checked without enumerating the (possibly
+    // factorially many) serializations behind them, and stopping as soon as
+    // a second restriction turns up.
+    let mut all = achievable_prefix_restrictions_bounded(s, s.len(), Some(2)).into_iter();
+    let first = all.next()?;
+    if all.next().is_some() {
+        return None;
     }
-    Some(reference)
+    Some(first)
 }
 
 /// Lemma 1, as a checkable predicate: a (maximal) scheduler may reject step
@@ -110,11 +107,8 @@ pub fn has_serializable_completion(
     prefix_with_step: &Schedule,
     assigned: &BTreeMap<usize, VersionSource>,
 ) -> bool {
-    serializations(prefix_with_step, None).iter().any(|rf| {
-        assigned
-            .iter()
-            .all(|(pos, src)| rf.read_sources.get(pos) == Some(src))
-    })
+    let required: HashMap<usize, VersionSource> = assigned.iter().map(|(&p, &v)| (p, v)).collect();
+    has_serialization_extending(prefix_with_step, &required)
 }
 
 #[cfg(test)]
@@ -141,8 +135,14 @@ mod tests {
         let s1 = Schedule::parse("Wa(x) Rb(x) Wb(y)").unwrap();
         let s2 = Schedule::parse("Wa(x) Rb(x) Wb(y) Ra(y)").unwrap();
         let mut cert = find_ols_certificate(&s1, &s2).unwrap();
-        // Flip the shared read's assignment in one of the version functions.
-        cert.v1.assign(1, VersionSource::Initial);
+        // Flip the shared read's assignment in one of the version functions
+        // (to whichever value it does not currently hold, so the tamper is
+        // never a no-op): the two halves now disagree on the common prefix.
+        let flipped = match cert.v1.get(1) {
+            Some(VersionSource::Initial) => VersionSource::Tx(TxId(1)),
+            _ => VersionSource::Initial,
+        };
+        cert.v1.assign(1, flipped);
         assert!(!verify_ols_certificate(&s1, &s2, &cert));
     }
 

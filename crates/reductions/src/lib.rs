@@ -5,7 +5,7 @@
 //!
 //! * [`sat`] — CNF formulas with a brute-force solver and a small DPLL
 //!   solver (the starting point of every hardness proof);
-//! * [`sat_to_polygraph`] — a verified reduction from satisfiability to
+//! * [`sat_to_polygraph`](mod@sat_to_polygraph) — a verified reduction from satisfiability to
 //!   polygraph acyclicity with the structural properties the paper's proofs
 //!   rely on (node-disjoint choices, acyclic first branches, acyclic
 //!   mandatory arcs);

@@ -13,9 +13,55 @@
 //! meant for the reduction-scale instances used in tests, examples and the
 //! experiment harness.
 
-use mvcc_classify::serialization::{serializations, SerialReadFroms};
+use mvcc_classify::serialization::{
+    achievable_prefix_restrictions, has_serialization_extending,
+    has_serialization_extending_budgeted, serializations,
+};
 use mvcc_core::{Schedule, VersionSource};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeSet, HashMap};
+
+/// Node budget of the first-pass extension probes: feasible candidates are
+/// usually confirmed within a handful of search nodes, while refutations may
+/// need exhaustive search, so everything inconclusive is deferred.
+const PROBE_BUDGET: u64 = 2_000;
+
+/// Returns the first candidate restriction (as a required read-from map)
+/// that every schedule in `others` can extend, or `None` when none can.
+///
+/// Probing is two-pass: a budgeted sweep first (feasible candidates confirm
+/// almost immediately), full refutations only for the candidates the sweep
+/// left unresolved.  Shared by [`ols_violation`] and
+/// [`crate::certificates::find_ols_certificate`].
+pub(crate) fn first_shared_restriction(
+    candidates: &BTreeSet<std::collections::BTreeMap<usize, VersionSource>>,
+    others: &[&Schedule],
+) -> Option<HashMap<usize, VersionSource>> {
+    let mut unresolved = Vec::new();
+    for r in candidates {
+        let required: HashMap<usize, VersionSource> = r.iter().map(|(&p, &v)| (p, v)).collect();
+        let mut verdict = Some(true);
+        for s in others {
+            match has_serialization_extending_budgeted(s, &required, PROBE_BUDGET) {
+                Some(true) => {}
+                Some(false) => {
+                    verdict = Some(false);
+                    break;
+                }
+                None => verdict = None,
+            }
+        }
+        match verdict {
+            Some(true) => return Some(required),
+            Some(false) => {}
+            None => unresolved.push(required),
+        }
+    }
+    unresolved.into_iter().find(|required| {
+        others
+            .iter()
+            .all(|s| has_serialization_extending(s, required))
+    })
+}
 
 /// A witness that a set of schedules is *not* OLS.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,41 +73,23 @@ pub struct OlsViolation {
     pub schedules: Vec<usize>,
 }
 
-/// The restriction of a serializing read-from assignment to the first
-/// `prefix_len` steps, as a canonical map.
-fn restriction(rf: &SerialReadFroms, prefix_len: usize) -> BTreeMap<usize, VersionSource> {
-    rf.read_sources
-        .iter()
-        .filter(|(&pos, _)| pos < prefix_len)
-        .map(|(&pos, &src)| (pos, src))
-        .collect()
-}
-
-/// All distinct restrictions of the schedule's serializations to the given
-/// prefix length.
-fn restrictions(
-    serializations_of: &[SerialReadFroms],
-    prefix_len: usize,
-) -> BTreeSet<BTreeMap<usize, VersionSource>> {
-    serializations_of
-        .iter()
-        .map(|rf| restriction(rf, prefix_len))
-        .collect()
-}
-
 /// Checks whether `schedules` is an OLS set, returning a violation witness
 /// if it is not.
 ///
 /// A schedule that is not MVSR at all makes the set trivially non-OLS (the
 /// full schedule is a prefix of itself with no serializing version
 /// function); this matches the definition, which requires `S ⊆ MVSR`.
+///
+/// The check works prefix-first: for every branch-point prefix it computes
+/// each member's achievable read-from *restrictions* to that prefix
+/// (`achievable_prefix_restrictions`, which never enumerates whole
+/// serializations) and intersects them.  Reduction-scale instances — the
+/// Theorem 4 schedules of a SAT-derived polygraph have one transaction per
+/// polygraph node — are far beyond full serialization enumeration but well
+/// within this search.
 pub fn ols_violation(schedules: &[Schedule]) -> Option<OlsViolation> {
-    // Pre-compute the serializations of every schedule once.
-    let all: Vec<Vec<SerialReadFroms>> =
-        schedules.iter().map(|s| serializations(s, None)).collect();
-
-    for (idx, (s, sers)) in schedules.iter().zip(&all).enumerate() {
-        if sers.is_empty() {
+    for (idx, s) in schedules.iter().enumerate() {
+        if serializations(s, Some(1)).is_empty() {
             return Some(OlsViolation {
                 prefix_len: s.len(),
                 schedules: vec![idx],
@@ -107,16 +135,17 @@ pub fn ols_violation(schedules: &[Schedule]) -> Option<OlsViolation> {
             if members.len() < 2 {
                 continue;
             }
-            // Intersect the restriction sets of all members.
-            let mut common: Option<BTreeSet<BTreeMap<usize, VersionSource>>> = None;
-            for &m in &members {
-                let r = restrictions(&all[m], len);
-                common = Some(match common {
-                    None => r,
-                    Some(c) => c.intersection(&r).cloned().collect(),
-                });
-            }
-            if common.map(|c| c.is_empty()).unwrap_or(false) {
+            // Intersect the members' achievable restriction sets,
+            // asymmetrically: enumerate one member's set, then probe the
+            // candidates against the other members with existence queries
+            // (far cheaper than enumerating every member's set), stopping at
+            // the first restriction everyone can extend.  Probing is
+            // two-pass: a budgeted sweep first (feasible candidates confirm
+            // almost immediately), full refutations only if nothing
+            // confirmed.
+            let candidates = achievable_prefix_restrictions(&schedules[members[0]], len);
+            let others: Vec<&Schedule> = members[1..].iter().map(|&m| &schedules[m]).collect();
+            if first_shared_restriction(&candidates, &others).is_none() {
                 return Some(OlsViolation {
                     prefix_len: len,
                     schedules: members,
@@ -146,7 +175,7 @@ mod tests {
     #[test]
     fn a_non_mvsr_member_breaks_ols() {
         let s1 = mvcc_core::examples::figure1()[0].schedule.clone();
-        let violation = ols_violation(&[s1.clone()]).unwrap();
+        let violation = ols_violation(std::slice::from_ref(&s1)).unwrap();
         assert_eq!(violation.prefix_len, s1.len());
         assert_eq!(violation.schedules, vec![0]);
     }
@@ -189,7 +218,9 @@ mod tests {
         // Even two *serial* schedules may be incompatible if an early read
         // must be assigned differently: here they do not share a non-trivial
         // prefix, so they are OLS.
-        let sys = Schedule::parse("Ra(x) Wa(x) Rb(x) Wb(x)").unwrap().tx_system();
+        let sys = Schedule::parse("Ra(x) Wa(x) Rb(x) Wb(x)")
+            .unwrap()
+            .tx_system();
         let ab = Schedule::serial(&sys, &[mvcc_core::TxId(1), mvcc_core::TxId(2)]);
         let ba = Schedule::serial(&sys, &[mvcc_core::TxId(2), mvcc_core::TxId(1)]);
         assert!(is_ols(&[ab, ba]));

@@ -26,7 +26,10 @@ pub struct Literal {
 impl Literal {
     /// Positive literal of `var`.
     pub fn pos(var: usize) -> Self {
-        Literal { var, positive: true }
+        Literal {
+            var,
+            positive: true,
+        }
     }
 
     /// Negative literal of `var`.
@@ -118,8 +121,7 @@ impl CnfFormula {
     pub fn satisfiable_brute_force(&self) -> Option<Vec<bool>> {
         assert!(self.num_vars < 24, "brute force is for small formulas");
         for bits in 0..(1u64 << self.num_vars) {
-            let assignment: Vec<bool> =
-                (0..self.num_vars).map(|i| bits & (1 << i) != 0).collect();
+            let assignment: Vec<bool> = (0..self.num_vars).map(|i| bits & (1 << i) != 0).collect();
             if self.eval(&assignment) {
                 return Some(assignment);
             }
@@ -174,9 +176,7 @@ impl CnfFormula {
         }
         // Pick an unassigned variable occurring in an unsatisfied clause.
         let next = self.clauses.iter().find_map(|clause| {
-            let satisfied = clause
-                .iter()
-                .any(|l| assignment[l.var] == Some(l.positive));
+            let satisfied = clause.iter().any(|l| assignment[l.var] == Some(l.positive));
             if satisfied {
                 None
             } else {

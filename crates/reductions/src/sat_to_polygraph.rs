@@ -62,10 +62,7 @@ impl SatPolygraph {
     /// Decodes a branch selection of the polygraph into a variable
     /// assignment (`selection[variable_choice[v]]` = first branch = true).
     pub fn decode_assignment(&self, selection: &[bool]) -> Vec<bool> {
-        self.variable_choice
-            .iter()
-            .map(|&c| selection[c])
-            .collect()
+        self.variable_choice.iter().map(|&c| selection[c]).collect()
     }
 }
 
@@ -172,7 +169,10 @@ mod tests {
         let sp = sat_to_polygraph(&f);
         let sol = solve_polygraph(&sp.polygraph).expect("acyclic");
         let assignment = sp.decode_assignment(&sol.selection);
-        assert!(f.eval(&assignment), "decoded assignment must satisfy the formula");
+        assert!(
+            f.eval(&assignment),
+            "decoded assignment must satisfy the formula"
+        );
     }
 
     #[test]
@@ -201,7 +201,10 @@ mod tests {
             }
         }
         let g = sp.polygraph.compatible_graph(&selection);
-        assert!(is_acyclic(&g), "hand-built consistent selection must be acyclic");
+        assert!(
+            is_acyclic(&g),
+            "hand-built consistent selection must be acyclic"
+        );
     }
 
     #[test]
@@ -260,7 +263,10 @@ mod tests {
     fn normalized_reduction_satisfies_theorem4_assumption_a() {
         let f = formula(2, &[&[1, -2]]);
         let sp = sat_to_polygraph(&f);
-        assert!(!sp.polygraph.every_arc_has_choice(), "consistency arcs have no choices");
+        assert!(
+            !sp.polygraph.every_arc_has_choice(),
+            "consistency arcs have no choices"
+        );
         let normalized = sp.polygraph.normalized();
         assert!(normalized.satisfies_theorem4_assumptions());
         // Normalisation preserves acyclicity.

@@ -252,7 +252,10 @@ mod tests {
         assert!(!is_acyclic_polygraph(&cyclic));
         let out = adaptive_schedule(&cyclic, || Box::new(GreedyMaximalScheduler::new()));
         assert!(!out.accepted, "cyclic polygraph must be rejected");
-        assert!(is_mvcsr(&out.schedule), "the schedule itself is still MVCSR");
+        assert!(
+            is_mvcsr(&out.schedule),
+            "the schedule itself is still MVCSR"
+        );
     }
 
     #[test]

@@ -157,7 +157,9 @@ mod tests {
         // Greediness can in principle lose some MVSR schedules (that is the
         // content of Section 4), but it must accept at least the MVCSR ones
         // generated here and never accept a non-MVSR prefix.
-        let sys = Schedule::parse("Ra(x) Wa(y) Rb(y) Wb(x)").unwrap().tx_system();
+        let sys = Schedule::parse("Ra(x) Wa(y) Rb(y) Wb(x)")
+            .unwrap()
+            .tx_system();
         for s in Schedule::all_interleavings(&sys) {
             if run_all(&s) {
                 assert!(mvcc_classify::is_mvsr(&s), "greedy accepted non-MVSR {s}");
@@ -169,8 +171,15 @@ mod tests {
     fn rejects_the_unserializable_step() {
         let s1 = &mvcc_core::examples::figure1()[0].schedule;
         let mut sched = GreedyMaximalScheduler::new();
-        let d: Vec<bool> = s1.steps().iter().map(|&st| sched.offer(st).is_accept()).collect();
-        assert!(d.iter().any(|&x| !x), "some step of a non-MVSR schedule must be rejected");
+        let d: Vec<bool> = s1
+            .steps()
+            .iter()
+            .map(|&st| sched.offer(st).is_accept())
+            .collect();
+        assert!(
+            d.iter().any(|&x| !x),
+            "some step of a non-MVSR schedule must be rejected"
+        );
     }
 
     #[test]
@@ -203,7 +212,10 @@ mod tests {
             !(s_ok && sp_ok),
             "prefix of length {prefix_len} cannot be completed both ways"
         );
-        assert!(s_ok || sp_ok, "the greedy choice serves at least one continuation");
+        assert!(
+            s_ok || sp_ok,
+            "the greedy choice serves at least one continuation"
+        );
     }
 
     #[test]

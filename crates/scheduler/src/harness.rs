@@ -94,11 +94,8 @@ impl AbortOutcome {
 pub fn run_abort(scheduler: &mut dyn Scheduler, schedule: &Schedule) -> AbortOutcome {
     scheduler.reset();
     let sys = schedule.tx_system();
-    let mut remaining: BTreeMap<TxId, usize> = sys
-        .transactions()
-        .iter()
-        .map(|t| (t.id, t.len()))
-        .collect();
+    let mut remaining: BTreeMap<TxId, usize> =
+        sys.transactions().iter().map(|t| (t.id, t.len())).collect();
     let mut aborted: BTreeSet<TxId> = BTreeSet::new();
     let mut accepted_steps_by_tx: BTreeMap<TxId, Vec<(usize, Step)>> = BTreeMap::new();
     let mut accepted_count = 0usize;

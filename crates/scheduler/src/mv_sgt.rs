@@ -154,8 +154,7 @@ impl Scheduler for MvSgtScheduler {
         match step.action {
             Action::Read => {
                 let version = self.choose_version(step.tx, step.entity);
-                self.read_assignments
-                    .insert(self.accepted.len(), version);
+                self.read_assignments.insert(self.accepted.len(), version);
                 self.accepted.push(step);
                 Decision::Accept {
                     read_from: Some(version),

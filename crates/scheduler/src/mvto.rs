@@ -1,5 +1,5 @@
 //! Multiversion timestamp ordering (MVTO) — Reed's scheme, as analysed by
-//! Bernstein & Goodman (reference [2] of the paper).
+//! Bernstein & Goodman (reference \[2\] of the paper).
 //!
 //! Every transaction is timestamped on arrival.  A read of `x` by `T` is
 //! served the version of `x` with the largest write-timestamp not exceeding
@@ -173,7 +173,11 @@ mod tests {
         // B should have read A's version, so the write is rejected.
         let s = Schedule::parse("Ra(y) Rb(x) Wa(x)").unwrap();
         let mut sched = MvtoScheduler::new();
-        let d: Vec<bool> = s.steps().iter().map(|&st| sched.offer(st).is_accept()).collect();
+        let d: Vec<bool> = s
+            .steps()
+            .iter()
+            .map(|&st| sched.offer(st).is_accept())
+            .collect();
         assert_eq!(d, vec![true, true, false]);
     }
 

@@ -84,7 +84,10 @@ mod tests {
     use mvcc_core::Schedule;
 
     fn feed(sched: &mut SerialScheduler, s: &Schedule) -> Vec<bool> {
-        s.steps().iter().map(|&st| sched.offer(st).is_accept()).collect()
+        s.steps()
+            .iter()
+            .map(|&st| sched.offer(st).is_accept())
+            .collect()
     }
 
     #[test]

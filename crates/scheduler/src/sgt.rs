@@ -51,11 +51,7 @@ impl SgtScheduler {
             .chain(adj.values().flatten().copied())
             .collect();
         let mut state: HashMap<TxId, u8> = HashMap::new(); // 1 = in progress, 2 = done
-        fn dfs(
-            n: TxId,
-            adj: &HashMap<TxId, Vec<TxId>>,
-            state: &mut HashMap<TxId, u8>,
-        ) -> bool {
+        fn dfs(n: TxId, adj: &HashMap<TxId, Vec<TxId>>, state: &mut HashMap<TxId, u8>) -> bool {
             state.insert(n, 1);
             for &m in adj.get(&n).map(|v| v.as_slice()).unwrap_or(&[]) {
                 match state.get(&m) {
@@ -134,7 +130,11 @@ mod tests {
     fn rejects_the_step_that_closes_a_cycle() {
         let s = Schedule::parse("Ra(x) Rb(x) Wa(x) Wb(x)").unwrap();
         let mut sched = SgtScheduler::new();
-        let d: Vec<bool> = s.steps().iter().map(|&st| sched.offer(st).is_accept()).collect();
+        let d: Vec<bool> = s
+            .steps()
+            .iter()
+            .map(|&st| sched.offer(st).is_accept())
+            .collect();
         assert_eq!(d, vec![true, true, true, false]);
     }
 

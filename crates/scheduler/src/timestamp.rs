@@ -96,7 +96,10 @@ mod tests {
 
     fn decisions(s: &Schedule) -> Vec<bool> {
         let mut sched = TimestampScheduler::new();
-        s.steps().iter().map(|&st| sched.offer(st).is_accept()).collect()
+        s.steps()
+            .iter()
+            .map(|&st| sched.offer(st).is_accept())
+            .collect()
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Strict two-phase locking (2PL), the canonical single-version scheduler.
 //!
-//! [Yannakakis 1981] (reference [11] of the paper) shows that locking
+//! \[Yannakakis 1981\] (reference \[11\] of the paper) shows that locking
 //! schedulers output only CSR schedules; this implementation is the baseline
 //! against which the multiversion schedulers' larger output classes are
 //! measured in experiment E9.
@@ -130,7 +130,10 @@ mod tests {
 
     fn decisions(s: &Schedule) -> Vec<bool> {
         let mut sched = TwoPhaseLockingScheduler::new(&s.tx_system());
-        s.steps().iter().map(|&st| sched.offer(st).is_accept()).collect()
+        s.steps()
+            .iter()
+            .map(|&st| sched.offer(st).is_accept())
+            .collect()
     }
 
     #[test]
@@ -150,8 +153,8 @@ mod tests {
         // B wants to write x while A still holds a shared lock on it.
         let s = Schedule::parse("Ra(x) Wb(x) Wa(y)").unwrap();
         let d = decisions(&s);
-        assert_eq!(d[0], true);
-        assert_eq!(d[1], false);
+        assert!(d[0]);
+        assert!(!d[1]);
     }
 
     #[test]

@@ -46,11 +46,8 @@ pub fn execute_full_schedule(
     vf: &VersionFunction,
 ) -> Result<ExecutionReport, StoreError> {
     let sys = schedule.tx_system();
-    let mut remaining: BTreeMap<TxId, usize> = sys
-        .transactions()
-        .iter()
-        .map(|t| (t.id, t.len()))
-        .collect();
+    let mut remaining: BTreeMap<TxId, usize> =
+        sys.transactions().iter().map(|t| (t.id, t.len())).collect();
     let mut handles: BTreeMap<TxId, TxHandle> = BTreeMap::new();
     let mut committed = Vec::new();
     let mut relation = ReadFromRelation::new();
@@ -66,9 +63,7 @@ pub fn execute_full_schedule(
             }
         };
         if step.is_read() {
-            let source = vf
-                .get(pos)
-                .unwrap_or(mvcc_core::VersionSource::Initial);
+            let source = vf.get(pos).unwrap_or(mvcc_core::VersionSource::Initial);
             store.read_version(handle, step.entity, source)?;
             relation.insert(ReadFrom {
                 reader: step.tx,
@@ -105,11 +100,8 @@ pub fn execute_with_scheduler(
 ) -> Result<ExecutionReport, StoreError> {
     scheduler.reset();
     let sys = schedule.tx_system();
-    let mut remaining: BTreeMap<TxId, usize> = sys
-        .transactions()
-        .iter()
-        .map(|t| (t.id, t.len()))
-        .collect();
+    let mut remaining: BTreeMap<TxId, usize> =
+        sys.transactions().iter().map(|t| (t.id, t.len())).collect();
     let mut handles: BTreeMap<TxId, TxHandle> = BTreeMap::new();
     let mut committed = Vec::new();
     let mut aborted: BTreeSet<TxId> = BTreeSet::new();
@@ -141,10 +133,16 @@ pub fn execute_with_scheduler(
             // Multiversion schedulers say which version to serve; single
             // version schedulers get the latest committed (or own) version.
             let result = match decision.read_from() {
-                Some(source) => store.read_version(handle, step.entity, source).map(|_| source.as_tx()),
-                None => store
-                    .read_latest(handle, step.entity)
-                    .map(|_| store.reads_of(step.tx).last().map(|&(_, w)| w).unwrap_or(TxId::INITIAL)),
+                Some(source) => store
+                    .read_version(handle, step.entity, source)
+                    .map(|_| source.as_tx()),
+                None => store.read_latest(handle, step.entity).map(|_| {
+                    store
+                        .reads_of(step.tx)
+                        .last()
+                        .map(|&(_, w)| w)
+                        .unwrap_or(TxId::INITIAL)
+                }),
             };
             match result {
                 Ok(writer) => {
@@ -188,10 +186,7 @@ mod tests {
     use mvcc_scheduler::{MvSgtScheduler, SgtScheduler, TwoPhaseLockingScheduler};
 
     fn store_for(schedule: &Schedule) -> MvStore {
-        MvStore::with_entities(
-            schedule.entities_accessed(),
-            Bytes::from_static(b"init"),
-        )
+        MvStore::with_entities(schedule.entities_accessed(), Bytes::from_static(b"init"))
     }
 
     #[test]
@@ -241,7 +236,11 @@ mod tests {
         let store = store_for(s4);
         let mut mvsgt = MvSgtScheduler::new();
         let report = execute_with_scheduler(&store, s4, &mut mvsgt).unwrap();
-        assert_eq!(report.committed.len(), 2, "both transactions commit under MV-SGT");
+        assert_eq!(
+            report.committed.len(),
+            2,
+            "both transactions commit under MV-SGT"
+        );
         assert!(report.aborted.is_empty());
         // At least one read was served a non-latest version (the initial x).
         assert!(report

@@ -61,11 +61,8 @@ impl<'a> SnapshotSession<'a> {
 pub fn run_schedule_under_si(store: &MvStore, schedule: &Schedule) -> (Vec<TxId>, Schedule) {
     use std::collections::{BTreeMap, BTreeSet};
     let sys = schedule.tx_system();
-    let mut remaining: BTreeMap<TxId, usize> = sys
-        .transactions()
-        .iter()
-        .map(|t| (t.id, t.len()))
-        .collect();
+    let mut remaining: BTreeMap<TxId, usize> =
+        sys.transactions().iter().map(|t| (t.id, t.len())).collect();
     let mut handles: BTreeMap<TxId, TxHandle> = BTreeMap::new();
     let mut committed: Vec<TxId> = Vec::new();
     let mut failed: BTreeSet<TxId> = BTreeSet::new();
@@ -92,7 +89,11 @@ pub fn run_schedule_under_si(store: &MvStore, schedule: &Schedule) -> (Vec<TxId>
             store.read_snapshot(handle, step.entity).is_ok()
         } else {
             store
-                .write(handle, step.entity, Bytes::from(format!("{}@{}", step.tx, pos)))
+                .write(
+                    handle,
+                    step.entity,
+                    Bytes::from(format!("{}@{}", step.tx, pos)),
+                )
                 .is_ok()
         };
         if !ok {
@@ -164,7 +165,11 @@ mod tests {
         let s1 = &mvcc_core::examples::figure1()[0].schedule;
         let store = store();
         let (committed, _) = run_schedule_under_si(&store, s1);
-        assert_eq!(committed.len(), 1, "exactly one of the two writers survives");
+        assert_eq!(
+            committed.len(),
+            1,
+            "exactly one of the two writers survives"
+        );
     }
 
     #[test]

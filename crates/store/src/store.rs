@@ -1,6 +1,6 @@
 //! The transactional multiversion key-value store.
 //!
-//! The store keeps one [`VersionChain`](crate::VersionChain) per entity and
+//! The store keeps one [`VersionChain`] per entity and
 //! exposes the operations a scheduler needs: begin, read (either the latest
 //! committed version, a snapshot-visible version, or an explicitly chosen
 //! writer's version — the version function made operational), write, commit
@@ -217,10 +217,7 @@ impl MvStore {
             Ok(())
         })?;
         let mut chains = self.chains.write();
-        chains
-            .entry(entity)
-            .or_insert_with(VersionChain::new)
-            .append(tx.id, value);
+        chains.entry(entity).or_default().append(tx.id, value);
         Ok(())
     }
 
@@ -470,9 +467,10 @@ mod tests {
         assert!(s.read_latest(t1, X).is_err(), "read after commit");
         assert!(s.commit(t1, false).is_err(), "double commit");
         assert!(s.abort(t1).is_err(), "abort after commit");
-        assert!(s
-            .read_latest(TxHandle { id: TxId(9) }, X)
-            .is_err(), "unknown transaction");
+        assert!(
+            s.read_latest(TxHandle { id: TxId(9) }, X).is_err(),
+            "unknown transaction"
+        );
         // An aborted transaction may be re-begun.
         let t2 = s.begin(TxId(2)).unwrap();
         s.abort(t2).unwrap();

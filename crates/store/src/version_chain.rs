@@ -192,7 +192,10 @@ mod tests {
         // Uncommitted versions are invisible to other snapshots...
         assert_eq!(chain.visible_at(10, None).unwrap().value, val("v0"));
         // ...but visible to their own writer.
-        assert_eq!(chain.visible_at(10, Some(TxId(1))).unwrap().value, val("v1"));
+        assert_eq!(
+            chain.visible_at(10, Some(TxId(1))).unwrap().value,
+            val("v1")
+        );
         chain.commit_writer(TxId(1), 5);
         assert_eq!(chain.visible_at(4, None).unwrap().value, val("v0"));
         assert_eq!(chain.visible_at(5, None).unwrap().value, val("v1"));

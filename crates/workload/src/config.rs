@@ -87,14 +87,20 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        let mut c = WorkloadConfig::default();
-        c.transactions = 0;
+        let c = WorkloadConfig {
+            transactions: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = WorkloadConfig::default();
-        c.read_ratio = 1.5;
+        let c = WorkloadConfig {
+            read_ratio: 1.5,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = WorkloadConfig::default();
-        c.zipf_theta = -1.0;
+        let c = WorkloadConfig {
+            zipf_theta: -1.0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 

@@ -73,7 +73,10 @@ mod tests {
         let sys = random_transaction_system(&cfg);
         for swaps in [1, 5, 20, 100] {
             let (s, _) = perturbed_serial(&sys, swaps, swaps as u64);
-            assert!(mvcc_classify::is_mvcsr(&s), "{swaps} swaps broke MVCSR: {s}");
+            assert!(
+                mvcc_classify::is_mvcsr(&s),
+                "{swaps} swaps broke MVCSR: {s}"
+            );
             assert!(s.is_shuffle_of(&sys));
         }
     }

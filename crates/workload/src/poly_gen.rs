@@ -65,7 +65,11 @@ pub fn random_restricted_formula(variables: usize, clauses: usize, seed: u64) ->
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut f = CnfFormula::new(variables);
     for _ in 0..clauses {
-        let len = if rng.gen_bool(0.5) { 2 } else { 3.min(variables) };
+        let len = if rng.gen_bool(0.5) {
+            2
+        } else {
+            3.min(variables)
+        };
         let positive = rng.gen_bool(0.5);
         let mut vars: Vec<usize> = Vec::new();
         while vars.len() < len {

@@ -70,7 +70,11 @@ mod tests {
         let b = random_interleaving(&sys, 2);
         let c = random_interleaving(&sys, 1);
         assert_eq!(a.steps(), c.steps(), "same seed, same interleaving");
-        assert_ne!(a.steps(), b.steps(), "different seed, different interleaving");
+        assert_ne!(
+            a.steps(),
+            b.steps(),
+            "different seed, different interleaving"
+        );
     }
 
     #[test]

@@ -19,7 +19,8 @@ pub fn random_transaction_system(config: &WorkloadConfig) -> TransactionSystem {
     let zipf = Zipfian::new(config.entities, config.zipf_theta);
     let mut transactions = Vec::with_capacity(config.transactions);
     for t in 0..config.transactions {
-        let mut accesses: Vec<(Action, EntityId)> = Vec::with_capacity(config.steps_per_transaction);
+        let mut accesses: Vec<(Action, EntityId)> =
+            Vec::with_capacity(config.steps_per_transaction);
         let mut written: Vec<EntityId> = Vec::new();
         for _ in 0..config.steps_per_transaction {
             let action = if rng.gen_bool(config.read_ratio) {
@@ -63,10 +64,7 @@ mod tests {
         let sys = random_transaction_system(&config);
         assert_eq!(sys.len(), 5);
         assert!(sys.transactions().iter().all(|t| t.len() == 3));
-        assert!(sys
-            .entities()
-            .iter()
-            .all(|e| e.index() < config.entities));
+        assert!(sys.entities().iter().all(|e| e.index() < config.entities));
     }
 
     #[test]
@@ -127,8 +125,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid workload configuration")]
     fn invalid_config_panics() {
-        let mut config = WorkloadConfig::default();
-        config.entities = 0;
+        let config = WorkloadConfig {
+            entities: 0,
+            ..Default::default()
+        };
         let _ = random_transaction_system(&config);
     }
 }

@@ -39,8 +39,7 @@ fn main() {
     }
 
     // The audit still sees the original, consistent state.
-    let audit_total =
-        parse(&audit.read(CHECKING).unwrap()) + parse(&audit.read(SAVINGS).unwrap());
+    let audit_total = parse(&audit.read(CHECKING).unwrap()) + parse(&audit.read(SAVINGS).unwrap());
     println!("audit sees a consistent total of {audit_total} (initial state), despite 10 concurrent transfers");
     assert_eq!(audit_total, 200);
     audit.abort().unwrap();

@@ -38,7 +38,11 @@ fn run_pipeline(name: &str, formula: CnfFormula) {
         inst.s1.num_transactions(),
         inst.prefix_len
     );
-    println!("  s1 and s2 MVCSR: {} / {}", is_mvcsr(&inst.s1), is_mvcsr(&inst.s2));
+    println!(
+        "  s1 and s2 MVCSR: {} / {}",
+        is_mvcsr(&inst.s1),
+        is_mvcsr(&inst.s2)
+    );
 
     let ols = is_ols(&[inst.s1.clone(), inst.s2.clone()]);
     println!("  pair on-line schedulable: {ols}");
@@ -49,7 +53,9 @@ fn run_pipeline(name: &str, formula: CnfFormula) {
                 cert.r1, cert.r2
             );
         }
-    } else if let Some(v) = mvcc_repro::reductions::ols_violation(&[inst.s1.clone(), inst.s2.clone()]) {
+    } else if let Some(v) =
+        mvcc_repro::reductions::ols_violation(&[inst.s1.clone(), inst.s2.clone()])
+    {
         println!(
             "  no certificate exists: the version functions clash on the prefix of length {}",
             v.prefix_len

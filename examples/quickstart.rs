@@ -21,7 +21,10 @@ fn main() {
     //    the witness (a serial order plus the version function).
     let (order, vf) = mvcc_repro::classify::mvsr_witness(&schedule).unwrap();
     println!("serializes as {order:?} with version function {vf}");
-    assert!(!is_vsr(&schedule), "no single-version scheduler can output this schedule");
+    assert!(
+        !is_vsr(&schedule),
+        "no single-version scheduler can output this schedule"
+    );
 
     // 4. Run the multiversion SGT scheduler (the paper's generic MVCSR
     //    scheduler) and the single-version SGT scheduler over the same
@@ -40,10 +43,8 @@ fn main() {
     // 5. Execute a full schedule against the storage engine, serving each
     //    read the version the MVSR witness dictates.
     use mvcc_repro::store::bytes::Bytes;
-    let store = MvStore::with_entities(
-        schedule.entities_accessed(),
-        Bytes::from_static(b"initial"),
-    );
+    let store =
+        MvStore::with_entities(schedule.entities_accessed(), Bytes::from_static(b"initial"));
     let report =
         mvcc_repro::store::execute_full_schedule(&store, &schedule, &vf).expect("valid run");
     println!(

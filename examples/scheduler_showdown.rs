@@ -61,14 +61,8 @@ fn main() {
         );
     }
 
-    let single_best = totals[..4]
-        .iter()
-        .map(|t| t.3)
-        .fold(f64::MIN, f64::max);
-    let multi_best = totals[4..]
-        .iter()
-        .map(|t| t.3)
-        .fold(f64::MIN, f64::max);
+    let single_best = totals[..4].iter().map(|t| t.3).fold(f64::MIN, f64::max);
+    let multi_best = totals[4..].iter().map(|t| t.3).fold(f64::MIN, f64::max);
     println!(
         "\nbest multiversion commit ratio {:.1}% vs best single-version {:.1}% -- the gap the paper's introduction promises.",
         100.0 * multi_best / repetitions as f64,

@@ -46,8 +46,8 @@ pub mod prelude {
     };
     pub use mvcc_reductions::ols::is_ols;
     pub use mvcc_scheduler::{
-        run_abort, run_prefix, Decision, MvSgtScheduler, MvtoScheduler, Scheduler,
-        SerialScheduler, SgtScheduler, TimestampScheduler, TwoPhaseLockingScheduler,
+        run_abort, run_prefix, Decision, MvSgtScheduler, MvtoScheduler, Scheduler, SerialScheduler,
+        SgtScheduler, TimestampScheduler, TwoPhaseLockingScheduler,
     };
     pub use mvcc_store::MvStore;
     pub use mvcc_workload::WorkloadConfig;

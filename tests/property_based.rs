@@ -2,7 +2,7 @@
 //! the paper's containments, characterisations and scheduler guarantees as
 //! invariants over the whole schedule space (small sizes, exact checkers).
 
-use mvcc_repro::classify::swaps::{swap_neighbours, serial_reachable_by_swaps};
+use mvcc_repro::classify::swaps::{serial_reachable_by_swaps, swap_neighbours};
 use mvcc_repro::classify::taxonomy::classify;
 use mvcc_repro::classify::vsr::is_vsr_polygraph;
 use mvcc_repro::classify::{is_csr, is_mvcsr, is_mvsr, is_vsr};
@@ -16,23 +16,21 @@ fn schedule_strategy(
     max_entities: u32,
     steps: usize,
 ) -> impl Strategy<Value = Schedule> {
-    proptest::collection::vec(
-        (1..=max_txns, 0..max_entities, proptest::bool::ANY),
-        steps,
+    proptest::collection::vec((1..=max_txns, 0..max_entities, proptest::bool::ANY), steps).prop_map(
+        |raw| {
+            Schedule::from_steps(
+                raw.into_iter()
+                    .map(|(tx, entity, is_read)| {
+                        if is_read {
+                            Step::read(TxId(tx), EntityId(entity))
+                        } else {
+                            Step::write(TxId(tx), EntityId(entity))
+                        }
+                    })
+                    .collect(),
+            )
+        },
     )
-    .prop_map(|raw| {
-        Schedule::from_steps(
-            raw.into_iter()
-                .map(|(tx, entity, is_read)| {
-                    if is_read {
-                        Step::read(TxId(tx), EntityId(entity))
-                    } else {
-                        Step::write(TxId(tx), EntityId(entity))
-                    }
-                })
-                .collect(),
-        )
-    })
 }
 
 proptest! {
@@ -159,8 +157,151 @@ proptest! {
     #[test]
     fn singleton_ols(s in schedule_strategy(3, 2, 6)) {
         if is_mvsr(&s) {
-            prop_assert!(is_ols(&[s.clone()]));
+            prop_assert!(is_ols(std::slice::from_ref(&s)));
             prop_assert!(is_ols(&[s.clone(), s.clone()]));
         }
+    }
+}
+
+/// A named scheduler paired with the classifier characterising its output
+/// class.
+type ZooEntry = (&'static str, Box<dyn Scheduler>, fn(&Schedule) -> bool);
+
+/// The scheduler zoo with, for each scheduler, the classifier characterising
+/// its output class (the table of `mvcc-scheduler`'s crate docs).
+fn zoo(sys: &mvcc_repro::core::TransactionSystem) -> Vec<ZooEntry> {
+    fn serial_check(s: &Schedule) -> bool {
+        s.is_serial()
+    }
+    vec![
+        ("serial", Box::new(SerialScheduler::new(sys)), serial_check),
+        ("2pl", Box::new(TwoPhaseLockingScheduler::new(sys)), is_csr),
+        ("timestamp", Box::new(TimestampScheduler::new()), is_csr),
+        ("sgt", Box::new(SgtScheduler::new()), is_csr),
+        ("mv-sgt", Box::new(MvSgtScheduler::new()), is_mvcsr),
+        ("mvto", Box::new(MvtoScheduler::new()), is_mvsr),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 32,
+        .. ProptestConfig::default()
+    })]
+
+    /// Serial schedules land in every class of Figure 1 (the innermost
+    /// region of the containment diagram).
+    #[test]
+    fn serial_schedules_land_in_every_class(s in schedule_strategy(4, 3, 8)) {
+        let sys = s.tx_system();
+        let serial = Schedule::serial(&sys, &s.tx_ids());
+        let c = classify(&serial);
+        prop_assert!(
+            c.serial && c.csr && c.vsr && c.mvcsr && c.mvsr,
+            "serial schedule classified outside some class: {c}"
+        );
+    }
+
+    /// Parse/Display round-trips hold on workload-generated schedules, not
+    /// just the uniform random ones.
+    #[test]
+    fn workload_schedules_round_trip(
+        txns in 1usize..6,
+        steps in 1usize..5,
+        entities in 1usize..5,
+        seed in 0u64..1_000,
+    ) {
+        let cfg = WorkloadConfig {
+            transactions: txns,
+            steps_per_transaction: steps,
+            entities,
+            read_ratio: 0.6,
+            zipf_theta: 0.5,
+            seed,
+        };
+        let sys = mvcc_repro::workload::random_transaction_system(&cfg);
+        let s = mvcc_repro::workload::random_interleaving(&sys, seed ^ 0xabcd);
+        let reparsed = Schedule::parse(&s.to_string()).unwrap();
+        prop_assert_eq!(reparsed.steps(), s.steps());
+    }
+
+    /// Every scheduler in the zoo only commits schedules its own classifier
+    /// accepts (abort-and-continue mode).
+    #[test]
+    fn every_scheduler_stays_in_its_class(s in schedule_strategy(4, 3, 10)) {
+        let sys = s.tx_system();
+        for (name, mut sched, check) in zoo(&sys) {
+            let committed = run_abort(sched.as_mut(), &s).committed_schedule;
+            prop_assert!(
+                check(&committed),
+                "{} emitted a schedule outside its class: {}", name, committed
+            );
+        }
+    }
+
+    /// Prefix-recognition outputs are prefix-closed: re-offering the
+    /// accepted prefix accepts all of it, and truncating the input truncates
+    /// the accepted prefix accordingly.
+    #[test]
+    fn run_prefix_outputs_are_prefix_closed(
+        s in schedule_strategy(4, 3, 10),
+        cut in 0usize..=10,
+    ) {
+        let sys = s.tx_system();
+        for idx in 0..zoo(&sys).len() {
+            let (name, mut sched, _) = zoo(&sys).swap_remove(idx);
+            let full = run_prefix(sched.as_mut(), &s);
+            prop_assert!(full.prefix.len() == full.accepted_steps);
+
+            let (_, mut again, _) = zoo(&sys).swap_remove(idx);
+            let re = run_prefix(again.as_mut(), &full.prefix);
+            prop_assert!(re.accepted_all, "{} rejected its own accepted prefix", name);
+
+            let cut = cut.min(s.len());
+            let truncated = Schedule::from_steps(s.steps()[..cut].to_vec());
+            let (_, mut fresh, _) = zoo(&sys).swap_remove(idx);
+            let out = run_prefix(fresh.as_mut(), &truncated);
+            prop_assert_eq!(
+                out.accepted_steps,
+                cut.min(full.accepted_steps),
+                "{} violates prefix closure at cut {}", name, cut
+            );
+        }
+    }
+}
+
+/// Malformed step strings are rejected with a parse error, not mangled into
+/// a schedule.
+#[test]
+fn malformed_step_strings_are_rejected() {
+    for bad in [
+        "Q1(x)",      // unknown action
+        "1(x)",       // missing action
+        "R",          // no parentheses
+        "R1",         // no parentheses
+        "R1(",        // unclosed
+        "R1()",       // empty entity
+        "R1)x(",      // reversed parentheses
+        "Ra(x R2(y)", // unclosed first token
+        "R(x)",       // empty transaction label
+        "R?(x)",      // bad transaction label
+    ] {
+        assert!(
+            mvcc_repro::core::Schedule::parse(bad).is_err(),
+            "{bad:?} should be rejected"
+        );
+    }
+}
+
+/// Well-formed unconventional spellings are accepted (parser leniency is
+/// intentional: lowercase actions, numeric and `T`-prefixed labels,
+/// separators).
+#[test]
+fn lenient_but_well_formed_spellings_parse() {
+    for good in ["r1(x) w2(y)", "RT1(x)", "Ra(x), Wb(y);", "R12(x) W12(x)"] {
+        assert!(
+            mvcc_repro::core::Schedule::parse(good).is_ok(),
+            "{good:?} should parse"
+        );
     }
 }

@@ -6,7 +6,9 @@ use mvcc_repro::classify::{is_mvcsr, is_mvsr};
 use mvcc_repro::graph::poly_acyclic::is_acyclic_polygraph;
 use mvcc_repro::graph::{NodeId, Polygraph};
 use mvcc_repro::prelude::*;
-use mvcc_repro::reductions::certificates::{forced_read_froms, verify_ols_certificate, find_ols_certificate};
+use mvcc_repro::reductions::certificates::{
+    find_ols_certificate, forced_read_froms, verify_ols_certificate,
+};
 use mvcc_repro::reductions::sat::{CnfFormula, Literal};
 use mvcc_repro::reductions::theorem6::adaptive_schedule;
 use mvcc_repro::reductions::{sat_to_polygraph, theorem4_schedules, theorem5_schedule};
@@ -125,5 +127,8 @@ fn ols_pairs_are_jointly_acceptable_by_a_maximal_scheduler() {
         let mut sched = GreedyMaximalScheduler::new();
         s.steps().iter().all(|&st| sched.offer(st).is_accept())
     };
-    assert!(run(&inst.s1) || run(&inst.s2), "at least one member must be acceptable greedily");
+    assert!(
+        run(&inst.s1) || run(&inst.s2),
+        "at least one member must be acceptable greedily"
+    );
 }

@@ -122,8 +122,7 @@ fn realized_read_from_matches_symbolic_read_from() {
         let (_, vf) = mvcc_repro::classify::mvsr_witness(&ex.schedule).unwrap();
         let store =
             MvStore::with_entities(ex.schedule.entities_accessed(), Bytes::from_static(b"0"));
-        let report =
-            mvcc_repro::store::execute_full_schedule(&store, &ex.schedule, &vf).unwrap();
+        let report = mvcc_repro::store::execute_full_schedule(&store, &ex.schedule, &vf).unwrap();
         let symbolic = ReadFromRelation::of_full_schedule(&ex.schedule, &vf);
         for entry in report.read_from.entries() {
             assert!(

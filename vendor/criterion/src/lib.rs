@@ -1,0 +1,274 @@
+//! Offline stub of the `criterion` benchmark harness.
+//!
+//! Exposes the API surface the workspace's bench targets use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`] /
+//! [`Bencher::iter_with_setup`], [`BenchmarkId`], [`black_box`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — and implements them
+//! with a plain `Instant`-based timing loop printing one line per
+//! benchmark.  No statistics, plots or HTML reports; replace with the real
+//! crate when the environment has network access.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver (stub).
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one("", id, f);
+        self
+    }
+}
+
+/// Identifier for a parameterised benchmark, mirroring criterion's.
+pub struct BenchmarkId {
+    function_name: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayable parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            function_name: function_name.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// Creates an id from a displayable parameter only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            function_name: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    fn label(&self) -> String {
+        if self.function_name.is_empty() {
+            self.parameter.clone()
+        } else {
+            format!("{}/{}", self.function_name, self.parameter)
+        }
+    }
+}
+
+/// A group of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of samples (stub: scales the timing loop).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets throughput metadata (stub: ignored).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks a closure under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.name, &id.into_benchmark_id().label(), f);
+        self
+    }
+
+    /// Benchmarks a closure that receives a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&self.name, &id.label(), |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (stub: no-op).
+    pub fn finish(self) {}
+}
+
+/// Conversion into a [`BenchmarkId`], so group APIs accept `&str` too.
+pub trait IntoBenchmarkId {
+    /// Converts `self` into a [`BenchmarkId`].
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId::from_parameter(self)
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId::from_parameter(self)
+    }
+}
+
+/// Throughput metadata (stub: carried but unused).
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, called `self.iters` times back-to-back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` on a fresh `setup()` value per iteration; setup time
+    /// is excluded from the measurement.
+    pub fn iter_with_setup<S, O, Setup, R>(&mut self, mut setup: Setup, mut routine: R)
+    where
+        Setup: FnMut() -> S,
+        R: FnMut(S) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+
+    /// `iter_batched` with per-iteration batches, mirroring criterion.
+    pub fn iter_batched<S, O, Setup, R>(&mut self, setup: Setup, routine: R, _size: BatchSize)
+    where
+        Setup: FnMut() -> S,
+        R: FnMut(S) -> O,
+    {
+        self.iter_with_setup(setup, routine);
+    }
+}
+
+/// Batch sizing hint for `iter_batched` (stub: ignored).
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: &str, id: &str, mut f: F) {
+    // Calibrate: run once to estimate cost, then pick an iteration count
+    // aiming at ~50ms of measurement, capped to keep `cargo bench` quick.
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let once = bencher.elapsed.max(Duration::from_nanos(1));
+    let target = Duration::from_millis(50);
+    let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+
+    let mut bencher = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed.as_nanos() / u128::from(iters.max(1));
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    println!("bench: {label:<60} {per_iter:>12} ns/iter ({iters} iters)");
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            let _ = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

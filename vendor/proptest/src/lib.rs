@@ -1,0 +1,454 @@
+//! Offline stub of the `proptest` property-testing framework.
+//!
+//! Implements the subset the workspace's tests use: the [`proptest!`] macro
+//! (with optional `#![proptest_config(..)]`), `prop_assert*` macros, the
+//! [`strategy::Strategy`] trait with `prop_map` / `prop_filter`, integer and
+//! float range strategies, tuple strategies, [`collection::vec`],
+//! [`bool::ANY`] and [`strategy::Just`].
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **no shrinking** — a failing case panics with the generated inputs'
+//!   `Display`/`Debug` rendered by the assertion message only;
+//! * **deterministic seeding** — each test function derives its RNG seed
+//!   from its own name, so failures reproduce across runs;
+//! * `PROPTEST_CASES` in the environment overrides the default case count,
+//!   like the real crate;
+//! * `prop_assume!` expands to a `continue` of the per-case loop — unlike
+//!   the real crate it must NOT be used inside a loop in a test body, where
+//!   it would silently skip only the inner iteration instead of the case.
+
+/// Strategies for generating `bool` values.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+
+    /// Strategy type generating uniformly random booleans.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// Generates `true` or `false` with equal probability.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn new_value(&self, runner: &mut TestRunner) -> bool {
+            use rand::Rng;
+            runner.rng().gen_bool(0.5)
+        }
+    }
+}
+
+/// Strategies for generating collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A size specification for generated collections: an exact length or a
+    /// range of lengths.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            Self {
+                min: exact,
+                max_inclusive: exact,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                min: r.start,
+                max_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            Self {
+                min: *r.start(),
+                max_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy generating a `Vec` of values from an element strategy.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Creates a strategy generating vectors whose elements come from
+    /// `element` and whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+            use rand::Rng;
+            let len = if self.size.min == self.size.max_inclusive {
+                self.size.min
+            } else {
+                runner
+                    .rng()
+                    .gen_range(self.size.min..=self.size.max_inclusive)
+            };
+            (0..len).map(|_| self.element.new_value(runner)).collect()
+        }
+    }
+}
+
+/// Number strategies: ranges over primitive integers and floats.
+pub mod num {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+    use std::ops::{Range, RangeInclusive};
+
+    macro_rules! numeric_range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn new_value(&self, runner: &mut TestRunner) -> $t {
+                    use rand::Rng;
+                    runner.rng().gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn new_value(&self, runner: &mut TestRunner) -> $t {
+                    use rand::Rng;
+                    runner.rng().gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    numeric_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn new_value(&self, runner: &mut TestRunner) -> f64 {
+            use rand::Rng;
+            runner.rng().gen_range(self.clone())
+        }
+    }
+}
+
+/// The [`Strategy`](strategy::Strategy) trait and combinators.
+pub mod strategy {
+    use crate::test_runner::TestRunner;
+
+    /// A recipe for generating random values of an associated type.
+    pub trait Strategy {
+        /// The type of values this strategy generates.
+        type Value;
+
+        /// Generates one value using the runner's RNG.
+        fn new_value(&self, runner: &mut TestRunner) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Rejects generated values failing `pred`, resampling (bounded).
+        fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                whence,
+                pred,
+            }
+        }
+
+        /// Erases the strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn new_value(&self, _runner: &mut TestRunner) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn new_value(&self, runner: &mut TestRunner) -> O {
+            (self.f)(self.inner.new_value(runner))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Clone, Debug)]
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: &'static str,
+        pred: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+
+        fn new_value(&self, runner: &mut TestRunner) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.new_value(runner);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter rejected 1000 consecutive samples: {}",
+                self.whence
+            );
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn StrategyObject<Value = T>>);
+
+    trait StrategyObject {
+        type Value;
+        fn new_value_dyn(&self, runner: &mut TestRunner) -> Self::Value;
+    }
+
+    impl<S: Strategy> StrategyObject for S {
+        type Value = S::Value;
+
+        fn new_value_dyn(&self, runner: &mut TestRunner) -> S::Value {
+            self.new_value(runner)
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn new_value(&self, runner: &mut TestRunner) -> T {
+            self.0.new_value_dyn(runner)
+        }
+    }
+
+    macro_rules! tuple_strategies {
+        ($(($($name:ident),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.new_value(runner),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategies! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+}
+
+/// Test-runner configuration and state.
+pub mod test_runner {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Configuration for a `proptest!` block.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+        /// Accepted for source compatibility; shrinking is not implemented.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(64);
+            Self {
+                cases,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+
+    /// Per-test generation state: the RNG strategies draw from.
+    pub struct TestRunner {
+        rng: SmallRng,
+        cases: u32,
+    }
+
+    impl TestRunner {
+        /// Creates a runner whose RNG seed is derived from `name`, so each
+        /// test function gets a distinct but reproducible stream.
+        pub fn new(config: &ProptestConfig, name: &str) -> Self {
+            // FNV-1a over the test name: stable across runs and platforms.
+            let mut seed = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                seed ^= u64::from(b);
+                seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            Self {
+                rng: SmallRng::seed_from_u64(seed),
+                cases: config.cases,
+            }
+        }
+
+        /// The number of cases this runner should execute.
+        pub fn cases(&self) -> u32 {
+            self.cases
+        }
+
+        /// The runner's random number generator.
+        pub fn rng(&mut self) -> &mut SmallRng {
+            &mut self.rng
+        }
+    }
+}
+
+/// Everything a test module normally imports.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests over generated inputs.
+///
+/// Supports the real crate's common form: an optional
+/// `#![proptest_config(expr)]` header followed by `#[test]` functions whose
+/// parameters are `pattern in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!{ config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!{
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (config = ($config:expr);) => {};
+    (config = ($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let mut runner =
+                $crate::test_runner::TestRunner::new(&config, stringify!($name));
+            for __case in 0..runner.cases() {
+                $(
+                    let $pat =
+                        $crate::strategy::Strategy::new_value(&($strategy), &mut runner);
+                )+
+                { $body }
+            }
+        }
+        $crate::__proptest_tests!{ config = ($config); $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property test (stub: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test (stub: plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property test (stub: plain `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skips the current case when its precondition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}

@@ -1,0 +1,9 @@
+//! Offline stub of the `serde` facade.
+//!
+//! The workspace uses serde purely for `#[derive(Serialize, Deserialize)]`
+//! annotations; no code path serializes anything.  This stub re-exports the
+//! no-op derive macros from the sibling `serde_derive` stub so the
+//! annotations compile unchanged.  If a future PR needs real serialization,
+//! replace `vendor/serde*` with the crates.io releases and delete these.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! No-op stand-ins for serde's `Serialize` / `Deserialize` derive macros.
+//!
+//! The workspace is built in an offline environment, and its crates use
+//! serde only as derive annotations (`#[derive(Serialize, Deserialize)]`
+//! plus `#[serde(...)]` field attributes) — nothing ever serializes a
+//! value.  These derives therefore accept the annotated item (including
+//! `#[serde(...)]` helper attributes) and expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.  Accepts `#[serde(...)]` helper attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.  Accepts `#[serde(...)]` helper attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
