@@ -1,0 +1,84 @@
+//! Criterion benchmarks for the concurrent engine (experiment E12):
+//! closed-loop throughput across certifiers, thread counts and contention
+//! levels.  History recording is off — the measurement is the engine hot
+//! path, not the log.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvcc_engine::load::run_closed_loop_with;
+use mvcc_engine::CertifierKind;
+use mvcc_workload::LoadProfile;
+use std::time::Duration;
+
+fn profile(threads: usize, theta: f64) -> LoadProfile {
+    LoadProfile {
+        threads,
+        shards: threads.max(2),
+        ops: 2_000,
+        entities: 64,
+        steps_per_transaction: 4,
+        read_ratio: 0.8,
+        zipf_theta: theta,
+        seed: 0xbe9c,
+    }
+}
+
+fn bench_certifiers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_load");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(10);
+    for kind in CertifierKind::all() {
+        group.bench_with_input(BenchmarkId::new("certifier", kind), &kind, |b, &kind| {
+            let p = profile(4, 0.5);
+            b.iter(|| run_closed_loop_with(kind, &p, false))
+        });
+    }
+    group.finish();
+}
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_threads");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(10);
+    for &threads in &[1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("mvto", threads),
+            &threads,
+            |b, &threads| {
+                let p = profile(threads, 0.5);
+                b.iter(|| run_closed_loop_with(CertifierKind::Mvto, &p, false))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_contention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_contention");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(10);
+    for &theta in &[0.0, 0.9] {
+        group.bench_with_input(
+            BenchmarkId::new("si", format!("theta={theta}")),
+            &theta,
+            |b, &theta| {
+                let p = profile(4, theta);
+                b.iter(|| run_closed_loop_with(CertifierKind::SnapshotIsolation, &p, false))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_certifiers,
+    bench_thread_scaling,
+    bench_contention
+);
+criterion_main!(benches);

@@ -9,6 +9,7 @@ use mvcc_classify::taxonomy::{classify, Census};
 use mvcc_classify::{is_csr, is_mvcsr, is_mvsr, is_vsr};
 use mvcc_core::examples::{figure1, Figure1Region};
 use mvcc_core::Schedule;
+use mvcc_engine::CertifierKind;
 use mvcc_graph::poly_acyclic::is_acyclic_polygraph;
 use mvcc_graph::Polygraph;
 use mvcc_reductions::ols::is_ols;
@@ -17,7 +18,7 @@ use mvcc_scheduler::{
     run_abort, run_prefix, MvSgtScheduler, MvtoScheduler, Scheduler, SerialScheduler, SgtScheduler,
     TimestampScheduler, TwoPhaseLockingScheduler,
 };
-use mvcc_workload::{random_interleaving, random_transaction_system, WorkloadConfig};
+use mvcc_workload::{random_interleaving, random_transaction_system, LoadProfile, WorkloadConfig};
 use std::time::Instant;
 
 /// One row of the Figure 1 example table (experiment E1).
@@ -312,6 +313,57 @@ pub fn polygraph_corpus() -> Vec<Polygraph> {
     corpus
 }
 
+/// One row of the engine load table (experiment E12): one certifier under
+/// one load profile.
+#[derive(Debug, Clone)]
+pub struct EngineRow {
+    /// Certifier configuration.
+    pub certifier: CertifierKind,
+    /// The profile that drove the run.
+    pub profile: LoadProfile,
+    /// Committed transactions per second.
+    pub throughput_tps: f64,
+    /// Transactions committed.
+    pub committed: u64,
+    /// Transactions aborted.
+    pub aborted: u64,
+    /// Fraction of finished transactions that aborted.
+    pub abort_ratio: f64,
+    /// Approximate p99 commit latency (µs bucket upper bound).
+    pub p99_latency_us: u64,
+    /// `true` if the committed history was validated to lie in the
+    /// certifier's class by the offline classifiers (`None` when the check
+    /// was skipped because recording was off).
+    pub history_in_class: Option<bool>,
+}
+
+/// Drives the whole certifier zoo through the closed-loop engine harness
+/// under `profile`, one fresh engine per certifier (experiment E12:
+/// throughput and abort-rate scaling vs. threads × θ × certifier).
+///
+/// `validate_histories` additionally records each run's admission history
+/// and checks its committed projection with the offline classifiers; keep
+/// the profile's `ops` small when enabling it for the MVTO row, whose
+/// class check (MVSR) is the NP-complete one.
+pub fn engine_load_table(profile: &LoadProfile, validate_histories: bool) -> Vec<EngineRow> {
+    CertifierKind::all()
+        .into_iter()
+        .map(|kind| {
+            let report = mvcc_engine::load::run_closed_loop_with(kind, profile, validate_histories);
+            EngineRow {
+                certifier: kind,
+                profile: *profile,
+                throughput_tps: report.throughput_tps(),
+                committed: report.metrics.committed,
+                aborted: report.metrics.aborted,
+                abort_ratio: report.abort_ratio(),
+                p99_latency_us: report.metrics.latency_percentile_us(0.99),
+                history_in_class: validate_histories.then(|| report.history_in_class()),
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -380,6 +432,33 @@ mod tests {
         assert!(rows[0].vsr_us.is_some() && rows[0].mvsr_us.is_some());
         assert!(rows[1].vsr_us.is_none() && rows[1].mvsr_us.is_none());
         assert!(rows.iter().all(|r| r.csr_us >= 0.0 && r.mvcsr_us >= 0.0));
+    }
+
+    #[test]
+    fn engine_load_table_covers_the_zoo_and_validates_histories() {
+        let profile = LoadProfile {
+            threads: 2,
+            shards: 2,
+            ops: 60,
+            entities: 8,
+            steps_per_transaction: 3,
+            read_ratio: 0.8,
+            zipf_theta: 0.5,
+            seed: 3,
+        };
+        let rows = engine_load_table(&profile, true);
+        assert_eq!(rows.len(), 6);
+        for row in &rows {
+            assert_eq!(
+                row.history_in_class,
+                Some(true),
+                "{} history out of class",
+                row.certifier
+            );
+            assert!(row.committed > 0, "{} never committed", row.certifier);
+            assert!(row.throughput_tps > 0.0);
+            assert!((0.0..=1.0).contains(&row.abort_ratio));
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! The experiment harness: Criterion micro-benchmarks (under `benches/`) and
 //! table-printing binaries (under `src/bin/`) that regenerate the paper's
-//! Figure 1 and the derived experiment tables E1–E11 described in
+//! Figure 1 and the derived experiment tables E1–E12 described in
 //! `DESIGN.md` / `EXPERIMENTS.md`.
 //!
 //! This library crate holds the small pieces shared by the binaries: plain

@@ -1,0 +1,214 @@
+//! The closed-loop load harness (experiment E12).
+//!
+//! `threads` workers each run a closed loop: generate a transaction with
+//! the `mvcc-workload` primitives (Zipfian entity selection with skew θ,
+//! read/write mix), drive it through an engine session, and immediately
+//! start the next one — until the profile's total operation budget is
+//! exhausted.  The run produces a [`LoadReport`]: throughput, commit/abort
+//! counts with reasons, latency percentiles, per-shard contention, and the
+//! admission [`History`] whose committed projection the offline
+//! `mvcc-classify` checkers can validate — the end-to-end "theory checks
+//! the engine" loop.
+
+use crate::certifier::{CertifierKind, HistoryClass};
+use crate::gc::GcDriver;
+use crate::metrics::MetricsSnapshot;
+use crate::session::{Engine, EngineConfig, History};
+use bytes::Bytes;
+use mvcc_core::Action;
+use mvcc_workload::{random_accesses, LoadProfile, Zipfian};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The outcome of one closed-loop run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// The certifier that ran.
+    pub kind: CertifierKind,
+    /// The class its committed history is guaranteed to be in.
+    pub class: HistoryClass,
+    /// The profile that drove the run.
+    pub profile: LoadProfile,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Final engine metrics.
+    pub metrics: MetricsSnapshot,
+    /// The admission history (empty if recording was off).
+    pub history: History,
+}
+
+impl LoadReport {
+    /// Committed transactions per wall-clock second.
+    pub fn throughput_tps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.metrics.committed as f64 / secs
+        }
+    }
+
+    /// Fraction of finished transactions that aborted.
+    pub fn abort_ratio(&self) -> f64 {
+        1.0 - self.metrics.commit_ratio()
+    }
+
+    /// Checks the committed projection of the history against the
+    /// certifier's class with the offline classifiers.  `true` when
+    /// recording was off (nothing to refute) or the class claims nothing
+    /// (snapshot isolation).
+    pub fn history_in_class(&self) -> bool {
+        if self.history.admitted.is_empty() {
+            return true;
+        }
+        self.class.check(&self.history.committed_schedule())
+    }
+}
+
+/// Runs one closed-loop load against a fresh engine of `kind`, recording
+/// the admission history for offline validation.
+pub fn run_closed_loop(kind: CertifierKind, profile: &LoadProfile) -> LoadReport {
+    run_closed_loop_with(kind, profile, true)
+}
+
+/// [`run_closed_loop`] with history recording made explicit (turn it off
+/// for long throughput benchmarks, where the log itself would distort the
+/// measurement).
+pub fn run_closed_loop_with(
+    kind: CertifierKind,
+    profile: &LoadProfile,
+    record_history: bool,
+) -> LoadReport {
+    profile.validate().expect("invalid load profile");
+    let engine = Arc::new(Engine::new(
+        kind,
+        EngineConfig {
+            shards: profile.shards,
+            entities: profile.entities,
+            initial: Bytes::from_static(b"0"),
+            record_history,
+        },
+    ));
+    let gc = GcDriver::start(Arc::clone(&engine), Duration::from_millis(1));
+    // Each worker claims `steps_per_transaction` ops from the shared
+    // budget per transaction; the run ends when the budget runs dry.
+    let budget = Arc::new(AtomicI64::new(profile.ops as i64));
+    let started = Instant::now();
+    let mut workers = Vec::with_capacity(profile.threads);
+    for worker_idx in 0..profile.threads {
+        let engine = Arc::clone(&engine);
+        let budget = Arc::clone(&budget);
+        let profile = *profile;
+        workers.push(std::thread::spawn(move || {
+            // Each worker derives an independent deterministic stream.
+            let mut rng = SmallRng::seed_from_u64(
+                profile
+                    .seed
+                    .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(worker_idx as u64 + 1)),
+            );
+            let zipf = Zipfian::new(profile.entities, profile.zipf_theta);
+            let claim = profile.steps_per_transaction as i64;
+            while budget.fetch_sub(claim, Ordering::Relaxed) >= claim {
+                // The same access-generation policy as the offline
+                // workloads (single source in mvcc-workload).
+                let accesses = random_accesses(
+                    &mut rng,
+                    &zipf,
+                    profile.steps_per_transaction,
+                    profile.read_ratio,
+                );
+                let mut session = engine.begin();
+                let mut ok = true;
+                for (action, entity) in accesses {
+                    let outcome = match action {
+                        Action::Read => session.read(entity).map(|_| ()),
+                        Action::Write => {
+                            session.write(entity, Bytes::from(format!("{}", session.id())))
+                        }
+                    };
+                    if outcome.is_err() {
+                        // The engine already aborted the session.
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    let _ = session.commit();
+                }
+            }
+        }));
+    }
+    for worker in workers {
+        worker.join().expect("worker panicked");
+    }
+    let elapsed = started.elapsed();
+    gc.stop();
+    LoadReport {
+        kind,
+        class: kind.class(),
+        profile: *profile,
+        elapsed,
+        metrics: engine.metrics().snapshot(),
+        history: engine.history(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_profile(theta: f64) -> LoadProfile {
+        LoadProfile {
+            threads: 4,
+            shards: 2,
+            ops: 240,
+            entities: 8,
+            steps_per_transaction: 3,
+            read_ratio: 0.7,
+            zipf_theta: theta,
+            seed: 0x10ad,
+        }
+    }
+
+    #[test]
+    fn closed_loop_accounts_for_every_transaction() {
+        let report = run_closed_loop(CertifierKind::Sgt, &small_profile(0.0));
+        let m = &report.metrics;
+        assert!(m.committed > 0, "no commits at all");
+        assert_eq!(m.begun, m.committed + m.aborted, "unfinished sessions");
+        // Every committed transaction admitted all of its steps.
+        let committed_steps = report.history.committed_schedule().len();
+        assert_eq!(
+            committed_steps as u64,
+            m.committed * 3,
+            "committed projection size"
+        );
+        assert!(report.throughput_tps() > 0.0);
+        assert!(report.history_in_class());
+    }
+
+    #[test]
+    fn budget_bounds_the_run() {
+        let profile = small_profile(0.9);
+        let report = run_closed_loop(CertifierKind::SnapshotIsolation, &profile);
+        // Workers claim ops up front, so executed ops never exceed the
+        // budget (aborted transactions may under-use their claim).
+        let m = &report.metrics;
+        assert!(m.reads + m.writes <= profile.ops as u64);
+        assert!(
+            m.begun * 3 >= profile.ops as u64 / 2,
+            "budget under-claimed"
+        );
+    }
+
+    #[test]
+    fn history_recording_can_be_skipped() {
+        let report = run_closed_loop_with(CertifierKind::Mvto, &small_profile(0.0), false);
+        assert!(report.history.admitted.is_empty());
+        assert!(report.history_in_class(), "vacuously true");
+        assert!(report.metrics.committed > 0);
+    }
+}

@@ -1,0 +1,377 @@
+//! Engine observability: counters, abort breakdown, latency histogram and
+//! per-shard contention.
+//!
+//! Everything is lock-free (`AtomicU64` relaxed counters): the hot path
+//! adds a handful of uncontended atomic increments per operation, and
+//! [`EngineMetrics::snapshot`] renders a consistent-enough point-in-time
+//! [`MetricsSnapshot`] for tables and reports.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Why a transaction aborted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortReason {
+    /// The certifier rejected a step.
+    CertifierReject,
+    /// The transaction would have read a version whose writer had not
+    /// committed (the engine enforces ACA — avoids cascading aborts).
+    DirtyRead,
+    /// The assigned version was already reclaimed by GC ("snapshot too
+    /// old").
+    SnapshotTooOld,
+    /// Snapshot isolation's first-committer-wins validation failed.
+    WriteConflict,
+    /// The session aborted voluntarily (explicit `abort()` or drop).
+    Explicit,
+}
+
+impl AbortReason {
+    const COUNT: usize = 5;
+
+    fn index(self) -> usize {
+        match self {
+            AbortReason::CertifierReject => 0,
+            AbortReason::DirtyRead => 1,
+            AbortReason::SnapshotTooOld => 2,
+            AbortReason::WriteConflict => 3,
+            AbortReason::Explicit => 4,
+        }
+    }
+
+    /// All reasons, in breakdown-table order.
+    pub fn all() -> [AbortReason; Self::COUNT] {
+        [
+            AbortReason::CertifierReject,
+            AbortReason::DirtyRead,
+            AbortReason::SnapshotTooOld,
+            AbortReason::WriteConflict,
+            AbortReason::Explicit,
+        ]
+    }
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbortReason::CertifierReject => write!(f, "rejected"),
+            AbortReason::DirtyRead => write!(f, "dirty-read"),
+            AbortReason::SnapshotTooOld => write!(f, "snapshot-too-old"),
+            AbortReason::WriteConflict => write!(f, "write-conflict"),
+            AbortReason::Explicit => write!(f, "explicit"),
+        }
+    }
+}
+
+/// Power-of-two commit-latency histogram: bucket 0 counts sub-µs commits
+/// and bucket `i > 0` counts latencies in `[2^(i-1), 2^i)` microseconds,
+/// so `2^i` is the inclusive upper bound of bucket `i` (what
+/// [`MetricsSnapshot::latency_percentile_us`] reports).
+#[derive(Debug, Default)]
+struct LatencyHistogram {
+    buckets: [AtomicU64; 32],
+}
+
+impl LatencyHistogram {
+    fn record(&self, latency: Duration) {
+        let micros = latency.as_micros() as u64;
+        let bucket = (64 - micros.leading_zeros() as usize).min(31);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// Per-shard contention counters.
+#[derive(Debug, Default)]
+struct ShardCounters {
+    /// Read/write operations executed against the shard.
+    ops: AtomicU64,
+    /// Aborts whose triggering entity lived on the shard (rejections,
+    /// dirty reads, stale snapshots, write conflicts).
+    conflicts: AtomicU64,
+}
+
+/// Shared engine metrics.  All methods take `&self`; the engine embeds one
+/// instance and every session thread updates it concurrently.
+#[derive(Debug)]
+pub struct EngineMetrics {
+    begun: AtomicU64,
+    committed: AtomicU64,
+    aborted: AtomicU64,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    aborts_by_reason: [AtomicU64; AbortReason::COUNT],
+    gc_passes: AtomicU64,
+    gc_reclaimed: AtomicU64,
+    commit_latency: LatencyHistogram,
+    shards: Vec<ShardCounters>,
+}
+
+impl EngineMetrics {
+    /// Creates zeroed metrics for an engine with `shards` shards.
+    pub fn new(shards: usize) -> Self {
+        EngineMetrics {
+            begun: AtomicU64::new(0),
+            committed: AtomicU64::new(0),
+            aborted: AtomicU64::new(0),
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            aborts_by_reason: Default::default(),
+            gc_passes: AtomicU64::new(0),
+            gc_reclaimed: AtomicU64::new(0),
+            commit_latency: LatencyHistogram::default(),
+            shards: (0..shards).map(|_| ShardCounters::default()).collect(),
+        }
+    }
+
+    /// Records a session begin.
+    pub fn record_begin(&self) {
+        self.begun.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an executed read on `shard`.
+    pub fn record_read(&self, shard: usize) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.shards[shard].ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an executed write on `shard`.
+    pub fn record_write(&self, shard: usize) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.shards[shard].ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a commit and its latency (begin → commit).
+    pub fn record_commit(&self, latency: Duration) {
+        self.committed.fetch_add(1, Ordering::Relaxed);
+        self.commit_latency.record(latency);
+    }
+
+    /// Records an abort; `shard` is the shard of the entity that triggered
+    /// it, when one did.
+    pub fn record_abort(&self, reason: AbortReason, shard: Option<usize>) {
+        self.aborted.fetch_add(1, Ordering::Relaxed);
+        self.aborts_by_reason[reason.index()].fetch_add(1, Ordering::Relaxed);
+        if let Some(s) = shard {
+            self.shards[s].conflicts.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one GC pass that reclaimed `reclaimed` versions.
+    pub fn record_gc(&self, reclaimed: usize) {
+        self.gc_passes.fetch_add(1, Ordering::Relaxed);
+        self.gc_reclaimed
+            .fetch_add(reclaimed as u64, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            begun: self.begun.load(Ordering::Relaxed),
+            committed: self.committed.load(Ordering::Relaxed),
+            aborted: self.aborted.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            aborts_by_reason: AbortReason::all()
+                .iter()
+                .map(|r| (*r, self.aborts_by_reason[r.index()].load(Ordering::Relaxed)))
+                .collect(),
+            gc_passes: self.gc_passes.load(Ordering::Relaxed),
+            gc_reclaimed: self.gc_reclaimed.load(Ordering::Relaxed),
+            latency_buckets: self.commit_latency.counts(),
+            shard_ops: self
+                .shards
+                .iter()
+                .map(|s| s.ops.load(Ordering::Relaxed))
+                .collect(),
+            shard_conflicts: self
+                .shards
+                .iter()
+                .map(|s| s.conflicts.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of [`EngineMetrics`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Sessions begun.
+    pub begun: u64,
+    /// Transactions committed.
+    pub committed: u64,
+    /// Transactions aborted.
+    pub aborted: u64,
+    /// Read operations executed.
+    pub reads: u64,
+    /// Write operations executed.
+    pub writes: u64,
+    /// Abort counts by reason.
+    pub aborts_by_reason: Vec<(AbortReason, u64)>,
+    /// Completed GC passes.
+    pub gc_passes: u64,
+    /// Versions reclaimed by GC.
+    pub gc_reclaimed: u64,
+    /// Commit-latency histogram: bucket 0 is sub-µs, bucket `i > 0` covers
+    /// `[2^(i-1), 2^i)` µs.
+    pub latency_buckets: Vec<u64>,
+    /// Operations executed per shard.
+    pub shard_ops: Vec<u64>,
+    /// Conflict-triggered aborts attributed per shard.
+    pub shard_conflicts: Vec<u64>,
+}
+
+impl MetricsSnapshot {
+    /// Fraction of finished transactions that committed.
+    pub fn commit_ratio(&self) -> f64 {
+        let finished = self.committed + self.aborted;
+        if finished == 0 {
+            1.0
+        } else {
+            self.committed as f64 / finished as f64
+        }
+    }
+
+    /// Approximate commit-latency percentile in microseconds: the upper
+    /// bound of the histogram bucket containing the `q`-quantile commit
+    /// (`q` in `[0, 1]`).
+    pub fn latency_percentile_us(&self, q: f64) -> u64 {
+        let total: u64 = self.latency_buckets.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &count) in self.latency_buckets.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                return 1u64 << i;
+            }
+        }
+        1u64 << (self.latency_buckets.len() - 1)
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "txns: {} committed / {} aborted ({:.1}% commit), ops: {} reads + {} writes",
+            self.committed,
+            self.aborted,
+            self.commit_ratio() * 100.0,
+            self.reads,
+            self.writes
+        )?;
+        write!(f, "aborts:")?;
+        for (reason, count) in &self.aborts_by_reason {
+            if *count > 0 {
+                write!(f, " {reason}={count}")?;
+            }
+        }
+        writeln!(f)?;
+        writeln!(
+            f,
+            "latency (µs, bucket upper bounds): p50≤{} p95≤{} p99≤{}",
+            self.latency_percentile_us(0.50),
+            self.latency_percentile_us(0.95),
+            self.latency_percentile_us(0.99)
+        )?;
+        writeln!(
+            f,
+            "gc: {} passes, {} versions reclaimed",
+            self.gc_passes, self.gc_reclaimed
+        )?;
+        write!(f, "shards:")?;
+        for (i, (ops, conflicts)) in self
+            .shard_ops
+            .iter()
+            .zip(self.shard_conflicts.iter())
+            .enumerate()
+        {
+            write!(f, " [{i}] ops={ops} conflicts={conflicts}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = EngineMetrics::new(2);
+        m.record_begin();
+        m.record_read(0);
+        m.record_write(1);
+        m.record_commit(Duration::from_micros(10));
+        m.record_begin();
+        m.record_abort(AbortReason::DirtyRead, Some(1));
+        m.record_gc(3);
+        let s = m.snapshot();
+        assert_eq!(s.begun, 2);
+        assert_eq!(s.committed, 1);
+        assert_eq!(s.aborted, 1);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.shard_ops, vec![1, 1]);
+        assert_eq!(s.shard_conflicts, vec![0, 1]);
+        assert_eq!(s.gc_passes, 1);
+        assert_eq!(s.gc_reclaimed, 3);
+        assert!((s.commit_ratio() - 0.5).abs() < 1e-9);
+        let dirty = s
+            .aborts_by_reason
+            .iter()
+            .find(|(r, _)| *r == AbortReason::DirtyRead)
+            .unwrap();
+        assert_eq!(dirty.1, 1);
+    }
+
+    #[test]
+    fn latency_percentiles_track_buckets() {
+        let m = EngineMetrics::new(1);
+        // 9 fast commits, one slow one.
+        for _ in 0..9 {
+            m.record_commit(Duration::from_micros(3));
+        }
+        m.record_commit(Duration::from_millis(2));
+        let s = m.snapshot();
+        let p50 = s.latency_percentile_us(0.50);
+        let p99 = s.latency_percentile_us(0.99);
+        assert!(p50 <= 8, "p50 bucket bound {p50}");
+        assert!(p99 >= 2048, "p99 bucket bound {p99}");
+        assert!(p50 <= p99);
+        // Empty histograms report zero.
+        assert_eq!(
+            EngineMetrics::new(1).snapshot().latency_percentile_us(0.5),
+            0
+        );
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let m = EngineMetrics::new(1);
+        m.record_begin();
+        m.record_commit(Duration::from_micros(1));
+        let text = m.snapshot().to_string();
+        assert!(text.contains("1 committed"));
+        assert!(text.contains("gc: 0 passes"));
+        assert!(text.contains("[0] ops=0"));
+    }
+
+    #[test]
+    fn abort_reasons_are_exhaustive_and_named() {
+        assert_eq!(AbortReason::all().len(), 5);
+        for r in AbortReason::all() {
+            assert!(!r.to_string().is_empty());
+        }
+    }
+}

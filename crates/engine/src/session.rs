@@ -1,0 +1,788 @@
+//! The engine and its multi-threaded session API.
+//!
+//! An [`Engine`] is a [`ShardedStore`] plus one [`Certifier`] behind an
+//! admission mutex.  Sessions ([`Session`]) are handles usable from any OS
+//! thread: `begin` allocates a transaction id, `read`/`write` offer each
+//! step to the certifier and then execute it on the owning shard,
+//! `commit`/`abort` finish the transaction on every shard it touched.
+//!
+//! ## Serialization points and races
+//!
+//! The admission lock is the engine's single serialization point: steps
+//! enter the append-only [`History`] in exactly the order the certifier
+//! ruled on them, which makes the recorded history the ground truth the
+//! paper's model speaks about — the offline classifiers check *that*
+//! sequence.  Store effects are applied outside the admission lock for
+//! concurrency, with three engine rules keeping values coherent:
+//!
+//! 1. a write's version is appended to its shard before the writing
+//!    session takes any further step, so an explicitly assigned version
+//!    (multiversion certifiers) can only be missing if its writer is still
+//!    in flight — and then rule 2 applies;
+//! 2. **ACA** (avoids cascading aborts): a read assigned a version whose
+//!    writer has not committed aborts the reader ([`AbortReason::DirtyRead`]);
+//!    committed transactions therefore never depend on uncommitted data,
+//!    and MVTO's committed histories stay provably MVSR;
+//! 3. shard commits are applied *before* the certifier learns of the
+//!    commit, so a certifier that releases admission state at commit
+//!    (2PL's locks) can never expose a reader to a not-yet-applied commit;
+//! 4. **reads are pinned at admission**: a single-version certifier's
+//!    "latest" read is resolved under the admission lock to the last
+//!    *admitted* write of the entity (then subject to rule 2), never to
+//!    whatever the store happens to hold when the read executes — so the
+//!    values served always tell the same story as the history the
+//!    classifiers certify, and admitted-but-unapplied or
+//!    committed-after-admission writes can't leak in.
+//!
+//! Cross-shard commits of snapshot-isolation sessions additionally
+//! serialize on a commit lock so that first-committer-wins validation and
+//! the subsequent per-shard commits are atomic with respect to each other.
+
+use crate::certifier::{Admission, Certifier, CertifierKind, HistoryClass, ReadPlan};
+use crate::metrics::{AbortReason, EngineMetrics};
+use crate::shard::ShardedStore;
+use bytes::Bytes;
+use mvcc_core::{EntityId, Schedule, Step, TxId, VersionSource};
+use mvcc_store::{gc, StoreError, TxHandle};
+use parking_lot::Mutex;
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Errors surfaced by the session API.  Every variant except
+/// [`EngineError::NotActive`] means the engine has already aborted the
+/// session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The certifier rejected the step; the transaction was aborted.
+    Rejected(Step),
+    /// The step would have observed an uncommitted version (ACA rule); the
+    /// transaction was aborted.
+    DirtyRead(Step, TxId),
+    /// The assigned version was reclaimed by GC before the read executed;
+    /// the transaction was aborted.
+    SnapshotTooOld(EntityId, TxId),
+    /// First-committer-wins validation failed at commit; the transaction
+    /// was aborted.
+    WriteConflict(EntityId, TxId),
+    /// The session already committed or aborted.
+    NotActive(TxId),
+    /// An unexpected store-level failure (a bug if it ever surfaces).
+    Store(StoreError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Rejected(step) => write!(f, "certifier rejected {step}"),
+            EngineError::DirtyRead(step, writer) => {
+                write!(f, "{step} would read uncommitted data of {writer}")
+            }
+            EngineError::SnapshotTooOld(entity, writer) => {
+                write!(f, "version of {entity} by {writer} already reclaimed")
+            }
+            EngineError::WriteConflict(entity, winner) => {
+                write!(f, "write-write conflict on {entity} against {winner}")
+            }
+            EngineError::NotActive(tx) => write!(f, "{tx} is not active"),
+            EngineError::Store(e) => write!(f, "store error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<StoreError> for EngineError {
+    fn from(e: StoreError) -> Self {
+        EngineError::Store(e)
+    }
+}
+
+/// Engine construction parameters.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of store shards.
+    pub shards: usize,
+    /// Number of pre-created entities (`EntityId(0)..EntityId(entities)`),
+    /// each initialized with `initial`.
+    pub entities: usize,
+    /// Initial version payload for every entity.
+    pub initial: Bytes,
+    /// Record the admission history (required for offline classification;
+    /// turn off for long benchmark runs).
+    pub record_history: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            shards: 2,
+            entities: 16,
+            initial: Bytes::from_static(b"0"),
+            record_history: true,
+        }
+    }
+}
+
+/// Admission state: everything that must change atomically with a
+/// certifier ruling.
+struct AdmissionState {
+    certifier: Box<dyn Certifier>,
+    /// Admitted steps, in ruling order (empty when history recording is
+    /// off).
+    admitted: Vec<Step>,
+    /// Transactions that committed.
+    committed: BTreeSet<TxId>,
+    /// Admitted writers per entity, in admission order (aborted writers
+    /// removed, committed prefixes pruned).  This is how the engine
+    /// resolves [`ReadPlan::Latest`] into the version the *admitted
+    /// sequence* dictates — the last admitted write — instead of whatever
+    /// happens to be committed in the store when the read executes, which
+    /// could tell a different story than the history the classifiers
+    /// certify.
+    write_chains: HashMap<EntityId, Vec<TxId>>,
+}
+
+impl AdmissionState {
+    /// Records an admitted write of `entity` by `tx` and prunes the chain:
+    /// every entry before the last *committed* one can never again be the
+    /// last admitted write (commits are never undone, aborts only remove
+    /// their own entries), so only the committed tail entry plus the
+    /// in-flight writers after it are kept.
+    fn record_write(&mut self, entity: EntityId, tx: TxId) {
+        let chain = self.write_chains.entry(entity).or_default();
+        chain.push(tx);
+        if let Some(last_committed) = chain.iter().rposition(|w| self.committed.contains(w)) {
+            chain.drain(..last_committed);
+        }
+    }
+
+    /// The version the last admitted write of `entity` created, or the
+    /// initial version when nothing has been admitted (store pre-seed).
+    fn latest_admitted(&self, entity: EntityId) -> VersionSource {
+        match self.write_chains.get(&entity).and_then(|c| c.last()) {
+            Some(&w) => VersionSource::Tx(w),
+            None => VersionSource::Initial,
+        }
+    }
+
+    /// Removes an aborted transaction's entries from every write chain.
+    fn purge_writer(&mut self, tx: TxId) {
+        for chain in self.write_chains.values_mut() {
+            chain.retain(|&w| w != tx);
+        }
+    }
+}
+
+/// The admission history of a run: the admitted steps in certifier order
+/// plus the set of transactions that committed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct History {
+    /// Every admitted step, in admission order (including steps of
+    /// transactions that later aborted).
+    pub admitted: Vec<Step>,
+    /// Transactions that committed.
+    pub committed: BTreeSet<TxId>,
+}
+
+impl History {
+    /// The committed projection: admitted steps of committed transactions,
+    /// in admission order — the object the offline classifiers check.
+    pub fn committed_schedule(&self) -> Schedule {
+        Schedule::from_steps(
+            self.admitted
+                .iter()
+                .copied()
+                .filter(|s| self.committed.contains(&s.tx))
+                .collect(),
+        )
+    }
+}
+
+/// A concurrent, sharded, multi-session MVCC engine.
+pub struct Engine {
+    shards: ShardedStore,
+    admission: Mutex<AdmissionState>,
+    /// Serializes cross-shard validate+commit sections (snapshot
+    /// isolation).
+    commit_lock: Mutex<()>,
+    metrics: EngineMetrics,
+    next_tx: AtomicU32,
+    kind: CertifierKind,
+    record_history: bool,
+}
+
+impl fmt::Debug for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("kind", &self.kind)
+            .field("shards", &self.shards.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Engine {
+    /// Creates an engine with a fresh certifier of `kind`.
+    pub fn new(kind: CertifierKind, config: EngineConfig) -> Self {
+        Engine {
+            shards: ShardedStore::new(config.shards, config.entities, config.initial),
+            admission: Mutex::new(AdmissionState {
+                certifier: kind.build(),
+                admitted: Vec::new(),
+                committed: BTreeSet::new(),
+                write_chains: HashMap::new(),
+            }),
+            commit_lock: Mutex::new(()),
+            metrics: EngineMetrics::new(config.shards),
+            next_tx: AtomicU32::new(1),
+            kind,
+            record_history: config.record_history,
+        }
+    }
+
+    /// The certifier configuration the engine runs.
+    pub fn kind(&self) -> CertifierKind {
+        self.kind
+    }
+
+    /// The class guaranteed for the committed history.
+    pub fn class(&self) -> HistoryClass {
+        self.kind.class()
+    }
+
+    /// The engine's metrics.
+    pub fn metrics(&self) -> &EngineMetrics {
+        &self.metrics
+    }
+
+    /// The sharded store (observability and tests).
+    pub fn shards(&self) -> &ShardedStore {
+        &self.shards
+    }
+
+    /// Begins a new session.  The engine allocates the transaction id.
+    pub fn begin(self: &Arc<Self>) -> Session {
+        let tx = TxId(self.next_tx.fetch_add(1, Ordering::Relaxed));
+        self.metrics.record_begin();
+        Session {
+            engine: Arc::clone(self),
+            tx,
+            begun_shards: vec![false; self.shards.len()],
+            active: true,
+            started: Instant::now(),
+        }
+    }
+
+    /// A copy of the admission history (empty if recording is off).
+    pub fn history(&self) -> History {
+        let state = self.admission.lock();
+        History {
+            admitted: state.admitted.clone(),
+            committed: state.committed.clone(),
+        }
+    }
+
+    /// Runs one GC pass over every shard under each shard's
+    /// active-snapshot watermark; returns the number of reclaimed
+    /// versions.  The background [`crate::GcDriver`] calls this
+    /// periodically.
+    pub fn collect_garbage(&self) -> usize {
+        let mut reclaimed = 0;
+        for store in self.shards.iter() {
+            let report = gc::collect_with_watermark(store, gc::watermark(store));
+            reclaimed += report.reclaimed;
+        }
+        self.metrics.record_gc(reclaimed);
+        reclaimed
+    }
+}
+
+/// A transaction handle bound to an [`Engine`].  Sessions are `Send`:
+/// worker threads own their sessions and drive them to commit or abort.
+/// Dropping an active session aborts it.
+#[derive(Debug)]
+pub struct Session {
+    engine: Arc<Engine>,
+    tx: TxId,
+    /// Which shards this transaction has begun on (touched).
+    begun_shards: Vec<bool>,
+    active: bool,
+    started: Instant,
+}
+
+impl Session {
+    /// The transaction id.
+    pub fn id(&self) -> TxId {
+        self.tx
+    }
+
+    /// `true` until the session commits or aborts.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    fn ensure_active(&self) -> Result<(), EngineError> {
+        if self.active {
+            Ok(())
+        } else {
+            Err(EngineError::NotActive(self.tx))
+        }
+    }
+
+    /// Lazily begins the transaction on the shard owning `entity`.
+    fn touch(&mut self, entity: EntityId) -> Result<usize, EngineError> {
+        let idx = self.engine.shards.shard_of(entity);
+        if !self.begun_shards[idx] {
+            self.engine.shards.store(idx).begin(self.tx)?;
+            self.begun_shards[idx] = true;
+        }
+        Ok(idx)
+    }
+
+    /// Reads `entity`, served per the certifier's ruling.  On any error
+    /// except [`EngineError::NotActive`] the session is already aborted.
+    pub fn read(&mut self, entity: EntityId) -> Result<Bytes, EngineError> {
+        self.ensure_active()?;
+        let step = Step::read(self.tx, entity);
+        let plan = {
+            let mut state = self.engine.admission.lock();
+            match state.certifier.admit(step) {
+                Admission::Reject => {
+                    state.certifier.on_abort(self.tx);
+                    state.purge_writer(self.tx);
+                    drop(state);
+                    self.finish_abort_inner(AbortReason::CertifierReject, Some(entity));
+                    return Err(EngineError::Rejected(step));
+                }
+                Admission::Read(plan) => {
+                    // Single-version certifiers mean "the latest version" in
+                    // the model's sense: the last *admitted* write.  Resolve
+                    // it here, at the serialization point, so the value
+                    // served always matches the history being recorded (the
+                    // store's latest-committed version at execution time
+                    // could belong to a different admission order).
+                    let plan = match plan {
+                        ReadPlan::Latest => ReadPlan::Version(state.latest_admitted(entity)),
+                        other => other,
+                    };
+                    // ACA: refuse to observe a version whose writer has not
+                    // committed (reading own writes is always fine).
+                    if let ReadPlan::Version(VersionSource::Tx(writer)) = plan {
+                        if writer != self.tx && !state.committed.contains(&writer) {
+                            state.certifier.on_abort(self.tx);
+                            state.purge_writer(self.tx);
+                            drop(state);
+                            self.finish_abort_inner(AbortReason::DirtyRead, Some(entity));
+                            return Err(EngineError::DirtyRead(step, writer));
+                        }
+                    }
+                    if self.engine.record_history {
+                        state.admitted.push(step);
+                    }
+                    plan
+                }
+                Admission::Write => unreachable!("read step admitted as write"),
+            }
+        };
+        let idx = self.touch(entity)?;
+        let store = self.engine.shards.store(idx);
+        let handle = TxHandle { id: self.tx };
+        let result = match plan {
+            ReadPlan::Latest => store.read_latest(handle, entity),
+            ReadPlan::Snapshot => store.read_snapshot(handle, entity),
+            ReadPlan::Version(source) => store.read_version(handle, entity, source),
+        };
+        match result {
+            Ok(value) => {
+                self.engine.metrics.record_read(idx);
+                Ok(value)
+            }
+            Err(StoreError::NoSuchVersion(e, writer)) => {
+                // The assigned version was committed (ACA held) but GC has
+                // since reclaimed it: the multiversion analogue of
+                // "snapshot too old".
+                self.abort_with(AbortReason::SnapshotTooOld, Some(e));
+                Err(EngineError::SnapshotTooOld(e, writer))
+            }
+            Err(e) => {
+                self.abort_with(AbortReason::Explicit, Some(entity));
+                Err(EngineError::Store(e))
+            }
+        }
+    }
+
+    /// Writes a new version of `entity`.  On any error except
+    /// [`EngineError::NotActive`] the session is already aborted.
+    pub fn write(&mut self, entity: EntityId, value: Bytes) -> Result<(), EngineError> {
+        self.ensure_active()?;
+        let step = Step::write(self.tx, entity);
+        {
+            let mut state = self.engine.admission.lock();
+            match state.certifier.admit(step) {
+                Admission::Reject => {
+                    state.certifier.on_abort(self.tx);
+                    state.purge_writer(self.tx);
+                    drop(state);
+                    self.finish_abort_inner(AbortReason::CertifierReject, Some(entity));
+                    return Err(EngineError::Rejected(step));
+                }
+                Admission::Write | Admission::Read(_) => {
+                    state.record_write(entity, self.tx);
+                    if self.engine.record_history {
+                        state.admitted.push(step);
+                    }
+                }
+            }
+        }
+        let idx = self.touch(entity)?;
+        let store = self.engine.shards.store(idx);
+        store.write(TxHandle { id: self.tx }, entity, value)?;
+        self.engine.metrics.record_write(idx);
+        Ok(())
+    }
+
+    /// Commits the transaction on every touched shard.  Under snapshot
+    /// isolation this is where first-committer-wins validation runs; on
+    /// conflict the session is aborted and
+    /// [`EngineError::WriteConflict`] returned.
+    pub fn commit(mut self) -> Result<(), EngineError> {
+        self.ensure_active()?;
+        let handle = TxHandle { id: self.tx };
+        let validates = {
+            let state = self.engine.admission.lock();
+            state.certifier.validates_writes_at_commit()
+        };
+        if validates {
+            // Cross-shard first-committer-wins: validate every touched
+            // shard, then commit them all, atomically w.r.t. other
+            // committers (the commit lock).
+            let _commit_guard = self.engine.commit_lock.lock();
+            for (idx, &begun) in self.begun_shards.iter().enumerate() {
+                if !begun {
+                    continue;
+                }
+                if let Err(StoreError::WriteConflict(entity, winner)) = self
+                    .engine
+                    .shards
+                    .store(idx)
+                    .validate_first_committer(handle)
+                {
+                    drop(_commit_guard);
+                    self.abort_with(AbortReason::WriteConflict, Some(entity));
+                    return Err(EngineError::WriteConflict(entity, winner));
+                }
+            }
+            for (idx, &begun) in self.begun_shards.iter().enumerate() {
+                if begun {
+                    self.engine.shards.store(idx).commit(handle, false)?;
+                }
+            }
+        } else {
+            // Shard commits happen before the certifier hears about the
+            // commit (rule 3 of the module docs).
+            for (idx, &begun) in self.begun_shards.iter().enumerate() {
+                if begun {
+                    self.engine.shards.store(idx).commit(handle, false)?;
+                }
+            }
+        }
+        {
+            let mut state = self.engine.admission.lock();
+            state.certifier.on_commit(self.tx);
+            state.committed.insert(self.tx);
+        }
+        self.active = false;
+        self.engine.metrics.record_commit(self.started.elapsed());
+        Ok(())
+    }
+
+    /// Aborts the transaction explicitly.
+    pub fn abort(mut self) {
+        if self.active {
+            self.abort_with(AbortReason::Explicit, None);
+        }
+    }
+
+    fn abort_with(&mut self, reason: AbortReason, trigger: Option<EntityId>) {
+        {
+            let mut state = self.engine.admission.lock();
+            state.certifier.on_abort(self.tx);
+            state.purge_writer(self.tx);
+        }
+        self.finish_abort_inner(reason, trigger);
+    }
+
+    /// Purges store state and records the abort; the certifier has already
+    /// been notified by the caller.
+    fn finish_abort_inner(&mut self, reason: AbortReason, trigger: Option<EntityId>) {
+        for (idx, &begun) in self.begun_shards.iter().enumerate() {
+            if begun {
+                let _ = self
+                    .engine
+                    .shards
+                    .store(idx)
+                    .abort(TxHandle { id: self.tx });
+            }
+        }
+        self.active = false;
+        self.engine
+            .metrics
+            .record_abort(reason, trigger.map(|e| self.engine.shards.shard_of(e)));
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        if self.active {
+            self.abort_with(AbortReason::Explicit, None);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(kind: CertifierKind) -> Arc<Engine> {
+        Arc::new(Engine::new(
+            kind,
+            EngineConfig {
+                shards: 2,
+                entities: 8,
+                ..EngineConfig::default()
+            },
+        ))
+    }
+
+    const X: EntityId = EntityId(0);
+    const Y: EntityId = EntityId(1); // different shard from X
+
+    #[test]
+    fn read_write_commit_round_trip_on_every_certifier() {
+        for kind in CertifierKind::all() {
+            let e = engine(kind);
+            let mut s1 = e.begin();
+            assert_eq!(s1.read(X).unwrap(), Bytes::from_static(b"0"));
+            s1.write(Y, Bytes::from_static(b"one")).unwrap();
+            s1.commit().unwrap();
+            let mut s2 = e.begin();
+            assert_eq!(s2.read(Y).unwrap(), Bytes::from_static(b"one"), "{kind}");
+            s2.commit().unwrap();
+            let snap = e.metrics().snapshot();
+            assert_eq!(snap.committed, 2, "{kind}");
+            assert_eq!(snap.aborted, 0, "{kind}");
+            let history = e.history();
+            assert_eq!(history.admitted.len(), 3);
+            assert_eq!(history.committed.len(), 2);
+            assert!(e.class().check(&history.committed_schedule()), "{kind}");
+        }
+    }
+
+    #[test]
+    fn rejection_aborts_the_session() {
+        let e = engine(CertifierKind::TwoPhaseLocking);
+        let mut s1 = e.begin();
+        let mut s2 = e.begin();
+        s1.write(X, Bytes::from_static(b"a")).unwrap();
+        let err = s2.write(X, Bytes::from_static(b"b")).unwrap_err();
+        assert!(matches!(err, EngineError::Rejected(_)));
+        assert!(!s2.is_active());
+        assert!(matches!(s2.read(Y), Err(EngineError::NotActive(_))));
+        s1.commit().unwrap();
+        // The lock is released: a fresh session can write x.
+        let mut s3 = e.begin();
+        s3.write(X, Bytes::from_static(b"c")).unwrap();
+        s3.commit().unwrap();
+        let snap = e.metrics().snapshot();
+        assert_eq!(snap.committed, 2);
+        assert_eq!(snap.aborted, 1);
+        // The abort is attributed to x's shard.
+        assert_eq!(snap.shard_conflicts[e.shards().shard_of(X)], 1);
+    }
+
+    #[test]
+    fn aca_aborts_readers_of_uncommitted_versions() {
+        let e = engine(CertifierKind::Mvto);
+        let mut writer = e.begin();
+        writer.write(X, Bytes::from_static(b"w")).unwrap();
+        // MVTO assigns the reader the writer's (uncommitted) version — the
+        // engine's ACA rule aborts the reader instead.
+        let mut reader = e.begin();
+        let err = reader.read(X).unwrap_err();
+        assert!(matches!(err, EngineError::DirtyRead(_, w) if w == writer.id()));
+        writer.commit().unwrap();
+        // After the writer commits, new readers are served normally.
+        let mut reader2 = e.begin();
+        assert_eq!(reader2.read(X).unwrap(), Bytes::from_static(b"w"));
+        reader2.commit().unwrap();
+        let snap = e.metrics().snapshot();
+        assert_eq!(
+            snap.aborts_by_reason
+                .iter()
+                .find(|(r, _)| *r == AbortReason::DirtyRead)
+                .unwrap()
+                .1,
+            1
+        );
+    }
+
+    #[test]
+    fn latest_reads_are_pinned_to_the_admitted_sequence() {
+        // Fractured-read regression: under SGT, T1 writes x and y without
+        // committing; a reader admitted after those writes must NOT be
+        // served the pre-T1 store state (which would realize a history
+        // different from the certified admission sequence) — the pinned
+        // read resolves to T1's uncommitted version and the ACA rule
+        // aborts the reader instead.
+        let e = engine(CertifierKind::Sgt);
+        let mut t1 = e.begin();
+        t1.write(X, Bytes::from_static(b"x1")).unwrap();
+        t1.write(Y, Bytes::from_static(b"y1")).unwrap();
+        let mut t2 = e.begin();
+        let err = t2.read(X).unwrap_err();
+        assert!(matches!(err, EngineError::DirtyRead(_, w) if w == t1.id()));
+        t1.commit().unwrap();
+        // After the commit the pinned read serves T1's value.
+        let mut t3 = e.begin();
+        assert_eq!(t3.read(X).unwrap(), Bytes::from_static(b"x1"));
+        assert_eq!(t3.read(Y).unwrap(), Bytes::from_static(b"y1"));
+        t3.commit().unwrap();
+    }
+
+    #[test]
+    fn gc_can_make_old_snapshots_unservable() {
+        let e = engine(CertifierKind::Mvto);
+        // The reader acquires an early MVTO timestamp by reading y.
+        let mut reader = e.begin();
+        reader.read(Y).unwrap();
+        // Two later writers supersede x twice and commit.
+        for v in [b"v1".as_slice(), b"v2".as_slice()] {
+            let mut w = e.begin();
+            w.write(X, Bytes::copy_from_slice(v)).unwrap();
+            w.commit().unwrap();
+        }
+        // GC on x's shard sees no active transaction there and reclaims
+        // everything but the newest committed version.
+        let reclaimed = e.collect_garbage();
+        assert!(reclaimed >= 2, "reclaimed {reclaimed}");
+        // MVTO directs the old reader at the initial version, which is
+        // gone: the engine reports "snapshot too old" and aborts.
+        let err = reader.read(X).unwrap_err();
+        assert!(matches!(err, EngineError::SnapshotTooOld(entity, _) if entity == X));
+        let snap = e.metrics().snapshot();
+        assert_eq!(snap.gc_passes, 1);
+        assert!(snap.gc_reclaimed >= 2);
+    }
+
+    #[test]
+    fn snapshot_isolation_first_committer_wins_across_shards() {
+        let e = engine(CertifierKind::SnapshotIsolation);
+        let mut t1 = e.begin();
+        let mut t2 = e.begin();
+        // Both write the same entity on shard of X and disjoint ones on Y's
+        // shard: the conflict is on X only.
+        t1.write(X, Bytes::from_static(b"t1")).unwrap();
+        t2.write(X, Bytes::from_static(b"t2")).unwrap();
+        t1.write(Y, Bytes::from_static(b"t1")).unwrap();
+        t1.commit().unwrap();
+        let err = t2.commit().unwrap_err();
+        assert!(matches!(err, EngineError::WriteConflict(entity, _) if entity == X));
+        // The loser's version is purged everywhere.
+        let mut check = e.begin();
+        assert_eq!(check.read(X).unwrap(), Bytes::from_static(b"t1"));
+        assert_eq!(check.read(Y).unwrap(), Bytes::from_static(b"t1"));
+        check.commit().unwrap();
+    }
+
+    #[test]
+    fn snapshot_isolation_disjoint_writers_both_commit() {
+        let e = engine(CertifierKind::SnapshotIsolation);
+        let mut t1 = e.begin();
+        let mut t2 = e.begin();
+        t1.write(X, Bytes::from_static(b"t1")).unwrap();
+        t2.write(Y, Bytes::from_static(b"t2")).unwrap();
+        t1.commit().unwrap();
+        t2.commit().unwrap();
+        assert_eq!(e.metrics().snapshot().committed, 2);
+    }
+
+    #[test]
+    fn dropping_an_active_session_aborts_it() {
+        let e = engine(CertifierKind::Sgt);
+        {
+            let mut s = e.begin();
+            s.write(X, Bytes::from_static(b"doomed")).unwrap();
+        }
+        let snap = e.metrics().snapshot();
+        assert_eq!(snap.aborted, 1);
+        let mut check = e.begin();
+        assert_eq!(check.read(X).unwrap(), Bytes::from_static(b"0"));
+        check.commit().unwrap();
+    }
+
+    #[test]
+    fn explicit_abort_discards_writes_and_certifier_state() {
+        let e = engine(CertifierKind::TwoPhaseLocking);
+        let mut s = e.begin();
+        s.write(X, Bytes::from_static(b"tmp")).unwrap();
+        s.abort();
+        // The exclusive lock is gone.
+        let mut s2 = e.begin();
+        s2.write(X, Bytes::from_static(b"ok")).unwrap();
+        s2.commit().unwrap();
+        let history = e.history();
+        // Both writes were admitted, only one committed.
+        assert_eq!(history.admitted.len(), 2);
+        assert_eq!(history.committed_schedule().len(), 1);
+    }
+
+    #[test]
+    fn concurrent_sessions_from_many_threads() {
+        let e = engine(CertifierKind::MvSgt);
+        let mut handles = Vec::new();
+        for i in 0..8u32 {
+            let e = Arc::clone(&e);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10 {
+                    let mut s = e.begin();
+                    let entity = EntityId(i % 4);
+                    if s.read(entity).is_err() {
+                        continue;
+                    }
+                    if s.write(entity, Bytes::from(format!("{i}"))).is_err() {
+                        continue;
+                    }
+                    let _ = s.commit();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = e.metrics().snapshot();
+        assert_eq!(snap.committed + snap.aborted, snap.begun);
+        assert!(snap.committed > 0);
+        // The committed history is in the certifier's class.
+        let history = e.history();
+        assert!(e.class().check(&history.committed_schedule()));
+    }
+
+    #[test]
+    fn history_recording_can_be_disabled() {
+        let e = Arc::new(Engine::new(
+            CertifierKind::Sgt,
+            EngineConfig {
+                record_history: false,
+                ..EngineConfig::default()
+            },
+        ));
+        let mut s = e.begin();
+        s.write(X, Bytes::from_static(b"x")).unwrap();
+        s.commit().unwrap();
+        let history = e.history();
+        assert!(history.admitted.is_empty());
+        assert_eq!(history.committed.len(), 1);
+    }
+}

@@ -1,0 +1,123 @@
+//! Sharded storage: one [`MvStore`] per key range.
+//!
+//! A single `MvStore` guards its chain map with one `RwLock`, so every
+//! write serializes on it.  The engine instead hashes entities over N
+//! independent stores ("shard per key range", the pod/sharded-topology
+//! scaling argument): threads touching disjoint shards never contend on a
+//! storage lock.  Cross-shard transactions begin lazily on each shard they
+//! touch and commit shard by shard; the engine's admission layer
+//! ([`crate::session`]) is what makes the multi-shard commit appear atomic
+//! to other transactions.
+
+use bytes::Bytes;
+use mvcc_core::EntityId;
+use mvcc_store::MvStore;
+
+/// A fixed-size array of independent [`MvStore`] shards.
+#[derive(Debug)]
+pub struct ShardedStore {
+    shards: Vec<MvStore>,
+}
+
+impl ShardedStore {
+    /// Creates `shards` stores, pre-populating each with the initial
+    /// version of every entity in `0..entities` that maps to it.
+    pub fn new(shards: usize, entities: usize, initial: Bytes) -> Self {
+        assert!(shards > 0, "at least one shard");
+        let stores = (0..shards)
+            .map(|s| {
+                MvStore::with_entities(
+                    (0..entities as u32)
+                        .map(EntityId)
+                        .filter(|e| e.index() % shards == s),
+                    initial.clone(),
+                )
+            })
+            .collect();
+        ShardedStore { shards: stores }
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// `true` if there are no shards (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// The shard index owning `entity`.
+    pub fn shard_of(&self, entity: EntityId) -> usize {
+        entity.index() % self.shards.len()
+    }
+
+    /// The store owning `entity`.
+    pub fn store_for(&self, entity: EntityId) -> &MvStore {
+        &self.shards[self.shard_of(entity)]
+    }
+
+    /// The store at shard index `idx`.
+    pub fn store(&self, idx: usize) -> &MvStore {
+        &self.shards[idx]
+    }
+
+    /// Iterates over all shards.
+    pub fn iter(&self) -> impl Iterator<Item = &MvStore> {
+        self.shards.iter()
+    }
+
+    /// Total number of versions across all shards (GC observability).
+    pub fn total_versions(&self) -> usize {
+        self.shards.iter().map(|s| s.total_versions()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvcc_core::TxId;
+
+    #[test]
+    fn entities_partition_across_shards() {
+        let sharded = ShardedStore::new(3, 10, Bytes::from_static(b"0"));
+        assert_eq!(sharded.len(), 3);
+        // Every entity lives in exactly the shard its index hashes to.
+        for e in 0..10u32 {
+            let entity = EntityId(e);
+            let owner = sharded.shard_of(entity);
+            for s in 0..3 {
+                let expect = if s == owner { 1 } else { 0 };
+                assert_eq!(sharded.store(s).version_count(entity), expect);
+            }
+        }
+        // 10 initial versions in total.
+        assert_eq!(sharded.total_versions(), 10);
+    }
+
+    #[test]
+    fn shards_are_independent_stores() {
+        let sharded = ShardedStore::new(2, 4, Bytes::from_static(b"0"));
+        let (x, y) = (EntityId(0), EntityId(1)); // different shards
+        assert_ne!(sharded.shard_of(x), sharded.shard_of(y));
+        // The same TxId can be begun independently on each shard (the
+        // engine's cross-shard path relies on this).
+        let hx = sharded.store_for(x).begin(TxId(1)).unwrap();
+        let hy = sharded.store_for(y).begin(TxId(1)).unwrap();
+        sharded
+            .store_for(x)
+            .write(hx, x, Bytes::from_static(b"a"))
+            .unwrap();
+        sharded.store_for(x).commit(hx, false).unwrap();
+        // Shard of y never heard of the write, and its commit counter is
+        // untouched.
+        assert_eq!(sharded.store_for(y).current_ts(), 0);
+        sharded.store_for(y).abort(hy).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let _ = ShardedStore::new(0, 4, Bytes::from_static(b"0"));
+    }
+}

@@ -59,6 +59,19 @@ pub trait Scheduler {
     /// accepted steps are undone.  Used by the abort-and-continue harness.
     fn abort(&mut self, tx: TxId);
 
+    /// Notifies the scheduler that `tx` has committed and will issue no more
+    /// steps.
+    ///
+    /// The paper's model has no commits — a transaction simply stops issuing
+    /// steps — so the default is a no-op and the schedule-level harnesses
+    /// never call it.  Interactive drivers (the `mvcc-engine` session API)
+    /// do not know a transaction's length up front and use this hook
+    /// instead; schedulers whose admission state can be released at
+    /// end-of-transaction (strict 2PL's locks) override it.
+    fn commit(&mut self, tx: TxId) {
+        let _ = tx;
+    }
+
     /// Resets the scheduler to its initial state.
     fn reset(&mut self);
 }

@@ -42,6 +42,11 @@ pub struct MvSgtScheduler {
     arcs: HashSet<(TxId, TxId)>,
     /// Versions served to accepted reads, by accepted-step index.
     read_assignments: HashMap<usize, VersionSource>,
+    /// Committed transactions not yet pruned from the graph.
+    committed: HashSet<TxId>,
+    /// Committed transactions already pruned from the graph whose write
+    /// steps are still retained as servable versions.
+    retired: HashSet<TxId>,
 }
 
 impl MvSgtScheduler {
@@ -64,6 +69,83 @@ impl MvSgtScheduler {
             vf.assign(pos, src);
         }
         vf
+    }
+
+    /// Garbage-collects committed *source* nodes (the engine's long-run
+    /// memory bound; mirrors [`crate::SgtScheduler`]'s pruning).
+    ///
+    /// MVCG arcs are only ever added pointing into the transaction taking
+    /// the current (write) step, so a committed transaction never gains
+    /// another incoming arc; with none now it can never lie on a cycle and
+    /// its remaining arcs and *read* steps cannot influence any future
+    /// decision.  Its **write** steps become *retired* versions, retained
+    /// only while still servable: a retired writer is unreachable to every
+    /// current and future reader once a newer retired write of the same
+    /// entity exists — the reverse scan of `choose_version` reaches the
+    /// newer retired write first and always stops there, because
+    /// `precedes(reader, retired)` needs a path into a node that has no
+    /// incoming arcs and never will.  So per entity only the newest
+    /// retired write survives (plus every write by transactions still in
+    /// the graph), which bounds the scheduler's state by the in-flight
+    /// transactions + one settled version per entity instead of the whole
+    /// write history.  The `prunes_never_change_decisions_or_versions`
+    /// test checks both arguments differentially on exhaustive
+    /// interleavings.
+    fn prune_committed_sources(&mut self) {
+        loop {
+            let targets: HashSet<TxId> = self.arcs.iter().map(|&(_, to)| to).collect();
+            let prunable: HashSet<TxId> = self
+                .committed
+                .iter()
+                .copied()
+                .filter(|t| !targets.contains(t))
+                .collect();
+            if prunable.is_empty() {
+                return;
+            }
+            self.committed.retain(|t| !prunable.contains(t));
+            self.arcs.retain(|&(from, _)| !prunable.contains(&from));
+            self.retired.extend(prunable.iter().copied());
+            // Per entity, the position of the newest write by a retired
+            // writer: every older retired write is unreachable.
+            let mut newest_settled: HashMap<EntityId, usize> = HashMap::new();
+            for (idx, step) in self.accepted.iter().enumerate() {
+                if step.action == Action::Write && self.retired.contains(&step.tx) {
+                    newest_settled.insert(step.entity, idx);
+                }
+            }
+            // Drop the pruned transactions' read steps and the superseded
+            // retired writes (re-indexing the read assignments).
+            let mut new_accepted = Vec::with_capacity(self.accepted.len());
+            let mut new_assignments = HashMap::new();
+            for (idx, step) in self.accepted.iter().enumerate() {
+                let retired_tx = self.retired.contains(&step.tx);
+                if step.action == Action::Read && retired_tx {
+                    continue;
+                }
+                if step.action == Action::Write
+                    && retired_tx
+                    && newest_settled.get(&step.entity) != Some(&idx)
+                {
+                    continue;
+                }
+                if let Some(&src) = self.read_assignments.get(&idx) {
+                    new_assignments.insert(new_accepted.len(), src);
+                }
+                new_accepted.push(*step);
+            }
+            self.accepted = new_accepted;
+            self.read_assignments = new_assignments;
+            // Forget retired writers whose last write is gone.
+            let live: HashSet<TxId> = self.accepted.iter().map(|s| s.tx).collect();
+            self.retired.retain(|t| live.contains(t));
+        }
+    }
+
+    /// Number of accepted steps currently retained (observability for the
+    /// pruning tests and the engine's memory accounting).
+    pub fn retained_steps(&self) -> usize {
+        self.accepted.len()
     }
 
     fn acyclic_with(&self, extra: &[(TxId, TxId)]) -> bool {
@@ -204,12 +286,22 @@ impl Scheduler for MvSgtScheduler {
         self.accepted = new_accepted;
         self.read_assignments = new_assignments;
         self.arcs.retain(|&(a, b)| a != tx && b != tx);
+        // Removing the aborted node's arcs may turn committed transactions
+        // into sources.
+        self.prune_committed_sources();
+    }
+
+    fn commit(&mut self, tx: TxId) {
+        self.committed.insert(tx);
+        self.prune_committed_sources();
     }
 
     fn reset(&mut self) {
         self.accepted.clear();
         self.arcs.clear();
         self.read_assignments.clear();
+        self.committed.clear();
+        self.retired.clear();
     }
 }
 
@@ -337,5 +429,57 @@ mod tests {
         assert!(sched.offer(s.steps()[3]).is_accept());
         assert_eq!(sched.name(), "mv-sgt");
         assert!(sched.is_multiversion());
+    }
+
+    /// The source-node GC argument, checked differentially: over every
+    /// interleaving of a conflict-heavy system, a scheduler that is told
+    /// about commits (and prunes) makes the same accept/reject decisions
+    /// AND serves the same versions as one that is not.
+    #[test]
+    fn prunes_never_change_decisions_or_versions() {
+        let sys = Schedule::parse("Ra(x) Wa(y) Rb(y) Wb(x) Rc(x) Wc(y)")
+            .unwrap()
+            .tx_system();
+        let mut pruning_happened = false;
+        for s in Schedule::all_interleavings(&sys) {
+            let mut plain = MvSgtScheduler::new();
+            let mut pruned = MvSgtScheduler::new();
+            let mut remaining: HashMap<TxId, usize> =
+                sys.transactions().iter().map(|t| (t.id, t.len())).collect();
+            for &st in s.steps() {
+                let a = plain.offer(st);
+                let b = pruned.offer(st);
+                assert_eq!(a, b, "decision or version diverged at {st} in {s}");
+                if a.is_accept() {
+                    let left = remaining.get_mut(&st.tx).unwrap();
+                    *left -= 1;
+                    if *left == 0 {
+                        pruned.commit(st.tx);
+                    }
+                }
+            }
+            if pruned.retained_steps() < plain.retained_steps() {
+                pruning_happened = true;
+            }
+        }
+        assert!(pruning_happened, "the GC never fired on any interleaving");
+    }
+
+    #[test]
+    fn commit_prunes_reads_but_keeps_the_version_store() {
+        let mut sched = MvSgtScheduler::new();
+        let x = mvcc_core::EntityId(0);
+        for i in 1..=50u32 {
+            let tx = TxId(i);
+            assert!(sched.offer(Step::read(tx, x)).is_accept());
+            assert!(sched.offer(Step::write(tx, x)).is_accept());
+            sched.commit(tx);
+        }
+        // All read steps pruned, and settled writes collapsed to the
+        // newest one per entity — state is O(entities), not O(history).
+        assert_eq!(sched.retained_steps(), 1);
+        // A fresh reader is still served the newest committed version.
+        let d = sched.offer(Step::read(TxId(99), x));
+        assert_eq!(d.read_from(), Some(VersionSource::Tx(TxId(50))));
     }
 }

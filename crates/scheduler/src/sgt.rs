@@ -20,12 +20,51 @@ pub struct SgtScheduler {
     accepted: Vec<Step>,
     /// Current arcs of the conflict graph.
     arcs: HashSet<(TxId, TxId)>,
+    /// Committed transactions not yet pruned from the graph.
+    committed: HashSet<TxId>,
 }
 
 impl SgtScheduler {
     /// Creates an SGT scheduler.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Garbage-collects committed *source* nodes.
+    ///
+    /// New arcs always point into the transaction taking the current step,
+    /// so a committed transaction (which takes no more steps) never gains
+    /// another incoming arc; if it has none now it can never lie on a
+    /// cycle, and neither its node nor its remaining outgoing arcs nor its
+    /// accepted steps can influence any future accept/reject decision
+    /// (a future cycle using one of its outgoing arcs would need a path
+    /// back into it).  Removing them keeps the scheduler's state bounded by
+    /// the *active* transactions plus committed non-sources under
+    /// long-running engine load, instead of growing with history.  The
+    /// `prunes_never_change_decisions` test checks the argument
+    /// differentially on exhaustive interleavings.
+    fn prune_committed_sources(&mut self) {
+        loop {
+            let targets: HashSet<TxId> = self.arcs.iter().map(|&(_, to)| to).collect();
+            let prunable: HashSet<TxId> = self
+                .committed
+                .iter()
+                .copied()
+                .filter(|t| !targets.contains(t))
+                .collect();
+            if prunable.is_empty() {
+                return;
+            }
+            self.committed.retain(|t| !prunable.contains(t));
+            self.accepted.retain(|s| !prunable.contains(&s.tx));
+            self.arcs.retain(|&(from, _)| !prunable.contains(&from));
+        }
+    }
+
+    /// Number of accepted steps currently retained (observability for the
+    /// pruning tests and the engine's memory accounting).
+    pub fn retained_steps(&self) -> usize {
+        self.accepted.len()
     }
 
     /// The arcs the new step would add to the conflict graph.
@@ -98,11 +137,20 @@ impl Scheduler for SgtScheduler {
     fn abort(&mut self, tx: TxId) {
         self.accepted.retain(|s| s.tx != tx);
         self.arcs.retain(|&(a, b)| a != tx && b != tx);
+        // Removing the aborted node's arcs may turn committed transactions
+        // into sources.
+        self.prune_committed_sources();
+    }
+
+    fn commit(&mut self, tx: TxId) {
+        self.committed.insert(tx);
+        self.prune_committed_sources();
     }
 
     fn reset(&mut self) {
         self.accepted.clear();
         self.arcs.clear();
+        self.committed.clear();
     }
 }
 
@@ -172,5 +220,64 @@ mod tests {
         sched.reset();
         assert!(run_all(&Schedule::parse("Ra(x) Wa(x)").unwrap()));
         assert_eq!(sched.name(), "sgt");
+    }
+
+    /// The source-node GC argument, checked differentially: over every
+    /// interleaving of a conflict-heavy system, a scheduler that is told
+    /// about commits (and prunes) makes exactly the same accept/reject
+    /// decisions as one that is not.
+    #[test]
+    fn prunes_never_change_decisions() {
+        let sys = Schedule::parse("Ra(x) Wa(y) Rb(y) Wb(x) Rc(x) Wc(y)")
+            .unwrap()
+            .tx_system();
+        let mut pruning_happened = false;
+        for s in Schedule::all_interleavings(&sys) {
+            let mut plain = SgtScheduler::new();
+            let mut pruned = SgtScheduler::new();
+            let mut remaining: std::collections::HashMap<TxId, usize> =
+                sys.transactions().iter().map(|t| (t.id, t.len())).collect();
+            for &st in s.steps() {
+                let a = plain.offer(st).is_accept();
+                let b = pruned.offer(st).is_accept();
+                assert_eq!(a, b, "decision diverged at {st} in {s}");
+                if a {
+                    let left = remaining.get_mut(&st.tx).unwrap();
+                    *left -= 1;
+                    if *left == 0 {
+                        // The transaction's last step: commit it on the
+                        // pruning scheduler only.
+                        pruned.commit(st.tx);
+                    }
+                }
+            }
+            if pruned.retained_steps() < plain.retained_steps() {
+                pruning_happened = true;
+            }
+        }
+        assert!(pruning_happened, "the GC never fired on any interleaving");
+    }
+
+    #[test]
+    fn commit_prunes_source_nodes_and_bounds_state() {
+        let mut sched = SgtScheduler::new();
+        // A long chain of committed, non-overlapping transactions: each is
+        // a source once its successor's arcs are accounted, so the graph
+        // stays tiny.
+        for i in 1..=100u32 {
+            let tx = TxId(i);
+            assert!(sched
+                .offer(Step::read(tx, mvcc_core::EntityId(0)))
+                .is_accept());
+            assert!(sched
+                .offer(Step::write(tx, mvcc_core::EntityId(0)))
+                .is_accept());
+            sched.commit(tx);
+        }
+        assert_eq!(
+            sched.retained_steps(),
+            0,
+            "all committed sources should be pruned"
+        );
     }
 }

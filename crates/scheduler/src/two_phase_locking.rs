@@ -9,6 +9,13 @@
 //! lock is rejected rather than delayed (the paper's scheduler model has no
 //! delays).  Locks are held until the transaction's last step (strictness),
 //! which requires knowing the transactions' lengths.
+//!
+//! Interactive drivers that do not know the lengths up front (the
+//! `mvcc-engine` session API) use [`TwoPhaseLockingScheduler::new_dynamic`]
+//! instead: no lengths are declared, locks are held until the driver
+//! reports the end of the transaction via [`Scheduler::commit`] (or
+//! [`Scheduler::abort`]) — which is exactly strict 2PL as a real lock
+//! manager implements it.
 
 use crate::{Decision, Scheduler};
 use mvcc_core::{Action, EntityId, Step, TransactionSystem, TxId};
@@ -38,6 +45,18 @@ impl TwoPhaseLockingScheduler {
                 .iter()
                 .map(|t| (t.id, t.len()))
                 .collect(),
+            progress: HashMap::new(),
+            locks: HashMap::new(),
+            held_by: HashMap::new(),
+        }
+    }
+
+    /// Creates a strict-2PL scheduler with no pre-declared transaction
+    /// lengths: every transaction is treated as open-ended and its locks are
+    /// released only on [`Scheduler::commit`] or [`Scheduler::abort`].
+    pub fn new_dynamic() -> Self {
+        TwoPhaseLockingScheduler {
+            lengths: HashMap::new(),
             progress: HashMap::new(),
             locks: HashMap::new(),
             held_by: HashMap::new(),
@@ -116,6 +135,14 @@ impl Scheduler for TwoPhaseLockingScheduler {
         self.progress.remove(&tx);
     }
 
+    fn commit(&mut self, tx: TxId) {
+        // In pre-declared mode the last accepted step already released the
+        // locks and this is a no-op; in dynamic mode this IS the release
+        // point (strictness).
+        self.release_all(tx);
+        self.progress.remove(&tx);
+    }
+
     fn reset(&mut self) {
         self.progress.clear();
         self.locks.clear();
@@ -187,6 +214,40 @@ mod tests {
     fn upgrade_from_shared_to_exclusive_by_same_tx_is_allowed() {
         let s = Schedule::parse("Ra(x) Wa(x)").unwrap();
         assert!(decisions(&s).iter().all(|&d| d));
+    }
+
+    #[test]
+    fn dynamic_mode_holds_locks_until_commit() {
+        let s = Schedule::parse("Wa(x) Wb(x) Ra(y)").unwrap();
+        let mut sched = TwoPhaseLockingScheduler::new_dynamic();
+        assert!(sched.offer(s.steps()[0]).is_accept());
+        // In pre-declared mode A's single remaining step would matter; in
+        // dynamic mode A is open-ended, so B's conflicting write is rejected
+        // until A commits.
+        assert!(!sched.offer(s.steps()[1]).is_accept());
+        sched.commit(TxId(1));
+        assert!(sched.offer(s.steps()[1]).is_accept());
+    }
+
+    #[test]
+    fn dynamic_mode_commit_releases_shared_locks_too() {
+        let s = Schedule::parse("Ra(x) Wb(x)").unwrap();
+        let mut sched = TwoPhaseLockingScheduler::new_dynamic();
+        assert!(sched.offer(s.steps()[0]).is_accept());
+        assert!(!sched.offer(s.steps()[1]).is_accept());
+        sched.commit(TxId(1));
+        assert!(sched.offer(s.steps()[1]).is_accept());
+    }
+
+    #[test]
+    fn predeclared_mode_commit_is_a_harmless_no_op() {
+        let s = Schedule::parse("Wa(x) Ra(y) Wb(x)").unwrap();
+        let sys = s.tx_system();
+        let mut sched = TwoPhaseLockingScheduler::new(&sys);
+        assert!(sched.offer(s.steps()[0]).is_accept());
+        assert!(sched.offer(s.steps()[1]).is_accept());
+        sched.commit(TxId(1));
+        assert!(sched.offer(s.steps()[2]).is_accept());
     }
 
     #[test]

@@ -221,6 +221,50 @@ impl MvStore {
         Ok(())
     }
 
+    /// Read-only first-committer-wins validation: succeeds iff no other
+    /// transaction has committed a version of an entity in this
+    /// transaction's write set after this transaction's snapshot.
+    ///
+    /// Unlike [`MvStore::commit`] with `first_committer_wins` set, a failed
+    /// validation does **not** abort the transaction — the caller decides.
+    /// This is the prepare half used by `mvcc-engine`'s cross-shard commit
+    /// path: validate every touched shard first, then commit them all (the
+    /// engine serializes commits, so the check cannot go stale in between).
+    pub fn validate_first_committer(&self, tx: TxHandle) -> Result<(), StoreError> {
+        let txs = self.txs.lock();
+        let record = txs.get(&tx.id).ok_or(StoreError::NotActive(tx.id))?;
+        if record.status != TxStatus::Active {
+            return Err(StoreError::NotActive(tx.id));
+        }
+        let chains = self.chains.read();
+        for &entity in &record.write_set {
+            if let Some(chain) = chains.get(&entity) {
+                let conflict = chain.versions().iter().any(|v| {
+                    v.writer != tx.id
+                        && v.commit_ts
+                            .map(|ts| ts > record.snapshot_ts)
+                            .unwrap_or(false)
+                });
+                if conflict {
+                    let winner = chain
+                        .versions()
+                        .iter()
+                        .rev()
+                        .find(|v| {
+                            v.writer != tx.id
+                                && v.commit_ts
+                                    .map(|ts| ts > record.snapshot_ts)
+                                    .unwrap_or(false)
+                        })
+                        .map(|v| v.writer)
+                        .unwrap_or(TxId::INITIAL);
+                    return Err(StoreError::WriteConflict(entity, winner));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Commits the transaction, assigning it the next commit timestamp.
     ///
     /// When `first_committer_wins` is set (snapshot-isolation mode), the
@@ -249,7 +293,12 @@ impl MvStore {
                             .versions()
                             .iter()
                             .rev()
-                            .find(|v| v.writer != tx.id && v.is_committed())
+                            .find(|v| {
+                                v.writer != tx.id
+                                    && v.commit_ts
+                                        .map(|ts| ts > record.snapshot_ts)
+                                        .unwrap_or(false)
+                            })
                             .map(|v| v.writer)
                             .unwrap_or(TxId::INITIAL);
                         record.status = TxStatus::Aborted;
@@ -445,6 +494,24 @@ mod tests {
         // The loser's version is gone.
         let t3 = s.begin(TxId(3)).unwrap();
         assert_eq!(s.read_latest(t3, X).unwrap(), b("t1"));
+    }
+
+    #[test]
+    fn validate_first_committer_is_read_only() {
+        let s = store();
+        let t1 = s.begin(TxId(1)).unwrap();
+        let t2 = s.begin(TxId(2)).unwrap();
+        s.write(t1, X, b("t1")).unwrap();
+        s.write(t2, X, b("t2")).unwrap();
+        assert!(s.validate_first_committer(t1).is_ok());
+        assert!(s.validate_first_committer(t2).is_ok());
+        s.commit(t1, false).unwrap();
+        // Validation now fails for the loser but does NOT abort it...
+        let err = s.validate_first_committer(t2).unwrap_err();
+        assert!(matches!(err, StoreError::WriteConflict(e, w) if e == X && w == TxId(1)));
+        assert_eq!(s.status(TxId(2)), Some(TxStatus::Active));
+        // ...so the caller can still decide to commit without the check.
+        assert!(s.commit(t2, false).is_ok());
     }
 
     #[test]

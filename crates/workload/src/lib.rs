@@ -20,9 +20,9 @@ pub mod suites;
 pub mod txn_gen;
 pub mod zipf;
 
-pub use config::WorkloadConfig;
+pub use config::{LoadProfile, WorkloadConfig};
 pub use perturb::perturbed_serial;
 pub use poly_gen::{random_polygraph, random_restricted_formula};
 pub use schedule_gen::{random_interleaving, random_interleavings};
-pub use txn_gen::random_transaction_system;
+pub use txn_gen::{random_accesses, random_transaction_system};
 pub use zipf::Zipfian;

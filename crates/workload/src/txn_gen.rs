@@ -5,45 +5,67 @@ use mvcc_core::{Action, EntityId, Transaction, TransactionSystem, TxId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+/// Generates one transaction's access list: `steps` accesses whose
+/// entities are drawn from `zipf` and whose action is a read with
+/// probability `read_ratio`.  A transaction never writes the same entity
+/// twice (re-drawn up to 8 times, then demoted to a read), mirroring the
+/// paper's model where a transaction's second write of an entity would
+/// simply supersede the first.
+///
+/// This is the single source of the access-generation policy: both the
+/// schedule-level [`random_transaction_system`] and `mvcc-engine`'s
+/// closed-loop load harness call it, so engine load and offline workloads
+/// cannot silently diverge.
+pub fn random_accesses<R: Rng + ?Sized>(
+    rng: &mut R,
+    zipf: &Zipfian,
+    steps: usize,
+    read_ratio: f64,
+) -> Vec<(Action, EntityId)> {
+    let mut accesses: Vec<(Action, EntityId)> = Vec::with_capacity(steps);
+    let mut written: Vec<EntityId> = Vec::new();
+    for _ in 0..steps {
+        let action = if rng.gen_bool(read_ratio) {
+            Action::Read
+        } else {
+            Action::Write
+        };
+        let mut entity = EntityId(zipf.sample(rng) as u32);
+        if action == Action::Write {
+            let mut attempts = 0;
+            while written.contains(&entity) && attempts < 8 {
+                entity = EntityId(zipf.sample(rng) as u32);
+                attempts += 1;
+            }
+            if written.contains(&entity) {
+                // Fall back to a read when the hot set is exhausted.
+                accesses.push((Action::Read, entity));
+                continue;
+            }
+            written.push(entity);
+        }
+        accesses.push((action, entity));
+    }
+    accesses
+}
+
 /// Generates a random transaction system according to `config`.
 ///
-/// Each transaction performs `steps_per_transaction` accesses; the entity of
-/// each access is drawn from a Zipfian distribution with skew
-/// `config.zipf_theta` and the action is a read with probability
-/// `config.read_ratio`.  A transaction never writes the same entity twice
-/// (re-drawn), mirroring the paper's model where a transaction's second
-/// write of an entity would simply supersede the first.
+/// Each transaction's accesses come from [`random_accesses`] (Zipfian
+/// entities with skew `config.zipf_theta`, reads with probability
+/// `config.read_ratio`, no duplicate writes).
 pub fn random_transaction_system(config: &WorkloadConfig) -> TransactionSystem {
     config.validate().expect("invalid workload configuration");
     let mut rng = SmallRng::seed_from_u64(config.seed);
     let zipf = Zipfian::new(config.entities, config.zipf_theta);
     let mut transactions = Vec::with_capacity(config.transactions);
     for t in 0..config.transactions {
-        let mut accesses: Vec<(Action, EntityId)> =
-            Vec::with_capacity(config.steps_per_transaction);
-        let mut written: Vec<EntityId> = Vec::new();
-        for _ in 0..config.steps_per_transaction {
-            let action = if rng.gen_bool(config.read_ratio) {
-                Action::Read
-            } else {
-                Action::Write
-            };
-            let mut entity = EntityId(zipf.sample(&mut rng) as u32);
-            if action == Action::Write {
-                let mut attempts = 0;
-                while written.contains(&entity) && attempts < 8 {
-                    entity = EntityId(zipf.sample(&mut rng) as u32);
-                    attempts += 1;
-                }
-                if written.contains(&entity) {
-                    // Fall back to a read when the hot set is exhausted.
-                    accesses.push((Action::Read, entity));
-                    continue;
-                }
-                written.push(entity);
-            }
-            accesses.push((action, entity));
-        }
+        let accesses = random_accesses(
+            &mut rng,
+            &zipf,
+            config.steps_per_transaction,
+            config.read_ratio,
+        );
         transactions.push(Transaction::new(TxId(t as u32 + 1), accesses));
     }
     TransactionSystem::new(transactions)

@@ -19,7 +19,9 @@
 //! * [`scheduler`] — the on-line scheduler zoo, single- and multi-version
 //!   (`mvcc-scheduler`);
 //! * [`workload`] — deterministic workload generators (`mvcc-workload`);
-//! * [`store`] — the in-memory multiversion storage engine (`mvcc-store`).
+//! * [`store`] — the in-memory multiversion storage engine (`mvcc-store`);
+//! * [`engine`] — the concurrent sharded multi-session transaction engine
+//!   with pluggable certifiers (`mvcc-engine`).
 //!
 //! See `README.md` for a quick start, `DESIGN.md` for the system inventory
 //! and `EXPERIMENTS.md` for the paper-vs-measured record of every
@@ -30,6 +32,7 @@
 
 pub use mvcc_classify as classify;
 pub use mvcc_core as core;
+pub use mvcc_engine as engine;
 pub use mvcc_graph as graph;
 pub use mvcc_reductions as reductions;
 pub use mvcc_scheduler as scheduler;
@@ -44,13 +47,14 @@ pub mod prelude {
         Action, EntityId, ReadFromRelation, Schedule, Step, TransactionSystem, TxId,
         VersionFunction, VersionSource,
     };
+    pub use mvcc_engine::{run_closed_loop, CertifierKind, Engine, EngineConfig, HistoryClass};
     pub use mvcc_reductions::ols::is_ols;
     pub use mvcc_scheduler::{
         run_abort, run_prefix, Decision, MvSgtScheduler, MvtoScheduler, Scheduler, SerialScheduler,
         SgtScheduler, TimestampScheduler, TwoPhaseLockingScheduler,
     };
     pub use mvcc_store::MvStore;
-    pub use mvcc_workload::WorkloadConfig;
+    pub use mvcc_workload::{LoadProfile, WorkloadConfig};
 }
 
 #[cfg(test)]
