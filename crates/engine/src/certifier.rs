@@ -60,6 +60,25 @@ impl Admission {
     }
 }
 
+/// How admission must be serialized for a certifier to stay correct.
+///
+/// The engine's batched pipeline routes steps through admission *lanes*;
+/// the scope says how many lanes the certifier tolerates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionScope {
+    /// Every step must be ruled in one global order (a single lane): the
+    /// certifier's state spans entities, so cross-entity arrival order
+    /// matters.  This is what makes the recorded history a single total
+    /// order the offline classifiers can check.
+    Global,
+    /// The certifier only constrains steps *per entity* (its per-entity
+    /// rulings are independent and commit-time validation handles the
+    /// rest, as in snapshot isolation's first-committer-wins).  The engine
+    /// may then run one admission lane per shard, so sessions touching
+    /// disjoint key ranges never share an admission lock.
+    PerShard,
+}
+
 /// The correctness class a certifier guarantees for the committed
 /// projection of its admission history.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -116,6 +135,25 @@ pub trait Certifier: Send {
     /// Offers the next step in arrival order.
     fn admit(&mut self, step: Step) -> Admission;
 
+    /// Rules on a whole batch of steps at once, one verdict per step in
+    /// order.
+    ///
+    /// The batched admission pipeline drains its queue into this hook, so
+    /// a contended engine pays one virtual dispatch (and one lock
+    /// acquisition) per *batch* instead of per step.  Semantically the
+    /// batch MUST be ruled exactly as if [`Certifier::admit`] had been
+    /// called on each step in sequence — the default does that loop, and
+    /// the differential tests hold every override to it.
+    fn admit_batch(&mut self, steps: &[Step]) -> Vec<Admission> {
+        steps.iter().map(|&step| self.admit(step)).collect()
+    }
+
+    /// How admission may be partitioned (see [`AdmissionScope`]).  Default:
+    /// one global lane, the safe choice for any stateful certifier.
+    fn admission_scope(&self) -> AdmissionScope {
+        AdmissionScope::Global
+    }
+
     /// Notifies the certifier that `tx` committed.
     fn on_commit(&mut self, tx: TxId);
 
@@ -166,17 +204,18 @@ impl<S: Scheduler + Send> Certifier for SchedulerCertifier<S> {
 
     fn admit(&mut self, step: Step) -> Admission {
         let decision = self.inner.offer(step);
-        if !decision.is_accept() {
-            return Admission::Reject;
-        }
-        if step.is_read() {
-            match decision.read_from() {
-                Some(source) => Admission::Read(ReadPlan::Version(source)),
-                None => Admission::Read(ReadPlan::Latest),
-            }
-        } else {
-            Admission::Write
-        }
+        decision_to_admission(step, decision)
+    }
+
+    fn admit_batch(&mut self, steps: &[Step]) -> Vec<Admission> {
+        // One dispatch into the scheduler for the whole batch; schedulers
+        // with a real batch rule (TO's per-entity pass) take over here.
+        self.inner
+            .offer_batch(steps)
+            .into_iter()
+            .zip(steps)
+            .map(|(decision, &step)| decision_to_admission(step, decision))
+            .collect()
     }
 
     fn on_commit(&mut self, tx: TxId) {
@@ -185,6 +224,22 @@ impl<S: Scheduler + Send> Certifier for SchedulerCertifier<S> {
 
     fn on_abort(&mut self, tx: TxId) {
         self.inner.abort(tx);
+    }
+}
+
+/// Maps a scheduler [`Decision`](mvcc_scheduler::Decision) on `step` to the
+/// engine's [`Admission`].
+fn decision_to_admission(step: Step, decision: mvcc_scheduler::Decision) -> Admission {
+    if !decision.is_accept() {
+        return Admission::Reject;
+    }
+    if step.is_read() {
+        match decision.read_from() {
+            Some(source) => Admission::Read(ReadPlan::Version(source)),
+            None => Admission::Read(ReadPlan::Latest),
+        }
+    } else {
+        Admission::Write
     }
 }
 
@@ -216,6 +271,28 @@ impl Certifier for SnapshotCertifier {
         } else {
             Admission::Write
         }
+    }
+
+    fn admit_batch(&mut self, steps: &[Step]) -> Vec<Admission> {
+        // SI admits everything and never consults admission state, so a
+        // batch is validated in one stateless pass.
+        steps
+            .iter()
+            .map(|step| {
+                if step.is_read() {
+                    Admission::Read(ReadPlan::Snapshot)
+                } else {
+                    Admission::Write
+                }
+            })
+            .collect()
+    }
+
+    fn admission_scope(&self) -> AdmissionScope {
+        // FCW only needs per-entity ordering (validation happens at commit
+        // against committed versions), so disjoint key ranges can be
+        // admitted on disjoint lanes.
+        AdmissionScope::PerShard
     }
 
     fn on_commit(&mut self, _tx: TxId) {}
@@ -395,6 +472,51 @@ mod tests {
             assert_eq!(kind.to_string(), kind.name());
         }
         assert_eq!(CertifierKind::MvSgt.class().to_string(), "MVCSR");
+    }
+
+    #[test]
+    fn admit_batch_matches_sequential_admits_for_every_kind() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        for kind in CertifierKind::all() {
+            let mut rng = SmallRng::seed_from_u64(0xadc0 ^ kind.name().len() as u64);
+            for trial in 0..24 {
+                let steps: Vec<Step> = (0..18)
+                    .map(|_| {
+                        let tx = TxId(rng.gen_range(1..5u32));
+                        let entity = mvcc_core::EntityId(rng.gen_range(0..3u32));
+                        if rng.gen_bool(0.6) {
+                            Step::read(tx, entity)
+                        } else {
+                            Step::write(tx, entity)
+                        }
+                    })
+                    .collect();
+                let mut batched = kind.build();
+                let mut sequential = kind.build();
+                let mut cursor = 0;
+                while cursor < steps.len() {
+                    let end = (cursor + rng.gen_range(1..5usize)).min(steps.len());
+                    let batch = &steps[cursor..end];
+                    let got = batched.admit_batch(batch);
+                    let want: Vec<Admission> = batch.iter().map(|&s| sequential.admit(s)).collect();
+                    assert_eq!(got, want, "{kind} trial {trial}, steps {cursor}..{end}");
+                    cursor = end;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn admission_scopes_are_global_except_snapshot_isolation() {
+        for kind in CertifierKind::all() {
+            let expected = if kind == CertifierKind::SnapshotIsolation {
+                AdmissionScope::PerShard
+            } else {
+                AdmissionScope::Global
+            };
+            assert_eq!(kind.build().admission_scope(), expected, "{kind}");
+        }
     }
 
     #[test]

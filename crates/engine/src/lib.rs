@@ -17,6 +17,11 @@
 //!   engine, and [`SnapshotCertifier`] adds snapshot isolation with
 //!   first-committer-wins, so the same engine runs in every class of the
 //!   paper's Figure 1;
+//! * [`pipeline`] — the batched, group-commit admission pipeline: steps
+//!   are enqueued and ruled in whole batches by a drain leader
+//!   ([`Certifier::admit_batch`]), commits are applied to the shards in
+//!   groups, and certifiers that only need per-entity ordering (snapshot
+//!   isolation) get one admission lane per shard;
 //! * [`session`] — the [`Engine`] itself and its multi-threaded session
 //!   API (`begin` / `read` / `write` / `commit` / `abort`), plus the
 //!   append-only admission [`History`] whose committed projection the
@@ -32,11 +37,13 @@
 //!
 //! ## Correctness model
 //!
-//! The certifier is the single serialization point: every step is admitted
-//! (or rejected) under one lock, and the admission order is recorded in the
-//! history log.  Class guarantees — CSR for 2PL/TSO/SGT, MVCSR for MV-SGT,
-//! MVSR for MVTO — are properties of that admission sequence, checked
-//! offline by `mvcc-classify`.  Version payloads are applied to the shards
+//! An admission lane is the serialization point: every step is admitted
+//! (or rejected) on its lane — in batches, but a drain leader holds the
+//! lane for the whole batch, so the admission order per lane is total —
+//! and recorded in the history log in that order.  Certifiers whose class
+//! depends on cross-entity order run one global lane.  Class guarantees —
+//! CSR for 2PL/TSO/SGT, MVCSR for MV-SGT, MVSR for MVTO — are properties
+//! of that admission sequence, checked offline by `mvcc-classify`.  Version payloads are applied to the shards
 //! outside the admission lock; multiversion reads are served exactly the
 //! version the certifier assigned, and the engine enforces *avoids
 //! cascading aborts* (ACA): a read directed at a version whose writer has
@@ -68,16 +75,18 @@ pub mod certifier;
 pub mod gc;
 pub mod load;
 pub mod metrics;
+pub mod pipeline;
 pub mod session;
 pub mod shard;
 
 pub use certifier::{
-    Admission, Certifier, CertifierKind, HistoryClass, ReadPlan, SchedulerCertifier,
-    SnapshotCertifier,
+    Admission, AdmissionScope, Certifier, CertifierKind, HistoryClass, ReadPlan,
+    SchedulerCertifier, SnapshotCertifier,
 };
 pub use gc::GcDriver;
 pub use load::{run_closed_loop, LoadReport};
 pub use metrics::{AbortReason, EngineMetrics, MetricsSnapshot};
+pub use pipeline::AdmissionMode;
 pub use session::{Engine, EngineConfig, EngineError, History, Session};
 pub use shard::ShardedStore;
 

@@ -13,6 +13,7 @@
 use crate::certifier::{CertifierKind, HistoryClass};
 use crate::gc::GcDriver;
 use crate::metrics::MetricsSnapshot;
+use crate::pipeline::AdmissionMode;
 use crate::session::{Engine, EngineConfig, History};
 use bytes::Bytes;
 use mvcc_core::Action;
@@ -28,6 +29,8 @@ use std::time::{Duration, Instant};
 pub struct LoadReport {
     /// The certifier that ran.
     pub kind: CertifierKind,
+    /// The admission mode the engine ran under.
+    pub admission: AdmissionMode,
     /// The class its committed history is guaranteed to be in.
     pub class: HistoryClass,
     /// The profile that drove the run.
@@ -82,6 +85,17 @@ pub fn run_closed_loop_with(
     profile: &LoadProfile,
     record_history: bool,
 ) -> LoadReport {
+    run_closed_loop_in_mode(kind, profile, record_history, AdmissionMode::default())
+}
+
+/// [`run_closed_loop_with`] with the admission mode made explicit — the
+/// pipeline-on/off comparison knob of experiment E13.
+pub fn run_closed_loop_in_mode(
+    kind: CertifierKind,
+    profile: &LoadProfile,
+    record_history: bool,
+    admission: AdmissionMode,
+) -> LoadReport {
     profile.validate().expect("invalid load profile");
     let engine = Arc::new(Engine::new(
         kind,
@@ -90,6 +104,7 @@ pub fn run_closed_loop_with(
             entities: profile.entities,
             initial: Bytes::from_static(b"0"),
             record_history,
+            admission,
         },
     ));
     let gc = GcDriver::start(Arc::clone(&engine), Duration::from_millis(1));
@@ -148,6 +163,7 @@ pub fn run_closed_loop_with(
     gc.stop();
     LoadReport {
         kind,
+        admission,
         class: kind.class(),
         profile: *profile,
         elapsed,
@@ -210,5 +226,32 @@ mod tests {
         assert!(report.history.admitted.is_empty());
         assert!(report.history_in_class(), "vacuously true");
         assert!(report.metrics.committed > 0);
+    }
+
+    #[test]
+    fn both_admission_modes_drive_the_same_workload_soundly() {
+        for mode in [AdmissionMode::Batched, AdmissionMode::PerStep] {
+            let report =
+                run_closed_loop_in_mode(CertifierKind::Sgt, &small_profile(0.0), true, mode);
+            assert_eq!(report.admission, mode);
+            let m = &report.metrics;
+            assert!(m.committed > 0, "{mode}: no commits");
+            assert_eq!(m.begun, m.committed + m.aborted, "{mode}");
+            assert!(report.history_in_class(), "{mode}: history out of class");
+            match mode {
+                // Every step and commit goes through a batch (of size ≥ 1);
+                // batched steps also count rejected ones, executed ops
+                // don't.
+                AdmissionMode::Batched => {
+                    assert!(m.admission_batches > 0);
+                    assert!(m.admission_batch_steps >= m.reads + m.writes);
+                    assert_eq!(m.commit_batch_txns, m.committed);
+                }
+                AdmissionMode::PerStep => {
+                    assert_eq!(m.admission_batches, 0);
+                    assert_eq!(m.commit_batches, 0);
+                }
+            }
+        }
     }
 }

@@ -75,7 +75,11 @@ struct LatencyHistogram {
 
 impl LatencyHistogram {
     fn record(&self, latency: Duration) {
-        let micros = latency.as_micros() as u64;
+        // `as_micros` is u128; a plain `as u64` cast would silently wrap
+        // absurd durations around to *small* values and file them in fast
+        // buckets.  Saturate instead: anything beyond u64::MAX µs (585
+        // millennia) lands in the top bucket.
+        let micros = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
         let bucket = (64 - micros.leading_zeros() as usize).min(31);
         self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
     }
@@ -110,6 +114,10 @@ pub struct EngineMetrics {
     aborts_by_reason: [AtomicU64; AbortReason::COUNT],
     gc_passes: AtomicU64,
     gc_reclaimed: AtomicU64,
+    admission_batches: AtomicU64,
+    admission_batch_steps: AtomicU64,
+    commit_batches: AtomicU64,
+    commit_batch_txns: AtomicU64,
     commit_latency: LatencyHistogram,
     shards: Vec<ShardCounters>,
 }
@@ -126,6 +134,10 @@ impl EngineMetrics {
             aborts_by_reason: Default::default(),
             gc_passes: AtomicU64::new(0),
             gc_reclaimed: AtomicU64::new(0),
+            admission_batches: AtomicU64::new(0),
+            admission_batch_steps: AtomicU64::new(0),
+            commit_batches: AtomicU64::new(0),
+            commit_batch_txns: AtomicU64::new(0),
             commit_latency: LatencyHistogram::default(),
             shards: (0..shards).map(|_| ShardCounters::default()).collect(),
         }
@@ -171,6 +183,21 @@ impl EngineMetrics {
             .fetch_add(reclaimed as u64, Ordering::Relaxed);
     }
 
+    /// Records one admission batch ruled by a drain leader (`steps` steps
+    /// in one `admit_batch` call).
+    pub fn record_admission_batch(&self, steps: usize) {
+        self.admission_batches.fetch_add(1, Ordering::Relaxed);
+        self.admission_batch_steps
+            .fetch_add(steps as u64, Ordering::Relaxed);
+    }
+
+    /// Records one group-commit batch of `txns` transactions.
+    pub fn record_commit_batch(&self, txns: usize) {
+        self.commit_batches.fetch_add(1, Ordering::Relaxed);
+        self.commit_batch_txns
+            .fetch_add(txns as u64, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of every counter.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -185,6 +212,10 @@ impl EngineMetrics {
                 .collect(),
             gc_passes: self.gc_passes.load(Ordering::Relaxed),
             gc_reclaimed: self.gc_reclaimed.load(Ordering::Relaxed),
+            admission_batches: self.admission_batches.load(Ordering::Relaxed),
+            admission_batch_steps: self.admission_batch_steps.load(Ordering::Relaxed),
+            commit_batches: self.commit_batches.load(Ordering::Relaxed),
+            commit_batch_txns: self.commit_batch_txns.load(Ordering::Relaxed),
             latency_buckets: self.commit_latency.counts(),
             shard_ops: self
                 .shards
@@ -219,6 +250,14 @@ pub struct MetricsSnapshot {
     pub gc_passes: u64,
     /// Versions reclaimed by GC.
     pub gc_reclaimed: u64,
+    /// Admission batches ruled by drain leaders (0 in per-step mode).
+    pub admission_batches: u64,
+    /// Steps ruled across all admission batches.
+    pub admission_batch_steps: u64,
+    /// Group-commit batches applied (0 in per-step mode).
+    pub commit_batches: u64,
+    /// Transactions committed across all group-commit batches.
+    pub commit_batch_txns: u64,
     /// Commit-latency histogram: bucket 0 is sub-µs, bucket `i > 0` covers
     /// `[2^(i-1), 2^i)` µs.
     pub latency_buckets: Vec<u64>,
@@ -229,6 +268,20 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
+    /// Mean steps per admission batch, or `None` when no batch was ruled
+    /// (per-step mode, or no traffic).
+    pub fn mean_admission_batch(&self) -> Option<f64> {
+        (self.admission_batches > 0)
+            .then(|| self.admission_batch_steps as f64 / self.admission_batches as f64)
+    }
+
+    /// Mean transactions per group-commit batch, or `None` when no batch
+    /// was applied.
+    pub fn mean_commit_batch(&self) -> Option<f64> {
+        (self.commit_batches > 0)
+            .then(|| self.commit_batch_txns as f64 / self.commit_batches as f64)
+    }
+
     /// Fraction of finished transactions that committed.
     pub fn commit_ratio(&self) -> f64 {
         let finished = self.committed + self.aborted;
@@ -239,23 +292,31 @@ impl MetricsSnapshot {
         }
     }
 
-    /// Approximate commit-latency percentile in microseconds: the upper
+    /// Approximate commit-latency quantile in microseconds: the upper
     /// bound of the histogram bucket containing the `q`-quantile commit
-    /// (`q` in `[0, 1]`).
-    pub fn latency_percentile_us(&self, q: f64) -> u64 {
+    /// (`q` in `[0, 1]`), or `None` when no commit has been recorded —
+    /// an empty histogram has no quantiles, and computing a rank target
+    /// against it (the old `.max(1.0)` floor) must not invent one.
+    pub fn latency_quantile_us(&self, q: f64) -> Option<u64> {
         let total: u64 = self.latency_buckets.iter().sum();
         if total == 0 {
-            return 0;
+            return None;
         }
         let target = ((total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (i, &count) in self.latency_buckets.iter().enumerate() {
             seen += count;
             if seen >= target {
-                return 1u64 << i;
+                return Some(1u64 << i);
             }
         }
-        1u64 << (self.latency_buckets.len() - 1)
+        Some(1u64 << (self.latency_buckets.len() - 1))
+    }
+
+    /// [`MetricsSnapshot::latency_quantile_us`] with empty histograms
+    /// reported as `0` (table-friendly form).
+    pub fn latency_percentile_us(&self, q: f64) -> u64 {
+        self.latency_quantile_us(q).unwrap_or(0)
     }
 }
 
@@ -289,6 +350,16 @@ impl fmt::Display for MetricsSnapshot {
             "gc: {} passes, {} versions reclaimed",
             self.gc_passes, self.gc_reclaimed
         )?;
+        if let Some(mean) = self.mean_admission_batch() {
+            writeln!(
+                f,
+                "pipeline: {} admission batches (mean {:.1} steps), {} commit batches (mean {:.1} txns)",
+                self.admission_batches,
+                mean,
+                self.commit_batches,
+                self.mean_commit_batch().unwrap_or(0.0)
+            )?;
+        }
         write!(f, "shards:")?;
         for (i, (ops, conflicts)) in self
             .shard_ops
@@ -349,11 +420,56 @@ mod tests {
         assert!(p50 <= 8, "p50 bucket bound {p50}");
         assert!(p99 >= 2048, "p99 bucket bound {p99}");
         assert!(p50 <= p99);
-        // Empty histograms report zero.
-        assert_eq!(
-            EngineMetrics::new(1).snapshot().latency_percentile_us(0.5),
-            0
-        );
+    }
+
+    #[test]
+    fn quantiles_of_an_empty_histogram_are_none_not_invented() {
+        // Regression: the rank target used to be floored to 1 even with no
+        // samples, which let a sparse/empty histogram report a quantile it
+        // never observed.  Before any commit is recorded every quantile is
+        // None (0 in the table-friendly form).
+        let snap = EngineMetrics::new(1).snapshot();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(snap.latency_quantile_us(q), None, "q={q}");
+            assert_eq!(snap.latency_percentile_us(q), 0, "q={q}");
+        }
+        // One sample: every quantile collapses onto its bucket.
+        let m = EngineMetrics::new(1);
+        m.record_commit(Duration::from_micros(3));
+        let snap = m.snapshot();
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(snap.latency_quantile_us(q), Some(4), "q={q}");
+        }
+    }
+
+    #[test]
+    fn absurd_latencies_saturate_into_the_top_bucket() {
+        // Regression: `as_micros() as u64` silently truncated u128 → u64,
+        // so a duration of exactly 2^64 µs wrapped to 0 and was filed as a
+        // sub-µs commit.  The conversion now saturates.
+        let m = EngineMetrics::new(1);
+        m.record_commit(Duration::MAX);
+        m.record_commit(Duration::from_secs(u64::MAX / 1_000_000 + 1));
+        let snap = m.snapshot();
+        assert_eq!(snap.latency_buckets[31], 2, "both land in the top bucket");
+        assert_eq!(snap.latency_buckets[0], 0, "nothing wrapped around");
+        assert_eq!(snap.latency_quantile_us(0.5), Some(1u64 << 31));
+    }
+
+    #[test]
+    fn batch_counters_average() {
+        let m = EngineMetrics::new(1);
+        assert_eq!(m.snapshot().mean_admission_batch(), None);
+        assert_eq!(m.snapshot().mean_commit_batch(), None);
+        m.record_admission_batch(3);
+        m.record_admission_batch(5);
+        m.record_commit_batch(2);
+        let snap = m.snapshot();
+        assert_eq!(snap.admission_batches, 2);
+        assert_eq!(snap.admission_batch_steps, 8);
+        assert_eq!(snap.mean_admission_batch(), Some(4.0));
+        assert_eq!(snap.mean_commit_batch(), Some(2.0));
+        assert!(snap.to_string().contains("pipeline: 2 admission batches"));
     }
 
     #[test]

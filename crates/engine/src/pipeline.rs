@@ -1,0 +1,651 @@
+//! The batched, group-commit admission pipeline.
+//!
+//! PR 2's engine ruled on every read/write step under one global admission
+//! mutex — correct, but a serialization point that kept throughput flat no
+//! matter how many threads or shards were added.  This module restructures
+//! that hottest path around *batching* (flat combining):
+//!
+//! * sessions no longer rule on their own steps; they **enqueue** a step
+//!   request into an admission lane's queue (a short critical section) and
+//!   then contend for the lane's state lock;
+//! * whoever acquires the state lock becomes the **drain leader**: it
+//!   drains the whole backlog and rules on it in one call to
+//!   [`Certifier::admit_batch`], resolves read plans / ACA / write chains
+//!   for the batch, appends the admitted run to the history log, fills
+//!   every waiter's outcome slot, and releases; the other sessions wake,
+//!   find their verdict already computed, and proceed without ever touching
+//!   the certifier.
+//!
+//! Under contention a lane therefore pays one lock acquisition, one
+//! virtual dispatch and one history append per *batch* instead of per
+//! step; uncontended it degenerates to the old per-step cost.  The
+//! admitted order is still a single total order per lane — the leader
+//! rules batches sequentially while holding the lane lock — so the
+//! append-only history and its class guarantees carry over unchanged (the
+//! end-to-end `engine_loop` test re-proves this per certifier).
+//!
+//! Commits take the same shape: a **group-commit lane** whose leader
+//! applies a whole batch of commits to the shards in groups
+//! ([`ShardedStore::commit_group`] takes each store's transaction-table
+//! lock once per group) before notifying the certifiers, preserving the
+//! "shard commits before the certifier hears about them" rule.
+//!
+//! Certifiers that only need per-entity ordering declare
+//! [`AdmissionScope::PerShard`] (snapshot isolation's first-committer-wins)
+//! and get one admission lane per shard, so sessions touching disjoint
+//! key ranges never share an admission lock at all.
+//!
+//! [`AdmissionMode::PerStep`] keeps the PR 2 path alive behind the same
+//! interface — one ruling per lock acquisition, no queue — so benches can
+//! report pipeline-on vs. pipeline-off side by side (experiment E13).
+
+use crate::certifier::{Admission, AdmissionScope, Certifier, CertifierKind, ReadPlan};
+use crate::metrics::EngineMetrics;
+use crate::session::History;
+use crate::shard::ShardedStore;
+use mvcc_core::{EntityId, Step, TxId, VersionSource};
+use mvcc_store::{StoreError, TxHandle};
+use parking_lot::Mutex;
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+use std::sync::Arc;
+
+/// How the engine serializes admission rulings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionMode {
+    /// Every step is ruled under the lane lock by the session issuing it
+    /// (the PR 2 path, kept for comparison benchmarks).
+    PerStep,
+    /// Steps are enqueued and ruled in batches by a drain leader via
+    /// [`Certifier::admit_batch`]; commits are applied to the shards in
+    /// groups.  The default.
+    #[default]
+    Batched,
+}
+
+impl fmt::Display for AdmissionMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionMode::PerStep => write!(f, "per-step"),
+            AdmissionMode::Batched => write!(f, "batched"),
+        }
+    }
+}
+
+/// The engine-internal verdict on one submitted step, with read plans
+/// already resolved against the admitted sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StepOutcome {
+    /// Admitted; `Some(plan)` for reads, `None` for writes.
+    Admitted(Option<ReadPlan>),
+    /// The certifier rejected the step; its lane has already been told of
+    /// the abort.
+    Rejected,
+    /// The resolved read would have observed the uncommitted version of
+    /// the contained writer (ACA); the lane has already been told of the
+    /// abort.
+    DirtyRead(TxId),
+}
+
+/// The engine-internal verdict on one submitted commit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum CommitOutcome {
+    /// Committed on every touched shard; certifiers notified.
+    Committed,
+    /// First-committer-wins validation failed on the contained entity
+    /// against the contained winner.  The session must abort itself.
+    Conflict(EntityId, TxId),
+    /// An unexpected store-level failure (a bug if it ever surfaces).
+    Store(StoreError),
+}
+
+/// The append-only admission history, shared by all lanes.
+///
+/// With a single global lane the appends happen in ruling order under the
+/// lane lock, so the log is exactly the certifier's admission sequence.
+/// Per-shard lanes interleave their batches arbitrarily, which is only
+/// offered to certifiers whose class claims nothing about cross-entity
+/// order (snapshot isolation).
+#[derive(Debug)]
+pub(crate) struct HistoryLog {
+    record: bool,
+    admitted: Mutex<Vec<Step>>,
+    committed: Mutex<BTreeSet<TxId>>,
+}
+
+impl HistoryLog {
+    pub(crate) fn new(record: bool) -> Self {
+        HistoryLog {
+            record,
+            admitted: Mutex::new(Vec::new()),
+            committed: Mutex::new(BTreeSet::new()),
+        }
+    }
+
+    /// Appends one ruled batch's admitted steps (no-op when recording is
+    /// off).
+    fn append_batch(&self, steps: &[Step]) {
+        if self.record && !steps.is_empty() {
+            self.admitted.lock().extend_from_slice(steps);
+        }
+    }
+
+    /// Records a batch of commits.
+    fn commit_all(&self, txs: &[TxId]) {
+        if !txs.is_empty() {
+            let mut committed = self.committed.lock();
+            for &tx in txs {
+                committed.insert(tx);
+            }
+        }
+    }
+
+    /// A point-in-time copy.  The committed set is cloned *before* the
+    /// admitted log: steps are always appended before their transaction
+    /// can commit, so this order can never observe a committed transaction
+    /// whose steps are missing from the log (the opposite order could).
+    pub(crate) fn snapshot(&self) -> History {
+        let committed = self.committed.lock().clone();
+        let admitted = self.admitted.lock().clone();
+        History {
+            admitted,
+            committed,
+        }
+    }
+}
+
+/// One step request parked in a lane queue: the step plus the slot its
+/// outcome is delivered through.
+#[derive(Debug)]
+struct StepRequest {
+    step: Step,
+    outcome: Mutex<Option<StepOutcome>>,
+}
+
+/// One commit request parked in the group-commit queue.
+#[derive(Debug)]
+struct CommitRequest {
+    tx: TxId,
+    begun_shards: Vec<bool>,
+    outcome: Mutex<Option<CommitOutcome>>,
+}
+
+/// Everything that must change atomically with a certifier ruling on one
+/// lane.
+struct LaneState {
+    certifier: Box<dyn Certifier>,
+    /// Transactions this lane knows to have committed (mirrors the shared
+    /// history; consulted by the ACA rule and write-chain pruning).
+    committed: BTreeSet<TxId>,
+    /// Admitted writers per entity, in admission order (aborted writers
+    /// removed, committed prefixes pruned).  This is how the engine
+    /// resolves [`ReadPlan::Latest`] into the version the *admitted
+    /// sequence* dictates — the last admitted write — instead of whatever
+    /// happens to be committed in the store when the read executes, which
+    /// could tell a different story than the history the classifiers
+    /// certify.
+    write_chains: HashMap<EntityId, Vec<TxId>>,
+}
+
+impl LaneState {
+    /// Records an admitted write of `entity` by `tx` and prunes the chain:
+    /// every entry before the last *committed* one can never again be the
+    /// last admitted write (commits are never undone, aborts only remove
+    /// their own entries), so only the committed tail entry plus the
+    /// in-flight writers after it are kept.
+    fn record_write(&mut self, entity: EntityId, tx: TxId) {
+        let chain = self.write_chains.entry(entity).or_default();
+        chain.push(tx);
+        if let Some(last_committed) = chain.iter().rposition(|w| self.committed.contains(w)) {
+            chain.drain(..last_committed);
+        }
+    }
+
+    /// The version the last admitted write of `entity` created, or the
+    /// initial version when nothing has been admitted (store pre-seed).
+    fn latest_admitted(&self, entity: EntityId) -> VersionSource {
+        match self.write_chains.get(&entity).and_then(|c| c.last()) {
+            Some(&w) => VersionSource::Tx(w),
+            None => VersionSource::Initial,
+        }
+    }
+
+    /// Removes an aborted transaction's entries from every write chain.
+    fn purge_writer(&mut self, tx: TxId) {
+        for chain in self.write_chains.values_mut() {
+            chain.retain(|&w| w != tx);
+        }
+    }
+
+    /// Tells the certifier `tx` aborted and purges its write-chain entries.
+    fn on_abort(&mut self, tx: TxId) {
+        self.certifier.on_abort(tx);
+        self.purge_writer(tx);
+    }
+
+    /// Converts one certifier ruling into a resolved [`StepOutcome`],
+    /// updating lane state exactly as the per-step path would.  Admitted
+    /// steps are pushed onto `admitted` (the batch's history append).
+    fn resolve(
+        &mut self,
+        step: Step,
+        admission: Admission,
+        admitted: &mut Vec<Step>,
+    ) -> StepOutcome {
+        match admission {
+            Admission::Reject => {
+                self.on_abort(step.tx);
+                StepOutcome::Rejected
+            }
+            admitted_as if step.is_read() => {
+                let Admission::Read(plan) = admitted_as else {
+                    unreachable!("read step admitted as write")
+                };
+                // Single-version certifiers mean "the latest version" in
+                // the model's sense: the last *admitted* write.  Resolve it
+                // here, at the lane's serialization point, so the value
+                // served always matches the history being recorded.
+                let plan = match plan {
+                    ReadPlan::Latest => ReadPlan::Version(self.latest_admitted(step.entity)),
+                    other => other,
+                };
+                // ACA: refuse to observe a version whose writer has not
+                // committed (reading own writes is always fine).
+                if let ReadPlan::Version(VersionSource::Tx(writer)) = plan {
+                    if writer != step.tx && !self.committed.contains(&writer) {
+                        self.on_abort(step.tx);
+                        return StepOutcome::DirtyRead(writer);
+                    }
+                }
+                admitted.push(step);
+                StepOutcome::Admitted(Some(plan))
+            }
+            _ => {
+                self.record_write(step.entity, step.tx);
+                admitted.push(step);
+                StepOutcome::Admitted(None)
+            }
+        }
+    }
+}
+
+/// One admission lane: a request queue plus the state its drain leader
+/// rules under.
+struct Lane {
+    queue: Mutex<Vec<Arc<StepRequest>>>,
+    state: Mutex<LaneState>,
+}
+
+impl Lane {
+    fn new(certifier: Box<dyn Certifier>) -> Self {
+        Lane {
+            queue: Mutex::new(Vec::new()),
+            state: Mutex::new(LaneState {
+                certifier,
+                committed: BTreeSet::new(),
+                write_chains: HashMap::new(),
+            }),
+        }
+    }
+}
+
+/// The group-commit lane: a commit queue plus the drain lock its leader
+/// holds while applying a batch (also what makes cross-shard
+/// first-committer-wins validate+commit atomic against other committers).
+struct CommitLane {
+    queue: Mutex<Vec<Arc<CommitRequest>>>,
+    drain: Mutex<()>,
+}
+
+/// The admission pipeline: admission lanes (one, or one per shard) plus
+/// the group-commit lane.
+pub(crate) struct AdmissionPipeline {
+    mode: AdmissionMode,
+    lanes: Vec<Lane>,
+    commit: CommitLane,
+    /// Cached [`Certifier::validates_writes_at_commit`] (a static property
+    /// of the certifier kind; caching keeps it off the commit hot path).
+    validates_at_commit: bool,
+}
+
+impl fmt::Debug for AdmissionPipeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AdmissionPipeline")
+            .field("mode", &self.mode)
+            .field("lanes", &self.lanes.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl AdmissionPipeline {
+    /// Builds the pipeline for `kind`: one global lane, or one lane per
+    /// shard when the certifier declares [`AdmissionScope::PerShard`].
+    ///
+    /// [`AdmissionMode::PerStep`] always gets a single lane: it exists to
+    /// reproduce the PR 2 baseline — one global admission mutex — for the
+    /// E13 on/off comparison, and per-shard lanes are part of the
+    /// pipeline being compared against, not of that baseline.
+    pub(crate) fn new(kind: CertifierKind, shards: usize, mode: AdmissionMode) -> Self {
+        let first = kind.build();
+        let validates_at_commit = first.validates_writes_at_commit();
+        let lane_count = match (mode, first.admission_scope()) {
+            (AdmissionMode::PerStep, _) | (_, AdmissionScope::Global) => 1,
+            (AdmissionMode::Batched, AdmissionScope::PerShard) => shards,
+        };
+        let mut lanes = Vec::with_capacity(lane_count);
+        lanes.push(Lane::new(first));
+        while lanes.len() < lane_count {
+            lanes.push(Lane::new(kind.build()));
+        }
+        AdmissionPipeline {
+            mode,
+            lanes,
+            commit: CommitLane {
+                queue: Mutex::new(Vec::new()),
+                drain: Mutex::new(()),
+            },
+            validates_at_commit,
+        }
+    }
+
+    /// The configured admission mode.
+    pub(crate) fn mode(&self) -> AdmissionMode {
+        self.mode
+    }
+
+    /// Number of admission lanes (1 unless the certifier is per-shard).
+    pub(crate) fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The lane ruling on `entity` for a store sharded `shards` ways.
+    fn lane_of(&self, entity: EntityId, shards: &ShardedStore) -> usize {
+        if self.lanes.len() == 1 {
+            0
+        } else {
+            shards.shard_of(entity) % self.lanes.len()
+        }
+    }
+
+    /// Submits one step and blocks until a verdict is available.
+    ///
+    /// In [`AdmissionMode::Batched`] the step is enqueued; the session then
+    /// contends for the lane lock, and either finds its verdict already
+    /// filled in by another leader or becomes the leader and rules the
+    /// whole backlog (its own step included) in one
+    /// [`Certifier::admit_batch`] call.
+    pub(crate) fn submit_step(
+        &self,
+        step: Step,
+        shards: &ShardedStore,
+        history: &HistoryLog,
+        metrics: &EngineMetrics,
+    ) -> StepOutcome {
+        let lane = &self.lanes[self.lane_of(step.entity, shards)];
+        match self.mode {
+            AdmissionMode::PerStep => {
+                let mut state = lane.state.lock();
+                let admission = state.certifier.admit(step);
+                let mut admitted = Vec::with_capacity(1);
+                let outcome = state.resolve(step, admission, &mut admitted);
+                history.append_batch(&admitted);
+                outcome
+            }
+            AdmissionMode::Batched => {
+                // Fast path: the lane is free — rule right away (draining
+                // any backlog first), without parking a request.  This
+                // keeps the uncontended cost at the per-step baseline;
+                // batching engages exactly when the lane is actually
+                // contended.
+                if let Some(mut state) = lane.state.try_lock() {
+                    let queued = std::mem::take(&mut *lane.queue.lock());
+                    return Self::lead_batch(&mut state, &queued, Some(step), history, metrics)
+                        .expect("own step is part of the batch");
+                }
+                // Slow path: park the step and contend for the lane.
+                // Either a leader rules on us while we wait, or we acquire
+                // the lane ourselves and drain the whole backlog (our own
+                // request included) in one certifier call.
+                let request = Arc::new(StepRequest {
+                    step,
+                    outcome: Mutex::new(None),
+                });
+                lane.queue.lock().push(Arc::clone(&request));
+                loop {
+                    // A previous leader may have ruled on us already.
+                    if let Some(outcome) = request.outcome.lock().take() {
+                        return outcome;
+                    }
+                    let mut state = lane.state.lock();
+                    if let Some(outcome) = request.outcome.lock().take() {
+                        return outcome;
+                    }
+                    // We hold the lane and have no verdict, so our request
+                    // is still queued (leaders fill every drained slot
+                    // before releasing): become the drain leader.
+                    let queued = std::mem::take(&mut *lane.queue.lock());
+                    let _ = Self::lead_batch(&mut state, &queued, None, history, metrics);
+                    drop(state);
+                }
+            }
+        }
+    }
+
+    /// Rules one batch — the parked `queued` requests plus, optionally,
+    /// the leader's `own` step — in a single certifier call, filling every
+    /// parked outcome slot and returning the leader's own outcome.  Runs
+    /// under the lane lock; the history append happens before release so
+    /// batches land in ruling order.
+    fn lead_batch(
+        state: &mut LaneState,
+        queued: &[Arc<StepRequest>],
+        own: Option<Step>,
+        history: &HistoryLog,
+        metrics: &EngineMetrics,
+    ) -> Option<StepOutcome> {
+        if queued.is_empty() {
+            // Uncontended: a batch of exactly our own step, ruled without
+            // building batch vectors.
+            let step = own?;
+            let admission = state.certifier.admit(step);
+            let mut admitted = Vec::with_capacity(1);
+            let outcome = state.resolve(step, admission, &mut admitted);
+            history.append_batch(&admitted);
+            metrics.record_admission_batch(1);
+            return Some(outcome);
+        }
+        let mut steps: Vec<Step> = queued.iter().map(|r| r.step).collect();
+        if let Some(step) = own {
+            steps.push(step);
+        }
+        let admissions = state.certifier.admit_batch(&steps);
+        debug_assert_eq!(admissions.len(), steps.len());
+        let mut admitted = Vec::with_capacity(steps.len());
+        let mut own_outcome = None;
+        for (i, admission) in admissions.into_iter().enumerate() {
+            let outcome = state.resolve(steps[i], admission, &mut admitted);
+            match queued.get(i) {
+                Some(request) => *request.outcome.lock() = Some(outcome),
+                None => own_outcome = Some(outcome),
+            }
+        }
+        history.append_batch(&admitted);
+        metrics.record_admission_batch(steps.len());
+        own_outcome
+    }
+
+    /// Submits a commit and blocks until it has been applied (or refused)
+    /// by a group-commit leader.
+    pub(crate) fn submit_commit(
+        &self,
+        tx: TxId,
+        begun_shards: &[bool],
+        shards: &ShardedStore,
+        history: &HistoryLog,
+        metrics: &EngineMetrics,
+    ) -> CommitOutcome {
+        match self.mode {
+            AdmissionMode::PerStep => {
+                let request = CommitRequest {
+                    tx,
+                    begun_shards: begun_shards.to_vec(),
+                    outcome: Mutex::new(None),
+                };
+                // Matches the PR 2 baseline: only first-committer-wins
+                // commits serialize on the commit lock (validate+commit
+                // atomicity); plain commits go straight to the shards.
+                let _drain = self.validates_at_commit.then(|| self.commit.drain.lock());
+                self.process_commit_batch(&[&request], shards, history);
+                let outcome = request
+                    .outcome
+                    .lock()
+                    .take()
+                    .expect("commit batch fills every slot");
+                outcome
+            }
+            AdmissionMode::Batched => {
+                // Fast path: the drain is free — apply right away (with
+                // any parked backlog), without parking a request.
+                if let Some(_drain) = self.commit.drain.try_lock() {
+                    let queued = std::mem::take(&mut *self.commit.queue.lock());
+                    let own = CommitRequest {
+                        tx,
+                        begun_shards: begun_shards.to_vec(),
+                        outcome: Mutex::new(None),
+                    };
+                    let mut refs: Vec<&CommitRequest> = queued.iter().map(Arc::as_ref).collect();
+                    refs.push(&own);
+                    let committed = self.process_commit_batch(&refs, shards, history);
+                    metrics.record_commit_batch(committed);
+                    let outcome = own
+                        .outcome
+                        .lock()
+                        .take()
+                        .expect("commit batch fills every slot");
+                    return outcome;
+                }
+                let request = Arc::new(CommitRequest {
+                    tx,
+                    begun_shards: begun_shards.to_vec(),
+                    outcome: Mutex::new(None),
+                });
+                self.commit.queue.lock().push(Arc::clone(&request));
+                loop {
+                    if let Some(outcome) = request.outcome.lock().take() {
+                        return outcome;
+                    }
+                    let _drain = self.commit.drain.lock();
+                    if let Some(outcome) = request.outcome.lock().take() {
+                        return outcome;
+                    }
+                    let batch = std::mem::take(&mut *self.commit.queue.lock());
+                    let refs: Vec<&CommitRequest> = batch.iter().map(Arc::as_ref).collect();
+                    let committed = self.process_commit_batch(&refs, shards, history);
+                    metrics.record_commit_batch(committed);
+                }
+            }
+        }
+    }
+
+    /// Applies one batch of commits: shard effects first (in groups), then
+    /// certifier notifications, then the history log, then the outcome
+    /// slots.  Shard commits landing before `on_commit` is what lets a
+    /// certifier that releases admission state at commit (2PL's locks)
+    /// never expose a reader to a not-yet-applied commit.  Returns how
+    /// many members actually committed (FCW losers and store refusals
+    /// excluded) — the number the batch-telemetry counters record.
+    fn process_commit_batch(
+        &self,
+        batch: &[&CommitRequest],
+        shards: &ShardedStore,
+        history: &HistoryLog,
+    ) -> usize {
+        let mut outcomes: Vec<CommitOutcome> = Vec::with_capacity(batch.len());
+        if self.validates_at_commit {
+            // First-committer-wins: validate every touched shard, then
+            // commit them all.  Requests are processed in batch order, so
+            // an earlier winner's committed versions are visible to a
+            // later loser's validation; the drain lock makes the whole
+            // sequence atomic against other committers.
+            for request in batch {
+                let handle = TxHandle { id: request.tx };
+                let mut verdict = CommitOutcome::Committed;
+                'validate: for (idx, &begun) in request.begun_shards.iter().enumerate() {
+                    if !begun {
+                        continue;
+                    }
+                    if let Err(StoreError::WriteConflict(entity, winner)) =
+                        shards.store(idx).validate_first_committer(handle)
+                    {
+                        verdict = CommitOutcome::Conflict(entity, winner);
+                        break 'validate;
+                    }
+                }
+                if verdict == CommitOutcome::Committed {
+                    for (idx, &begun) in request.begun_shards.iter().enumerate() {
+                        if begun {
+                            if let Err(e) = shards.store(idx).commit(handle, false) {
+                                verdict = CommitOutcome::Store(e);
+                                break;
+                            }
+                        }
+                    }
+                }
+                outcomes.push(verdict);
+            }
+        } else {
+            // Group commit: one pass per shard over the whole batch (each
+            // store's transaction table and chain map are locked once per
+            // group instead of once per transaction).
+            let group: Vec<(TxHandle, &[bool])> = batch
+                .iter()
+                .map(|r| (TxHandle { id: r.tx }, r.begun_shards.as_slice()))
+                .collect();
+            for result in shards.commit_group(&group) {
+                outcomes.push(match result {
+                    Ok(()) => CommitOutcome::Committed,
+                    Err(e) => CommitOutcome::Store(e),
+                });
+            }
+        }
+        // Certifier + history bookkeeping for the transactions that made
+        // it, after their shard effects are fully applied.
+        let committed: Vec<TxId> = batch
+            .iter()
+            .zip(&outcomes)
+            .filter(|(_, o)| matches!(o, CommitOutcome::Committed))
+            .map(|(r, _)| r.tx)
+            .collect();
+        if !committed.is_empty() {
+            for lane in &self.lanes {
+                let mut state = lane.state.lock();
+                for &tx in &committed {
+                    state.certifier.on_commit(tx);
+                    state.committed.insert(tx);
+                }
+            }
+            history.commit_all(&committed);
+        }
+        for (request, outcome) in batch.iter().zip(outcomes) {
+            *request.outcome.lock() = Some(outcome);
+        }
+        committed.len()
+    }
+
+    /// Tells every lane (or every lane but `ruled_on`, which already knows)
+    /// that `tx` aborted.
+    pub(crate) fn notify_abort(&self, tx: TxId, ruled_on: Option<usize>) {
+        for (idx, lane) in self.lanes.iter().enumerate() {
+            if Some(idx) == ruled_on {
+                continue;
+            }
+            lane.state.lock().on_abort(tx);
+        }
+    }
+
+    /// The lane index that ruled (or would rule) on `entity` — used by
+    /// sessions to skip double abort notification.
+    pub(crate) fn ruling_lane(&self, entity: EntityId, shards: &ShardedStore) -> usize {
+        self.lane_of(entity, shards)
+    }
+}

@@ -1,19 +1,23 @@
 //! The engine and its multi-threaded session API.
 //!
-//! An [`Engine`] is a [`ShardedStore`] plus one [`Certifier`] behind an
-//! admission mutex.  Sessions ([`Session`]) are handles usable from any OS
-//! thread: `begin` allocates a transaction id, `read`/`write` offer each
-//! step to the certifier and then execute it on the owning shard,
-//! `commit`/`abort` finish the transaction on every shard it touched.
+//! An [`Engine`] is a [`ShardedStore`] plus an admission pipeline
+//! ([`crate::pipeline`]) ruling steps with one
+//! [`Certifier`](crate::Certifier) per admission lane.  Sessions ([`Session`]) are handles usable from any OS thread:
+//! `begin` allocates a transaction id, `read`/`write` submit each step to
+//! the pipeline and then execute it on the owning shard, `commit`/`abort`
+//! finish the transaction on every shard it touched.
 //!
 //! ## Serialization points and races
 //!
-//! The admission lock is the engine's single serialization point: steps
+//! An admission lane is the engine's serialization point (one global lane
+//! for every certifier whose class depends on cross-entity order): steps
 //! enter the append-only [`History`] in exactly the order the certifier
-//! ruled on them, which makes the recorded history the ground truth the
-//! paper's model speaks about — the offline classifiers check *that*
-//! sequence.  Store effects are applied outside the admission lock for
-//! concurrency, with three engine rules keeping values coherent:
+//! ruled on them — batched admission drains whole backlogs per ruling, but
+//! the drain leader holds the lane for the batch, so the order is still
+//! total — which makes the recorded history the ground truth the paper's
+//! model speaks about; the offline classifiers check *that* sequence.
+//! Store effects are applied outside the lane for concurrency, with four
+//! engine rules keeping values coherent:
 //!
 //! 1. a write's version is appended to its shard before the writing
 //!    session takes any further step, so an explicitly assigned version
@@ -24,28 +28,29 @@
 //!    committed transactions therefore never depend on uncommitted data,
 //!    and MVTO's committed histories stay provably MVSR;
 //! 3. shard commits are applied *before* the certifier learns of the
-//!    commit, so a certifier that releases admission state at commit
-//!    (2PL's locks) can never expose a reader to a not-yet-applied commit;
+//!    commit — group commit batches preserve this per batch — so a
+//!    certifier that releases admission state at commit (2PL's locks) can
+//!    never expose a reader to a not-yet-applied commit;
 //! 4. **reads are pinned at admission**: a single-version certifier's
-//!    "latest" read is resolved under the admission lock to the last
-//!    *admitted* write of the entity (then subject to rule 2), never to
-//!    whatever the store happens to hold when the read executes — so the
-//!    values served always tell the same story as the history the
-//!    classifiers certify, and admitted-but-unapplied or
-//!    committed-after-admission writes can't leak in.
+//!    "latest" read is resolved on the lane to the last *admitted* write
+//!    of the entity (then subject to rule 2), never to whatever the store
+//!    happens to hold when the read executes — so the values served always
+//!    tell the same story as the history the classifiers certify, and
+//!    admitted-but-unapplied or committed-after-admission writes can't
+//!    leak in.
 //!
-//! Cross-shard commits of snapshot-isolation sessions additionally
-//! serialize on a commit lock so that first-committer-wins validation and
-//! the subsequent per-shard commits are atomic with respect to each other.
+//! Cross-shard commits of snapshot-isolation sessions serialize on the
+//! group-commit drain so that first-committer-wins validation and the
+//! subsequent per-shard commits are atomic with respect to each other.
 
-use crate::certifier::{Admission, Certifier, CertifierKind, HistoryClass, ReadPlan};
+use crate::certifier::{CertifierKind, HistoryClass, ReadPlan};
 use crate::metrics::{AbortReason, EngineMetrics};
+use crate::pipeline::{AdmissionMode, AdmissionPipeline, CommitOutcome, HistoryLog, StepOutcome};
 use crate::shard::ShardedStore;
 use bytes::Bytes;
-use mvcc_core::{EntityId, Schedule, Step, TxId, VersionSource};
+use mvcc_core::{EntityId, Schedule, Step, TxId};
 use mvcc_store::{gc, StoreError, TxHandle};
-use parking_lot::Mutex;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
@@ -113,6 +118,10 @@ pub struct EngineConfig {
     /// Record the admission history (required for offline classification;
     /// turn off for long benchmark runs).
     pub record_history: bool,
+    /// How admission is serialized: the batched group-commit pipeline
+    /// (default) or the per-step baseline it replaced (kept for
+    /// comparison benchmarks — experiment E13).
+    pub admission: AdmissionMode,
 }
 
 impl Default for EngineConfig {
@@ -122,56 +131,7 @@ impl Default for EngineConfig {
             entities: 16,
             initial: Bytes::from_static(b"0"),
             record_history: true,
-        }
-    }
-}
-
-/// Admission state: everything that must change atomically with a
-/// certifier ruling.
-struct AdmissionState {
-    certifier: Box<dyn Certifier>,
-    /// Admitted steps, in ruling order (empty when history recording is
-    /// off).
-    admitted: Vec<Step>,
-    /// Transactions that committed.
-    committed: BTreeSet<TxId>,
-    /// Admitted writers per entity, in admission order (aborted writers
-    /// removed, committed prefixes pruned).  This is how the engine
-    /// resolves [`ReadPlan::Latest`] into the version the *admitted
-    /// sequence* dictates — the last admitted write — instead of whatever
-    /// happens to be committed in the store when the read executes, which
-    /// could tell a different story than the history the classifiers
-    /// certify.
-    write_chains: HashMap<EntityId, Vec<TxId>>,
-}
-
-impl AdmissionState {
-    /// Records an admitted write of `entity` by `tx` and prunes the chain:
-    /// every entry before the last *committed* one can never again be the
-    /// last admitted write (commits are never undone, aborts only remove
-    /// their own entries), so only the committed tail entry plus the
-    /// in-flight writers after it are kept.
-    fn record_write(&mut self, entity: EntityId, tx: TxId) {
-        let chain = self.write_chains.entry(entity).or_default();
-        chain.push(tx);
-        if let Some(last_committed) = chain.iter().rposition(|w| self.committed.contains(w)) {
-            chain.drain(..last_committed);
-        }
-    }
-
-    /// The version the last admitted write of `entity` created, or the
-    /// initial version when nothing has been admitted (store pre-seed).
-    fn latest_admitted(&self, entity: EntityId) -> VersionSource {
-        match self.write_chains.get(&entity).and_then(|c| c.last()) {
-            Some(&w) => VersionSource::Tx(w),
-            None => VersionSource::Initial,
-        }
-    }
-
-    /// Removes an aborted transaction's entries from every write chain.
-    fn purge_writer(&mut self, tx: TxId) {
-        for chain in self.write_chains.values_mut() {
-            chain.retain(|&w| w != tx);
+            admission: AdmissionMode::default(),
         }
     }
 }
@@ -204,14 +164,11 @@ impl History {
 /// A concurrent, sharded, multi-session MVCC engine.
 pub struct Engine {
     shards: ShardedStore,
-    admission: Mutex<AdmissionState>,
-    /// Serializes cross-shard validate+commit sections (snapshot
-    /// isolation).
-    commit_lock: Mutex<()>,
+    pipeline: AdmissionPipeline,
+    history: HistoryLog,
     metrics: EngineMetrics,
     next_tx: AtomicU32,
     kind: CertifierKind,
-    record_history: bool,
 }
 
 impl fmt::Debug for Engine {
@@ -219,6 +176,7 @@ impl fmt::Debug for Engine {
         f.debug_struct("Engine")
             .field("kind", &self.kind)
             .field("shards", &self.shards.len())
+            .field("admission", &self.pipeline.mode())
             .finish_non_exhaustive()
     }
 }
@@ -228,17 +186,11 @@ impl Engine {
     pub fn new(kind: CertifierKind, config: EngineConfig) -> Self {
         Engine {
             shards: ShardedStore::new(config.shards, config.entities, config.initial),
-            admission: Mutex::new(AdmissionState {
-                certifier: kind.build(),
-                admitted: Vec::new(),
-                committed: BTreeSet::new(),
-                write_chains: HashMap::new(),
-            }),
-            commit_lock: Mutex::new(()),
+            pipeline: AdmissionPipeline::new(kind, config.shards, config.admission),
+            history: HistoryLog::new(config.record_history),
             metrics: EngineMetrics::new(config.shards),
             next_tx: AtomicU32::new(1),
             kind,
-            record_history: config.record_history,
         }
     }
 
@@ -250,6 +202,17 @@ impl Engine {
     /// The class guaranteed for the committed history.
     pub fn class(&self) -> HistoryClass {
         self.kind.class()
+    }
+
+    /// The admission mode the engine runs under.
+    pub fn admission_mode(&self) -> AdmissionMode {
+        self.pipeline.mode()
+    }
+
+    /// Number of admission lanes (1 unless the certifier only needs
+    /// per-entity ordering and admission is partitioned per shard).
+    pub fn admission_lanes(&self) -> usize {
+        self.pipeline.lane_count()
     }
 
     /// The engine's metrics.
@@ -277,11 +240,7 @@ impl Engine {
 
     /// A copy of the admission history (empty if recording is off).
     pub fn history(&self) -> History {
-        let state = self.admission.lock();
-        History {
-            admitted: state.admitted.clone(),
-            committed: state.committed.clone(),
-        }
+        self.history.snapshot()
     }
 
     /// Runs one GC pass over every shard under each shard's
@@ -341,50 +300,40 @@ impl Session {
         Ok(idx)
     }
 
+    /// Aborts after the ruling lane for `entity` already processed the
+    /// abort: the remaining lanes are notified, store state is purged and
+    /// the abort is recorded.
+    fn abort_after_ruling(&mut self, reason: AbortReason, entity: EntityId) {
+        let ruled_on = self
+            .engine
+            .pipeline
+            .ruling_lane(entity, &self.engine.shards);
+        self.engine.pipeline.notify_abort(self.tx, Some(ruled_on));
+        self.finish_abort_inner(reason, Some(entity));
+    }
+
     /// Reads `entity`, served per the certifier's ruling.  On any error
     /// except [`EngineError::NotActive`] the session is already aborted.
     pub fn read(&mut self, entity: EntityId) -> Result<Bytes, EngineError> {
         self.ensure_active()?;
         let step = Step::read(self.tx, entity);
-        let plan = {
-            let mut state = self.engine.admission.lock();
-            match state.certifier.admit(step) {
-                Admission::Reject => {
-                    state.certifier.on_abort(self.tx);
-                    state.purge_writer(self.tx);
-                    drop(state);
-                    self.finish_abort_inner(AbortReason::CertifierReject, Some(entity));
-                    return Err(EngineError::Rejected(step));
-                }
-                Admission::Read(plan) => {
-                    // Single-version certifiers mean "the latest version" in
-                    // the model's sense: the last *admitted* write.  Resolve
-                    // it here, at the serialization point, so the value
-                    // served always matches the history being recorded (the
-                    // store's latest-committed version at execution time
-                    // could belong to a different admission order).
-                    let plan = match plan {
-                        ReadPlan::Latest => ReadPlan::Version(state.latest_admitted(entity)),
-                        other => other,
-                    };
-                    // ACA: refuse to observe a version whose writer has not
-                    // committed (reading own writes is always fine).
-                    if let ReadPlan::Version(VersionSource::Tx(writer)) = plan {
-                        if writer != self.tx && !state.committed.contains(&writer) {
-                            state.certifier.on_abort(self.tx);
-                            state.purge_writer(self.tx);
-                            drop(state);
-                            self.finish_abort_inner(AbortReason::DirtyRead, Some(entity));
-                            return Err(EngineError::DirtyRead(step, writer));
-                        }
-                    }
-                    if self.engine.record_history {
-                        state.admitted.push(step);
-                    }
-                    plan
-                }
-                Admission::Write => unreachable!("read step admitted as write"),
+        let outcome = self.engine.pipeline.submit_step(
+            step,
+            &self.engine.shards,
+            &self.engine.history,
+            &self.engine.metrics,
+        );
+        let plan = match outcome {
+            StepOutcome::Rejected => {
+                self.abort_after_ruling(AbortReason::CertifierReject, entity);
+                return Err(EngineError::Rejected(step));
             }
+            StepOutcome::DirtyRead(writer) => {
+                self.abort_after_ruling(AbortReason::DirtyRead, entity);
+                return Err(EngineError::DirtyRead(step, writer));
+            }
+            StepOutcome::Admitted(Some(plan)) => plan,
+            StepOutcome::Admitted(None) => unreachable!("read step admitted as write"),
         };
         let idx = self.touch(entity)?;
         let store = self.engine.shards.store(idx);
@@ -418,23 +367,21 @@ impl Session {
     pub fn write(&mut self, entity: EntityId, value: Bytes) -> Result<(), EngineError> {
         self.ensure_active()?;
         let step = Step::write(self.tx, entity);
-        {
-            let mut state = self.engine.admission.lock();
-            match state.certifier.admit(step) {
-                Admission::Reject => {
-                    state.certifier.on_abort(self.tx);
-                    state.purge_writer(self.tx);
-                    drop(state);
-                    self.finish_abort_inner(AbortReason::CertifierReject, Some(entity));
-                    return Err(EngineError::Rejected(step));
-                }
-                Admission::Write | Admission::Read(_) => {
-                    state.record_write(entity, self.tx);
-                    if self.engine.record_history {
-                        state.admitted.push(step);
-                    }
-                }
+        let outcome = self.engine.pipeline.submit_step(
+            step,
+            &self.engine.shards,
+            &self.engine.history,
+            &self.engine.metrics,
+        );
+        match outcome {
+            StepOutcome::Rejected => {
+                self.abort_after_ruling(AbortReason::CertifierReject, entity);
+                return Err(EngineError::Rejected(step));
             }
+            StepOutcome::DirtyRead(writer) => {
+                unreachable!("write step ruled a dirty read of {writer}")
+            }
+            StepOutcome::Admitted(_) => {}
         }
         let idx = self.touch(entity)?;
         let store = self.engine.shards.store(idx);
@@ -443,59 +390,33 @@ impl Session {
         Ok(())
     }
 
-    /// Commits the transaction on every touched shard.  Under snapshot
-    /// isolation this is where first-committer-wins validation runs; on
-    /// conflict the session is aborted and
+    /// Commits the transaction on every touched shard via the group-commit
+    /// lane.  Under snapshot isolation this is where first-committer-wins
+    /// validation runs; on conflict the session is aborted and
     /// [`EngineError::WriteConflict`] returned.
     pub fn commit(mut self) -> Result<(), EngineError> {
         self.ensure_active()?;
-        let handle = TxHandle { id: self.tx };
-        let validates = {
-            let state = self.engine.admission.lock();
-            state.certifier.validates_writes_at_commit()
-        };
-        if validates {
-            // Cross-shard first-committer-wins: validate every touched
-            // shard, then commit them all, atomically w.r.t. other
-            // committers (the commit lock).
-            let _commit_guard = self.engine.commit_lock.lock();
-            for (idx, &begun) in self.begun_shards.iter().enumerate() {
-                if !begun {
-                    continue;
-                }
-                if let Err(StoreError::WriteConflict(entity, winner)) = self
-                    .engine
-                    .shards
-                    .store(idx)
-                    .validate_first_committer(handle)
-                {
-                    drop(_commit_guard);
-                    self.abort_with(AbortReason::WriteConflict, Some(entity));
-                    return Err(EngineError::WriteConflict(entity, winner));
-                }
+        let outcome = self.engine.pipeline.submit_commit(
+            self.tx,
+            &self.begun_shards,
+            &self.engine.shards,
+            &self.engine.history,
+            &self.engine.metrics,
+        );
+        match outcome {
+            CommitOutcome::Committed => {
+                self.active = false;
+                self.engine.metrics.record_commit(self.started.elapsed());
+                Ok(())
             }
-            for (idx, &begun) in self.begun_shards.iter().enumerate() {
-                if begun {
-                    self.engine.shards.store(idx).commit(handle, false)?;
-                }
+            CommitOutcome::Conflict(entity, winner) => {
+                self.abort_with(AbortReason::WriteConflict, Some(entity));
+                Err(EngineError::WriteConflict(entity, winner))
             }
-        } else {
-            // Shard commits happen before the certifier hears about the
-            // commit (rule 3 of the module docs).
-            for (idx, &begun) in self.begun_shards.iter().enumerate() {
-                if begun {
-                    self.engine.shards.store(idx).commit(handle, false)?;
-                }
-            }
+            // Dropping `self` aborts the session (matching the pre-pipeline
+            // behavior of `?` on a failed shard commit).
+            CommitOutcome::Store(e) => Err(EngineError::Store(e)),
         }
-        {
-            let mut state = self.engine.admission.lock();
-            state.certifier.on_commit(self.tx);
-            state.committed.insert(self.tx);
-        }
-        self.active = false;
-        self.engine.metrics.record_commit(self.started.elapsed());
-        Ok(())
     }
 
     /// Aborts the transaction explicitly.
@@ -506,16 +427,12 @@ impl Session {
     }
 
     fn abort_with(&mut self, reason: AbortReason, trigger: Option<EntityId>) {
-        {
-            let mut state = self.engine.admission.lock();
-            state.certifier.on_abort(self.tx);
-            state.purge_writer(self.tx);
-        }
+        self.engine.pipeline.notify_abort(self.tx, None);
         self.finish_abort_inner(reason, trigger);
     }
 
-    /// Purges store state and records the abort; the certifier has already
-    /// been notified by the caller.
+    /// Purges store state and records the abort; the admission lanes have
+    /// already been notified by the caller.
     fn finish_abort_inner(&mut self, reason: AbortReason, trigger: Option<EntityId>) {
         for (idx, &begun) in self.begun_shards.iter().enumerate() {
             if begun {
@@ -545,61 +462,81 @@ impl Drop for Session {
 mod tests {
     use super::*;
 
-    fn engine(kind: CertifierKind) -> Arc<Engine> {
+    fn modes() -> [AdmissionMode; 2] {
+        [AdmissionMode::Batched, AdmissionMode::PerStep]
+    }
+
+    fn engine_with(kind: CertifierKind, admission: AdmissionMode) -> Arc<Engine> {
         Arc::new(Engine::new(
             kind,
             EngineConfig {
                 shards: 2,
                 entities: 8,
+                admission,
                 ..EngineConfig::default()
             },
         ))
+    }
+
+    fn engine(kind: CertifierKind) -> Arc<Engine> {
+        engine_with(kind, AdmissionMode::default())
     }
 
     const X: EntityId = EntityId(0);
     const Y: EntityId = EntityId(1); // different shard from X
 
     #[test]
-    fn read_write_commit_round_trip_on_every_certifier() {
+    fn read_write_commit_round_trip_on_every_certifier_and_mode() {
         for kind in CertifierKind::all() {
-            let e = engine(kind);
-            let mut s1 = e.begin();
-            assert_eq!(s1.read(X).unwrap(), Bytes::from_static(b"0"));
-            s1.write(Y, Bytes::from_static(b"one")).unwrap();
-            s1.commit().unwrap();
-            let mut s2 = e.begin();
-            assert_eq!(s2.read(Y).unwrap(), Bytes::from_static(b"one"), "{kind}");
-            s2.commit().unwrap();
-            let snap = e.metrics().snapshot();
-            assert_eq!(snap.committed, 2, "{kind}");
-            assert_eq!(snap.aborted, 0, "{kind}");
-            let history = e.history();
-            assert_eq!(history.admitted.len(), 3);
-            assert_eq!(history.committed.len(), 2);
-            assert!(e.class().check(&history.committed_schedule()), "{kind}");
+            for mode in modes() {
+                let e = engine_with(kind, mode);
+                let mut s1 = e.begin();
+                assert_eq!(s1.read(X).unwrap(), Bytes::from_static(b"0"));
+                s1.write(Y, Bytes::from_static(b"one")).unwrap();
+                s1.commit().unwrap();
+                let mut s2 = e.begin();
+                assert_eq!(
+                    s2.read(Y).unwrap(),
+                    Bytes::from_static(b"one"),
+                    "{kind}/{mode}"
+                );
+                s2.commit().unwrap();
+                let snap = e.metrics().snapshot();
+                assert_eq!(snap.committed, 2, "{kind}/{mode}");
+                assert_eq!(snap.aborted, 0, "{kind}/{mode}");
+                let history = e.history();
+                assert_eq!(history.admitted.len(), 3);
+                assert_eq!(history.committed.len(), 2);
+                assert!(
+                    e.class().check(&history.committed_schedule()),
+                    "{kind}/{mode}"
+                );
+            }
         }
     }
 
     #[test]
     fn rejection_aborts_the_session() {
-        let e = engine(CertifierKind::TwoPhaseLocking);
-        let mut s1 = e.begin();
-        let mut s2 = e.begin();
-        s1.write(X, Bytes::from_static(b"a")).unwrap();
-        let err = s2.write(X, Bytes::from_static(b"b")).unwrap_err();
-        assert!(matches!(err, EngineError::Rejected(_)));
-        assert!(!s2.is_active());
-        assert!(matches!(s2.read(Y), Err(EngineError::NotActive(_))));
-        s1.commit().unwrap();
-        // The lock is released: a fresh session can write x.
-        let mut s3 = e.begin();
-        s3.write(X, Bytes::from_static(b"c")).unwrap();
-        s3.commit().unwrap();
-        let snap = e.metrics().snapshot();
-        assert_eq!(snap.committed, 2);
-        assert_eq!(snap.aborted, 1);
-        // The abort is attributed to x's shard.
-        assert_eq!(snap.shard_conflicts[e.shards().shard_of(X)], 1);
+        for mode in modes() {
+            let e = engine_with(CertifierKind::TwoPhaseLocking, mode);
+            let mut s1 = e.begin();
+            let mut s2 = e.begin();
+            s1.write(X, Bytes::from_static(b"a")).unwrap();
+            let err = s2.write(X, Bytes::from_static(b"b")).unwrap_err();
+            assert!(matches!(err, EngineError::Rejected(_)), "{mode}");
+            assert!(!s2.is_active());
+            assert!(matches!(s2.read(Y), Err(EngineError::NotActive(_))));
+            s1.commit().unwrap();
+            // The lock is released: a fresh session can write x.
+            let mut s3 = e.begin();
+            s3.write(X, Bytes::from_static(b"c")).unwrap();
+            s3.commit().unwrap();
+            let snap = e.metrics().snapshot();
+            assert_eq!(snap.committed, 2);
+            assert_eq!(snap.aborted, 1);
+            // The abort is attributed to x's shard.
+            assert_eq!(snap.shard_conflicts[e.shards().shard_of(X)], 1);
+        }
     }
 
     #[test]
@@ -636,19 +573,24 @@ mod tests {
         // different from the certified admission sequence) — the pinned
         // read resolves to T1's uncommitted version and the ACA rule
         // aborts the reader instead.
-        let e = engine(CertifierKind::Sgt);
-        let mut t1 = e.begin();
-        t1.write(X, Bytes::from_static(b"x1")).unwrap();
-        t1.write(Y, Bytes::from_static(b"y1")).unwrap();
-        let mut t2 = e.begin();
-        let err = t2.read(X).unwrap_err();
-        assert!(matches!(err, EngineError::DirtyRead(_, w) if w == t1.id()));
-        t1.commit().unwrap();
-        // After the commit the pinned read serves T1's value.
-        let mut t3 = e.begin();
-        assert_eq!(t3.read(X).unwrap(), Bytes::from_static(b"x1"));
-        assert_eq!(t3.read(Y).unwrap(), Bytes::from_static(b"y1"));
-        t3.commit().unwrap();
+        for mode in modes() {
+            let e = engine_with(CertifierKind::Sgt, mode);
+            let mut t1 = e.begin();
+            t1.write(X, Bytes::from_static(b"x1")).unwrap();
+            t1.write(Y, Bytes::from_static(b"y1")).unwrap();
+            let mut t2 = e.begin();
+            let err = t2.read(X).unwrap_err();
+            assert!(
+                matches!(err, EngineError::DirtyRead(_, w) if w == t1.id()),
+                "{mode}"
+            );
+            t1.commit().unwrap();
+            // After the commit the pinned read serves T1's value.
+            let mut t3 = e.begin();
+            assert_eq!(t3.read(X).unwrap(), Bytes::from_static(b"x1"));
+            assert_eq!(t3.read(Y).unwrap(), Bytes::from_static(b"y1"));
+            t3.commit().unwrap();
+        }
     }
 
     #[test]
@@ -678,22 +620,35 @@ mod tests {
 
     #[test]
     fn snapshot_isolation_first_committer_wins_across_shards() {
-        let e = engine(CertifierKind::SnapshotIsolation);
-        let mut t1 = e.begin();
-        let mut t2 = e.begin();
-        // Both write the same entity on shard of X and disjoint ones on Y's
-        // shard: the conflict is on X only.
-        t1.write(X, Bytes::from_static(b"t1")).unwrap();
-        t2.write(X, Bytes::from_static(b"t2")).unwrap();
-        t1.write(Y, Bytes::from_static(b"t1")).unwrap();
-        t1.commit().unwrap();
-        let err = t2.commit().unwrap_err();
-        assert!(matches!(err, EngineError::WriteConflict(entity, _) if entity == X));
-        // The loser's version is purged everywhere.
-        let mut check = e.begin();
-        assert_eq!(check.read(X).unwrap(), Bytes::from_static(b"t1"));
-        assert_eq!(check.read(Y).unwrap(), Bytes::from_static(b"t1"));
-        check.commit().unwrap();
+        for mode in modes() {
+            let e = engine_with(CertifierKind::SnapshotIsolation, mode);
+            // SI only needs per-entity ordering, so the batched pipeline
+            // gives it one admission lane per shard; the per-step baseline
+            // keeps PR 2's single global admission lock.
+            let expected_lanes = match mode {
+                AdmissionMode::Batched => 2,
+                AdmissionMode::PerStep => 1,
+            };
+            assert_eq!(e.admission_lanes(), expected_lanes, "{mode}");
+            let mut t1 = e.begin();
+            let mut t2 = e.begin();
+            // Both write the same entity on shard of X and disjoint ones on
+            // Y's shard: the conflict is on X only.
+            t1.write(X, Bytes::from_static(b"t1")).unwrap();
+            t2.write(X, Bytes::from_static(b"t2")).unwrap();
+            t1.write(Y, Bytes::from_static(b"t1")).unwrap();
+            t1.commit().unwrap();
+            let err = t2.commit().unwrap_err();
+            assert!(
+                matches!(err, EngineError::WriteConflict(entity, _) if entity == X),
+                "{mode}"
+            );
+            // The loser's version is purged everywhere.
+            let mut check = e.begin();
+            assert_eq!(check.read(X).unwrap(), Bytes::from_static(b"t1"));
+            assert_eq!(check.read(Y).unwrap(), Bytes::from_static(b"t1"));
+            check.commit().unwrap();
+        }
     }
 
     #[test]
@@ -724,49 +679,72 @@ mod tests {
 
     #[test]
     fn explicit_abort_discards_writes_and_certifier_state() {
-        let e = engine(CertifierKind::TwoPhaseLocking);
-        let mut s = e.begin();
-        s.write(X, Bytes::from_static(b"tmp")).unwrap();
-        s.abort();
-        // The exclusive lock is gone.
-        let mut s2 = e.begin();
-        s2.write(X, Bytes::from_static(b"ok")).unwrap();
-        s2.commit().unwrap();
-        let history = e.history();
-        // Both writes were admitted, only one committed.
-        assert_eq!(history.admitted.len(), 2);
-        assert_eq!(history.committed_schedule().len(), 1);
+        for mode in modes() {
+            let e = engine_with(CertifierKind::TwoPhaseLocking, mode);
+            let mut s = e.begin();
+            s.write(X, Bytes::from_static(b"tmp")).unwrap();
+            s.abort();
+            // The exclusive lock is gone.
+            let mut s2 = e.begin();
+            s2.write(X, Bytes::from_static(b"ok")).unwrap();
+            s2.commit().unwrap();
+            let history = e.history();
+            // Both writes were admitted, only one committed.
+            assert_eq!(history.admitted.len(), 2, "{mode}");
+            assert_eq!(history.committed_schedule().len(), 1, "{mode}");
+        }
     }
 
     #[test]
     fn concurrent_sessions_from_many_threads() {
-        let e = engine(CertifierKind::MvSgt);
-        let mut handles = Vec::new();
-        for i in 0..8u32 {
-            let e = Arc::clone(&e);
-            handles.push(std::thread::spawn(move || {
-                for _ in 0..10 {
-                    let mut s = e.begin();
-                    let entity = EntityId(i % 4);
-                    if s.read(entity).is_err() {
-                        continue;
+        for mode in modes() {
+            let e = engine_with(CertifierKind::MvSgt, mode);
+            let mut handles = Vec::new();
+            for i in 0..8u32 {
+                let e = Arc::clone(&e);
+                handles.push(std::thread::spawn(move || {
+                    for _ in 0..10 {
+                        let mut s = e.begin();
+                        let entity = EntityId(i % 4);
+                        if s.read(entity).is_err() {
+                            continue;
+                        }
+                        if s.write(entity, Bytes::from(format!("{i}"))).is_err() {
+                            continue;
+                        }
+                        let _ = s.commit();
                     }
-                    if s.write(entity, Bytes::from(format!("{i}"))).is_err() {
-                        continue;
-                    }
-                    let _ = s.commit();
-                }
-            }));
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            let snap = e.metrics().snapshot();
+            assert_eq!(snap.committed + snap.aborted, snap.begun, "{mode}");
+            assert!(snap.committed > 0, "{mode}");
+            // The committed history is in the certifier's class.
+            let history = e.history();
+            assert!(e.class().check(&history.committed_schedule()), "{mode}");
         }
-        for h in handles {
-            h.join().unwrap();
-        }
+    }
+
+    #[test]
+    fn batched_mode_reports_batches() {
+        let e = engine_with(CertifierKind::Sgt, AdmissionMode::Batched);
+        let mut s = e.begin();
+        s.write(X, Bytes::from_static(b"x")).unwrap();
+        s.commit().unwrap();
         let snap = e.metrics().snapshot();
-        assert_eq!(snap.committed + snap.aborted, snap.begun);
-        assert!(snap.committed > 0);
-        // The committed history is in the certifier's class.
-        let history = e.history();
-        assert!(e.class().check(&history.committed_schedule()));
+        assert!(snap.admission_batches >= 1);
+        assert!(snap.admission_batch_steps >= 1);
+        assert_eq!(snap.commit_batches, 1);
+        assert_eq!(snap.commit_batch_txns, 1);
+        // The per-step baseline records no batches.
+        let e = engine_with(CertifierKind::Sgt, AdmissionMode::PerStep);
+        let mut s = e.begin();
+        s.write(X, Bytes::from_static(b"x")).unwrap();
+        s.commit().unwrap();
+        assert_eq!(e.metrics().snapshot().admission_batches, 0);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use bytes::Bytes;
 use mvcc_core::EntityId;
-use mvcc_store::MvStore;
+use mvcc_store::{MvStore, StoreError, TxHandle};
 
 /// A fixed-size array of independent [`MvStore`] shards.
 #[derive(Debug)]
@@ -71,6 +71,39 @@ impl ShardedStore {
     pub fn total_versions(&self) -> usize {
         self.shards.iter().map(|s| s.total_versions()).sum()
     }
+
+    /// Commits a whole group of transactions, shard by shard: for each
+    /// shard, every group member that touched it is committed in one
+    /// [`MvStore::commit_many`] pass (one transaction-table lock and one
+    /// chain-map lock per shard per *group* instead of per transaction —
+    /// the storage half of the engine's group-commit pipeline).
+    ///
+    /// `group` pairs each transaction with its touched-shard mask (as kept
+    /// by the engine's sessions).  Returns one result per group member, in
+    /// order; a member fails if any of its shards refused the commit (a
+    /// bug upstream — members are expected to be active everywhere they
+    /// begun).
+    pub fn commit_group(&self, group: &[(TxHandle, &[bool])]) -> Vec<Result<(), StoreError>> {
+        let mut results: Vec<Result<(), StoreError>> = vec![Ok(()); group.len()];
+        for (idx, store) in self.shards.iter().enumerate() {
+            let members: Vec<usize> = group
+                .iter()
+                .enumerate()
+                .filter(|(_, (_, begun))| begun.get(idx).copied().unwrap_or(false))
+                .map(|(i, _)| i)
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            let handles: Vec<TxHandle> = members.iter().map(|&i| group[i].0).collect();
+            for (&i, result) in members.iter().zip(store.commit_many(&handles)) {
+                if results[i].is_ok() {
+                    results[i] = result.map(|_| ());
+                }
+            }
+        }
+        results
+    }
 }
 
 #[cfg(test)]
@@ -119,5 +152,44 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_panics() {
         let _ = ShardedStore::new(0, 4, Bytes::from_static(b"0"));
+    }
+
+    #[test]
+    fn commit_group_commits_each_member_on_its_touched_shards() {
+        let sharded = ShardedStore::new(2, 4, Bytes::from_static(b"0"));
+        let (x, y) = (EntityId(0), EntityId(1)); // different shards
+                                                 // T1 touches both shards, T2 only y's shard; T3 was never begun.
+        let t1 = TxHandle { id: TxId(1) };
+        let t2 = TxHandle { id: TxId(2) };
+        let t3 = TxHandle { id: TxId(3) };
+        for store_of in [x, y] {
+            sharded.store_for(store_of).begin(t1.id).unwrap();
+        }
+        sharded.store_for(y).begin(t2.id).unwrap();
+        sharded
+            .store_for(x)
+            .write(t1, x, Bytes::from_static(b"t1"))
+            .unwrap();
+        sharded
+            .store_for(y)
+            .write(t2, y, Bytes::from_static(b"t2"))
+            .unwrap();
+        let group: Vec<(TxHandle, &[bool])> = vec![
+            (t1, &[true, true][..]),
+            (t2, &[false, true][..]),
+            (t3, &[true, false][..]),
+        ];
+        let results = sharded.commit_group(&group);
+        assert!(results[0].is_ok());
+        assert!(results[1].is_ok());
+        // T3 was never begun on shard 0: its commit is refused.
+        assert!(matches!(results[2], Err(StoreError::NotActive(tx)) if tx == t3.id));
+        // Both commits are visible.
+        let reader = TxHandle { id: TxId(9) };
+        sharded.store_for(x).begin(reader.id).unwrap();
+        assert_eq!(
+            sharded.store_for(x).read_latest(reader, x).unwrap(),
+            Bytes::from_static(b"t1")
+        );
     }
 }

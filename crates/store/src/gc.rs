@@ -23,12 +23,25 @@ pub struct GcReport {
 
 /// Computes the GC watermark of `store`: the minimum active snapshot
 /// timestamp, or the current commit timestamp when no transaction is active.
+///
+/// The fallback counter is sampled *before* the active-transaction scan.
+/// The order matters: every transaction registers atomically with its
+/// snapshot choice ([`MvStore::begin`]), so a transaction registered
+/// before the scan is seen by it (watermark ≤ its snapshot), and one
+/// registering after the scan has a snapshot at least the counter value
+/// at its begin — which, the counter being monotone, is at least the
+/// fallback sampled earlier and at least every already-active snapshot.
+/// Sampling the counter *after* the scan (the original order) left a
+/// window where an empty scan plus a subsequent commit produced a
+/// watermark above a just-registered snapshot, reclaiming versions that
+/// snapshot was entitled to observe.
 pub fn watermark(store: &MvStore) -> u64 {
+    let fallback = store.current_ts();
     store
         .active_snapshots()
         .into_iter()
         .min()
-        .unwrap_or_else(|| store.current_ts())
+        .unwrap_or(fallback)
 }
 
 /// Runs one garbage-collection pass over every version chain.

@@ -108,7 +108,18 @@ impl MvStore {
     /// Begins transaction `tx`.  Re-beginning an aborted transaction resets
     /// it; re-beginning an active or committed transaction is an error.
     pub fn begin(&self, tx: TxId) -> Result<TxHandle, StoreError> {
-        let snapshot_ts = *self.commit_counter.lock();
+        // The snapshot timestamp is sampled while holding the transaction
+        // table (`txs` before `commit_counter`, the same order `commit`
+        // uses), so the new transaction is *registered* atomically with its
+        // snapshot choice.  Sampling first and registering after — the
+        // original order — left a window in which a concurrent GC watermark
+        // ([`crate::gc::watermark`] reads `active_snapshots`, then
+        // `current_ts`) saw neither the snapshot nor the registration and
+        // could reclaim versions this transaction's snapshot was entitled
+        // to observe.  With registration-then-sample, any watermark
+        // computed before the registration is bounded by a commit counter
+        // value at or below this snapshot, and pruning under it keeps
+        // every version visible at or after that bound.
         let mut txs = self.txs.lock();
         match txs.get(&tx).map(|r| r.status) {
             Some(TxStatus::Active) | Some(TxStatus::Committed(_)) => {
@@ -116,6 +127,7 @@ impl MvStore {
             }
             _ => {}
         }
+        let snapshot_ts = *self.commit_counter.lock();
         txs.insert(
             tx,
             TxRecord {
@@ -323,6 +335,51 @@ impl MvStore {
             }
         }
         Ok(ts)
+    }
+
+    /// Commits a batch of transactions in one pass: the transaction table
+    /// and commit counter are locked once for the whole batch (consecutive
+    /// commit timestamps in batch order), then every new version is
+    /// committed under a single chain-map write lock.
+    ///
+    /// This is the storage half of a group commit: under N concurrent
+    /// committers the per-commit lock traffic drops from `2·N`
+    /// acquisitions to 2.  Returns one result per handle, in order;
+    /// failed members (not active) do not affect the rest of the batch.
+    /// First-committer-wins validation is *not* applied — snapshot
+    /// isolation commits go through [`MvStore::commit`] (or the engine's
+    /// validate-then-commit path) instead.
+    pub fn commit_many(&self, handles: &[TxHandle]) -> Vec<Result<u64, StoreError>> {
+        let mut staged: Vec<(TxId, u64, BTreeSet<EntityId>)> = Vec::with_capacity(handles.len());
+        let results: Vec<Result<u64, StoreError>> = {
+            let mut txs = self.txs.lock();
+            let mut counter = self.commit_counter.lock();
+            handles
+                .iter()
+                .map(|handle| {
+                    let record = txs
+                        .get_mut(&handle.id)
+                        .ok_or(StoreError::NotActive(handle.id))?;
+                    if record.status != TxStatus::Active {
+                        return Err(StoreError::NotActive(handle.id));
+                    }
+                    *counter += 1;
+                    let ts = *counter;
+                    record.status = TxStatus::Committed(ts);
+                    staged.push((handle.id, ts, record.write_set.clone()));
+                    Ok(ts)
+                })
+                .collect()
+        };
+        let mut chains = self.chains.write();
+        for (tx, ts, write_set) in staged {
+            for entity in write_set {
+                if let Some(chain) = chains.get_mut(&entity) {
+                    chain.commit_writer(tx, ts);
+                }
+            }
+        }
+        results
     }
 
     /// Aborts the transaction, removing its uncommitted versions.
@@ -557,6 +614,53 @@ mod tests {
         let reclaimed = s.prune_all(s.current_ts());
         assert_eq!(reclaimed, 4, "only the newest committed version survives");
         assert_eq!(s.version_count(X), 1);
+    }
+
+    #[test]
+    fn commit_many_matches_individual_commits() {
+        let s = store();
+        let t1 = s.begin(TxId(1)).unwrap();
+        let t2 = s.begin(TxId(2)).unwrap();
+        let t3 = s.begin(TxId(3)).unwrap();
+        s.write(t1, X, b("t1")).unwrap();
+        s.write(t2, Y, b("t2")).unwrap();
+        s.abort(t3).unwrap();
+        let results = s.commit_many(&[t1, t2, t3, TxHandle { id: TxId(9) }]);
+        // Consecutive timestamps in batch order; dead members are refused
+        // without disturbing the rest.
+        assert_eq!(results[0], Ok(1));
+        assert_eq!(results[1], Ok(2));
+        assert!(matches!(results[2], Err(StoreError::NotActive(tx)) if tx == TxId(3)));
+        assert!(matches!(results[3], Err(StoreError::NotActive(tx)) if tx == TxId(9)));
+        assert_eq!(s.status(TxId(1)), Some(TxStatus::Committed(1)));
+        assert_eq!(s.status(TxId(2)), Some(TxStatus::Committed(2)));
+        assert_eq!(s.current_ts(), 2);
+        // The batch's versions are committed and visible.
+        let r = s.begin(TxId(10)).unwrap();
+        assert_eq!(s.read_latest(r, X).unwrap(), b("t1"));
+        assert_eq!(s.read_latest(r, Y).unwrap(), b("t2"));
+        assert_eq!(s.read_snapshot(r, X).unwrap(), b("t1"));
+    }
+
+    #[test]
+    fn begin_pins_its_snapshot_against_the_gc_watermark() {
+        // Regression for the watermark/snapshot-pinning race: the snapshot
+        // timestamp is chosen while the transaction is registered, so a
+        // watermark computed at any point around `begin` can never exceed
+        // the new transaction's snapshot — its visible versions survive
+        // any concurrent prune (the multi-threaded stress test hammers the
+        // interleaving; this pins the single-threaded contract).
+        let s = store();
+        for i in 1..=3u32 {
+            let t = s.begin(TxId(i)).unwrap();
+            s.write(t, X, b("v")).unwrap();
+            s.commit(t, false).unwrap();
+        }
+        let reader = s.begin(TxId(10)).unwrap();
+        let watermark = crate::gc::watermark(&s);
+        assert!(watermark <= 3, "active snapshot must bound the watermark");
+        s.prune_all(watermark);
+        assert_eq!(s.read_snapshot(reader, X).unwrap(), b("v"));
     }
 
     #[test]

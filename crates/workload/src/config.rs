@@ -327,6 +327,34 @@ mod tests {
     }
 
     #[test]
+    fn load_profile_parse_rejects_invalid_domain_values() {
+        let default_line = LoadProfile::default().to_string();
+        // Negative Zipfian skew parses as a float but fails validation.
+        let err = default_line
+            .replace("theta=0.00", "theta=-0.50")
+            .parse::<LoadProfile>()
+            .unwrap_err();
+        assert!(err.contains("zipf_theta"), "{err}");
+        // Zero entities would give the Zipfian sampler an empty support.
+        let err = default_line
+            .replace("entities=16", "entities=0")
+            .parse::<LoadProfile>()
+            .unwrap_err();
+        assert!(err.contains("entities"), "{err}");
+        // θ = 1.0 exactly (the harmonic-series boundary: weights 1/k) is a
+        // valid profile and must round-trip.
+        let harmonic: LoadProfile = default_line
+            .replace("theta=0.00", "theta=1.00")
+            .parse()
+            .unwrap();
+        assert_eq!(harmonic.zipf_theta, 1.0);
+        assert_eq!(
+            harmonic.to_string().parse::<LoadProfile>().unwrap(),
+            harmonic
+        );
+    }
+
+    #[test]
     fn load_profile_validation_bounds() {
         assert!(LoadProfile::default().validate().is_ok());
         for broken in [

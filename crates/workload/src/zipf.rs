@@ -160,6 +160,37 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "negative skew")]
+    fn negative_skew_panics() {
+        let _ = Zipfian::new(4, -0.5);
+    }
+
+    #[test]
+    fn harmonic_boundary_theta_one_is_exact() {
+        // θ = 1.0 is the harmonic series (weights 1/k): construction must
+        // neither panic nor loop, the distribution must normalize, and the
+        // weight ratios must be exactly harmonic: p(k-1)/p(k) = (k+1)/k.
+        let n = 64;
+        let z = Zipfian::new(n, 1.0);
+        let total: f64 = (0..n).map(|i| z.probability(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "normalized, got {total}");
+        for k in 1..8usize {
+            let ratio = z.probability(k - 1) / z.probability(k);
+            let exact = (k + 1) as f64 / k as f64;
+            assert!(
+                (ratio - exact).abs() < 1e-9,
+                "p({})/p({k}) = {ratio}, want {exact}",
+                k - 1
+            );
+        }
+        // Sampling stays in range at the boundary.
+        let mut rng = SmallRng::seed_from_u64(0x21f);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    #[test]
     fn len_reports_support_size() {
         let z = Zipfian::new(5, 0.5);
         assert_eq!(z.len(), 5);
