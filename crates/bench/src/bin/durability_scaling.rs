@@ -1,0 +1,67 @@
+//! Experiment E14: what durability costs — the engine's closed loop under
+//! `DurabilityMode::{Off, Buffered, Fsync}` across the certifier zoo.
+//!
+//! The group-commit pipeline makes durability nearly free on the hot
+//! path: one commit-lane drain batch is exactly one WAL append and one
+//! flush (one fsync in fsync mode), so the per-transaction log cost is
+//! amortized over the whole batch.  The table reports throughput per
+//! mode plus the amortization telemetry (mean commits per flush, bytes
+//! logged).
+//!
+//! Run with `cargo run -p mvcc-bench --bin durability_scaling --release`.
+
+use mvcc_bench::experiments::durability_scaling_table;
+use mvcc_bench::Table;
+use mvcc_engine::{CertifierKind, DurabilityMode};
+use mvcc_workload::LoadProfile;
+
+fn main() {
+    let base = LoadProfile {
+        threads: 4,
+        shards: 4,
+        ops: 20_000,
+        zipf_theta: 0.0,
+        seed: 0xe14,
+        ..LoadProfile::default()
+    };
+    println!("### E14: durability scaling (4 threads, θ = 0, median of 5)\n");
+    // Median of 5 runs per cell: single runs on a timeshared
+    // single-CPU container are too noisy to compare modes.
+    let rows = durability_scaling_table(&base, &CertifierKind::all(), 5);
+    let mut table = Table::new(
+        base.to_string(),
+        &[
+            "certifier",
+            "mode",
+            "throughput (txn/s)",
+            "vs off",
+            "committed",
+            "flushes (fsyncs)",
+            "mean commits/flush",
+            "bytes logged",
+        ],
+    );
+    let mut off_tps = 0.0f64;
+    for row in rows {
+        if row.mode == DurabilityMode::Off {
+            off_tps = row.throughput_tps;
+        }
+        table.row(&[
+            row.certifier.to_string(),
+            row.mode.to_string(),
+            format!("{:.0}", row.throughput_tps),
+            if off_tps > 0.0 {
+                format!("{:.2}×", row.throughput_tps / off_tps)
+            } else {
+                "-".into()
+            },
+            row.committed.to_string(),
+            format!("{} ({})", row.wal_flushes, row.wal_fsyncs),
+            row.mean_commits_per_flush
+                .map(|m| format!("{m:.1}"))
+                .unwrap_or_else(|| "-".into()),
+            row.wal_bytes.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+}

@@ -434,6 +434,103 @@ pub fn pipeline_scaling_table(
     rows
 }
 
+/// One row of the durability-scaling table (experiment E14): one
+/// certifier under one [`mvcc_engine::DurabilityMode`].
+#[derive(Debug, Clone)]
+pub struct DurabilityRow {
+    /// Certifier configuration.
+    pub certifier: CertifierKind,
+    /// The durability mode of the run.
+    pub mode: mvcc_engine::DurabilityMode,
+    /// Committed-transaction throughput.
+    pub throughput_tps: f64,
+    /// Transactions committed.
+    pub committed: u64,
+    /// WAL flushes (one per group-commit batch; 0 with durability off).
+    pub wal_flushes: u64,
+    /// Flushes that ended in an fsync.
+    pub wal_fsyncs: u64,
+    /// Total bytes logged.
+    pub wal_bytes: u64,
+    /// Mean transactions made durable per flush (the group-commit
+    /// amortization; `None` with durability off).
+    pub mean_commits_per_flush: Option<f64>,
+}
+
+/// Runs the durability on/off comparison (experiment E14): for each
+/// certifier, one closed loop per [`mvcc_engine::DurabilityMode`] — Off
+/// (the E13 engine), Buffered (group-append + flush-to-OS per commit
+/// batch) and Fsync (one fsync per commit batch) — histories off, a
+/// fresh write-ahead log directory per durable cell (created under the
+/// system temp dir and removed afterwards).
+///
+/// `trials` runs each cell that many times and reports the
+/// median-throughput run: single runs on a timeshared single-CPU host
+/// are noisy enough (±30% observed) to swamp the durability signal.
+pub fn durability_scaling_table(
+    base: &LoadProfile,
+    kinds: &[CertifierKind],
+    trials: usize,
+) -> Vec<DurabilityRow> {
+    use mvcc_engine::load::run_closed_loop_configured;
+    use mvcc_engine::{AdmissionMode, DurabilityConfig, DurabilityMode};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static CELL: AtomicU64 = AtomicU64::new(0);
+    let trials = trials.max(1);
+    let mut rows = Vec::with_capacity(kinds.len() * 3);
+    for &kind in kinds {
+        for mode in [
+            DurabilityMode::Off,
+            DurabilityMode::Buffered,
+            DurabilityMode::Fsync,
+        ] {
+            let mut runs = Vec::with_capacity(trials);
+            for _ in 0..trials {
+                let durability = if mode == DurabilityMode::Off {
+                    DurabilityConfig::off()
+                } else {
+                    let dir = std::env::temp_dir().join(format!(
+                        "mvcc-e14-{}-{}-{}",
+                        std::process::id(),
+                        kind.name(),
+                        CELL.fetch_add(1, Ordering::Relaxed)
+                    ));
+                    DurabilityConfig {
+                        mode,
+                        dir,
+                        segment_bytes: 8 << 20,
+                    }
+                };
+                let dir = durability.is_on().then(|| durability.dir.clone());
+                let report = run_closed_loop_configured(
+                    kind,
+                    base,
+                    false,
+                    AdmissionMode::Batched,
+                    durability,
+                );
+                if let Some(dir) = dir {
+                    let _ = std::fs::remove_dir_all(dir);
+                }
+                let m = report.metrics.clone();
+                runs.push(DurabilityRow {
+                    certifier: kind,
+                    mode,
+                    throughput_tps: report.throughput_tps(),
+                    committed: m.committed,
+                    wal_flushes: m.wal_flushes,
+                    wal_fsyncs: m.wal_fsyncs,
+                    wal_bytes: m.wal_bytes,
+                    mean_commits_per_flush: m.mean_commits_per_flush(),
+                });
+            }
+            runs.sort_by(|a, b| a.throughput_tps.total_cmp(&b.throughput_tps));
+            rows.push(runs.swap_remove(runs.len() / 2));
+        }
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -553,6 +650,43 @@ mod tests {
             assert!(mean >= 1.0, "{} mean batch {mean}", row.certifier);
             assert!(row.mean_commit_batch.unwrap() >= 1.0);
             assert!(row.speedup() > 0.0);
+        }
+    }
+
+    #[test]
+    fn durability_rows_cover_the_modes_and_log_only_when_on() {
+        let base = LoadProfile {
+            threads: 2,
+            shards: 2,
+            ops: 240,
+            entities: 8,
+            steps_per_transaction: 3,
+            read_ratio: 0.7,
+            zipf_theta: 0.0,
+            seed: 0xe14,
+        };
+        let rows = durability_scaling_table(&base, &[CertifierKind::Sgt], 1);
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert!(row.committed > 0, "{}/{} starved", row.certifier, row.mode);
+            assert!(row.throughput_tps > 0.0);
+            match row.mode {
+                mvcc_engine::DurabilityMode::Off => {
+                    assert_eq!(row.wal_flushes, 0);
+                    assert_eq!(row.wal_bytes, 0);
+                    assert_eq!(row.mean_commits_per_flush, None);
+                }
+                mvcc_engine::DurabilityMode::Buffered => {
+                    assert!(row.wal_flushes > 0);
+                    assert_eq!(row.wal_fsyncs, 0, "buffered mode never fsyncs");
+                    assert!(row.wal_bytes > 0);
+                    assert!(row.mean_commits_per_flush.unwrap() >= 1.0);
+                }
+                mvcc_engine::DurabilityMode::Fsync => {
+                    assert!(row.wal_fsyncs > 0);
+                    assert_eq!(row.wal_fsyncs, row.wal_flushes);
+                }
+            }
         }
     }
 

@@ -1,0 +1,55 @@
+//! # mvcc-durability
+//!
+//! The durability subsystem of the MVCC engine: a write-ahead log,
+//! periodic checkpoints, and class-preserving crash recovery.
+//!
+//! The paper's question is which multiversion histories are admissible
+//! (CSR / MVCSR / MVSR); an engine that forgets its history on crash
+//! cannot claim any of those guarantees for a real deployment.  This
+//! crate makes the engine's admission history and committed state
+//! *durable*, and — the part the theory crates get to verify — makes
+//! recovery provably stay inside the certified class:
+//!
+//! * [`record`] — the compact binary WAL record set
+//!   (begin / read / write / commit / abort / checkpoint) with per-record
+//!   CRC-32 framing and explicit LSNs;
+//! * [`wal`] — [`WalWriter`]: monotonically numbered segments with
+//!   rotation, group appends, and one flush (at most one fsync) per
+//!   group-commit batch ([`DurabilityMode::Buffered`] vs
+//!   [`DurabilityMode::Fsync`]);
+//! * [`checkpoint`] — snapshot files of the committed store state (with
+//!   the GC watermark each was cut at) bounding data replay;
+//! * [`recovery`] — [`recover`]: newest checkpoint + log tail → committed
+//!   chains, commit counters, and the durable admission history whose
+//!   committed projection the offline `mvcc-classify` checkers certify.
+//!
+//! ## Why recovery preserves the certified class
+//!
+//! The engine's certifier guarantees that the committed projection of
+//! *every prefix* of its admission history lies in its class.  A crash
+//! realizes a prefix (the valid log prefix, CRC-truncated at the first
+//! torn record), and recovery takes that prefix's committed projection:
+//! transactions without a durable commit record are discarded wholesale.
+//! Because the engine enforces ACA — no committed transaction ever read
+//! an uncommitted version — discarding the losers never invalidates a
+//! survivor's reads.  Committed-prefix closure plus ACA is the whole
+//! argument, and the end-to-end tests re-check it with the classifiers
+//! after every simulated crash.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod record;
+pub mod recovery;
+pub mod wal;
+
+pub use checkpoint::{
+    latest_checkpoint, read_checkpoint, write_checkpoint, CheckpointData, CommittedVersion,
+    ShardCheckpoint,
+};
+pub use record::{crc32, decode_record, encode_record, CommitEntry, DecodeError, WalRecord};
+pub use recovery::{recover, RecoveredShard, RecoveredState, RecoveryOptions, RecoveryReport};
+pub use wal::{
+    list_segments, scan_log, DurabilityConfig, DurabilityMode, LogScan, WalReceipt, WalWriter,
+};

@@ -1,0 +1,632 @@
+//! The WAL record set and its binary codec.
+//!
+//! Every record is framed as `[len: u32][crc: u32][payload]` (all integers
+//! little-endian), where `payload = [kind: u8][lsn: u64][body]` and `crc`
+//! is the CRC-32 (IEEE) of the payload.  The log sequence number (LSN) is
+//! carried explicitly in every record so a checkpoint can name the exact
+//! prefix of the log it has already absorbed, independent of segment
+//! boundaries.
+//!
+//! The record set mirrors the engine's events:
+//!
+//! * [`WalRecord::Begin`] / [`WalRecord::Abort`] — session lifecycle
+//!   (informational: recovery treats "no commit record" as aborted either
+//!   way, which is what preserves ACA across a crash);
+//! * [`WalRecord::Read`] / [`WalRecord::Write`] — admitted steps, appended
+//!   in admission-lane ruling order, so the log doubles as the durable
+//!   form of the engine's append-only admission history (write records
+//!   carry the new version's payload; read records are pure history);
+//! * [`WalRecord::Commit`] — one record per group-commit batch: every
+//!   member transaction with its per-shard commit timestamps.  This is the
+//!   only record kind that makes data durable, and the only one followed
+//!   by a flush (one batch = one fsync);
+//! * [`WalRecord::Checkpoint`] — a marker that checkpoint `seq` was cut;
+//!   the checkpoint *file* (see [`crate::checkpoint`]) carries the state.
+//!
+//! Decoding is defensive: a short buffer reports
+//! [`DecodeError::Truncated`] (a torn tail — the normal crash shape), and
+//! any CRC mismatch, unknown kind, oversized length or inconsistent body
+//! reports a corruption error.  Recovery treats either as the end of the
+//! valid log prefix.
+
+use bytes::Bytes;
+use mvcc_core::{EntityId, Step, TxId};
+use std::fmt;
+
+/// Upper bound on a single record's payload (defends the decoder against
+/// interpreting garbage as a multi-gigabyte length).
+pub const MAX_PAYLOAD: u32 = 1 << 26; // 64 MiB
+
+/// Bytes of framing per record (length + CRC).
+pub const FRAME_OVERHEAD: usize = 8;
+
+const KIND_BEGIN: u8 = 1;
+const KIND_READ: u8 = 2;
+const KIND_WRITE: u8 = 3;
+const KIND_COMMIT: u8 = 4;
+const KIND_ABORT: u8 = 5;
+const KIND_CHECKPOINT: u8 = 6;
+
+/// One committed transaction inside a [`WalRecord::Commit`] batch: the
+/// transaction plus the commit timestamp it was assigned on every shard it
+/// touched (shards keep independent commit counters).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitEntry {
+    /// The committed transaction.
+    pub tx: TxId,
+    /// `(shard index, commit timestamp)` per touched shard.
+    pub shards: Vec<(u32, u64)>,
+}
+
+/// One write-ahead log record (see the module docs for the framing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalRecord {
+    /// A session began.
+    Begin {
+        /// The new transaction.
+        tx: TxId,
+    },
+    /// A read step was admitted.
+    Read {
+        /// The reading transaction.
+        tx: TxId,
+        /// The entity read.
+        entity: EntityId,
+    },
+    /// A write step was admitted; the record carries the version payload
+    /// (a refcounted [`Bytes`], so capturing it on the engine's hot path
+    /// is a pointer bump, not a copy).
+    Write {
+        /// The writing transaction.
+        tx: TxId,
+        /// The entity written.
+        entity: EntityId,
+        /// The new version's value.
+        value: Bytes,
+    },
+    /// A group-commit batch was applied: every member with its per-shard
+    /// commit timestamps.
+    Commit {
+        /// The batch members, in batch order.
+        entries: Vec<CommitEntry>,
+    },
+    /// A session aborted.
+    Abort {
+        /// The aborted transaction.
+        tx: TxId,
+    },
+    /// Checkpoint `seq` was durably written.
+    Checkpoint {
+        /// The checkpoint sequence number.
+        seq: u64,
+    },
+}
+
+impl WalRecord {
+    /// The admitted step this record represents, if it is a step record.
+    pub fn as_step(&self) -> Option<Step> {
+        match self {
+            WalRecord::Read { tx, entity } => Some(Step::read(*tx, *entity)),
+            WalRecord::Write { tx, entity, .. } => Some(Step::write(*tx, *entity)),
+            _ => None,
+        }
+    }
+}
+
+/// Why a record failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ends before the record does (a torn tail).
+    Truncated,
+    /// The stored CRC does not match the payload.
+    Crc {
+        /// CRC stored in the frame.
+        stored: u32,
+        /// CRC computed over the payload.
+        computed: u32,
+    },
+    /// The payload names a record kind the codec does not know.
+    UnknownKind(u8),
+    /// The frame declares an implausible payload length.
+    Oversized(u32),
+    /// The payload is internally inconsistent (bad field lengths).
+    Malformed(&'static str),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "record truncated"),
+            DecodeError::Crc { stored, computed } => {
+                write!(
+                    f,
+                    "crc mismatch: stored {stored:#010x}, computed {computed:#010x}"
+                )
+            }
+            DecodeError::UnknownKind(k) => write!(f, "unknown record kind {k}"),
+            DecodeError::Oversized(len) => write!(f, "implausible payload length {len}"),
+            DecodeError::Malformed(what) => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), table-driven.
+pub fn crc32(data: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut crc = !0u32;
+    for &byte in data {
+        let idx = (crc ^ u32::from(byte)) & 0xff;
+        crc = (crc >> 8) ^ TABLE[idx as usize];
+    }
+    !crc
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xedb8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends the framed encoding of `record` (stamped with `lsn`) to `out`
+/// and returns the number of bytes written.
+pub fn encode_record(lsn: u64, record: &WalRecord, out: &mut Vec<u8>) -> usize {
+    let start = out.len();
+    // Reserve the frame header; backfill once the payload is known.
+    put_u32(out, 0);
+    put_u32(out, 0);
+    let payload_start = out.len();
+    match record {
+        WalRecord::Begin { tx } => {
+            out.push(KIND_BEGIN);
+            put_u64(out, lsn);
+            put_u32(out, tx.0);
+        }
+        WalRecord::Read { tx, entity } => {
+            out.push(KIND_READ);
+            put_u64(out, lsn);
+            put_u32(out, tx.0);
+            put_u32(out, entity.0);
+        }
+        WalRecord::Write { tx, entity, value } => {
+            out.push(KIND_WRITE);
+            put_u64(out, lsn);
+            put_u32(out, tx.0);
+            put_u32(out, entity.0);
+            put_u32(out, value.len() as u32);
+            out.extend_from_slice(value);
+        }
+        WalRecord::Commit { entries } => {
+            out.push(KIND_COMMIT);
+            put_u64(out, lsn);
+            put_u32(out, entries.len() as u32);
+            for entry in entries {
+                put_u32(out, entry.tx.0);
+                put_u32(out, entry.shards.len() as u32);
+                for &(shard, ts) in &entry.shards {
+                    put_u32(out, shard);
+                    put_u64(out, ts);
+                }
+            }
+        }
+        WalRecord::Abort { tx } => {
+            out.push(KIND_ABORT);
+            put_u64(out, lsn);
+            put_u32(out, tx.0);
+        }
+        WalRecord::Checkpoint { seq } => {
+            out.push(KIND_CHECKPOINT);
+            put_u64(out, lsn);
+            put_u64(out, *seq);
+        }
+    }
+    let payload_len = (out.len() - payload_start) as u32;
+    debug_assert!(payload_len <= MAX_PAYLOAD);
+    let crc = crc32(&out[payload_start..]);
+    out[start..start + 4].copy_from_slice(&payload_len.to_le_bytes());
+    out[start + 4..start + 8].copy_from_slice(&crc.to_le_bytes());
+    out.len() - start
+}
+
+/// A little-endian cursor over a payload body.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        let b = *self
+            .buf
+            .get(self.pos)
+            .ok_or(DecodeError::Malformed("payload too short"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        let end = self.pos + 4;
+        let bytes = self
+            .buf
+            .get(self.pos..end)
+            .ok_or(DecodeError::Malformed("payload too short"))?;
+        self.pos = end;
+        Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        let end = self.pos + 8;
+        let bytes = self
+            .buf
+            .get(self.pos..end)
+            .ok_or(DecodeError::Malformed("payload too short"))?;
+        self.pos = end;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+
+    fn bytes(&mut self, len: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self
+            .pos
+            .checked_add(len)
+            .ok_or(DecodeError::Malformed("length overflow"))?;
+        let bytes = self
+            .buf
+            .get(self.pos..end)
+            .ok_or(DecodeError::Malformed("payload too short"))?;
+        self.pos = end;
+        Ok(bytes)
+    }
+
+    fn finish(self) -> Result<(), DecodeError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(DecodeError::Malformed("trailing bytes in payload"))
+        }
+    }
+}
+
+/// Decodes the record at the head of `buf`.  Returns the number of bytes
+/// consumed, the record's LSN and the record itself.
+pub fn decode_record(buf: &[u8]) -> Result<(usize, u64, WalRecord), DecodeError> {
+    if buf.len() < FRAME_OVERHEAD {
+        return Err(DecodeError::Truncated);
+    }
+    let len = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes"));
+    if len > MAX_PAYLOAD {
+        return Err(DecodeError::Oversized(len));
+    }
+    let stored = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
+    let total = FRAME_OVERHEAD + len as usize;
+    let payload = buf
+        .get(FRAME_OVERHEAD..total)
+        .ok_or(DecodeError::Truncated)?;
+    let computed = crc32(payload);
+    if computed != stored {
+        return Err(DecodeError::Crc { stored, computed });
+    }
+    let mut cur = Cursor::new(payload);
+    let kind = cur.u8()?;
+    let lsn = cur.u64()?;
+    let record = match kind {
+        KIND_BEGIN => WalRecord::Begin {
+            tx: TxId(cur.u32()?),
+        },
+        KIND_READ => WalRecord::Read {
+            tx: TxId(cur.u32()?),
+            entity: EntityId(cur.u32()?),
+        },
+        KIND_WRITE => {
+            let tx = TxId(cur.u32()?);
+            let entity = EntityId(cur.u32()?);
+            let len = cur.u32()? as usize;
+            let value = Bytes::copy_from_slice(cur.bytes(len)?);
+            WalRecord::Write { tx, entity, value }
+        }
+        KIND_COMMIT => {
+            let n = cur.u32()? as usize;
+            if n > len as usize {
+                return Err(DecodeError::Malformed("commit entry count"));
+            }
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                let tx = TxId(cur.u32()?);
+                let m = cur.u32()? as usize;
+                if m > len as usize {
+                    return Err(DecodeError::Malformed("commit shard count"));
+                }
+                let mut shards = Vec::with_capacity(m);
+                for _ in 0..m {
+                    let shard = cur.u32()?;
+                    let ts = cur.u64()?;
+                    shards.push((shard, ts));
+                }
+                entries.push(CommitEntry { tx, shards });
+            }
+            WalRecord::Commit { entries }
+        }
+        KIND_ABORT => WalRecord::Abort {
+            tx: TxId(cur.u32()?),
+        },
+        KIND_CHECKPOINT => WalRecord::Checkpoint { seq: cur.u64()? },
+        other => return Err(DecodeError::UnknownKind(other)),
+    };
+    cur.finish()?;
+    Ok((total, lsn, record))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<WalRecord> {
+        vec![
+            WalRecord::Begin { tx: TxId(1) },
+            WalRecord::Read {
+                tx: TxId(2),
+                entity: EntityId(7),
+            },
+            WalRecord::Write {
+                tx: TxId(3),
+                entity: EntityId(0),
+                value: Bytes::from_static(b"hello"),
+            },
+            WalRecord::Write {
+                tx: TxId(4),
+                entity: EntityId(9),
+                value: Bytes::new(),
+            },
+            WalRecord::Commit {
+                entries: vec![
+                    CommitEntry {
+                        tx: TxId(3),
+                        shards: vec![(0, 1), (1, 4)],
+                    },
+                    CommitEntry {
+                        tx: TxId(4),
+                        shards: vec![(1, 5)],
+                    },
+                ],
+            },
+            WalRecord::Abort { tx: TxId(5) },
+            WalRecord::Checkpoint { seq: 12 },
+        ]
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The IEEE CRC-32 check value of "123456789".
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        for (i, record) in samples().into_iter().enumerate() {
+            let lsn = 100 + i as u64;
+            let mut buf = Vec::new();
+            let written = encode_record(lsn, &record, &mut buf);
+            assert_eq!(written, buf.len());
+            let (consumed, got_lsn, got) = decode_record(&buf).expect("decodes");
+            assert_eq!(consumed, buf.len());
+            assert_eq!(got_lsn, lsn);
+            assert_eq!(got, record);
+        }
+    }
+
+    #[test]
+    fn records_concatenate_into_a_stream() {
+        let mut buf = Vec::new();
+        for (i, record) in samples().iter().enumerate() {
+            encode_record(i as u64, record, &mut buf);
+        }
+        let mut offset = 0;
+        let mut decoded = Vec::new();
+        while offset < buf.len() {
+            let (consumed, lsn, record) = decode_record(&buf[offset..]).expect("stream decodes");
+            assert_eq!(lsn, decoded.len() as u64);
+            decoded.push(record);
+            offset += consumed;
+        }
+        assert_eq!(decoded, samples());
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let mut buf = Vec::new();
+        encode_record(
+            9,
+            &WalRecord::Write {
+                tx: TxId(1),
+                entity: EntityId(2),
+                value: Bytes::from_static(b"payload"),
+            },
+            &mut buf,
+        );
+        for cut in 0..buf.len() {
+            let err = decode_record(&buf[..cut]).expect_err("short buffer must not decode");
+            assert_eq!(err, DecodeError::Truncated, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn flipped_bits_fail_the_crc() {
+        let mut buf = Vec::new();
+        encode_record(3, &WalRecord::Begin { tx: TxId(8) }, &mut buf);
+        // Flip one bit in the payload: the CRC catches it.
+        for byte in FRAME_OVERHEAD..buf.len() {
+            let mut copy = buf.clone();
+            copy[byte] ^= 0x10;
+            assert!(
+                matches!(decode_record(&copy), Err(DecodeError::Crc { .. })),
+                "payload byte {byte}"
+            );
+        }
+    }
+
+    #[test]
+    fn implausible_lengths_are_rejected() {
+        let mut buf = vec![0xffu8; 16];
+        buf[0..4].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        assert!(matches!(
+            decode_record(&buf),
+            Err(DecodeError::Oversized(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_kinds_are_rejected_not_misread() {
+        // A record whose payload says kind 99, with a valid CRC.
+        let mut payload = vec![99u8];
+        payload.extend_from_slice(&7u64.to_le_bytes());
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&crc32(&payload).to_le_bytes());
+        buf.extend_from_slice(&payload);
+        assert_eq!(decode_record(&buf), Err(DecodeError::UnknownKind(99)));
+    }
+
+    #[test]
+    fn step_records_expose_their_steps() {
+        assert_eq!(
+            WalRecord::Read {
+                tx: TxId(1),
+                entity: EntityId(2)
+            }
+            .as_step(),
+            Some(Step::read(TxId(1), EntityId(2)))
+        );
+        assert_eq!(
+            WalRecord::Write {
+                tx: TxId(1),
+                entity: EntityId(2),
+                value: Bytes::new()
+            }
+            .as_step(),
+            Some(Step::write(TxId(1), EntityId(2)))
+        );
+        assert_eq!(WalRecord::Begin { tx: TxId(1) }.as_step(), None);
+    }
+}
+
+#[cfg(test)]
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_record(kind: u8, a: u32, b: u32, bytes: Vec<u8>, pairs: Vec<(u32, u64)>) -> WalRecord {
+        match kind % 6 {
+            0 => WalRecord::Begin { tx: TxId(a) },
+            1 => WalRecord::Read {
+                tx: TxId(a),
+                entity: EntityId(b),
+            },
+            2 => WalRecord::Write {
+                tx: TxId(a),
+                entity: EntityId(b),
+                value: Bytes::from(bytes),
+            },
+            3 => {
+                // Reinterpret the raw material as a commit batch.
+                let entries = pairs
+                    .chunks(2)
+                    .map(|chunk| CommitEntry {
+                        tx: TxId(chunk[0].0),
+                        shards: chunk.iter().map(|&(s, ts)| (s % 8, ts)).collect(),
+                    })
+                    .collect();
+                WalRecord::Commit { entries }
+            }
+            4 => WalRecord::Abort { tx: TxId(a) },
+            _ => WalRecord::Checkpoint {
+                seq: u64::from(a) << 16 | u64::from(b & 0xffff),
+            },
+        }
+    }
+
+    proptest! {
+        /// Codec identity: every record round-trips through the frame,
+        /// whatever the payload contents.
+        #[test]
+        fn encode_decode_identity(
+            kind in 0u8..6,
+            a in 0u32..u32::MAX,
+            b in 0u32..u32::MAX,
+            bytes in proptest::collection::vec(0u8..=255, 0..64),
+            pairs in proptest::collection::vec((0u32..64, 0u64..1_000_000), 0..8),
+            lsn in 0u64..u64::MAX,
+        ) {
+            let record = arb_record(kind, a, b, bytes, pairs);
+            let mut buf = Vec::new();
+            encode_record(lsn, &record, &mut buf);
+            let (consumed, got_lsn, got) = decode_record(&buf).expect("round trip");
+            prop_assert_eq!(consumed, buf.len());
+            prop_assert_eq!(got_lsn, lsn);
+            prop_assert_eq!(got, record);
+        }
+
+        /// Corruption rejection: flipping any single bit anywhere in the
+        /// frame makes the record undecodable (CRC or frame check) or — if
+        /// the flip hits the length field — decodes strictly fewer bytes
+        /// than were written.  It never silently yields a *different*
+        /// record of the same length.
+        #[test]
+        fn single_bit_corruption_never_passes_silently(
+            kind in 0u8..6,
+            a in 0u32..u32::MAX,
+            b in 0u32..u32::MAX,
+            bytes in proptest::collection::vec(0u8..=255, 0..32),
+            pairs in proptest::collection::vec((0u32..64, 0u64..1_000_000), 0..6),
+            lsn in 0u64..1_000_000,
+            byte_choice in 0usize..4096,
+            bit in 0u8..8,
+        ) {
+            let record = arb_record(kind, a, b, bytes, pairs);
+            let mut buf = Vec::new();
+            encode_record(lsn, &record, &mut buf);
+            let byte = byte_choice % buf.len();
+            buf[byte] ^= 1 << bit;
+            match decode_record(&buf) {
+                Err(_) => {}
+                Ok((consumed, got_lsn, got)) => {
+                    // Only a length-field flip that *shrinks* the frame can
+                    // decode, and then the CRC of the shorter payload would
+                    // have to collide — accept only the provably-harmless
+                    // outcome of consuming a different frame size.
+                    prop_assert!(byte < 4, "non-length corruption decoded at byte {byte}");
+                    prop_assert!(
+                        consumed != buf.len() || (got_lsn, got) != (lsn, record),
+                        "corrupted frame decoded as the original"
+                    );
+                }
+            }
+        }
+    }
+}

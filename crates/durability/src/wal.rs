@@ -1,0 +1,654 @@
+//! The write-ahead log: segmented append-only files and the group-append
+//! writer.
+//!
+//! A log directory holds monotonically numbered segment files
+//! (`wal-<seq>.seg`), each starting with a 16-byte header (`MVWAL001` +
+//! the segment sequence number) followed by framed records
+//! ([`crate::record`]).  The [`WalWriter`] appends batches under one
+//! mutex, assigns consecutive LSNs, rotates to a fresh segment when the
+//! current one exceeds the configured size, and flushes according to the
+//! configured [`DurabilityMode`]:
+//!
+//! * [`DurabilityMode::Buffered`] — `flush` pushes the user-space buffer
+//!   into the OS (survives a process crash, not a host crash);
+//! * [`DurabilityMode::Fsync`] — `flush` additionally `fsync`s the
+//!   segment (survives a host crash).
+//!
+//! The engine's group-commit drain leader is the only caller of
+//! [`WalWriter::flush`], so one commit batch costs exactly one flush (and
+//! in fsync mode exactly one fsync) regardless of batch size — durability
+//! rides the same amortization as the storage group commit.
+//!
+//! Opening a log that ends in a torn record (the normal crash shape)
+//! truncates the tail back to the last whole record before appending;
+//! segments after a corrupt record are discarded, so the on-disk log is
+//! always one valid prefix.
+
+use crate::record::{decode_record, encode_record, WalRecord};
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every segment file.
+pub const SEGMENT_MAGIC: &[u8; 8] = b"MVWAL001";
+
+/// Bytes of segment header (magic + sequence number).
+pub const SEGMENT_HEADER: usize = 16;
+
+/// How durable the engine's log is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DurabilityMode {
+    /// No write-ahead log at all (the pre-durability engine).
+    #[default]
+    Off,
+    /// Log appends are flushed to the OS at every commit batch but never
+    /// fsynced: commits survive a process crash, not a host crash.
+    Buffered,
+    /// Every commit batch ends in one fsync: commits survive a host crash.
+    Fsync,
+}
+
+impl std::fmt::Display for DurabilityMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurabilityMode::Off => write!(f, "off"),
+            DurabilityMode::Buffered => write!(f, "buffered"),
+            DurabilityMode::Fsync => write!(f, "fsync"),
+        }
+    }
+}
+
+impl std::str::FromStr for DurabilityMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" => Ok(DurabilityMode::Off),
+            "buffered" => Ok(DurabilityMode::Buffered),
+            "fsync" => Ok(DurabilityMode::Fsync),
+            other => Err(format!("unknown durability mode {other:?}")),
+        }
+    }
+}
+
+/// Durability configuration carried by the engine's config.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// The logging mode ([`DurabilityMode::Off`] disables everything else).
+    pub mode: DurabilityMode,
+    /// Directory holding WAL segments and checkpoint files.
+    pub dir: PathBuf,
+    /// Rotate to a fresh segment once the current one exceeds this many
+    /// bytes.
+    pub segment_bytes: u64,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig::off()
+    }
+}
+
+impl DurabilityConfig {
+    /// No durability (the default; all pre-durability behavior).
+    pub fn off() -> Self {
+        DurabilityConfig {
+            mode: DurabilityMode::Off,
+            dir: PathBuf::new(),
+            segment_bytes: 8 << 20,
+        }
+    }
+
+    /// OS-buffered logging into `dir`.
+    pub fn buffered(dir: impl Into<PathBuf>) -> Self {
+        DurabilityConfig {
+            mode: DurabilityMode::Buffered,
+            dir: dir.into(),
+            segment_bytes: 8 << 20,
+        }
+    }
+
+    /// Fsync-per-commit-batch logging into `dir`.
+    pub fn fsync(dir: impl Into<PathBuf>) -> Self {
+        DurabilityConfig {
+            mode: DurabilityMode::Fsync,
+            dir: dir.into(),
+            segment_bytes: 8 << 20,
+        }
+    }
+
+    /// `true` when a write-ahead log is kept at all.
+    pub fn is_on(&self) -> bool {
+        self.mode != DurabilityMode::Off
+    }
+}
+
+/// The path of segment `seq` under `dir`.
+pub fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("wal-{seq:08}.seg"))
+}
+
+/// Lists the segment files under `dir`, sorted by sequence number.
+pub fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut segments = Vec::new();
+    if !dir.exists() {
+        return Ok(segments);
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(seq) = name
+            .strip_prefix("wal-")
+            .and_then(|rest| rest.strip_suffix(".seg"))
+            .and_then(|digits| digits.parse::<u64>().ok())
+        {
+            segments.push((seq, entry.path()));
+        }
+    }
+    segments.sort();
+    Ok(segments)
+}
+
+/// One decoded record with its provenance, yielded by [`scan_log`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScannedRecord {
+    /// The record's LSN.
+    pub lsn: u64,
+    /// The record.
+    pub record: WalRecord,
+}
+
+/// The outcome of scanning a log directory's valid prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogScan {
+    /// Every valid record, in log order.
+    pub records: Vec<ScannedRecord>,
+    /// The segment holding the end of the valid prefix (`None` when the
+    /// log is empty).
+    pub last_segment: Option<u64>,
+    /// Byte offset of the end of the valid prefix inside `last_segment`.
+    pub valid_len: u64,
+    /// `true` when the scan stopped at a torn or corrupt record rather
+    /// than the physical end of the log.
+    pub truncated_tail: bool,
+    /// Segments that lie entirely after the first corruption (unreachable
+    /// by recovery; a writer reopening the log deletes them).
+    pub orphaned_segments: Vec<u64>,
+}
+
+impl LogScan {
+    /// LSN the next appended record should get.
+    pub fn next_lsn(&self) -> u64 {
+        self.records.last().map(|r| r.lsn + 1).unwrap_or(0)
+    }
+}
+
+/// Reads the valid prefix of the log under `dir`: every whole,
+/// CRC-correct record up to the first torn or corrupt one.  Records past
+/// that point — including whole segments — are not trusted (the log's
+/// guarantees are prefix-shaped), and are reported as truncated/orphaned.
+pub fn scan_log(dir: &Path) -> io::Result<LogScan> {
+    let mut scan = LogScan {
+        records: Vec::new(),
+        last_segment: None,
+        valid_len: 0,
+        truncated_tail: false,
+        orphaned_segments: Vec::new(),
+    };
+    let segments = list_segments(dir)?;
+    let mut stopped = false;
+    for (seq, path) in segments {
+        if stopped {
+            scan.orphaned_segments.push(seq);
+            continue;
+        }
+        let mut bytes = Vec::new();
+        File::open(&path)?.read_to_end(&mut bytes)?;
+        scan.last_segment = Some(seq);
+        if bytes.len() < SEGMENT_HEADER || &bytes[0..8] != SEGMENT_MAGIC {
+            // A header torn mid-write: the segment holds nothing usable.
+            scan.valid_len = bytes.len().min(SEGMENT_HEADER) as u64;
+            scan.truncated_tail = true;
+            stopped = true;
+            continue;
+        }
+        let mut offset = SEGMENT_HEADER;
+        while offset < bytes.len() {
+            match decode_record(&bytes[offset..]) {
+                Ok((consumed, lsn, record)) => {
+                    scan.records.push(ScannedRecord { lsn, record });
+                    offset += consumed;
+                }
+                Err(_) => {
+                    // Torn (`DecodeError::Truncated`) or corrupt — either
+                    // way the valid prefix ends here.
+                    scan.truncated_tail = true;
+                    stopped = true;
+                    break;
+                }
+            }
+        }
+        scan.valid_len = offset as u64;
+    }
+    Ok(scan)
+}
+
+struct WalInner {
+    writer: BufWriter<File>,
+    segment_seq: u64,
+    /// Rotation threshold.
+    segment_bytes: u64,
+    /// Bytes appended to the current segment (header included).
+    segment_bytes_written: u64,
+    next_lsn: u64,
+    scratch: Vec<u8>,
+}
+
+/// Statistics of one append or flush, for the engine's metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WalReceipt {
+    /// Records appended.
+    pub records: usize,
+    /// Encoded bytes appended.
+    pub bytes: u64,
+    /// `true` when the flush ended in an fsync.
+    pub fsynced: bool,
+}
+
+/// The group-append writer over a segmented log directory.
+///
+/// All methods take `&self`; one internal mutex serializes appends, which
+/// is what makes the log a single total order (the engine appends step
+/// batches under its admission-lane locks, so per-lane ruling order is
+/// preserved end to end).
+pub struct WalWriter {
+    dir: PathBuf,
+    mode: DurabilityMode,
+    inner: Mutex<WalInner>,
+}
+
+impl std::fmt::Debug for WalWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("WalWriter")
+            .field("dir", &self.dir)
+            .field("mode", &self.mode)
+            .field("segment_seq", &inner.segment_seq)
+            .field("next_lsn", &inner.next_lsn)
+            .finish_non_exhaustive()
+    }
+}
+
+impl WalWriter {
+    /// Opens (or creates) the log under `dir` for appending.
+    ///
+    /// An existing log is healed first: the tail is physically truncated
+    /// back to the last whole record and any segments past a corruption
+    /// are deleted, so appends always extend a valid prefix.  Appending
+    /// continues in the last surviving segment with the next LSN.
+    pub fn open(dir: &Path, mode: DurabilityMode, segment_bytes: u64) -> io::Result<Self> {
+        assert!(
+            mode != DurabilityMode::Off,
+            "a WalWriter is only built when durability is on"
+        );
+        std::fs::create_dir_all(dir)?;
+        let scan = scan_log(dir)?;
+        for seq in &scan.orphaned_segments {
+            std::fs::remove_file(segment_path(dir, *seq))?;
+        }
+        let (segment_seq, file) = match scan.last_segment {
+            Some(seq) => {
+                let path = segment_path(dir, seq);
+                let file = OpenOptions::new().read(true).write(true).open(&path)?;
+                let keep = scan.valid_len.max(SEGMENT_HEADER as u64);
+                if file.metadata()?.len() > keep || scan.valid_len < SEGMENT_HEADER as u64 {
+                    file.set_len(keep)?;
+                }
+                let mut file = file;
+                // A segment whose header itself was torn is rewritten.
+                if scan.valid_len < SEGMENT_HEADER as u64 {
+                    file.seek(SeekFrom::Start(0))?;
+                    write_segment_header(&mut file, seq)?;
+                } else {
+                    file.seek(SeekFrom::Start(keep))?;
+                }
+                (seq, file)
+            }
+            None => {
+                let path = segment_path(dir, 0);
+                let mut file = OpenOptions::new()
+                    .create_new(true)
+                    .read(true)
+                    .write(true)
+                    .open(&path)?;
+                write_segment_header(&mut file, 0)?;
+                if mode == DurabilityMode::Fsync {
+                    sync_dir(dir)?;
+                }
+                (0, file)
+            }
+        };
+        let written = file.metadata()?.len();
+        Ok(WalWriter {
+            dir: dir.to_path_buf(),
+            mode,
+            inner: Mutex::new(WalInner {
+                writer: BufWriter::new(file),
+                segment_seq,
+                segment_bytes: segment_bytes.max(SEGMENT_HEADER as u64 + 1),
+                segment_bytes_written: written,
+                next_lsn: scan.next_lsn(),
+                scratch: Vec::with_capacity(4096),
+            }),
+        })
+    }
+
+    /// The configured durability mode.
+    pub fn mode(&self) -> DurabilityMode {
+        self.mode
+    }
+
+    /// The log directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// LSN of the most recently appended record (`None` before the first
+    /// append of the log's lifetime).
+    pub fn last_lsn(&self) -> Option<u64> {
+        let inner = self.inner.lock();
+        inner.next_lsn.checked_sub(1)
+    }
+
+    /// Appends `records` as one group: consecutive LSNs, one buffered
+    /// write, no flush.  Returns the receipt (bytes appended).
+    pub fn append_batch(&self, records: &[WalRecord]) -> io::Result<WalReceipt> {
+        if records.is_empty() {
+            return Ok(WalReceipt::default());
+        }
+        let mut inner = self.inner.lock();
+        let mut scratch = std::mem::take(&mut inner.scratch);
+        scratch.clear();
+        for record in records {
+            let lsn = inner.next_lsn;
+            inner.next_lsn += 1;
+            encode_record(lsn, record, &mut scratch);
+        }
+        let bytes = scratch.len() as u64;
+        let result = inner.writer.write_all(&scratch);
+        inner.scratch = scratch;
+        result?;
+        inner.segment_bytes_written += bytes;
+        self.maybe_rotate(&mut inner)?;
+        Ok(WalReceipt {
+            records: records.len(),
+            bytes,
+            fsynced: false,
+        })
+    }
+
+    /// Flushes everything appended so far per the configured mode:
+    /// buffered mode pushes the user-space buffer into the OS, fsync mode
+    /// additionally syncs the segment to stable storage.  Returns `true`
+    /// when an fsync happened.
+    pub fn flush(&self) -> io::Result<bool> {
+        let mut inner = self.inner.lock();
+        inner.writer.flush()?;
+        if self.mode == DurabilityMode::Fsync {
+            inner.writer.get_ref().sync_data()?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Appends one group and flushes it, in one critical section: the
+    /// group-commit form (one batch = one flush = at most one fsync).
+    pub fn append_and_flush(&self, records: &[WalRecord]) -> io::Result<WalReceipt> {
+        let mut receipt = self.append_batch(records)?;
+        receipt.fsynced = self.flush()?;
+        Ok(receipt)
+    }
+
+    fn maybe_rotate(&self, inner: &mut WalInner) -> io::Result<()> {
+        if inner.segment_bytes_written < inner.segment_bytes {
+            return Ok(());
+        }
+        // Finish the old segment: flush (and fsync if configured) so the
+        // prefix property survives the file switch.
+        inner.writer.flush()?;
+        if self.mode == DurabilityMode::Fsync {
+            inner.writer.get_ref().sync_data()?;
+        }
+        inner.segment_seq += 1;
+        let path = segment_path(&self.dir, inner.segment_seq);
+        let mut file = OpenOptions::new()
+            .create_new(true)
+            .read(true)
+            .write(true)
+            .open(&path)?;
+        write_segment_header(&mut file, inner.segment_seq)?;
+        if self.mode == DurabilityMode::Fsync {
+            // The new segment's directory entry must be as durable as the
+            // records about to be fsynced into it.
+            sync_dir(&self.dir)?;
+        }
+        inner.writer = BufWriter::new(file);
+        inner.segment_bytes_written = SEGMENT_HEADER as u64;
+        Ok(())
+    }
+}
+
+fn write_segment_header(file: &mut File, seq: u64) -> io::Result<()> {
+    file.write_all(SEGMENT_MAGIC)?;
+    file.write_all(&seq.to_le_bytes())
+}
+
+/// Fsyncs a directory so freshly created (or renamed) entries survive a
+/// host crash — fsyncing a file's *data* does not make its directory
+/// entry durable on ext4/xfs, and a vanished segment would silently
+/// truncate the log at the previous one.
+pub(crate) fn sync_dir(dir: &Path) -> io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::CommitEntry;
+    use mvcc_core::{EntityId, TxId};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A fresh directory under the target tmpdir, unique per test call.
+    fn temp_dir(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("mvcc-wal-{tag}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn write_rec(tx: u32, entity: u32, value: &[u8]) -> WalRecord {
+        WalRecord::Write {
+            tx: TxId(tx),
+            entity: EntityId(entity),
+            value: bytes::Bytes::copy_from_slice(value),
+        }
+    }
+
+    #[test]
+    fn append_flush_scan_round_trip() {
+        let dir = temp_dir("round");
+        let wal = WalWriter::open(&dir, DurabilityMode::Buffered, 8 << 20).unwrap();
+        let records = vec![
+            WalRecord::Begin { tx: TxId(1) },
+            write_rec(1, 0, b"v1"),
+            WalRecord::Commit {
+                entries: vec![CommitEntry {
+                    tx: TxId(1),
+                    shards: vec![(0, 1)],
+                }],
+            },
+        ];
+        let receipt = wal.append_and_flush(&records).unwrap();
+        assert_eq!(receipt.records, 3);
+        assert!(!receipt.fsynced, "buffered mode never fsyncs");
+        assert_eq!(wal.last_lsn(), Some(2));
+        let scan = scan_log(&dir).unwrap();
+        assert!(!scan.truncated_tail);
+        assert_eq!(
+            scan.records
+                .iter()
+                .map(|r| r.record.clone())
+                .collect::<Vec<_>>(),
+            records
+        );
+        assert_eq!(
+            scan.records.iter().map(|r| r.lsn).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsync_mode_reports_the_fsync() {
+        let dir = temp_dir("fsync");
+        let wal = WalWriter::open(&dir, DurabilityMode::Fsync, 8 << 20).unwrap();
+        let receipt = wal
+            .append_and_flush(&[WalRecord::Begin { tx: TxId(1) }])
+            .unwrap();
+        assert!(receipt.fsynced);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn segments_rotate_and_scan_in_order() {
+        let dir = temp_dir("rotate");
+        // Tiny threshold: every appended batch overflows the segment.
+        let wal = WalWriter::open(&dir, DurabilityMode::Buffered, 64).unwrap();
+        for i in 0..10u32 {
+            wal.append_and_flush(&[write_rec(i, 0, &[0u8; 48])])
+                .unwrap();
+        }
+        let segments = list_segments(&dir).unwrap();
+        assert!(
+            segments.len() > 1,
+            "no rotation at {} segments",
+            segments.len()
+        );
+        assert_eq!(
+            segments.iter().map(|(seq, _)| *seq).collect::<Vec<_>>(),
+            (0..segments.len() as u64).collect::<Vec<_>>()
+        );
+        let scan = scan_log(&dir).unwrap();
+        assert_eq!(scan.records.len(), 10);
+        assert_eq!(scan.next_lsn(), 10);
+        // LSNs stay consecutive across segment boundaries.
+        for (i, rec) in scan.records.iter().enumerate() {
+            assert_eq!(rec.lsn, i as u64);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_continues_the_lsn_sequence() {
+        let dir = temp_dir("reopen");
+        {
+            let wal = WalWriter::open(&dir, DurabilityMode::Buffered, 8 << 20).unwrap();
+            wal.append_and_flush(&[write_rec(1, 0, b"a")]).unwrap();
+        }
+        {
+            let wal = WalWriter::open(&dir, DurabilityMode::Buffered, 8 << 20).unwrap();
+            assert_eq!(wal.last_lsn(), Some(0));
+            wal.append_and_flush(&[write_rec(2, 0, b"b")]).unwrap();
+        }
+        let scan = scan_log(&dir).unwrap();
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.records[1].lsn, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_scan_and_healed_on_open() {
+        let dir = temp_dir("torn");
+        {
+            let wal = WalWriter::open(&dir, DurabilityMode::Buffered, 8 << 20).unwrap();
+            wal.append_and_flush(&[write_rec(1, 0, b"whole"), write_rec(2, 1, b"torn-soon")])
+                .unwrap();
+        }
+        // Tear the last record: chop 3 bytes off the segment.
+        let (_, path) = list_segments(&dir).unwrap().pop().unwrap();
+        let len = std::fs::metadata(&path).unwrap().len();
+        let file = OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(len - 3).unwrap();
+        drop(file);
+        let scan = scan_log(&dir).unwrap();
+        assert!(scan.truncated_tail);
+        assert_eq!(scan.records.len(), 1, "only the whole record survives");
+        // Re-opening heals the file and appends after the valid prefix.
+        let wal = WalWriter::open(&dir, DurabilityMode::Buffered, 8 << 20).unwrap();
+        assert_eq!(wal.last_lsn(), Some(0));
+        wal.append_and_flush(&[write_rec(3, 2, b"after-heal")])
+            .unwrap();
+        let scan = scan_log(&dir).unwrap();
+        assert!(!scan.truncated_tail);
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.records[1].lsn, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_orphans_later_segments_and_open_removes_them() {
+        let dir = temp_dir("orphan");
+        {
+            let wal = WalWriter::open(&dir, DurabilityMode::Buffered, 64).unwrap();
+            for i in 0..6u32 {
+                wal.append_and_flush(&[write_rec(i, 0, &[1u8; 48])])
+                    .unwrap();
+            }
+        }
+        let segments = list_segments(&dir).unwrap();
+        assert!(segments.len() >= 3, "need several segments");
+        // Corrupt a record in the middle segment (flip a payload byte).
+        let (_, middle) = &segments[1];
+        let mut bytes = std::fs::read(middle).unwrap();
+        let flip = SEGMENT_HEADER + FRAME_OVERHEAD_PLUS_ONE;
+        bytes[flip] ^= 0xff;
+        std::fs::write(middle, &bytes).unwrap();
+        let scan = scan_log(&dir).unwrap();
+        assert!(scan.truncated_tail);
+        assert!(!scan.orphaned_segments.is_empty());
+        let surviving = scan.records.len();
+        assert!((1..6).contains(&surviving));
+        // Open heals: orphaned segments deleted, appends continue.
+        let wal = WalWriter::open(&dir, DurabilityMode::Buffered, 8 << 20).unwrap();
+        wal.append_and_flush(&[write_rec(9, 0, b"resume")]).unwrap();
+        let rescan = scan_log(&dir).unwrap();
+        assert!(!rescan.truncated_tail);
+        assert_eq!(rescan.records.len(), surviving + 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Offset of the first payload byte after a segment header.
+    const FRAME_OVERHEAD_PLUS_ONE: usize = crate::record::FRAME_OVERHEAD + 1;
+
+    #[test]
+    fn durability_config_constructors() {
+        assert!(!DurabilityConfig::off().is_on());
+        assert!(DurabilityConfig::buffered("/tmp/x").is_on());
+        assert_eq!(
+            DurabilityConfig::fsync("/tmp/x").mode,
+            DurabilityMode::Fsync
+        );
+        assert_eq!(
+            "buffered".parse::<DurabilityMode>(),
+            Ok(DurabilityMode::Buffered)
+        );
+        assert_eq!("fsync".parse::<DurabilityMode>(), Ok(DurabilityMode::Fsync));
+        assert_eq!("off".parse::<DurabilityMode>(), Ok(DurabilityMode::Off));
+        assert!("nope".parse::<DurabilityMode>().is_err());
+        assert_eq!(DurabilityMode::Fsync.to_string(), "fsync");
+    }
+}

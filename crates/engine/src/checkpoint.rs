@@ -1,0 +1,144 @@
+//! The periodic checkpointer.
+//!
+//! A [`CheckpointDriver`] owns a background thread that periodically cuts
+//! a checkpoint ([`Engine::checkpoint`]): the committed state of every
+//! shard — plus the GC watermark each shard was cut at — is written to a
+//! checkpoint file, bounding how much of the write-ahead log recovery
+//! must replay as *data*.  (Log segments are retained past checkpoints:
+//! they still carry the admission history the offline classifiers
+//! certify after a crash; see `mvcc-durability`'s recovery docs.)
+//!
+//! Checkpoints are fuzzy — commits keep flowing while the snapshot is
+//! cut — and a failed checkpoint (I/O error) is skipped, not fatal: the
+//! previous checkpoint plus a longer log tail still recovers the same
+//! state, only slower.
+
+use crate::session::Engine;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Handle to the background checkpoint thread.  Stop it explicitly with
+/// [`CheckpointDriver::stop`] or implicitly by dropping it.
+#[derive(Debug)]
+pub struct CheckpointDriver {
+    stop: Arc<AtomicBool>,
+    skipped: Arc<AtomicU64>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl CheckpointDriver {
+    /// Spawns a checkpoint thread over `engine`, cutting one checkpoint
+    /// every `period`.  Panics if the engine runs without durability —
+    /// there is nothing to checkpoint into.
+    pub fn start(engine: Arc<Engine>, period: Duration) -> Self {
+        assert!(
+            engine.durability().is_on(),
+            "CheckpointDriver requires an engine with durability on"
+        );
+        let stop = Arc::new(AtomicBool::new(false));
+        let skipped = Arc::new(AtomicU64::new(0));
+        let stop_flag = Arc::clone(&stop);
+        let skip_count = Arc::clone(&skipped);
+        let handle = std::thread::spawn(move || {
+            while !stop_flag.load(Ordering::Relaxed) {
+                std::thread::sleep(period);
+                if stop_flag.load(Ordering::Relaxed) {
+                    break;
+                }
+                if engine.checkpoint().is_err() {
+                    skip_count.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+        CheckpointDriver {
+            stop,
+            skipped,
+            handle: Some(handle),
+        }
+    }
+
+    /// Checkpoints skipped because of I/O errors.
+    pub fn skipped(&self) -> u64 {
+        self.skipped.load(Ordering::Relaxed)
+    }
+
+    /// Signals the thread to stop and waits for it to finish.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for CheckpointDriver {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::certifier::CertifierKind;
+    use crate::session::EngineConfig;
+    use bytes::Bytes;
+    use mvcc_core::EntityId;
+    use mvcc_durability::DurabilityConfig;
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("mvcc-ckptdrv-{tag}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn driver_cuts_checkpoints_in_the_background() {
+        let dir = temp_dir("bg");
+        let engine = Arc::new(Engine::new(
+            CertifierKind::Sgt,
+            EngineConfig {
+                shards: 2,
+                entities: 4,
+                durability: DurabilityConfig::buffered(&dir),
+                ..EngineConfig::default()
+            },
+        ));
+        let driver = CheckpointDriver::start(Arc::clone(&engine), Duration::from_millis(1));
+        for i in 0..8u32 {
+            let mut s = engine.begin();
+            if s.write(EntityId(0), Bytes::from(format!("{i}"))).is_ok() {
+                let _ = s.commit();
+            }
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while engine.metrics().snapshot().checkpoints == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        driver.stop();
+        let snap = engine.metrics().snapshot();
+        assert!(snap.checkpoints > 0, "driver never checkpointed");
+        assert!(
+            mvcc_durability::latest_checkpoint(&dir).unwrap().is_some(),
+            "no checkpoint file on disk"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "durability on")]
+    fn driver_refuses_engines_without_durability() {
+        let engine = Arc::new(Engine::new(CertifierKind::Sgt, EngineConfig::default()));
+        let _ = CheckpointDriver::start(engine, Duration::from_millis(1));
+    }
+}

@@ -30,6 +30,12 @@
 //! * [`gc`] — a background [`GcDriver`] reclaiming superseded versions
 //!   under the active-snapshot watermark
 //!   ([`mvcc_store::gc::collect_with_watermark`]);
+//! * [`checkpoint`] — a background [`CheckpointDriver`] periodically
+//!   snapshotting committed state into `mvcc-durability` checkpoint
+//!   files; with [`DurabilityConfig`] on, the group-commit leader also
+//!   appends each batch to the write-ahead log with one flush per batch,
+//!   and [`Engine::recover`] rebuilds a crashed engine from newest
+//!   checkpoint + log tail (class-preservingly — see `mvcc-durability`);
 //! * [`metrics`] — committed/aborted counters, an abort-reason breakdown,
 //!   a commit-latency histogram and per-shard contention counters;
 //! * [`load`] — the closed-loop load harness driving the engine with
@@ -72,6 +78,7 @@
 #![warn(missing_docs)]
 
 pub mod certifier;
+pub mod checkpoint;
 pub mod gc;
 pub mod load;
 pub mod metrics;
@@ -83,12 +90,17 @@ pub use certifier::{
     Admission, AdmissionScope, Certifier, CertifierKind, HistoryClass, ReadPlan,
     SchedulerCertifier, SnapshotCertifier,
 };
+pub use checkpoint::CheckpointDriver;
 pub use gc::GcDriver;
 pub use load::{run_closed_loop, LoadReport};
 pub use metrics::{AbortReason, EngineMetrics, MetricsSnapshot};
 pub use pipeline::AdmissionMode;
 pub use session::{Engine, EngineConfig, EngineError, History, Session};
 pub use shard::ShardedStore;
+
+// Re-export the durability surface so engine users configure and recover
+// without naming the durability crate directly.
+pub use mvcc_durability::{DurabilityConfig, DurabilityMode, RecoveryReport};
 
 // Re-export the value type so callers construct payloads with the exact
 // type the store expects (same convention as `mvcc-store`).

@@ -17,6 +17,7 @@ use crate::pipeline::AdmissionMode;
 use crate::session::{Engine, EngineConfig, History};
 use bytes::Bytes;
 use mvcc_core::Action;
+use mvcc_durability::DurabilityConfig;
 use mvcc_workload::{random_accesses, LoadProfile, Zipfian};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -96,6 +97,26 @@ pub fn run_closed_loop_in_mode(
     record_history: bool,
     admission: AdmissionMode,
 ) -> LoadReport {
+    run_closed_loop_configured(
+        kind,
+        profile,
+        record_history,
+        admission,
+        DurabilityConfig::off(),
+    )
+}
+
+/// The fully configured closed loop: admission mode *and* durability made
+/// explicit — the Off/Buffered/Fsync comparison knob of experiment E14.
+/// A fresh engine (and, with durability on, a fresh write-ahead log in
+/// `durability.dir`) is built per run.
+pub fn run_closed_loop_configured(
+    kind: CertifierKind,
+    profile: &LoadProfile,
+    record_history: bool,
+    admission: AdmissionMode,
+    durability: DurabilityConfig,
+) -> LoadReport {
     profile.validate().expect("invalid load profile");
     let engine = Arc::new(Engine::new(
         kind,
@@ -105,16 +126,37 @@ pub fn run_closed_loop_in_mode(
             initial: Bytes::from_static(b"0"),
             record_history,
             admission,
+            durability,
         },
     ));
     let gc = GcDriver::start(Arc::clone(&engine), Duration::from_millis(1));
+    let elapsed = drive_closed_loop(&engine, profile);
+    gc.stop();
+    LoadReport {
+        kind,
+        admission,
+        class: kind.class(),
+        profile: *profile,
+        elapsed,
+        metrics: engine.metrics().snapshot(),
+        history: engine.history(),
+    }
+}
+
+/// Drives the closed-loop worker threads against an *existing* engine
+/// until the profile's op budget is spent, returning the wall-clock
+/// elapsed time.  This is the piece the recovery tests reuse to resume
+/// load on a crash-recovered engine (the engine's shard/entity topology
+/// must match the profile's).
+pub fn drive_closed_loop(engine: &Arc<Engine>, profile: &LoadProfile) -> Duration {
+    profile.validate().expect("invalid load profile");
     // Each worker claims `steps_per_transaction` ops from the shared
     // budget per transaction; the run ends when the budget runs dry.
     let budget = Arc::new(AtomicI64::new(profile.ops as i64));
     let started = Instant::now();
     let mut workers = Vec::with_capacity(profile.threads);
     for worker_idx in 0..profile.threads {
-        let engine = Arc::clone(&engine);
+        let engine = Arc::clone(engine);
         let budget = Arc::clone(&budget);
         let profile = *profile;
         workers.push(std::thread::spawn(move || {
@@ -159,17 +201,7 @@ pub fn run_closed_loop_in_mode(
     for worker in workers {
         worker.join().expect("worker panicked");
     }
-    let elapsed = started.elapsed();
-    gc.stop();
-    LoadReport {
-        kind,
-        admission,
-        class: kind.class(),
-        profile: *profile,
-        elapsed,
-        metrics: engine.metrics().snapshot(),
-        history: engine.history(),
-    }
+    started.elapsed()
 }
 
 #[cfg(test)]

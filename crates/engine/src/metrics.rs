@@ -118,6 +118,13 @@ pub struct EngineMetrics {
     admission_batch_steps: AtomicU64,
     commit_batches: AtomicU64,
     commit_batch_txns: AtomicU64,
+    wal_appends: AtomicU64,
+    wal_records: AtomicU64,
+    wal_bytes: AtomicU64,
+    wal_flushes: AtomicU64,
+    wal_fsyncs: AtomicU64,
+    wal_commits: AtomicU64,
+    checkpoints: AtomicU64,
     commit_latency: LatencyHistogram,
     shards: Vec<ShardCounters>,
 }
@@ -138,6 +145,13 @@ impl EngineMetrics {
             admission_batch_steps: AtomicU64::new(0),
             commit_batches: AtomicU64::new(0),
             commit_batch_txns: AtomicU64::new(0),
+            wal_appends: AtomicU64::new(0),
+            wal_records: AtomicU64::new(0),
+            wal_bytes: AtomicU64::new(0),
+            wal_flushes: AtomicU64::new(0),
+            wal_fsyncs: AtomicU64::new(0),
+            wal_commits: AtomicU64::new(0),
+            checkpoints: AtomicU64::new(0),
             commit_latency: LatencyHistogram::default(),
             shards: (0..shards).map(|_| ShardCounters::default()).collect(),
         }
@@ -191,11 +205,41 @@ impl EngineMetrics {
             .fetch_add(steps as u64, Ordering::Relaxed);
     }
 
-    /// Records one group-commit batch of `txns` transactions.
+    /// Records one group-commit batch of `txns` transactions (batches
+    /// whose members all lost first-committer-wins validation commit
+    /// nothing and are not recorded — the counter measures how many
+    /// commits share one drain, which is also how many share one WAL
+    /// flush).
     pub fn record_commit_batch(&self, txns: usize) {
         self.commit_batches.fetch_add(1, Ordering::Relaxed);
         self.commit_batch_txns
             .fetch_add(txns as u64, Ordering::Relaxed);
+    }
+
+    /// Records one buffered WAL append of `records` records totalling
+    /// `bytes` encoded bytes (an admission batch's step records).
+    pub fn record_wal_append(&self, records: usize, bytes: u64) {
+        self.wal_appends.fetch_add(1, Ordering::Relaxed);
+        self.wal_records
+            .fetch_add(records as u64, Ordering::Relaxed);
+        self.wal_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records one WAL flush (a group-commit batch's durability point):
+    /// `bytes` appended with the flush, whether it ended in an fsync, and
+    /// how many transactions it made durable.
+    pub fn record_wal_flush(&self, bytes: u64, fsynced: bool, txns: usize) {
+        self.wal_flushes.fetch_add(1, Ordering::Relaxed);
+        if fsynced {
+            self.wal_fsyncs.fetch_add(1, Ordering::Relaxed);
+        }
+        self.wal_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.wal_commits.fetch_add(txns as u64, Ordering::Relaxed);
+    }
+
+    /// Records one completed checkpoint.
+    pub fn record_checkpoint(&self) {
+        self.checkpoints.fetch_add(1, Ordering::Relaxed);
     }
 
     /// A point-in-time copy of every counter.
@@ -216,6 +260,13 @@ impl EngineMetrics {
             admission_batch_steps: self.admission_batch_steps.load(Ordering::Relaxed),
             commit_batches: self.commit_batches.load(Ordering::Relaxed),
             commit_batch_txns: self.commit_batch_txns.load(Ordering::Relaxed),
+            wal_appends: self.wal_appends.load(Ordering::Relaxed),
+            wal_records: self.wal_records.load(Ordering::Relaxed),
+            wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
+            wal_flushes: self.wal_flushes.load(Ordering::Relaxed),
+            wal_fsyncs: self.wal_fsyncs.load(Ordering::Relaxed),
+            wal_commits: self.wal_commits.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
             latency_buckets: self.commit_latency.counts(),
             shard_ops: self
                 .shards
@@ -258,6 +309,22 @@ pub struct MetricsSnapshot {
     pub commit_batches: u64,
     /// Transactions committed across all group-commit batches.
     pub commit_batch_txns: u64,
+    /// Buffered WAL appends (admission step batches; 0 with durability
+    /// off).
+    pub wal_appends: u64,
+    /// WAL records appended outside commit records.
+    pub wal_records: u64,
+    /// Total encoded bytes appended to the WAL.
+    pub wal_bytes: u64,
+    /// WAL flushes (one per group-commit batch).
+    pub wal_flushes: u64,
+    /// WAL flushes that ended in an fsync (equals `wal_flushes` in fsync
+    /// mode, 0 in buffered mode).
+    pub wal_fsyncs: u64,
+    /// Transactions made durable across all WAL flushes.
+    pub wal_commits: u64,
+    /// Checkpoints cut.
+    pub checkpoints: u64,
     /// Commit-latency histogram: bucket 0 is sub-µs, bucket `i > 0` covers
     /// `[2^(i-1), 2^i)` µs.
     pub latency_buckets: Vec<u64>,
@@ -280,6 +347,17 @@ impl MetricsSnapshot {
     pub fn mean_commit_batch(&self) -> Option<f64> {
         (self.commit_batches > 0)
             .then(|| self.commit_batch_txns as f64 / self.commit_batches as f64)
+    }
+
+    /// Mean transactions made durable per WAL flush (per fsync in fsync
+    /// mode — every flush is one), or `None` when no flush happened.
+    pub fn mean_commits_per_flush(&self) -> Option<f64> {
+        (self.wal_flushes > 0).then(|| self.wal_commits as f64 / self.wal_flushes as f64)
+    }
+
+    /// `true` when the engine ran with a write-ahead log.
+    pub fn durability_on(&self) -> bool {
+        self.wal_appends > 0 || self.wal_flushes > 0
     }
 
     /// Fraction of finished transactions that committed.
@@ -358,6 +436,17 @@ impl fmt::Display for MetricsSnapshot {
                 mean,
                 self.commit_batches,
                 self.mean_commit_batch().unwrap_or(0.0)
+            )?;
+        }
+        if self.durability_on() {
+            writeln!(
+                f,
+                "durability: {} flushes ({} fsyncs), {} bytes logged, mean {:.1} commits/fsync, {} checkpoints",
+                self.wal_flushes,
+                self.wal_fsyncs,
+                self.wal_bytes,
+                self.mean_commits_per_flush().unwrap_or(0.0),
+                self.checkpoints
             )?;
         }
         write!(f, "shards:")?;

@@ -43,7 +43,9 @@ use crate::certifier::{Admission, AdmissionScope, Certifier, CertifierKind, Read
 use crate::metrics::EngineMetrics;
 use crate::session::History;
 use crate::shard::ShardedStore;
+use bytes::Bytes;
 use mvcc_core::{EntityId, Step, TxId, VersionSource};
+use mvcc_durability::{CommitEntry, WalRecord, WalWriter};
 use mvcc_store::{StoreError, TxHandle};
 use parking_lot::Mutex;
 use std::collections::{BTreeSet, HashMap};
@@ -152,14 +154,50 @@ impl HistoryLog {
             committed,
         }
     }
+
+    /// Seeds the log with a crash-recovered history so a resumed engine's
+    /// history stays append-only across the crash: the recovered admitted
+    /// prefix (kept only when recording is on) plus the recovered
+    /// committed set (always — commit membership is cheap and the
+    /// committed projection depends on it).
+    pub(crate) fn seed(&self, admitted: &[Step], committed: &BTreeSet<TxId>) {
+        if self.record {
+            self.admitted.lock().extend_from_slice(admitted);
+        }
+        self.committed.lock().extend(committed.iter().copied());
+    }
 }
 
-/// One step request parked in a lane queue: the step plus the slot its
-/// outcome is delivered through.
+/// One step request parked in a lane queue: the step (with a write's
+/// payload, so the drain leader can log it) plus the slot its outcome is
+/// delivered through.
 #[derive(Debug)]
 struct StepRequest {
     step: Step,
+    /// The new version's payload for write steps (cheap `Bytes` clone);
+    /// `None` for reads.
+    value: Option<Bytes>,
+    /// `true` when this is the session's first step, so the drain leader
+    /// logs the transaction's begin record with it (merging the two keeps
+    /// session begin off the WAL mutex entirely).
+    log_begin: bool,
     outcome: Mutex<Option<StepOutcome>>,
+}
+
+/// The WAL record for one admitted step.
+fn step_record(step: Step, value: Option<&Bytes>) -> WalRecord {
+    if step.is_read() {
+        WalRecord::Read {
+            tx: step.tx,
+            entity: step.entity,
+        }
+    } else {
+        WalRecord::Write {
+            tx: step.tx,
+            entity: step.entity,
+            value: value.cloned().unwrap_or_default(),
+        }
+    }
 }
 
 /// One commit request parked in the group-commit queue.
@@ -185,6 +223,12 @@ struct LaneState {
     /// could tell a different story than the history the classifiers
     /// certify.
     write_chains: HashMap<EntityId, Vec<TxId>>,
+    /// On a crash-recovered engine: the newest committed pre-crash writer
+    /// per entity.  A fresh certifier's [`VersionSource::Initial`]
+    /// assignment means "the version older than every write I have seen"
+    /// — which, in the resumed epoch, is the recovered base version, not
+    /// the engine pre-seed (possibly long since garbage-collected).
+    recovered_base: HashMap<EntityId, TxId>,
 }
 
 impl LaneState {
@@ -224,14 +268,9 @@ impl LaneState {
     }
 
     /// Converts one certifier ruling into a resolved [`StepOutcome`],
-    /// updating lane state exactly as the per-step path would.  Admitted
-    /// steps are pushed onto `admitted` (the batch's history append).
-    fn resolve(
-        &mut self,
-        step: Step,
-        admission: Admission,
-        admitted: &mut Vec<Step>,
-    ) -> StepOutcome {
+    /// updating lane state exactly as the per-step path would.  The
+    /// caller records admitted outcomes in the history (and the WAL).
+    fn resolve(&mut self, step: Step, admission: Admission) -> StepOutcome {
         match admission {
             Admission::Reject => {
                 self.on_abort(step.tx);
@@ -244,9 +283,19 @@ impl LaneState {
                 // Single-version certifiers mean "the latest version" in
                 // the model's sense: the last *admitted* write.  Resolve it
                 // here, at the lane's serialization point, so the value
-                // served always matches the history being recorded.
+                // served always matches the history being recorded.  A
+                // multiversion certifier's explicit `Initial` assignment
+                // is likewise re-based onto the recovered base version
+                // after a crash (on a fresh engine the map is empty and
+                // `Initial` stays the store pre-seed).
                 let plan = match plan {
                     ReadPlan::Latest => ReadPlan::Version(self.latest_admitted(step.entity)),
+                    ReadPlan::Version(VersionSource::Initial) => {
+                        match self.recovered_base.get(&step.entity) {
+                            Some(&writer) => ReadPlan::Version(VersionSource::Tx(writer)),
+                            None => ReadPlan::Version(VersionSource::Initial),
+                        }
+                    }
                     other => other,
                 };
                 // ACA: refuse to observe a version whose writer has not
@@ -257,14 +306,39 @@ impl LaneState {
                         return StepOutcome::DirtyRead(writer);
                     }
                 }
-                admitted.push(step);
                 StepOutcome::Admitted(Some(plan))
             }
             _ => {
                 self.record_write(step.entity, step.tx);
-                admitted.push(step);
                 StepOutcome::Admitted(None)
             }
+        }
+    }
+}
+
+/// The admitted part of one ruled batch, accumulated under the lane lock:
+/// the steps bound for the in-memory history, and — when a WAL is kept —
+/// the same steps as log records (write payloads included).
+struct AdmittedBatch {
+    steps: Vec<Step>,
+    wal_records: Option<Vec<WalRecord>>,
+}
+
+impl AdmittedBatch {
+    fn new(capacity: usize, wal: bool) -> Self {
+        AdmittedBatch {
+            steps: Vec::with_capacity(capacity),
+            wal_records: wal.then(|| Vec::with_capacity(capacity)),
+        }
+    }
+
+    fn push(&mut self, step: Step, value: Option<&Bytes>, log_begin: bool) {
+        self.steps.push(step);
+        if let Some(records) = &mut self.wal_records {
+            if log_begin {
+                records.push(WalRecord::Begin { tx: step.tx });
+            }
+            records.push(step_record(step, value));
         }
     }
 }
@@ -284,6 +358,7 @@ impl Lane {
                 certifier,
                 committed: BTreeSet::new(),
                 write_chains: HashMap::new(),
+                recovered_base: HashMap::new(),
             }),
         }
     }
@@ -306,6 +381,14 @@ pub(crate) struct AdmissionPipeline {
     /// Cached [`Certifier::validates_writes_at_commit`] (a static property
     /// of the certifier kind; caching keeps it off the commit hot path).
     validates_at_commit: bool,
+    /// The write-ahead log, when durability is on.  Step batches are
+    /// appended under the lane lock (so the log is the admission order);
+    /// the group-commit leader appends one commit record per batch and
+    /// issues the batch's single flush.
+    wal: Option<Arc<WalWriter>>,
+    /// `true` in fsync mode: commits park behind a one-quantum
+    /// group-commit window so concurrent committers share each fsync.
+    fsync_window: bool,
 }
 
 impl fmt::Debug for AdmissionPipeline {
@@ -325,7 +408,12 @@ impl AdmissionPipeline {
     /// reproduce the PR 2 baseline — one global admission mutex — for the
     /// E13 on/off comparison, and per-shard lanes are part of the
     /// pipeline being compared against, not of that baseline.
-    pub(crate) fn new(kind: CertifierKind, shards: usize, mode: AdmissionMode) -> Self {
+    pub(crate) fn new(
+        kind: CertifierKind,
+        shards: usize,
+        mode: AdmissionMode,
+        wal: Option<Arc<WalWriter>>,
+    ) -> Self {
         let first = kind.build();
         let validates_at_commit = first.validates_writes_at_commit();
         let lane_count = match (mode, first.admission_scope()) {
@@ -337,6 +425,10 @@ impl AdmissionPipeline {
         while lanes.len() < lane_count {
             lanes.push(Lane::new(kind.build()));
         }
+        let fsync_window = mode == AdmissionMode::Batched
+            && wal
+                .as_ref()
+                .is_some_and(|w| w.mode() == mvcc_durability::DurabilityMode::Fsync);
         AdmissionPipeline {
             mode,
             lanes,
@@ -345,6 +437,30 @@ impl AdmissionPipeline {
                 drain: Mutex::new(()),
             },
             validates_at_commit,
+            wal,
+            fsync_window,
+        }
+    }
+
+    /// Seeds every lane with crash-recovered facts: the committed
+    /// transaction set (consulted by the ACA rule) and the newest
+    /// committed writer per entity (so a resumed single-version "latest"
+    /// read resolves to the recovered value instead of the long-gone
+    /// pre-seed).  Fresh certifiers need no notification — every seeded
+    /// transaction finished before anything the new certifier will rule
+    /// on, so there is no admission state to carry over.
+    pub(crate) fn seed_recovered(
+        &self,
+        committed: &BTreeSet<TxId>,
+        latest_writers: &[(EntityId, TxId)],
+    ) {
+        for lane in &self.lanes {
+            let mut state = lane.state.lock();
+            state.committed.extend(committed.iter().copied());
+            for &(entity, writer) in latest_writers {
+                state.write_chains.insert(entity, vec![writer]);
+                state.recovered_base.insert(entity, writer);
+            }
         }
     }
 
@@ -377,6 +493,8 @@ impl AdmissionPipeline {
     pub(crate) fn submit_step(
         &self,
         step: Step,
+        value: Option<&Bytes>,
+        log_begin: bool,
         shards: &ShardedStore,
         history: &HistoryLog,
         metrics: &EngineMetrics,
@@ -386,9 +504,12 @@ impl AdmissionPipeline {
             AdmissionMode::PerStep => {
                 let mut state = lane.state.lock();
                 let admission = state.certifier.admit(step);
-                let mut admitted = Vec::with_capacity(1);
-                let outcome = state.resolve(step, admission, &mut admitted);
-                history.append_batch(&admitted);
+                let mut admitted = AdmittedBatch::new(1, self.wal.is_some());
+                let outcome = state.resolve(step, admission);
+                if matches!(outcome, StepOutcome::Admitted(_)) {
+                    admitted.push(step, value, log_begin);
+                }
+                self.finish_admission(admitted, history, metrics);
                 outcome
             }
             AdmissionMode::Batched => {
@@ -399,7 +520,14 @@ impl AdmissionPipeline {
                 // contended.
                 if let Some(mut state) = lane.state.try_lock() {
                     let queued = std::mem::take(&mut *lane.queue.lock());
-                    return Self::lead_batch(&mut state, &queued, Some(step), history, metrics)
+                    return self
+                        .lead_batch(
+                            &mut state,
+                            &queued,
+                            Some((step, value, log_begin)),
+                            history,
+                            metrics,
+                        )
                         .expect("own step is part of the batch");
                 }
                 // Slow path: park the step and contend for the lane.
@@ -408,6 +536,8 @@ impl AdmissionPipeline {
                 // request included) in one certifier call.
                 let request = Arc::new(StepRequest {
                     step,
+                    value: value.cloned(),
+                    log_begin,
                     outcome: Mutex::new(None),
                 });
                 lane.queue.lock().push(Arc::clone(&request));
@@ -424,7 +554,7 @@ impl AdmissionPipeline {
                     // is still queued (leaders fill every drained slot
                     // before releasing): become the drain leader.
                     let queued = std::mem::take(&mut *lane.queue.lock());
-                    let _ = Self::lead_batch(&mut state, &queued, None, history, metrics);
+                    let _ = self.lead_batch(&mut state, &queued, None, history, metrics);
                     drop(state);
                 }
             }
@@ -434,44 +564,80 @@ impl AdmissionPipeline {
     /// Rules one batch — the parked `queued` requests plus, optionally,
     /// the leader's `own` step — in a single certifier call, filling every
     /// parked outcome slot and returning the leader's own outcome.  Runs
-    /// under the lane lock; the history append happens before release so
-    /// batches land in ruling order.
+    /// under the lane lock; the history (and WAL) append happens before
+    /// release so batches land in ruling order.
     fn lead_batch(
+        &self,
         state: &mut LaneState,
         queued: &[Arc<StepRequest>],
-        own: Option<Step>,
+        own: Option<(Step, Option<&Bytes>, bool)>,
         history: &HistoryLog,
         metrics: &EngineMetrics,
     ) -> Option<StepOutcome> {
         if queued.is_empty() {
             // Uncontended: a batch of exactly our own step, ruled without
             // building batch vectors.
-            let step = own?;
+            let (step, value, log_begin) = own?;
             let admission = state.certifier.admit(step);
-            let mut admitted = Vec::with_capacity(1);
-            let outcome = state.resolve(step, admission, &mut admitted);
-            history.append_batch(&admitted);
+            let mut admitted = AdmittedBatch::new(1, self.wal.is_some());
+            let outcome = state.resolve(step, admission);
+            if matches!(outcome, StepOutcome::Admitted(_)) {
+                admitted.push(step, value, log_begin);
+            }
+            self.finish_admission(admitted, history, metrics);
             metrics.record_admission_batch(1);
             return Some(outcome);
         }
         let mut steps: Vec<Step> = queued.iter().map(|r| r.step).collect();
-        if let Some(step) = own {
+        if let Some((step, _, _)) = own {
             steps.push(step);
         }
         let admissions = state.certifier.admit_batch(&steps);
         debug_assert_eq!(admissions.len(), steps.len());
-        let mut admitted = Vec::with_capacity(steps.len());
+        let mut admitted = AdmittedBatch::new(steps.len(), self.wal.is_some());
         let mut own_outcome = None;
         for (i, admission) in admissions.into_iter().enumerate() {
-            let outcome = state.resolve(steps[i], admission, &mut admitted);
+            let outcome = state.resolve(steps[i], admission);
+            if matches!(outcome, StepOutcome::Admitted(_)) {
+                let (value, log_begin) = match queued.get(i) {
+                    Some(request) => (request.value.as_ref(), request.log_begin),
+                    None => match own {
+                        Some((_, value, log_begin)) => (value, log_begin),
+                        None => (None, false),
+                    },
+                };
+                admitted.push(steps[i], value, log_begin);
+            }
             match queued.get(i) {
                 Some(request) => *request.outcome.lock() = Some(outcome),
                 None => own_outcome = Some(outcome),
             }
         }
-        history.append_batch(&admitted);
+        self.finish_admission(admitted, history, metrics);
         metrics.record_admission_batch(steps.len());
         own_outcome
+    }
+
+    /// Publishes one ruled batch's admitted steps: in-memory history
+    /// first, then the WAL (buffered append, in the same critical section
+    /// as the ruling, so the log carries the admission order).  WAL I/O
+    /// failure is fatal — a log the engine cannot append to can no longer
+    /// back any durability promise.
+    fn finish_admission(
+        &self,
+        admitted: AdmittedBatch,
+        history: &HistoryLog,
+        metrics: &EngineMetrics,
+    ) {
+        history.append_batch(&admitted.steps);
+        if let (Some(wal), Some(records)) = (&self.wal, admitted.wal_records) {
+            if !records.is_empty() {
+                let receipt = wal
+                    .append_batch(&records)
+                    .expect("WAL append failed: durability can no longer be guaranteed");
+                metrics.record_wal_append(receipt.records, receipt.bytes);
+            }
+        }
     }
 
     /// Submits a commit and blocks until it has been applied (or refused)
@@ -493,9 +659,13 @@ impl AdmissionPipeline {
                 };
                 // Matches the PR 2 baseline: only first-committer-wins
                 // commits serialize on the commit lock (validate+commit
-                // atomicity); plain commits go straight to the shards.
-                let _drain = self.validates_at_commit.then(|| self.commit.drain.lock());
-                self.process_commit_batch(&[&request], shards, history);
+                // atomicity); plain commits go straight to the shards —
+                // unless a WAL is kept, where the drain also fences
+                // checkpoints out of the apply-vs-append window (see
+                // [`AdmissionPipeline::checkpoint_cut`]).
+                let _drain = (self.validates_at_commit || self.wal.is_some())
+                    .then(|| self.commit.drain.lock());
+                self.process_commit_batch(&[&request], shards, history, metrics);
                 let outcome = request
                     .outcome
                     .lock()
@@ -505,24 +675,33 @@ impl AdmissionPipeline {
             }
             AdmissionMode::Batched => {
                 // Fast path: the drain is free — apply right away (with
-                // any parked backlog), without parking a request.
-                if let Some(_drain) = self.commit.drain.try_lock() {
-                    let queued = std::mem::take(&mut *self.commit.queue.lock());
-                    let own = CommitRequest {
-                        tx,
-                        begun_shards: begun_shards.to_vec(),
-                        outcome: Mutex::new(None),
-                    };
-                    let mut refs: Vec<&CommitRequest> = queued.iter().map(Arc::as_ref).collect();
-                    refs.push(&own);
-                    let committed = self.process_commit_batch(&refs, shards, history);
-                    metrics.record_commit_batch(committed);
-                    let outcome = own
-                        .outcome
-                        .lock()
-                        .take()
-                        .expect("commit batch fills every slot");
-                    return outcome;
+                // any parked backlog), without parking a request.  Not in
+                // fsync mode: an fsync-bound commit always parks first
+                // (see the group-commit window below), because a leader
+                // racing ahead alone turns every transaction into its own
+                // fsync.
+                if !self.fsync_window {
+                    if let Some(_drain) = self.commit.drain.try_lock() {
+                        let queued = std::mem::take(&mut *self.commit.queue.lock());
+                        let own = CommitRequest {
+                            tx,
+                            begun_shards: begun_shards.to_vec(),
+                            outcome: Mutex::new(None),
+                        };
+                        let mut refs: Vec<&CommitRequest> =
+                            queued.iter().map(Arc::as_ref).collect();
+                        refs.push(&own);
+                        let committed = self.process_commit_batch(&refs, shards, history, metrics);
+                        if committed > 0 {
+                            metrics.record_commit_batch(committed);
+                        }
+                        let outcome = own
+                            .outcome
+                            .lock()
+                            .take()
+                            .expect("commit batch fills every slot");
+                        return outcome;
+                    }
                 }
                 let request = Arc::new(CommitRequest {
                     tx,
@@ -530,6 +709,19 @@ impl AdmissionPipeline {
                     outcome: Mutex::new(None),
                 });
                 self.commit.queue.lock().push(Arc::clone(&request));
+                if self.fsync_window {
+                    // The group-commit window: yield one scheduling
+                    // quantum so other runnable committers can park their
+                    // requests behind ours before a leader drains.  On a
+                    // loaded host this is what forms fsync-sharing batches
+                    // at all (a free drain would otherwise be taken
+                    // immediately, one fsync per transaction — measured
+                    // 3-5× slower); idle, the yield returns at once and we
+                    // lead our own batch.  Buffered mode skips the window:
+                    // its flush is a buffered write, cheaper than the
+                    // extra parking round-trips.
+                    std::thread::yield_now();
+                }
                 loop {
                     if let Some(outcome) = request.outcome.lock().take() {
                         return outcome;
@@ -540,27 +732,38 @@ impl AdmissionPipeline {
                     }
                     let batch = std::mem::take(&mut *self.commit.queue.lock());
                     let refs: Vec<&CommitRequest> = batch.iter().map(Arc::as_ref).collect();
-                    let committed = self.process_commit_batch(&refs, shards, history);
-                    metrics.record_commit_batch(committed);
+                    let committed = self.process_commit_batch(&refs, shards, history, metrics);
+                    if committed > 0 {
+                        metrics.record_commit_batch(committed);
+                    }
                 }
             }
         }
     }
 
     /// Applies one batch of commits: shard effects first (in groups), then
+    /// the batch's one WAL commit record with its single flush, then
     /// certifier notifications, then the history log, then the outcome
     /// slots.  Shard commits landing before `on_commit` is what lets a
     /// certifier that releases admission state at commit (2PL's locks)
-    /// never expose a reader to a not-yet-applied commit.  Returns how
-    /// many members actually committed (FCW losers and store refusals
-    /// excluded) — the number the batch-telemetry counters record.
+    /// never expose a reader to a not-yet-applied commit; the WAL flush
+    /// landing before `on_commit` is what makes durability prefix-shaped
+    /// (no later transaction can observe this commit — rule 3 — until its
+    /// record is durable, so a committed reader's log position implies
+    /// its writers' records are durable too).  Returns how many members
+    /// actually committed (FCW losers and store refusals excluded) — the
+    /// number the batch-telemetry counters record.
     fn process_commit_batch(
         &self,
         batch: &[&CommitRequest],
         shards: &ShardedStore,
         history: &HistoryLog,
+        metrics: &EngineMetrics,
     ) -> usize {
         let mut outcomes: Vec<CommitOutcome> = Vec::with_capacity(batch.len());
+        // Per committed member: the (shard, timestamp) pairs it was
+        // assigned, destined for the batch's WAL commit record.
+        let mut stamped: Vec<Option<Vec<(u32, u64)>>> = Vec::with_capacity(batch.len());
         if self.validates_at_commit {
             // First-committer-wins: validate every touched shard, then
             // commit them all.  Requests are processed in batch order, so
@@ -570,6 +773,7 @@ impl AdmissionPipeline {
             for request in batch {
                 let handle = TxHandle { id: request.tx };
                 let mut verdict = CommitOutcome::Committed;
+                let mut stamps = Vec::new();
                 'validate: for (idx, &begun) in request.begun_shards.iter().enumerate() {
                     if !begun {
                         continue;
@@ -584,13 +788,17 @@ impl AdmissionPipeline {
                 if verdict == CommitOutcome::Committed {
                     for (idx, &begun) in request.begun_shards.iter().enumerate() {
                         if begun {
-                            if let Err(e) = shards.store(idx).commit(handle, false) {
-                                verdict = CommitOutcome::Store(e);
-                                break;
+                            match shards.store(idx).commit(handle, false) {
+                                Ok(ts) => stamps.push((idx as u32, ts)),
+                                Err(e) => {
+                                    verdict = CommitOutcome::Store(e);
+                                    break;
+                                }
                             }
                         }
                     }
                 }
+                stamped.push((verdict == CommitOutcome::Committed).then_some(stamps));
                 outcomes.push(verdict);
             }
         } else {
@@ -602,20 +810,52 @@ impl AdmissionPipeline {
                 .map(|r| (TxHandle { id: r.tx }, r.begun_shards.as_slice()))
                 .collect();
             for result in shards.commit_group(&group) {
-                outcomes.push(match result {
-                    Ok(()) => CommitOutcome::Committed,
-                    Err(e) => CommitOutcome::Store(e),
-                });
+                match result {
+                    Ok(stamps) => {
+                        stamped.push(Some(
+                            stamps
+                                .into_iter()
+                                .map(|(idx, ts)| (idx as u32, ts))
+                                .collect(),
+                        ));
+                        outcomes.push(CommitOutcome::Committed);
+                    }
+                    Err(e) => {
+                        stamped.push(None);
+                        outcomes.push(CommitOutcome::Store(e));
+                    }
+                }
             }
         }
-        // Certifier + history bookkeeping for the transactions that made
-        // it, after their shard effects are fully applied.
         let committed: Vec<TxId> = batch
             .iter()
             .zip(&outcomes)
             .filter(|(_, o)| matches!(o, CommitOutcome::Committed))
             .map(|(r, _)| r.tx)
             .collect();
+        // Durability point: one commit record for the whole batch, one
+        // flush (at most one fsync), before anyone can learn of the
+        // commits.
+        if let Some(wal) = &self.wal {
+            if !committed.is_empty() {
+                let entries: Vec<CommitEntry> = batch
+                    .iter()
+                    .zip(&mut stamped)
+                    .filter_map(|(request, stamps)| {
+                        stamps.take().map(|shards| CommitEntry {
+                            tx: request.tx,
+                            shards,
+                        })
+                    })
+                    .collect();
+                let receipt = wal
+                    .append_and_flush(&[WalRecord::Commit { entries }])
+                    .expect("WAL commit flush failed: durability can no longer be guaranteed");
+                metrics.record_wal_flush(receipt.bytes, receipt.fsynced, committed.len());
+            }
+        }
+        // Certifier + history bookkeeping for the transactions that made
+        // it, after their shard effects are fully applied.
         if !committed.is_empty() {
             for lane in &self.lanes {
                 let mut state = lane.state.lock();
@@ -630,6 +870,20 @@ impl AdmissionPipeline {
             *request.outcome.lock() = Some(outcome);
         }
         committed.len()
+    }
+
+    /// Runs `f` while holding the group-commit drain lock: no commit can
+    /// be between its shard apply and its WAL commit-record append while
+    /// `f` runs.  This is the checkpointer's fence — without it, a fuzzy
+    /// checkpoint could durably persist a version whose commit record
+    /// never reached the log (a crash in that window would then recover
+    /// a store state claiming a transaction the recovered history says
+    /// never committed, breaking the state-equals-committed-projection
+    /// invariant).  Commits stall for the duration, so `f` should be a
+    /// snapshot, not an I/O marathon.
+    pub(crate) fn checkpoint_cut<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _drain = self.commit.drain.lock();
+        f()
     }
 
     /// Tells every lane (or every lane but `ruled_on`, which already knows)

@@ -49,10 +49,14 @@ use crate::pipeline::{AdmissionMode, AdmissionPipeline, CommitOutcome, HistoryLo
 use crate::shard::ShardedStore;
 use bytes::Bytes;
 use mvcc_core::{EntityId, Schedule, Step, TxId};
+use mvcc_durability::{
+    list_segments, CheckpointData, CommittedVersion, DurabilityConfig, RecoveryOptions,
+    RecoveryReport, ShardCheckpoint, WalRecord, WalWriter,
+};
 use mvcc_store::{gc, StoreError, TxHandle};
 use std::collections::BTreeSet;
 use std::fmt;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -122,6 +126,12 @@ pub struct EngineConfig {
     /// (default) or the per-step baseline it replaced (kept for
     /// comparison benchmarks — experiment E13).
     pub admission: AdmissionMode,
+    /// Durability: off (default — all pre-durability behavior), or a
+    /// write-ahead log in buffered or fsync mode (experiment E14).  With
+    /// durability on, [`Engine::new`] starts a fresh log (the directory
+    /// must not already hold one) and [`Engine::recover`] resumes an
+    /// existing one.
+    pub durability: DurabilityConfig,
 }
 
 impl Default for EngineConfig {
@@ -132,6 +142,7 @@ impl Default for EngineConfig {
             initial: Bytes::from_static(b"0"),
             record_history: true,
             admission: AdmissionMode::default(),
+            durability: DurabilityConfig::off(),
         }
     }
 }
@@ -169,6 +180,13 @@ pub struct Engine {
     metrics: EngineMetrics,
     next_tx: AtomicU32,
     kind: CertifierKind,
+    /// The write-ahead log (durability on) — shared with the pipeline,
+    /// which owns the hot-path appends; the engine itself logs session
+    /// lifecycle records and checkpoint markers.
+    wal: Option<Arc<WalWriter>>,
+    durability: DurabilityConfig,
+    /// Sequence number of the last checkpoint cut (or recovered from).
+    checkpoint_seq: AtomicU64,
 }
 
 impl fmt::Debug for Engine {
@@ -183,15 +201,196 @@ impl fmt::Debug for Engine {
 
 impl Engine {
     /// Creates an engine with a fresh certifier of `kind`.
+    ///
+    /// With durability configured, this starts a *fresh* write-ahead log
+    /// and panics if the directory already holds one — silently appending
+    /// a new engine's records to an old engine's log would corrupt both
+    /// histories.  Use [`Engine::recover`] to resume an existing log
+    /// (it also handles an empty directory, recovering to the fresh
+    /// state).
     pub fn new(kind: CertifierKind, config: EngineConfig) -> Self {
+        let wal = config.durability.is_on().then(|| {
+            let dir = &config.durability.dir;
+            std::fs::create_dir_all(dir).expect("create WAL directory");
+            assert!(
+                list_segments(dir).expect("list WAL directory").is_empty(),
+                "durability dir {dir:?} already holds a WAL; use Engine::recover to resume it"
+            );
+            Arc::new(
+                WalWriter::open(dir, config.durability.mode, config.durability.segment_bytes)
+                    .expect("open WAL for appending"),
+            )
+        });
         Engine {
             shards: ShardedStore::new(config.shards, config.entities, config.initial),
-            pipeline: AdmissionPipeline::new(kind, config.shards, config.admission),
+            pipeline: AdmissionPipeline::new(kind, config.shards, config.admission, wal.clone()),
             history: HistoryLog::new(config.record_history),
             metrics: EngineMetrics::new(config.shards),
             next_tx: AtomicU32::new(1),
             kind,
+            wal,
+            durability: config.durability,
+            checkpoint_seq: AtomicU64::new(0),
         }
+    }
+
+    /// Rebuilds an engine from the write-ahead log in
+    /// `config.durability.dir` (newest checkpoint + log tail) and reopens
+    /// the log for appending, so the resumed engine keeps extending the
+    /// same durable history.  An empty directory recovers to the fresh
+    /// state, which makes `recover` the universal "open" for durable
+    /// engines.
+    ///
+    /// The recovered engine serves exactly the WAL's committed
+    /// projection: uncommitted transactions are discarded (ACA carried
+    /// across the crash), a fresh certifier is seeded with the recovered
+    /// committed set and per-entity newest writers, and `next_tx`
+    /// continues above every id in the log so resumed sessions never
+    /// collide with recovered ones.
+    pub fn recover(
+        kind: CertifierKind,
+        config: EngineConfig,
+    ) -> std::io::Result<(Arc<Self>, RecoveryReport)> {
+        assert!(
+            config.durability.is_on(),
+            "Engine::recover requires durability to be on"
+        );
+        let dir = config.durability.dir.clone();
+        std::fs::create_dir_all(&dir)?;
+        let recovered = mvcc_durability::recover(
+            &dir,
+            &RecoveryOptions {
+                shards: config.shards,
+                entities: config.entities,
+                initial: config.initial.clone(),
+            },
+        )?;
+        let shards = ShardedStore::from_recovered(&recovered.shards);
+        // Reopening the writer physically truncates the torn tail the
+        // recovery scan ignored, so appends extend the recovered prefix.
+        let wal = Arc::new(WalWriter::open(
+            &dir,
+            config.durability.mode,
+            config.durability.segment_bytes,
+        )?);
+        let pipeline = AdmissionPipeline::new(
+            kind,
+            config.shards,
+            config.admission,
+            Some(Arc::clone(&wal)),
+        );
+        // The newest committed writer per entity: what a resumed
+        // single-version "latest" read must resolve to.
+        let latest_writers: Vec<(EntityId, TxId)> = recovered
+            .shards
+            .iter()
+            .flat_map(|shard| shard.chains.iter())
+            .filter_map(|(entity, versions)| {
+                versions
+                    .last()
+                    .filter(|v| v.writer != TxId::INITIAL)
+                    .map(|v| (*entity, v.writer))
+            })
+            .collect();
+        pipeline.seed_recovered(&recovered.committed, &latest_writers);
+        let history = HistoryLog::new(config.record_history);
+        history.seed(&recovered.admitted, &recovered.committed);
+        let report = recovered.report.clone();
+        let engine = Arc::new(Engine {
+            shards,
+            pipeline,
+            history,
+            metrics: EngineMetrics::new(config.shards),
+            next_tx: AtomicU32::new(recovered.next_tx),
+            kind,
+            wal: Some(wal),
+            durability: config.durability,
+            checkpoint_seq: AtomicU64::new(report.checkpoint_seq.unwrap_or(0)),
+        });
+        Ok((engine, report))
+    }
+
+    /// Cuts a checkpoint: the committed state of every shard (plus the GC
+    /// watermark each was cut at) is written to a checkpoint file, so
+    /// recovery replays only the log tail after it.  Returns the new
+    /// checkpoint's sequence number.
+    ///
+    /// The checkpoint is *fuzzy*: commits may land while the shards are
+    /// being snapshotted.  The replay cursor is sampled before the
+    /// snapshot and replay is idempotent per version, so the overlap is
+    /// harmless (see `mvcc-durability`'s checkpoint docs).
+    pub fn checkpoint(&self) -> std::io::Result<u64> {
+        let wal = self
+            .wal
+            .as_ref()
+            .expect("checkpoint requires durability to be on");
+        // The cut runs under the group-commit drain lock: no commit can
+        // then sit between its shard apply and its WAL record append, and
+        // the flush barrier makes every record covering the snapshot
+        // durable first — so the checkpoint can never persist a version
+        // whose commit the recovered log does not know.  The replay
+        // cursor is sampled inside the same fence, after the flush.
+        let (replay_from_lsn, shards) =
+            self.pipeline
+                .checkpoint_cut(|| -> std::io::Result<(u64, Vec<ShardCheckpoint>)> {
+                    wal.flush()?;
+                    let replay_from_lsn = wal.last_lsn().map(|lsn| lsn + 1).unwrap_or(0);
+                    let shards = self
+                        .shards
+                        .iter()
+                        .map(|store| {
+                            let watermark = gc::watermark(store);
+                            let (commit_counter, chains) = store.committed_state();
+                            ShardCheckpoint {
+                                commit_counter,
+                                watermark,
+                                chains: chains
+                                    .into_iter()
+                                    .map(|(entity, versions)| {
+                                        (
+                                            entity,
+                                            versions
+                                                .into_iter()
+                                                .map(|(writer, commit_ts, value)| {
+                                                    CommittedVersion {
+                                                        writer,
+                                                        commit_ts,
+                                                        value,
+                                                    }
+                                                })
+                                                .collect(),
+                                        )
+                                    })
+                                    .collect(),
+                            }
+                        })
+                        .collect();
+                    Ok((replay_from_lsn, shards))
+                })?;
+        let seq = self.checkpoint_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let data = CheckpointData {
+            seq,
+            replay_from_lsn,
+            next_tx: self.next_tx.load(Ordering::Relaxed),
+            shards,
+        };
+        mvcc_durability::write_checkpoint(&self.durability.dir, &data)?;
+        // Announce the checkpoint in the log and make the announcement
+        // durable with the log's usual flush discipline.  The marker's
+        // flush is deliberately *not* recorded as a WAL flush: those
+        // counters measure commits-per-flush (the group-commit
+        // amortization E14 reports), and a periodic checkpointer would
+        // otherwise dilute the mean with zero-commit flushes.
+        let receipt = wal.append_and_flush(&[WalRecord::Checkpoint { seq }])?;
+        self.metrics
+            .record_wal_append(receipt.records, receipt.bytes);
+        self.metrics.record_checkpoint();
+        Ok(seq)
+    }
+
+    /// The durability configuration the engine runs under.
+    pub fn durability(&self) -> &DurabilityConfig {
+        &self.durability
     }
 
     /// The certifier configuration the engine runs.
@@ -234,6 +433,9 @@ impl Engine {
             tx,
             begun_shards: vec![false; self.shards.len()],
             active: true,
+            // The begin record rides along with the first admitted step's
+            // WAL append (keeping `begin` itself off the WAL mutex).
+            wal_begin_pending: self.wal.is_some(),
             started: Instant::now(),
         }
     }
@@ -268,6 +470,10 @@ pub struct Session {
     /// Which shards this transaction has begun on (touched).
     begun_shards: Vec<bool>,
     active: bool,
+    /// `true` until the transaction's begin record has been handed to the
+    /// WAL (with the first step's append); always `false` with durability
+    /// off.
+    wal_begin_pending: bool,
     started: Instant,
 }
 
@@ -317,8 +523,11 @@ impl Session {
     pub fn read(&mut self, entity: EntityId) -> Result<Bytes, EngineError> {
         self.ensure_active()?;
         let step = Step::read(self.tx, entity);
+        let log_begin = std::mem::take(&mut self.wal_begin_pending);
         let outcome = self.engine.pipeline.submit_step(
             step,
+            None,
+            log_begin,
             &self.engine.shards,
             &self.engine.history,
             &self.engine.metrics,
@@ -367,8 +576,11 @@ impl Session {
     pub fn write(&mut self, entity: EntityId, value: Bytes) -> Result<(), EngineError> {
         self.ensure_active()?;
         let step = Step::write(self.tx, entity);
+        let log_begin = std::mem::take(&mut self.wal_begin_pending);
         let outcome = self.engine.pipeline.submit_step(
             step,
+            Some(&value),
+            log_begin,
             &self.engine.shards,
             &self.engine.history,
             &self.engine.metrics,
@@ -434,6 +646,16 @@ impl Session {
     /// Purges store state and records the abort; the admission lanes have
     /// already been notified by the caller.
     fn finish_abort_inner(&mut self, reason: AbortReason, trigger: Option<EntityId>) {
+        if let Some(wal) = &self.engine.wal {
+            // Informational (recovery discards commit-less transactions
+            // either way); buffered until the next flush.
+            let receipt = wal
+                .append_batch(&[WalRecord::Abort { tx: self.tx }])
+                .expect("WAL append failed: durability can no longer be guaranteed");
+            self.engine
+                .metrics
+                .record_wal_append(receipt.records, receipt.bytes);
+        }
         for (idx, &begun) in self.begun_shards.iter().enumerate() {
             if begun {
                 let _ = self
@@ -745,6 +967,194 @@ mod tests {
         s.write(X, Bytes::from_static(b"x")).unwrap();
         s.commit().unwrap();
         assert_eq!(e.metrics().snapshot().admission_batches, 0);
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("mvcc-session-{tag}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn durable_engine(
+        kind: CertifierKind,
+        dir: &std::path::Path,
+        mode: mvcc_durability::DurabilityMode,
+    ) -> Arc<Engine> {
+        Arc::new(Engine::new(
+            kind,
+            EngineConfig {
+                shards: 2,
+                entities: 8,
+                durability: DurabilityConfig {
+                    mode,
+                    dir: dir.to_path_buf(),
+                    segment_bytes: 8 << 20,
+                },
+                ..EngineConfig::default()
+            },
+        ))
+    }
+
+    #[test]
+    fn durable_commits_survive_recovery_and_in_flight_sessions_do_not() {
+        for mode in [
+            mvcc_durability::DurabilityMode::Buffered,
+            mvcc_durability::DurabilityMode::Fsync,
+        ] {
+            let dir = temp_dir("recover");
+            let e = durable_engine(CertifierKind::Sgt, &dir, mode);
+            let mut s1 = e.begin();
+            let t1 = s1.id();
+            s1.write(X, Bytes::from_static(b"durable-x")).unwrap();
+            s1.write(Y, Bytes::from_static(b"durable-y")).unwrap();
+            s1.commit().unwrap();
+            // An in-flight session: writes admitted, never committed —
+            // the crash (recovering while it is still open) discards it.
+            let mut in_flight = e.begin();
+            in_flight.write(X, Bytes::from_static(b"doomed")).unwrap();
+            // A later commit's flush pushes the in-flight records into the
+            // OS (prefix durability): recovery will *see* the loser's
+            // write and still discard it.
+            let mut s2 = e.begin();
+            let t2 = s2.id();
+            s2.write(Y, Bytes::from_static(b"second")).unwrap();
+            s2.commit().unwrap();
+            let snap = e.metrics().snapshot();
+            assert!(snap.durability_on(), "{mode}");
+            assert!(snap.wal_flushes >= 2, "{mode}");
+            assert_eq!(snap.wal_commits, 2, "{mode}");
+            if mode == mvcc_durability::DurabilityMode::Fsync {
+                assert_eq!(snap.wal_fsyncs, snap.wal_flushes, "{mode}");
+            } else {
+                assert_eq!(snap.wal_fsyncs, 0, "{mode}");
+            }
+            let (recovered, report) = Engine::recover(
+                CertifierKind::Sgt,
+                EngineConfig {
+                    shards: 2,
+                    entities: 8,
+                    durability: DurabilityConfig {
+                        mode,
+                        dir: dir.clone(),
+                        segment_bytes: 8 << 20,
+                    },
+                    ..EngineConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(report.discarded, vec![in_flight.id()], "{mode}");
+            // The recovered committed history matches.
+            let history = recovered.history();
+            assert_eq!(history.committed, BTreeSet::from([t1, t2]));
+            assert_eq!(history.committed_schedule().len(), 3, "{mode}");
+            // Recovered reads serve the durable values (the "latest" read
+            // resolves to the recovered writer, not the pre-seed).
+            let mut check = recovered.begin();
+            assert!(check.id().0 > in_flight.id().0, "{mode}: tx ids collide");
+            assert_eq!(check.read(X).unwrap(), Bytes::from_static(b"durable-x"));
+            assert_eq!(check.read(Y).unwrap(), Bytes::from_static(b"second"));
+            check.commit().unwrap();
+            drop(in_flight);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn recovery_of_an_empty_directory_is_a_cold_start() {
+        let dir = temp_dir("cold");
+        let (e, report) = Engine::recover(
+            CertifierKind::Mvto,
+            EngineConfig {
+                shards: 2,
+                entities: 8,
+                durability: DurabilityConfig::buffered(&dir),
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.records_scanned, 0);
+        assert_eq!(report.checkpoint_seq, None);
+        let mut s = e.begin();
+        assert_eq!(s.id(), TxId(1));
+        assert_eq!(s.read(X).unwrap(), Bytes::from_static(b"0"));
+        s.commit().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_bounds_replay_and_records_the_watermark() {
+        let dir = temp_dir("ckpt");
+        let e = durable_engine(
+            CertifierKind::Sgt,
+            &dir,
+            mvcc_durability::DurabilityMode::Buffered,
+        );
+        // Pile up versions of X, GC them, checkpoint, then commit more.
+        for i in 0..4u32 {
+            let mut s = e.begin();
+            s.write(X, Bytes::from(format!("v{i}"))).unwrap();
+            s.commit().unwrap();
+        }
+        assert!(e.collect_garbage() > 0, "GC reclaimed nothing");
+        let seq = e.checkpoint().unwrap();
+        assert_eq!(seq, 1);
+        let ckpt = mvcc_durability::latest_checkpoint(&dir).unwrap().unwrap();
+        let x_shard = &ckpt.shards[e.shards().shard_of(X)];
+        assert!(
+            x_shard.watermark > 0,
+            "checkpoint must record the watermark"
+        );
+        assert!(x_shard.commit_counter >= x_shard.watermark);
+        let mut s = e.begin();
+        s.write(X, Bytes::from_static(b"post-ckpt")).unwrap();
+        s.commit().unwrap();
+        let (recovered, report) = Engine::recover(
+            CertifierKind::Sgt,
+            EngineConfig {
+                shards: 2,
+                entities: 8,
+                durability: DurabilityConfig::buffered(&dir),
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.checkpoint_seq, Some(1));
+        // Data replay was bounded by the checkpoint: only the post-ckpt
+        // commit replayed.
+        assert_eq!(report.commits_replayed, 1);
+        // A recovered snapshot sits at or above the reclaimed horizon and
+        // reads every entity (nothing below the watermark is offered).
+        let shard_x = recovered.shards().store_for(X);
+        assert!(shard_x.current_ts() >= x_shard.watermark);
+        let mut check = recovered.begin();
+        assert_eq!(check.read(X).unwrap(), Bytes::from_static(b"post-ckpt"));
+        assert_eq!(check.read(Y).unwrap(), Bytes::from_static(b"0"));
+        check.commit().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "already holds a WAL")]
+    fn new_refuses_a_directory_with_an_existing_log() {
+        let dir = temp_dir("refuse");
+        {
+            let e = durable_engine(
+                CertifierKind::Sgt,
+                &dir,
+                mvcc_durability::DurabilityMode::Buffered,
+            );
+            let mut s = e.begin();
+            s.write(X, Bytes::from_static(b"x")).unwrap();
+            s.commit().unwrap();
+        }
+        let _ = durable_engine(
+            CertifierKind::Sgt,
+            &dir,
+            mvcc_durability::DurabilityMode::Buffered,
+        );
     }
 
     #[test]

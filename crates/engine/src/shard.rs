@@ -37,6 +37,32 @@ impl ShardedStore {
         ShardedStore { shards: stores }
     }
 
+    /// Rebuilds the sharded store from crash-recovered state: one
+    /// [`MvStore::from_recovered`] per shard, with each shard's commit
+    /// counter floored at the GC watermark its checkpoint was cut at.
+    pub fn from_recovered(shards: &[mvcc_durability::RecoveredShard]) -> Self {
+        assert!(!shards.is_empty(), "at least one shard");
+        let stores = shards
+            .iter()
+            .map(|shard| {
+                MvStore::from_recovered(
+                    shard.commit_counter,
+                    shard.watermark,
+                    shard.chains.iter().map(|(entity, versions)| {
+                        (
+                            *entity,
+                            versions
+                                .iter()
+                                .map(|v| (v.writer, v.commit_ts, v.value.clone()))
+                                .collect(),
+                        )
+                    }),
+                )
+            })
+            .collect();
+        ShardedStore { shards: stores }
+    }
+
     /// Number of shards.
     pub fn len(&self) -> usize {
         self.shards.len()
@@ -80,11 +106,17 @@ impl ShardedStore {
     ///
     /// `group` pairs each transaction with its touched-shard mask (as kept
     /// by the engine's sessions).  Returns one result per group member, in
-    /// order; a member fails if any of its shards refused the commit (a
-    /// bug upstream — members are expected to be active everywhere they
-    /// begun).
-    pub fn commit_group(&self, group: &[(TxHandle, &[bool])]) -> Vec<Result<(), StoreError>> {
-        let mut results: Vec<Result<(), StoreError>> = vec![Ok(()); group.len()];
+    /// order: the `(shard index, commit timestamp)` pairs the member was
+    /// assigned (the WAL's commit record needs them — shards keep
+    /// independent commit counters).  A member fails if any of its shards
+    /// refused the commit (a bug upstream — members are expected to be
+    /// active everywhere they begun).
+    pub fn commit_group(
+        &self,
+        group: &[(TxHandle, &[bool])],
+    ) -> Vec<Result<Vec<(usize, u64)>, StoreError>> {
+        let mut results: Vec<Result<Vec<(usize, u64)>, StoreError>> =
+            vec![Ok(Vec::new()); group.len()];
         for (idx, store) in self.shards.iter().enumerate() {
             let members: Vec<usize> = group
                 .iter()
@@ -97,8 +129,10 @@ impl ShardedStore {
             }
             let handles: Vec<TxHandle> = members.iter().map(|&i| group[i].0).collect();
             for (&i, result) in members.iter().zip(store.commit_many(&handles)) {
-                if results[i].is_ok() {
-                    results[i] = result.map(|_| ());
+                match (&mut results[i], result) {
+                    (Ok(shards), Ok(ts)) => shards.push((idx, ts)),
+                    (slot @ Ok(_), Err(e)) => *slot = Err(e),
+                    (Err(_), _) => {}
                 }
             }
         }
@@ -180,8 +214,10 @@ mod tests {
             (t3, &[true, false][..]),
         ];
         let results = sharded.commit_group(&group);
-        assert!(results[0].is_ok());
-        assert!(results[1].is_ok());
+        // Each committed member reports its per-shard commit timestamps
+        // (consecutive per shard, in batch order).
+        assert_eq!(results[0], Ok(vec![(0, 1), (1, 1)]));
+        assert_eq!(results[1], Ok(vec![(1, 2)]));
         // T3 was never begun on shard 0: its commit is refused.
         assert!(matches!(results[2], Err(StoreError::NotActive(tx)) if tx == t3.id));
         // Both commits are visible.

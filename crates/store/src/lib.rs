@@ -31,7 +31,7 @@ pub mod store;
 pub mod version_chain;
 
 pub use executor::{execute_full_schedule, execute_with_scheduler, ExecutionReport};
-pub use store::{MvStore, StoreError, TxHandle, TxStatus};
+pub use store::{CommittedChain, MvStore, StoreError, TxHandle, TxStatus};
 pub use version_chain::{Version, VersionChain};
 
 // Re-export the byte-buffer crate so downstream users (examples, the

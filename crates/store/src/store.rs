@@ -71,6 +71,12 @@ struct TxRecord {
     read_set: Vec<(EntityId, TxId)>,
 }
 
+/// The committed versions of one entity as exported by
+/// [`MvStore::committed_state`] and consumed by
+/// [`MvStore::from_recovered`]: `(writer, commit timestamp, value)` in
+/// chain order.
+pub type CommittedChain = Vec<(TxId, u64, Bytes)>;
+
 /// A handle identifying a transaction begun on the store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub struct TxHandle {
@@ -443,6 +449,63 @@ impl MvStore {
         chains.values_mut().map(|c| c.prune(watermark)).sum()
     }
 
+    /// A consistent copy of the committed state: the commit-counter
+    /// high-water mark plus, per entity, every *committed* version in
+    /// chain order `(writer, commit_ts, value)`.  Uncommitted versions are
+    /// excluded — this is what a checkpoint persists, and a checkpoint
+    /// must never make an in-flight transaction's data durable.
+    ///
+    /// The chain map is read under its lock, so the copy is internally
+    /// consistent; the counter is sampled first, which can only
+    /// under-report relative to the chains (a commit landing in between
+    /// is replayed idempotently from the log).
+    pub fn committed_state(&self) -> (u64, Vec<(EntityId, CommittedChain)>) {
+        let counter = *self.commit_counter.lock();
+        let chains = self.chains.read();
+        let committed = chains
+            .iter()
+            .map(|(&entity, chain)| {
+                let versions = chain
+                    .versions()
+                    .iter()
+                    .filter_map(|v| v.commit_ts.map(|ts| (v.writer, ts, v.value.clone())))
+                    .collect();
+                (entity, versions)
+            })
+            .collect();
+        (counter, committed)
+    }
+
+    /// Builds a store from recovered committed state (crash recovery).
+    ///
+    /// `commit_counter` is the recovered high-water mark and `floor` the
+    /// GC watermark the newest checkpoint was cut at: the effective
+    /// counter is the max of the two (and of every recovered version's
+    /// timestamp), so no transaction begun on the recovered store is ever
+    /// issued a snapshot below the reclaimed horizon — versions under the
+    /// watermark may be gone from the chains, and a snapshot that old
+    /// would read the void (the regression
+    /// `recovered_snapshots_never_sink_below_the_watermark` pins this).
+    pub fn from_recovered(
+        commit_counter: u64,
+        floor: u64,
+        chains: impl IntoIterator<Item = (EntityId, CommittedChain)>,
+    ) -> Self {
+        let store = Self::new();
+        let mut max_ts = commit_counter.max(floor);
+        {
+            let mut map = store.chains.write();
+            for (entity, versions) in chains {
+                if let Some(newest) = versions.iter().map(|&(_, ts, _)| ts).max() {
+                    max_ts = max_ts.max(newest);
+                }
+                map.insert(entity, VersionChain::from_committed(versions));
+            }
+        }
+        *store.commit_counter.lock() = max_ts;
+        store
+    }
+
     /// Snapshot timestamps of all active transactions (used to compute the
     /// GC watermark).
     pub fn active_snapshots(&self) -> Vec<u64> {
@@ -661,6 +724,68 @@ mod tests {
         assert!(watermark <= 3, "active snapshot must bound the watermark");
         s.prune_all(watermark);
         assert_eq!(s.read_snapshot(reader, X).unwrap(), b("v"));
+    }
+
+    #[test]
+    fn committed_state_excludes_uncommitted_versions() {
+        let s = store();
+        let t1 = s.begin(TxId(1)).unwrap();
+        s.write(t1, X, b("committed")).unwrap();
+        s.commit(t1, false).unwrap();
+        let t2 = s.begin(TxId(2)).unwrap();
+        s.write(t2, X, b("in-flight")).unwrap();
+        let (counter, chains) = s.committed_state();
+        assert_eq!(counter, 1);
+        let x_chain = chains
+            .iter()
+            .find(|(e, _)| *e == X)
+            .map(|(_, v)| v)
+            .unwrap();
+        // Initial version + T1's committed one; T2's in-flight write must
+        // never reach a checkpoint.
+        assert_eq!(x_chain.len(), 2);
+        assert!(x_chain.iter().all(|&(writer, _, _)| writer != TxId(2)));
+        assert_eq!(x_chain[1], (TxId(1), 1, b("committed")));
+    }
+
+    #[test]
+    fn from_recovered_round_trips_committed_state() {
+        let s = store();
+        for i in 1..=3u32 {
+            let t = s.begin(TxId(i)).unwrap();
+            s.write(t, X, b(&format!("v{i}"))).unwrap();
+            s.commit(t, false).unwrap();
+        }
+        let (counter, chains) = s.committed_state();
+        let recovered = MvStore::from_recovered(counter, 0, chains);
+        assert_eq!(recovered.current_ts(), 3);
+        assert_eq!(recovered.committed_state(), s.committed_state());
+        // The recovered store is live: reads and new commits work.
+        let t = recovered.begin(TxId(10)).unwrap();
+        assert_eq!(recovered.read_latest(t, X).unwrap(), b("v3"));
+        assert_eq!(recovered.read_snapshot(t, X).unwrap(), b("v3"));
+        recovered.write(t, Y, b("resumed")).unwrap();
+        assert_eq!(recovered.commit(t, false).unwrap(), 4);
+    }
+
+    #[test]
+    fn recovered_snapshots_never_sink_below_the_watermark() {
+        // Regression for the checkpoint/GC coordination rule: a checkpoint
+        // records the watermark it was cut at, and recovery floors the
+        // commit counter there.  Without the floor, a checkpoint whose
+        // counter lagged the watermark (however it came about) would issue
+        // snapshots below the reclaimed horizon — readable timestamps for
+        // versions that no longer exist.
+        let chains = vec![(X, vec![(TxId(7), 5u64, b("survivor"))])];
+        // Deliberately inconsistent inputs: counter 2 < watermark 5.
+        let recovered = MvStore::from_recovered(2, 5, chains);
+        assert_eq!(recovered.current_ts(), 5, "counter floored at watermark");
+        let t = recovered.begin(TxId(10)).unwrap();
+        // The first snapshot sits at or above the horizon and can read the
+        // surviving version (a snapshot at ts 2 would have found nothing).
+        assert_eq!(recovered.read_snapshot(t, X).unwrap(), b("survivor"));
+        // GC at the recovered watermark reclaims nothing further.
+        assert_eq!(recovered.prune_all(5), 0);
     }
 
     #[test]

@@ -63,6 +63,24 @@ impl VersionChain {
         Self::default()
     }
 
+    /// Creates a chain from already-committed versions (crash recovery).
+    ///
+    /// The versions should arrive oldest-first; recovery hands them over
+    /// sorted by commit timestamp, which makes the chain's positional
+    /// "latest committed" coincide with the max-timestamp version.
+    pub fn from_committed(versions: impl IntoIterator<Item = (TxId, u64, Bytes)>) -> Self {
+        VersionChain {
+            versions: versions
+                .into_iter()
+                .map(|(writer, ts, value)| Version {
+                    writer,
+                    commit_ts: Some(ts),
+                    value,
+                })
+                .collect(),
+        }
+    }
+
     /// Appends a new (uncommitted) version written by `writer`.
     pub fn append(&mut self, writer: TxId, value: Bytes) {
         self.versions.push(Version {

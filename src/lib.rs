@@ -20,6 +20,8 @@
 //!   (`mvcc-scheduler`);
 //! * [`workload`] — deterministic workload generators (`mvcc-workload`);
 //! * [`store`] — the in-memory multiversion storage engine (`mvcc-store`);
+//! * [`durability`] — write-ahead log, checkpoints and class-preserving
+//!   crash recovery (`mvcc-durability`);
 //! * [`engine`] — the concurrent sharded multi-session transaction engine
 //!   with pluggable certifiers (`mvcc-engine`).
 //!
@@ -32,6 +34,7 @@
 
 pub use mvcc_classify as classify;
 pub use mvcc_core as core;
+pub use mvcc_durability as durability;
 pub use mvcc_engine as engine;
 pub use mvcc_graph as graph;
 pub use mvcc_reductions as reductions;
@@ -47,6 +50,7 @@ pub mod prelude {
         Action, EntityId, ReadFromRelation, Schedule, Step, TransactionSystem, TxId,
         VersionFunction, VersionSource,
     };
+    pub use mvcc_durability::{DurabilityConfig, DurabilityMode};
     pub use mvcc_engine::{run_closed_loop, CertifierKind, Engine, EngineConfig, HistoryClass};
     pub use mvcc_reductions::ols::is_ols;
     pub use mvcc_scheduler::{

@@ -1,0 +1,315 @@
+//! The kill-and-recover end-to-end loop (the headline acceptance test of
+//! the durability subsystem).
+//!
+//! For every certifier in the zoo: a durable engine runs a multi-threaded
+//! closed loop, is *hard-dropped* mid-flight (in-flight sessions are
+//! leaked, never aborted — the in-process analogue of a crash), and
+//! recovered from its write-ahead log.  The test then asserts the three
+//! promises of class-preserving recovery:
+//!
+//! (a) **state** — the recovered store equals the WAL's committed
+//!     projection: per entity, the newest committed (writer, timestamp,
+//!     value), and per shard the commit counter, all match the pre-crash
+//!     engine's committed state; in-flight losers contribute nothing
+//!     (ACA across the crash);
+//! (b) **class** — the recovered committed history still classifies in
+//!     the class the certifier promised (CSR for 2PL/TSO/SGT, MVCSR for
+//!     MV-SGT, MVSR for MVTO), via the offline `mvcc-classify` checkers;
+//! (c) **resumption** — a resumed closed loop on the recovered engine
+//!     stays classifiable: the combined (recovered + resumed) committed
+//!     projection is still in class, because every pre-crash committed
+//!     transaction wholly precedes every resumed one, so cross-crash
+//!     conflicts only ever point forward.
+
+use mvcc_repro::durability::{DurabilityConfig, DurabilityMode};
+use mvcc_repro::engine::load::drive_closed_loop;
+use mvcc_repro::engine::{CertifierKind, Engine, EngineConfig, HistoryClass, Session};
+use mvcc_repro::prelude::*;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("mvcc-e2e-{tag}-{}-{n}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+const ENTITIES: usize = 8;
+const SHARDS: usize = 2;
+
+fn config(dir: &Path, mode: DurabilityMode) -> EngineConfig {
+    EngineConfig {
+        shards: SHARDS,
+        entities: ENTITIES,
+        durability: DurabilityConfig {
+            mode,
+            dir: dir.to_path_buf(),
+            // Tiny segments so every run exercises rotation.
+            segment_bytes: 1024,
+        },
+        ..EngineConfig::default()
+    }
+}
+
+fn profile(kind: CertifierKind, seed: u64) -> LoadProfile {
+    LoadProfile {
+        threads: 4,
+        shards: SHARDS,
+        // MVTO histories face the exact NP-complete MVSR search, and the
+        // combined pre-crash + resumed schedule is checked in one piece.
+        ops: if kind == CertifierKind::Mvto { 36 } else { 180 },
+        entities: ENTITIES,
+        steps_per_transaction: 3,
+        read_ratio: 0.7,
+        zipf_theta: 0.6,
+        seed,
+    }
+}
+
+/// Newest committed `(writer, commit_ts, value bytes)` per entity of a
+/// live engine, computed from each shard's committed state.
+fn latest_committed_of(engine: &Engine) -> BTreeMap<EntityId, (TxId, u64, Vec<u8>)> {
+    let mut latest = BTreeMap::new();
+    for store in engine.shards().iter() {
+        let (_, chains) = store.committed_state();
+        for (entity, versions) in chains {
+            if let Some((writer, ts, value)) = versions.into_iter().max_by_key(|&(_, ts, _)| ts) {
+                latest.insert(entity, (writer, ts, value.to_vec()));
+            }
+        }
+    }
+    latest
+}
+
+/// The same projection, straight from the recovered WAL state.
+fn latest_committed_of_wal(
+    state: &mvcc_repro::durability::RecoveredState,
+) -> BTreeMap<EntityId, (TxId, u64, Vec<u8>)> {
+    state
+        .latest_committed()
+        .into_iter()
+        .map(|(entity, v)| (entity, (v.writer, v.commit_ts, v.value.to_vec())))
+        .collect()
+}
+
+/// Checks a committed history against the certifier's class (SI claims
+/// nothing and always passes).
+fn in_class(kind: CertifierKind, history: &Schedule) -> bool {
+    kind.class().check(history)
+}
+
+/// The whole kill-and-recover loop for one certifier.  `checkpoint`
+/// additionally cuts a checkpoint mid-load (after GC), so recovery takes
+/// the checkpoint + tail path instead of whole-log replay.
+fn kill_and_recover(kind: CertifierKind, mode: DurabilityMode, checkpoint: bool) {
+    let dir = temp_dir(kind.name());
+    // Cold start through `recover` (the universal open for durable
+    // engines: an empty directory recovers to the fresh state).
+    let (engine, cold) = Engine::recover(kind, config(&dir, mode)).unwrap();
+    assert_eq!(cold.records_scanned, 0, "{kind}: cold start saw records");
+
+    // Phase 1: committed traffic.
+    drive_closed_loop(&engine, &profile(kind, 0xd0 + kind.name().len() as u64));
+    if checkpoint {
+        engine.collect_garbage();
+        let seq = engine.checkpoint().unwrap();
+        assert_eq!(seq, 1, "{kind}");
+        // More traffic after the checkpoint, so recovery has a tail.
+        drive_closed_loop(&engine, &profile(kind, 0xd1));
+    }
+    let pre_crash = engine.metrics().snapshot();
+    assert!(pre_crash.committed > 0, "{kind}: nothing committed");
+    assert!(pre_crash.wal_flushes > 0, "{kind}: nothing flushed");
+    if mode == DurabilityMode::Fsync {
+        assert_eq!(pre_crash.wal_fsyncs, pre_crash.wal_flushes, "{kind}");
+    }
+
+    // Phase 2: the crash.  In-flight sessions write (and their records
+    // reach the OS with the next durable commit) but never commit; the
+    // engine and sessions are then *leaked* — no graceful abort, no
+    // buffered-writer flush-on-drop, exactly what a killed process leaves
+    // behind.
+    let mut in_flight: Vec<Session> = Vec::new();
+    let mut doomed: Vec<TxId> = Vec::new();
+    for i in 0..3u32 {
+        let mut session = engine.begin();
+        let entity = EntityId(i % ENTITIES as u32);
+        if session
+            .write(entity, mvcc_repro::engine::Bytes::from_static(b"doomed"))
+            .is_ok()
+        {
+            doomed.push(session.id());
+            in_flight.push(session);
+        } else {
+            // A certifier may reject the write (e.g. 2PL lock conflict
+            // with another in-flight session); the session is already
+            // aborted, which is fine — it is not part of the crash set.
+        }
+    }
+    // One final durable commit pushes the in-flight records into the OS.
+    {
+        let mut last = engine.begin();
+        last.write(EntityId(7), mvcc_repro::engine::Bytes::from_static(b"last"))
+            .unwrap();
+        last.commit().unwrap();
+    }
+    let old_latest = latest_committed_of(&engine);
+    let old_counters: Vec<u64> = engine.shards().iter().map(|s| s.current_ts()).collect();
+    let old_history = engine.history();
+    // The crash: leak everything still holding the old WAL handles.
+    for session in in_flight {
+        std::mem::forget(session);
+    }
+    std::mem::forget(engine);
+
+    // Phase 3: recovery — first the read-only scan (what the classifiers
+    // certify), then the resumed engine.
+    let state = mvcc_repro::durability::recover(
+        &dir,
+        &mvcc_repro::durability::RecoveryOptions {
+            shards: SHARDS,
+            entities: ENTITIES,
+            initial: mvcc_repro::engine::Bytes::from_static(b"0"),
+        },
+    )
+    .unwrap();
+    // (a) state: the WAL's committed projection is exactly the pre-crash
+    // committed state, and no doomed transaction survived.
+    assert_eq!(latest_committed_of_wal(&state), old_latest, "{kind}");
+    for (idx, shard) in state.shards.iter().enumerate() {
+        assert_eq!(
+            shard.commit_counter, old_counters[idx],
+            "{kind} shard {idx}"
+        );
+    }
+    for tx in &doomed {
+        assert!(!state.committed.contains(tx), "{kind}: resurrected {tx}");
+        assert!(
+            state.report.discarded.contains(tx),
+            "{kind}: {tx} not discarded"
+        );
+    }
+    // The durable committed set is exactly the engine's.
+    assert_eq!(state.committed, old_history.committed, "{kind}");
+    if checkpoint {
+        assert_eq!(state.report.checkpoint_seq, Some(1), "{kind}");
+        assert!(
+            state.report.commits_replayed < state.committed.len() as u64,
+            "{kind}: checkpoint did not bound data replay"
+        );
+    }
+    // (b) class: the recovered committed history — which equals the
+    // pre-crash engine's history plus nothing (every commit was flushed
+    // before the session learned of it) — is in the certifier's class.
+    let recovered_history = state.committed_schedule();
+    assert_eq!(
+        recovered_history.len(),
+        old_history.committed_schedule().len(),
+        "{kind}: durable history diverges from the admitted one"
+    );
+    assert!(
+        in_class(kind, &recovered_history),
+        "{kind}: recovered history left {}",
+        kind.class()
+    );
+
+    // Phase 4: resume on the recovered engine and re-classify the
+    // *combined* history.
+    let (resumed, report) = Engine::recover(kind, config(&dir, mode)).unwrap();
+    assert!(report.records_scanned > 0, "{kind}");
+    drive_closed_loop(&resumed, &profile(kind, 0xd2));
+    let snap = resumed.metrics().snapshot();
+    assert!(snap.committed > 0, "{kind}: resumed run starved");
+    assert_eq!(snap.begun, snap.committed + snap.aborted, "{kind}: books");
+    let combined = resumed.history();
+    assert!(
+        combined.committed.len() > state.committed.len(),
+        "{kind}: resumed commits missing from the combined history"
+    );
+    assert!(
+        in_class(kind, &combined.committed_schedule()),
+        "{kind}: combined recovered+resumed history left {}",
+        kind.class()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn kill_and_recover_two_phase_locking() {
+    kill_and_recover(CertifierKind::TwoPhaseLocking, DurabilityMode::Fsync, false);
+}
+
+#[test]
+fn kill_and_recover_timestamp_ordering() {
+    kill_and_recover(CertifierKind::Timestamp, DurabilityMode::Buffered, false);
+}
+
+#[test]
+fn kill_and_recover_sgt_with_checkpoint() {
+    kill_and_recover(CertifierKind::Sgt, DurabilityMode::Buffered, true);
+}
+
+#[test]
+fn kill_and_recover_mv_sgt() {
+    kill_and_recover(CertifierKind::MvSgt, DurabilityMode::Buffered, false);
+}
+
+#[test]
+fn kill_and_recover_mvto() {
+    kill_and_recover(CertifierKind::Mvto, DurabilityMode::Buffered, false);
+}
+
+#[test]
+fn kill_and_recover_snapshot_isolation_with_checkpoint() {
+    kill_and_recover(
+        CertifierKind::SnapshotIsolation,
+        DurabilityMode::Fsync,
+        true,
+    );
+}
+
+#[test]
+fn recovered_histories_are_committed_projections_of_a_prefix() {
+    // The class-preservation argument, stated directly: recovery realizes
+    // the committed projection of a *prefix* of the certified history.
+    // Tear the log mid-way and check the recovered schedule is exactly a
+    // committed projection of a prefix of the full one.
+    let dir = temp_dir("prefix");
+    let (engine, _) =
+        Engine::recover(CertifierKind::Sgt, config(&dir, DurabilityMode::Buffered)).unwrap();
+    drive_closed_loop(&engine, &profile(CertifierKind::Sgt, 0x9e));
+    let full = engine.history();
+    drop(engine);
+    // Tear bytes off the last segment.
+    let (_, last) = mvcc_repro::durability::list_segments(&dir)
+        .unwrap()
+        .pop()
+        .unwrap();
+    let len = std::fs::metadata(&last).unwrap().len();
+    let file = std::fs::OpenOptions::new().write(true).open(&last).unwrap();
+    file.set_len(len - len / 3).unwrap();
+    drop(file);
+    let state = mvcc_repro::durability::recover(
+        &dir,
+        &mvcc_repro::durability::RecoveryOptions {
+            shards: SHARDS,
+            entities: ENTITIES,
+            initial: mvcc_repro::engine::Bytes::from_static(b"0"),
+        },
+    )
+    .unwrap();
+    // Durable committed set is a subset of the full one...
+    assert!(state.committed.is_subset(&full.committed));
+    // ...the admitted sequence is a prefix of the full admitted log...
+    assert!(state.admitted.len() <= full.admitted.len());
+    assert_eq!(state.admitted[..], full.admitted[..state.admitted.len()]);
+    // ...and the committed projection of that prefix is still CSR.
+    assert!(
+        HistoryClass::Csr.check(&state.committed_schedule()),
+        "prefix projection left CSR"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
