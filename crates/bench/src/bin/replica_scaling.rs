@@ -1,0 +1,65 @@
+//! Experiment E15: read scaling with log-shipping replicas — one durable
+//! primary under write load, follower reads routed to {0, 1, 2} replicas
+//! under a `BoundedLag` policy.
+//!
+//! The 0-replica cell is the baseline: the router serves reads from the
+//! primary itself, where they contend with the write load for the
+//! admission lanes and shards.  Replica cells move that traffic onto
+//! snapshot-consistent followers fed off the write-ahead log — the
+//! multiversion-classes-make-read-scaling-safe claim, measured.
+//!
+//! Run with `cargo run -p mvcc-bench --bin replica_scaling --release`.
+
+use mvcc_bench::experiments::replica_scaling_table;
+use mvcc_bench::Table;
+use mvcc_workload::LoadProfile;
+
+fn main() {
+    let base = LoadProfile {
+        threads: 2,
+        shards: 4,
+        ops: 20_000,
+        entities: 64,
+        steps_per_transaction: 3,
+        read_ratio: 0.2, // the primary load is the *write* half; reader
+        // threads supply the read-heavy traffic through the router
+        zipf_theta: 0.0,
+        seed: 0xe15,
+    };
+    println!("### E15: read scaling with replicas (4 reader threads, bounded-lag, median of 3)\n");
+    let rows = replica_scaling_table(&base, &[0, 1, 2], 4, 4, 3);
+    let mut table = Table::new(
+        base.to_string(),
+        &[
+            "replicas",
+            "read txn/s",
+            "vs 0 replicas",
+            "primary txn/s",
+            "reads served",
+            "refused",
+            "records shipped",
+            "max lag (lsn)",
+        ],
+    );
+    let mut baseline = 0.0f64;
+    for row in rows {
+        if row.replicas == 0 {
+            baseline = row.read_tps;
+        }
+        table.row(&[
+            row.replicas.to_string(),
+            format!("{:.0}", row.read_tps),
+            if baseline > 0.0 {
+                format!("{:.2}×", row.read_tps / baseline)
+            } else {
+                "-".into()
+            },
+            format!("{:.0}", row.primary_tps),
+            row.reads_served.to_string(),
+            row.reads_refused.to_string(),
+            row.shipped_records.to_string(),
+            row.max_lag_lsn.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+}

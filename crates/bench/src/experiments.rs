@@ -531,6 +531,181 @@ pub fn durability_scaling_table(
     rows
 }
 
+/// One row of the read-scaling table (experiment E15): one primary plus
+/// `replicas` log-shipping read replicas under concurrent write load and
+/// follower-read traffic.
+#[derive(Debug, Clone)]
+pub struct ReplicaRow {
+    /// Number of read replicas attached (0 = reads served by the primary,
+    /// the baseline).
+    pub replicas: usize,
+    /// Committed write-transaction throughput on the primary.
+    pub primary_tps: f64,
+    /// Served read-only transactions per second across all readers.
+    pub read_tps: f64,
+    /// Read-only transactions served.
+    pub reads_served: u64,
+    /// Read requests refused (staleness bound unmet within the wait
+    /// budget, or aborted by the primary in baseline mode).
+    pub reads_refused: u64,
+    /// WAL records shipped to replicas.
+    pub shipped_records: u64,
+    /// Largest apply lag (LSNs) observed at read-pin time.
+    pub max_lag_lsn: u64,
+}
+
+/// Runs the read-scaling comparison (experiment E15): a durable primary
+/// drives `base` as a write workload while `readers` threads issue
+/// read-only transactions (each touching `reads_per_txn` entities)
+/// through a [`mvcc_replica::ReadRouter`] under
+/// [`mvcc_replica::ReadPolicy::BoundedLag`] — routed to
+/// {0, 1, 2, …} replicas per cell.  With 0 replicas the router serves
+/// reads from the primary itself: that cell is the contention baseline
+/// the replicas are meant to relieve.
+///
+/// `trials` runs each cell that many times and reports the median run by
+/// read throughput (same noise rationale as E14).
+pub fn replica_scaling_table(
+    base: &LoadProfile,
+    replica_counts: &[usize],
+    readers: usize,
+    reads_per_txn: usize,
+    trials: usize,
+) -> Vec<ReplicaRow> {
+    use mvcc_engine::load::drive_closed_loop;
+    use mvcc_engine::{DurabilityConfig, Engine, EngineConfig};
+    use mvcc_replica::{
+        LogShipper, ReadPolicy, ReadRouter, Replica, ReplicaConfig, RouterConfig, ShipperConfig,
+    };
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+    static CELL: AtomicU64 = AtomicU64::new(0);
+    let trials = trials.max(1);
+    let mut rows = Vec::with_capacity(replica_counts.len());
+    for &count in replica_counts {
+        let mut runs: Vec<ReplicaRow> = Vec::with_capacity(trials);
+        for _ in 0..trials {
+            let dir = std::env::temp_dir().join(format!(
+                "mvcc-e15-{}-{}",
+                std::process::id(),
+                CELL.fetch_add(1, Ordering::Relaxed)
+            ));
+            let engine = Arc::new(Engine::new(
+                CertifierKind::SnapshotIsolation,
+                EngineConfig {
+                    shards: base.shards,
+                    entities: base.entities,
+                    record_history: false,
+                    durability: DurabilityConfig::buffered(&dir),
+                    ..EngineConfig::default()
+                },
+            ));
+            let mut replicas = Vec::with_capacity(count);
+            let mut shippers = Vec::with_capacity(count);
+            for _ in 0..count {
+                let mut config = ReplicaConfig::new(
+                    base.shards,
+                    base.entities,
+                    mvcc_replica::Bytes::from_static(b"0"),
+                );
+                config.record_history = false;
+                config.metrics = Some(engine.metrics_handle());
+                let replica = Arc::new(Replica::open(config, &dir).expect("open replica"));
+                shippers.push(LogShipper::start(
+                    Arc::clone(&replica),
+                    ShipperConfig::default(),
+                ));
+                replicas.push(replica);
+            }
+            let router = Arc::new(ReadRouter::new(
+                Arc::clone(&engine),
+                replicas.clone(),
+                RouterConfig::default(),
+            ));
+            let done = Arc::new(AtomicBool::new(false));
+            let served = Arc::new(AtomicU64::new(0));
+            let refused = Arc::new(AtomicU64::new(0));
+            let mut reader_threads = Vec::with_capacity(readers);
+            for _ in 0..readers {
+                let router = Arc::clone(&router);
+                let done = Arc::clone(&done);
+                let served = Arc::clone(&served);
+                let refused = Arc::clone(&refused);
+                let entities = base.entities as u32;
+                let span = reads_per_txn as u32;
+                reader_threads.push(std::thread::spawn(move || {
+                    let mut at = 0u32;
+                    while !done.load(Ordering::Acquire) {
+                        match router.begin_read(ReadPolicy::BoundedLag(4096)) {
+                            Ok(mut read) => {
+                                let mut ok = true;
+                                for i in 0..span {
+                                    if read.read(mvcc_core::EntityId((at + i) % entities)).is_err()
+                                    {
+                                        ok = false;
+                                        break;
+                                    }
+                                }
+                                at = at.wrapping_add(span);
+                                if ok {
+                                    read.finish();
+                                    served.fetch_add(1, Ordering::Relaxed);
+                                } else {
+                                    refused.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            Err(_) => {
+                                refused.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }));
+            }
+            let started = std::time::Instant::now();
+            drive_closed_loop(&engine, base);
+            let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+            done.store(true, Ordering::Release);
+            for t in reader_threads {
+                t.join().expect("reader panicked");
+            }
+            // Drain each replica to the durable horizon before stopping
+            // its shipper: a very short run can finish inside the
+            // shipper's first poll interval, and the telemetry row
+            // should reflect the whole log either way.
+            for replica in &replicas {
+                replica.catch_up().expect("final drain");
+            }
+            for shipper in shippers {
+                shipper.stop();
+            }
+            let m = engine.metrics().snapshot();
+            let reads_served = served.load(Ordering::Relaxed);
+            // In the 0-replica baseline the router's read-only sessions
+            // commit on the primary and land in the same `committed`
+            // counter as the write load; subtract them so the primary
+            // column compares write throughput across cells.
+            let write_commits = if count == 0 {
+                m.committed.saturating_sub(reads_served)
+            } else {
+                m.committed
+            };
+            runs.push(ReplicaRow {
+                replicas: count,
+                primary_tps: write_commits as f64 / elapsed,
+                read_tps: reads_served as f64 / elapsed,
+                reads_served,
+                reads_refused: refused.load(Ordering::Relaxed),
+                shipped_records: m.repl_shipped_records,
+                max_lag_lsn: m.repl_max_lag_lsn,
+            });
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        runs.sort_by(|a, b| a.read_tps.total_cmp(&b.read_tps));
+        rows.push(runs.swap_remove(runs.len() / 2));
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -688,6 +863,31 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn replica_rows_serve_reads_at_every_replica_count() {
+        let base = LoadProfile {
+            threads: 2,
+            shards: 2,
+            ops: 300,
+            entities: 8,
+            steps_per_transaction: 3,
+            read_ratio: 0.2, // write-heavy primary: the readers do the reading
+            zipf_theta: 0.0,
+            seed: 0xe15,
+        };
+        let rows = replica_scaling_table(&base, &[0, 1], 2, 3, 1);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].replicas, 0);
+        assert_eq!(rows[1].replicas, 1);
+        for row in &rows {
+            assert!(row.primary_tps > 0.0, "{}: primary starved", row.replicas);
+            assert!(row.reads_served > 0, "{}: no reads served", row.replicas);
+        }
+        // Replica cells actually shipped the log; the baseline has none.
+        assert_eq!(rows[0].shipped_records, 0);
+        assert!(rows[1].shipped_records > 0);
     }
 
     #[test]

@@ -21,7 +21,10 @@
 //!   the GC watermark each was cut at) bounding data replay;
 //! * [`recovery`] — [`recover`]: newest checkpoint + log tail → committed
 //!   chains, commit counters, and the durable admission history whose
-//!   committed projection the offline `mvcc-classify` checkers certify.
+//!   committed projection the offline `mvcc-classify` checkers certify;
+//! * [`tail`] — [`read_tail`] over a resumable [`WalCursor`]: the
+//!   log-shipping read path (`mvcc-replica`) — whole CRC-valid records
+//!   only, parking on cold tails, LSN-continuity checked.
 //!
 //! ## Why recovery preserves the certified class
 //!
@@ -42,6 +45,7 @@
 pub mod checkpoint;
 pub mod record;
 pub mod recovery;
+pub mod tail;
 pub mod wal;
 
 pub use checkpoint::{
@@ -50,6 +54,8 @@ pub use checkpoint::{
 };
 pub use record::{crc32, decode_record, encode_record, CommitEntry, DecodeError, WalRecord};
 pub use recovery::{recover, RecoveredShard, RecoveredState, RecoveryOptions, RecoveryReport};
+pub use tail::{read_tail, TailBatch, WalCursor};
 pub use wal::{
-    list_segments, scan_log, DurabilityConfig, DurabilityMode, LogScan, WalReceipt, WalWriter,
+    list_segments, scan_log, DurabilityConfig, DurabilityMode, LogScan, ScannedRecord, WalReceipt,
+    WalWriter,
 };

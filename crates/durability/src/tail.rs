@@ -1,0 +1,617 @@
+//! Tailing the write-ahead log: the resumable cursor a log shipper reads
+//! the primary's segments through.
+//!
+//! Recovery ([`crate::recovery`]) reads the log once, at rest.  A read
+//! replica instead *follows* the log while the primary keeps appending:
+//! it needs a cursor it can poll, that
+//!
+//! * yields only whole, CRC-checked records (the same trust boundary as
+//!   recovery — a record the CRC rejects is never shipped);
+//! * **parks** on every cold-tail shape a live log can present — a torn
+//!   record at the physical tail (a flush landed mid-record), a
+//!   zero-length or header-less freshly rotated segment, an empty or
+//!   not-yet-created log directory — and resumes cleanly once the writer
+//!   catches up, instead of erroring;
+//! * detects real damage: a CRC mismatch with more log after it, or a
+//!   gap in the LSN sequence (a record the shipper would otherwise
+//!   silently skip), is an error, not a park;
+//! * can **seek**: [`WalCursor::from_lsn`] positions past records a
+//!   restarted replica already applied (its local checkpoint names the
+//!   LSN), re-reading but not re-delivering the prefix.
+//!
+//! The cursor is plain data (`segment`, byte `offset`, `next_lsn`), so a
+//! replica can persist it alongside its checkpoint and resume exactly
+//! where it stopped.
+
+use crate::record::{decode_record, DecodeError};
+use crate::wal::{list_segments, segment_path, ScannedRecord, SEGMENT_HEADER, SEGMENT_MAGIC};
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom};
+use std::path::Path;
+
+/// A resumable read position in a segmented log directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalCursor {
+    /// The segment being read (`None` until the cursor has bound itself to
+    /// the first segment that exists — an empty directory has nothing to
+    /// bind to yet).
+    segment: Option<u64>,
+    /// Byte offset of the next unread byte inside `segment` (at least
+    /// [`SEGMENT_HEADER`] once the segment's header has been verified).
+    offset: u64,
+    /// LSN the next *delivered* record must carry.  Records below it (a
+    /// seek's skip prefix) are decoded and discarded; a record above it
+    /// means the log lost a record and is reported as corruption.
+    next_lsn: u64,
+}
+
+impl WalCursor {
+    /// A cursor at the very beginning of the log.
+    pub fn origin() -> Self {
+        WalCursor {
+            segment: None,
+            offset: 0,
+            next_lsn: 0,
+        }
+    }
+
+    /// A cursor that delivers records starting at `lsn`: the physical scan
+    /// still begins at the first segment (records are CRC-checked along
+    /// the way), but everything below `lsn` is skipped, not delivered.
+    /// This is how a restarted replica resumes from its checkpoint's LSN.
+    pub fn from_lsn(lsn: u64) -> Self {
+        WalCursor {
+            segment: None,
+            offset: 0,
+            next_lsn: lsn,
+        }
+    }
+
+    /// LSN of the next record this cursor will deliver.
+    pub fn next_lsn(&self) -> u64 {
+        self.next_lsn
+    }
+
+    /// The segment the cursor is positioned in, once bound.
+    pub fn segment(&self) -> Option<u64> {
+        self.segment
+    }
+}
+
+/// One poll's worth of tail records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TailBatch {
+    /// Whole, CRC-valid records in log order, each with `lsn >= ` the
+    /// cursor's `next_lsn` at call time.
+    pub records: Vec<ScannedRecord>,
+    /// `true` when the poll consumed everything currently readable: the
+    /// cursor stands at the physical end of the last segment, or at a
+    /// cold tail (torn record / unwritten segment) that only the writer
+    /// can extend.  `false` means more is readable right now (the batch
+    /// limit stopped the poll) — poll again without sleeping.
+    pub caught_up: bool,
+}
+
+/// Why the tail is unreadable *as corruption* (parking conditions are not
+/// errors — they surface as an empty, caught-up [`TailBatch`]).
+fn corrupt(what: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, what.into())
+}
+
+/// Bytes read from a segment per poll.  Large enough to amortize the
+/// syscalls, small enough that a shipper catching up through multi-MB
+/// segments does not re-read them quadratically (and does not stall
+/// whoever waits on the caller's apply lock).
+const READ_WINDOW: u64 = 256 * 1024;
+
+/// Polls the log under `dir` from `cursor`, delivering at most
+/// `max_records` records and advancing the cursor past everything it
+/// consumed (delivered or skipped).
+///
+/// Cold-tail shapes — an absent or empty directory, a zero-length or
+/// half-written tail segment, a torn record at the physical end — return
+/// an empty (or short) batch with `caught_up = true` and leave the cursor
+/// where it can resume; they are the normal states of a live log between
+/// flushes.  A CRC-invalid record *followed by more log* (a later segment
+/// exists), an LSN gap, or a vanished segment the cursor still needs are
+/// real corruption and return an error.
+pub fn read_tail(dir: &Path, cursor: &mut WalCursor, max_records: usize) -> io::Result<TailBatch> {
+    let mut batch = TailBatch {
+        records: Vec::new(),
+        caught_up: true,
+    };
+    let segments = list_segments(dir)?;
+    if segments.is_empty() {
+        // The log does not exist yet (or the directory is empty
+        // mid-stream, before the writer's first segment lands): park.
+        return Ok(batch);
+    }
+    // Bind an unbound cursor to the first segment that exists.
+    if cursor.segment.is_none() {
+        cursor.segment = Some(segments[0].0);
+        cursor.offset = 0;
+    }
+    loop {
+        let seq = cursor.segment.expect("cursor bound above");
+        let Some(position) = segments.iter().position(|&(s, _)| s == seq) else {
+            if segments.last().is_some_and(|&(s, _)| s > seq) {
+                // The cursor's segment is gone while *later* segments
+                // exist (whether or not earlier ones survive): the log
+                // lost records the cursor still needed.  This must be an
+                // error, not a park — parking here would stall the
+                // shipper forever while reporting success.
+                return Err(corrupt(format!("segment {seq} vanished under the cursor")));
+            }
+            // The cursor points one past the newest segment (it advanced
+            // eagerly after finishing the previous one): park until the
+            // writer rotates.
+            break;
+        };
+        let has_successor = position + 1 < segments.len();
+        let path = segment_path(dir, seq);
+        let mut bytes = Vec::new();
+        let mut file = File::open(&path)?;
+        // Bound each poll's read to a window: re-reading a whole 8 MB
+        // segment per poll while catching up would be quadratic I/O (and
+        // the caller may hold a lock across this call).  `file_len` is
+        // sampled first so a decode failure at the window edge can be
+        // told apart from a genuinely torn tail — the file may grow
+        // after the sample, which only errs on the side of re-polling.
+        let file_len = file.metadata()?.len();
+        if cursor.offset > 0 {
+            file.seek(SeekFrom::Start(cursor.offset))?;
+        }
+        let window_base = cursor.offset;
+        (&mut file).take(READ_WINDOW).read_to_end(&mut bytes)?;
+        let mut local = 0usize;
+        if cursor.offset < SEGMENT_HEADER as u64 {
+            // Header not yet verified.  A segment shorter than its header
+            // (zero-length file, header torn mid-write) is a cold tail if
+            // it is the newest segment; with a successor present the
+            // writer is long past it, so a short header is damage.
+            if (bytes.len() as u64) < SEGMENT_HEADER as u64 - cursor.offset {
+                if has_successor {
+                    return Err(corrupt(format!("segment {seq} has a torn header")));
+                }
+                break;
+            }
+            if cursor.offset == 0 {
+                if &bytes[0..8] != SEGMENT_MAGIC {
+                    return Err(corrupt(format!("segment {seq} has bad magic")));
+                }
+                let stamped = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+                if stamped != seq {
+                    return Err(corrupt(format!(
+                        "segment file {seq} claims sequence {stamped}"
+                    )));
+                }
+            }
+            local = (SEGMENT_HEADER as u64 - cursor.offset) as usize;
+            cursor.offset = SEGMENT_HEADER as u64;
+        }
+        let mut parked = false;
+        while local < bytes.len() {
+            if batch.records.len() >= max_records {
+                batch.caught_up = false;
+                return Ok(batch);
+            }
+            match decode_record(&bytes[local..]) {
+                Ok((consumed, lsn, record)) => {
+                    local += consumed;
+                    cursor.offset += consumed as u64;
+                    if lsn < cursor.next_lsn {
+                        // The seek prefix: already applied, not delivered.
+                        continue;
+                    }
+                    if lsn > cursor.next_lsn {
+                        return Err(corrupt(format!(
+                            "LSN gap at segment {seq}: expected {}, found {lsn}",
+                            cursor.next_lsn
+                        )));
+                    }
+                    cursor.next_lsn = lsn + 1;
+                    batch.records.push(ScannedRecord { lsn, record });
+                }
+                Err(DecodeError::Truncated) if window_base + (bytes.len() as u64) < file_len => {
+                    // The record crosses the read window while more of the
+                    // file exists beyond it — not a tail shape.  Extend
+                    // the buffer far enough to cover the record (its frame
+                    // header declares the length once 4 bytes are visible;
+                    // records may legitimately exceed READ_WINDOW) and
+                    // retry the same decode.  Returning without progress
+                    // here would livelock the shipper on any record larger
+                    // than the window.
+                    let avail = bytes.len() - local;
+                    let needed = if avail >= 4 {
+                        let len = u32::from_le_bytes(
+                            bytes[local..local + 4].try_into().expect("4 bytes"),
+                        );
+                        (crate::record::FRAME_OVERHEAD as u64 + u64::from(len))
+                            .saturating_sub(avail as u64)
+                    } else {
+                        crate::record::FRAME_OVERHEAD as u64
+                    };
+                    let room = file_len - (window_base + bytes.len() as u64);
+                    let grow = needed.max(4096).min(room);
+                    (&mut file).take(grow).read_to_end(&mut bytes)?;
+                    continue;
+                }
+                Err(DecodeError::Truncated) if !has_successor => {
+                    // A torn record at the physical tail: the writer's
+                    // flush landed mid-record.  Park; the next poll
+                    // re-reads from this offset.
+                    parked = true;
+                    break;
+                }
+                Err(e) => {
+                    // Torn with a successor (the writer finished this
+                    // segment long ago) or CRC-invalid anywhere: damage.
+                    return Err(corrupt(format!(
+                        "segment {seq} offset {}: {e}",
+                        cursor.offset
+                    )));
+                }
+            }
+        }
+        if !parked && window_base + (bytes.len() as u64) < file_len {
+            // The window ended exactly on a record boundary with more
+            // file behind it: keep reading the same segment right away.
+            batch.caught_up = false;
+            return Ok(batch);
+        }
+        if parked || !has_successor {
+            // Either a cold tail, or the newest segment read to its
+            // physical end: caught up.
+            break;
+        }
+        // Finished a completed segment: advance to its successor.
+        cursor.segment = Some(segments[position + 1].0);
+        cursor.offset = 0;
+    }
+    Ok(batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{encode_record, CommitEntry, WalRecord};
+    use crate::wal::{DurabilityMode, WalWriter};
+    use bytes::Bytes;
+    use mvcc_core::{EntityId, TxId};
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("mvcc-tail-{tag}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn write_rec(tx: u32, value: &[u8]) -> WalRecord {
+        WalRecord::Write {
+            tx: TxId(tx),
+            entity: EntityId(tx % 4),
+            value: Bytes::copy_from_slice(value),
+        }
+    }
+
+    #[test]
+    fn tail_follows_appends_across_polls() {
+        let dir = temp_dir("follow");
+        let wal = WalWriter::open(&dir, DurabilityMode::Buffered, 8 << 20).unwrap();
+        let mut cursor = WalCursor::origin();
+        wal.append_and_flush(&[write_rec(1, b"a"), write_rec(2, b"b")])
+            .unwrap();
+        let batch = read_tail(&dir, &mut cursor, 64).unwrap();
+        assert_eq!(batch.records.len(), 2);
+        assert!(batch.caught_up);
+        // Nothing new: an empty, caught-up poll.
+        let batch = read_tail(&dir, &mut cursor, 64).unwrap();
+        assert!(batch.records.is_empty() && batch.caught_up);
+        // More appends resume the stream with consecutive LSNs.
+        wal.append_and_flush(&[write_rec(3, b"c")]).unwrap();
+        let batch = read_tail(&dir, &mut cursor, 64).unwrap();
+        assert_eq!(batch.records.len(), 1);
+        assert_eq!(batch.records[0].lsn, 2);
+    }
+
+    #[test]
+    fn batch_limit_reports_not_caught_up() {
+        let dir = temp_dir("limit");
+        let wal = WalWriter::open(&dir, DurabilityMode::Buffered, 8 << 20).unwrap();
+        let records: Vec<WalRecord> = (0..6u32).map(|i| write_rec(i, b"x")).collect();
+        wal.append_and_flush(&records).unwrap();
+        let mut cursor = WalCursor::origin();
+        let first = read_tail(&dir, &mut cursor, 4).unwrap();
+        assert_eq!(first.records.len(), 4);
+        assert!(!first.caught_up, "limit hit: more is readable");
+        let rest = read_tail(&dir, &mut cursor, 4).unwrap();
+        assert_eq!(rest.records.len(), 2);
+        assert!(rest.caught_up);
+        assert_eq!(rest.records[0].lsn, 4);
+    }
+
+    #[test]
+    fn empty_and_absent_directories_park() {
+        let dir = temp_dir("empty");
+        let mut cursor = WalCursor::origin();
+        // Existing but empty: park.
+        let batch = read_tail(&dir, &mut cursor, 64).unwrap();
+        assert!(batch.records.is_empty() && batch.caught_up);
+        // Absent entirely: also a park, not an error (the primary may not
+        // have created its log yet).
+        let ghost = dir.join("never-created");
+        let batch = read_tail(&ghost, &mut cursor, 64).unwrap();
+        assert!(batch.records.is_empty() && batch.caught_up);
+        // Once the writer shows up, the same cursor picks the log up.
+        let wal = WalWriter::open(&dir, DurabilityMode::Buffered, 8 << 20).unwrap();
+        wal.append_and_flush(&[write_rec(1, b"late")]).unwrap();
+        let batch = read_tail(&dir, &mut cursor, 64).unwrap();
+        assert_eq!(batch.records.len(), 1);
+        assert_eq!(batch.records[0].lsn, 0);
+    }
+
+    #[test]
+    fn zero_length_tail_segment_parks_then_resumes() {
+        let dir = temp_dir("zerolen");
+        let wal = WalWriter::open(&dir, DurabilityMode::Buffered, 8 << 20).unwrap();
+        wal.append_and_flush(&[write_rec(1, b"solid")]).unwrap();
+        let mut cursor = WalCursor::origin();
+        assert_eq!(read_tail(&dir, &mut cursor, 64).unwrap().records.len(), 1);
+        // A zero-length next segment appears (rotation torn before the
+        // header landed): the tailer must park on it, not error.
+        let ghost = segment_path(&dir, 1);
+        std::fs::write(&ghost, b"").unwrap();
+        let batch = read_tail(&dir, &mut cursor, 64).unwrap();
+        assert!(batch.records.is_empty(), "nothing readable yet");
+        assert!(batch.caught_up);
+        // The writer completes the segment; the same cursor resumes.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(SEGMENT_MAGIC);
+        bytes.extend_from_slice(&1u64.to_le_bytes());
+        encode_record(1, &write_rec(2, b"resumed"), &mut bytes);
+        std::fs::write(&ghost, &bytes).unwrap();
+        let batch = read_tail(&dir, &mut cursor, 64).unwrap();
+        assert_eq!(batch.records.len(), 1);
+        assert_eq!(batch.records[0].lsn, 1);
+    }
+
+    #[test]
+    fn torn_tail_record_parks_and_resumes_without_loss() {
+        let dir = temp_dir("torn");
+        let wal = WalWriter::open(&dir, DurabilityMode::Buffered, 8 << 20).unwrap();
+        wal.append_and_flush(&[write_rec(1, b"whole"), write_rec(2, b"to-be-torn")])
+            .unwrap();
+        let (_, path) = list_segments(&dir).unwrap().pop().unwrap();
+        let full = std::fs::read(&path).unwrap();
+        // Tear the last record's final 3 bytes off.
+        let file = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(full.len() as u64 - 3).unwrap();
+        drop(file);
+        let mut cursor = WalCursor::origin();
+        let batch = read_tail(&dir, &mut cursor, 64).unwrap();
+        assert_eq!(batch.records.len(), 1, "only the whole record ships");
+        assert!(batch.caught_up, "torn tail parks");
+        // The writer completes the record (restore the full bytes): the
+        // parked cursor delivers it exactly once.
+        std::fs::write(&path, &full).unwrap();
+        let batch = read_tail(&dir, &mut cursor, 64).unwrap();
+        assert_eq!(batch.records.len(), 1);
+        assert_eq!(batch.records[0].lsn, 1);
+    }
+
+    #[test]
+    fn corruption_with_a_successor_is_an_error_not_a_park() {
+        let dir = temp_dir("corrupt");
+        let wal = WalWriter::open(&dir, DurabilityMode::Buffered, 64).unwrap();
+        for i in 0..6u32 {
+            wal.append_and_flush(&[write_rec(i, &[7u8; 48])]).unwrap();
+        }
+        let segments = list_segments(&dir).unwrap();
+        assert!(segments.len() >= 3, "need rotation");
+        // Flip a payload byte in the middle segment.
+        let (_, middle) = &segments[1];
+        let mut bytes = std::fs::read(middle).unwrap();
+        let flip = SEGMENT_HEADER + crate::record::FRAME_OVERHEAD + 1;
+        bytes[flip] ^= 0xff;
+        std::fs::write(middle, &bytes).unwrap();
+        let mut cursor = WalCursor::origin();
+        let err = read_tail(&dir, &mut cursor, 64).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn a_vanished_middle_segment_is_an_error_not_a_silent_stall() {
+        let dir = temp_dir("vanish");
+        let wal = WalWriter::open(&dir, DurabilityMode::Buffered, 64).unwrap();
+        for i in 0..6u32 {
+            wal.append_and_flush(&[write_rec(i, &[9u8; 48])]).unwrap();
+        }
+        let segments = list_segments(&dir).unwrap();
+        assert!(segments.len() >= 3, "need a middle segment");
+        // Consume segment 0 fully so the cursor sits in the middle one.
+        let mut cursor = WalCursor::origin();
+        loop {
+            let batch = read_tail(&dir, &mut cursor, 1).unwrap();
+            if cursor.segment() != Some(segments[0].0) || batch.caught_up {
+                break;
+            }
+        }
+        let seq = cursor.segment().unwrap();
+        // Delete the cursor's segment while earlier AND later ones
+        // survive: the tailer must error (a park would stall forever
+        // while reporting success).
+        std::fs::remove_file(segment_path(&dir, seq)).unwrap();
+        let err = read_tail(&dir, &mut cursor, 64).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("vanished"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lsn_gaps_are_detected() {
+        let dir = temp_dir("gap");
+        // Hand-build a segment whose records jump from LSN 0 to LSN 2.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(SEGMENT_MAGIC);
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        encode_record(0, &write_rec(1, b"a"), &mut bytes);
+        encode_record(2, &write_rec(2, b"b"), &mut bytes);
+        std::fs::write(segment_path(&dir, 0), &bytes).unwrap();
+        let mut cursor = WalCursor::origin();
+        let err = read_tail(&dir, &mut cursor, 64).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("LSN gap"), "{err}");
+    }
+
+    #[test]
+    fn from_lsn_skips_the_applied_prefix() {
+        let dir = temp_dir("seek");
+        let wal = WalWriter::open(&dir, DurabilityMode::Buffered, 64).unwrap();
+        for i in 0..8u32 {
+            wal.append_and_flush(&[write_rec(i, &[3u8; 32])]).unwrap();
+        }
+        let mut cursor = WalCursor::from_lsn(5);
+        let batch = read_tail(&dir, &mut cursor, 64).unwrap();
+        assert_eq!(
+            batch.records.iter().map(|r| r.lsn).collect::<Vec<_>>(),
+            vec![5, 6, 7]
+        );
+        assert_eq!(cursor.next_lsn(), 8);
+    }
+
+    #[test]
+    fn rotation_during_an_active_tail_never_drops_a_record() {
+        // The WalWriter satellite: a writer rotating through tiny segments
+        // while a tailer follows concurrently must hand the tailer every
+        // LSN exactly once, in order — rotation (flush old, create new,
+        // switch) has no window in which a record is invisible to a
+        // reader that already consumed the old segment's end.
+        let dir = temp_dir("rotate");
+        let total: u64 = 300;
+        let writer_dir = dir.clone();
+        let writer = std::thread::spawn(move || {
+            // Tiny threshold: every few appends rotates.
+            let wal = WalWriter::open(&writer_dir, DurabilityMode::Buffered, 96).unwrap();
+            for i in 0..total {
+                wal.append_and_flush(&[write_rec(i as u32, &[5u8; 24])])
+                    .unwrap();
+                if i % 16 == 0 {
+                    std::thread::yield_now();
+                }
+            }
+        });
+        let mut cursor = WalCursor::origin();
+        let mut seen: Vec<u64> = Vec::new();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        while seen.len() < total as usize {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "tailer starved: saw {} of {total}",
+                seen.len()
+            );
+            let batch = read_tail(&dir, &mut cursor, 32).unwrap();
+            seen.extend(batch.records.iter().map(|r| r.lsn));
+            if batch.caught_up && batch.records.is_empty() {
+                std::thread::yield_now();
+            }
+        }
+        writer.join().unwrap();
+        assert_eq!(
+            seen,
+            (0..total).collect::<Vec<_>>(),
+            "every LSN once, in order"
+        );
+        assert!(
+            list_segments(&dir).unwrap().len() > 3,
+            "the run must actually rotate"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn large_segments_are_read_in_windows_without_loss() {
+        // A segment much larger than READ_WINDOW: polls bounded by the
+        // window report not-caught-up (so callers re-poll immediately,
+        // without sleeping) and deliver every record exactly once.
+        let dir = temp_dir("window");
+        let wal = WalWriter::open(&dir, DurabilityMode::Buffered, 64 << 20).unwrap();
+        let total = 120u32;
+        let payload = vec![0xa5u8; 8 * 1024];
+        for i in 0..total {
+            wal.append_and_flush(&[write_rec(i, &payload)]).unwrap();
+        }
+        let mut cursor = WalCursor::origin();
+        let mut seen = Vec::new();
+        let mut polls = 0;
+        loop {
+            let batch = read_tail(&dir, &mut cursor, usize::MAX).unwrap();
+            seen.extend(batch.records.iter().map(|r| r.lsn));
+            polls += 1;
+            if batch.caught_up {
+                break;
+            }
+        }
+        assert_eq!(seen, (0..u64::from(total)).collect::<Vec<_>>());
+        assert!(
+            polls > 2,
+            "a ~1 MB segment must take several windowed polls, took {polls}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn records_larger_than_the_read_window_still_ship() {
+        // Livelock regression: a record bigger than READ_WINDOW must make
+        // the tailer extend its buffer to cover the record (the frame
+        // header declares the length), not spin forever on an empty
+        // not-caught-up batch.
+        let dir = temp_dir("bigrec");
+        let wal = WalWriter::open(&dir, DurabilityMode::Buffered, 64 << 20).unwrap();
+        let big = vec![0x5au8; (READ_WINDOW as usize) + 50_000];
+        wal.append_and_flush(&[
+            write_rec(1, b"small-before"),
+            write_rec(2, &big),
+            write_rec(3, b"small-after"),
+        ])
+        .unwrap();
+        let mut cursor = WalCursor::origin();
+        let mut seen = Vec::new();
+        for _ in 0..16 {
+            let batch = read_tail(&dir, &mut cursor, 64).unwrap();
+            seen.extend(batch.records);
+            if batch.caught_up {
+                break;
+            }
+        }
+        assert_eq!(
+            seen.iter().map(|r| r.lsn).collect::<Vec<_>>(),
+            vec![0, 1, 2],
+            "bounded polls must deliver all three records"
+        );
+        match &seen[1].record {
+            WalRecord::Write { value, .. } => assert_eq!(value.len(), big.len()),
+            other => panic!("wrong record {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn commit_records_ship_with_their_entries() {
+        let dir = temp_dir("commit");
+        let wal = WalWriter::open(&dir, DurabilityMode::Buffered, 8 << 20).unwrap();
+        let commit = WalRecord::Commit {
+            entries: vec![CommitEntry {
+                tx: TxId(4),
+                shards: vec![(0, 9), (1, 3)],
+            }],
+        };
+        wal.append_and_flush(std::slice::from_ref(&commit)).unwrap();
+        let mut cursor = WalCursor::origin();
+        let batch = read_tail(&dir, &mut cursor, 8).unwrap();
+        assert_eq!(batch.records.len(), 1);
+        assert_eq!(batch.records[0].record, commit);
+    }
+}

@@ -255,6 +255,10 @@ pub struct WalReceipt {
     pub bytes: u64,
     /// `true` when the flush ended in an fsync.
     pub fsynced: bool,
+    /// LSN of the last record this append wrote (`None` for an empty
+    /// batch).  A commit batch's single commit record gets exactly this
+    /// LSN — it is what a replica router's wait-for-LSN compares against.
+    pub last_lsn: Option<u64>,
 }
 
 /// The group-append writer over a segmented log directory.
@@ -381,11 +385,13 @@ impl WalWriter {
         inner.scratch = scratch;
         result?;
         inner.segment_bytes_written += bytes;
+        let last_lsn = inner.next_lsn.checked_sub(1);
         self.maybe_rotate(&mut inner)?;
         Ok(WalReceipt {
             records: records.len(),
             bytes,
             fsynced: false,
+            last_lsn,
         })
     }
 

@@ -127,6 +127,7 @@ pub fn run_closed_loop_configured(
             record_history,
             admission,
             durability,
+            ..EngineConfig::default()
         },
     ));
     let gc = GcDriver::start(Arc::clone(&engine), Duration::from_millis(1));

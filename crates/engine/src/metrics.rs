@@ -1,5 +1,7 @@
-//! Engine observability: counters, abort breakdown, latency histogram and
-//! per-shard contention.
+//! Engine observability: counters, abort breakdown, latency histogram,
+//! per-shard contention, and — when `mvcc-replica` components are handed
+//! the engine's metrics handle — replication shipping/apply/routing
+//! counters, rendered next to the durability block.
 //!
 //! Everything is lock-free (`AtomicU64` relaxed counters): the hot path
 //! adds a handful of uncontended atomic increments per operation, and
@@ -125,6 +127,14 @@ pub struct EngineMetrics {
     wal_fsyncs: AtomicU64,
     wal_commits: AtomicU64,
     checkpoints: AtomicU64,
+    repl_shipped_records: AtomicU64,
+    repl_applied_records: AtomicU64,
+    repl_applied_commits: AtomicU64,
+    repl_apply_batches: AtomicU64,
+    repl_routed_reads: AtomicU64,
+    repl_wait_stalls: AtomicU64,
+    repl_wait_stall_us: AtomicU64,
+    repl_max_lag_lsn: AtomicU64,
     commit_latency: LatencyHistogram,
     shards: Vec<ShardCounters>,
 }
@@ -152,6 +162,14 @@ impl EngineMetrics {
             wal_fsyncs: AtomicU64::new(0),
             wal_commits: AtomicU64::new(0),
             checkpoints: AtomicU64::new(0),
+            repl_shipped_records: AtomicU64::new(0),
+            repl_applied_records: AtomicU64::new(0),
+            repl_applied_commits: AtomicU64::new(0),
+            repl_apply_batches: AtomicU64::new(0),
+            repl_routed_reads: AtomicU64::new(0),
+            repl_wait_stalls: AtomicU64::new(0),
+            repl_wait_stall_us: AtomicU64::new(0),
+            repl_max_lag_lsn: AtomicU64::new(0),
             commit_latency: LatencyHistogram::default(),
             shards: (0..shards).map(|_| ShardCounters::default()).collect(),
         }
@@ -242,6 +260,42 @@ impl EngineMetrics {
         self.checkpoints.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records `records` WAL records shipped off the primary's log by a
+    /// replication tailer.
+    pub fn record_repl_shipped(&self, records: usize) {
+        self.repl_shipped_records
+            .fetch_add(records as u64, Ordering::Relaxed);
+    }
+
+    /// Records one replica apply batch: `records` records ingested, of
+    /// which `commits` were commit records (the only ones that move data).
+    pub fn record_repl_applied(&self, records: usize, commits: usize) {
+        self.repl_apply_batches.fetch_add(1, Ordering::Relaxed);
+        self.repl_applied_records
+            .fetch_add(records as u64, Ordering::Relaxed);
+        self.repl_applied_commits
+            .fetch_add(commits as u64, Ordering::Relaxed);
+    }
+
+    /// Records one read-only session routed to a replica, with the
+    /// replica's apply lag (in LSNs behind the primary's durable horizon)
+    /// observed at pin time.
+    pub fn record_repl_routed_read(&self, lag_lsn: u64) {
+        self.repl_routed_reads.fetch_add(1, Ordering::Relaxed);
+        self.repl_max_lag_lsn.fetch_max(lag_lsn, Ordering::Relaxed);
+    }
+
+    /// Records one wait-for-LSN stall of the given duration (a routed
+    /// read that had to park until a replica caught up — read-your-writes
+    /// or a staleness bound).
+    pub fn record_repl_wait(&self, stalled: Duration) {
+        self.repl_wait_stalls.fetch_add(1, Ordering::Relaxed);
+        self.repl_wait_stall_us.fetch_add(
+            u64::try_from(stalled.as_micros()).unwrap_or(u64::MAX),
+            Ordering::Relaxed,
+        );
+    }
+
     /// A point-in-time copy of every counter.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -267,6 +321,14 @@ impl EngineMetrics {
             wal_fsyncs: self.wal_fsyncs.load(Ordering::Relaxed),
             wal_commits: self.wal_commits.load(Ordering::Relaxed),
             checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            repl_shipped_records: self.repl_shipped_records.load(Ordering::Relaxed),
+            repl_applied_records: self.repl_applied_records.load(Ordering::Relaxed),
+            repl_applied_commits: self.repl_applied_commits.load(Ordering::Relaxed),
+            repl_apply_batches: self.repl_apply_batches.load(Ordering::Relaxed),
+            repl_routed_reads: self.repl_routed_reads.load(Ordering::Relaxed),
+            repl_wait_stalls: self.repl_wait_stalls.load(Ordering::Relaxed),
+            repl_wait_stall_us: self.repl_wait_stall_us.load(Ordering::Relaxed),
+            repl_max_lag_lsn: self.repl_max_lag_lsn.load(Ordering::Relaxed),
             latency_buckets: self.commit_latency.counts(),
             shard_ops: self
                 .shards
@@ -325,6 +387,23 @@ pub struct MetricsSnapshot {
     pub wal_commits: u64,
     /// Checkpoints cut.
     pub checkpoints: u64,
+    /// WAL records shipped off the log by replication tailers.
+    pub repl_shipped_records: u64,
+    /// Records ingested by replica apply.
+    pub repl_applied_records: u64,
+    /// Commit records applied by replicas (the ones that move data).
+    pub repl_applied_commits: u64,
+    /// Replica apply batches.
+    pub repl_apply_batches: u64,
+    /// Read-only sessions routed to replicas.
+    pub repl_routed_reads: u64,
+    /// Routed reads that had to park on wait-for-LSN.
+    pub repl_wait_stalls: u64,
+    /// Total microseconds spent parked on wait-for-LSN.
+    pub repl_wait_stall_us: u64,
+    /// Largest apply lag (LSNs behind the durable horizon) observed at
+    /// read-pin time.
+    pub repl_max_lag_lsn: u64,
     /// Commit-latency histogram: bucket 0 is sub-µs, bucket `i > 0` covers
     /// `[2^(i-1), 2^i)` µs.
     pub latency_buckets: Vec<u64>,
@@ -358,6 +437,19 @@ impl MetricsSnapshot {
     /// `true` when the engine ran with a write-ahead log.
     pub fn durability_on(&self) -> bool {
         self.wal_appends > 0 || self.wal_flushes > 0
+    }
+
+    /// `true` when replication traffic (shipping, applying or routing)
+    /// was recorded.
+    pub fn replication_on(&self) -> bool {
+        self.repl_shipped_records > 0 || self.repl_applied_records > 0 || self.repl_routed_reads > 0
+    }
+
+    /// Mean records per replica apply batch, or `None` when no batch was
+    /// applied.
+    pub fn mean_repl_apply_batch(&self) -> Option<f64> {
+        (self.repl_apply_batches > 0)
+            .then(|| self.repl_applied_records as f64 / self.repl_apply_batches as f64)
     }
 
     /// Fraction of finished transactions that committed.
@@ -447,6 +539,21 @@ impl fmt::Display for MetricsSnapshot {
                 self.wal_bytes,
                 self.mean_commits_per_flush().unwrap_or(0.0),
                 self.checkpoints
+            )?;
+        }
+        if self.replication_on() {
+            writeln!(
+                f,
+                "replication: {} records shipped, {} applied ({} commits, mean {:.1}/batch), \
+                 {} routed reads, {} wait-for-lsn stalls ({} µs), max lag {} lsn",
+                self.repl_shipped_records,
+                self.repl_applied_records,
+                self.repl_applied_commits,
+                self.mean_repl_apply_batch().unwrap_or(0.0),
+                self.repl_routed_reads,
+                self.repl_wait_stalls,
+                self.repl_wait_stall_us,
+                self.repl_max_lag_lsn
             )?;
         }
         write!(f, "shards:")?;
@@ -570,6 +677,33 @@ mod tests {
         assert!(text.contains("1 committed"));
         assert!(text.contains("gc: 0 passes"));
         assert!(text.contains("[0] ops=0"));
+    }
+
+    #[test]
+    fn replication_counters_accumulate_and_display() {
+        let m = EngineMetrics::new(1);
+        assert!(!m.snapshot().replication_on());
+        assert!(!m.snapshot().to_string().contains("replication:"));
+        m.record_repl_shipped(10);
+        m.record_repl_applied(10, 3);
+        m.record_repl_applied(4, 1);
+        m.record_repl_routed_read(2);
+        m.record_repl_routed_read(7);
+        m.record_repl_wait(Duration::from_micros(150));
+        let s = m.snapshot();
+        assert!(s.replication_on());
+        assert_eq!(s.repl_shipped_records, 10);
+        assert_eq!(s.repl_applied_records, 14);
+        assert_eq!(s.repl_applied_commits, 4);
+        assert_eq!(s.repl_apply_batches, 2);
+        assert_eq!(s.mean_repl_apply_batch(), Some(7.0));
+        assert_eq!(s.repl_routed_reads, 2);
+        assert_eq!(s.repl_max_lag_lsn, 7, "max, not last");
+        assert_eq!(s.repl_wait_stalls, 1);
+        assert_eq!(s.repl_wait_stall_us, 150);
+        let text = s.to_string();
+        assert!(text.contains("replication: 10 records shipped"), "{text}");
+        assert!(text.contains("max lag 7 lsn"), "{text}");
     }
 
     #[test]

@@ -92,8 +92,13 @@ pub(crate) enum StepOutcome {
 /// The engine-internal verdict on one submitted commit.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) enum CommitOutcome {
-    /// Committed on every touched shard; certifiers notified.
-    Committed,
+    /// Committed on every touched shard; certifiers notified.  With
+    /// durability on, carries the LSN of the batch's WAL commit record —
+    /// what a replica router's read-your-writes waits for.
+    Committed {
+        /// LSN of the WAL commit record (`None` with durability off).
+        wal_lsn: Option<u64>,
+    },
     /// First-committer-wins validation failed on the contained entity
     /// against the contained winner.  The session must abort itself.
     Conflict(EntityId, TxId),
@@ -111,24 +116,46 @@ pub(crate) enum CommitOutcome {
 #[derive(Debug)]
 pub(crate) struct HistoryLog {
     record: bool,
-    admitted: Mutex<Vec<Step>>,
+    /// `Some(n)`: ring mode — at most `n` admitted steps are retained,
+    /// oldest dropped first, with a high-water drop counter.  Long soak
+    /// and replication runs use this to bound memory; classification
+    /// tests keep the default unbounded log (a truncated history cannot
+    /// be classified).
+    capacity: Option<usize>,
+    admitted: Mutex<AdmittedLog>,
     committed: Mutex<BTreeSet<TxId>>,
 }
 
+/// The admitted-step buffer plus its drop high-water mark.
+#[derive(Debug, Default)]
+struct AdmittedLog {
+    steps: std::collections::VecDeque<Step>,
+    dropped: u64,
+}
+
 impl HistoryLog {
-    pub(crate) fn new(record: bool) -> Self {
+    pub(crate) fn new(record: bool, capacity: Option<usize>) -> Self {
         HistoryLog {
             record,
-            admitted: Mutex::new(Vec::new()),
+            capacity,
+            admitted: Mutex::new(AdmittedLog::default()),
             committed: Mutex::new(BTreeSet::new()),
         }
     }
 
     /// Appends one ruled batch's admitted steps (no-op when recording is
-    /// off).
+    /// off).  In ring mode the oldest steps beyond the capacity are
+    /// dropped and counted.
     fn append_batch(&self, steps: &[Step]) {
         if self.record && !steps.is_empty() {
-            self.admitted.lock().extend_from_slice(steps);
+            let mut log = self.admitted.lock();
+            log.steps.extend(steps.iter().copied());
+            if let Some(cap) = self.capacity {
+                while log.steps.len() > cap {
+                    log.steps.pop_front();
+                    log.dropped += 1;
+                }
+            }
         }
     }
 
@@ -148,9 +175,10 @@ impl HistoryLog {
     /// whose steps are missing from the log (the opposite order could).
     pub(crate) fn snapshot(&self) -> History {
         let committed = self.committed.lock().clone();
-        let admitted = self.admitted.lock().clone();
+        let log = self.admitted.lock();
         History {
-            admitted,
+            admitted: log.steps.iter().copied().collect(),
+            dropped: log.dropped,
             committed,
         }
     }
@@ -161,9 +189,7 @@ impl HistoryLog {
     /// committed set (always — commit membership is cheap and the
     /// committed projection depends on it).
     pub(crate) fn seed(&self, admitted: &[Step], committed: &BTreeSet<TxId>) {
-        if self.record {
-            self.admitted.lock().extend_from_slice(admitted);
-        }
+        self.append_batch(admitted);
         self.committed.lock().extend(committed.iter().copied());
     }
 }
@@ -389,6 +415,12 @@ pub(crate) struct AdmissionPipeline {
     /// `true` in fsync mode: commits park behind a one-quantum
     /// group-commit window so concurrent committers share each fsync.
     fsync_window: bool,
+    /// One past the highest WAL LSN known flushed (0 = nothing durable
+    /// yet).  Updated after every commit-batch flush; this — not the
+    /// writer's buffered tail — is what replicas can actually observe,
+    /// so it is the horizon `ReadPolicy::Latest` and lag bounds compare
+    /// against.
+    durable_lsn: std::sync::atomic::AtomicU64,
 }
 
 impl fmt::Debug for AdmissionPipeline {
@@ -439,7 +471,22 @@ impl AdmissionPipeline {
             validates_at_commit,
             wal,
             fsync_window,
+            durable_lsn: std::sync::atomic::AtomicU64::new(0),
         }
+    }
+
+    /// LSN of the newest record known flushed (per the engine's mode), or
+    /// `None` before the first durable commit.
+    pub(crate) fn durable_lsn(&self) -> Option<u64> {
+        self.durable_lsn
+            .load(std::sync::atomic::Ordering::Acquire)
+            .checked_sub(1)
+    }
+
+    /// Advances the durable horizon to `lsn` (monotone).
+    pub(crate) fn note_durable(&self, lsn: u64) {
+        self.durable_lsn
+            .fetch_max(lsn + 1, std::sync::atomic::Ordering::AcqRel);
     }
 
     /// Seeds every lane with crash-recovered facts: the committed
@@ -772,7 +819,7 @@ impl AdmissionPipeline {
             // sequence atomic against other committers.
             for request in batch {
                 let handle = TxHandle { id: request.tx };
-                let mut verdict = CommitOutcome::Committed;
+                let mut verdict = CommitOutcome::Committed { wal_lsn: None };
                 let mut stamps = Vec::new();
                 'validate: for (idx, &begun) in request.begun_shards.iter().enumerate() {
                     if !begun {
@@ -785,7 +832,7 @@ impl AdmissionPipeline {
                         break 'validate;
                     }
                 }
-                if verdict == CommitOutcome::Committed {
+                if matches!(verdict, CommitOutcome::Committed { .. }) {
                     for (idx, &begun) in request.begun_shards.iter().enumerate() {
                         if begun {
                             match shards.store(idx).commit(handle, false) {
@@ -798,7 +845,7 @@ impl AdmissionPipeline {
                         }
                     }
                 }
-                stamped.push((verdict == CommitOutcome::Committed).then_some(stamps));
+                stamped.push(matches!(verdict, CommitOutcome::Committed { .. }).then_some(stamps));
                 outcomes.push(verdict);
             }
         } else {
@@ -818,7 +865,7 @@ impl AdmissionPipeline {
                                 .map(|(idx, ts)| (idx as u32, ts))
                                 .collect(),
                         ));
-                        outcomes.push(CommitOutcome::Committed);
+                        outcomes.push(CommitOutcome::Committed { wal_lsn: None });
                     }
                     Err(e) => {
                         stamped.push(None);
@@ -830,7 +877,7 @@ impl AdmissionPipeline {
         let committed: Vec<TxId> = batch
             .iter()
             .zip(&outcomes)
-            .filter(|(_, o)| matches!(o, CommitOutcome::Committed))
+            .filter(|(_, o)| matches!(o, CommitOutcome::Committed { .. }))
             .map(|(r, _)| r.tx)
             .collect();
         // Durability point: one commit record for the whole batch, one
@@ -852,6 +899,15 @@ impl AdmissionPipeline {
                     .append_and_flush(&[WalRecord::Commit { entries }])
                     .expect("WAL commit flush failed: durability can no longer be guaranteed");
                 metrics.record_wal_flush(receipt.bytes, receipt.fsynced, committed.len());
+                if let Some(lsn) = receipt.last_lsn {
+                    self.note_durable(lsn);
+                    // Every member shares the batch's one commit record.
+                    for outcome in &mut outcomes {
+                        if let CommitOutcome::Committed { wal_lsn } = outcome {
+                            *wal_lsn = Some(lsn);
+                        }
+                    }
+                }
             }
         }
         // Certifier + history bookkeeping for the transactions that made

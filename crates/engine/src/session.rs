@@ -122,6 +122,12 @@ pub struct EngineConfig {
     /// Record the admission history (required for offline classification;
     /// turn off for long benchmark runs).
     pub record_history: bool,
+    /// `Some(n)`: keep at most `n` admitted steps in the in-memory
+    /// history, dropping the oldest (ring mode) and counting drops in
+    /// [`History::dropped`] — bounds memory on long closed-loop and
+    /// replication soak runs.  `None` (the default) keeps everything,
+    /// which is what offline classification needs.
+    pub history_capacity: Option<usize>,
     /// How admission is serialized: the batched group-commit pipeline
     /// (default) or the per-step baseline it replaced (kept for
     /// comparison benchmarks — experiment E13).
@@ -141,6 +147,7 @@ impl Default for EngineConfig {
             entities: 16,
             initial: Bytes::from_static(b"0"),
             record_history: true,
+            history_capacity: None,
             admission: AdmissionMode::default(),
             durability: DurabilityConfig::off(),
         }
@@ -152,13 +159,25 @@ impl Default for EngineConfig {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct History {
     /// Every admitted step, in admission order (including steps of
-    /// transactions that later aborted).
+    /// transactions that later aborted).  In ring mode
+    /// ([`EngineConfig::history_capacity`]) this is only the newest
+    /// window; [`History::dropped`] counts what fell off the front.
     pub admitted: Vec<Step>,
+    /// Admitted steps dropped by ring mode (0 in the default unbounded
+    /// mode).  A history with drops is no longer classifiable as a whole
+    /// — [`History::is_complete`] says which case holds.
+    pub dropped: u64,
     /// Transactions that committed.
     pub committed: BTreeSet<TxId>,
 }
 
 impl History {
+    /// `true` when no admitted step was dropped: the committed projection
+    /// is the full history the certifier ruled on, safe to classify.
+    pub fn is_complete(&self) -> bool {
+        self.dropped == 0
+    }
+
     /// The committed projection: admitted steps of committed transactions,
     /// in admission order — the object the offline classifiers check.
     pub fn committed_schedule(&self) -> Schedule {
@@ -177,7 +196,7 @@ pub struct Engine {
     shards: ShardedStore,
     pipeline: AdmissionPipeline,
     history: HistoryLog,
-    metrics: EngineMetrics,
+    metrics: Arc<EngineMetrics>,
     next_tx: AtomicU32,
     kind: CertifierKind,
     /// The write-ahead log (durability on) — shared with the pipeline,
@@ -224,8 +243,8 @@ impl Engine {
         Engine {
             shards: ShardedStore::new(config.shards, config.entities, config.initial),
             pipeline: AdmissionPipeline::new(kind, config.shards, config.admission, wal.clone()),
-            history: HistoryLog::new(config.record_history),
-            metrics: EngineMetrics::new(config.shards),
+            history: HistoryLog::new(config.record_history, config.history_capacity),
+            metrics: Arc::new(EngineMetrics::new(config.shards)),
             next_tx: AtomicU32::new(1),
             kind,
             wal,
@@ -279,6 +298,14 @@ impl Engine {
             config.admission,
             Some(Arc::clone(&wal)),
         );
+        // Everything the reopened log holds was read back from disk, so
+        // it is flushed by definition: seed the durable horizon there,
+        // or a post-recovery read router would treat the whole recovered
+        // history as not-yet-observable and serve arbitrarily stale
+        // `Latest` reads.
+        if let Some(lsn) = wal.last_lsn() {
+            pipeline.note_durable(lsn);
+        }
         // The newest committed writer per entity: what a resumed
         // single-version "latest" read must resolve to.
         let latest_writers: Vec<(EntityId, TxId)> = recovered
@@ -293,14 +320,14 @@ impl Engine {
             })
             .collect();
         pipeline.seed_recovered(&recovered.committed, &latest_writers);
-        let history = HistoryLog::new(config.record_history);
+        let history = HistoryLog::new(config.record_history, config.history_capacity);
         history.seed(&recovered.admitted, &recovered.committed);
         let report = recovered.report.clone();
         let engine = Arc::new(Engine {
             shards,
             pipeline,
             history,
-            metrics: EngineMetrics::new(config.shards),
+            metrics: Arc::new(EngineMetrics::new(config.shards)),
             next_tx: AtomicU32::new(recovered.next_tx),
             kind,
             wal: Some(wal),
@@ -382,6 +409,10 @@ impl Engine {
         // amortization E14 reports), and a periodic checkpointer would
         // otherwise dilute the mean with zero-commit flushes.
         let receipt = wal.append_and_flush(&[WalRecord::Checkpoint { seq }])?;
+        if let Some(lsn) = receipt.last_lsn {
+            // The marker's flush made everything before it durable too.
+            self.pipeline.note_durable(lsn);
+        }
         self.metrics
             .record_wal_append(receipt.records, receipt.bytes);
         self.metrics.record_checkpoint();
@@ -417,6 +448,29 @@ impl Engine {
     /// The engine's metrics.
     pub fn metrics(&self) -> &EngineMetrics {
         &self.metrics
+    }
+
+    /// A shareable handle to the engine's metrics, for components that
+    /// outlive a borrow (the replication shipper and router record their
+    /// counters here so one `Display` block tells the whole story).
+    pub fn metrics_handle(&self) -> Arc<EngineMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// LSN of the newest record *appended* to the write-ahead log
+    /// (buffered appends included), or `None` with durability off / an
+    /// empty log.
+    pub fn wal_last_lsn(&self) -> Option<u64> {
+        self.wal.as_ref().and_then(|w| w.last_lsn())
+    }
+
+    /// LSN of the newest record known *flushed* per the durability mode —
+    /// the horizon a log-shipping replica can actually observe — or
+    /// `None` with durability off / nothing flushed yet.  Buffered-only
+    /// appends (step records awaiting their batch's commit flush) sit
+    /// above this.
+    pub fn durable_lsn(&self) -> Option<u64> {
+        self.pipeline.durable_lsn()
     }
 
     /// The sharded store (observability and tests).
@@ -606,7 +660,15 @@ impl Session {
     /// lane.  Under snapshot isolation this is where first-committer-wins
     /// validation runs; on conflict the session is aborted and
     /// [`EngineError::WriteConflict`] returned.
-    pub fn commit(mut self) -> Result<(), EngineError> {
+    pub fn commit(self) -> Result<(), EngineError> {
+        self.commit_durable().map(|_| ())
+    }
+
+    /// [`Session::commit`] that also reports *where* the commit landed in
+    /// the write-ahead log: the LSN of the batch's commit record (`None`
+    /// with durability off).  A client that later wants read-your-writes
+    /// on a read replica hands this LSN to the router's wait-for-LSN.
+    pub fn commit_durable(mut self) -> Result<Option<u64>, EngineError> {
         self.ensure_active()?;
         let outcome = self.engine.pipeline.submit_commit(
             self.tx,
@@ -616,10 +678,10 @@ impl Session {
             &self.engine.metrics,
         );
         match outcome {
-            CommitOutcome::Committed => {
+            CommitOutcome::Committed { wal_lsn } => {
                 self.active = false;
                 self.engine.metrics.record_commit(self.started.elapsed());
-                Ok(())
+                Ok(wal_lsn)
             }
             CommitOutcome::Conflict(entity, winner) => {
                 self.abort_with(AbortReason::WriteConflict, Some(entity));
@@ -1155,6 +1217,66 @@ mod tests {
             &dir,
             mvcc_durability::DurabilityMode::Buffered,
         );
+    }
+
+    #[test]
+    fn ring_history_bounds_memory_and_counts_drops() {
+        let e = Arc::new(Engine::new(
+            CertifierKind::Sgt,
+            EngineConfig {
+                history_capacity: Some(4),
+                ..EngineConfig::default()
+            },
+        ));
+        for i in 0..6u32 {
+            let mut s = e.begin();
+            s.write(X, Bytes::from(format!("{i}"))).unwrap();
+            s.commit().unwrap();
+        }
+        let history = e.history();
+        assert_eq!(history.admitted.len(), 4, "ring keeps only the window");
+        assert_eq!(history.dropped, 2, "high-water counter tracks drops");
+        assert!(!history.is_complete());
+        assert_eq!(
+            history.committed.len(),
+            6,
+            "commit membership is never dropped"
+        );
+        // The default stays unbounded and complete.
+        let e = engine(CertifierKind::Sgt);
+        let mut s = e.begin();
+        s.write(X, Bytes::from_static(b"x")).unwrap();
+        s.commit().unwrap();
+        assert!(e.history().is_complete());
+    }
+
+    #[test]
+    fn commit_durable_reports_the_commit_record_lsn() {
+        // Durability off: no LSN to report.
+        let e = engine(CertifierKind::Sgt);
+        let mut s = e.begin();
+        s.write(X, Bytes::from_static(b"x")).unwrap();
+        assert_eq!(s.commit_durable().unwrap(), None);
+        assert_eq!(e.durable_lsn(), None);
+        assert_eq!(e.wal_last_lsn(), None);
+        // Durability on: each commit's LSN is the batch's commit record,
+        // monotonically increasing, and the durable horizon follows it.
+        let dir = temp_dir("lsn");
+        let e = durable_engine(
+            CertifierKind::Sgt,
+            &dir,
+            mvcc_durability::DurabilityMode::Buffered,
+        );
+        let mut s1 = e.begin();
+        s1.write(X, Bytes::from_static(b"a")).unwrap();
+        let lsn1 = s1.commit_durable().unwrap().expect("durable commit");
+        let mut s2 = e.begin();
+        s2.write(Y, Bytes::from_static(b"b")).unwrap();
+        let lsn2 = s2.commit_durable().unwrap().expect("durable commit");
+        assert!(lsn2 > lsn1, "commit records are ordered: {lsn1} vs {lsn2}");
+        assert_eq!(e.durable_lsn(), Some(lsn2));
+        assert!(e.wal_last_lsn() >= e.durable_lsn());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

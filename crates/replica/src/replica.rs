@@ -1,0 +1,900 @@
+//! The replica proper: apply-only ingestion of the shipped log into a
+//! local sharded store, the apply watermark, pinned read sessions, local
+//! checkpoints and restart/resume.
+//!
+//! A replica never runs a certifier and never invents state: the only
+//! record kind that moves data is [`WalRecord::Commit`] — write records
+//! park in a pending map until their commit arrives (or an abort / the
+//! end of the stream discards them), so no follower read can ever observe
+//! uncommitted data.  This is *avoids cascading aborts* carried across
+//! the wire, the same argument that makes crash recovery
+//! class-preserving.
+//!
+//! Commit records apply with the **primary's** per-shard commit
+//! timestamps ([`mvcc_store::MvStore::apply_committed`]), so snapshot
+//! visibility on the replica reproduces the primary's exactly; a commit
+//! record's multi-shard entries apply under the replica's apply lock,
+//! atomically with respect to read pinning, so a pinned session can
+//! never see a cross-shard commit half-applied (no fractured follower
+//! reads).
+//!
+//! The **apply watermark** is the next LSN the replica will apply — it
+//! advances monotonically after each record's effects land, and is the
+//! single number the router compares against the primary's durable
+//! horizon for staleness bounds and wait-for-LSN.
+
+use crate::history::ReplicaHistory;
+use bytes::Bytes;
+use mvcc_core::{EntityId, Step, TxId};
+use mvcc_durability::{
+    latest_checkpoint, read_tail, write_checkpoint, CheckpointData, RecoveredShard,
+    ShardCheckpoint, WalCursor, WalRecord,
+};
+use mvcc_engine::{EngineMetrics, ShardedStore};
+use mvcc_store::{gc, StoreError, TxHandle};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// First transaction id of the replica's read-only id space: far above
+/// anything a primary allocates in these workloads, far below the
+/// [`TxId::INITIAL`]/[`TxId::FINAL`] padding ids, so combined schedules
+/// never collide.
+pub const READER_TX_BASE: u32 = 0x4000_0000;
+
+/// Replica construction parameters.  Topology (`shards`, `entities`,
+/// `initial`) must match the primary's — the log carries entity ids, not
+/// the hash layout.
+#[derive(Debug, Clone)]
+pub struct ReplicaConfig {
+    /// Number of store shards (must equal the primary's).
+    pub shards: usize,
+    /// Number of pre-created entities (must equal the primary's).
+    pub entities: usize,
+    /// Initial version payload of every entity (must equal the primary's).
+    pub initial: Bytes,
+    /// Record the replica history (required to classify combined
+    /// histories offline; turn off for long soak runs).
+    pub record_history: bool,
+    /// Directory for the replica's *local* checkpoints (its resume
+    /// state).  `None` disables checkpointing; restart then re-ships the
+    /// whole log.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Metrics sink — pass the primary engine's
+    /// [`mvcc_engine::Engine::metrics_handle`] so shipping/apply counters
+    /// land in the same `Display` block as the durability metrics.
+    pub metrics: Option<Arc<EngineMetrics>>,
+}
+
+impl ReplicaConfig {
+    /// A config mirroring the given topology, history recording on, no
+    /// checkpoint dir, no metrics sink.
+    pub fn new(shards: usize, entities: usize, initial: Bytes) -> Self {
+        ReplicaConfig {
+            shards,
+            entities,
+            initial,
+            record_history: true,
+            checkpoint_dir: None,
+            metrics: None,
+        }
+    }
+}
+
+/// The outcome of one [`Replica::ship_once`] poll.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShipReceipt {
+    /// Records shipped and applied by this poll.
+    pub records: usize,
+    /// Commit records among them (the ones that moved data).
+    pub commits: usize,
+    /// `true` when the poll drained everything currently readable (park
+    /// until the primary appends more).
+    pub caught_up: bool,
+}
+
+/// Apply-side state guarded by the replica's one apply lock.
+struct ApplyState {
+    cursor: WalCursor,
+    /// Write records awaiting their commit record, per transaction.
+    pending: HashMap<TxId, Vec<(EntityId, Bytes)>>,
+    /// Transactions with a shipped begin/step record but no commit or
+    /// abort yet — the *straddlers* that make a log position unsafe to
+    /// read at.
+    open: std::collections::HashSet<TxId>,
+    /// Per-shard commit-timestamp high-water marks implied by the
+    /// commit records applied so far (mirrors each store's counter,
+    /// maintained here so safe points can be sampled without touching
+    /// the store locks).
+    shard_ts: Vec<u64>,
+    /// The newest **transaction-consistent safe point**: a watermark at
+    /// which no transaction straddled the log (every transaction with a
+    /// step below it also committed or aborted below it).  Follower
+    /// reads pin here — a commit-prefix snapshot taken *between* a
+    /// transaction's steps and its commit record is not serialization-
+    /// consistent under non-strict certifiers (commit order can invert a
+    /// dependency), and a reader wedged there could make the combined
+    /// history leave the certified class.  Safe points are exactly the
+    /// cuts closed under every conflict edge, the replica-side analogue
+    /// of recovery's "discard all in-flight transactions".
+    safe_lsn: u64,
+    /// The per-shard timestamps at `safe_lsn` (what a pinned reader's
+    /// snapshots are begun at).
+    safe_ts: Vec<u64>,
+}
+
+impl ApplyState {
+    /// Folds one shipped record into the open-transaction set and the
+    /// shard-timestamp mirror, then advances the safe point if the
+    /// position right after `lsn` is transaction-consistent.
+    fn track_safety(&mut self, lsn: u64, record: &WalRecord) {
+        match record {
+            WalRecord::Begin { tx } => {
+                self.open.insert(*tx);
+            }
+            WalRecord::Read { tx, .. } | WalRecord::Write { tx, .. } => {
+                // Begin records ride with the first step, but be
+                // defensive about logs that lack them.
+                self.open.insert(*tx);
+            }
+            WalRecord::Commit { entries } => {
+                for entry in entries {
+                    self.open.remove(&entry.tx);
+                    for &(shard, ts) in &entry.shards {
+                        if let Some(slot) = self.shard_ts.get_mut(shard as usize) {
+                            *slot = (*slot).max(ts);
+                        }
+                    }
+                }
+            }
+            WalRecord::Abort { tx } => {
+                self.open.remove(tx);
+            }
+            WalRecord::Checkpoint { .. } => {}
+        }
+        if self.open.is_empty() {
+            self.safe_lsn = lsn + 1;
+            self.safe_ts.clone_from(&self.shard_ts);
+        }
+    }
+}
+
+/// A log-shipping read replica (see the module docs).
+pub struct Replica {
+    /// The primary's WAL directory this replica tails.
+    wal_dir: PathBuf,
+    config: ReplicaConfig,
+    shards: ShardedStore,
+    state: Mutex<ApplyState>,
+    history: ReplicaHistory,
+    /// Next LSN to apply — the apply watermark (monotone).
+    watermark: AtomicU64,
+    /// Mirror of the apply state's safe point (lock-free router checks).
+    safe_watermark: AtomicU64,
+    /// `true` while the last poll drained the readable log.
+    caught_up: AtomicBool,
+    /// When the watermark last advanced (or was last confirmed in sync).
+    last_advance: Mutex<Instant>,
+    next_reader: AtomicU32,
+    checkpoint_seq: AtomicU64,
+}
+
+impl std::fmt::Debug for Replica {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Replica")
+            .field("wal_dir", &self.wal_dir)
+            .field("watermark", &self.watermark.load(Ordering::Relaxed))
+            .field("shards", &self.shards.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Replica {
+    /// Opens a replica over the primary's WAL directory: fresh if the
+    /// local checkpoint directory is unset or empty, otherwise **resumed**
+    /// — stores rebuilt from the newest local checkpoint, the history
+    /// re-seeded from the log prefix the checkpoint absorbed (checkpoints
+    /// bound *data* re-application; the history always spans the log,
+    /// same rule as crash recovery), and the cursor positioned at the
+    /// checkpoint's `replay_from_lsn`.
+    pub fn open(config: ReplicaConfig, wal_dir: impl Into<PathBuf>) -> io::Result<Self> {
+        assert!(config.shards > 0, "at least one shard");
+        let wal_dir = wal_dir.into();
+        let checkpoint = match &config.checkpoint_dir {
+            Some(dir) => {
+                std::fs::create_dir_all(dir)?;
+                latest_checkpoint(dir)?
+            }
+            None => None,
+        };
+        let (shards, resume_lsn, checkpoint_seq) = match checkpoint {
+            Some(ckpt) => {
+                if ckpt.shards.len() != config.shards {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "replica checkpoint has {} shards, config says {}",
+                            ckpt.shards.len(),
+                            config.shards
+                        ),
+                    ));
+                }
+                let recovered: Vec<RecoveredShard> = ckpt
+                    .shards
+                    .into_iter()
+                    .map(|s| RecoveredShard {
+                        commit_counter: s.commit_counter,
+                        watermark: s.watermark,
+                        chains: s.chains,
+                    })
+                    .collect();
+                (
+                    ShardedStore::from_recovered(&recovered),
+                    ckpt.replay_from_lsn,
+                    ckpt.seq,
+                )
+            }
+            None => (
+                ShardedStore::new(config.shards, config.entities, config.initial.clone()),
+                0,
+                0,
+            ),
+        };
+        let history = ReplicaHistory::new(config.record_history);
+        let mut state = ApplyState {
+            // Starts at the origin; the seed loop below walks it forward
+            // to exactly `resume_lsn`.
+            cursor: WalCursor::origin(),
+            pending: HashMap::new(),
+            open: std::collections::HashSet::new(),
+            shard_ts: vec![0; config.shards],
+            safe_lsn: 0,
+            safe_ts: vec![0; config.shards],
+        };
+        // Re-seed history, the in-flight pending map and the safety
+        // tracking from the already-absorbed prefix, streamed through the
+        // windowed tail reader (decoding the whole log into memory at
+        // once would spike O(total log) on every restart — segments are
+        // retained forever by design).  Capping each poll's record count
+        // at the remaining distance keeps the cursor from ever consuming
+        // past `resume_lsn`, so the final cursor is byte-exactly
+        // positioned where the tailer resumes.
+        while state.cursor.next_lsn() < resume_lsn {
+            let want = (resume_lsn - state.cursor.next_lsn()).min(512) as usize;
+            let batch = read_tail(&wal_dir, &mut state.cursor, want)?;
+            for rec in &batch.records {
+                debug_assert!(rec.lsn < resume_lsn, "seed overshot the checkpoint");
+                match &rec.record {
+                    WalRecord::Read { tx, entity } => {
+                        history.record_shipped(rec.lsn, Step::read(*tx, *entity));
+                    }
+                    WalRecord::Write { tx, entity, value } => {
+                        history.record_shipped(rec.lsn, Step::write(*tx, *entity));
+                        state
+                            .pending
+                            .entry(*tx)
+                            .or_default()
+                            .push((*entity, value.clone()));
+                    }
+                    WalRecord::Commit { entries } => {
+                        for entry in entries {
+                            state.pending.remove(&entry.tx);
+                            history.record_committed(entry.tx);
+                        }
+                    }
+                    WalRecord::Abort { tx } => {
+                        state.pending.remove(tx);
+                    }
+                    WalRecord::Begin { .. } | WalRecord::Checkpoint { .. } => {}
+                }
+                state.track_safety(rec.lsn, &rec.record);
+            }
+            if batch.records.is_empty() && batch.caught_up {
+                // The surviving log is shorter than the checkpoint's
+                // cursor (it should not be — segments are retained); the
+                // tailer will park at this point and resume if the
+                // records ever reappear.
+                break;
+            }
+        }
+        let safe_lsn = state.safe_lsn;
+        Ok(Replica {
+            wal_dir,
+            config,
+            shards,
+            state: Mutex::new(state),
+            history,
+            watermark: AtomicU64::new(resume_lsn),
+            safe_watermark: AtomicU64::new(safe_lsn),
+            caught_up: AtomicBool::new(false),
+            last_advance: Mutex::new(Instant::now()),
+            next_reader: AtomicU32::new(READER_TX_BASE),
+            checkpoint_seq: AtomicU64::new(checkpoint_seq),
+        })
+    }
+
+    /// The apply watermark: the next LSN this replica will apply — every
+    /// record with a smaller LSN has fully landed in the stores.
+    pub fn watermark(&self) -> u64 {
+        self.watermark.load(Ordering::Acquire)
+    }
+
+    /// The newest **transaction-consistent safe point**: the highest
+    /// applied watermark at which no transaction straddled the log.
+    /// Follower reads pin here (see [`Replica::begin_read`]); the router
+    /// holds staleness policies against this value, since it is the
+    /// freshest snapshot the replica can serve without risking a
+    /// non-serializable merge.  Trails [`Replica::watermark`] by however
+    /// long the oldest in-flight primary transaction has been open.
+    pub fn safe_watermark(&self) -> u64 {
+        self.safe_watermark.load(Ordering::Acquire)
+    }
+
+    /// Per-shard commit-timestamp high-water marks at the current
+    /// watermark (the second face of the apply watermark).
+    pub fn shard_timestamps(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.current_ts()).collect()
+    }
+
+    /// `true` while the most recent poll drained everything readable.
+    pub fn is_caught_up(&self) -> bool {
+        self.caught_up.load(Ordering::Acquire)
+    }
+
+    /// Wall-clock time since the watermark last advanced or was last
+    /// confirmed in sync — the replica's apply staleness.
+    pub fn staleness(&self) -> std::time::Duration {
+        self.last_advance.lock().elapsed()
+    }
+
+    /// The replica's history (shipped + served readers).
+    pub fn history(&self) -> &ReplicaHistory {
+        &self.history
+    }
+
+    /// The replica's sharded store (observability and tests).
+    pub fn shards(&self) -> &ShardedStore {
+        &self.shards
+    }
+
+    /// Polls the primary's log once: reads at most `max_records` whole
+    /// CRC-valid records past the cursor and applies them.  Cold tails
+    /// (torn record, unwritten segment, empty directory) return
+    /// `caught_up` without error — the shipper parks and re-polls.
+    ///
+    /// Reading and applying hold the replica's apply lock, so read
+    /// pinning is mutually exclusive with a batch's application (bounded
+    /// by `max_records`).
+    pub fn ship_once(&self, max_records: usize) -> io::Result<ShipReceipt> {
+        let mut state = self.state.lock();
+        let mut cursor = state.cursor;
+        let batch = read_tail(&self.wal_dir, &mut cursor, max_records)?;
+        if let Some(metrics) = &self.config.metrics {
+            if !batch.records.is_empty() {
+                metrics.record_repl_shipped(batch.records.len());
+            }
+        }
+        let mut commits = 0usize;
+        for rec in &batch.records {
+            match &rec.record {
+                WalRecord::Read { tx, entity } => {
+                    self.history
+                        .record_shipped(rec.lsn, Step::read(*tx, *entity));
+                }
+                WalRecord::Write { tx, entity, value } => {
+                    self.history
+                        .record_shipped(rec.lsn, Step::write(*tx, *entity));
+                    state
+                        .pending
+                        .entry(*tx)
+                        .or_default()
+                        .push((*entity, value.clone()));
+                }
+                WalRecord::Commit { entries } => {
+                    commits += 1;
+                    for entry in entries {
+                        let writes = state.pending.remove(&entry.tx).unwrap_or_default();
+                        for &(shard_idx, ts) in &entry.shards {
+                            let idx = shard_idx as usize;
+                            if idx >= self.shards.len() {
+                                // A commit record from a different
+                                // topology would be an upstream bug;
+                                // tolerate it by skipping the stamp.
+                                continue;
+                            }
+                            let shard_writes: Vec<(EntityId, Bytes)> = writes
+                                .iter()
+                                .filter(|(e, _)| self.shards.shard_of(*e) == idx)
+                                .cloned()
+                                .collect();
+                            self.shards
+                                .store(idx)
+                                .apply_committed(entry.tx, ts, &shard_writes);
+                        }
+                        self.history.record_committed(entry.tx);
+                    }
+                }
+                WalRecord::Abort { tx } => {
+                    state.pending.remove(tx);
+                }
+                WalRecord::Begin { .. } | WalRecord::Checkpoint { .. } => {}
+            }
+            state.track_safety(rec.lsn, &rec.record);
+            // Publish after the record's effects are fully in the stores.
+            self.watermark.store(rec.lsn + 1, Ordering::Release);
+            self.safe_watermark.store(state.safe_lsn, Ordering::Release);
+        }
+        state.cursor = cursor;
+        drop(state);
+        self.caught_up.store(batch.caught_up, Ordering::Release);
+        if !batch.records.is_empty() || batch.caught_up {
+            *self.last_advance.lock() = Instant::now();
+        }
+        if let Some(metrics) = &self.config.metrics {
+            if !batch.records.is_empty() {
+                metrics.record_repl_applied(batch.records.len(), commits);
+            }
+        }
+        Ok(ShipReceipt {
+            records: batch.records.len(),
+            commits,
+            caught_up: batch.caught_up,
+        })
+    }
+
+    /// Ships until the readable log is drained (test and catch-up
+    /// convenience; the background [`crate::LogShipper`] polls instead).
+    pub fn catch_up(&self) -> io::Result<ShipReceipt> {
+        let mut total = ShipReceipt {
+            records: 0,
+            commits: 0,
+            caught_up: false,
+        };
+        loop {
+            let receipt = self.ship_once(512)?;
+            total.records += receipt.records;
+            total.commits += receipt.commits;
+            if receipt.caught_up {
+                total.caught_up = true;
+                return Ok(total);
+            }
+        }
+    }
+
+    /// Opens a read-only session pinned at the newest
+    /// **transaction-consistent safe point** ([`Replica::safe_watermark`]):
+    /// a committed snapshot, consistent across every shard (pinning holds
+    /// the apply lock, so no cross-shard commit can be half-visible),
+    /// taken at a cut no in-flight transaction straddles.
+    ///
+    /// The safe point — not the raw apply watermark — is what makes the
+    /// read mergeable into the certified history: a snapshot wedged
+    /// between a transaction's shipped steps and its commit record can
+    /// carry an anti-dependency back into the snapshot (commit order is
+    /// not serialization order under SGT/TSO/MVTO), and the combined
+    /// history would leave the class.  At a safe cut every committed
+    /// transaction is entirely before or entirely after the snapshot, so
+    /// the reader serializes right there (the regression test
+    /// `wedged_reader_between_inverted_commits_stays_serializable` pins
+    /// the exact interleaving).
+    pub fn begin_read(self: &Arc<Self>) -> ReplicaReadSession {
+        let tx = TxId(self.next_reader.fetch_add(1, Ordering::Relaxed));
+        let state = self.state.lock();
+        let pinned = state.safe_lsn;
+        for (idx, store) in self.shards.iter().enumerate() {
+            store
+                .begin_at(tx, state.safe_ts[idx])
+                .expect("replica reader ids are unique per replica");
+        }
+        drop(state);
+        ReplicaReadSession {
+            replica: Arc::clone(self),
+            tx,
+            pinned,
+            steps: Vec::new(),
+            finished: false,
+        }
+    }
+
+    /// One GC pass over every shard under its active-snapshot watermark,
+    /// additionally capped at the safe point's timestamps — the next
+    /// pinned reader begins *at* the safe point, so its versions must
+    /// survive even while no reader is active.
+    pub fn collect_garbage(&self) -> usize {
+        let safe_ts = self.state.lock().safe_ts.clone();
+        let mut reclaimed = 0;
+        for (idx, store) in self.shards.iter().enumerate() {
+            let watermark = gc::watermark(store).min(safe_ts[idx]);
+            reclaimed += gc::collect_with_watermark(store, watermark).reclaimed;
+        }
+        reclaimed
+    }
+
+    /// Cuts a local checkpoint of the applied committed state, bounding
+    /// what a restarted replica must re-ship.  The cut holds the apply
+    /// lock, so it is exact: `replay_from_lsn` is the watermark and the
+    /// chains contain precisely the commits below it.  Returns the new
+    /// checkpoint's sequence number.
+    ///
+    /// Panics if the replica was opened without a checkpoint directory.
+    pub fn checkpoint(&self) -> io::Result<u64> {
+        let dir = self
+            .config
+            .checkpoint_dir
+            .as_ref()
+            .expect("replica checkpoint requires a checkpoint_dir");
+        let state = self.state.lock();
+        let replay_from_lsn = self.watermark();
+        let shards: Vec<ShardCheckpoint> = self
+            .shards
+            .iter()
+            .map(|store| {
+                let watermark = gc::watermark(store);
+                let (commit_counter, chains) = store.committed_state();
+                ShardCheckpoint {
+                    commit_counter,
+                    watermark,
+                    chains: chains
+                        .into_iter()
+                        .map(|(entity, versions)| {
+                            (
+                                entity,
+                                versions
+                                    .into_iter()
+                                    .map(|(writer, commit_ts, value)| {
+                                        mvcc_durability::CommittedVersion {
+                                            writer,
+                                            commit_ts,
+                                            value,
+                                        }
+                                    })
+                                    .collect(),
+                            )
+                        })
+                        .collect(),
+                }
+            })
+            .collect();
+        drop(state);
+        let seq = self.checkpoint_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        write_checkpoint(
+            dir,
+            &CheckpointData {
+                seq,
+                replay_from_lsn,
+                next_tx: 1,
+                shards,
+            },
+        )?;
+        Ok(seq)
+    }
+}
+
+/// A read-only session pinned at a replica's apply watermark.  Reads are
+/// snapshot reads against the pinned point; [`ReplicaReadSession::finish`]
+/// records the transaction into the replica's history (spliced at the
+/// snapshot position).  Dropping without finishing discards the reads —
+/// an abandoned read-only transaction contributes nothing to any history.
+#[derive(Debug)]
+pub struct ReplicaReadSession {
+    replica: Arc<Replica>,
+    tx: TxId,
+    /// The apply watermark at pin time.
+    pinned: u64,
+    steps: Vec<Step>,
+    finished: bool,
+}
+
+impl ReplicaReadSession {
+    /// The session's transaction id (replica reader id space).
+    pub fn id(&self) -> TxId {
+        self.tx
+    }
+
+    /// The apply watermark the session is pinned at: it observes exactly
+    /// the commits applied below this LSN.
+    pub fn snapshot_lsn(&self) -> u64 {
+        self.pinned
+    }
+
+    /// Reads `entity` at the pinned snapshot.
+    pub fn read(&mut self, entity: EntityId) -> Result<Bytes, StoreError> {
+        let store = self.replica.shards.store_for(entity);
+        let value = store.read_snapshot(TxHandle { id: self.tx }, entity)?;
+        self.steps.push(Step::read(self.tx, entity));
+        Ok(value)
+    }
+
+    /// Finishes the session: the reads are recorded into the replica's
+    /// history at the snapshot position and the pinned snapshot released.
+    pub fn finish(mut self) {
+        self.release(true);
+    }
+
+    fn release(&mut self, record: bool) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        for store in self.replica.shards.iter() {
+            let _ = store.abort(TxHandle { id: self.tx });
+        }
+        if record {
+            self.replica.history.record_reader(
+                self.tx,
+                self.pinned,
+                std::mem::take(&mut self.steps),
+            );
+        }
+    }
+}
+
+impl Drop for ReplicaReadSession {
+    fn drop(&mut self) {
+        self.release(false);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvcc_durability::DurabilityConfig;
+    use mvcc_engine::{CertifierKind, Engine, EngineConfig};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("mvcc-replica-{tag}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    const X: EntityId = EntityId(0);
+    const Y: EntityId = EntityId(1); // different shard from X
+
+    fn primary(dir: &std::path::Path) -> Arc<Engine> {
+        Arc::new(Engine::new(
+            CertifierKind::Sgt,
+            EngineConfig {
+                shards: 2,
+                entities: 8,
+                durability: DurabilityConfig::buffered(dir),
+                ..EngineConfig::default()
+            },
+        ))
+    }
+
+    fn replica_config() -> ReplicaConfig {
+        ReplicaConfig::new(2, 8, Bytes::from_static(b"0"))
+    }
+
+    #[test]
+    fn replica_applies_committed_state_and_serves_snapshot_reads() {
+        let dir = temp_dir("apply");
+        let engine = primary(&dir);
+        let mut s = engine.begin();
+        s.write(X, Bytes::from_static(b"x1")).unwrap();
+        s.write(Y, Bytes::from_static(b"y1")).unwrap();
+        s.commit().unwrap();
+        let replica = Arc::new(Replica::open(replica_config(), &dir).unwrap());
+        let receipt = replica.catch_up().unwrap();
+        assert!(receipt.records >= 3, "begin rides with steps + commit");
+        assert_eq!(receipt.commits, 1);
+        assert!(replica.is_caught_up());
+        assert_eq!(replica.watermark(), engine.durable_lsn().unwrap() + 1);
+        // A pinned read sees the committed snapshot across both shards.
+        let mut read = replica.begin_read();
+        assert_eq!(read.read(X).unwrap(), Bytes::from_static(b"x1"));
+        assert_eq!(read.read(Y).unwrap(), Bytes::from_static(b"y1"));
+        read.finish();
+        assert_eq!(replica.history().readers_recorded(), 1);
+        // Per-shard timestamps mirror the primary's.
+        assert_eq!(
+            replica.shard_timestamps(),
+            engine
+                .shards()
+                .iter()
+                .map(|s| s.current_ts())
+                .collect::<Vec<_>>()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn uncommitted_writes_never_reach_follower_reads() {
+        // ACA across the wire: write records of an in-flight transaction
+        // ship (a later commit's flush pushes them out), but no data
+        // moves until its commit record arrives — and the *safe point*
+        // parks below the straddler's begin, so follower reads cannot
+        // even be pinned inside its window.
+        let dir = temp_dir("aca");
+        let engine = primary(&dir);
+        let mut before = engine.begin();
+        before.write(Y, Bytes::from_static(b"before")).unwrap();
+        before.commit().unwrap();
+        let mut in_flight = engine.begin();
+        in_flight.write(X, Bytes::from_static(b"dirty")).unwrap();
+        let mut s = engine.begin();
+        s.write(Y, Bytes::from_static(b"during")).unwrap();
+        s.commit().unwrap();
+        let replica = Arc::new(Replica::open(replica_config(), &dir).unwrap());
+        replica.catch_up().unwrap();
+        // The apply watermark covers everything shipped, but the safe
+        // point stops before the straddler began.
+        assert!(replica.safe_watermark() < replica.watermark());
+        let mut read = replica.begin_read();
+        assert_eq!(
+            read.read(X).unwrap(),
+            Bytes::from_static(b"0"),
+            "the in-flight write must be invisible"
+        );
+        assert_eq!(
+            read.read(Y).unwrap(),
+            Bytes::from_static(b"before"),
+            "the snapshot parks at the pre-straddler safe point"
+        );
+        read.finish();
+        // Once the straddler commits and the replica re-ships, the safe
+        // point catches the watermark and everything is visible.
+        in_flight.commit().unwrap();
+        replica.catch_up().unwrap();
+        assert_eq!(replica.safe_watermark(), replica.watermark());
+        let mut read = replica.begin_read();
+        assert_eq!(read.read(X).unwrap(), Bytes::from_static(b"dirty"));
+        assert_eq!(read.read(Y).unwrap(), Bytes::from_static(b"during"));
+        read.finish();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wedged_reader_between_inverted_commits_stays_serializable() {
+        // The safe-point regression: under SGT, T_b reads x, then T_a
+        // writes x (edge T_b → T_a in the serialization graph) and
+        // commits FIRST; T_b later writes y and commits.  A follower
+        // read pinned between the two commit records would observe T_a's
+        // x and the pre-T_b y — a snapshot no serial order explains
+        // (T_a → R via x, R → T_b via y, T_b → T_a via x: a cycle), so
+        // the combined history would leave CSR.  Safe-point pinning
+        // parks the reader before T_b began instead.
+        let dir = temp_dir("wedge");
+        let engine = primary(&dir);
+        let mut tb = engine.begin();
+        assert_eq!(tb.read(X).unwrap(), Bytes::from_static(b"0"));
+        let mut ta = engine.begin();
+        ta.write(X, Bytes::from_static(b"a")).unwrap();
+        ta.commit().unwrap();
+        // Everything up to T_a's commit is flushed; T_b still straddles.
+        let replica = Arc::new(Replica::open(replica_config(), &dir).unwrap());
+        replica.catch_up().unwrap();
+        let mut read = replica.begin_read();
+        let x = read.read(X).unwrap();
+        let y = read.read(Y).unwrap();
+        read.finish();
+        assert_eq!(x, Bytes::from_static(b"0"), "pinned before the wedge");
+        assert_eq!(y, Bytes::from_static(b"0"));
+        // The straddler finishes; the combined history must classify.
+        tb.write(Y, Bytes::from_static(b"b")).unwrap();
+        tb.commit().unwrap();
+        replica.catch_up().unwrap();
+        let combined = replica.history().combined_schedule();
+        assert!(
+            mvcc_classify::is_csr(&combined),
+            "wedged reader broke CSR: {combined}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pinned_reads_ignore_commits_applied_after_the_pin() {
+        let dir = temp_dir("pin");
+        let engine = primary(&dir);
+        let mut s = engine.begin();
+        s.write(X, Bytes::from_static(b"v1")).unwrap();
+        s.commit().unwrap();
+        let replica = Arc::new(Replica::open(replica_config(), &dir).unwrap());
+        replica.catch_up().unwrap();
+        let mut pinned = replica.begin_read();
+        // A later commit applies while the session is pinned.
+        let mut s = engine.begin();
+        s.write(X, Bytes::from_static(b"v2")).unwrap();
+        s.commit().unwrap();
+        replica.catch_up().unwrap();
+        // The pinned session still reads its snapshot...
+        assert_eq!(pinned.read(X).unwrap(), Bytes::from_static(b"v1"));
+        pinned.finish();
+        // ...while a fresh pin sees the new state.
+        let mut fresh = replica.begin_read();
+        assert_eq!(fresh.read(X).unwrap(), Bytes::from_static(b"v2"));
+        fresh.finish();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restart_resumes_from_the_local_checkpoint() {
+        let dir = temp_dir("resume");
+        let ckpt_dir = temp_dir("resume-ckpt");
+        let engine = primary(&dir);
+        let mut s = engine.begin();
+        s.write(X, Bytes::from_static(b"pre")).unwrap();
+        s.commit().unwrap();
+        let mut config = replica_config();
+        config.checkpoint_dir = Some(ckpt_dir.clone());
+        {
+            let replica = Arc::new(Replica::open(config.clone(), &dir).unwrap());
+            replica.catch_up().unwrap();
+            assert_eq!(replica.checkpoint().unwrap(), 1);
+        }
+        // More primary traffic after the replica "crashed".
+        let mut s = engine.begin();
+        s.write(X, Bytes::from_static(b"post")).unwrap();
+        s.write(Y, Bytes::from_static(b"post-y")).unwrap();
+        s.commit().unwrap();
+        let replica = Arc::new(Replica::open(config, &dir).unwrap());
+        let resumed_from = replica.watermark();
+        assert!(resumed_from > 0, "must resume mid-log, not from zero");
+        let receipt = replica.catch_up().unwrap();
+        assert_eq!(
+            receipt.commits, 1,
+            "only the post-checkpoint commit re-ships"
+        );
+        let mut read = replica.begin_read();
+        assert_eq!(read.read(X).unwrap(), Bytes::from_static(b"post"));
+        assert_eq!(read.read(Y).unwrap(), Bytes::from_static(b"post-y"));
+        read.finish();
+        // The history spans the whole log, checkpoint or not: both
+        // committed writers appear in the combined schedule.
+        let combined = replica.history().combined_schedule();
+        assert_eq!(combined.len(), 3 + 2, "3 shipped writes + 2 reader reads");
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&ckpt_dir);
+    }
+
+    #[test]
+    fn replica_gc_reclaims_superseded_versions() {
+        let dir = temp_dir("gc");
+        let engine = primary(&dir);
+        for i in 0..6u32 {
+            let mut s = engine.begin();
+            s.write(X, Bytes::from(format!("v{i}"))).unwrap();
+            s.commit().unwrap();
+        }
+        let replica = Arc::new(Replica::open(replica_config(), &dir).unwrap());
+        replica.catch_up().unwrap();
+        let store = replica.shards().store_for(X);
+        assert_eq!(store.version_count(X), 7, "all versions shipped");
+        let reclaimed = replica.collect_garbage();
+        assert!(reclaimed >= 5, "reclaimed {reclaimed}");
+        assert_eq!(store.version_count(X), 1);
+        let mut read = replica.begin_read();
+        assert_eq!(read.read(X).unwrap(), Bytes::from_static(b"v5"));
+        read.finish();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn abandoned_read_sessions_contribute_nothing() {
+        let dir = temp_dir("drop");
+        let engine = primary(&dir);
+        let mut s = engine.begin();
+        s.write(X, Bytes::from_static(b"x")).unwrap();
+        s.commit().unwrap();
+        let replica = Arc::new(Replica::open(replica_config(), &dir).unwrap());
+        replica.catch_up().unwrap();
+        {
+            let mut read = replica.begin_read();
+            let _ = read.read(X).unwrap();
+            // Dropped without finish().
+        }
+        assert_eq!(replica.history().readers_recorded(), 0);
+        // The pinned snapshot was released: GC is not blocked forever.
+        for store in replica.shards().iter() {
+            assert!(store.active_snapshots().is_empty());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

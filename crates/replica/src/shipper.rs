@@ -1,0 +1,213 @@
+//! The background log shipper: a thread that tails the primary's WAL and
+//! feeds a replica.
+//!
+//! The shipper is deliberately dumb — all the care lives in
+//! [`mvcc_durability::read_tail`] (CRC checking, cold-tail parking, LSN
+//! continuity) and [`crate::Replica::ship_once`] (apply atomicity).  The
+//! thread's job is pacing: drain while records flow, park for the poll
+//! interval when caught up, and surface — not swallow — I/O errors.  A
+//! corrupt log is reported through [`LogShipper::last_error`] and
+//! retried at a backed-off pace: a replica that stops silently is worse
+//! than one that is loudly stale (the router's staleness bounds are what
+//! protect readers either way).
+
+use crate::replica::Replica;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Shipper pacing knobs.
+#[derive(Debug, Clone)]
+pub struct ShipperConfig {
+    /// Sleep between polls while caught up.
+    pub poll: Duration,
+    /// Maximum records per poll (bounds how long the replica's apply lock
+    /// is held per batch).
+    pub batch: usize,
+}
+
+impl Default for ShipperConfig {
+    fn default() -> Self {
+        ShipperConfig {
+            poll: Duration::from_millis(1),
+            batch: 512,
+        }
+    }
+}
+
+/// Handle to the background shipping thread.  Stop it explicitly with
+/// [`LogShipper::stop`] or implicitly by dropping it.
+#[derive(Debug)]
+pub struct LogShipper {
+    stop: Arc<AtomicBool>,
+    errors: Arc<AtomicU64>,
+    last_error: Arc<Mutex<Option<String>>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl LogShipper {
+    /// Spawns a shipping thread feeding `replica` (which knows the WAL
+    /// directory it tails).
+    pub fn start(replica: Arc<Replica>, config: ShipperConfig) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let errors = Arc::new(AtomicU64::new(0));
+        let last_error = Arc::new(Mutex::new(None));
+        let stop_flag = Arc::clone(&stop);
+        let error_count = Arc::clone(&errors);
+        let error_slot = Arc::clone(&last_error);
+        let handle = std::thread::spawn(move || {
+            while !stop_flag.load(Ordering::Relaxed) {
+                match replica.ship_once(config.batch) {
+                    Ok(receipt) if !receipt.caught_up => {
+                        // More is readable right now: keep draining.
+                    }
+                    Ok(_) => std::thread::sleep(config.poll),
+                    Err(e) => {
+                        error_count.fetch_add(1, Ordering::Relaxed);
+                        *error_slot.lock() = Some(e.to_string());
+                        // Back off hard: a corrupt or unreadable log will
+                        // not heal in microseconds, and hammering it just
+                        // burns the apply lock.
+                        std::thread::sleep(config.poll.max(Duration::from_millis(10)));
+                    }
+                }
+            }
+        });
+        LogShipper {
+            stop,
+            errors,
+            last_error,
+            handle: Some(handle),
+        }
+    }
+
+    /// Number of failed polls so far.
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// The most recent poll error, if any.
+    pub fn last_error(&self) -> Option<String> {
+        self.last_error.lock().clone()
+    }
+
+    /// Signals the thread to stop and waits for it to finish.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for LogShipper {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replica::ReplicaConfig;
+    use bytes::Bytes;
+    use mvcc_core::EntityId;
+    use mvcc_durability::DurabilityConfig;
+    use mvcc_engine::{CertifierKind, Engine, EngineConfig};
+    use std::path::PathBuf;
+    use std::time::Instant;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("mvcc-shipper-{tag}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn shipper_follows_a_live_primary_and_parks_when_idle() {
+        let dir = temp_dir("live");
+        let engine = Arc::new(Engine::new(
+            CertifierKind::Sgt,
+            EngineConfig {
+                shards: 2,
+                entities: 8,
+                durability: DurabilityConfig::buffered(&dir),
+                ..EngineConfig::default()
+            },
+        ));
+        // The shipper starts against an *empty* directory mid-stream —
+        // the park-and-resume satellite case — then the log appears.
+        let replica = Arc::new(
+            Replica::open(ReplicaConfig::new(2, 8, Bytes::from_static(b"0")), &dir).unwrap(),
+        );
+        let shipper = LogShipper::start(Arc::clone(&replica), ShipperConfig::default());
+        for i in 0..10u32 {
+            let mut s = engine.begin();
+            s.write(EntityId(i % 8), Bytes::from(format!("{i}")))
+                .unwrap();
+            s.commit().unwrap();
+        }
+        let target = engine.durable_lsn().unwrap() + 1;
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while replica.watermark() < target {
+            assert!(Instant::now() < deadline, "shipper starved");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(shipper.errors(), 0);
+        assert_eq!(shipper.last_error(), None);
+        shipper.stop();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_is_surfaced_not_swallowed() {
+        let dir = temp_dir("corrupt");
+        {
+            let engine = Arc::new(Engine::new(
+                CertifierKind::Sgt,
+                EngineConfig {
+                    shards: 1,
+                    entities: 2,
+                    durability: DurabilityConfig {
+                        mode: mvcc_durability::DurabilityMode::Buffered,
+                        dir: dir.clone(),
+                        segment_bytes: 64, // force rotation
+                    },
+                    ..EngineConfig::default()
+                },
+            ));
+            for _ in 0..8 {
+                let mut s = engine.begin();
+                s.write(EntityId(0), Bytes::from(vec![b'x'; 32])).unwrap();
+                s.commit().unwrap();
+            }
+        }
+        let segments = mvcc_durability::list_segments(&dir).unwrap();
+        assert!(segments.len() >= 3, "need a middle segment");
+        let mut bytes = std::fs::read(&segments[1].1).unwrap();
+        let len = bytes.len();
+        bytes[len / 2] ^= 0xff;
+        std::fs::write(&segments[1].1, &bytes).unwrap();
+        let replica = Arc::new(
+            Replica::open(ReplicaConfig::new(1, 2, Bytes::from_static(b"0")), &dir).unwrap(),
+        );
+        let shipper = LogShipper::start(Arc::clone(&replica), ShipperConfig::default());
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while shipper.errors() == 0 {
+            assert!(Instant::now() < deadline, "error never surfaced");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(shipper.last_error().is_some());
+        shipper.stop();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -146,6 +146,34 @@ impl MvStore {
         Ok(TxHandle { id: tx })
     }
 
+    /// [`MvStore::begin`] with an explicit snapshot timestamp at or below
+    /// the current counter — a read-only transaction pinned *in the past*
+    /// (a replica's transaction-consistent safe point).  The snapshot is
+    /// clamped to the current counter, and registering it pins the GC
+    /// watermark exactly like a fresh snapshot would; the caller is
+    /// responsible for `snapshot_ts` not sitting below the already
+    /// reclaimed horizon (replicas cap their GC at the safe point).
+    pub fn begin_at(&self, tx: TxId, snapshot_ts: u64) -> Result<TxHandle, StoreError> {
+        let mut txs = self.txs.lock();
+        match txs.get(&tx).map(|r| r.status) {
+            Some(TxStatus::Active) | Some(TxStatus::Committed(_)) => {
+                return Err(StoreError::NotActive(tx))
+            }
+            _ => {}
+        }
+        let snapshot_ts = snapshot_ts.min(*self.commit_counter.lock());
+        txs.insert(
+            tx,
+            TxRecord {
+                status: TxStatus::Active,
+                snapshot_ts,
+                write_set: BTreeSet::new(),
+                read_set: Vec::new(),
+            },
+        );
+        Ok(TxHandle { id: tx })
+    }
+
     fn with_active<T>(
         &self,
         tx: TxId,
@@ -386,6 +414,47 @@ impl MvStore {
             }
         }
         results
+    }
+
+    /// Applies one *replicated* committed transaction: every write is
+    /// installed as an already-committed version at the explicit
+    /// `commit_ts` the primary assigned (replication must reproduce the
+    /// primary's timestamps, not invent its own), and the commit counter
+    /// is floored up to `commit_ts`.  Returns the number of versions
+    /// newly installed — application is idempotent per `(writer, ts)`, so
+    /// a replica resuming over a checkpoint's overlap window re-applies
+    /// harmlessly (same discipline as crash recovery's replay).
+    ///
+    /// Versions are installed *before* the counter advances: a snapshot
+    /// begun at any point either sits below `commit_ts` (and correctly
+    /// does not see the new versions) or at/above it (and the versions
+    /// are already in the chains) — the apply-side half of the engine's
+    /// "shard commits land before anyone can learn of them" rule.
+    pub fn apply_committed(
+        &self,
+        writer: TxId,
+        commit_ts: u64,
+        writes: &[(EntityId, Bytes)],
+    ) -> usize {
+        let mut applied = 0;
+        {
+            let mut chains = self.chains.write();
+            for (entity, value) in writes {
+                if chains.entry(*entity).or_default().insert_committed(
+                    writer,
+                    commit_ts,
+                    value.clone(),
+                ) {
+                    applied += 1;
+                }
+            }
+        }
+        // Same lock order as `begin`/`commit` (txs, then counter), so the
+        // floor is atomic with respect to snapshot choice.
+        let _txs = self.txs.lock();
+        let mut counter = self.commit_counter.lock();
+        *counter = (*counter).max(commit_ts);
+        applied
     }
 
     /// Aborts the transaction, removing its uncommitted versions.
@@ -786,6 +855,80 @@ mod tests {
         assert_eq!(recovered.read_snapshot(t, X).unwrap(), b("survivor"));
         // GC at the recovered watermark reclaims nothing further.
         assert_eq!(recovered.prune_all(5), 0);
+    }
+
+    #[test]
+    fn begin_at_pins_a_snapshot_in_the_past() {
+        let s = store();
+        for i in 1..=3u32 {
+            let t = s.begin(TxId(i)).unwrap();
+            s.write(t, X, b(&format!("v{i}"))).unwrap();
+            s.commit(t, false).unwrap();
+        }
+        // A reader pinned at ts 1 sees v1, not the newest.
+        let old = s.begin_at(TxId(10), 1).unwrap();
+        assert_eq!(s.read_snapshot(old, X).unwrap(), b("v1"));
+        // The pinned snapshot holds the GC watermark down.
+        assert_eq!(crate::gc::watermark(&s), 1);
+        // A future timestamp is clamped to the present.
+        let clamped = s.begin_at(TxId(11), 99).unwrap();
+        assert_eq!(s.read_snapshot(clamped, X).unwrap(), b("v3"));
+        assert!(s.active_snapshots().iter().all(|&ts| ts <= 3));
+    }
+
+    #[test]
+    fn apply_committed_installs_versions_at_the_primary_timestamps() {
+        let s = store();
+        assert_eq!(s.apply_committed(TxId(1), 1, &[(X, b("r1"))]), 1);
+        assert_eq!(
+            s.apply_committed(TxId(2), 2, &[(X, b("r2x")), (Y, b("r2y"))]),
+            2
+        );
+        assert_eq!(s.current_ts(), 2, "counter floored at the applied ts");
+        // Snapshots behave exactly as on the primary: a reader begun now
+        // sees ts-2 versions, an explicit version read can still reach
+        // the older one.
+        let r = s.begin(TxId(10)).unwrap();
+        assert_eq!(s.read_snapshot(r, X).unwrap(), b("r2x"));
+        assert_eq!(s.read_latest(r, Y).unwrap(), b("r2y"));
+        assert_eq!(
+            s.read_version(r, X, VersionSource::Tx(TxId(1))).unwrap(),
+            b("r1")
+        );
+        // Status of replicated writers is not tracked — they finished on
+        // the primary; only the versions travel.
+        assert_eq!(s.status(TxId(1)), None);
+    }
+
+    #[test]
+    fn apply_committed_is_idempotent_per_writer_and_timestamp() {
+        let s = store();
+        assert_eq!(s.apply_committed(TxId(1), 3, &[(X, b("v"))]), 1);
+        // The checkpoint-overlap shape: the same commit record re-applied.
+        assert_eq!(s.apply_committed(TxId(1), 3, &[(X, b("v"))]), 0);
+        assert_eq!(s.version_count(X), 2, "initial + one applied version");
+        assert_eq!(s.current_ts(), 3);
+    }
+
+    #[test]
+    fn apply_committed_keeps_chains_sorted_when_arriving_out_of_order() {
+        // Defensive: per shard the log applies in timestamp order, but the
+        // chain invariant (committed versions sorted by ts) must hold even
+        // if an apply arrives late.
+        let s = store();
+        s.apply_committed(TxId(2), 5, &[(X, b("newer"))]);
+        s.apply_committed(TxId(1), 2, &[(X, b("older"))]);
+        let r = s.begin(TxId(10)).unwrap();
+        assert_eq!(s.read_latest(r, X).unwrap(), b("newer"));
+        assert_eq!(s.read_snapshot(r, X).unwrap(), b("newer"));
+        let (_, chains) = s.committed_state();
+        let x_chain = chains
+            .iter()
+            .find(|(e, _)| *e == X)
+            .map(|(_, v)| v)
+            .unwrap();
+        let ts: Vec<u64> = x_chain.iter().map(|&(_, t, _)| t).collect();
+        assert_eq!(ts, vec![0, 2, 5], "sorted by commit timestamp");
     }
 
     #[test]

@@ -81,6 +81,39 @@ impl VersionChain {
         }
     }
 
+    /// Inserts an already-committed version at its timestamp position,
+    /// idempotently: a `(writer, ts)` version already present is left
+    /// alone (returns `false`).  Committed versions stay sorted by commit
+    /// timestamp, so the positional "latest committed" keeps coinciding
+    /// with the max-timestamp version — the invariant `from_committed`
+    /// establishes and replication apply must preserve.  In the normal
+    /// log-shipping case `ts` exceeds every existing timestamp and this
+    /// is a plain push.
+    pub fn insert_committed(&mut self, writer: TxId, ts: u64, value: Bytes) -> bool {
+        if self
+            .versions
+            .iter()
+            .any(|v| v.writer == writer && v.commit_ts == Some(ts))
+        {
+            return false;
+        }
+        let at = self
+            .versions
+            .iter()
+            .rposition(|v| v.commit_ts.is_some_and(|t| t <= ts))
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        self.versions.insert(
+            at,
+            Version {
+                writer,
+                commit_ts: Some(ts),
+                value,
+            },
+        );
+        true
+    }
+
     /// Appends a new (uncommitted) version written by `writer`.
     pub fn append(&mut self, writer: TxId, value: Bytes) {
         self.versions.push(Version {

@@ -23,7 +23,10 @@
 //! * [`durability`] — write-ahead log, checkpoints and class-preserving
 //!   crash recovery (`mvcc-durability`);
 //! * [`engine`] — the concurrent sharded multi-session transaction engine
-//!   with pluggable certifiers (`mvcc-engine`).
+//!   with pluggable certifiers (`mvcc-engine`);
+//! * [`replica`] — WAL log-shipping read replicas with
+//!   snapshot-consistent follower reads and a read-scaling router
+//!   (`mvcc-replica`).
 //!
 //! See `README.md` for a quick start, `DESIGN.md` for the system inventory
 //! and `EXPERIMENTS.md` for the paper-vs-measured record of every
@@ -38,6 +41,7 @@ pub use mvcc_durability as durability;
 pub use mvcc_engine as engine;
 pub use mvcc_graph as graph;
 pub use mvcc_reductions as reductions;
+pub use mvcc_replica as replica;
 pub use mvcc_scheduler as scheduler;
 pub use mvcc_store as store;
 pub use mvcc_workload as workload;
@@ -53,6 +57,9 @@ pub mod prelude {
     pub use mvcc_durability::{DurabilityConfig, DurabilityMode};
     pub use mvcc_engine::{run_closed_loop, CertifierKind, Engine, EngineConfig, HistoryClass};
     pub use mvcc_reductions::ols::is_ols;
+    pub use mvcc_replica::{
+        LogShipper, ReadPolicy, ReadRouter, Replica, ReplicaConfig, RouterConfig, ShipperConfig,
+    };
     pub use mvcc_scheduler::{
         run_abort, run_prefix, Decision, MvSgtScheduler, MvtoScheduler, Scheduler, SerialScheduler,
         SgtScheduler, TimestampScheduler, TwoPhaseLockingScheduler,

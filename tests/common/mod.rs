@@ -1,0 +1,27 @@
+//! Helpers shared by the replication integration suites (each test file
+//! pulls this in with `mod common;`).
+
+use mvcc_repro::engine::ShardedStore;
+use std::collections::BTreeSet;
+
+/// Committed `(writer, ts, value)` sets per shard plus each shard's
+/// commit counter, order-insensitive: the primary's chains are in append
+/// order, a replica's in timestamp order — equality means the same
+/// committed state.
+pub fn committed_sets(shards: &ShardedStore) -> Vec<(u64, BTreeSet<String>)> {
+    shards
+        .iter()
+        .map(|store| {
+            let (counter, chains) = store.committed_state();
+            let set = chains
+                .iter()
+                .flat_map(|(entity, versions)| {
+                    versions
+                        .iter()
+                        .map(move |(writer, ts, value)| format!("{entity}:{writer}@{ts}={value:?}"))
+                })
+                .collect();
+            (counter, set)
+        })
+        .collect()
+}

@@ -1,0 +1,236 @@
+//! The end-to-end follower-read loop (the headline acceptance test of
+//! the `mvcc-replica` subsystem).
+//!
+//! For every certifier in the zoo: a durable primary runs a
+//! multi-threaded closed loop; a replica tails the primary's write-ahead
+//! log; read-only transactions are served off the replica at pinned
+//! snapshots.  The test asserts the replication promise at three points:
+//!
+//! * **mid-stream** — with the shipper deliberately parked partway
+//!   through the log, the combined history (shipped committed prefix +
+//!   replica-served read-only transactions, spliced at their snapshot
+//!   positions) still classifies in the certifier's class: every apply
+//!   point is a committed prefix, and prefix-closure + ACA is the same
+//!   lemma as crash recovery;
+//! * **caught up, routed** — follower reads opened through the
+//!   [`ReadRouter`] under `BoundedLag` / `Latest` policies (including a
+//!   read-your-writes wait on a fresh primary commit) keep the combined
+//!   history in class;
+//! * **after restart** — the replica checkpoints locally, is dropped,
+//!   misses more primary traffic, resumes from its checkpoint + LSN
+//!   cursor, catches up, and both its store state (equal to the
+//!   primary's committed state) and its combined history survive the
+//!   round trip.
+
+mod common;
+use common::committed_sets;
+use mvcc_repro::engine::load::drive_closed_loop;
+use mvcc_repro::engine::{CertifierKind, DurabilityConfig, Engine, EngineConfig};
+use mvcc_repro::prelude::*;
+use mvcc_repro::replica::{ReadPolicy, ReadRouter, Replica, ReplicaConfig, RouterConfig};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("mvcc-rloop-{tag}-{}-{n}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+const SHARDS: usize = 2;
+const ENTITIES: usize = 8;
+
+fn profile(kind: CertifierKind, ops: usize, seed: u64) -> LoadProfile {
+    LoadProfile {
+        threads: 4,
+        shards: SHARDS,
+        // The MVSR check is the exact NP-complete search: MVTO histories
+        // (and their follower readers) stay small.
+        ops: if kind == CertifierKind::Mvto {
+            ops / 5
+        } else {
+            ops
+        },
+        entities: ENTITIES,
+        steps_per_transaction: 3,
+        read_ratio: 0.7,
+        zipf_theta: 0.6,
+        seed,
+    }
+}
+
+/// How many entities a follower read touches (kept small for MVTO, whose
+/// combined histories face the exact search).
+fn reader_span(kind: CertifierKind) -> u32 {
+    if kind == CertifierKind::Mvto {
+        2
+    } else {
+        ENTITIES as u32
+    }
+}
+
+/// Serves one follower read straight off the replica and returns nothing
+/// — the point is the history entry it leaves behind.
+fn follower_read(replica: &Arc<Replica>, span: u32) {
+    let mut session = replica.begin_read();
+    for e in 0..span {
+        session.read(EntityId(e)).expect("pre-seeded entity");
+    }
+    session.finish();
+}
+
+/// Asserts the combined replica history classifies in `kind`'s class.
+fn assert_in_class(kind: CertifierKind, replica: &Arc<Replica>, stage: &str) {
+    let combined = replica.history().combined_schedule();
+    assert!(
+        kind.class().check(&combined),
+        "{kind}: combined history out of {} at {stage}:\n{combined}",
+        kind.class()
+    );
+}
+
+fn replica_loop(kind: CertifierKind) {
+    let wal_dir = temp_dir(kind.name());
+    let ckpt_dir = temp_dir(&format!("{}-ckpt", kind.name()));
+    let engine = Arc::new(Engine::new(
+        kind,
+        EngineConfig {
+            shards: SHARDS,
+            entities: ENTITIES,
+            durability: DurabilityConfig {
+                mode: DurabilityMode::Buffered,
+                dir: wal_dir.clone(),
+                // Tiny segments: every run ships across rotations.
+                segment_bytes: 1024,
+            },
+            ..EngineConfig::default()
+        },
+    ));
+    let mut rconfig = ReplicaConfig::new(
+        SHARDS,
+        ENTITIES,
+        mvcc_repro::replica::Bytes::from_static(b"0"),
+    );
+    rconfig.checkpoint_dir = Some(ckpt_dir.clone());
+    rconfig.metrics = Some(engine.metrics_handle());
+    let replica = Arc::new(Replica::open(rconfig.clone(), &wal_dir).unwrap());
+    let span = reader_span(kind);
+
+    // Phase 1: primary traffic.
+    drive_closed_loop(
+        &engine,
+        &profile(kind, 120, 0xab0 + kind.name().len() as u64),
+    );
+    assert!(engine.metrics().snapshot().committed > 0, "{kind}: starved");
+
+    // Mid-stream: apply a strict prefix of the log, serve follower reads
+    // at that partial watermark, classify.
+    replica.ship_once(10).unwrap();
+    assert!(
+        replica.watermark() < engine.durable_lsn().unwrap() + 1,
+        "{kind}: prefix must be strict for the mid-stream check"
+    );
+    follower_read(&replica, span);
+    assert_in_class(kind, &replica, "mid-stream");
+
+    // Caught up: routed follower reads under explicit policies.
+    replica.catch_up().unwrap();
+    let router = ReadRouter::new(
+        Arc::clone(&engine),
+        vec![Arc::clone(&replica)],
+        RouterConfig::default(),
+    );
+    // A fresh primary commit, then read-your-writes through the router.
+    let mut writer = engine.begin();
+    writer
+        .write(EntityId(0), mvcc_repro::engine::Bytes::from_static(b"ryw"))
+        .unwrap();
+    let commit_lsn = writer.commit_durable().unwrap().expect("durable commit");
+    replica.catch_up().unwrap();
+    let mut read = router
+        .begin_read_after(ReadPolicy::BoundedLag(4), commit_lsn)
+        .unwrap();
+    assert!(read.snapshot_lsn().unwrap() > commit_lsn, "{kind}: RYW");
+    assert_eq!(
+        read.read(EntityId(0)).unwrap(),
+        mvcc_repro::engine::Bytes::from_static(b"ryw"),
+        "{kind}: read-your-writes must see the own commit"
+    );
+    read.finish();
+    let mut latest = router.begin_read(ReadPolicy::Latest).unwrap();
+    latest.read(EntityId(1)).unwrap();
+    latest.finish();
+    assert_in_class(kind, &replica, "caught-up/routed");
+
+    // Restart: checkpoint locally, drop the replica, let the primary run
+    // ahead, resume from checkpoint + LSN cursor.
+    replica.checkpoint().unwrap();
+    let readers_before = replica.history().readers_recorded();
+    assert!(readers_before >= 3, "{kind}: routed reads recorded");
+    drop(router);
+    drop(replica);
+    drive_closed_loop(&engine, &profile(kind, 60, 0xab1));
+    let replica = Arc::new(Replica::open(rconfig, &wal_dir).unwrap());
+    assert!(replica.watermark() > 0, "{kind}: resumed from zero");
+    replica.catch_up().unwrap();
+    assert_eq!(
+        replica.watermark(),
+        engine.durable_lsn().unwrap() + 1,
+        "{kind}: resumed replica catches the durable horizon"
+    );
+    follower_read(&replica, span);
+    assert_in_class(kind, &replica, "after-restart");
+
+    // The resumed replica's committed state equals the primary's, shard
+    // by shard (counters and version sets).
+    assert_eq!(
+        committed_sets(replica.shards()),
+        committed_sets(engine.shards()),
+        "{kind}: replica diverged from the primary's committed state"
+    );
+    // The shipped committed projection equals the primary's history
+    // committed projection (the log really is the history).
+    let shipped = replica.history().shipped_schedule();
+    let primary_committed = engine.history().committed_schedule();
+    assert_eq!(
+        shipped.steps(),
+        primary_committed.steps(),
+        "{kind}: shipped projection diverged"
+    );
+
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+}
+
+#[test]
+fn two_phase_locking_follower_reads_stay_csr() {
+    replica_loop(CertifierKind::TwoPhaseLocking);
+}
+
+#[test]
+fn timestamp_ordering_follower_reads_stay_csr() {
+    replica_loop(CertifierKind::Timestamp);
+}
+
+#[test]
+fn sgt_follower_reads_stay_csr() {
+    replica_loop(CertifierKind::Sgt);
+}
+
+#[test]
+fn mv_sgt_follower_reads_stay_mvcsr() {
+    replica_loop(CertifierKind::MvSgt);
+}
+
+#[test]
+fn mvto_follower_reads_stay_mvsr() {
+    replica_loop(CertifierKind::Mvto);
+}
+
+#[test]
+fn snapshot_isolation_follower_reads_balance_their_books() {
+    replica_loop(CertifierKind::SnapshotIsolation);
+}

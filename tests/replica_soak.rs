@@ -1,0 +1,240 @@
+//! Release-gated replication soak: a live shipper against a concurrent
+//! primary load, a replica restart mid-stream, and `BoundedLag` routing
+//! under pressure.
+//!
+//! Debug builds `#[ignore]` these (the interleavings only mean something
+//! at release speed); the CI `cargo test --release` job runs them — see
+//! the workflow comment.
+//!
+//! What is pinned here, beyond the deterministic `replica_loop` suite:
+//!
+//! * the shipper thread keeps up with a multi-threaded primary across
+//!   segment rotations, and a replica *restarted mid-load* (checkpoint,
+//!   drop, resume, re-ship) converges to exactly the primary's committed
+//!   state;
+//! * **BoundedLag actually bounds lag**: every follower read served
+//!   under `BoundedLag(n)` is pinned within `n` records of the durable
+//!   horizon sampled before routing — reads that cannot meet the bound
+//!   are refused, never silently stale;
+//! * the combined history (thousands of shipped steps + every follower
+//!   read served along the way) still classifies in the certifier's
+//!   class at the end.
+
+mod common;
+use common::committed_sets;
+use mvcc_repro::engine::load::drive_closed_loop;
+use mvcc_repro::engine::{CertifierKind, DurabilityConfig, Engine, EngineConfig};
+use mvcc_repro::prelude::*;
+use mvcc_repro::replica::{
+    LogShipper, ReadPolicy, ReadRouter, Replica, ReplicaConfig, RouterConfig, RouterError,
+    ShipperConfig,
+};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("mvcc-rsoak-{tag}-{}-{n}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+const SHARDS: usize = 2;
+const ENTITIES: usize = 8;
+const LAG_BOUND: u64 = 64;
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "soak interleavings are only meaningful in release builds"
+)]
+fn replication_soak_survives_a_replica_restart_under_load() {
+    let wal_dir = temp_dir("soak");
+    let ckpt_dir = temp_dir("soak-ckpt");
+    let engine = Arc::new(Engine::new(
+        CertifierKind::Sgt,
+        EngineConfig {
+            shards: SHARDS,
+            entities: ENTITIES,
+            durability: DurabilityConfig {
+                mode: DurabilityMode::Buffered,
+                dir: wal_dir.clone(),
+                // Small segments: the soak crosses many rotations.
+                segment_bytes: 4096,
+            },
+            ..EngineConfig::default()
+        },
+    ));
+    let mut rconfig = ReplicaConfig::new(
+        SHARDS,
+        ENTITIES,
+        mvcc_repro::replica::Bytes::from_static(b"0"),
+    );
+    rconfig.checkpoint_dir = Some(ckpt_dir.clone());
+    rconfig.metrics = Some(engine.metrics_handle());
+    let replica = Arc::new(Replica::open(rconfig.clone(), &wal_dir).unwrap());
+    let shipper = LogShipper::start(Arc::clone(&replica), ShipperConfig::default());
+
+    // The router is swapped when the replica restarts; readers clone the
+    // current one per iteration.
+    let router = Arc::new(Mutex::new(Arc::new(ReadRouter::new(
+        Arc::clone(&engine),
+        vec![Arc::clone(&replica)],
+        RouterConfig::default(),
+    ))));
+
+    // Primary load in the background.
+    let load_done = Arc::new(AtomicBool::new(false));
+    let load_engine = Arc::clone(&engine);
+    let load_flag = Arc::clone(&load_done);
+    let load = std::thread::spawn(move || {
+        drive_closed_loop(
+            &load_engine,
+            &LoadProfile {
+                threads: 4,
+                shards: SHARDS,
+                ops: 6_000,
+                entities: ENTITIES,
+                steps_per_transaction: 3,
+                read_ratio: 0.6,
+                zipf_theta: 0.6,
+                seed: 0x50a6,
+            },
+        );
+        load_flag.store(true, Ordering::Release);
+    });
+
+    // Follower readers hammering BoundedLag while the load runs.  Every
+    // *served* read must be pinned within the bound of the horizon
+    // sampled before routing; refusals (e.g. during the restart gap) are
+    // counted, not failed.
+    let mut readers = Vec::new();
+    let served_total = Arc::new(AtomicU64::new(0));
+    let refused_total = Arc::new(AtomicU64::new(0));
+    for _ in 0..2 {
+        let engine = Arc::clone(&engine);
+        let router = Arc::clone(&router);
+        let done = Arc::clone(&load_done);
+        let served = Arc::clone(&served_total);
+        let refused = Arc::clone(&refused_total);
+        readers.push(std::thread::spawn(move || {
+            while !done.load(Ordering::Acquire) {
+                let sampled_next = engine.durable_lsn().map(|l| l + 1).unwrap_or(0);
+                let current = Arc::clone(&*router.lock().unwrap());
+                match current.begin_read(ReadPolicy::BoundedLag(LAG_BOUND)) {
+                    Ok(mut read) => {
+                        let pinned = read.snapshot_lsn().expect("replica-routed");
+                        assert!(
+                            pinned + LAG_BOUND >= sampled_next,
+                            "BoundedLag violated: pinned {pinned}, sampled horizon {sampled_next}"
+                        );
+                        for e in 0..3u32 {
+                            read.read(EntityId(e)).expect("pre-seeded entity");
+                        }
+                        read.finish();
+                        served.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(RouterError::Stale { .. }) => {
+                        refused.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }));
+    }
+
+    // Mid-load: checkpoint the replica, kill it (and its shipper), and
+    // resume a fresh one from the local checkpoint.
+    std::thread::sleep(Duration::from_millis(30));
+    replica.checkpoint().unwrap();
+    shipper.stop();
+    let resumed_from = replica.watermark();
+    drop(replica);
+    let replica = Arc::new(Replica::open(rconfig, &wal_dir).unwrap());
+    assert!(
+        replica.watermark() > 0 && replica.watermark() <= resumed_from,
+        "resume starts at the checkpoint cursor"
+    );
+    let shipper = LogShipper::start(Arc::clone(&replica), ShipperConfig::default());
+    *router.lock().unwrap() = Arc::new(ReadRouter::new(
+        Arc::clone(&engine),
+        vec![Arc::clone(&replica)],
+        RouterConfig::default(),
+    ));
+
+    load.join().unwrap();
+    for reader in readers {
+        reader.join().unwrap();
+    }
+
+    // Let the shipper drain the tail, then compare states.
+    let target = engine.durable_lsn().unwrap() + 1;
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while replica.watermark() < target {
+        assert!(Instant::now() < deadline, "shipper never caught up");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    shipper.stop();
+    assert!(
+        served_total.load(Ordering::Relaxed) > 0,
+        "no follower read was ever served"
+    );
+    assert_eq!(
+        committed_sets(replica.shards()),
+        committed_sets(engine.shards()),
+        "replica diverged after restart + resume"
+    );
+    // Thousands of shipped steps plus every follower read: still CSR.
+    let combined = replica.history().combined_schedule();
+    assert!(combined.len() > 1000, "soak too small: {}", combined.len());
+    assert!(is_csr(&combined), "combined soak history left CSR");
+    let snap = engine.metrics().snapshot();
+    assert!(snap.repl_applied_commits > 0);
+    assert!(snap.repl_routed_reads > 0);
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "soak interleavings are only meaningful in release builds"
+)]
+fn ring_history_keeps_long_soaks_bounded() {
+    // The HistoryLog satellite: a long closed-loop run with ring-mode
+    // history keeps a fixed-size window (plus a drop high-water mark)
+    // instead of growing without bound.
+    let engine = Arc::new(Engine::new(
+        CertifierKind::Sgt,
+        EngineConfig {
+            shards: SHARDS,
+            entities: ENTITIES,
+            history_capacity: Some(256),
+            ..EngineConfig::default()
+        },
+    ));
+    drive_closed_loop(
+        &engine,
+        &LoadProfile {
+            threads: 4,
+            shards: SHARDS,
+            ops: 8_000,
+            entities: ENTITIES,
+            steps_per_transaction: 4,
+            read_ratio: 0.5,
+            zipf_theta: 0.0,
+            seed: 0x4146,
+        },
+    );
+    let history = engine.history();
+    assert!(history.admitted.len() <= 256, "ring overflowed");
+    assert!(
+        history.dropped > 1000,
+        "drops under-counted: {}",
+        history.dropped
+    );
+    assert!(!history.is_complete());
+    assert!(history.committed.len() > 500, "commit membership retained");
+}
