@@ -24,7 +24,11 @@
 //!   committed projection the offline `mvcc-classify` checkers certify;
 //! * [`tail`] — [`read_tail`] over a resumable [`WalCursor`]: the
 //!   log-shipping read path (`mvcc-replica`) — whole CRC-valid records
-//!   only, parking on cold tails, LSN-continuity checked.
+//!   only, parking on cold tails, LSN-continuity checked;
+//! * [`epoch`] — primary epochs and the fencing marker: promotion
+//!   ([`WalWriter::promote_open`]) bumps the epoch and cuts a fence so a
+//!   deposed primary's late appends are refused by the log and skipped by
+//!   scans and tailers — the failover half of the recovery story.
 //!
 //! ## Why recovery preserves the certified class
 //!
@@ -43,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod checkpoint;
+pub mod epoch;
 pub mod record;
 pub mod recovery;
 pub mod tail;
@@ -52,6 +57,7 @@ pub use checkpoint::{
     latest_checkpoint, read_checkpoint, write_checkpoint, CheckpointData, CommittedVersion,
     ShardCheckpoint,
 };
+pub use epoch::{is_fence_error, read_epoch_marker, write_epoch_marker, EpochMarker};
 pub use record::{crc32, decode_record, encode_record, CommitEntry, DecodeError, WalRecord};
 pub use recovery::{recover, RecoveredShard, RecoveredState, RecoveryOptions, RecoveryReport};
 pub use tail::{read_tail, TailBatch, WalCursor};

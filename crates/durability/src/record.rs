@@ -1,11 +1,14 @@
 //! The WAL record set and its binary codec.
 //!
 //! Every record is framed as `[len: u32][crc: u32][payload]` (all integers
-//! little-endian), where `payload = [kind: u8][lsn: u64][body]` and `crc`
-//! is the CRC-32 (IEEE) of the payload.  The log sequence number (LSN) is
-//! carried explicitly in every record so a checkpoint can name the exact
-//! prefix of the log it has already absorbed, independent of segment
-//! boundaries.
+//! little-endian), where `payload = [kind: u8][lsn: u64][epoch: u64][body]`
+//! and `crc` is the CRC-32 (IEEE) of the payload.  The log sequence number
+//! (LSN) is carried explicitly in every record so a checkpoint can name the
+//! exact prefix of the log it has already absorbed, independent of segment
+//! boundaries.  The *primary epoch* is the fencing token
+//! ([`crate::epoch`]): every record names the leadership term of the
+//! writer that appended it, so a deposed primary's late appends are
+//! identifiable — and rejectable — by every reader, byte for byte.
 //!
 //! The record set mirrors the engine's events:
 //!
@@ -191,37 +194,41 @@ fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-/// Appends the framed encoding of `record` (stamped with `lsn`) to `out`
-/// and returns the number of bytes written.
-pub fn encode_record(lsn: u64, record: &WalRecord, out: &mut Vec<u8>) -> usize {
+/// Appends the framed encoding of `record` (stamped with `lsn` and the
+/// writer's primary `epoch`) to `out` and returns the number of bytes
+/// written.
+pub fn encode_record(lsn: u64, epoch: u64, record: &WalRecord, out: &mut Vec<u8>) -> usize {
     let start = out.len();
     // Reserve the frame header; backfill once the payload is known.
     put_u32(out, 0);
     put_u32(out, 0);
     let payload_start = out.len();
+    let kind = match record {
+        WalRecord::Begin { .. } => KIND_BEGIN,
+        WalRecord::Read { .. } => KIND_READ,
+        WalRecord::Write { .. } => KIND_WRITE,
+        WalRecord::Commit { .. } => KIND_COMMIT,
+        WalRecord::Abort { .. } => KIND_ABORT,
+        WalRecord::Checkpoint { .. } => KIND_CHECKPOINT,
+    };
+    out.push(kind);
+    put_u64(out, lsn);
+    put_u64(out, epoch);
     match record {
         WalRecord::Begin { tx } => {
-            out.push(KIND_BEGIN);
-            put_u64(out, lsn);
             put_u32(out, tx.0);
         }
         WalRecord::Read { tx, entity } => {
-            out.push(KIND_READ);
-            put_u64(out, lsn);
             put_u32(out, tx.0);
             put_u32(out, entity.0);
         }
         WalRecord::Write { tx, entity, value } => {
-            out.push(KIND_WRITE);
-            put_u64(out, lsn);
             put_u32(out, tx.0);
             put_u32(out, entity.0);
             put_u32(out, value.len() as u32);
             out.extend_from_slice(value);
         }
         WalRecord::Commit { entries } => {
-            out.push(KIND_COMMIT);
-            put_u64(out, lsn);
             put_u32(out, entries.len() as u32);
             for entry in entries {
                 put_u32(out, entry.tx.0);
@@ -233,13 +240,9 @@ pub fn encode_record(lsn: u64, record: &WalRecord, out: &mut Vec<u8>) -> usize {
             }
         }
         WalRecord::Abort { tx } => {
-            out.push(KIND_ABORT);
-            put_u64(out, lsn);
             put_u32(out, tx.0);
         }
         WalRecord::Checkpoint { seq } => {
-            out.push(KIND_CHECKPOINT);
-            put_u64(out, lsn);
             put_u64(out, *seq);
         }
     }
@@ -314,8 +317,9 @@ impl<'a> Cursor<'a> {
 }
 
 /// Decodes the record at the head of `buf`.  Returns the number of bytes
-/// consumed, the record's LSN and the record itself.
-pub fn decode_record(buf: &[u8]) -> Result<(usize, u64, WalRecord), DecodeError> {
+/// consumed, the record's LSN, the primary epoch it was written under,
+/// and the record itself.
+pub fn decode_record(buf: &[u8]) -> Result<(usize, u64, u64, WalRecord), DecodeError> {
     if buf.len() < FRAME_OVERHEAD {
         return Err(DecodeError::Truncated);
     }
@@ -335,6 +339,7 @@ pub fn decode_record(buf: &[u8]) -> Result<(usize, u64, WalRecord), DecodeError>
     let mut cur = Cursor::new(payload);
     let kind = cur.u8()?;
     let lsn = cur.u64()?;
+    let epoch = cur.u64()?;
     let record = match kind {
         KIND_BEGIN => WalRecord::Begin {
             tx: TxId(cur.u32()?),
@@ -379,7 +384,7 @@ pub fn decode_record(buf: &[u8]) -> Result<(usize, u64, WalRecord), DecodeError>
         other => return Err(DecodeError::UnknownKind(other)),
     };
     cur.finish()?;
-    Ok((total, lsn, record))
+    Ok((total, lsn, epoch, record))
 }
 
 #[cfg(test)]
@@ -431,12 +436,14 @@ mod tests {
     fn encode_decode_round_trips() {
         for (i, record) in samples().into_iter().enumerate() {
             let lsn = 100 + i as u64;
+            let epoch = i as u64 % 3;
             let mut buf = Vec::new();
-            let written = encode_record(lsn, &record, &mut buf);
+            let written = encode_record(lsn, epoch, &record, &mut buf);
             assert_eq!(written, buf.len());
-            let (consumed, got_lsn, got) = decode_record(&buf).expect("decodes");
+            let (consumed, got_lsn, got_epoch, got) = decode_record(&buf).expect("decodes");
             assert_eq!(consumed, buf.len());
             assert_eq!(got_lsn, lsn);
+            assert_eq!(got_epoch, epoch);
             assert_eq!(got, record);
         }
     }
@@ -445,13 +452,15 @@ mod tests {
     fn records_concatenate_into_a_stream() {
         let mut buf = Vec::new();
         for (i, record) in samples().iter().enumerate() {
-            encode_record(i as u64, record, &mut buf);
+            encode_record(i as u64, 1, record, &mut buf);
         }
         let mut offset = 0;
         let mut decoded = Vec::new();
         while offset < buf.len() {
-            let (consumed, lsn, record) = decode_record(&buf[offset..]).expect("stream decodes");
+            let (consumed, lsn, epoch, record) =
+                decode_record(&buf[offset..]).expect("stream decodes");
             assert_eq!(lsn, decoded.len() as u64);
+            assert_eq!(epoch, 1);
             decoded.push(record);
             offset += consumed;
         }
@@ -463,6 +472,7 @@ mod tests {
         let mut buf = Vec::new();
         encode_record(
             9,
+            0,
             &WalRecord::Write {
                 tx: TxId(1),
                 entity: EntityId(2),
@@ -479,7 +489,7 @@ mod tests {
     #[test]
     fn flipped_bits_fail_the_crc() {
         let mut buf = Vec::new();
-        encode_record(3, &WalRecord::Begin { tx: TxId(8) }, &mut buf);
+        encode_record(3, 0, &WalRecord::Begin { tx: TxId(8) }, &mut buf);
         // Flip one bit in the payload: the CRC catches it.
         for byte in FRAME_OVERHEAD..buf.len() {
             let mut copy = buf.clone();
@@ -505,7 +515,8 @@ mod tests {
     fn unknown_kinds_are_rejected_not_misread() {
         // A record whose payload says kind 99, with a valid CRC.
         let mut payload = vec![99u8];
-        payload.extend_from_slice(&7u64.to_le_bytes());
+        payload.extend_from_slice(&7u64.to_le_bytes()); // lsn
+        payload.extend_from_slice(&0u64.to_le_bytes()); // epoch
         let mut buf = Vec::new();
         buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         buf.extend_from_slice(&crc32(&payload).to_le_bytes());
@@ -582,13 +593,15 @@ mod properties {
             bytes in proptest::collection::vec(0u8..=255, 0..64),
             pairs in proptest::collection::vec((0u32..64, 0u64..1_000_000), 0..8),
             lsn in 0u64..u64::MAX,
+            epoch in 0u64..u64::MAX,
         ) {
             let record = arb_record(kind, a, b, bytes, pairs);
             let mut buf = Vec::new();
-            encode_record(lsn, &record, &mut buf);
-            let (consumed, got_lsn, got) = decode_record(&buf).expect("round trip");
+            encode_record(lsn, epoch, &record, &mut buf);
+            let (consumed, got_lsn, got_epoch, got) = decode_record(&buf).expect("round trip");
             prop_assert_eq!(consumed, buf.len());
             prop_assert_eq!(got_lsn, lsn);
+            prop_assert_eq!(got_epoch, epoch);
             prop_assert_eq!(got, record);
         }
 
@@ -605,24 +618,26 @@ mod properties {
             bytes in proptest::collection::vec(0u8..=255, 0..32),
             pairs in proptest::collection::vec((0u32..64, 0u64..1_000_000), 0..6),
             lsn in 0u64..1_000_000,
+            epoch in 0u64..8,
             byte_choice in 0usize..4096,
             bit in 0u8..8,
         ) {
             let record = arb_record(kind, a, b, bytes, pairs);
             let mut buf = Vec::new();
-            encode_record(lsn, &record, &mut buf);
+            encode_record(lsn, epoch, &record, &mut buf);
             let byte = byte_choice % buf.len();
             buf[byte] ^= 1 << bit;
             match decode_record(&buf) {
                 Err(_) => {}
-                Ok((consumed, got_lsn, got)) => {
+                Ok((consumed, got_lsn, got_epoch, got)) => {
                     // Only a length-field flip that *shrinks* the frame can
                     // decode, and then the CRC of the shorter payload would
                     // have to collide — accept only the provably-harmless
                     // outcome of consuming a different frame size.
                     prop_assert!(byte < 4, "non-length corruption decoded at byte {byte}");
                     prop_assert!(
-                        consumed != buf.len() || (got_lsn, got) != (lsn, record),
+                        consumed != buf.len()
+                            || (got_lsn, got_epoch, got) != (lsn, epoch, record),
                         "corrupted frame decoded as the original"
                     );
                 }

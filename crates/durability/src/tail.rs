@@ -22,7 +22,23 @@
 //! The cursor is plain data (`segment`, byte `offset`, `next_lsn`), so a
 //! replica can persist it alongside its checkpoint and resume exactly
 //! where it stopped.
+//!
+//! ## Promotions
+//!
+//! After a failover the directory's epoch marker names a fence
+//! ([`crate::epoch`]): old-lineage bytes at or past the fence LSN are a
+//! deposed primary's residue.  The tailer **resubscribes** rather than
+//! errors on every promotion shape — a stale-epoch record at the fence, a
+//! torn residue frame, or an old segment healed away entirely all rebind
+//! the cursor to the first segment of the new lineage, whose records
+//! continue the LSN sequence exactly at the fence.  One caveat is
+//! inherent: a tailer that already *delivered* residue during the
+//! promotion window (before the fence was published) cannot detect that
+//! locally — the split-brain tests pin down that the healed log itself
+//! never re-serves residue, which is what bounds the damage to replicas
+//! rebuilt from the log.
 
+use crate::epoch::read_epoch_marker;
 use crate::record::{decode_record, DecodeError};
 use crate::wal::{list_segments, segment_path, ScannedRecord, SEGMENT_HEADER, SEGMENT_MAGIC};
 use std::fs::File;
@@ -126,6 +142,21 @@ pub fn read_tail(dir: &Path, cursor: &mut WalCursor, max_records: usize) -> io::
         // mid-stream, before the writer's first segment lands): park.
         return Ok(batch);
     }
+    // Sampled once per poll: a fence published mid-poll is seen next poll.
+    let fence = read_epoch_marker(dir)?.filter(|m| m.has_fence());
+    // Rebinds the cursor to the first segment of the fenced lineage;
+    // `false` when it is not listed yet (park and re-list next poll).
+    let rebind_to_new_lineage =
+        |cursor: &mut WalCursor, start_segment: u64, segments: &[(u64, std::path::PathBuf)]| {
+            match segments.iter().find(|&&(s, _)| s >= start_segment) {
+                Some(&(s, _)) => {
+                    cursor.segment = Some(s);
+                    cursor.offset = 0;
+                    true
+                }
+                None => false,
+            }
+        };
     // Bind an unbound cursor to the first segment that exists.
     if cursor.segment.is_none() {
         cursor.segment = Some(segments[0].0);
@@ -134,6 +165,18 @@ pub fn read_tail(dir: &Path, cursor: &mut WalCursor, max_records: usize) -> io::
     loop {
         let seq = cursor.segment.expect("cursor bound above");
         let Some(position) = segments.iter().position(|&(s, _)| s == seq) else {
+            if let Some(f) = fence {
+                if seq < f.start_segment {
+                    // Not "vanished": the segment was an old-epoch one
+                    // superseded by a promotion (healing deletes segments
+                    // that held nothing but a deposed primary's residue).
+                    // Resubscribe to the new lineage instead of erroring.
+                    if rebind_to_new_lineage(cursor, f.start_segment, &segments) {
+                        continue;
+                    }
+                    break;
+                }
+            }
             if segments.last().is_some_and(|&(s, _)| s > seq) {
                 // The cursor's segment is gone while *later* segments
                 // exist (whether or not earlier ones survive): the log
@@ -147,6 +190,7 @@ pub fn read_tail(dir: &Path, cursor: &mut WalCursor, max_records: usize) -> io::
             // writer rotates.
             break;
         };
+        let old_lineage = fence.is_some_and(|f| seq < f.start_segment);
         let has_successor = position + 1 < segments.len();
         let path = segment_path(dir, seq);
         let mut bytes = Vec::new();
@@ -190,13 +234,24 @@ pub fn read_tail(dir: &Path, cursor: &mut WalCursor, max_records: usize) -> io::
             cursor.offset = SEGMENT_HEADER as u64;
         }
         let mut parked = false;
+        let mut rebind = false;
         while local < bytes.len() {
             if batch.records.len() >= max_records {
                 batch.caught_up = false;
                 return Ok(batch);
             }
             match decode_record(&bytes[local..]) {
-                Ok((consumed, lsn, record)) => {
+                Ok((consumed, lsn, epoch, record)) => {
+                    if old_lineage {
+                        let f = fence.expect("old_lineage implies a fence");
+                        if lsn >= f.fence_lsn && epoch < f.epoch {
+                            // A deposed primary's residue at the fence cut:
+                            // do not advance past it — jump to the new
+                            // lineage, which owns this LSN onward.
+                            rebind = true;
+                            break;
+                        }
+                    }
                     local += consumed;
                     cursor.offset += consumed as u64;
                     if lsn < cursor.next_lsn {
@@ -210,7 +265,16 @@ pub fn read_tail(dir: &Path, cursor: &mut WalCursor, max_records: usize) -> io::
                         )));
                     }
                     cursor.next_lsn = lsn + 1;
-                    batch.records.push(ScannedRecord { lsn, record });
+                    batch.records.push(ScannedRecord { lsn, epoch, record });
+                }
+                Err(_) if old_lineage && fence.is_some_and(|f| cursor.next_lsn >= f.fence_lsn) => {
+                    // Every record up to the fence has been consumed, so a
+                    // torn or corrupt frame here is residue the deposed
+                    // primary left mid-write (a pre-fence problem would
+                    // have surfaced while `next_lsn` was still below the
+                    // fence).  Resubscribe to the new lineage.
+                    rebind = true;
+                    break;
                 }
                 Err(DecodeError::Truncated) if window_base + (bytes.len() as u64) < file_len => {
                     // The record crosses the read window while more of the
@@ -252,6 +316,16 @@ pub fn read_tail(dir: &Path, cursor: &mut WalCursor, max_records: usize) -> io::
                     )));
                 }
             }
+        }
+        if rebind {
+            let f = fence.expect("rebind implies a fence");
+            if rebind_to_new_lineage(cursor, f.start_segment, &segments) {
+                continue;
+            }
+            // The new lineage's first segment is not listed yet (the poll
+            // raced the promotion's directory update): park, re-list next
+            // poll.
+            break;
         }
         if !parked && window_base + (bytes.len() as u64) < file_len {
             // The window ended exactly on a record boundary with more
@@ -371,7 +445,8 @@ mod tests {
         let mut bytes = Vec::new();
         bytes.extend_from_slice(SEGMENT_MAGIC);
         bytes.extend_from_slice(&1u64.to_le_bytes());
-        encode_record(1, &write_rec(2, b"resumed"), &mut bytes);
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        encode_record(1, 0, &write_rec(2, b"resumed"), &mut bytes);
         std::fs::write(&ghost, &bytes).unwrap();
         let batch = read_tail(&dir, &mut cursor, 64).unwrap();
         assert_eq!(batch.records.len(), 1);
@@ -457,8 +532,9 @@ mod tests {
         let mut bytes = Vec::new();
         bytes.extend_from_slice(SEGMENT_MAGIC);
         bytes.extend_from_slice(&0u64.to_le_bytes());
-        encode_record(0, &write_rec(1, b"a"), &mut bytes);
-        encode_record(2, &write_rec(2, b"b"), &mut bytes);
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        encode_record(0, 0, &write_rec(1, b"a"), &mut bytes);
+        encode_record(2, 0, &write_rec(2, b"b"), &mut bytes);
         std::fs::write(segment_path(&dir, 0), &bytes).unwrap();
         let mut cursor = WalCursor::origin();
         let err = read_tail(&dir, &mut cursor, 64).unwrap_err();
@@ -595,6 +671,168 @@ mod tests {
             WalRecord::Write { value, .. } => assert_eq!(value.len(), big.len()),
             other => panic!("wrong record {other:?}"),
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_tailer_skips_residue_and_rebinds_to_the_promoted_lineage() {
+        // Satellite: the "vanished segment" error path must not fire for
+        // old-epoch segments superseded by a promotion — the shipper
+        // resubscribes to the new lineage instead.
+        let dir = temp_dir("fencejump");
+        let old = WalWriter::open(&dir, DurabilityMode::Buffered, 8 << 20).unwrap();
+        old.append_and_flush(&[write_rec(1, b"pre-a"), write_rec(2, b"pre-b")])
+            .unwrap();
+        let mut cursor = WalCursor::origin();
+        assert_eq!(read_tail(&dir, &mut cursor, 64).unwrap().records.len(), 2);
+        let promoted = WalWriter::promote_open(&dir, DurabilityMode::Buffered, 8 << 20).unwrap();
+        // Residue: the deposed primary's encoded bytes land in the old
+        // segment after the promotion scan (the in-flight-write window).
+        let mut residue = Vec::new();
+        encode_record(2, 0, &write_rec(9, b"resurrect-me"), &mut residue);
+        {
+            use std::io::Write as _;
+            let mut file = std::fs::OpenOptions::new()
+                .append(true)
+                .open(segment_path(&dir, 0))
+                .unwrap();
+            file.write_all(&residue).unwrap();
+        }
+        promoted
+            .append_and_flush(&[write_rec(3, b"post-a"), write_rec(4, b"post-b")])
+            .unwrap();
+        // The parked cursor sits in the old segment; its next poll must
+        // skip the stale-epoch record and deliver the new lineage.
+        let batch = read_tail(&dir, &mut cursor, 64).unwrap();
+        assert_eq!(
+            batch
+                .records
+                .iter()
+                .map(|r| (r.lsn, r.epoch))
+                .collect::<Vec<_>>(),
+            vec![(2, 1), (3, 1)]
+        );
+        for rec in &batch.records {
+            if let WalRecord::Write { value, .. } = &rec.record {
+                assert_ne!(&value[..], b"resurrect-me", "residue must never ship");
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_healed_away_segment_rebinds_instead_of_erroring() {
+        // Promotion healing can delete an old segment outright (when it
+        // held nothing but residue).  A cursor still bound there — e.g. a
+        // replica resuming from its checkpoint at the fence — must
+        // resubscribe to the new lineage, not report "vanished under the
+        // cursor".
+        let dir = temp_dir("healedaway");
+        let wal = WalWriter::open(&dir, DurabilityMode::Buffered, 64).unwrap();
+        for i in 0..4u32 {
+            wal.append_and_flush(&[write_rec(i, &[8u8; 48])]).unwrap();
+        }
+        drop(wal);
+        let promoted = WalWriter::promote_open(&dir, DurabilityMode::Buffered, 8 << 20).unwrap();
+        promoted.append_and_flush(&[write_rec(9, b"next")]).unwrap();
+        // A cursor seeking to the fence, physically bound to the first
+        // old segment, which then disappears.
+        let mut cursor = WalCursor::from_lsn(4);
+        let first = list_segments(&dir).unwrap()[0].0;
+        cursor.segment = Some(first);
+        std::fs::remove_file(segment_path(&dir, first)).unwrap();
+        let batch = read_tail(&dir, &mut cursor, 64).unwrap();
+        assert_eq!(
+            batch
+                .records
+                .iter()
+                .map(|r| (r.lsn, r.epoch))
+                .collect::<Vec<_>>(),
+            vec![(4, 1)]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn from_lsn_resumes_across_an_epoch_boundary() {
+        // Satellite: a restarted replica whose checkpoint LSN lies on
+        // either side of a promotion fence must resume cleanly — the old
+        // lineage's surviving prefix and the new lineage share one
+        // consecutive LSN sequence.
+        let dir = temp_dir("seekepoch");
+        let old = WalWriter::open(&dir, DurabilityMode::Buffered, 8 << 20).unwrap();
+        for i in 0..5u32 {
+            old.append_and_flush(&[write_rec(i, b"old")]).unwrap();
+        }
+        let promoted = WalWriter::promote_open(&dir, DurabilityMode::Buffered, 8 << 20).unwrap();
+        for i in 5..9u32 {
+            promoted.append_and_flush(&[write_rec(i, b"new")]).unwrap();
+        }
+        // Resume from inside the old lineage: pre-fence records 3..5 come
+        // from the old segment, 5.. from the new one, consecutively.
+        let mut cursor = WalCursor::from_lsn(3);
+        let batch = read_tail(&dir, &mut cursor, 64).unwrap();
+        assert_eq!(
+            batch
+                .records
+                .iter()
+                .map(|r| (r.lsn, r.epoch))
+                .collect::<Vec<_>>(),
+            vec![(3, 0), (4, 0), (5, 1), (6, 1), (7, 1), (8, 1)]
+        );
+        // Resume exactly at the fence.
+        let mut cursor = WalCursor::from_lsn(5);
+        let batch = read_tail(&dir, &mut cursor, 64).unwrap();
+        assert_eq!(
+            batch.records.iter().map(|r| r.lsn).collect::<Vec<_>>(),
+            vec![5, 6, 7, 8]
+        );
+        // Resume past the fence.
+        let mut cursor = WalCursor::from_lsn(7);
+        let batch = read_tail(&dir, &mut cursor, 64).unwrap();
+        assert_eq!(
+            batch.records.iter().map(|r| r.lsn).collect::<Vec<_>>(),
+            vec![7, 8]
+        );
+        assert_eq!(cursor.next_lsn(), 9);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn from_lsn_resumes_across_an_epoch_boundary_with_torn_residue() {
+        // Fault injection on the same seek: the old segment additionally
+        // ends in a *torn* residue frame (the deposed primary died
+        // mid-write).  The seek must still cross the boundary.
+        let dir = temp_dir("seektorn");
+        let old = WalWriter::open(&dir, DurabilityMode::Buffered, 8 << 20).unwrap();
+        for i in 0..5u32 {
+            old.append_and_flush(&[write_rec(i, b"old")]).unwrap();
+        }
+        let promoted = WalWriter::promote_open(&dir, DurabilityMode::Buffered, 8 << 20).unwrap();
+        let mut residue = Vec::new();
+        encode_record(5, 0, &write_rec(9, b"torn-residue"), &mut residue);
+        residue.truncate(residue.len() - 4);
+        {
+            use std::io::Write as _;
+            let mut file = std::fs::OpenOptions::new()
+                .append(true)
+                .open(segment_path(&dir, 0))
+                .unwrap();
+            file.write_all(&residue).unwrap();
+        }
+        promoted
+            .append_and_flush(&[write_rec(5, b"new-5"), write_rec(6, b"new-6")])
+            .unwrap();
+        let mut cursor = WalCursor::from_lsn(4);
+        let batch = read_tail(&dir, &mut cursor, 64).unwrap();
+        assert_eq!(
+            batch
+                .records
+                .iter()
+                .map(|r| (r.lsn, r.epoch))
+                .collect::<Vec<_>>(),
+            vec![(4, 0), (5, 1), (6, 1)]
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -2,12 +2,12 @@
 //! writer.
 //!
 //! A log directory holds monotonically numbered segment files
-//! (`wal-<seq>.seg`), each starting with a 16-byte header (`MVWAL001` +
-//! the segment sequence number) followed by framed records
-//! ([`crate::record`]).  The [`WalWriter`] appends batches under one
-//! mutex, assigns consecutive LSNs, rotates to a fresh segment when the
-//! current one exceeds the configured size, and flushes according to the
-//! configured [`DurabilityMode`]:
+//! (`wal-<seq>.seg`), each starting with a 24-byte header (`MVWAL002` +
+//! the segment sequence number + the primary epoch it was opened under)
+//! followed by framed records ([`crate::record`]).  The [`WalWriter`]
+//! appends batches under one mutex, assigns consecutive LSNs, rotates to
+//! a fresh segment when the current one exceeds the configured size, and
+//! flushes according to the configured [`DurabilityMode`]:
 //!
 //! * [`DurabilityMode::Buffered`] — `flush` pushes the user-space buffer
 //!   into the OS (survives a process crash, not a host crash);
@@ -23,7 +23,22 @@
 //! truncates the tail back to the last whole record before appending;
 //! segments after a corrupt record are discarded, so the on-disk log is
 //! always one valid prefix.
+//!
+//! ## Epochs and fencing
+//!
+//! Every record is stamped with the **primary epoch** its writer opened
+//! the log under, and the directory may carry an epoch marker
+//! ([`crate::epoch`]).  [`WalWriter::promote_open`] bumps the epoch,
+//! fences older writers (their appends and flushes fail with a
+//! recognizable [`std::io::ErrorKind::PermissionDenied`] error, see
+//! [`crate::is_fence_error`]), heals any bytes a deposed writer slipped
+//! in after the promotion scan, and starts a fresh segment lineage.
+//! [`scan_log`] honors the fence: old-lineage records at or past the
+//! fence LSN with a stale epoch are reported in [`LogScan::fenced`]
+//! rather than delivered, so a deposed primary's late flushes can never
+//! resurrect into recovered state.
 
+use crate::epoch::{read_epoch_marker, write_epoch_marker, EpochMarker};
 use crate::record::{decode_record, encode_record, WalRecord};
 use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
@@ -31,10 +46,10 @@ use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 /// Magic bytes opening every segment file.
-pub const SEGMENT_MAGIC: &[u8; 8] = b"MVWAL001";
+pub const SEGMENT_MAGIC: &[u8; 8] = b"MVWAL002";
 
-/// Bytes of segment header (magic + sequence number).
-pub const SEGMENT_HEADER: usize = 16;
+/// Bytes of segment header (magic + sequence number + primary epoch).
+pub const SEGMENT_HEADER: usize = 24;
 
 /// How durable the engine's log is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -156,6 +171,8 @@ pub fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
 pub struct ScannedRecord {
     /// The record's LSN.
     pub lsn: u64,
+    /// The primary epoch the record was appended under.
+    pub epoch: u64,
     /// The record.
     pub record: WalRecord,
 }
@@ -176,6 +193,12 @@ pub struct LogScan {
     /// Segments that lie entirely after the first corruption (unreachable
     /// by recovery; a writer reopening the log deletes them).
     pub orphaned_segments: Vec<u64>,
+    /// Fenced residue: `(segment, keep_bytes)` pairs naming bytes a
+    /// deposed primary landed at or past the promotion fence inside
+    /// old-lineage segments.  The records were skipped; a writer
+    /// reopening the log truncates each segment back to `keep_bytes`
+    /// (deleting it when nothing but the header would remain).
+    pub fenced: Vec<(u64, u64)>,
 }
 
 impl LogScan {
@@ -189,20 +212,64 @@ impl LogScan {
 /// CRC-correct record up to the first torn or corrupt one.  Records past
 /// that point — including whole segments — are not trusted (the log's
 /// guarantees are prefix-shaped), and are reported as truncated/orphaned.
+///
+/// When the directory carries an epoch marker with a completed fence,
+/// the scan additionally refuses a deposed primary's residue: inside
+/// segments older than the fenced lineage, any record at or past the
+/// fence LSN carrying a stale epoch (and anything after it) is reported
+/// in [`LogScan::fenced`] instead of delivered, and the scan resumes in
+/// the new lineage.
 pub fn scan_log(dir: &Path) -> io::Result<LogScan> {
+    let marker = read_epoch_marker(dir)?;
+    let fence = marker.filter(|m| m.has_fence());
     let mut scan = LogScan {
         records: Vec::new(),
         last_segment: None,
         valid_len: 0,
         truncated_tail: false,
         orphaned_segments: Vec::new(),
+        fenced: Vec::new(),
     };
     let segments = list_segments(dir)?;
+    if let Some(f) = fence {
+        if !segments.iter().any(|&(seq, _)| seq >= f.start_segment) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "epoch marker fences into segment {} but no such segment exists",
+                    f.start_segment
+                ),
+            ));
+        }
+    }
     let mut stopped = false;
+    let mut entered_new_lineage = false;
     for (seq, path) in segments {
         if stopped {
             scan.orphaned_segments.push(seq);
             continue;
+        }
+        let old_lineage = fence.is_some_and(|f| seq < f.start_segment);
+        if old_lineage && !scan.fenced.is_empty() {
+            // Once residue has been cut, every remaining old-lineage
+            // segment is entirely the deposed primary's.
+            scan.fenced.push((seq, SEGMENT_HEADER as u64));
+            continue;
+        }
+        if let Some(f) = fence {
+            if !old_lineage && !entered_new_lineage {
+                entered_new_lineage = true;
+                if scan.next_lsn() != f.fence_lsn {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "promotion fence cut at lsn {} but the surviving prefix ends at lsn {}",
+                            f.fence_lsn,
+                            scan.next_lsn()
+                        ),
+                    ));
+                }
+            }
         }
         let mut bytes = Vec::new();
         File::open(&path)?.read_to_end(&mut bytes)?;
@@ -217,20 +284,51 @@ pub fn scan_log(dir: &Path) -> io::Result<LogScan> {
         let mut offset = SEGMENT_HEADER;
         while offset < bytes.len() {
             match decode_record(&bytes[offset..]) {
-                Ok((consumed, lsn, record)) => {
-                    scan.records.push(ScannedRecord { lsn, record });
+                Ok((consumed, lsn, epoch, record)) => {
+                    if old_lineage {
+                        let f = fence.expect("old_lineage implies a fence");
+                        if lsn >= f.fence_lsn && epoch < f.epoch {
+                            // A deposed primary's late append landed after
+                            // the promotion scan: residue, not log.
+                            scan.fenced.push((seq, offset as u64));
+                            break;
+                        }
+                    }
+                    scan.records.push(ScannedRecord { lsn, epoch, record });
                     offset += consumed;
                 }
                 Err(_) => {
-                    // Torn (`DecodeError::Truncated`) or corrupt — either
-                    // way the valid prefix ends here.
-                    scan.truncated_tail = true;
-                    stopped = true;
+                    if old_lineage && fence.is_some_and(|f| scan.next_lsn() >= f.fence_lsn) {
+                        // The whole prefix up to the fence survived; a torn
+                        // frame past it is the deposed primary's residue.
+                        scan.fenced.push((seq, offset as u64));
+                    } else {
+                        // Torn (`DecodeError::Truncated`) or corrupt — either
+                        // way the valid prefix ends here.
+                        scan.truncated_tail = true;
+                        stopped = true;
+                    }
                     break;
                 }
             }
         }
         scan.valid_len = offset as u64;
+    }
+    if let Some(f) = fence {
+        if stopped && scan.last_segment.is_some_and(|seq| seq < f.start_segment) {
+            // Corruption *before* the fence cut: the committed prefix the
+            // promotion certified can no longer be reconstructed, and
+            // healing here would orphan (and delete) the entire fenced
+            // lineage.  Fail loudly instead.
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "log corrupt before the promotion fence (lsn {}); \
+                     the certified prefix cannot be reconstructed",
+                    f.fence_lsn
+                ),
+            ));
+        }
     }
     Ok(scan)
 }
@@ -270,6 +368,10 @@ pub struct WalReceipt {
 pub struct WalWriter {
     dir: PathBuf,
     mode: DurabilityMode,
+    /// The primary epoch this writer opened the log under; stamped into
+    /// every record and segment header.  A marker with a higher epoch
+    /// fences this writer.
+    epoch: u64,
     inner: Mutex<WalInner>,
 }
 
@@ -279,6 +381,7 @@ impl std::fmt::Debug for WalWriter {
         f.debug_struct("WalWriter")
             .field("dir", &self.dir)
             .field("mode", &self.mode)
+            .field("epoch", &self.epoch)
             .field("segment_seq", &inner.segment_seq)
             .field("next_lsn", &inner.next_lsn)
             .finish_non_exhaustive()
@@ -298,10 +401,25 @@ impl WalWriter {
             "a WalWriter is only built when durability is on"
         );
         std::fs::create_dir_all(dir)?;
+        let marker = read_epoch_marker(dir)?;
+        if let Some(m) = marker {
+            if m.provisional {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "epoch {} promotion is in progress or crashed mid-way; \
+                         complete it with promote_open",
+                        m.epoch
+                    ),
+                ));
+            }
+        }
+        let epoch = marker.map(|m| m.epoch).unwrap_or(0);
         let scan = scan_log(dir)?;
         for seq in &scan.orphaned_segments {
             std::fs::remove_file(segment_path(dir, *seq))?;
         }
+        heal_fenced_residue(dir, &scan.fenced)?;
         let (segment_seq, file) = match scan.last_segment {
             Some(seq) => {
                 let path = segment_path(dir, seq);
@@ -314,7 +432,7 @@ impl WalWriter {
                 // A segment whose header itself was torn is rewritten.
                 if scan.valid_len < SEGMENT_HEADER as u64 {
                     file.seek(SeekFrom::Start(0))?;
-                    write_segment_header(&mut file, seq)?;
+                    write_segment_header(&mut file, seq, epoch)?;
                 } else {
                     file.seek(SeekFrom::Start(keep))?;
                 }
@@ -327,7 +445,7 @@ impl WalWriter {
                     .read(true)
                     .write(true)
                     .open(&path)?;
-                write_segment_header(&mut file, 0)?;
+                write_segment_header(&mut file, 0, epoch)?;
                 if mode == DurabilityMode::Fsync {
                     sync_dir(dir)?;
                 }
@@ -338,6 +456,7 @@ impl WalWriter {
         Ok(WalWriter {
             dir: dir.to_path_buf(),
             mode,
+            epoch,
             inner: Mutex::new(WalInner {
                 writer: BufWriter::new(file),
                 segment_seq,
@@ -349,9 +468,139 @@ impl WalWriter {
         })
     }
 
+    /// Opens the log under `dir` as the **next primary epoch**: the
+    /// failover entry point.
+    ///
+    /// The promotion protocol is two-phase, crash-safe at every step:
+    ///
+    /// 1. a *provisional* epoch marker claims `epoch + 1` — from this
+    ///    instant every older writer's appends and flushes are refused —
+    ///    while still carrying the previous completed fence, so scans
+    ///    keep refusing any earlier deposed primary's residue;
+    /// 2. the log is scanned and healed exactly like [`WalWriter::open`]
+    ///    (orphans deleted, fenced residue truncated, a torn tail cut
+    ///    back to the last whole record);
+    /// 3. the first segment of the new lineage is created, its header
+    ///    stamped with the new epoch, and the *final* marker publishes
+    ///    the fence: the healed prefix's next LSN and the new segment's
+    ///    sequence number.
+    ///
+    /// A crash before step 3's marker leaves the provisional one: older
+    /// writers stay fenced, readers keep honoring the previous fence, and
+    /// the next `promote_open` simply claims the epoch after.  LSNs stay
+    /// globally monotone — the new lineage's first record gets exactly
+    /// the fence LSN, so checkpoints and replica cursors stay valid
+    /// across promotions.
+    pub fn promote_open(dir: &Path, mode: DurabilityMode, segment_bytes: u64) -> io::Result<Self> {
+        assert!(
+            mode != DurabilityMode::Off,
+            "a WalWriter is only built when durability is on"
+        );
+        std::fs::create_dir_all(dir)?;
+        let prev = read_epoch_marker(dir)?;
+        let new_epoch = prev.map(|m| m.epoch + 1).unwrap_or(1);
+        write_epoch_marker(
+            dir,
+            &EpochMarker {
+                epoch: new_epoch,
+                fence_lsn: prev.map(|m| m.fence_lsn).unwrap_or(u64::MAX),
+                start_segment: prev.map(|m| m.start_segment).unwrap_or(u64::MAX),
+                provisional: true,
+            },
+        )?;
+        // Every older writer is now fenced; the log can no longer grow
+        // under our feet (modulo the in-flight-write window documented in
+        // `crate::epoch`).  Scan and heal it.
+        let scan = scan_log(dir)?;
+        for seq in &scan.orphaned_segments {
+            std::fs::remove_file(segment_path(dir, *seq))?;
+        }
+        heal_fenced_residue(dir, &scan.fenced)?;
+        if let Some(seq) = scan.last_segment {
+            let path = segment_path(dir, seq);
+            if scan.valid_len < SEGMENT_HEADER as u64 {
+                // A torn header holds nothing usable, and the new lineage
+                // starts in a fresh segment anyway.
+                std::fs::remove_file(&path)?;
+            } else {
+                let file = OpenOptions::new().write(true).open(&path)?;
+                if file.metadata()?.len() > scan.valid_len {
+                    file.set_len(scan.valid_len)?;
+                    file.sync_all()?;
+                }
+            }
+        }
+        let fence_lsn = scan.next_lsn();
+        let start_segment = list_segments(dir)?
+            .last()
+            .map(|&(seq, _)| seq + 1)
+            .unwrap_or(0);
+        let path = segment_path(dir, start_segment);
+        let mut file = OpenOptions::new()
+            .create_new(true)
+            .read(true)
+            .write(true)
+            .open(&path)?;
+        write_segment_header(&mut file, start_segment, new_epoch)?;
+        file.sync_all()?;
+        // Promotion is rare; make the lineage switch durable regardless of
+        // mode before publishing the fence.
+        sync_dir(dir)?;
+        write_epoch_marker(
+            dir,
+            &EpochMarker {
+                epoch: new_epoch,
+                fence_lsn,
+                start_segment,
+                provisional: false,
+            },
+        )?;
+        Ok(WalWriter {
+            dir: dir.to_path_buf(),
+            mode,
+            epoch: new_epoch,
+            inner: Mutex::new(WalInner {
+                writer: BufWriter::new(file),
+                segment_seq: start_segment,
+                segment_bytes: segment_bytes.max(SEGMENT_HEADER as u64 + 1),
+                segment_bytes_written: SEGMENT_HEADER as u64,
+                next_lsn: fence_lsn,
+                scratch: Vec::with_capacity(4096),
+            }),
+        })
+    }
+
     /// The configured durability mode.
     pub fn mode(&self) -> DurabilityMode {
         self.mode
+    }
+
+    /// The primary epoch this writer stamps into its records.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Re-reads the epoch marker and refuses further work when a newer
+    /// epoch has claimed the log (a replica promoted over this writer).
+    ///
+    /// Called internally before every append and flush; the engine also
+    /// calls it at the head of each commit batch so a deposed primary
+    /// refuses commits *before* applying their storage effects, not
+    /// after.  The error is [`std::io::ErrorKind::PermissionDenied`] and
+    /// recognizable via [`crate::is_fence_error`].
+    pub fn check_fence(&self) -> io::Result<()> {
+        if let Some(m) = read_epoch_marker(&self.dir)? {
+            if m.epoch > self.epoch {
+                return Err(io::Error::new(
+                    io::ErrorKind::PermissionDenied,
+                    format!(
+                        "WAL writer fenced: epoch {} superseded by epoch {}",
+                        self.epoch, m.epoch
+                    ),
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// The log directory.
@@ -372,13 +621,14 @@ impl WalWriter {
         if records.is_empty() {
             return Ok(WalReceipt::default());
         }
+        self.check_fence()?;
         let mut inner = self.inner.lock();
         let mut scratch = std::mem::take(&mut inner.scratch);
         scratch.clear();
         for record in records {
             let lsn = inner.next_lsn;
             inner.next_lsn += 1;
-            encode_record(lsn, record, &mut scratch);
+            encode_record(lsn, self.epoch, record, &mut scratch);
         }
         let bytes = scratch.len() as u64;
         let result = inner.writer.write_all(&scratch);
@@ -400,6 +650,7 @@ impl WalWriter {
     /// additionally syncs the segment to stable storage.  Returns `true`
     /// when an fsync happened.
     pub fn flush(&self) -> io::Result<bool> {
+        self.check_fence()?;
         let mut inner = self.inner.lock();
         inner.writer.flush()?;
         if self.mode == DurabilityMode::Fsync {
@@ -435,7 +686,7 @@ impl WalWriter {
             .read(true)
             .write(true)
             .open(&path)?;
-        write_segment_header(&mut file, inner.segment_seq)?;
+        write_segment_header(&mut file, inner.segment_seq, self.epoch)?;
         if self.mode == DurabilityMode::Fsync {
             // The new segment's directory entry must be as durable as the
             // records about to be fsynced into it.
@@ -447,9 +698,27 @@ impl WalWriter {
     }
 }
 
-fn write_segment_header(file: &mut File, seq: u64) -> io::Result<()> {
+fn write_segment_header(file: &mut File, seq: u64, epoch: u64) -> io::Result<()> {
     file.write_all(SEGMENT_MAGIC)?;
-    file.write_all(&seq.to_le_bytes())
+    file.write_all(&seq.to_le_bytes())?;
+    file.write_all(&epoch.to_le_bytes())
+}
+
+/// Physically removes a deposed primary's residue reported by
+/// [`scan_log`]: each fenced segment is truncated back to its cut, or
+/// deleted outright when nothing but the header would remain.
+fn heal_fenced_residue(dir: &Path, fenced: &[(u64, u64)]) -> io::Result<()> {
+    for &(seq, keep) in fenced {
+        let path = segment_path(dir, seq);
+        if keep <= SEGMENT_HEADER as u64 {
+            std::fs::remove_file(&path)?;
+        } else {
+            let file = OpenOptions::new().write(true).open(&path)?;
+            file.set_len(keep)?;
+            file.sync_all()?;
+        }
+    }
+    Ok(())
 }
 
 /// Fsyncs a directory so freshly created (or renamed) entries survive a
@@ -639,6 +908,139 @@ mod tests {
 
     /// Offset of the first payload byte after a segment header.
     const FRAME_OVERHEAD_PLUS_ONE: usize = crate::record::FRAME_OVERHEAD + 1;
+
+    #[test]
+    fn promote_fences_the_old_writer_and_starts_a_new_lineage() {
+        let dir = temp_dir("promote");
+        let old = WalWriter::open(&dir, DurabilityMode::Buffered, 8 << 20).unwrap();
+        old.append_and_flush(&[write_rec(1, 0, b"before")]).unwrap();
+        assert_eq!(old.epoch(), 0);
+        let new = WalWriter::promote_open(&dir, DurabilityMode::Buffered, 8 << 20).unwrap();
+        assert_eq!(new.epoch(), 1);
+        // The deposed writer is refused before any bytes land.
+        let err = old
+            .append_and_flush(&[write_rec(2, 0, b"late")])
+            .unwrap_err();
+        assert!(crate::epoch::is_fence_error(&err), "{err}");
+        assert!(old.flush().is_err(), "flush must be fenced too");
+        // The new lineage continues the LSN sequence from the fence.
+        let receipt = new.append_and_flush(&[write_rec(3, 0, b"after")]).unwrap();
+        assert_eq!(receipt.last_lsn, Some(1));
+        let scan = scan_log(&dir).unwrap();
+        assert_eq!(
+            scan.records
+                .iter()
+                .map(|r| (r.lsn, r.epoch))
+                .collect::<Vec<_>>(),
+            vec![(0, 0), (1, 1)]
+        );
+        assert!(scan.fenced.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn late_residue_is_fenced_out_of_the_scan_and_healed_on_open() {
+        let dir = temp_dir("residue");
+        let old = WalWriter::open(&dir, DurabilityMode::Buffered, 8 << 20).unwrap();
+        old.append_and_flush(&[write_rec(1, 0, b"durable")])
+            .unwrap();
+        let promoted = WalWriter::promote_open(&dir, DurabilityMode::Buffered, 8 << 20).unwrap();
+        promoted
+            .append_and_flush(&[write_rec(2, 0, b"new-lineage")])
+            .unwrap();
+        drop(promoted);
+        // Simulate the in-flight-write window: the deposed primary's
+        // encoded bytes (stale epoch, post-fence LSN) land in its old
+        // segment after the promotion scan sampled it.
+        let mut residue = Vec::new();
+        encode_record(1, 0, &write_rec(9, 0, b"resurrect-me"), &mut residue);
+        let mut file = OpenOptions::new()
+            .append(true)
+            .open(segment_path(&dir, 0))
+            .unwrap();
+        file.write_all(&residue).unwrap();
+        drop(file);
+        // The scan skips the residue and keeps the fenced lineage.
+        let scan = scan_log(&dir).unwrap();
+        assert_eq!(scan.fenced.len(), 1);
+        assert_eq!(scan.fenced[0].0, 0);
+        assert!(scan.fenced[0].1 > SEGMENT_HEADER as u64);
+        assert_eq!(
+            scan.records
+                .iter()
+                .map(|r| (r.lsn, r.epoch))
+                .collect::<Vec<_>>(),
+            vec![(0, 0), (1, 1)]
+        );
+        // Reopening heals the residue physically: zero resurrected bytes.
+        let wal = WalWriter::open(&dir, DurabilityMode::Buffered, 8 << 20).unwrap();
+        assert_eq!(wal.epoch(), 1);
+        drop(wal);
+        let healed = std::fs::read(segment_path(&dir, 0)).unwrap();
+        assert_eq!(healed.len() as u64, scan.fenced[0].1);
+        let rescan = scan_log(&dir).unwrap();
+        assert!(rescan.fenced.is_empty());
+        assert_eq!(rescan.records.len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_crashed_promotion_leaves_writers_fenced_until_promote_completes() {
+        let dir = temp_dir("provisional");
+        let old = WalWriter::open(&dir, DurabilityMode::Buffered, 8 << 20).unwrap();
+        old.append_and_flush(&[write_rec(1, 0, b"x")]).unwrap();
+        // A promotion that crashed between its two marker writes leaves
+        // the provisional marker behind.
+        crate::epoch::write_epoch_marker(
+            &dir,
+            &EpochMarker {
+                epoch: 1,
+                fence_lsn: u64::MAX,
+                start_segment: u64::MAX,
+                provisional: true,
+            },
+        )
+        .unwrap();
+        let err = old.append_and_flush(&[write_rec(2, 0, b"y")]).unwrap_err();
+        assert!(crate::epoch::is_fence_error(&err), "{err}");
+        // A plain open refuses to adopt a half-done promotion...
+        assert!(WalWriter::open(&dir, DurabilityMode::Buffered, 8 << 20).is_err());
+        // ...but promote_open completes it under the next epoch.
+        let promoted = WalWriter::promote_open(&dir, DurabilityMode::Buffered, 8 << 20).unwrap();
+        assert_eq!(promoted.epoch(), 2);
+        let receipt = promoted.append_and_flush(&[write_rec(3, 0, b"z")]).unwrap();
+        assert_eq!(receipt.last_lsn, Some(1));
+        let scan = scan_log(&dir).unwrap();
+        assert_eq!(scan.records.len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_after_promotion_adopts_the_marker_epoch() {
+        let dir = temp_dir("adopt");
+        {
+            let wal = WalWriter::open(&dir, DurabilityMode::Buffered, 8 << 20).unwrap();
+            wal.append_and_flush(&[write_rec(1, 0, b"a")]).unwrap();
+        }
+        {
+            let promoted =
+                WalWriter::promote_open(&dir, DurabilityMode::Buffered, 8 << 20).unwrap();
+            promoted.append_and_flush(&[write_rec(2, 0, b"b")]).unwrap();
+        }
+        let wal = WalWriter::open(&dir, DurabilityMode::Buffered, 8 << 20).unwrap();
+        assert_eq!(wal.epoch(), 1);
+        let receipt = wal.append_and_flush(&[write_rec(3, 0, b"c")]).unwrap();
+        assert_eq!(receipt.last_lsn, Some(2));
+        let scan = scan_log(&dir).unwrap();
+        assert_eq!(
+            scan.records
+                .iter()
+                .map(|r| (r.lsn, r.epoch))
+                .collect::<Vec<_>>(),
+            vec![(0, 0), (1, 1), (2, 1)]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 
     #[test]
     fn durability_config_constructors() {

@@ -94,7 +94,7 @@ pub use checkpoint::CheckpointDriver;
 pub use gc::GcDriver;
 pub use load::{run_closed_loop, LoadReport};
 pub use metrics::{AbortReason, EngineMetrics, MetricsSnapshot};
-pub use pipeline::AdmissionMode;
+pub use pipeline::{AdmissionMode, ChaosHook, KillSite};
 pub use session::{Engine, EngineConfig, EngineError, History, Session};
 pub use shard::ShardedStore;
 

@@ -27,10 +27,13 @@ pub enum AbortReason {
     WriteConflict,
     /// The session aborted voluntarily (explicit `abort()` or drop).
     Explicit,
+    /// The engine was deposed by a failover: a newer epoch fenced its WAL
+    /// mid-commit, so the transaction cannot be made durable here.
+    Deposed,
 }
 
 impl AbortReason {
-    const COUNT: usize = 5;
+    const COUNT: usize = 6;
 
     fn index(self) -> usize {
         match self {
@@ -39,6 +42,7 @@ impl AbortReason {
             AbortReason::SnapshotTooOld => 2,
             AbortReason::WriteConflict => 3,
             AbortReason::Explicit => 4,
+            AbortReason::Deposed => 5,
         }
     }
 
@@ -50,6 +54,7 @@ impl AbortReason {
             AbortReason::SnapshotTooOld,
             AbortReason::WriteConflict,
             AbortReason::Explicit,
+            AbortReason::Deposed,
         ]
     }
 }
@@ -62,6 +67,7 @@ impl fmt::Display for AbortReason {
             AbortReason::SnapshotTooOld => write!(f, "snapshot-too-old"),
             AbortReason::WriteConflict => write!(f, "write-conflict"),
             AbortReason::Explicit => write!(f, "explicit"),
+            AbortReason::Deposed => write!(f, "deposed"),
         }
     }
 }
@@ -127,6 +133,9 @@ pub struct EngineMetrics {
     wal_fsyncs: AtomicU64,
     wal_commits: AtomicU64,
     checkpoints: AtomicU64,
+    /// Gauge, not counter: the primary epoch the engine's WAL writes
+    /// under (0 until a failover has ever happened on the log).
+    epoch: AtomicU64,
     repl_shipped_records: AtomicU64,
     repl_applied_records: AtomicU64,
     repl_applied_commits: AtomicU64,
@@ -162,6 +171,7 @@ impl EngineMetrics {
             wal_fsyncs: AtomicU64::new(0),
             wal_commits: AtomicU64::new(0),
             checkpoints: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
             repl_shipped_records: AtomicU64::new(0),
             repl_applied_records: AtomicU64::new(0),
             repl_applied_commits: AtomicU64::new(0),
@@ -260,6 +270,12 @@ impl EngineMetrics {
         self.checkpoints.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Sets the primary-epoch gauge (monotone: a promotion only ever
+    /// raises it).
+    pub fn record_epoch(&self, epoch: u64) {
+        self.epoch.fetch_max(epoch, Ordering::Relaxed);
+    }
+
     /// Records `records` WAL records shipped off the primary's log by a
     /// replication tailer.
     pub fn record_repl_shipped(&self, records: usize) {
@@ -321,6 +337,7 @@ impl EngineMetrics {
             wal_fsyncs: self.wal_fsyncs.load(Ordering::Relaxed),
             wal_commits: self.wal_commits.load(Ordering::Relaxed),
             checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            epoch: self.epoch.load(Ordering::Relaxed),
             repl_shipped_records: self.repl_shipped_records.load(Ordering::Relaxed),
             repl_applied_records: self.repl_applied_records.load(Ordering::Relaxed),
             repl_applied_commits: self.repl_applied_commits.load(Ordering::Relaxed),
@@ -387,6 +404,8 @@ pub struct MetricsSnapshot {
     pub wal_commits: u64,
     /// Checkpoints cut.
     pub checkpoints: u64,
+    /// The primary epoch the engine writes under (0 before any failover).
+    pub epoch: u64,
     /// WAL records shipped off the log by replication tailers.
     pub repl_shipped_records: u64,
     /// Records ingested by replica apply.
@@ -533,12 +552,13 @@ impl fmt::Display for MetricsSnapshot {
         if self.durability_on() {
             writeln!(
                 f,
-                "durability: {} flushes ({} fsyncs), {} bytes logged, mean {:.1} commits/fsync, {} checkpoints",
+                "durability: {} flushes ({} fsyncs), {} bytes logged, mean {:.1} commits/fsync, {} checkpoints, epoch {}",
                 self.wal_flushes,
                 self.wal_fsyncs,
                 self.wal_bytes,
                 self.mean_commits_per_flush().unwrap_or(0.0),
-                self.checkpoints
+                self.checkpoints,
+                self.epoch
             )?;
         }
         if self.replication_on() {
@@ -708,7 +728,7 @@ mod tests {
 
     #[test]
     fn abort_reasons_are_exhaustive_and_named() {
-        assert_eq!(AbortReason::all().len(), 5);
+        assert_eq!(AbortReason::all().len(), 6);
         for r in AbortReason::all() {
             assert!(!r.to_string().is_empty());
         }

@@ -45,12 +45,64 @@ use crate::session::History;
 use crate::shard::ShardedStore;
 use bytes::Bytes;
 use mvcc_core::{EntityId, Step, TxId, VersionSource};
-use mvcc_durability::{CommitEntry, WalRecord, WalWriter};
+use mvcc_durability::{is_fence_error, CommitEntry, WalRecord, WalWriter};
 use mvcc_store::{StoreError, TxHandle};
 use parking_lot::Mutex;
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+
+/// A scripted failpoint inside the pipeline, for the deterministic
+/// failover chaos harness: each variant names a window the tests freeze a
+/// primary in (the hook parks the calling thread forever, simulating a
+/// kill at exactly that point).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KillSite {
+    /// Inside an admission drain, after the certifier ruled a batch but
+    /// before its steps reach the history and the WAL.
+    AdmissionDrain,
+    /// Inside a group-commit drain, after shard effects are applied but
+    /// before the batch's commit record is appended and flushed.
+    GroupCommitFlush,
+    /// Between the commit record's durable flush and the certifier
+    /// notifications (commits durable on disk, invisible in memory).
+    CommitNotifyGap,
+    /// Inside the checkpoint cut, while the group-commit drain is held.
+    Checkpoint,
+}
+
+impl fmt::Display for KillSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KillSite::AdmissionDrain => write!(f, "admission-drain"),
+            KillSite::GroupCommitFlush => write!(f, "group-commit-flush"),
+            KillSite::CommitNotifyGap => write!(f, "commit-notify-gap"),
+            KillSite::Checkpoint => write!(f, "checkpoint"),
+        }
+    }
+}
+
+/// A chaos callback fired at every [`KillSite`] the pipeline passes.  The
+/// production default is `None` (never constructed, zero overhead beyond
+/// an `Option` check); the chaos harness installs one that parks the
+/// calling thread forever at a scripted site, freezing the primary
+/// mid-protocol exactly where the failover story is most delicate.
+#[derive(Clone)]
+pub struct ChaosHook(pub Arc<dyn Fn(KillSite) + Send + Sync>);
+
+impl ChaosHook {
+    /// Wraps a callback.
+    pub fn new(f: impl Fn(KillSite) + Send + Sync + 'static) -> Self {
+        ChaosHook(Arc::new(f))
+    }
+}
+
+impl fmt::Debug for ChaosHook {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("ChaosHook(..)")
+    }
+}
 
 /// How the engine serializes admission rulings.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -104,6 +156,10 @@ pub(crate) enum CommitOutcome {
     Conflict(EntityId, TxId),
     /// An unexpected store-level failure (a bug if it ever surfaces).
     Store(StoreError),
+    /// The engine's WAL epoch has been superseded by a promoted replica:
+    /// this primary is fenced and can never commit again.  Nothing was
+    /// made durable for this request.
+    Deposed,
 }
 
 /// The append-only admission history, shared by all lanes.
@@ -421,6 +477,15 @@ pub(crate) struct AdmissionPipeline {
     /// so it is the horizon `ReadPolicy::Latest` and lag bounds compare
     /// against.
     durable_lsn: std::sync::atomic::AtomicU64,
+    /// Latched once the WAL refuses an append or flush with a fencing
+    /// error (a replica promoted over this primary's epoch).  From then on
+    /// every commit is refused with [`CommitOutcome::Deposed`] *before*
+    /// any shard effect — the deposed engine's in-memory state stays a
+    /// prefix of what it already acknowledged, never diverges past the
+    /// fence.
+    deposed: AtomicBool,
+    /// Scripted failpoints for the chaos harness (`None` in production).
+    chaos: Option<ChaosHook>,
 }
 
 impl fmt::Debug for AdmissionPipeline {
@@ -445,6 +510,7 @@ impl AdmissionPipeline {
         shards: usize,
         mode: AdmissionMode,
         wal: Option<Arc<WalWriter>>,
+        chaos: Option<ChaosHook>,
     ) -> Self {
         let first = kind.build();
         let validates_at_commit = first.validates_writes_at_commit();
@@ -472,7 +538,28 @@ impl AdmissionPipeline {
             wal,
             fsync_window,
             durable_lsn: std::sync::atomic::AtomicU64::new(0),
+            deposed: AtomicBool::new(false),
+            chaos,
         }
+    }
+
+    /// Fires the chaos hook at `site` (no-op without a hook installed).
+    fn chaos_point(&self, site: KillSite) {
+        if let Some(hook) = &self.chaos {
+            (hook.0)(site);
+        }
+    }
+
+    /// `true` once the WAL has fenced this engine out (a replica was
+    /// promoted over its epoch): every subsequent commit is refused.
+    pub(crate) fn is_deposed(&self) -> bool {
+        self.deposed.load(Ordering::Acquire)
+    }
+
+    /// Latches the deposed flag (also used by [`crate::Engine::recover_as`]
+    /// to bring a superseded primary up read-only).
+    pub(crate) fn depose(&self) {
+        self.deposed.store(true, Ordering::Release);
     }
 
     /// LSN of the newest record known flushed (per the engine's mode), or
@@ -669,20 +756,28 @@ impl AdmissionPipeline {
     /// first, then the WAL (buffered append, in the same critical section
     /// as the ruling, so the log carries the admission order).  WAL I/O
     /// failure is fatal — a log the engine cannot append to can no longer
-    /// back any durability promise.
+    /// back any durability promise — with one exception: a *fencing*
+    /// refusal (a replica promoted over this epoch) latches the deposed
+    /// flag instead.  The dropped step records are harmless: no commit of
+    /// these transactions can ever reach the fenced log, so the discarded
+    /// steps belong to transactions recovery would discard anyway (ACA).
     fn finish_admission(
         &self,
         admitted: AdmittedBatch,
         history: &HistoryLog,
         metrics: &EngineMetrics,
     ) {
+        self.chaos_point(KillSite::AdmissionDrain);
         history.append_batch(&admitted.steps);
         if let (Some(wal), Some(records)) = (&self.wal, admitted.wal_records) {
             if !records.is_empty() {
-                let receipt = wal
-                    .append_batch(&records)
-                    .expect("WAL append failed: durability can no longer be guaranteed");
-                metrics.record_wal_append(receipt.records, receipt.bytes);
+                match wal.append_batch(&records) {
+                    Ok(receipt) => metrics.record_wal_append(receipt.records, receipt.bytes),
+                    Err(e) if is_fence_error(&e) => self.depose(),
+                    Err(e) => {
+                        panic!("WAL append failed: durability can no longer be guaranteed: {e}")
+                    }
+                }
             }
         }
     }
@@ -807,6 +902,34 @@ impl AdmissionPipeline {
         history: &HistoryLog,
         metrics: &EngineMetrics,
     ) -> usize {
+        if batch.is_empty() {
+            return 0;
+        }
+        // Fence check *before* any shard effect: a deposed primary must
+        // not apply commits its WAL can no longer record — its in-memory
+        // state would diverge from the durable prefix the promoted
+        // replica took over.  Re-reading the epoch marker here (not just
+        // the latched flag) is what bounds the split-brain window: the
+        // first commit after a promotion is refused even if no append has
+        // failed yet.
+        let fenced = self.is_deposed()
+            || match &self.wal {
+                Some(wal) => match wal.check_fence() {
+                    Ok(()) => false,
+                    Err(e) if is_fence_error(&e) => {
+                        self.depose();
+                        true
+                    }
+                    Err(e) => panic!("WAL epoch check failed: {e}"),
+                },
+                None => false,
+            };
+        if fenced {
+            for request in batch {
+                *request.outcome.lock() = Some(CommitOutcome::Deposed);
+            }
+            return 0;
+        }
         let mut outcomes: Vec<CommitOutcome> = Vec::with_capacity(batch.len());
         // Per committed member: the (shard, timestamp) pairs it was
         // assigned, destined for the batch's WAL commit record.
@@ -895,9 +1018,27 @@ impl AdmissionPipeline {
                         })
                     })
                     .collect();
-                let receipt = wal
-                    .append_and_flush(&[WalRecord::Commit { entries }])
-                    .expect("WAL commit flush failed: durability can no longer be guaranteed");
+                self.chaos_point(KillSite::GroupCommitFlush);
+                let receipt = match wal.append_and_flush(&[WalRecord::Commit { entries }]) {
+                    Ok(receipt) => receipt,
+                    Err(e) if is_fence_error(&e) => {
+                        // Deposed between the fence check above and the
+                        // flush: the shard effects just applied can never
+                        // become durable.  Refuse the whole batch —
+                        // certifiers are not notified, the commits stay
+                        // invisible to admission, and the stranded
+                        // in-memory versions die with this engine (every
+                        // session is now fenced too).
+                        self.depose();
+                        for request in batch {
+                            *request.outcome.lock() = Some(CommitOutcome::Deposed);
+                        }
+                        return 0;
+                    }
+                    Err(e) => panic!(
+                        "WAL commit flush failed: durability can no longer be guaranteed: {e}"
+                    ),
+                };
                 metrics.record_wal_flush(receipt.bytes, receipt.fsynced, committed.len());
                 if let Some(lsn) = receipt.last_lsn {
                     self.note_durable(lsn);
@@ -908,6 +1049,7 @@ impl AdmissionPipeline {
                         }
                     }
                 }
+                self.chaos_point(KillSite::CommitNotifyGap);
             }
         }
         // Certifier + history bookkeeping for the transactions that made
@@ -939,6 +1081,7 @@ impl AdmissionPipeline {
     /// snapshot, not an I/O marathon.
     pub(crate) fn checkpoint_cut<R>(&self, f: impl FnOnce() -> R) -> R {
         let _drain = self.commit.drain.lock();
+        self.chaos_point(KillSite::Checkpoint);
         f()
     }
 

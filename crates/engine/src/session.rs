@@ -45,13 +45,15 @@
 
 use crate::certifier::{CertifierKind, HistoryClass, ReadPlan};
 use crate::metrics::{AbortReason, EngineMetrics};
-use crate::pipeline::{AdmissionMode, AdmissionPipeline, CommitOutcome, HistoryLog, StepOutcome};
+use crate::pipeline::{
+    AdmissionMode, AdmissionPipeline, ChaosHook, CommitOutcome, HistoryLog, StepOutcome,
+};
 use crate::shard::ShardedStore;
 use bytes::Bytes;
 use mvcc_core::{EntityId, Schedule, Step, TxId};
 use mvcc_durability::{
-    list_segments, CheckpointData, CommittedVersion, DurabilityConfig, RecoveryOptions,
-    RecoveryReport, ShardCheckpoint, WalRecord, WalWriter,
+    is_fence_error, list_segments, CheckpointData, CommittedVersion, DurabilityConfig,
+    RecoveredState, RecoveryOptions, RecoveryReport, ShardCheckpoint, WalRecord, WalWriter,
 };
 use mvcc_store::{gc, StoreError, TxHandle};
 use std::collections::BTreeSet;
@@ -80,6 +82,11 @@ pub enum EngineError {
     NotActive(TxId),
     /// An unexpected store-level failure (a bug if it ever surfaces).
     Store(StoreError),
+    /// The engine has been deposed: a replica was promoted over its WAL
+    /// epoch, so no commit can ever be made durable here again.  The
+    /// transaction was aborted; the client should re-route to the new
+    /// primary and retry there.
+    Deposed,
 }
 
 impl fmt::Display for EngineError {
@@ -97,6 +104,12 @@ impl fmt::Display for EngineError {
             }
             EngineError::NotActive(tx) => write!(f, "{tx} is not active"),
             EngineError::Store(e) => write!(f, "store error: {e}"),
+            EngineError::Deposed => {
+                write!(
+                    f,
+                    "engine deposed: its WAL epoch was superseded by a promoted replica"
+                )
+            }
         }
     }
 }
@@ -138,6 +151,12 @@ pub struct EngineConfig {
     /// must not already hold one) and [`Engine::recover`] resumes an
     /// existing one.
     pub durability: DurabilityConfig,
+    /// Scripted failpoints for the deterministic chaos harness (`None` —
+    /// the default — in production: a single `Option` check of overhead).
+    /// The hook fires at every [`KillSite`](crate::KillSite) the pipeline
+    /// passes; the failover tests install one that freezes the engine at
+    /// one scripted site.
+    pub chaos: Option<ChaosHook>,
 }
 
 impl Default for EngineConfig {
@@ -150,6 +169,7 @@ impl Default for EngineConfig {
             history_capacity: None,
             admission: AdmissionMode::default(),
             durability: DurabilityConfig::off(),
+            chaos: None,
         }
     }
 }
@@ -206,6 +226,9 @@ pub struct Engine {
     durability: DurabilityConfig,
     /// Sequence number of the last checkpoint cut (or recovered from).
     checkpoint_seq: AtomicU64,
+    /// The primary epoch this engine's WAL records are stamped with
+    /// (0 fresh / non-durable; bumped by [`Engine::promote_recover`]).
+    epoch: u64,
 }
 
 impl fmt::Debug for Engine {
@@ -240,16 +263,26 @@ impl Engine {
                     .expect("open WAL for appending"),
             )
         });
+        let epoch = wal.as_ref().map(|w| w.epoch()).unwrap_or(0);
+        let metrics = Arc::new(EngineMetrics::new(config.shards));
+        metrics.record_epoch(epoch);
         Engine {
             shards: ShardedStore::new(config.shards, config.entities, config.initial),
-            pipeline: AdmissionPipeline::new(kind, config.shards, config.admission, wal.clone()),
+            pipeline: AdmissionPipeline::new(
+                kind,
+                config.shards,
+                config.admission,
+                wal.clone(),
+                config.chaos.clone(),
+            ),
             history: HistoryLog::new(config.record_history, config.history_capacity),
-            metrics: Arc::new(EngineMetrics::new(config.shards)),
+            metrics,
             next_tx: AtomicU32::new(1),
             kind,
             wal,
             durability: config.durability,
             checkpoint_seq: AtomicU64::new(0),
+            epoch,
         }
     }
 
@@ -276,15 +309,7 @@ impl Engine {
         );
         let dir = config.durability.dir.clone();
         std::fs::create_dir_all(&dir)?;
-        let recovered = mvcc_durability::recover(
-            &dir,
-            &RecoveryOptions {
-                shards: config.shards,
-                entities: config.entities,
-                initial: config.initial.clone(),
-            },
-        )?;
-        let shards = ShardedStore::from_recovered(&recovered.shards);
+        let recovered = mvcc_durability::recover(&dir, &Self::recovery_options(&config))?;
         // Reopening the writer physically truncates the torn tail the
         // recovery scan ignored, so appends extend the recovered prefix.
         let wal = Arc::new(WalWriter::open(
@@ -292,18 +317,122 @@ impl Engine {
             config.durability.mode,
             config.durability.segment_bytes,
         )?);
+        Ok(Self::assemble_recovered(kind, config, Some(wal), recovered))
+    }
+
+    /// Promotes the log in `config.durability.dir` to a new primary epoch
+    /// and recovers an engine over it — failover's "take over the log"
+    /// step, run by a replica that has finished absorbing the reachable
+    /// prefix ([`WalWriter::promote_open`] does the fencing work).
+    ///
+    /// The order is the reverse of [`Engine::recover`]: the *promotion*
+    /// heals the log first — fence cut at the end of the valid committed
+    /// prefix, stale-epoch residue discarded, a fresh segment lineage
+    /// opened under the bumped epoch — and only then is the healed prefix
+    /// recovered (checkpoint + tail, ACA discard of commit-less
+    /// transactions) and the engine assembled around the already-promoted
+    /// writer.  From the moment the epoch marker lands, the deposed
+    /// primary's appends and flushes are refused by the log, so nothing
+    /// it does concurrently can leak past the fence this recovery read.
+    pub fn promote_recover(
+        kind: CertifierKind,
+        config: EngineConfig,
+    ) -> std::io::Result<(Arc<Self>, RecoveryReport)> {
+        assert!(
+            config.durability.is_on(),
+            "Engine::promote_recover requires durability to be on"
+        );
+        let dir = config.durability.dir.clone();
+        std::fs::create_dir_all(&dir)?;
+        let wal = Arc::new(WalWriter::promote_open(
+            &dir,
+            config.durability.mode,
+            config.durability.segment_bytes,
+        )?);
+        let recovered = mvcc_durability::recover(&dir, &Self::recovery_options(&config))?;
+        Ok(Self::assemble_recovered(kind, config, Some(wal), recovered))
+    }
+
+    /// Recovers an engine that believes it owns epoch `owned_epoch` —
+    /// the restart path for a primary that may have been deposed while it
+    /// was down.  If the log's epoch marker still matches (or nothing was
+    /// ever promoted), this is exactly [`Engine::recover`].  If the
+    /// marker has moved past `owned_epoch`, a replica was promoted over
+    /// this engine's log: the engine comes up *read-only* — the committed
+    /// prefix up to the promotion fence is served, but the WAL is not
+    /// reopened and every commit is refused with
+    /// [`EngineError::Deposed`].
+    pub fn recover_as(
+        kind: CertifierKind,
+        config: EngineConfig,
+        owned_epoch: u64,
+    ) -> std::io::Result<(Arc<Self>, RecoveryReport)> {
+        assert!(
+            config.durability.is_on(),
+            "Engine::recover_as requires durability to be on"
+        );
+        let dir = config.durability.dir.clone();
+        std::fs::create_dir_all(&dir)?;
+        let current = mvcc_durability::read_epoch_marker(&dir)?
+            .map(|m| m.epoch)
+            .unwrap_or(0);
+        if current <= owned_epoch {
+            return Self::recover(kind, config);
+        }
+        // Superseded: serve the durable committed prefix, refuse writes.
+        let recovered = mvcc_durability::recover(&dir, &Self::recovery_options(&config))?;
+        let (engine, report) =
+            Self::assemble_recovered_at(kind, config, None, recovered, owned_epoch);
+        engine.pipeline.depose();
+        Ok((engine, report))
+    }
+
+    fn recovery_options(config: &EngineConfig) -> RecoveryOptions {
+        RecoveryOptions {
+            shards: config.shards,
+            entities: config.entities,
+            initial: config.initial.clone(),
+        }
+    }
+
+    /// Builds the engine around an already-recovered state and (for
+    /// writable engines) an already-opened WAL writer — the shared tail
+    /// of [`Engine::recover`], [`Engine::promote_recover`] and the fenced
+    /// read-only path of [`Engine::recover_as`].
+    fn assemble_recovered(
+        kind: CertifierKind,
+        config: EngineConfig,
+        wal: Option<Arc<WalWriter>>,
+        recovered: RecoveredState,
+    ) -> (Arc<Self>, RecoveryReport) {
+        let epoch = wal.as_ref().map(|w| w.epoch()).unwrap_or(0);
+        Self::assemble_recovered_at(kind, config, wal, recovered, epoch)
+    }
+
+    /// [`Engine::assemble_recovered`] with an explicit engine epoch — the
+    /// fenced read-only path has no writer to take the epoch from but
+    /// still reports the (stale) epoch it owns.
+    fn assemble_recovered_at(
+        kind: CertifierKind,
+        config: EngineConfig,
+        wal: Option<Arc<WalWriter>>,
+        recovered: RecoveredState,
+        epoch: u64,
+    ) -> (Arc<Self>, RecoveryReport) {
+        let shards = ShardedStore::from_recovered(&recovered.shards);
         let pipeline = AdmissionPipeline::new(
             kind,
             config.shards,
             config.admission,
-            Some(Arc::clone(&wal)),
+            wal.clone(),
+            config.chaos.clone(),
         );
         // Everything the reopened log holds was read back from disk, so
         // it is flushed by definition: seed the durable horizon there,
         // or a post-recovery read router would treat the whole recovered
         // history as not-yet-observable and serve arbitrarily stale
         // `Latest` reads.
-        if let Some(lsn) = wal.last_lsn() {
+        if let Some(lsn) = wal.as_ref().and_then(|w| w.last_lsn()) {
             pipeline.note_durable(lsn);
         }
         // The newest committed writer per entity: what a resumed
@@ -323,18 +452,21 @@ impl Engine {
         let history = HistoryLog::new(config.record_history, config.history_capacity);
         history.seed(&recovered.admitted, &recovered.committed);
         let report = recovered.report.clone();
+        let metrics = Arc::new(EngineMetrics::new(config.shards));
+        metrics.record_epoch(epoch);
         let engine = Arc::new(Engine {
             shards,
             pipeline,
             history,
-            metrics: Arc::new(EngineMetrics::new(config.shards)),
+            metrics,
             next_tx: AtomicU32::new(recovered.next_tx),
             kind,
-            wal: Some(wal),
+            wal,
             durability: config.durability,
             checkpoint_seq: AtomicU64::new(report.checkpoint_seq.unwrap_or(0)),
+            epoch,
         });
-        Ok((engine, report))
+        (engine, report)
     }
 
     /// Cuts a checkpoint: the committed state of every shard (plus the GC
@@ -422,6 +554,20 @@ impl Engine {
     /// The durability configuration the engine runs under.
     pub fn durability(&self) -> &DurabilityConfig {
         &self.durability
+    }
+
+    /// The primary epoch this engine's WAL records carry (0 for a fresh
+    /// or non-durable engine; bumped by every [`Engine::promote_recover`]).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// `true` once this engine has been fenced out by a promotion over
+    /// its WAL epoch: every commit is (and will forever be) refused with
+    /// [`EngineError::Deposed`]; reads of the already-acknowledged state
+    /// still work.
+    pub fn is_deposed(&self) -> bool {
+        self.pipeline.is_deposed()
     }
 
     /// The certifier configuration the engine runs.
@@ -690,6 +836,13 @@ impl Session {
             // Dropping `self` aborts the session (matching the pre-pipeline
             // behavior of `?` on a failed shard commit).
             CommitOutcome::Store(e) => Err(EngineError::Store(e)),
+            CommitOutcome::Deposed => {
+                // Nothing was applied and nothing can ever be made durable
+                // here again: abort locally and tell the client to
+                // re-route to the promoted primary.
+                self.abort_with(AbortReason::Deposed, None);
+                Err(EngineError::Deposed)
+            }
         }
     }
 
@@ -710,13 +863,19 @@ impl Session {
     fn finish_abort_inner(&mut self, reason: AbortReason, trigger: Option<EntityId>) {
         if let Some(wal) = &self.engine.wal {
             // Informational (recovery discards commit-less transactions
-            // either way); buffered until the next flush.
-            let receipt = wal
-                .append_batch(&[WalRecord::Abort { tx: self.tx }])
-                .expect("WAL append failed: durability can no longer be guaranteed");
-            self.engine
-                .metrics
-                .record_wal_append(receipt.records, receipt.bytes);
+            // either way); buffered until the next flush.  A *fencing*
+            // refusal is tolerated silently: a deposed engine's aborts
+            // are implied by the promotion cut (the transaction has no
+            // commit record past the fence), so losing the record changes
+            // nothing recovery or a replica would conclude.
+            match wal.append_batch(&[WalRecord::Abort { tx: self.tx }]) {
+                Ok(receipt) => self
+                    .engine
+                    .metrics
+                    .record_wal_append(receipt.records, receipt.bytes),
+                Err(e) if is_fence_error(&e) => {}
+                Err(e) => panic!("WAL append failed: durability can no longer be guaranteed: {e}"),
+            }
         }
         for (idx, &begun) in self.begun_shards.iter().enumerate() {
             if begun {

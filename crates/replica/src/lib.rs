@@ -33,7 +33,18 @@
 //!   transaction-consistent point at or below the apply watermark),
 //!   under a [`ReadPolicy`] staleness bound (`Latest`, `BoundedLag(n)`,
 //!   `ExactLsn`), with read-your-writes for sessions that committed on
-//!   the primary (wait for the session's commit LSN).
+//!   the primary (wait for the session's commit LSN); and
+//!   [`WriteRouter`]: routes write sessions to the current primary,
+//!   refusing with [`RouterError::Deposed`] once the incumbent is fenced
+//!   and swapping in promoted engines epoch-monotonically;
+//! * [`leader`] — [`LeaderDriver`]: the lease-based leadership driver —
+//!   after enough consecutive silent heartbeat checks it elects the
+//!   replica with the longest absorbed prefix, promotes it over the
+//!   shared log ([`Replica::promote`] →
+//!   [`mvcc_engine::Engine::promote_recover`], which fences the old
+//!   primary's epoch), and installs the new engine in the
+//!   [`WriteRouter`] — failover with no resurrected writes, re-checked
+//!   by the chaos harness in `tests/failover_chaos.rs`.
 //!
 //! ## Why follower reads preserve the certified class
 //!
@@ -63,13 +74,17 @@
 #![warn(missing_docs)]
 
 pub mod history;
+pub mod leader;
 pub mod replica;
 pub mod router;
 pub mod shipper;
 
 pub use history::ReplicaHistory;
+pub use leader::{LeaderConfig, LeaderDriver};
 pub use replica::{Replica, ReplicaConfig, ReplicaReadSession, ShipReceipt};
-pub use router::{ReadError, ReadPolicy, ReadRouter, RoutedRead, RouterConfig, RouterError};
+pub use router::{
+    ReadError, ReadPolicy, ReadRouter, RoutedRead, RouterConfig, RouterError, WriteRouter,
+};
 pub use shipper::{LogShipper, ShipperConfig};
 
 // Re-export the value type, matching the store/engine convention.

@@ -30,7 +30,9 @@ use mvcc_durability::{
     latest_checkpoint, read_tail, write_checkpoint, CheckpointData, RecoveredShard,
     ShardCheckpoint, WalCursor, WalRecord,
 };
-use mvcc_engine::{EngineMetrics, ShardedStore};
+use mvcc_engine::{
+    CertifierKind, Engine, EngineConfig, EngineMetrics, RecoveryReport, ShardedStore,
+};
 use mvcc_store::{gc, StoreError, TxHandle};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -359,6 +361,50 @@ impl Replica {
     /// The replica's sharded store (observability and tests).
     pub fn shards(&self) -> &ShardedStore {
         &self.shards
+    }
+
+    /// The WAL directory this replica tails.
+    pub fn wal_dir(&self) -> &std::path::Path {
+        &self.wal_dir
+    }
+
+    /// Promotes this replica to primary over the log it has been tailing
+    /// — the failover step the [`crate::LeaderDriver`] runs after
+    /// electing the replica with the longest absorbed prefix.
+    ///
+    /// The sequence: (1) finish absorbing the reachable log prefix
+    /// (one last [`Replica::catch_up`] — anything readable now is part
+    /// of the history being taken over); (2)
+    /// [`Engine::promote_recover`] over the shared WAL directory, which
+    /// fences the old primary's epoch (its late appends and flushes are
+    /// refused by the log from the marker write onward), heals stale
+    /// residue past the promotion cut, recovers the committed prefix
+    /// under ACA, re-seeds fresh certifier lanes with the recovered
+    /// committed set, and opens a fresh segment lineage under the bumped
+    /// epoch.  `config.durability.dir` is overridden with the replica's
+    /// WAL directory — promotion takes over *this* log, wherever the
+    /// caller's template pointed.
+    ///
+    /// The returned engine is the new primary; the replica object itself
+    /// is consumed conceptually (its cursor would next observe its own
+    /// engine's appends) and should be dropped by the caller.
+    pub fn promote(
+        &self,
+        kind: CertifierKind,
+        mut config: EngineConfig,
+    ) -> io::Result<(Arc<Engine>, RecoveryReport)> {
+        assert!(
+            config.durability.is_on(),
+            "Replica::promote needs a durable EngineConfig template: the promoted \
+             primary keeps writing the shared log (the mode and segment size are \
+             taken from the template)"
+        );
+        self.catch_up()?;
+        config.durability.dir = self.wal_dir.clone();
+        config.shards = self.config.shards;
+        config.entities = self.config.entities;
+        config.initial = self.config.initial.clone();
+        Engine::promote_recover(kind, config)
     }
 
     /// Polls the primary's log once: reads at most `max_records` whole

@@ -80,7 +80,7 @@ impl Default for RouterConfig {
     }
 }
 
-/// Why the router refused a read.
+/// Why a router refused a session.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RouterError {
     /// No replica satisfied the policy within the wait budget.  The read
@@ -92,6 +92,15 @@ pub enum RouterError {
         needed: u64,
         /// The best watermark any replica had reached.
         best: u64,
+    },
+    /// The routed primary has been deposed: a replica was promoted over
+    /// its WAL epoch, so it can never commit again.  Writers get this
+    /// from the [`WriteRouter`] until failover installs the promoted
+    /// primary — degrading loudly here is what keeps a stranded writer
+    /// from silently talking to a fenced engine.
+    Deposed {
+        /// The deposed primary's (stale) epoch.
+        epoch: u64,
     },
 }
 
@@ -105,6 +114,10 @@ impl fmt::Display for RouterError {
             } => write!(
                 f,
                 "no replica satisfies {policy}: needed watermark {needed}, best {best}"
+            ),
+            RouterError::Deposed { epoch } => write!(
+                f,
+                "routed primary (epoch {epoch}) is deposed; retry after failover installs the promoted primary"
             ),
         }
     }
@@ -280,6 +293,89 @@ impl ReadRouter {
             waited = true;
             std::thread::sleep(self.config.poll);
         }
+    }
+}
+
+/// Routes *write* sessions to the current primary — the failover-facing
+/// sibling of [`ReadRouter`].  Holds the one mutable cell of the whole
+/// failover story: which engine is primary right now.
+///
+/// * [`WriteRouter::begin`] opens a session on the current primary, or
+///   refuses with [`RouterError::Deposed`] when that engine has been
+///   fenced out by a promotion — a stranded writer learns loudly that it
+///   must wait for (or trigger) failover instead of queueing work on an
+///   engine that can never commit it.
+/// * [`WriteRouter::install`] swaps in a promoted engine.  Installs are
+///   **epoch-monotone**: an install whose epoch does not exceed the
+///   incumbent's is ignored, so a late or duplicate promotion can never
+///   roll the routing back to a deposed primary.
+///
+/// A session begun *before* a promotion races it by design — the engine
+/// itself fences those at commit ([`mvcc_engine::EngineError::Deposed`]);
+/// the router only keeps *new* sessions off known-deposed engines.
+pub struct WriteRouter {
+    primary: parking_lot::Mutex<Arc<Engine>>,
+    /// Promotions actually installed (epoch-monotone swaps).
+    installs: AtomicUsize,
+}
+
+impl fmt::Debug for WriteRouter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WriteRouter")
+            .field("epoch", &self.primary.lock().epoch())
+            .field("installs", &self.installs.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl WriteRouter {
+    /// Builds a router with `primary` as the incumbent.
+    pub fn new(primary: Arc<Engine>) -> Self {
+        WriteRouter {
+            primary: parking_lot::Mutex::new(primary),
+            installs: AtomicUsize::new(0),
+        }
+    }
+
+    /// The engine currently routed to (the incumbent primary).
+    pub fn primary(&self) -> Arc<Engine> {
+        Arc::clone(&self.primary.lock())
+    }
+
+    /// The incumbent primary's epoch.
+    pub fn epoch(&self) -> u64 {
+        self.primary.lock().epoch()
+    }
+
+    /// Number of promotions installed so far.
+    pub fn installs(&self) -> usize {
+        self.installs.load(Ordering::Relaxed)
+    }
+
+    /// Installs a promoted engine as the new primary.  Ignored (returns
+    /// `false`) unless `engine`'s epoch strictly exceeds the incumbent's
+    /// — duplicate or out-of-order installs can never reinstate a deposed
+    /// primary.
+    pub fn install(&self, engine: Arc<Engine>) -> bool {
+        let mut primary = self.primary.lock();
+        if engine.epoch() <= primary.epoch() {
+            return false;
+        }
+        *primary = engine;
+        self.installs.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Opens a write session on the current primary, or refuses with
+    /// [`RouterError::Deposed`] when the incumbent is known fenced.
+    pub fn begin(&self) -> Result<Session, RouterError> {
+        let primary = self.primary.lock();
+        if primary.is_deposed() {
+            return Err(RouterError::Deposed {
+                epoch: primary.epoch(),
+            });
+        }
+        Ok(primary.begin())
     }
 }
 

@@ -169,6 +169,76 @@ mod tests {
     }
 
     #[test]
+    fn shipper_resubscribes_across_a_promotion_without_erroring() {
+        // Satellite regression: a promotion supersedes the old segment
+        // lineage (and may heal segments the shipper's cursor is bound
+        // to).  The tailer must treat that as "rebind to the new
+        // lineage", never as the "segment vanished mid-tail" error — a
+        // shipper that errors out here would strand every replica that
+        // was not itself promoted.
+        let dir = temp_dir("promo");
+        let engine = Arc::new(Engine::new(
+            CertifierKind::Sgt,
+            EngineConfig {
+                shards: 2,
+                entities: 8,
+                durability: DurabilityConfig::buffered(&dir),
+                ..EngineConfig::default()
+            },
+        ));
+        let mut s = engine.begin();
+        s.write(EntityId(0), Bytes::from_static(b"old-primary"))
+            .unwrap();
+        s.commit().unwrap();
+        let bystander = Arc::new(
+            Replica::open(ReplicaConfig::new(2, 8, Bytes::from_static(b"0")), &dir).unwrap(),
+        );
+        let shipper = LogShipper::start(Arc::clone(&bystander), ShipperConfig::default());
+        let electee = Arc::new(
+            Replica::open(ReplicaConfig::new(2, 8, Bytes::from_static(b"0")), &dir).unwrap(),
+        );
+        let (promoted, _report) = electee
+            .promote(
+                CertifierKind::Sgt,
+                EngineConfig {
+                    shards: 2,
+                    entities: 8,
+                    durability: DurabilityConfig::buffered(&dir),
+                    ..EngineConfig::default()
+                },
+            )
+            .unwrap();
+        // Post-promotion traffic lands in the new segment lineage.
+        let mut s = promoted.begin();
+        s.write(EntityId(1), Bytes::from_static(b"new-primary"))
+            .unwrap();
+        s.commit().unwrap();
+        let target = promoted.durable_lsn().unwrap() + 1;
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while bystander.watermark() < target {
+            assert!(
+                Instant::now() < deadline,
+                "shipper never crossed the epoch boundary (errors: {:?})",
+                shipper.last_error()
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(shipper.errors(), 0, "{:?}", shipper.last_error());
+        let mut read = bystander.begin_read();
+        assert_eq!(
+            read.read(EntityId(0)).unwrap(),
+            Bytes::from_static(b"old-primary")
+        );
+        assert_eq!(
+            read.read(EntityId(1)).unwrap(),
+            Bytes::from_static(b"new-primary")
+        );
+        read.finish();
+        shipper.stop();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn corruption_is_surfaced_not_swallowed() {
         let dir = temp_dir("corrupt");
         {

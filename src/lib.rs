@@ -25,8 +25,8 @@
 //! * [`engine`] — the concurrent sharded multi-session transaction engine
 //!   with pluggable certifiers (`mvcc-engine`);
 //! * [`replica`] — WAL log-shipping read replicas with
-//!   snapshot-consistent follower reads and a read-scaling router
-//!   (`mvcc-replica`).
+//!   snapshot-consistent follower reads, read/write routers and
+//!   epoch-fenced failover (`mvcc-replica`).
 //!
 //! See `README.md` for a quick start, `DESIGN.md` for the system inventory
 //! and `EXPERIMENTS.md` for the paper-vs-measured record of every
@@ -55,10 +55,13 @@ pub mod prelude {
         VersionFunction, VersionSource,
     };
     pub use mvcc_durability::{DurabilityConfig, DurabilityMode};
-    pub use mvcc_engine::{run_closed_loop, CertifierKind, Engine, EngineConfig, HistoryClass};
+    pub use mvcc_engine::{
+        run_closed_loop, CertifierKind, ChaosHook, Engine, EngineConfig, HistoryClass, KillSite,
+    };
     pub use mvcc_reductions::ols::is_ols;
     pub use mvcc_replica::{
-        LogShipper, ReadPolicy, ReadRouter, Replica, ReplicaConfig, RouterConfig, ShipperConfig,
+        LeaderConfig, LeaderDriver, LogShipper, ReadPolicy, ReadRouter, Replica, ReplicaConfig,
+        RouterConfig, ShipperConfig, WriteRouter,
     };
     pub use mvcc_scheduler::{
         run_abort, run_prefix, Decision, MvSgtScheduler, MvtoScheduler, Scheduler, SerialScheduler,

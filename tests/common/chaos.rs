@@ -1,0 +1,129 @@
+//! Deterministic chaos primitives for the failover harness.
+//!
+//! The engine exposes scripted failpoints ([`mvcc_repro::engine::KillSite`])
+//! at exactly the windows where failover is delicate; this module turns
+//! them into a *freeze*: the first thread that reaches the scripted site
+//! blocks on a condvar (and every later thread that reaches it blocks
+//! too — a frozen process freezes wholesale), the test observes the
+//! freeze, fails the primary over, and either leaks the frozen threads
+//! (a kill) or wakes them (a split-brain resurrection attempt that the
+//! epoch fence must repel).
+
+use mvcc_repro::engine::{ChaosHook, KillSite};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// A freeze-at-site chaos controller.  Install [`Freezer::hook`] into an
+/// [`mvcc_repro::engine::EngineConfig`]; threads that pass the scripted
+/// site block until [`Freezer::release`] (which the kill-style tests
+/// never call — the frozen threads are leaked with their engine).
+pub struct Freezer {
+    site: KillSite,
+    /// Hits at the site to let through before freezing — lets a soak
+    /// build up real traffic before the kill lands.
+    arm_after: u64,
+    hits: AtomicU64,
+    frozen: AtomicU64,
+    released: Mutex<bool>,
+    wake: Condvar,
+}
+
+impl Freezer {
+    /// A controller that freezes threads at `site` from the first hit.
+    pub fn at(site: KillSite) -> Arc<Self> {
+        Self::at_after(site, 0)
+    }
+
+    /// A controller that lets the first `arm_after` passes through the
+    /// site and freezes every one after that.
+    pub fn at_after(site: KillSite, arm_after: u64) -> Arc<Self> {
+        Arc::new(Freezer {
+            site,
+            arm_after,
+            hits: AtomicU64::new(0),
+            frozen: AtomicU64::new(0),
+            released: Mutex::new(false),
+            wake: Condvar::new(),
+        })
+    }
+
+    /// The hook to install as `EngineConfig::chaos`.
+    pub fn hook(self: &Arc<Self>) -> ChaosHook {
+        let freezer = Arc::clone(self);
+        ChaosHook::new(move |site| {
+            if site != freezer.site {
+                return;
+            }
+            if freezer.hits.fetch_add(1, Ordering::AcqRel) < freezer.arm_after {
+                return;
+            }
+            freezer.frozen.fetch_add(1, Ordering::AcqRel);
+            let mut released = freezer.released.lock().unwrap();
+            while !*released {
+                released = freezer.wake.wait(released).unwrap();
+            }
+        })
+    }
+
+    /// How many threads are (or were) frozen at the site.
+    pub fn frozen(&self) -> u64 {
+        self.frozen.load(Ordering::Acquire)
+    }
+
+    /// Blocks until at least one thread froze; `true` if it happened
+    /// before the deadline.
+    pub fn wait_frozen(&self, deadline: Duration) -> bool {
+        let until = Instant::now() + deadline;
+        while Instant::now() < until {
+            if self.frozen() > 0 {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        self.frozen() > 0
+    }
+
+    /// Wakes every frozen thread — the "deposed primary comes back to
+    /// life" half of the split-brain tests.  Kill-style tests never call
+    /// this; their frozen threads are leaked.
+    pub fn release(&self) {
+        let mut released = self.released.lock().unwrap();
+        *released = true;
+        self.wake.notify_all();
+    }
+}
+
+/// The four scripted kill sites, in pipeline order — the chaos matrix.
+pub fn kill_sites() -> [KillSite; 4] {
+    [
+        KillSite::AdmissionDrain,
+        KillSite::GroupCommitFlush,
+        KillSite::CommitNotifyGap,
+        KillSite::Checkpoint,
+    ]
+}
+
+/// A tiny deterministic PRNG (xorshift64*) for the seeded chaos
+/// property tests — no external crates, identical sequences everywhere.
+pub struct ChaosRng(u64);
+
+impl ChaosRng {
+    /// Seeds the generator (zero is mapped to a fixed non-zero seed).
+    pub fn new(seed: u64) -> Self {
+        ChaosRng(if seed == 0 { 0x9e3779b97f4a7c15 } else { seed })
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 ^= self.0 >> 12;
+        self.0 ^= self.0 << 25;
+        self.0 ^= self.0 >> 27;
+        self.0.wrapping_mul(0x2545f4914f6cdd1d)
+    }
+
+    /// Uniform value in `0..bound` (bound > 0).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}

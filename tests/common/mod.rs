@@ -4,6 +4,11 @@
 use mvcc_repro::engine::ShardedStore;
 use std::collections::BTreeSet;
 
+// Only the failover suite uses the chaos primitives; the other suites
+// pull this module in too, so silence their dead-code lint.
+#[allow(dead_code)]
+pub mod chaos;
+
 /// Committed `(writer, ts, value)` sets per shard plus each shard's
 /// commit counter, order-insensitive: the primary's chains are in append
 /// order, a replica's in timestamp order — equality means the same

@@ -272,6 +272,94 @@ fn kill_and_recover_snapshot_isolation_with_checkpoint() {
 }
 
 #[test]
+fn a_deposed_primary_recovers_read_only_and_fenced() {
+    // The epoch-aware restart path: a primary crashes, a replica is
+    // promoted over its log while it is down, and then the old primary
+    // restarts believing it still owns its epoch.  `Engine::recover_as`
+    // must notice the marker moved past the owned epoch and bring the
+    // engine up read-only — the durable committed prefix is served, but
+    // every commit is refused with `Deposed` and the log is never
+    // reopened for writing.
+    let dir = temp_dir("deposed");
+    let (engine, _) =
+        Engine::recover(CertifierKind::Sgt, config(&dir, DurabilityMode::Buffered)).unwrap();
+    {
+        let mut session = engine.begin();
+        session
+            .write(EntityId(0), mvcc_repro::engine::Bytes::from_static(b"own"))
+            .unwrap();
+        session.commit().unwrap();
+    }
+    assert_eq!(engine.epoch(), 0);
+    // The crash: the primary dies holding epoch 0.
+    std::mem::forget(engine);
+
+    // Failover while it is down: a promotion bumps the log to epoch 1
+    // and commits past the fence.
+    let (promoted, _) =
+        Engine::promote_recover(CertifierKind::Sgt, config(&dir, DurabilityMode::Buffered))
+            .unwrap();
+    assert_eq!(promoted.epoch(), 1);
+    {
+        let mut session = promoted.begin();
+        session
+            .write(EntityId(1), mvcc_repro::engine::Bytes::from_static(b"new"))
+            .unwrap();
+        session.commit().unwrap();
+    }
+    drop(promoted);
+
+    // The old primary restarts with its stale epoch: read-only, fenced.
+    let (stale, report) = Engine::recover_as(
+        CertifierKind::Sgt,
+        config(&dir, DurabilityMode::Buffered),
+        0,
+    )
+    .unwrap();
+    assert!(report.records_scanned > 0);
+    assert!(stale.is_deposed(), "a superseded epoch must come up fenced");
+    assert_eq!(stale.epoch(), 0, "the engine reports the epoch it owns");
+    // Reads of the recovered prefix are served...
+    let mut session = stale.begin();
+    assert_eq!(
+        session.read(EntityId(0)).unwrap(),
+        mvcc_repro::engine::Bytes::from_static(b"own")
+    );
+    session
+        .write(
+            EntityId(0),
+            mvcc_repro::engine::Bytes::from_static(b"stale"),
+        )
+        .unwrap();
+    // ...but no commit ever lands.
+    assert!(matches!(
+        session.commit(),
+        Err(mvcc_repro::engine::EngineError::Deposed)
+    ));
+    drop(stale);
+
+    // Restarting as the *current* epoch owner is a normal writable
+    // recovery.
+    let (current, _) = Engine::recover_as(
+        CertifierKind::Sgt,
+        config(&dir, DurabilityMode::Buffered),
+        1,
+    )
+    .unwrap();
+    assert!(!current.is_deposed());
+    assert_eq!(current.epoch(), 1);
+    let mut session = current.begin();
+    session
+        .write(
+            EntityId(2),
+            mvcc_repro::engine::Bytes::from_static(b"alive"),
+        )
+        .unwrap();
+    session.commit().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn recovered_histories_are_committed_projections_of_a_prefix() {
     // The class-preservation argument, stated directly: recovery realizes
     // the committed projection of a *prefix* of the certified history.

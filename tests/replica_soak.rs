@@ -137,7 +137,7 @@ fn replication_soak_survives_a_replica_restart_under_load() {
                         read.finish();
                         served.fetch_add(1, Ordering::Relaxed);
                     }
-                    Err(RouterError::Stale { .. }) => {
+                    Err(RouterError::Stale { .. } | RouterError::Deposed { .. }) => {
                         refused.fetch_add(1, Ordering::Relaxed);
                     }
                 }
