@@ -1,0 +1,197 @@
+//! The machine-readable bench trajectory (experiment E17): builds and
+//! validates the `BENCH_7.json` document the `telemetry_scaling` binary
+//! emits.
+//!
+//! The document is the bridge between the bench harness and anything
+//! that wants to track the repo's performance over time without parsing
+//! rendered tables: one JSON object per run, one row per certifier, each
+//! row carrying the per-stage interpolated quantiles of
+//! [`mvcc_telemetry::TelemetrySnapshot::to_json`].  The schema is
+//! deliberately small and checked by [`validate_bench7`] — CI runs the
+//! binary in smoke mode and fails on malformed output, so the document
+//! can be trusted downstream.
+
+use crate::experiments::TelemetryRow;
+use mvcc_telemetry::json::{self, JsonValue};
+
+/// Renders the E17 trajectory document: `{"experiment": …, "rows":
+/// [{"certifier", "threads", "txn_s", "p99_commit_us", "stages"}…]}`.
+/// `experiment` names the run (`"E17"`, or a variant tag for smoke runs).
+pub fn bench7_document(experiment: &str, rows: &[TelemetryRow]) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\"experiment\": ");
+    json::write_string(&mut out, experiment);
+    out.push_str(", \"rows\": [");
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str("{\"certifier\": ");
+        json::write_string(&mut out, row.certifier.name());
+        out.push_str(", \"threads\": ");
+        json::write_number(&mut out, row.threads as f64);
+        out.push_str(", \"txn_s\": ");
+        json::write_number(&mut out, row.throughput_tps);
+        out.push_str(", \"p99_commit_us\": ");
+        json::write_number(&mut out, row.p99_latency_us);
+        out.push_str(", \"stages\": ");
+        out.push_str(&row.stages.to_json());
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Checks a `BENCH_7.json` document against the E17 schema: the top-level
+/// keys are present and well-typed, every row carries `certifier` /
+/// `threads` / `txn_s` / `stages`, and every non-empty stage's
+/// interpolated quantiles are monotone (p50 ≤ p95 ≤ p99 ≤ p999).
+/// Returns the first violation as an error message.
+pub fn validate_bench7(text: &str) -> Result<(), String> {
+    let doc = json::parse(text)?;
+    doc.get("experiment")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing or non-string key: experiment")?;
+    let rows = doc
+        .get("rows")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing or non-array key: rows")?;
+    for (i, row) in rows.iter().enumerate() {
+        let certifier = row
+            .get("certifier")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("row {i}: missing or non-string key: certifier"))?;
+        for key in ["threads", "txn_s", "p99_commit_us"] {
+            row.get(key).and_then(JsonValue::as_number).ok_or_else(|| {
+                format!("row {i} ({certifier}): missing or non-number key: {key}")
+            })?;
+        }
+        let stages = row
+            .get("stages")
+            .and_then(JsonValue::as_object)
+            .ok_or_else(|| format!("row {i} ({certifier}): missing or non-object key: stages"))?;
+        for (stage, snapshot) in stages {
+            let count = snapshot
+                .get("count")
+                .and_then(JsonValue::as_number)
+                .ok_or_else(|| format!("row {i} ({certifier}) stage {stage}: missing count"))?;
+            if count == 0.0 {
+                continue;
+            }
+            let quantile = |key: &str| {
+                snapshot
+                    .get(key)
+                    .and_then(JsonValue::as_number)
+                    .ok_or_else(|| format!("row {i} ({certifier}) stage {stage}: missing {key}"))
+            };
+            let (p50, p95, p99, p999) = (
+                quantile("p50")?,
+                quantile("p95")?,
+                quantile("p99")?,
+                quantile("p999")?,
+            );
+            if !(p50 <= p95 && p95 <= p99 && p99 <= p999) {
+                return Err(format!(
+                    "row {i} ({certifier}) stage {stage}: quantiles not monotone: \
+                     p50={p50} p95={p95} p99={p99} p999={p999}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvcc_engine::CertifierKind;
+    use mvcc_telemetry::TelemetrySnapshot;
+
+    fn row(kind: CertifierKind) -> TelemetryRow {
+        TelemetryRow {
+            certifier: kind,
+            threads: 2,
+            throughput_tps: 1234.5,
+            p99_latency_us: 88.0,
+            stages: TelemetrySnapshot::empty(),
+        }
+    }
+
+    #[test]
+    fn an_emitted_document_validates() {
+        let rows: Vec<TelemetryRow> = CertifierKind::all().into_iter().map(row).collect();
+        let doc = bench7_document("E17-test", &rows);
+        validate_bench7(&doc).unwrap();
+        let parsed = json::parse(&doc).unwrap();
+        assert_eq!(
+            parsed.get("experiment").and_then(JsonValue::as_str),
+            Some("E17-test")
+        );
+        assert_eq!(
+            parsed
+                .get("rows")
+                .and_then(JsonValue::as_array)
+                .unwrap()
+                .len(),
+            6
+        );
+    }
+
+    #[test]
+    fn a_live_run_round_trips_with_stage_quantiles() {
+        use mvcc_engine::load::run_closed_loop_instrumented;
+        use mvcc_engine::{AdmissionMode, DurabilityConfig, TelemetryMode};
+        use mvcc_workload::LoadProfile;
+        let profile = LoadProfile {
+            threads: 2,
+            shards: 2,
+            ops: 120,
+            entities: 8,
+            steps_per_transaction: 3,
+            read_ratio: 0.7,
+            zipf_theta: 0.0,
+            seed: 0xb7,
+        };
+        let report = run_closed_loop_instrumented(
+            CertifierKind::Sgt,
+            &profile,
+            false,
+            AdmissionMode::Batched,
+            DurabilityConfig::off(),
+            TelemetryMode::On,
+        );
+        let rows = vec![TelemetryRow {
+            certifier: CertifierKind::Sgt,
+            threads: profile.threads,
+            throughput_tps: report.throughput_tps(),
+            p99_latency_us: report.metrics.latency_us(0.99).unwrap_or(0.0),
+            stages: report.metrics.stages.clone(),
+        }];
+        assert!(
+            !rows[0].stages.is_empty(),
+            "a telemetry-on run must record stages"
+        );
+        let doc = bench7_document("E17-live", &rows);
+        validate_bench7(&doc).unwrap();
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected_with_the_violation_named() {
+        assert!(validate_bench7("not json").is_err());
+        assert!(validate_bench7("{\"rows\": []}")
+            .unwrap_err()
+            .contains("experiment"));
+        assert!(validate_bench7("{\"experiment\": \"E17\"}")
+            .unwrap_err()
+            .contains("rows"));
+        let bad_row = "{\"experiment\": \"E17\", \"rows\": [{\"certifier\": \"sgt\"}]}";
+        assert!(validate_bench7(bad_row).unwrap_err().contains("threads"));
+        let bad_quantiles = "{\"experiment\": \"E17\", \"rows\": [{\"certifier\": \"sgt\", \
+             \"threads\": 2, \"txn_s\": 10.0, \"p99_commit_us\": 5.0, \"stages\": \
+             {\"certify\": {\"unit\": \"us\", \"count\": 3, \"mean\": 2.0, \
+             \"p50\": 9.0, \"p95\": 4.0, \"p99\": 5.0, \"p999\": 6.0}}}]}";
+        assert!(validate_bench7(bad_quantiles)
+            .unwrap_err()
+            .contains("not monotone"));
+    }
+}

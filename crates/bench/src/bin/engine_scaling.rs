@@ -41,7 +41,7 @@ fn print_sweep(title: &str, profiles: &[LoadProfile], validate: bool) {
                 row.committed.to_string(),
                 row.aborted.to_string(),
                 format!("{:.1}%", row.abort_ratio * 100.0),
-                format!("≤{}", row.p99_latency_us),
+                format!("{:.0}", row.p99_latency_us),
                 match row.history_in_class {
                     Some(true) => "yes".into(),
                     Some(false) => "NO (bug!)".into(),

@@ -1,0 +1,104 @@
+//! Experiment E17: the per-stage telemetry trajectory — every certifier
+//! under the closed loop with tracing on, exported as `BENCH_7.json`.
+//!
+//! Prints the human-readable table and writes the machine-readable
+//! document ([`mvcc_bench::bench_json::bench7_document`]) to `--out`
+//! (default `BENCH_7.json`), then re-validates what it wrote — the same
+//! schema check CI runs, so a malformed document fails here first.
+//!
+//! Flags:
+//! * `--smoke` — a small, fast configuration for CI (fewer ops, one
+//!   trial); the schema of the output is identical to the full run.
+//! * `--out PATH` — where to write the JSON document.
+//! * `--validate PATH` — validate an existing document and exit (no
+//!   benchmark runs).
+//!
+//! Run with `cargo run -p mvcc-bench --bin telemetry_scaling --release`.
+
+use mvcc_bench::bench_json::{bench7_document, validate_bench7};
+use mvcc_bench::experiments::telemetry_scaling_table;
+use mvcc_bench::Table;
+use mvcc_engine::CertifierKind;
+use mvcc_telemetry::Stage;
+use mvcc_workload::LoadProfile;
+
+fn main() {
+    let mut smoke = false;
+    let mut out = String::from("BENCH_7.json");
+    let mut validate_only: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            "--validate" => validate_only = Some(args.next().expect("--validate needs a path")),
+            other => panic!("unknown flag: {other}"),
+        }
+    }
+    if let Some(path) = validate_only {
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        match validate_bench7(&text) {
+            Ok(()) => {
+                println!("{path}: valid E17 document");
+                return;
+            }
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let (ops, trials, tag) = if smoke {
+        (2_000, 1, "E17-smoke")
+    } else {
+        (20_000, 5, "E17")
+    };
+    let base = LoadProfile {
+        threads: 4,
+        shards: 4,
+        ops,
+        zipf_theta: 0.0,
+        seed: 0xe17,
+        ..LoadProfile::default()
+    };
+    println!("### E17: per-stage telemetry trajectory (4 threads, θ = 0, median of {trials})\n");
+    let rows = telemetry_scaling_table(&base, &CertifierKind::all(), trials);
+    let mut table = Table::new(
+        base.to_string(),
+        &[
+            "certifier",
+            "throughput (txn/s)",
+            "p99 commit (µs)",
+            "adm. service p99 (µs)",
+            "certify p99 (µs)",
+            "gc apply p99 (µs)",
+            "wal flush p99 (µs)",
+        ],
+    );
+    let stage_p99 = |row: &mvcc_bench::experiments::TelemetryRow, stage: Stage| {
+        row.stages
+            .get(stage)
+            .and_then(|h| h.quantile(0.99))
+            .map(|q| format!("{q:.1}"))
+            .unwrap_or_else(|| "-".into())
+    };
+    for row in &rows {
+        table.row(&[
+            row.certifier.to_string(),
+            format!("{:.0}", row.throughput_tps),
+            format!("{:.0}", row.p99_latency_us),
+            stage_p99(row, Stage::AdmissionService),
+            stage_p99(row, Stage::Certify),
+            stage_p99(row, Stage::GroupCommitApply),
+            stage_p99(row, Stage::WalFlush),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let doc = bench7_document(tag, &rows);
+    validate_bench7(&doc).expect("the emitted document must satisfy its own schema");
+    std::fs::write(&out, &doc).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("wrote {} rows to {out} (schema validated)", rows.len());
+}

@@ -329,8 +329,8 @@ pub struct EngineRow {
     pub aborted: u64,
     /// Fraction of finished transactions that aborted.
     pub abort_ratio: f64,
-    /// Approximate p99 commit latency (µs bucket upper bound).
-    pub p99_latency_us: u64,
+    /// Interpolated p99 commit latency in µs (0.0 when nothing committed).
+    pub p99_latency_us: f64,
     /// `true` if the committed history was validated to lie in the
     /// certifier's class by the offline classifiers (`None` when the check
     /// was skipped because recording was off).
@@ -357,7 +357,7 @@ pub fn engine_load_table(profile: &LoadProfile, validate_histories: bool) -> Vec
                 committed: report.metrics.committed,
                 aborted: report.metrics.aborted,
                 abort_ratio: report.abort_ratio(),
-                p99_latency_us: report.metrics.latency_percentile_us(0.99),
+                p99_latency_us: report.metrics.latency_us(0.99).unwrap_or(0.0),
                 history_in_class: validate_histories.then(|| report.history_in_class()),
             }
         })
@@ -701,6 +701,77 @@ pub fn replica_scaling_table(
             let _ = std::fs::remove_dir_all(&dir);
         }
         runs.sort_by(|a, b| a.read_tps.total_cmp(&b.read_tps));
+        rows.push(runs.swap_remove(runs.len() / 2));
+    }
+    rows
+}
+
+/// One row of the telemetry trajectory table (experiment E17): one
+/// certifier under the closed loop with per-stage tracing on.
+#[derive(Debug, Clone)]
+pub struct TelemetryRow {
+    /// Certifier configuration.
+    pub certifier: CertifierKind,
+    /// Worker threads driving the closed loop.
+    pub threads: usize,
+    /// Committed-transaction throughput.
+    pub throughput_tps: f64,
+    /// Interpolated p99 commit latency in µs (0.0 when nothing committed).
+    pub p99_latency_us: f64,
+    /// Per-stage interpolated quantiles recorded during the run
+    /// (admission queue-wait and service, certify, group-commit apply,
+    /// WAL flush, batch sizes, commit latency).
+    pub stages: mvcc_telemetry::TelemetrySnapshot,
+}
+
+/// Runs the per-stage telemetry trajectory (experiment E17): each
+/// certifier drives one closed loop with [`mvcc_engine::TelemetryMode::On`]
+/// and buffered durability (so the WAL flush stages fill too), and the
+/// row carries the run's full per-stage snapshot.  This is the table the
+/// `telemetry_scaling` binary exports as `BENCH_7.json`.
+///
+/// `trials` runs each cell that many times and keeps the
+/// median-throughput run (same single-CPU noise rationale as E14); the
+/// stage quantiles reported are the median run's, not cross-run merges,
+/// so they describe one coherent execution.
+pub fn telemetry_scaling_table(
+    base: &LoadProfile,
+    kinds: &[CertifierKind],
+    trials: usize,
+) -> Vec<TelemetryRow> {
+    use mvcc_engine::load::run_closed_loop_instrumented;
+    use mvcc_engine::{AdmissionMode, DurabilityConfig, TelemetryMode};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static CELL: AtomicU64 = AtomicU64::new(0);
+    let trials = trials.max(1);
+    let mut rows = Vec::with_capacity(kinds.len());
+    for &kind in kinds {
+        let mut runs = Vec::with_capacity(trials);
+        for _ in 0..trials {
+            let dir = std::env::temp_dir().join(format!(
+                "mvcc-e17-{}-{}-{}",
+                std::process::id(),
+                kind.name(),
+                CELL.fetch_add(1, Ordering::Relaxed)
+            ));
+            let report = run_closed_loop_instrumented(
+                kind,
+                base,
+                false,
+                AdmissionMode::Batched,
+                DurabilityConfig::buffered(&dir),
+                TelemetryMode::On,
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+            runs.push(TelemetryRow {
+                certifier: kind,
+                threads: base.threads,
+                throughput_tps: report.throughput_tps(),
+                p99_latency_us: report.metrics.latency_us(0.99).unwrap_or(0.0),
+                stages: report.metrics.stages.clone(),
+            });
+        }
+        runs.sort_by(|a, b| a.throughput_tps.total_cmp(&b.throughput_tps));
         rows.push(runs.swap_remove(runs.len() / 2));
     }
     rows

@@ -92,7 +92,7 @@ pub use certifier::{
 };
 pub use checkpoint::CheckpointDriver;
 pub use gc::GcDriver;
-pub use load::{run_closed_loop, LoadReport};
+pub use load::{run_closed_loop, run_closed_loop_instrumented, LoadReport};
 pub use metrics::{AbortReason, EngineMetrics, MetricsSnapshot};
 pub use pipeline::{AdmissionMode, ChaosHook, KillSite};
 pub use session::{Engine, EngineConfig, EngineError, History, Session};
@@ -101,6 +101,13 @@ pub use shard::ShardedStore;
 // Re-export the durability surface so engine users configure and recover
 // without naming the durability crate directly.
 pub use mvcc_durability::{DurabilityConfig, DurabilityMode, RecoveryReport};
+
+// Re-export the telemetry surface so engine users switch tracing on and
+// read per-stage snapshots without naming the telemetry crate directly.
+pub use mvcc_telemetry::{
+    EventKind, FlightRecorder, HistogramSnapshot, Stage, StageSnapshot, Telemetry, TelemetryMode,
+    TelemetrySnapshot,
+};
 
 // Re-export the value type so callers construct payloads with the exact
 // type the store expects (same convention as `mvcc-store`).

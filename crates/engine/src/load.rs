@@ -18,6 +18,7 @@ use crate::session::{Engine, EngineConfig, History};
 use bytes::Bytes;
 use mvcc_core::Action;
 use mvcc_durability::DurabilityConfig;
+use mvcc_telemetry::TelemetryMode;
 use mvcc_workload::{random_accesses, LoadProfile, Zipfian};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -117,6 +118,29 @@ pub fn run_closed_loop_configured(
     admission: AdmissionMode,
     durability: DurabilityConfig,
 ) -> LoadReport {
+    run_closed_loop_instrumented(
+        kind,
+        profile,
+        record_history,
+        admission,
+        durability,
+        TelemetryMode::Off,
+    )
+}
+
+/// [`run_closed_loop_configured`] with per-stage telemetry made explicit —
+/// [`TelemetryMode::On`] is what experiment E17's trajectory runs use; the
+/// report's [`MetricsSnapshot::stages`] then carries interpolated
+/// per-stage quantiles.  Workers join before the snapshot is taken, so
+/// every thread-local telemetry buffer has been flushed into it.
+pub fn run_closed_loop_instrumented(
+    kind: CertifierKind,
+    profile: &LoadProfile,
+    record_history: bool,
+    admission: AdmissionMode,
+    durability: DurabilityConfig,
+    telemetry: TelemetryMode,
+) -> LoadReport {
     profile.validate().expect("invalid load profile");
     let engine = Arc::new(Engine::new(
         kind,
@@ -127,6 +151,7 @@ pub fn run_closed_loop_configured(
             record_history,
             admission,
             durability,
+            telemetry,
             ..EngineConfig::default()
         },
     ));

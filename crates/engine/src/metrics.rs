@@ -1,16 +1,36 @@
-//! Engine observability: counters, abort breakdown, latency histogram,
+//! Engine observability: counters, abort breakdown, latency histograms,
 //! per-shard contention, and — when `mvcc-replica` components are handed
 //! the engine's metrics handle — replication shipping/apply/routing
 //! counters, rendered next to the durability block.
 //!
-//! Everything is lock-free (`AtomicU64` relaxed counters): the hot path
-//! adds a handful of uncontended atomic increments per operation, and
+//! Everything on the hot path is lock-free (`AtomicU64` relaxed
+//! counters, or a thread-local telemetry buffer — a plain store), and
 //! [`EngineMetrics::snapshot`] renders a consistent-enough point-in-time
 //! [`MetricsSnapshot`] for tables and reports.
+//!
+//! `EngineMetrics` is also the engine's **telemetry registry handle**:
+//! when the engine runs with [`mvcc_telemetry::TelemetryMode::On`], the
+//! per-stage histograms and the flight recorder live behind this same
+//! handle, so `Engine::metrics_handle()` is the one coherent
+//! observability surface — engine counters, durability, replication,
+//! failover, and per-stage latency distributions all come out of one
+//! [`MetricsSnapshot`].
 
+use mvcc_telemetry::{EventKind, Stage, Telemetry, TelemetrySnapshot};
+use std::cell::Cell;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// High-frequency batch probes trace one batch in this many (per
+/// thread; must be a power of two).  See [`EngineMetrics::trace_batch`].
+const BATCH_SAMPLE: u32 = 32;
+
+thread_local! {
+    /// Per-thread sampling tick for [`EngineMetrics::trace_batch`] — a
+    /// plain cell so sampling itself costs no atomics.
+    static PROBE_TICK: Cell<u32> = const { Cell::new(0) };
+}
 
 /// Why a transaction aborted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -145,12 +165,26 @@ pub struct EngineMetrics {
     repl_wait_stall_us: AtomicU64,
     repl_max_lag_lsn: AtomicU64,
     commit_latency: LatencyHistogram,
+    /// The log-linear refinement of `commit_latency` — always on (its
+    /// cost is one extra relaxed `fetch_add` set per commit), so
+    /// interpolated quantiles are available even with stage tracing off.
+    commit_latency_fine: mvcc_telemetry::Histogram,
     shards: Vec<ShardCounters>,
+    telemetry: Option<Telemetry>,
+    epoch_first_commit_done: AtomicBool,
 }
 
 impl EngineMetrics {
-    /// Creates zeroed metrics for an engine with `shards` shards.
+    /// Creates zeroed metrics for an engine with `shards` shards and no
+    /// stage telemetry (probes compile down to an `Option` check).
     pub fn new(shards: usize) -> Self {
+        EngineMetrics::with_telemetry(shards, None)
+    }
+
+    /// Creates zeroed metrics wired to a telemetry registry: stage
+    /// probes and flight-recorder events feed `telemetry` when it is
+    /// `Some`.
+    pub fn with_telemetry(shards: usize, telemetry: Option<Telemetry>) -> Self {
         EngineMetrics {
             begun: AtomicU64::new(0),
             committed: AtomicU64::new(0),
@@ -181,7 +215,85 @@ impl EngineMetrics {
             repl_wait_stall_us: AtomicU64::new(0),
             repl_max_lag_lsn: AtomicU64::new(0),
             commit_latency: LatencyHistogram::default(),
+            commit_latency_fine: mvcc_telemetry::Histogram::new(),
             shards: (0..shards).map(|_| ShardCounters::default()).collect(),
+            telemetry,
+            epoch_first_commit_done: AtomicBool::new(false),
+        }
+    }
+
+    /// The attached telemetry registry, if the engine runs with stage
+    /// tracing on.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_ref()
+    }
+
+    /// Starts a stage clock: `Some(now)` when telemetry is on, `None`
+    /// (and no clock read at all) when it is off.  Pair with
+    /// [`EngineMetrics::record_stage_since`].
+    pub fn stage_clock(&self) -> Option<Instant> {
+        self.telemetry.as_ref().map(|_| Instant::now())
+    }
+
+    /// Like [`EngineMetrics::stage_clock`], but sampled 1-in-32 per
+    /// thread: the high-frequency batch probes (admission, group
+    /// commit) trace every 32nd batch their thread leads, which keeps
+    /// the clock-read overhead of tracing in the noise (the overhead
+    /// guard test pins telemetry-on within 5% of off) while the
+    /// histograms still fill at thousands of samples per second.
+    pub(crate) fn trace_batch(&self) -> Option<Instant> {
+        self.telemetry.as_ref()?;
+        let fire = PROBE_TICK.with(|tick| {
+            let n = tick.get().wrapping_add(1);
+            tick.set(n);
+            n & (BATCH_SAMPLE - 1) == 1
+        });
+        fire.then(Instant::now)
+    }
+
+    /// Records the elapsed time since a stage clock into `stage`'s
+    /// histogram; a `None` clock (telemetry off, or an unsampled batch)
+    /// is a no-op.
+    pub fn record_stage_since(&self, stage: Stage, clock: Option<Instant>) {
+        if let (Some(telemetry), Some(started)) = (&self.telemetry, clock) {
+            telemetry.record_duration(stage, started.elapsed());
+        }
+    }
+
+    /// Records a raw value (a batch size) into `stage`'s histogram when
+    /// telemetry is on.
+    pub fn record_stage_value(&self, stage: Stage, value: u64) {
+        if let Some(telemetry) = &self.telemetry {
+            telemetry.record_value(stage, value);
+        }
+    }
+
+    /// Records a structured flight-recorder event when telemetry is on.
+    pub fn flight(&self, kind: EventKind) {
+        if let Some(telemetry) = &self.telemetry {
+            telemetry.record_event(kind);
+        }
+    }
+
+    /// The flight recorder's rendered timeline, if telemetry is on —
+    /// what chaos and soak tests print on failure.
+    pub fn flight_dump(&self) -> Option<String> {
+        self.telemetry.as_ref().map(|t| t.flight().dump())
+    }
+
+    /// Records the promoted engine's first commit on its new epoch
+    /// (elapsed from the engine opening) — the tail of the failover
+    /// MTTR timeline.  Idempotent: only the first call records.
+    pub fn record_epoch_first_commit(&self, epoch: u64, since_open: Duration) {
+        if self
+            .epoch_first_commit_done
+            .compare_exchange(false, true, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            if let Some(telemetry) = &self.telemetry {
+                telemetry.record_duration(Stage::EpochFirstCommit, since_open);
+                telemetry.record_event(EventKind::EpochFirstCommit { epoch });
+            }
         }
     }
 
@@ -206,6 +318,11 @@ impl EngineMetrics {
     pub fn record_commit(&self, latency: Duration) {
         self.committed.fetch_add(1, Ordering::Relaxed);
         self.commit_latency.record(latency);
+        let micros = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        self.commit_latency_fine.record(micros);
+        if let Some(telemetry) = &self.telemetry {
+            telemetry.record_value(Stage::CommitLatency, micros);
+        }
     }
 
     /// Records an abort; `shard` is the shard of the entity that triggered
@@ -216,6 +333,11 @@ impl EngineMetrics {
         if let Some(s) = shard {
             self.shards[s].conflicts.fetch_add(1, Ordering::Relaxed);
         }
+        if let Some(telemetry) = &self.telemetry {
+            telemetry.record_event(EventKind::Abort {
+                reason: reason.to_string(),
+            });
+        }
     }
 
     /// Records one GC pass that reclaimed `reclaimed` versions.
@@ -223,6 +345,15 @@ impl EngineMetrics {
         self.gc_passes.fetch_add(1, Ordering::Relaxed);
         self.gc_reclaimed
             .fetch_add(reclaimed as u64, Ordering::Relaxed);
+        if reclaimed > 0 {
+            // Idle GC passes (every millisecond under the driver) would
+            // flood the flight ring with noise; only reclaims are events.
+            if let Some(telemetry) = &self.telemetry {
+                telemetry.record_event(EventKind::GcReclaim {
+                    versions: reclaimed as u64,
+                });
+            }
+        }
     }
 
     /// Records one admission batch ruled by a drain leader (`steps` steps
@@ -347,6 +478,12 @@ impl EngineMetrics {
             repl_wait_stall_us: self.repl_wait_stall_us.load(Ordering::Relaxed),
             repl_max_lag_lsn: self.repl_max_lag_lsn.load(Ordering::Relaxed),
             latency_buckets: self.commit_latency.counts(),
+            latency: self.commit_latency_fine.snapshot(),
+            stages: self
+                .telemetry
+                .as_ref()
+                .map(|t| t.snapshot())
+                .unwrap_or_default(),
             shard_ops: self
                 .shards
                 .iter()
@@ -426,6 +563,12 @@ pub struct MetricsSnapshot {
     /// Commit-latency histogram: bucket 0 is sub-µs, bucket `i > 0` covers
     /// `[2^(i-1), 2^i)` µs.
     pub latency_buckets: Vec<u64>,
+    /// Log-linear commit-latency histogram with interpolated quantiles
+    /// (the refinement [`MetricsSnapshot::latency_us`] queries).
+    pub latency: mvcc_telemetry::HistogramSnapshot,
+    /// Per-stage telemetry histograms (empty when the engine runs with
+    /// [`mvcc_telemetry::TelemetryMode::Off`]).
+    pub stages: TelemetrySnapshot,
     /// Operations executed per shard.
     pub shard_ops: Vec<u64>,
     /// Conflict-triggered aborts attributed per shard.
@@ -481,11 +624,24 @@ impl MetricsSnapshot {
         }
     }
 
+    /// Interpolated commit-latency quantile in microseconds (`0 < q <=
+    /// 1`), or `None` when no commit has been recorded.  Unlike the
+    /// deprecated bucket-bound accessors below, this interpolates within
+    /// a log-linear bucket, so the worst-case overstatement is ~6%
+    /// instead of 2×.
+    pub fn latency_us(&self, q: f64) -> Option<f64> {
+        self.latency.quantile(q)
+    }
+
     /// Approximate commit-latency quantile in microseconds: the upper
     /// bound of the histogram bucket containing the `q`-quantile commit
     /// (`q` in `[0, 1]`), or `None` when no commit has been recorded —
     /// an empty histogram has no quantiles, and computing a rank target
     /// against it (the old `.max(1.0)` floor) must not invent one.
+    #[deprecated(
+        since = "0.1.0",
+        note = "bucket upper bounds overstate quantiles by up to 2×; use `latency_us`"
+    )]
     pub fn latency_quantile_us(&self, q: f64) -> Option<u64> {
         let total: u64 = self.latency_buckets.iter().sum();
         if total == 0 {
@@ -504,7 +660,12 @@ impl MetricsSnapshot {
 
     /// [`MetricsSnapshot::latency_quantile_us`] with empty histograms
     /// reported as `0` (table-friendly form).
+    #[deprecated(
+        since = "0.1.0",
+        note = "bucket upper bounds overstate quantiles by up to 2×; use `latency_us`"
+    )]
     pub fn latency_percentile_us(&self, q: f64) -> u64 {
+        #[allow(deprecated)]
         self.latency_quantile_us(q).unwrap_or(0)
     }
 }
@@ -529,10 +690,11 @@ impl fmt::Display for MetricsSnapshot {
         writeln!(f)?;
         writeln!(
             f,
-            "latency (µs, bucket upper bounds): p50≤{} p95≤{} p99≤{}",
-            self.latency_percentile_us(0.50),
-            self.latency_percentile_us(0.95),
-            self.latency_percentile_us(0.99)
+            "latency (µs, interpolated): p50={:.1} p95={:.1} p99={:.1} p999={:.1}",
+            self.latency_us(0.50).unwrap_or(0.0),
+            self.latency_us(0.95).unwrap_or(0.0),
+            self.latency_us(0.99).unwrap_or(0.0),
+            self.latency_us(0.999).unwrap_or(0.0)
         )?;
         writeln!(
             f,
@@ -575,6 +737,24 @@ impl fmt::Display for MetricsSnapshot {
                 self.repl_wait_stall_us,
                 self.repl_max_lag_lsn
             )?;
+        }
+        if !self.stages.is_empty() {
+            writeln!(f, "stages (interpolated quantiles):")?;
+            for entry in &self.stages.stages {
+                let h = &entry.histogram;
+                writeln!(
+                    f,
+                    "  {:<22} ({:>5}): n={} mean={:.1} p50={:.1} p95={:.1} p99={:.1} p999={:.1}",
+                    entry.stage.name(),
+                    entry.stage.unit().as_str(),
+                    h.count(),
+                    h.mean().unwrap_or(0.0),
+                    h.quantile(0.50).unwrap_or(0.0),
+                    h.quantile(0.95).unwrap_or(0.0),
+                    h.quantile(0.99).unwrap_or(0.0),
+                    h.quantile(0.999).unwrap_or(0.0)
+                )?;
+            }
         }
         write!(f, "shards:")?;
         for (i, (ops, conflicts)) in self
@@ -623,6 +803,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the old accessor stays deprecated-but-tested
     fn latency_percentiles_track_buckets() {
         let m = EngineMetrics::new(1);
         // 9 fast commits, one slow one.
@@ -639,6 +820,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the old accessor stays deprecated-but-tested
     fn quantiles_of_an_empty_histogram_are_none_not_invented() {
         // Regression: the rank target used to be floored to 1 even with no
         // samples, which let a sparse/empty histogram report a quantile it
@@ -659,6 +841,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the old accessor stays deprecated-but-tested
     fn absurd_latencies_saturate_into_the_top_bucket() {
         // Regression: `as_micros() as u64` silently truncated u128 → u64,
         // so a duration of exactly 2^64 µs wrapped to 0 and was filed as a
@@ -732,5 +915,88 @@ mod tests {
         for r in AbortReason::all() {
             assert!(!r.to_string().is_empty());
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn interpolated_quantiles_fix_the_bucket_bound_overstatement() {
+        // Regression for the display satellite: a 1000 µs commit used to
+        // be reported as "p99 ≤ 1024" (the power-of-two bucket bound;
+        // up to 2× high at the top of a decade).  The log-linear
+        // histogram interpolates to 1008 — within 1%.  The old accessor
+        // still answers (deprecated-but-tested).
+        let m = EngineMetrics::new(1);
+        m.record_commit(Duration::from_micros(1000));
+        let s = m.snapshot();
+        let fine = s.latency_us(0.99).unwrap();
+        assert!((fine - 1008.0).abs() < 1.0, "interpolated p99 = {fine}");
+        assert_eq!(s.latency_quantile_us(0.99), Some(1024));
+        let text = s.to_string();
+        assert!(text.contains("latency (µs, interpolated)"), "{text}");
+        assert!(text.contains("p99=1008"), "{text}");
+    }
+
+    #[test]
+    fn telemetry_wiring_feeds_stages_and_flight_through_one_handle() {
+        let m = EngineMetrics::with_telemetry(1, Some(Telemetry::new()));
+        m.record_commit(Duration::from_micros(7));
+        m.record_stage_since(Stage::WalFlush, m.stage_clock());
+        m.record_stage_value(Stage::WalFlushTxns, 3);
+        m.record_abort(AbortReason::WriteConflict, Some(0));
+        m.record_gc(5);
+        m.record_gc(0); // idle pass: counted, but no flight event
+        let s = m.snapshot();
+        assert_eq!(s.stages.get(Stage::CommitLatency).unwrap().count(), 1);
+        assert_eq!(s.stages.get(Stage::WalFlush).unwrap().count(), 1);
+        assert_eq!(s.stages.get(Stage::WalFlushTxns).unwrap().count(), 1);
+        let dump = m.flight_dump().unwrap();
+        assert!(dump.contains("abort reason=write-conflict"), "{dump}");
+        assert!(dump.contains("gc-reclaim versions=5"), "{dump}");
+        assert!(!dump.contains("versions=0"), "{dump}");
+        // The single coherent view: stages render inside the same
+        // Display as the engine/durability/replication blocks.
+        let text = s.to_string();
+        assert!(text.contains("stages (interpolated quantiles):"), "{text}");
+        assert!(text.contains("commit-latency"), "{text}");
+        assert_eq!(s.gc_passes, 2);
+    }
+
+    #[test]
+    fn telemetry_off_records_nothing_and_probes_are_noops() {
+        let m = EngineMetrics::new(1);
+        assert!(m.telemetry().is_none());
+        assert_eq!(m.stage_clock(), None, "no clock read with telemetry off");
+        m.record_stage_since(Stage::Certify, None);
+        m.record_stage_value(Stage::WalFlushTxns, 9);
+        m.flight(EventKind::Note { text: "x".into() });
+        m.record_commit(Duration::from_micros(5));
+        let s = m.snapshot();
+        assert!(s.stages.is_empty());
+        assert_eq!(m.flight_dump(), None);
+        // The always-on fine histogram still answers.
+        assert!(s.latency_us(0.5).is_some());
+        assert!(!s.to_string().contains("stages ("));
+    }
+
+    #[test]
+    fn epoch_first_commit_records_once() {
+        let m = EngineMetrics::with_telemetry(1, Some(Telemetry::new()));
+        m.record_epoch_first_commit(2, Duration::from_micros(40));
+        m.record_epoch_first_commit(2, Duration::from_micros(9000));
+        let s = m.snapshot();
+        let stage = s.stages.get(Stage::EpochFirstCommit).unwrap();
+        assert_eq!(stage.count(), 1, "idempotent: only the first call lands");
+        assert!(stage.mean().unwrap() < 100.0);
+        let dump = m.flight_dump().unwrap();
+        assert!(dump.contains("epoch-first-commit epoch=2"), "{dump}");
+    }
+
+    #[test]
+    fn batch_trace_sampling_fires_one_in_thirty_two() {
+        let m = EngineMetrics::with_telemetry(1, Some(Telemetry::new()));
+        let fired = (0..128).filter(|_| m.trace_batch().is_some()).count();
+        assert_eq!(fired, 4, "1-in-32 per-thread sampling");
+        let off = EngineMetrics::new(1);
+        assert!((0..128).all(|_| off.trace_batch().is_none()));
     }
 }

@@ -47,11 +47,13 @@ use bytes::Bytes;
 use mvcc_core::{EntityId, Step, TxId, VersionSource};
 use mvcc_durability::{is_fence_error, CommitEntry, WalRecord, WalWriter};
 use mvcc_store::{StoreError, TxHandle};
+use mvcc_telemetry::{EventKind, Stage};
 use parking_lot::Mutex;
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// A scripted failpoint inside the pipeline, for the deterministic
 /// failover chaos harness: each variant names a window the tests freeze a
@@ -544,8 +546,14 @@ impl AdmissionPipeline {
     }
 
     /// Fires the chaos hook at `site` (no-op without a hook installed).
-    fn chaos_point(&self, site: KillSite) {
+    /// The flight-recorder event lands *before* the hook runs: a hook
+    /// that freezes the calling thread forever (the chaos harness's
+    /// scripted kill) still leaves the kill site on the timeline.
+    fn chaos_point(&self, site: KillSite, metrics: &EngineMetrics) {
         if let Some(hook) = &self.chaos {
+            metrics.flight(EventKind::KillSite {
+                site: site.to_string(),
+            });
             (hook.0)(site);
         }
     }
@@ -668,6 +676,12 @@ impl AdmissionPipeline {
                 // Either a leader rules on us while we wait, or we acquire
                 // the lane ourselves and drain the whole backlog (our own
                 // request included) in one certifier call.
+                //
+                // Queue-wait is traced unsampled: this path only runs
+                // under contention (already µs-scale), and it is exactly
+                // the distribution the lock-free-admission roadmap item
+                // wants to regress against.
+                let wait_clock = metrics.stage_clock();
                 let request = Arc::new(StepRequest {
                     step,
                     value: value.cloned(),
@@ -678,10 +692,12 @@ impl AdmissionPipeline {
                 loop {
                     // A previous leader may have ruled on us already.
                     if let Some(outcome) = request.outcome.lock().take() {
+                        metrics.record_stage_since(Stage::AdmissionQueueWait, wait_clock);
                         return outcome;
                     }
                     let mut state = lane.state.lock();
                     if let Some(outcome) = request.outcome.lock().take() {
+                        metrics.record_stage_since(Stage::AdmissionQueueWait, wait_clock);
                         return outcome;
                     }
                     // We hold the lane and have no verdict, so our request
@@ -708,11 +724,16 @@ impl AdmissionPipeline {
         history: &HistoryLog,
         metrics: &EngineMetrics,
     ) -> Option<StepOutcome> {
+        // Sampled batch trace (1-in-32 per leading thread): service time
+        // is the whole drain, certify time just the certifier's ruling.
+        let trace = metrics.trace_batch();
         if queued.is_empty() {
             // Uncontended: a batch of exactly our own step, ruled without
             // building batch vectors.
             let (step, value, log_begin) = own?;
+            let certify_clock = trace.map(|_| Instant::now());
             let admission = state.certifier.admit(step);
+            metrics.record_stage_since(Stage::Certify, certify_clock);
             let mut admitted = AdmittedBatch::new(1, self.wal.is_some());
             let outcome = state.resolve(step, admission);
             if matches!(outcome, StepOutcome::Admitted(_)) {
@@ -720,13 +741,19 @@ impl AdmissionPipeline {
             }
             self.finish_admission(admitted, history, metrics);
             metrics.record_admission_batch(1);
+            if trace.is_some() {
+                metrics.record_stage_value(Stage::AdmissionBatchSteps, 1);
+                metrics.record_stage_since(Stage::AdmissionService, trace);
+            }
             return Some(outcome);
         }
         let mut steps: Vec<Step> = queued.iter().map(|r| r.step).collect();
         if let Some((step, _, _)) = own {
             steps.push(step);
         }
+        let certify_clock = trace.map(|_| Instant::now());
         let admissions = state.certifier.admit_batch(&steps);
+        metrics.record_stage_since(Stage::Certify, certify_clock);
         debug_assert_eq!(admissions.len(), steps.len());
         let mut admitted = AdmittedBatch::new(steps.len(), self.wal.is_some());
         let mut own_outcome = None;
@@ -749,6 +776,13 @@ impl AdmissionPipeline {
         }
         self.finish_admission(admitted, history, metrics);
         metrics.record_admission_batch(steps.len());
+        if trace.is_some() {
+            metrics.record_stage_value(Stage::AdmissionBatchSteps, steps.len() as u64);
+            metrics.flight(EventKind::AdmissionBatch {
+                steps: steps.len() as u64,
+            });
+            metrics.record_stage_since(Stage::AdmissionService, trace);
+        }
         own_outcome
     }
 
@@ -767,13 +801,18 @@ impl AdmissionPipeline {
         history: &HistoryLog,
         metrics: &EngineMetrics,
     ) {
-        self.chaos_point(KillSite::AdmissionDrain);
+        self.chaos_point(KillSite::AdmissionDrain, metrics);
         history.append_batch(&admitted.steps);
         if let (Some(wal), Some(records)) = (&self.wal, admitted.wal_records) {
             if !records.is_empty() {
                 match wal.append_batch(&records) {
                     Ok(receipt) => metrics.record_wal_append(receipt.records, receipt.bytes),
-                    Err(e) if is_fence_error(&e) => self.depose(),
+                    Err(e) if is_fence_error(&e) => {
+                        metrics.flight(EventKind::FenceRefusal {
+                            site: "admission-append".into(),
+                        });
+                        self.depose();
+                    }
                     Err(e) => {
                         panic!("WAL append failed: durability can no longer be guaranteed: {e}")
                     }
@@ -905,6 +944,9 @@ impl AdmissionPipeline {
         if batch.is_empty() {
             return 0;
         }
+        // Sampled batch trace (1-in-32 per leading thread): the whole
+        // apply is Stage::GroupCommitApply, the flush alone WalFlush.
+        let trace = metrics.trace_batch();
         // Fence check *before* any shard effect: a deposed primary must
         // not apply commits its WAL can no longer record — its in-memory
         // state would diverge from the durable prefix the promoted
@@ -917,6 +959,9 @@ impl AdmissionPipeline {
                 Some(wal) => match wal.check_fence() {
                     Ok(()) => false,
                     Err(e) if is_fence_error(&e) => {
+                        metrics.flight(EventKind::FenceRefusal {
+                            site: "commit-fence-check".into(),
+                        });
                         self.depose();
                         true
                     }
@@ -1018,7 +1063,8 @@ impl AdmissionPipeline {
                         })
                     })
                     .collect();
-                self.chaos_point(KillSite::GroupCommitFlush);
+                self.chaos_point(KillSite::GroupCommitFlush, metrics);
+                let flush_clock = trace.map(|_| Instant::now());
                 let receipt = match wal.append_and_flush(&[WalRecord::Commit { entries }]) {
                     Ok(receipt) => receipt,
                     Err(e) if is_fence_error(&e) => {
@@ -1029,6 +1075,9 @@ impl AdmissionPipeline {
                         // invisible to admission, and the stranded
                         // in-memory versions die with this engine (every
                         // session is now fenced too).
+                        metrics.flight(EventKind::FenceRefusal {
+                            site: "commit-flush".into(),
+                        });
                         self.depose();
                         for request in batch {
                             *request.outcome.lock() = Some(CommitOutcome::Deposed);
@@ -1039,7 +1088,16 @@ impl AdmissionPipeline {
                         "WAL commit flush failed: durability can no longer be guaranteed: {e}"
                     ),
                 };
+                metrics.record_stage_since(Stage::WalFlush, flush_clock);
                 metrics.record_wal_flush(receipt.bytes, receipt.fsynced, committed.len());
+                if trace.is_some() {
+                    metrics.record_stage_value(Stage::WalFlushTxns, committed.len() as u64);
+                    metrics.flight(EventKind::WalFlush {
+                        bytes: receipt.bytes,
+                        fsynced: receipt.fsynced,
+                        txns: committed.len() as u64,
+                    });
+                }
                 if let Some(lsn) = receipt.last_lsn {
                     self.note_durable(lsn);
                     // Every member shares the batch's one commit record.
@@ -1049,7 +1107,7 @@ impl AdmissionPipeline {
                         }
                     }
                 }
-                self.chaos_point(KillSite::CommitNotifyGap);
+                self.chaos_point(KillSite::CommitNotifyGap, metrics);
             }
         }
         // Certifier + history bookkeeping for the transactions that made
@@ -1067,6 +1125,7 @@ impl AdmissionPipeline {
         for (request, outcome) in batch.iter().zip(outcomes) {
             *request.outcome.lock() = Some(outcome);
         }
+        metrics.record_stage_since(Stage::GroupCommitApply, trace);
         committed.len()
     }
 
@@ -1079,9 +1138,9 @@ impl AdmissionPipeline {
     /// never committed, breaking the state-equals-committed-projection
     /// invariant).  Commits stall for the duration, so `f` should be a
     /// snapshot, not an I/O marathon.
-    pub(crate) fn checkpoint_cut<R>(&self, f: impl FnOnce() -> R) -> R {
+    pub(crate) fn checkpoint_cut<R>(&self, metrics: &EngineMetrics, f: impl FnOnce() -> R) -> R {
         let _drain = self.commit.drain.lock();
-        self.chaos_point(KillSite::Checkpoint);
+        self.chaos_point(KillSite::Checkpoint, metrics);
         f()
     }
 

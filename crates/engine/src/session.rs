@@ -56,6 +56,7 @@ use mvcc_durability::{
     RecoveredState, RecoveryOptions, RecoveryReport, ShardCheckpoint, WalRecord, WalWriter,
 };
 use mvcc_store::{gc, StoreError, TxHandle};
+use mvcc_telemetry::{EventKind, Telemetry, TelemetryMode};
 use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
@@ -157,6 +158,12 @@ pub struct EngineConfig {
     /// passes; the failover tests install one that freezes the engine at
     /// one scripted site.
     pub chaos: Option<ChaosHook>,
+    /// Per-stage latency tracing and the flight recorder
+    /// ([`TelemetryMode::On`]); off by default — with telemetry off the
+    /// stage probes compile down to a `None` check and no clock is ever
+    /// read (experiment E17's overhead guard holds the on/off difference
+    /// under 5%).
+    pub telemetry: TelemetryMode,
 }
 
 impl Default for EngineConfig {
@@ -170,6 +177,7 @@ impl Default for EngineConfig {
             admission: AdmissionMode::default(),
             durability: DurabilityConfig::off(),
             chaos: None,
+            telemetry: TelemetryMode::default(),
         }
     }
 }
@@ -229,6 +237,10 @@ pub struct Engine {
     /// The primary epoch this engine's WAL records are stamped with
     /// (0 fresh / non-durable; bumped by [`Engine::promote_recover`]).
     epoch: u64,
+    /// When this engine instance was constructed — the zero point of the
+    /// failover timeline: a promoted engine's first commit records
+    /// `opened_at.elapsed()` as the tail of measured MTTR.
+    opened_at: Instant,
 }
 
 impl fmt::Debug for Engine {
@@ -264,7 +276,10 @@ impl Engine {
             )
         });
         let epoch = wal.as_ref().map(|w| w.epoch()).unwrap_or(0);
-        let metrics = Arc::new(EngineMetrics::new(config.shards));
+        let metrics = Arc::new(EngineMetrics::with_telemetry(
+            config.shards,
+            config.telemetry.is_on().then(Telemetry::new),
+        ));
         metrics.record_epoch(epoch);
         Engine {
             shards: ShardedStore::new(config.shards, config.entities, config.initial),
@@ -283,6 +298,7 @@ impl Engine {
             durability: config.durability,
             checkpoint_seq: AtomicU64::new(0),
             epoch,
+            opened_at: Instant::now(),
         }
     }
 
@@ -452,7 +468,10 @@ impl Engine {
         let history = HistoryLog::new(config.record_history, config.history_capacity);
         history.seed(&recovered.admitted, &recovered.committed);
         let report = recovered.report.clone();
-        let metrics = Arc::new(EngineMetrics::new(config.shards));
+        let metrics = Arc::new(EngineMetrics::with_telemetry(
+            config.shards,
+            config.telemetry.is_on().then(Telemetry::new),
+        ));
         metrics.record_epoch(epoch);
         let engine = Arc::new(Engine {
             shards,
@@ -465,6 +484,7 @@ impl Engine {
             durability: config.durability,
             checkpoint_seq: AtomicU64::new(report.checkpoint_seq.unwrap_or(0)),
             epoch,
+            opened_at: Instant::now(),
         });
         (engine, report)
     }
@@ -489,44 +509,44 @@ impl Engine {
         // durable first — so the checkpoint can never persist a version
         // whose commit the recovered log does not know.  The replay
         // cursor is sampled inside the same fence, after the flush.
-        let (replay_from_lsn, shards) =
-            self.pipeline
-                .checkpoint_cut(|| -> std::io::Result<(u64, Vec<ShardCheckpoint>)> {
-                    wal.flush()?;
-                    let replay_from_lsn = wal.last_lsn().map(|lsn| lsn + 1).unwrap_or(0);
-                    let shards = self
-                        .shards
-                        .iter()
-                        .map(|store| {
-                            let watermark = gc::watermark(store);
-                            let (commit_counter, chains) = store.committed_state();
-                            ShardCheckpoint {
-                                commit_counter,
-                                watermark,
-                                chains: chains
-                                    .into_iter()
-                                    .map(|(entity, versions)| {
-                                        (
-                                            entity,
-                                            versions
-                                                .into_iter()
-                                                .map(|(writer, commit_ts, value)| {
-                                                    CommittedVersion {
-                                                        writer,
-                                                        commit_ts,
-                                                        value,
-                                                    }
-                                                })
-                                                .collect(),
-                                        )
-                                    })
-                                    .collect(),
-                            }
-                        })
-                        .collect();
-                    Ok((replay_from_lsn, shards))
-                })?;
+        let (replay_from_lsn, shards) = self.pipeline.checkpoint_cut(
+            &self.metrics,
+            || -> std::io::Result<(u64, Vec<ShardCheckpoint>)> {
+                wal.flush()?;
+                let replay_from_lsn = wal.last_lsn().map(|lsn| lsn + 1).unwrap_or(0);
+                let shards = self
+                    .shards
+                    .iter()
+                    .map(|store| {
+                        let watermark = gc::watermark(store);
+                        let (commit_counter, chains) = store.committed_state();
+                        ShardCheckpoint {
+                            commit_counter,
+                            watermark,
+                            chains: chains
+                                .into_iter()
+                                .map(|(entity, versions)| {
+                                    (
+                                        entity,
+                                        versions
+                                            .into_iter()
+                                            .map(|(writer, commit_ts, value)| CommittedVersion {
+                                                writer,
+                                                commit_ts,
+                                                value,
+                                            })
+                                            .collect(),
+                                    )
+                                })
+                                .collect(),
+                        }
+                    })
+                    .collect();
+                Ok((replay_from_lsn, shards))
+            },
+        )?;
         let seq = self.checkpoint_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        self.metrics.flight(EventKind::CheckpointCut { seq });
         let data = CheckpointData {
             seq,
             replay_from_lsn,
@@ -827,6 +847,15 @@ impl Session {
             CommitOutcome::Committed { wal_lsn } => {
                 self.active = false;
                 self.engine.metrics.record_commit(self.started.elapsed());
+                if self.engine.epoch > 0 {
+                    // First commit under a promoted epoch closes the
+                    // failover timeline: time from this (promoted)
+                    // engine's construction to service actually restored.
+                    self.engine.metrics.record_epoch_first_commit(
+                        self.engine.epoch,
+                        self.engine.opened_at.elapsed(),
+                    );
+                }
                 Ok(wal_lsn)
             }
             CommitOutcome::Conflict(entity, winner) => {

@@ -34,12 +34,13 @@
 
 use crate::replica::Replica;
 use crate::router::WriteRouter;
-use mvcc_engine::{CertifierKind, EngineConfig};
+use mvcc_engine::{CertifierKind, EngineConfig, EngineMetrics};
+use mvcc_telemetry::{EventKind, Stage};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Leadership-driver pacing knobs.
 #[derive(Debug, Clone)]
@@ -50,6 +51,12 @@ pub struct LeaderConfig {
     /// (the lease: the primary must bump the heartbeat at least once per
     /// `silence × check` or lose leadership).
     pub silence: u32,
+    /// Where to record the failover timeline (detect / elect / promote
+    /// stages plus flight-recorder `Promotion` phase events).  Usually
+    /// the *old primary's* [`mvcc_engine::Engine::metrics_handle`] — its
+    /// telemetry is what the chaos harness dumps after a failed soak.
+    /// `None` (the default) records nothing.
+    pub metrics: Option<Arc<EngineMetrics>>,
 }
 
 impl Default for LeaderConfig {
@@ -57,6 +64,7 @@ impl Default for LeaderConfig {
         LeaderConfig {
             check: Duration::from_millis(5),
             silence: 4,
+            metrics: None,
         }
     }
 }
@@ -95,12 +103,18 @@ impl LeaderDriver {
         let error_slot = Arc::clone(&last_error);
         let handle = std::thread::spawn(move || {
             let mut last_seen = beat.load(Ordering::Acquire);
+            // When the heartbeat last moved — the failover timeline's
+            // zero point (Stage::FailoverDetect measures how long the
+            // primary was silent before the driver declared it dead).
+            let mut last_move = Instant::now();
             let mut quiet = 0u32;
+            let telemetry = config.metrics.as_deref();
             while !stop_flag.load(Ordering::Relaxed) {
                 std::thread::sleep(config.check);
                 let now = beat.load(Ordering::Acquire);
                 if now != last_seen {
                     last_seen = now;
+                    last_move = Instant::now();
                     quiet = 0;
                     continue;
                 }
@@ -108,10 +122,21 @@ impl LeaderDriver {
                 if quiet < config.silence {
                     continue;
                 }
+                if let Some(m) = telemetry {
+                    m.record_stage_value(
+                        Stage::FailoverDetect,
+                        last_move.elapsed().as_micros() as u64,
+                    );
+                    m.flight(EventKind::Promotion {
+                        phase: "detected".into(),
+                        detail: format!("heartbeat silent for {quiet} checks"),
+                    });
+                }
                 // The lease expired: elect the replica with the longest
                 // absorbed prefix.  Each candidate ships what it still
                 // can first, so the election compares final positions,
                 // not polling luck.
+                let elect_clock = telemetry.and_then(|m| m.stage_clock());
                 let electee = replicas
                     .iter()
                     .max_by_key(|replica| {
@@ -124,9 +149,30 @@ impl LeaderDriver {
                     quiet = 0;
                     continue;
                 };
+                if let Some(m) = telemetry {
+                    m.record_stage_since(Stage::FailoverElect, elect_clock);
+                    m.flight(EventKind::Promotion {
+                        phase: "elected".into(),
+                        detail: format!("watermark {}", electee.watermark()),
+                    });
+                }
+                let promote_clock = telemetry.and_then(|m| m.stage_clock());
                 match electee.promote(kind, template.clone()) {
                     Ok((engine, _report)) => {
+                        if let Some(m) = telemetry {
+                            m.record_stage_since(Stage::FailoverPromote, promote_clock);
+                            m.flight(EventKind::Promotion {
+                                phase: "promoted".into(),
+                                detail: format!("epoch {}", engine.epoch()),
+                            });
+                        }
                         router.install(Arc::clone(&engine));
+                        if let Some(m) = telemetry {
+                            m.flight(EventKind::Promotion {
+                                phase: "installed".into(),
+                                detail: format!("epoch {}", engine.epoch()),
+                            });
+                        }
                         promoted_count.fetch_add(1, Ordering::Release);
                         // One-shot: the new primary's liveness is a new
                         // driver's job.
@@ -244,6 +290,7 @@ mod tests {
             LeaderConfig {
                 check: Duration::from_millis(1),
                 silence: 3,
+                ..LeaderConfig::default()
             },
         );
         let beat = driver.heartbeat();
@@ -285,6 +332,7 @@ mod tests {
             LeaderConfig {
                 check: Duration::from_millis(1),
                 silence: 3,
+                ..LeaderConfig::default()
             },
         );
         // Never bump the heartbeat: the lease expires and failover runs.

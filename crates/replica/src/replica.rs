@@ -419,9 +419,13 @@ impl Replica {
         let mut state = self.state.lock();
         let mut cursor = state.cursor;
         let batch = read_tail(&self.wal_dir, &mut cursor, max_records)?;
+        // Shipped→applied lag: from the moment the batch left the log to
+        // its last record's effects published (telemetry on, else None).
+        let mut apply_clock = None;
         if let Some(metrics) = &self.config.metrics {
             if !batch.records.is_empty() {
                 metrics.record_repl_shipped(batch.records.len());
+                apply_clock = metrics.stage_clock();
             }
         }
         let mut commits = 0usize;
@@ -483,6 +487,7 @@ impl Replica {
         if let Some(metrics) = &self.config.metrics {
             if !batch.records.is_empty() {
                 metrics.record_repl_applied(batch.records.len(), commits);
+                metrics.record_stage_since(mvcc_telemetry::Stage::ReplicaApply, apply_clock);
             }
         }
         Ok(ShipReceipt {

@@ -1,0 +1,36 @@
+//! `mvcc-telemetry`: per-stage latency tracing, a flight recorder, and a
+//! machine-readable exporter for the bench trajectory.
+//!
+//! The engine's counters say *how much* happened; this crate records
+//! *how long each pipeline stage took* and *what just happened* — the
+//! two things a perf campaign and a failed chaos soak respectively need.
+//! Three pieces:
+//!
+//! * [`Histogram`] / [`HistogramSnapshot`] — a lock-free, mergeable
+//!   log-linear histogram (16 linear sub-buckets per power-of-two
+//!   decade) with interpolated p50/p95/p99/p999, replacing the old
+//!   power-of-two buckets whose upper-bound quantiles overstated by up
+//!   to 2×.
+//! * [`Telemetry`] — the per-stage registry.  Hot-path recording is a
+//!   plain store into a thread-local buffer ([`LocalHistogram`]),
+//!   drained into the shared registry at batch boundaries, so tracing
+//!   adds no synchronization edges to the pipeline (see the recorder
+//!   module docs for why that means admission order is unperturbed).
+//! * [`FlightRecorder`] — a bounded drop-oldest ring of structured
+//!   events ([`EventKind`]) whose [`FlightRecorder::dump`] turns a
+//!   failed soak from "a mystery" into a timeline.
+//!
+//! [`TelemetrySnapshot::to_json`] is the exporter behind the repo's
+//! `BENCH_*.json` trajectory; the hand-rolled [`json`] module exists
+//! because the vendored serde is a no-op stub.
+
+pub mod flight;
+pub mod histogram;
+pub mod json;
+pub mod recorder;
+pub mod stage;
+
+pub use flight::{EventKind, FlightEvent, FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
+pub use histogram::{Histogram, HistogramSnapshot, LocalHistogram};
+pub use recorder::{StageSnapshot, Telemetry, TelemetryMode, TelemetrySnapshot, FLUSH_EVERY};
+pub use stage::{Stage, StageUnit};

@@ -1,0 +1,205 @@
+//! The stage taxonomy: every pipeline point the engine traces.
+//!
+//! A [`Stage`] names one instrumented point in the transaction pipeline —
+//! from admission queue-wait through WAL flush to failover MTTR.  The
+//! enum is deliberately closed: stages index a fixed-size histogram
+//! registry, so adding one is a one-line change here plus a probe at the
+//! call site, and every consumer (snapshot, Display, JSON exporter)
+//! picks it up for free.
+
+use std::fmt;
+
+/// One instrumented point in the pipeline.
+///
+/// Stages come in two unit families (see [`Stage::unit`]): durations in
+/// microseconds and size distributions in plain counts (batch sizes).
+/// Both are recorded into the same log-linear histogram type — a batch
+/// of 7 steps and a latency of 7 µs land in the same bucket shape, which
+/// keeps the registry uniform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Time a parked step request waited in an admission lane queue
+    /// before a drain leader ruled it (µs).  The fast path — lane free,
+    /// caller rules its own step — never queues and is not recorded
+    /// here, so this histogram is the *contention* signal.
+    AdmissionQueueWait,
+    /// Time a drain leader spent servicing one admission batch: certify,
+    /// per-step resolution, history append, and the WAL append (µs).
+    AdmissionService,
+    /// Time inside the certifier's admission ruling alone (µs) — the
+    /// algorithmic core the scheduler-theory crates model.
+    Certify,
+    /// Steps ruled per admission batch (count).
+    AdmissionBatchSteps,
+    /// Time a commit-drain leader spent applying one group-commit batch:
+    /// validation, shard publication, and durability (µs).
+    GroupCommitApply,
+    /// Time in the WAL append-and-flush call for a commit batch (µs) —
+    /// in `Fsync` mode this is dominated by the fsync itself.
+    WalFlush,
+    /// Transactions made durable per WAL flush (count) — the
+    /// group-commit amortization factor.
+    WalFlushTxns,
+    /// Whole-transaction commit latency, begin to durable commit (µs).
+    CommitLatency,
+    /// Replica shipped→applied time per ship batch: from the moment the
+    /// shipper starts reading the primary's tail to the batch being
+    /// visible to follower reads (µs).
+    ReplicaApply,
+    /// Failover: from the last observed heartbeat movement to the leader
+    /// driver declaring the primary dead (µs).
+    FailoverDetect,
+    /// Failover: election — catching up candidate replicas and picking
+    /// the longest log (µs).
+    FailoverElect,
+    /// Failover: promoting the electee (healing the log, epoch bump,
+    /// recovery into an engine) and installing it in the router (µs).
+    FailoverPromote,
+    /// Time from a promoted engine opening on its new epoch to its first
+    /// committed transaction (µs).  Summed with the three failover
+    /// stages above this is the measured MTTR.
+    EpochFirstCommit,
+}
+
+/// The unit a stage's histogram is denominated in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StageUnit {
+    /// Microseconds.
+    Micros,
+    /// A plain count (batch sizes).
+    Count,
+}
+
+impl StageUnit {
+    /// Short unit label used by Display and the JSON exporter.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StageUnit::Micros => "us",
+            StageUnit::Count => "count",
+        }
+    }
+}
+
+/// All stages, in registry order.
+const ALL: [Stage; Stage::COUNT] = [
+    Stage::AdmissionQueueWait,
+    Stage::AdmissionService,
+    Stage::Certify,
+    Stage::AdmissionBatchSteps,
+    Stage::GroupCommitApply,
+    Stage::WalFlush,
+    Stage::WalFlushTxns,
+    Stage::CommitLatency,
+    Stage::ReplicaApply,
+    Stage::FailoverDetect,
+    Stage::FailoverElect,
+    Stage::FailoverPromote,
+    Stage::EpochFirstCommit,
+];
+
+impl Stage {
+    /// Number of stages in the registry.
+    pub const COUNT: usize = 13;
+
+    /// Every stage, in registry order (the order histograms are laid out
+    /// and the order snapshots and JSON documents list them).
+    pub fn all() -> [Stage; Stage::COUNT] {
+        ALL
+    }
+
+    /// The stage's dense registry index, `0..Stage::COUNT`.
+    pub fn index(self) -> usize {
+        match self {
+            Stage::AdmissionQueueWait => 0,
+            Stage::AdmissionService => 1,
+            Stage::Certify => 2,
+            Stage::AdmissionBatchSteps => 3,
+            Stage::GroupCommitApply => 4,
+            Stage::WalFlush => 5,
+            Stage::WalFlushTxns => 6,
+            Stage::CommitLatency => 7,
+            Stage::ReplicaApply => 8,
+            Stage::FailoverDetect => 9,
+            Stage::FailoverElect => 10,
+            Stage::FailoverPromote => 11,
+            Stage::EpochFirstCommit => 12,
+        }
+    }
+
+    /// The stage at registry index `i`, if any.
+    pub fn from_index(i: usize) -> Option<Stage> {
+        ALL.get(i).copied()
+    }
+
+    /// Stable kebab-case name used in Display output and JSON keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::AdmissionQueueWait => "admission-queue-wait",
+            Stage::AdmissionService => "admission-service",
+            Stage::Certify => "certify",
+            Stage::AdmissionBatchSteps => "admission-batch-steps",
+            Stage::GroupCommitApply => "group-commit-apply",
+            Stage::WalFlush => "wal-flush",
+            Stage::WalFlushTxns => "wal-flush-txns",
+            Stage::CommitLatency => "commit-latency",
+            Stage::ReplicaApply => "replica-apply",
+            Stage::FailoverDetect => "failover-detect",
+            Stage::FailoverElect => "failover-elect",
+            Stage::FailoverPromote => "failover-promote",
+            Stage::EpochFirstCommit => "epoch-first-commit",
+        }
+    }
+
+    /// The unit this stage's histogram is denominated in.
+    pub fn unit(self) -> StageUnit {
+        match self {
+            Stage::AdmissionBatchSteps | Stage::WalFlushTxns => StageUnit::Count,
+            _ => StageUnit::Micros,
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_round_trip() {
+        for (i, stage) in Stage::all().iter().enumerate() {
+            assert_eq!(stage.index(), i);
+            assert_eq!(Stage::from_index(i), Some(*stage));
+        }
+        assert_eq!(Stage::all().len(), Stage::COUNT);
+        assert_eq!(Stage::from_index(Stage::COUNT), None);
+    }
+
+    #[test]
+    fn names_are_unique_and_kebab() {
+        let names: Vec<&str> = Stage::all().iter().map(|s| s.name()).collect();
+        for (i, a) in names.iter().enumerate() {
+            assert!(a.chars().all(|c| c.is_ascii_lowercase() || c == '-'));
+            for b in &names[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn count_stages_are_exactly_the_batch_sizes() {
+        let counts: Vec<Stage> = Stage::all()
+            .iter()
+            .copied()
+            .filter(|s| s.unit() == StageUnit::Count)
+            .collect();
+        assert_eq!(
+            counts,
+            vec![Stage::AdmissionBatchSteps, Stage::WalFlushTxns]
+        );
+    }
+}

@@ -36,14 +36,14 @@ fn main() {
         let m = &report.metrics;
         println!(
             "{:>6} [{:>5}]: {:>6.0} txn/s, {} committed / {} aborted ({:.0}% commit), \
-             p99 ≤ {} µs, gc reclaimed {}",
+             p99 {:.0} µs, gc reclaimed {}",
             kind.to_string(),
             report.class.to_string(),
             report.throughput_tps(),
             m.committed,
             m.aborted,
             m.commit_ratio() * 100.0,
-            m.latency_percentile_us(0.99),
+            m.latency_us(0.99).unwrap_or(0.0),
             m.gc_reclaimed,
         );
         let history = report.history.committed_schedule();

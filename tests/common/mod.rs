@@ -1,13 +1,46 @@
 //! Helpers shared by the replication integration suites (each test file
 //! pulls this in with `mod common;`).
 
-use mvcc_repro::engine::ShardedStore;
+use mvcc_repro::engine::{EngineMetrics, ShardedStore};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 // Only the failover suite uses the chaos primitives; the other suites
 // pull this module in too, so silence their dead-code lint.
 #[allow(dead_code)]
 pub mod chaos;
+
+/// Prints an engine's flight-recorder timeline to stderr when the owning
+/// test panics — installed at the top of the chaos/soak harnesses so a
+/// failed run leaves a timeline instead of a mystery.  A no-op on clean
+/// exit and for engines whose telemetry is off.
+pub struct FlightDumpGuard {
+    label: String,
+    metrics: Arc<EngineMetrics>,
+}
+
+#[allow(dead_code)]
+impl FlightDumpGuard {
+    /// Arms the guard for `metrics` (usually
+    /// `engine.metrics_handle()`); `label` names the run in the dump
+    /// header.
+    pub fn new(label: impl Into<String>, metrics: Arc<EngineMetrics>) -> Self {
+        FlightDumpGuard {
+            label: label.into(),
+            metrics,
+        }
+    }
+}
+
+impl Drop for FlightDumpGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            if let Some(dump) = self.metrics.flight_dump() {
+                eprintln!("--- flight recorder: {} ---\n{dump}", self.label);
+            }
+        }
+    }
+}
 
 /// Committed `(writer, ts, value)` sets per shard plus each shard's
 /// commit counter, order-insensitive: the primary's chains are in append

@@ -38,11 +38,11 @@
 
 mod common;
 use common::chaos::{kill_sites, ChaosRng, Freezer};
-use common::committed_sets;
+use common::{committed_sets, FlightDumpGuard};
 use mvcc_repro::durability::{read_epoch_marker, recover, RecoveryOptions};
 use mvcc_repro::engine::{
     Bytes, CertifierKind, DurabilityConfig, DurabilityMode, Engine, EngineConfig, EngineError,
-    KillSite,
+    KillSite, TelemetryMode,
 };
 use mvcc_repro::prelude::*;
 use mvcc_repro::replica::{
@@ -144,7 +144,14 @@ fn failover_soak(kind: CertifierKind, site: KillSite) {
     let freezer = Freezer::at_after(site, if site == KillSite::Checkpoint { 0 } else { arm });
     let mut config = durable_config(&dir);
     config.chaos = Some(freezer.hook());
+    // Telemetry on: a failed soak dumps the doomed primary's flight
+    // timeline (kill site, fence refusals, promotion phases) on panic.
+    config.telemetry = TelemetryMode::On;
     let engine = Arc::new(Engine::new(kind, config));
+    let _flight_dump = FlightDumpGuard::new(
+        format!("failover_soak {kind}/{site}"),
+        engine.metrics_handle(),
+    );
     let router = Arc::new(WriteRouter::new(Arc::clone(&engine)));
 
     // Two candidates tailing the log live; either may win the election.
@@ -162,6 +169,9 @@ fn failover_soak(kind: CertifierKind, site: KillSite) {
         LeaderConfig {
             check: Duration::from_millis(2),
             silence: 5,
+            // The failover stages (detect/elect/promote) land in the old
+            // primary's telemetry — the registry the dump guard watches.
+            metrics: Some(engine.metrics_handle()),
         },
     );
 
@@ -476,6 +486,41 @@ fn a_woken_deposed_primary_cannot_resurrect_writes() {
     assert!(HistoryClass::Csr.check(&promoted.history().committed_schedule()));
 
     std::mem::forget(engine);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn the_flight_recorder_captures_a_scripted_kill_site() {
+    // The chaos-observability loop, deterministically: freeze a primary
+    // at a scripted kill site and assert the flight-recorder dump — the
+    // timeline a failed soak prints via `FlightDumpGuard` — carries the
+    // kill event.  The event is recorded *before* the hook parks the
+    // thread, so even a never-released freeze leaves its trace.
+    let dir = temp_dir("flightdump");
+    let freezer = Freezer::at(KillSite::GroupCommitFlush);
+    let mut config = durable_config(&dir);
+    config.chaos = Some(freezer.hook());
+    config.telemetry = TelemetryMode::On;
+    let engine = Arc::new(Engine::new(CertifierKind::Sgt, config));
+    // The sacrificial committer freezes inside its commit flush.
+    let doomed = Arc::clone(&engine);
+    let committer = std::thread::spawn(move || {
+        let mut session = doomed.begin();
+        session
+            .write(EntityId(0), Bytes::from_static(b"doomed"))
+            .unwrap();
+        let _ = session.commit();
+    });
+    assert!(freezer.wait_frozen(Duration::from_secs(30)));
+    let dump = engine.metrics().flight_dump().expect("telemetry is on");
+    assert!(
+        dump.contains("kill-site site=group-commit-flush"),
+        "the dump must carry the scripted kill event:\n{dump}"
+    );
+    // Wake the frozen committer so the test exits cleanly (this is the
+    // observability test — the fencing story is pinned elsewhere).
+    freezer.release();
+    committer.join().unwrap();
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -21,9 +21,9 @@
 //!   class at the end.
 
 mod common;
-use common::committed_sets;
+use common::{committed_sets, FlightDumpGuard};
 use mvcc_repro::engine::load::drive_closed_loop;
-use mvcc_repro::engine::{CertifierKind, DurabilityConfig, Engine, EngineConfig};
+use mvcc_repro::engine::{CertifierKind, DurabilityConfig, Engine, EngineConfig, TelemetryMode};
 use mvcc_repro::prelude::*;
 use mvcc_repro::replica::{
     LogShipper, ReadPolicy, ReadRouter, Replica, ReplicaConfig, RouterConfig, RouterError,
@@ -65,9 +65,13 @@ fn replication_soak_survives_a_replica_restart_under_load() {
                 // Small segments: the soak crosses many rotations.
                 segment_bytes: 4096,
             },
+            // A failed soak dumps the flight timeline (flushes,
+            // checkpoint cuts, aborts) instead of just a panic message.
+            telemetry: TelemetryMode::On,
             ..EngineConfig::default()
         },
     ));
+    let _flight_dump = FlightDumpGuard::new("replica_soak", engine.metrics_handle());
     let mut rconfig = ReplicaConfig::new(
         SHARDS,
         ENTITIES,
