@@ -1,0 +1,46 @@
+//! `mvcc-lint` — scan the workspace for repo-invariant violations.
+//!
+//! Usage: `mvcc-lint [ROOT]...` (default: current directory).  Prints
+//! every violation as `path:line: [rule] message` and exits non-zero if
+//! any rule fired.  See [`mvcc_analysis::lint`] for the rule table and
+//! the `// lint: allow(<rule>)` escape.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut roots: Vec<PathBuf> = std::env::args_os().skip(1).map(PathBuf::from).collect();
+    if roots.is_empty() {
+        roots.push(PathBuf::from("."));
+    }
+    let mut total = 0usize;
+    for root in &roots {
+        match mvcc_analysis::lint::scan_workspace(root) {
+            Ok(violations) => {
+                for v in &violations {
+                    eprintln!("{v}");
+                }
+                total += violations.len();
+            }
+            Err(err) => {
+                eprintln!("mvcc-lint: failed to scan {}: {err}", root.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if total == 0 {
+        eprintln!(
+            "mvcc-lint: clean ({} rules over {})",
+            mvcc_analysis::lint::RULES.len(),
+            roots
+                .iter()
+                .map(|r| r.display().to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("mvcc-lint: {total} violation(s)");
+        ExitCode::FAILURE
+    }
+}

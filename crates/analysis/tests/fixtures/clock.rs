@@ -1,0 +1,11 @@
+// Negative fixture for the `clock` rule: wall-clock reads in library
+// context outside the telemetry/bench exemption.  Never compiled.
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}
+
+pub fn wall() -> SystemTime {
+    SystemTime::now()
+}

@@ -1,0 +1,11 @@
+// Negative fixture for the `raw-lock` rule: raw lock construction in
+// library context.  Never compiled — scanned by tests/lint_fixtures.rs.
+use std::sync::Mutex;
+
+pub struct Cache {
+    slots: parking_lot::RwLock<Vec<u8>>,
+}
+
+pub fn make() -> Mutex<u32> {
+    Mutex::new(0)
+}

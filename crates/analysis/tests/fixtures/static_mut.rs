@@ -1,0 +1,10 @@
+// Negative fixture for the `static-mut` rule.  Never compiled.
+static mut COUNTER: u64 = 0;
+
+pub fn bump() {
+    // (the unsafe block below is also an `unsafe-safety` violation,
+    // which the fixture test accounts for)
+    unsafe {
+        COUNTER += 1;
+    }
+}

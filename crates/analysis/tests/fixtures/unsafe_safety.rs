@@ -1,0 +1,6 @@
+// Negative fixture for the `unsafe-safety` rule: an unsafe block whose
+// soundness argument comment is missing.  Never compiled.
+pub fn transmute_len(v: &[u8]) -> usize {
+    let p = v.as_ptr();
+    unsafe { *p as usize }
+}

@@ -1,0 +1,9 @@
+// Negative fixture for the `unwrap` rule: panicking accessors in
+// non-test library code.  Never compiled.
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn named(xs: &[u32]) -> u32 {
+    *xs.last().expect("xs is non-empty")
+}

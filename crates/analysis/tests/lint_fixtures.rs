@@ -1,0 +1,98 @@
+//! The lint gate's own gate: every rule must fire on its negative
+//! fixture (so a regression that silences a rule fails CI loudly), and
+//! the workspace itself must scan clean.
+//!
+//! The fixtures live under `tests/fixtures/` — a directory the
+//! workspace walker skips — and are scanned as if they were library
+//! sources (`crates/x/src/lib.rs`), the strictest context.
+
+use mvcc_analysis::lint::{scan_file, scan_workspace, RULES};
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()))
+}
+
+/// Scans a fixture in library context and returns the rules that fired.
+fn rules_fired(name: &str) -> Vec<&'static str> {
+    let source = fixture(name);
+    let mut rules: Vec<&'static str> = scan_file(Path::new("crates/x/src/lib.rs"), &source)
+        .into_iter()
+        .map(|v| v.rule)
+        .collect();
+    rules.dedup();
+    rules
+}
+
+#[test]
+fn every_rule_has_a_firing_fixture() {
+    let fixtures = [
+        ("raw_lock.rs", "raw-lock"),
+        ("clock.rs", "clock"),
+        ("unwrap.rs", "unwrap"),
+        ("static_mut.rs", "static-mut"),
+        ("unsafe_safety.rs", "unsafe-safety"),
+    ];
+    assert_eq!(fixtures.len(), RULES.len(), "one fixture per rule");
+    for (file, rule) in fixtures {
+        let fired = rules_fired(file);
+        assert!(
+            fired.contains(&rule),
+            "fixture {file} did not trip `{rule}` (fired: {fired:?})"
+        );
+    }
+}
+
+#[test]
+fn raw_lock_fixture_flags_both_construction_sites() {
+    let source = fixture("raw_lock.rs");
+    let v = scan_file(Path::new("crates/x/src/lib.rs"), &source);
+    let raw: Vec<_> = v.iter().filter(|v| v.rule == "raw-lock").collect();
+    assert!(
+        raw.len() >= 3,
+        "std::sync use, parking_lot field, Mutex::new: {raw:?}"
+    );
+}
+
+#[test]
+fn static_mut_fixture_also_trips_unsafe_safety() {
+    // The fixture's unsafe block has no SAFETY: comment, so the two
+    // "everywhere" rules fire together — they are independent checks.
+    let fired = rules_fired("static_mut.rs");
+    assert!(fired.contains(&"static-mut"), "{fired:?}");
+    assert!(fired.contains(&"unsafe-safety"), "{fired:?}");
+}
+
+#[test]
+fn fixtures_are_silent_in_test_context_where_rules_permit() {
+    // unwrap is a library-only rule: the same source under tests/ is
+    // clean.  clock and raw-lock still apply to bin context, and
+    // static-mut everywhere — scope creep in either direction is a bug.
+    let source = fixture("unwrap.rs");
+    let v = scan_file(Path::new("crates/x/tests/t.rs"), &source);
+    assert!(v.is_empty(), "{v:?}");
+    let source = fixture("static_mut.rs");
+    let v = scan_file(Path::new("crates/x/tests/t.rs"), &source);
+    assert!(v.iter().any(|v| v.rule == "static-mut"), "{v:?}");
+}
+
+#[test]
+fn workspace_scans_clean() {
+    // The gate CI runs via the mvcc-lint binary; this is the same scan
+    // as a test, so `cargo test` alone catches a violating commit.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let violations = scan_workspace(&root).expect("workspace scan");
+    assert!(
+        violations.is_empty(),
+        "mvcc-lint violations:\n{}",
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

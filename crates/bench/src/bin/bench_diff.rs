@@ -1,0 +1,111 @@
+//! Per-certifier throughput regression gate between two E17 documents.
+//!
+//! `bench_diff BASELINE NEW [--max-regression FRACTION]` compares the
+//! `txn_s` of every certifier row in `NEW` against the same certifier in
+//! `BASELINE` and exits non-zero if any regressed by more than the
+//! threshold (default 0.10 — ten percent).  Certifiers present in the
+//! baseline but missing from the new document are an error too: a gate
+//! that silently ignores a vanished row would pass on the worst
+//! regression of all.
+//!
+//! CI runs this in the bench-smoke job: the committed `BENCH_7.json` is
+//! the baseline trajectory, the freshly generated `BENCH_8.json` the
+//! candidate.  Improvements and sub-threshold noise print but pass.
+
+use mvcc_telemetry::json::{parse, JsonValue};
+use std::process::ExitCode;
+
+/// `(certifier, txn_s)` pairs of an E17 document.
+fn throughput_rows(text: &str, path: &str) -> Result<Vec<(String, f64)>, String> {
+    let doc = parse(text).map_err(|e| format!("{path}: {e}"))?;
+    let rows = doc
+        .get("rows")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| format!("{path}: no `rows` array"))?;
+    let mut out = Vec::new();
+    for (i, row) in rows.iter().enumerate() {
+        let certifier = row
+            .get("certifier")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("{path}: row {i} has no `certifier`"))?;
+        let txn_s = row
+            .get("txn_s")
+            .and_then(JsonValue::as_number)
+            .ok_or_else(|| format!("{path}: row {i} has no numeric `txn_s`"))?;
+        if !txn_s.is_finite() || txn_s <= 0.0 {
+            return Err(format!("{path}: {certifier}: non-positive txn_s {txn_s}"));
+        }
+        out.push((certifier.to_string(), txn_s));
+    }
+    if out.is_empty() {
+        return Err(format!("{path}: zero rows"));
+    }
+    Ok(out)
+}
+
+fn run() -> Result<bool, String> {
+    let mut paths = Vec::new();
+    let mut max_regression = 0.10_f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--max-regression" => {
+                let value = args
+                    .next()
+                    .ok_or_else(|| "--max-regression needs a fraction".to_string())?;
+                max_regression = value
+                    .parse()
+                    .map_err(|e| format!("--max-regression {value}: {e}"))?;
+            }
+            other => paths.push(other.to_string()),
+        }
+    }
+    let [baseline_path, new_path] = paths.as_slice() else {
+        return Err("usage: bench_diff BASELINE NEW [--max-regression FRACTION]".to_string());
+    };
+
+    let read =
+        |path: &str| std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"));
+    let baseline = throughput_rows(&read(baseline_path)?, baseline_path)?;
+    let new = throughput_rows(&read(new_path)?, new_path)?;
+
+    let mut ok = true;
+    for (certifier, base_tps) in &baseline {
+        let Some((_, new_tps)) = new.iter().find(|(c, _)| c == certifier) else {
+            eprintln!("FAIL {certifier}: present in {baseline_path}, missing from {new_path}");
+            ok = false;
+            continue;
+        };
+        let delta = (new_tps - base_tps) / base_tps;
+        let verdict = if delta < -max_regression {
+            ok = false;
+            "FAIL"
+        } else {
+            "ok  "
+        };
+        println!(
+            "{verdict} {certifier:8} {base_tps:>12.0} -> {new_tps:>12.0} txn/s ({:+.1}%)",
+            delta * 100.0
+        );
+    }
+    if ok {
+        println!(
+            "bench_diff: no certifier regressed more than {:.0}% ({} vs {})",
+            max_regression * 100.0,
+            new_path,
+            baseline_path
+        );
+    }
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("bench_diff: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -58,8 +58,7 @@ fn main() {
             row.committed.to_string(),
             format!("{} ({})", row.wal_flushes, row.wal_fsyncs),
             row.mean_commits_per_flush
-                .map(|m| format!("{m:.1}"))
-                .unwrap_or_else(|| "-".into()),
+                .map_or_else(|| "-".into(), |m| format!("{m:.1}")),
             row.wal_bytes.to_string(),
         ]);
     }

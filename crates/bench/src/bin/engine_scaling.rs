@@ -134,11 +134,9 @@ fn main() {
             format!("{:.0}", row.batched_tps),
             format!("{:.2}×", row.speedup()),
             row.mean_admission_batch
-                .map(|m| format!("{m:.1}"))
-                .unwrap_or_else(|| "-".into()),
+                .map_or_else(|| "-".into(), |m| format!("{m:.1}")),
             row.mean_commit_batch
-                .map(|m| format!("{m:.1}"))
-                .unwrap_or_else(|| "-".into()),
+                .map_or_else(|| "-".into(), |m| format!("{m:.1}")),
         ]);
     }
     println!("{}", table.render());

@@ -81,8 +81,7 @@ fn main() {
         row.stages
             .get(stage)
             .and_then(|h| h.quantile(0.99))
-            .map(|q| format!("{q:.1}"))
-            .unwrap_or_else(|| "-".into())
+            .map_or_else(|| "-".into(), |q| format!("{q:.1}"))
     };
     for row in &rows {
         table.row(&[

@@ -52,9 +52,8 @@ fn theorem2_table() {
     );
     for requested in [0usize, 1, 2, 4, 8, 16, 32] {
         let (s, applied) = perturbed_serial(&sys, requested, requested as u64 + 1);
-        let distance = swap_distance_to_serial(&s)
-            .map(|d| d.to_string())
-            .unwrap_or_else(|| "unreachable".into());
+        let distance =
+            swap_distance_to_serial(&s).map_or_else(|| "unreachable".into(), |d| d.to_string());
         table.row(&[
             format!("{applied} (requested {requested})"),
             is_mvcsr(&s).to_string(),
@@ -182,7 +181,7 @@ fn complexity_table() {
             "workload", "steps", "CSR us", "MVCSR us", "VSR us", "MVSR us",
         ],
     );
-    let fmt_opt = |v: Option<f64>| v.map(|x| format!("{x:.1}")).unwrap_or_else(|| "-".into());
+    let fmt_opt = |v: Option<f64>| v.map_or_else(|| "-".into(), |x| format!("{x:.1}"));
     for row in rows {
         table.row(&[
             row.label.clone(),

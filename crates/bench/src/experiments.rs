@@ -64,6 +64,7 @@ pub fn figure1_rows() -> Vec<Figure1Row> {
 /// (the "topography" of Figure 1 over an exhaustive population).
 pub fn figure1_census() -> (usize, Census) {
     let sys = Schedule::parse("Ra(x) Wa(y) Rb(y) Wb(x) Wc(y)")
+        // lint: allow(unwrap) — bench harness: setup failure is fatal to the run
         .expect("census system parses")
         .tx_system();
     let all = Schedule::all_interleavings(&sys);
@@ -610,6 +611,7 @@ pub fn replica_scaling_table(
                 );
                 config.record_history = false;
                 config.metrics = Some(engine.metrics_handle());
+                // lint: allow(unwrap) — bench harness: setup failure is fatal to the run
                 let replica = Arc::new(Replica::open(config, &dir).expect("open replica"));
                 shippers.push(LogShipper::start(
                     Arc::clone(&replica),
@@ -666,6 +668,7 @@ pub fn replica_scaling_table(
             let elapsed = started.elapsed().as_secs_f64().max(1e-9);
             done.store(true, Ordering::Release);
             for t in reader_threads {
+                // lint: allow(unwrap) — bench harness: a panicked worker must fail the run
                 t.join().expect("reader panicked");
             }
             // Drain each replica to the durable horizon before stopping
@@ -673,6 +676,7 @@ pub fn replica_scaling_table(
             // shipper's first poll interval, and the telemetry row
             // should reflect the whole log either way.
             for replica in &replicas {
+                // lint: allow(unwrap) — bench harness: setup failure is fatal to the run
                 replica.catch_up().expect("final drain");
             }
             for shipper in shippers {

@@ -13,7 +13,7 @@ impl Table {
     pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
         Table {
             title: title.into(),
-            header: header.iter().map(|s| s.to_string()).collect(),
+            header: header.iter().map(|s| (*s).to_string()).collect(),
             rows: Vec::new(),
         }
     }

@@ -101,14 +101,11 @@ pub fn serial_read_froms_of_system(
         }
         // Does the reading transaction itself write the entity earlier in
         // program order?  Then, serially, it reads its own latest version.
-        let own_earlier_write = sys
-            .get(step.tx)
-            .map(|t| {
-                t.accesses[..my_index]
-                    .iter()
-                    .any(|&(a, e)| a.is_write() && e == step.entity)
-            })
-            .unwrap_or(false);
+        let own_earlier_write = sys.get(step.tx).is_some_and(|t| {
+            t.accesses[..my_index]
+                .iter()
+                .any(|&(a, e)| a.is_write() && e == step.entity)
+        });
         let source = if own_earlier_write {
             VersionSource::Tx(step.tx)
         } else {
@@ -195,8 +192,7 @@ pub fn serializations_extending(
     limit: Option<usize>,
 ) -> Vec<SerialReadFroms> {
     let sys = s.tx_system();
-    let accept =
-        |pos: usize, src: VersionSource| required.get(&pos).map(|&r| r == src).unwrap_or(true);
+    let accept = |pos: usize, src: VersionSource| required.get(&pos).map_or(true, |&r| r == src);
     let mut engine = SearchEngine::build(s, &sys, limit, &accept);
     engine.apply_required(required);
     if engine.infeasible {
@@ -225,8 +221,7 @@ pub fn has_serialization_extending_budgeted(
     node_budget: u64,
 ) -> Option<bool> {
     let sys = s.tx_system();
-    let accept =
-        |pos: usize, src: VersionSource| required.get(&pos).map(|&r| r == src).unwrap_or(true);
+    let accept = |pos: usize, src: VersionSource| required.get(&pos).map_or(true, |&r| r == src);
     let mut engine = SearchEngine::build(s, &sys, Some(1), &accept);
     engine.apply_required(required);
     if engine.infeasible {
@@ -309,7 +304,7 @@ pub fn achievable_prefix_restrictions_bounded(
                         .collect()
                 })
                 .collect();
-            let satisfied = max.map(|m| out.len() >= m).unwrap_or(false);
+            let satisfied = max.is_some_and(|m| out.len() >= m);
             if exhausted || satisfied {
                 return out;
             }
@@ -466,6 +461,7 @@ impl<'a> SearchEngine<'a> {
 
         let mut txs: Vec<TxPlacement> = Vec::with_capacity(tx_ids.len());
         for &id in &tx_ids_by_first_step {
+            // lint: allow(unwrap) — every tx id in a schedule is in its system by construction
             let tx = sys.get(id).expect("tx of the system");
             let positions = &positions_of_tx[&id];
             let mut reads = Vec::new();
@@ -501,8 +497,7 @@ impl<'a> SearchEngine<'a> {
                         if j != i
                             && first_write
                                 .get(&(entity, other.id))
-                                .map(|&fp| fp < pos)
-                                .unwrap_or(false)
+                                .is_some_and(|&fp| fp < pos)
                         {
                             mask |= 1 << j;
                         }
@@ -726,8 +721,7 @@ impl<'a> SearchEngine<'a> {
                 VersionSource::Tx(w) => self
                     .first_write
                     .get(&(entity, w))
-                    .map(|&fp| fp < pos)
-                    .unwrap_or(false),
+                    .is_some_and(|&fp| fp < pos),
             };
             realizable && (self.accept)(pos, source)
         })
@@ -805,8 +799,7 @@ impl SearchEngine<'_> {
                     Some(&w) => self
                         .first_write
                         .get(&(entity, w))
-                        .map(|&fp| fp < pos)
-                        .unwrap_or(false),
+                        .is_some_and(|&fp| fp < pos),
                 };
                 if !lw_ok && avail_mask & !used == 0 {
                     return false;

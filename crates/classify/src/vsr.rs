@@ -32,8 +32,7 @@ fn standard_targets(
         let e = s.steps()[pos].entity;
         let src = s
             .last_writer_before(pos, e)
-            .map(VersionSource::Tx)
-            .unwrap_or(VersionSource::Initial);
+            .map_or(VersionSource::Initial, VersionSource::Tx);
         reads.insert(pos, src);
     }
     let mut finals = HashMap::new();
@@ -208,8 +207,7 @@ pub fn vsr_polygraph(schedule: &Schedule) -> (Polygraph, HashMap<TxId, NodeId>) 
         let step = schedule.steps()[pos];
         let source = schedule
             .last_writer_before(pos, step.entity)
-            .map(VersionSource::Tx)
-            .unwrap_or(VersionSource::Initial);
+            .map_or(VersionSource::Initial, VersionSource::Tx);
         let writer_tx = source.as_tx();
         let own_earlier_write = schedule.steps()[..pos]
             .iter()

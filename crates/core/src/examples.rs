@@ -75,6 +75,7 @@ pub struct Figure1Example {
 ///
 /// Transactions are written `a`, `b`, `c`, `d` (mapping to `T1..T4`).
 pub fn figure1() -> Vec<Figure1Example> {
+    // lint: allow(unwrap) — the worked examples are compile-time constants
     let parse = |text: &str| Schedule::parse(text).expect("example schedules are well formed");
     vec![
         // (1) Both transactions read x before either writes it; no version
@@ -139,8 +140,10 @@ pub fn figure1() -> Vec<Figure1Example> {
 /// common prefix extends to serializing version functions of both, so no
 /// multiversion scheduler can accept both schedules.
 pub fn section4_pair() -> (Schedule, Schedule) {
+    // lint: allow(unwrap) — the worked examples are compile-time constants
     let s = Schedule::parse("Ra(x) Wa(x) Rb(x) Ra(y) Wa(y) Rb(y) Wb(y)").expect("well formed");
     let s_prime =
+        // lint: allow(unwrap) — the worked examples are compile-time constants
         Schedule::parse("Ra(x) Wa(x) Rb(x) Rb(y) Wb(y) Ra(y) Wa(y)").expect("well formed");
     (s, s_prime)
 }

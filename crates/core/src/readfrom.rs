@@ -99,8 +99,7 @@ impl ReadFromRelation {
             let source = vf.get(pos).unwrap_or_else(|| {
                 schedule
                     .last_writer_before(pos, step.entity)
-                    .map(VersionSource::Tx)
-                    .unwrap_or(VersionSource::Initial)
+                    .map_or(VersionSource::Initial, VersionSource::Tx)
             });
             rel.insert(ReadFrom {
                 reader: step.tx,
@@ -112,8 +111,7 @@ impl ReadFromRelation {
             let source = vf.get_final(entity).unwrap_or_else(|| {
                 schedule
                     .final_writer(entity)
-                    .map(VersionSource::Tx)
-                    .unwrap_or(VersionSource::Initial)
+                    .map_or(VersionSource::Initial, VersionSource::Tx)
             });
             rel.insert(ReadFrom {
                 reader: TxId::FINAL,

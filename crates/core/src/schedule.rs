@@ -393,6 +393,7 @@ fn parse_tx_label(label: &str) -> Option<TxId> {
         return Some(TxId(n));
     }
     if label.len() == 1 {
+        // lint: allow(unwrap) — label is non-empty here; the empty case returned above
         let c = label.chars().next().unwrap().to_ascii_lowercase();
         if c.is_ascii_lowercase() {
             return Some(TxId((c as u32) - ('a' as u32) + 1));

@@ -123,15 +123,13 @@ impl VersionFunction {
             let entity = schedule.steps()[pos].entity;
             let source = schedule
                 .last_writer_before(pos, entity)
-                .map(VersionSource::Tx)
-                .unwrap_or(VersionSource::Initial);
+                .map_or(VersionSource::Initial, VersionSource::Tx);
             vf.assign(pos, source);
         }
         for entity in schedule.entities_accessed() {
             let source = schedule
                 .final_writer(entity)
-                .map(VersionSource::Tx)
-                .unwrap_or(VersionSource::Initial);
+                .map_or(VersionSource::Initial, VersionSource::Tx);
             vf.assign_final(entity, source);
         }
         vf
@@ -201,7 +199,7 @@ impl VersionFunction {
     pub fn agrees_with(&self, other: &VersionFunction) -> bool {
         self.assignments
             .iter()
-            .all(|(pos, src)| other.assignments.get(pos).map(|o| o == src).unwrap_or(true))
+            .all(|(pos, src)| other.assignments.get(pos).map_or(true, |o| o == src))
     }
 
     /// `true` if this version function extends `prefix_vf`: every assignment

@@ -158,12 +158,14 @@ impl<'a> Reader<'a> {
     fn u32(&mut self) -> Option<u32> {
         let bytes = self.buf.get(self.pos..self.pos + 4)?;
         self.pos += 4;
+        // lint: allow(unwrap) — slice length fixed by the on-disk format
         Some(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
     }
 
     fn u64(&mut self) -> Option<u64> {
         let bytes = self.buf.get(self.pos..self.pos + 8)?;
         self.pos += 8;
+        // lint: allow(unwrap) — slice length fixed by the on-disk format
         Some(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
     }
 
@@ -188,7 +190,9 @@ fn parse_checkpoint(bytes: &[u8]) -> Option<CheckpointData> {
     if bytes.len() < 16 || &bytes[0..8] != CHECKPOINT_MAGIC {
         return None;
     }
+    // lint: allow(unwrap) — slice length fixed by the on-disk format
     let stored_crc = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    // lint: allow(unwrap) — slice length fixed by the on-disk format
     let body_len = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes")) as usize;
     let body = bytes.get(16..16 + body_len)?;
     if crc32(body) != stored_crc {

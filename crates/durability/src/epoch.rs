@@ -108,10 +108,12 @@ pub fn read_epoch_marker(dir: &Path) -> io::Result<Option<EpochMarker>> {
         return Err(corrupt("bad magic"));
     }
     let payload = &bytes[8..8 + PAYLOAD];
+    // lint: allow(unwrap) — slice length fixed by the on-disk format
     let stored = u32::from_le_bytes(bytes[8 + PAYLOAD..].try_into().expect("4 bytes"));
     if crc32(payload) != stored {
         return Err(corrupt("crc mismatch"));
     }
+    // lint: allow(unwrap) — slice length fixed by the on-disk format
     let u64_at = |i: usize| u64::from_le_bytes(payload[i..i + 8].try_into().expect("8 bytes"));
     Ok(Some(EpochMarker {
         epoch: u64_at(0),

@@ -281,6 +281,7 @@ impl<'a> Cursor<'a> {
             .get(self.pos..end)
             .ok_or(DecodeError::Malformed("payload too short"))?;
         self.pos = end;
+        // lint: allow(unwrap) — slice length fixed by the on-disk format
         Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
     }
 
@@ -291,6 +292,7 @@ impl<'a> Cursor<'a> {
             .get(self.pos..end)
             .ok_or(DecodeError::Malformed("payload too short"))?;
         self.pos = end;
+        // lint: allow(unwrap) — slice length fixed by the on-disk format
         Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
     }
 
@@ -323,10 +325,12 @@ pub fn decode_record(buf: &[u8]) -> Result<(usize, u64, u64, WalRecord), DecodeE
     if buf.len() < FRAME_OVERHEAD {
         return Err(DecodeError::Truncated);
     }
+    // lint: allow(unwrap) — slice length fixed by the on-disk format
     let len = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes"));
     if len > MAX_PAYLOAD {
         return Err(DecodeError::Oversized(len));
     }
+    // lint: allow(unwrap) — slice length fixed by the on-disk format
     let stored = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
     let total = FRAME_OVERHEAD + len as usize;
     let payload = buf

@@ -136,6 +136,7 @@ type PendingWrites = HashMap<TxId, Vec<(EntityId, Bytes)>>;
 /// state (all entities at `opts.initial`, nothing committed).
 pub fn recover(dir: &Path, opts: &RecoveryOptions) -> io::Result<RecoveredState> {
     assert!(opts.shards > 0, "at least one shard");
+    // lint: allow(clock) — recovery duration is reported in the RecoveryReport
     let started = Instant::now();
     let checkpoint = latest_checkpoint(dir)?;
     if let Some(ckpt) = &checkpoint {
@@ -150,9 +151,9 @@ pub fn recover(dir: &Path, opts: &RecoveryOptions) -> io::Result<RecoveredState>
             ));
         }
     }
-    let replay_from_lsn = checkpoint.as_ref().map(|c| c.replay_from_lsn).unwrap_or(0);
+    let replay_from_lsn = checkpoint.as_ref().map_or(0, |c| c.replay_from_lsn);
     let checkpoint_seq = checkpoint.as_ref().map(|c| c.seq);
-    let ckpt_next_tx = checkpoint.as_ref().map(|c| c.next_tx).unwrap_or(1);
+    let ckpt_next_tx = checkpoint.as_ref().map_or(1, |c| c.next_tx);
 
     // Seed the chains: from the checkpoint, or the fresh pre-seeded state.
     let mut shards: Vec<ShardState> = match checkpoint {

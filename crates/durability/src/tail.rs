@@ -163,6 +163,7 @@ pub fn read_tail(dir: &Path, cursor: &mut WalCursor, max_records: usize) -> io::
         cursor.offset = 0;
     }
     loop {
+        // lint: allow(unwrap) — cursor.segment is Some on this branch, checked above
         let seq = cursor.segment.expect("cursor bound above");
         let Some(position) = segments.iter().position(|&(s, _)| s == seq) else {
             if let Some(f) = fence {
@@ -223,6 +224,7 @@ pub fn read_tail(dir: &Path, cursor: &mut WalCursor, max_records: usize) -> io::
                 if &bytes[0..8] != SEGMENT_MAGIC {
                     return Err(corrupt(format!("segment {seq} has bad magic")));
                 }
+                // lint: allow(unwrap) — slice length fixed by the on-disk format
                 let stamped = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
                 if stamped != seq {
                     return Err(corrupt(format!(
@@ -243,6 +245,7 @@ pub fn read_tail(dir: &Path, cursor: &mut WalCursor, max_records: usize) -> io::
             match decode_record(&bytes[local..]) {
                 Ok((consumed, lsn, epoch, record)) => {
                     if old_lineage {
+                        // lint: allow(unwrap) — fence presence established by the enclosing branch
                         let f = fence.expect("old_lineage implies a fence");
                         if lsn >= f.fence_lsn && epoch < f.epoch {
                             // A deposed primary's residue at the fence cut:
@@ -288,6 +291,7 @@ pub fn read_tail(dir: &Path, cursor: &mut WalCursor, max_records: usize) -> io::
                     let avail = bytes.len() - local;
                     let needed = if avail >= 4 {
                         let len = u32::from_le_bytes(
+                            // lint: allow(unwrap) — slice length fixed by the on-disk format
                             bytes[local..local + 4].try_into().expect("4 bytes"),
                         );
                         (crate::record::FRAME_OVERHEAD as u64 + u64::from(len))
@@ -318,6 +322,7 @@ pub fn read_tail(dir: &Path, cursor: &mut WalCursor, max_records: usize) -> io::
             }
         }
         if rebind {
+            // lint: allow(unwrap) — fence presence established by the enclosing branch
             let f = fence.expect("rebind implies a fence");
             if rebind_to_new_lineage(cursor, f.start_segment, &segments) {
                 continue;

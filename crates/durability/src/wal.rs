@@ -40,7 +40,8 @@
 
 use crate::epoch::{read_epoch_marker, write_epoch_marker, EpochMarker};
 use crate::record::{decode_record, encode_record, WalRecord};
-use parking_lot::Mutex;
+use mvcc_analysis::lock_class;
+use mvcc_analysis::lockdep::TrackedMutex;
 use std::fs::{File, OpenOptions};
 use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -204,7 +205,7 @@ pub struct LogScan {
 impl LogScan {
     /// LSN the next appended record should get.
     pub fn next_lsn(&self) -> u64 {
-        self.records.last().map(|r| r.lsn + 1).unwrap_or(0)
+        self.records.last().map_or(0, |r| r.lsn + 1)
     }
 }
 
@@ -286,6 +287,7 @@ pub fn scan_log(dir: &Path) -> io::Result<LogScan> {
             match decode_record(&bytes[offset..]) {
                 Ok((consumed, lsn, epoch, record)) => {
                     if old_lineage {
+                        // lint: allow(unwrap) — fence presence established by the enclosing branch
                         let f = fence.expect("old_lineage implies a fence");
                         if lsn >= f.fence_lsn && epoch < f.epoch {
                             // A deposed primary's late append landed after
@@ -372,7 +374,7 @@ pub struct WalWriter {
     /// every record and segment header.  A marker with a higher epoch
     /// fences this writer.
     epoch: u64,
-    inner: Mutex<WalInner>,
+    inner: TrackedMutex<WalInner>,
 }
 
 impl std::fmt::Debug for WalWriter {
@@ -414,7 +416,7 @@ impl WalWriter {
                 ));
             }
         }
-        let epoch = marker.map(|m| m.epoch).unwrap_or(0);
+        let epoch = marker.map_or(0, |m| m.epoch);
         let scan = scan_log(dir)?;
         for seq in &scan.orphaned_segments {
             std::fs::remove_file(segment_path(dir, *seq))?;
@@ -457,14 +459,17 @@ impl WalWriter {
             dir: dir.to_path_buf(),
             mode,
             epoch,
-            inner: Mutex::new(WalInner {
-                writer: BufWriter::new(file),
-                segment_seq,
-                segment_bytes: segment_bytes.max(SEGMENT_HEADER as u64 + 1),
-                segment_bytes_written: written,
-                next_lsn: scan.next_lsn(),
-                scratch: Vec::with_capacity(4096),
-            }),
+            inner: TrackedMutex::new(
+                lock_class!("wal.writer"),
+                WalInner {
+                    writer: BufWriter::new(file),
+                    segment_seq,
+                    segment_bytes: segment_bytes.max(SEGMENT_HEADER as u64 + 1),
+                    segment_bytes_written: written,
+                    next_lsn: scan.next_lsn(),
+                    scratch: Vec::with_capacity(4096),
+                },
+            ),
         })
     }
 
@@ -498,13 +503,13 @@ impl WalWriter {
         );
         std::fs::create_dir_all(dir)?;
         let prev = read_epoch_marker(dir)?;
-        let new_epoch = prev.map(|m| m.epoch + 1).unwrap_or(1);
+        let new_epoch = prev.map_or(1, |m| m.epoch + 1);
         write_epoch_marker(
             dir,
             &EpochMarker {
                 epoch: new_epoch,
-                fence_lsn: prev.map(|m| m.fence_lsn).unwrap_or(u64::MAX),
-                start_segment: prev.map(|m| m.start_segment).unwrap_or(u64::MAX),
+                fence_lsn: prev.map_or(u64::MAX, |m| m.fence_lsn),
+                start_segment: prev.map_or(u64::MAX, |m| m.start_segment),
                 provisional: true,
             },
         )?;
@@ -531,10 +536,7 @@ impl WalWriter {
             }
         }
         let fence_lsn = scan.next_lsn();
-        let start_segment = list_segments(dir)?
-            .last()
-            .map(|&(seq, _)| seq + 1)
-            .unwrap_or(0);
+        let start_segment = list_segments(dir)?.last().map_or(0, |&(seq, _)| seq + 1);
         let path = segment_path(dir, start_segment);
         let mut file = OpenOptions::new()
             .create_new(true)
@@ -559,14 +561,17 @@ impl WalWriter {
             dir: dir.to_path_buf(),
             mode,
             epoch: new_epoch,
-            inner: Mutex::new(WalInner {
-                writer: BufWriter::new(file),
-                segment_seq: start_segment,
-                segment_bytes: segment_bytes.max(SEGMENT_HEADER as u64 + 1),
-                segment_bytes_written: SEGMENT_HEADER as u64,
-                next_lsn: fence_lsn,
-                scratch: Vec::with_capacity(4096),
-            }),
+            inner: TrackedMutex::new(
+                lock_class!("wal.writer"),
+                WalInner {
+                    writer: BufWriter::new(file),
+                    segment_seq: start_segment,
+                    segment_bytes: segment_bytes.max(SEGMENT_HEADER as u64 + 1),
+                    segment_bytes_written: SEGMENT_HEADER as u64,
+                    next_lsn: fence_lsn,
+                    scratch: Vec::with_capacity(4096),
+                },
+            ),
         })
     }
 

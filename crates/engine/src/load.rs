@@ -141,6 +141,7 @@ pub fn run_closed_loop_instrumented(
     durability: DurabilityConfig,
     telemetry: TelemetryMode,
 ) -> LoadReport {
+    // lint: allow(unwrap) — load harness: an invalid profile is a caller bug, fail fast
     profile.validate().expect("invalid load profile");
     let engine = Arc::new(Engine::new(
         kind,
@@ -175,10 +176,12 @@ pub fn run_closed_loop_instrumented(
 /// load on a crash-recovered engine (the engine's shard/entity topology
 /// must match the profile's).
 pub fn drive_closed_loop(engine: &Arc<Engine>, profile: &LoadProfile) -> Duration {
+    // lint: allow(unwrap) — load harness: an invalid profile is a caller bug, fail fast
     profile.validate().expect("invalid load profile");
     // Each worker claims `steps_per_transaction` ops from the shared
     // budget per transaction; the run ends when the budget runs dry.
     let budget = Arc::new(AtomicI64::new(profile.ops as i64));
+    // lint: allow(clock) — closed-loop harness measures wall-clock run duration
     let started = Instant::now();
     let mut workers = Vec::with_capacity(profile.threads);
     for worker_idx in 0..profile.threads {
@@ -225,6 +228,7 @@ pub fn drive_closed_loop(engine: &Arc<Engine>, profile: &LoadProfile) -> Duratio
         }));
     }
     for worker in workers {
+        // lint: allow(unwrap) — load harness: a panicked worker must fail the run
         worker.join().expect("worker panicked");
     }
     started.elapsed()

@@ -94,8 +94,8 @@ impl fmt::Display for AbortReason {
 
 /// Power-of-two commit-latency histogram: bucket 0 counts sub-µs commits
 /// and bucket `i > 0` counts latencies in `[2^(i-1), 2^i)` microseconds,
-/// so `2^i` is the inclusive upper bound of bucket `i` (what
-/// [`MetricsSnapshot::latency_percentile_us`] reports).
+/// so `2^i` is the inclusive upper bound of bucket `i` (the bound
+/// [`MetricsSnapshot::latency_us`] interpolates within).
 #[derive(Debug, Default)]
 struct LatencyHistogram {
     buckets: [AtomicU64; 32],
@@ -232,6 +232,7 @@ impl EngineMetrics {
     /// (and no clock read at all) when it is off.  Pair with
     /// [`EngineMetrics::record_stage_since`].
     pub fn stage_clock(&self) -> Option<Instant> {
+        // lint: allow(clock) — stage clock, sampled only when telemetry is on
         self.telemetry.as_ref().map(|_| Instant::now())
     }
 
@@ -248,6 +249,7 @@ impl EngineMetrics {
             tick.set(n);
             n & (BATCH_SAMPLE - 1) == 1
         });
+        // lint: allow(clock) — stage clock, sampled only when telemetry is on
         fire.then(Instant::now)
     }
 
@@ -625,48 +627,11 @@ impl MetricsSnapshot {
     }
 
     /// Interpolated commit-latency quantile in microseconds (`0 < q <=
-    /// 1`), or `None` when no commit has been recorded.  Unlike the
-    /// deprecated bucket-bound accessors below, this interpolates within
-    /// a log-linear bucket, so the worst-case overstatement is ~6%
-    /// instead of 2×.
+    /// 1`), or `None` when no commit has been recorded.  Interpolates
+    /// within a log-linear bucket, so the worst-case overstatement is
+    /// ~6% instead of the 2× a bucket upper bound would give.
     pub fn latency_us(&self, q: f64) -> Option<f64> {
         self.latency.quantile(q)
-    }
-
-    /// Approximate commit-latency quantile in microseconds: the upper
-    /// bound of the histogram bucket containing the `q`-quantile commit
-    /// (`q` in `[0, 1]`), or `None` when no commit has been recorded —
-    /// an empty histogram has no quantiles, and computing a rank target
-    /// against it (the old `.max(1.0)` floor) must not invent one.
-    #[deprecated(
-        since = "0.1.0",
-        note = "bucket upper bounds overstate quantiles by up to 2×; use `latency_us`"
-    )]
-    pub fn latency_quantile_us(&self, q: f64) -> Option<u64> {
-        let total: u64 = self.latency_buckets.iter().sum();
-        if total == 0 {
-            return None;
-        }
-        let target = ((total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (i, &count) in self.latency_buckets.iter().enumerate() {
-            seen += count;
-            if seen >= target {
-                return Some(1u64 << i);
-            }
-        }
-        Some(1u64 << (self.latency_buckets.len() - 1))
-    }
-
-    /// [`MetricsSnapshot::latency_quantile_us`] with empty histograms
-    /// reported as `0` (table-friendly form).
-    #[deprecated(
-        since = "0.1.0",
-        note = "bucket upper bounds overstate quantiles by up to 2×; use `latency_us`"
-    )]
-    pub fn latency_percentile_us(&self, q: f64) -> u64 {
-        #[allow(deprecated)]
-        self.latency_quantile_us(q).unwrap_or(0)
     }
 }
 
@@ -803,7 +768,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // the old accessor stays deprecated-but-tested
     fn latency_percentiles_track_buckets() {
         let m = EngineMetrics::new(1);
         // 9 fast commits, one slow one.
@@ -812,36 +776,35 @@ mod tests {
         }
         m.record_commit(Duration::from_millis(2));
         let s = m.snapshot();
-        let p50 = s.latency_percentile_us(0.50);
-        let p99 = s.latency_percentile_us(0.99);
-        assert!(p50 <= 8, "p50 bucket bound {p50}");
-        assert!(p99 >= 2048, "p99 bucket bound {p99}");
+        let p50 = s.latency_us(0.50).unwrap();
+        let p99 = s.latency_us(0.99).unwrap();
+        assert!(p50 <= 8.0, "p50 {p50}");
+        assert!(p99 >= 1024.0, "p99 {p99}");
         assert!(p50 <= p99);
     }
 
     #[test]
-    #[allow(deprecated)] // the old accessor stays deprecated-but-tested
     fn quantiles_of_an_empty_histogram_are_none_not_invented() {
         // Regression: the rank target used to be floored to 1 even with no
         // samples, which let a sparse/empty histogram report a quantile it
         // never observed.  Before any commit is recorded every quantile is
-        // None (0 in the table-friendly form).
+        // None.
         let snap = EngineMetrics::new(1).snapshot();
         for q in [0.0, 0.5, 0.99, 1.0] {
-            assert_eq!(snap.latency_quantile_us(q), None, "q={q}");
-            assert_eq!(snap.latency_percentile_us(q), 0, "q={q}");
+            assert_eq!(snap.latency_us(q), None, "q={q}");
         }
-        // One sample: every quantile collapses onto its bucket.
+        // One sample: every quantile collapses into its bucket, `(2, 4]`
+        // for a 3 µs commit.
         let m = EngineMetrics::new(1);
         m.record_commit(Duration::from_micros(3));
         let snap = m.snapshot();
         for q in [0.0, 0.5, 1.0] {
-            assert_eq!(snap.latency_quantile_us(q), Some(4), "q={q}");
+            let v = snap.latency_us(q).unwrap();
+            assert!(v > 2.0 && v <= 4.0, "q={q} v={v}");
         }
     }
 
     #[test]
-    #[allow(deprecated)] // the old accessor stays deprecated-but-tested
     fn absurd_latencies_saturate_into_the_top_bucket() {
         // Regression: `as_micros() as u64` silently truncated u128 → u64,
         // so a duration of exactly 2^64 µs wrapped to 0 and was filed as a
@@ -852,7 +815,8 @@ mod tests {
         let snap = m.snapshot();
         assert_eq!(snap.latency_buckets[31], 2, "both land in the top bucket");
         assert_eq!(snap.latency_buckets[0], 0, "nothing wrapped around");
-        assert_eq!(snap.latency_quantile_us(0.5), Some(1u64 << 31));
+        let p50 = snap.latency_us(0.5).unwrap();
+        assert!(p50 >= (1u64 << 30) as f64, "median stays in the top bucket");
     }
 
     #[test]
@@ -918,19 +882,16 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     fn interpolated_quantiles_fix_the_bucket_bound_overstatement() {
         // Regression for the display satellite: a 1000 µs commit used to
         // be reported as "p99 ≤ 1024" (the power-of-two bucket bound;
         // up to 2× high at the top of a decade).  The log-linear
-        // histogram interpolates to 1008 — within 1%.  The old accessor
-        // still answers (deprecated-but-tested).
+        // histogram interpolates to 1008 — within 1%.
         let m = EngineMetrics::new(1);
         m.record_commit(Duration::from_micros(1000));
         let s = m.snapshot();
         let fine = s.latency_us(0.99).unwrap();
         assert!((fine - 1008.0).abs() < 1.0, "interpolated p99 = {fine}");
-        assert_eq!(s.latency_quantile_us(0.99), Some(1024));
         let text = s.to_string();
         assert!(text.contains("latency (µs, interpolated)"), "{text}");
         assert!(text.contains("p99=1008"), "{text}");

@@ -44,11 +44,12 @@ use crate::metrics::EngineMetrics;
 use crate::session::History;
 use crate::shard::ShardedStore;
 use bytes::Bytes;
+use mvcc_analysis::lock_class;
+use mvcc_analysis::lockdep::TrackedMutex;
 use mvcc_core::{EntityId, Step, TxId, VersionSource};
 use mvcc_durability::{is_fence_error, CommitEntry, WalRecord, WalWriter};
 use mvcc_store::{StoreError, TxHandle};
 use mvcc_telemetry::{EventKind, Stage};
-use parking_lot::Mutex;
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -180,8 +181,8 @@ pub(crate) struct HistoryLog {
     /// tests keep the default unbounded log (a truncated history cannot
     /// be classified).
     capacity: Option<usize>,
-    admitted: Mutex<AdmittedLog>,
-    committed: Mutex<BTreeSet<TxId>>,
+    admitted: TrackedMutex<AdmittedLog>,
+    committed: TrackedMutex<BTreeSet<TxId>>,
 }
 
 /// The admitted-step buffer plus its drop high-water mark.
@@ -196,8 +197,11 @@ impl HistoryLog {
         HistoryLog {
             record,
             capacity,
-            admitted: Mutex::new(AdmittedLog::default()),
-            committed: Mutex::new(BTreeSet::new()),
+            admitted: TrackedMutex::new(
+                lock_class!("engine.history-admitted"),
+                AdmittedLog::default(),
+            ),
+            committed: TrackedMutex::new(lock_class!("engine.history-committed"), BTreeSet::new()),
         }
     }
 
@@ -265,7 +269,7 @@ struct StepRequest {
     /// logs the transaction's begin record with it (merging the two keeps
     /// session begin off the WAL mutex entirely).
     log_begin: bool,
-    outcome: Mutex<Option<StepOutcome>>,
+    outcome: TrackedMutex<Option<StepOutcome>>,
 }
 
 /// The WAL record for one admitted step.
@@ -289,7 +293,7 @@ fn step_record(step: Step, value: Option<&Bytes>) -> WalRecord {
 struct CommitRequest {
     tx: TxId,
     begun_shards: Vec<bool>,
-    outcome: Mutex<Option<CommitOutcome>>,
+    outcome: TrackedMutex<Option<CommitOutcome>>,
 }
 
 /// Everything that must change atomically with a certifier ruling on one
@@ -430,20 +434,23 @@ impl AdmittedBatch {
 /// One admission lane: a request queue plus the state its drain leader
 /// rules under.
 struct Lane {
-    queue: Mutex<Vec<Arc<StepRequest>>>,
-    state: Mutex<LaneState>,
+    queue: TrackedMutex<Vec<Arc<StepRequest>>>,
+    state: TrackedMutex<LaneState>,
 }
 
 impl Lane {
     fn new(certifier: Box<dyn Certifier>) -> Self {
         Lane {
-            queue: Mutex::new(Vec::new()),
-            state: Mutex::new(LaneState {
-                certifier,
-                committed: BTreeSet::new(),
-                write_chains: HashMap::new(),
-                recovered_base: HashMap::new(),
-            }),
+            queue: TrackedMutex::new(lock_class!("engine.lane-queue"), Vec::new()),
+            state: TrackedMutex::new(
+                lock_class!("engine.lane-state"),
+                LaneState {
+                    certifier,
+                    committed: BTreeSet::new(),
+                    write_chains: HashMap::new(),
+                    recovered_base: HashMap::new(),
+                },
+            ),
         }
     }
 }
@@ -452,8 +459,8 @@ impl Lane {
 /// holds while applying a batch (also what makes cross-shard
 /// first-committer-wins validate+commit atomic against other committers).
 struct CommitLane {
-    queue: Mutex<Vec<Arc<CommitRequest>>>,
-    drain: Mutex<()>,
+    queue: TrackedMutex<Vec<Arc<CommitRequest>>>,
+    drain: TrackedMutex<()>,
 }
 
 /// The admission pipeline: admission lanes (one, or one per shard) plus
@@ -462,6 +469,17 @@ pub(crate) struct AdmissionPipeline {
     mode: AdmissionMode,
     lanes: Vec<Lane>,
     commit: CommitLane,
+    /// Cross-lane publication order: with per-shard lanes (snapshot
+    /// isolation), two lanes may rule batches concurrently, and the
+    /// history append and WAL append of [`Self::finish_admission`] are
+    /// atomic only under each lane's own lock.  Without a shared fence
+    /// the two logs can interleave the lanes' batches differently —
+    /// harmless to SI's class (which claims nothing about cross-entity
+    /// order) but fatal to replication, where the shipped projection must
+    /// equal the history projection step for step.  Held across both
+    /// appends only when more than one lane exists; a single global lane
+    /// already serializes publication.
+    publish: TrackedMutex<()>,
     /// Cached [`Certifier::validates_writes_at_commit`] (a static property
     /// of the certifier kind; caching keeps it off the commit hot path).
     validates_at_commit: bool,
@@ -533,9 +551,10 @@ impl AdmissionPipeline {
             mode,
             lanes,
             commit: CommitLane {
-                queue: Mutex::new(Vec::new()),
-                drain: Mutex::new(()),
+                queue: TrackedMutex::new(lock_class!("engine.commit-queue"), Vec::new()),
+                drain: TrackedMutex::new(lock_class!("engine.commit-drain"), ()),
             },
+            publish: TrackedMutex::new(lock_class!("engine.publish-order"), ()),
             validates_at_commit,
             wal,
             fsync_window,
@@ -670,6 +689,7 @@ impl AdmissionPipeline {
                             history,
                             metrics,
                         )
+                        // lint: allow(unwrap) — leaders fill every batch slot before release
                         .expect("own step is part of the batch");
                 }
                 // Slow path: park the step and contend for the lane.
@@ -686,7 +706,7 @@ impl AdmissionPipeline {
                     step,
                     value: value.cloned(),
                     log_begin,
-                    outcome: Mutex::new(None),
+                    outcome: TrackedMutex::new(lock_class!("engine.step-slot"), None),
                 });
                 lane.queue.lock().push(Arc::clone(&request));
                 loop {
@@ -731,7 +751,7 @@ impl AdmissionPipeline {
             // Uncontended: a batch of exactly our own step, ruled without
             // building batch vectors.
             let (step, value, log_begin) = own?;
-            let certify_clock = trace.map(|_| Instant::now());
+            let certify_clock = trace.map(|_| Instant::now()); // lint: allow(clock) — sampled stage trace
             let admission = state.certifier.admit(step);
             metrics.record_stage_since(Stage::Certify, certify_clock);
             let mut admitted = AdmittedBatch::new(1, self.wal.is_some());
@@ -751,7 +771,7 @@ impl AdmissionPipeline {
         if let Some((step, _, _)) = own {
             steps.push(step);
         }
-        let certify_clock = trace.map(|_| Instant::now());
+        let certify_clock = trace.map(|_| Instant::now()); // lint: allow(clock) — sampled stage trace
         let admissions = state.certifier.admit_batch(&steps);
         metrics.record_stage_since(Stage::Certify, certify_clock);
         debug_assert_eq!(admissions.len(), steps.len());
@@ -802,6 +822,12 @@ impl AdmissionPipeline {
         metrics: &EngineMetrics,
     ) {
         self.chaos_point(KillSite::AdmissionDrain, metrics);
+        // With per-shard lanes the lane lock alone doesn't order this
+        // batch's two appends against another lane's: fence them so the
+        // history and the WAL record the same cross-lane interleaving
+        // (see the `publish` field).  Single-lane pipelines skip the
+        // acquisition — the lane lock already is the publication order.
+        let _publish = (self.lanes.len() > 1).then(|| self.publish.lock());
         history.append_batch(&admitted.steps);
         if let (Some(wal), Some(records)) = (&self.wal, admitted.wal_records) {
             if !records.is_empty() {
@@ -836,7 +862,7 @@ impl AdmissionPipeline {
                 let request = CommitRequest {
                     tx,
                     begun_shards: begun_shards.to_vec(),
-                    outcome: Mutex::new(None),
+                    outcome: TrackedMutex::new(lock_class!("engine.commit-slot"), None),
                 };
                 // Matches the PR 2 baseline: only first-committer-wins
                 // commits serialize on the commit lock (validate+commit
@@ -851,6 +877,7 @@ impl AdmissionPipeline {
                     .outcome
                     .lock()
                     .take()
+                    // lint: allow(unwrap) — process_commit_batch fills every slot
                     .expect("commit batch fills every slot");
                 outcome
             }
@@ -867,7 +894,7 @@ impl AdmissionPipeline {
                         let own = CommitRequest {
                             tx,
                             begun_shards: begun_shards.to_vec(),
-                            outcome: Mutex::new(None),
+                            outcome: TrackedMutex::new(lock_class!("engine.commit-slot"), None),
                         };
                         let mut refs: Vec<&CommitRequest> =
                             queued.iter().map(Arc::as_ref).collect();
@@ -880,6 +907,7 @@ impl AdmissionPipeline {
                             .outcome
                             .lock()
                             .take()
+                            // lint: allow(unwrap) — process_commit_batch fills every slot
                             .expect("commit batch fills every slot");
                         return outcome;
                     }
@@ -887,7 +915,7 @@ impl AdmissionPipeline {
                 let request = Arc::new(CommitRequest {
                     tx,
                     begun_shards: begun_shards.to_vec(),
-                    outcome: Mutex::new(None),
+                    outcome: TrackedMutex::new(lock_class!("engine.commit-slot"), None),
                 });
                 self.commit.queue.lock().push(Arc::clone(&request));
                 if self.fsync_window {
@@ -1048,6 +1076,7 @@ impl AdmissionPipeline {
             .filter(|(_, o)| matches!(o, CommitOutcome::Committed { .. }))
             .map(|(r, _)| r.tx)
             .collect();
+        let mut batch_lsn = None;
         // Durability point: one commit record for the whole batch, one
         // flush (at most one fsync), before anyone can learn of the
         // commits.
@@ -1064,7 +1093,7 @@ impl AdmissionPipeline {
                     })
                     .collect();
                 self.chaos_point(KillSite::GroupCommitFlush, metrics);
-                let flush_clock = trace.map(|_| Instant::now());
+                let flush_clock = trace.map(|_| Instant::now()); // lint: allow(clock) — sampled stage trace
                 let receipt = match wal.append_and_flush(&[WalRecord::Commit { entries }]) {
                     Ok(receipt) => receipt,
                     Err(e) if is_fence_error(&e) => {
@@ -1100,6 +1129,14 @@ impl AdmissionPipeline {
                 }
                 if let Some(lsn) = receipt.last_lsn {
                     self.note_durable(lsn);
+                    // hb claim "WAL-append-before-notify": this mark and
+                    // the `certifier_notify` mark below share the batch's
+                    // LSN as key; the analysis gate asserts the order —
+                    // and, through the tracked outcome-slot handoff, that
+                    // a session observing its commit is ordered after the
+                    // flush (durability is prefix-shaped, PR 4).
+                    mvcc_analysis::hb::probe("engine.wal_append", lsn);
+                    batch_lsn = Some(lsn);
                     // Every member shares the batch's one commit record.
                     for outcome in &mut outcomes {
                         if let CommitOutcome::Committed { wal_lsn } = outcome {
@@ -1113,6 +1150,9 @@ impl AdmissionPipeline {
         // Certifier + history bookkeeping for the transactions that made
         // it, after their shard effects are fully applied.
         if !committed.is_empty() {
+            if let Some(lsn) = batch_lsn {
+                mvcc_analysis::hb::probe("engine.certifier_notify", lsn);
+            }
             for lane in &self.lanes {
                 let mut state = lane.state.lock();
                 for &tx in &committed {

@@ -265,17 +265,20 @@ impl Engine {
     pub fn new(kind: CertifierKind, config: EngineConfig) -> Self {
         let wal = config.durability.is_on().then(|| {
             let dir = &config.durability.dir;
+            // lint: allow(unwrap) — startup path: a failed WAL directory create is fatal
             std::fs::create_dir_all(dir).expect("create WAL directory");
             assert!(
+                // lint: allow(unwrap) — startup path: an unreadable WAL directory is fatal
                 list_segments(dir).expect("list WAL directory").is_empty(),
                 "durability dir {dir:?} already holds a WAL; use Engine::recover to resume it"
             );
             Arc::new(
                 WalWriter::open(dir, config.durability.mode, config.durability.segment_bytes)
+                    // lint: allow(unwrap) — startup path: a failed fresh-log open is fatal
                     .expect("open WAL for appending"),
             )
         });
-        let epoch = wal.as_ref().map(|w| w.epoch()).unwrap_or(0);
+        let epoch = wal.as_ref().map_or(0, |w| w.epoch());
         let metrics = Arc::new(EngineMetrics::with_telemetry(
             config.shards,
             config.telemetry.is_on().then(Telemetry::new),
@@ -298,6 +301,7 @@ impl Engine {
             durability: config.durability,
             checkpoint_seq: AtomicU64::new(0),
             epoch,
+            // lint: allow(clock) — engine uptime anchor for the flight recorder's timeline
             opened_at: Instant::now(),
         }
     }
@@ -360,6 +364,20 @@ impl Engine {
         );
         let dir = config.durability.dir.clone();
         std::fs::create_dir_all(&dir)?;
+        // Fence-then-recover, declared for the lock-order checker: the
+        // promoted writer's lock exists (and the epoch fence has landed)
+        // *before* any store lock of the new engine, so recovery-time store
+        // traffic is sequenced after the fence rather than nested inside a
+        // log append.  The declaration documents the sanctioned direction —
+        // the runtime never holds `wal.writer` while taking store locks, and
+        // recovery never appends while seeding chains.
+        mvcc_analysis::lockdep::declare_order(
+            "wal.writer",
+            "store.chains",
+            "promotion fences the log epoch (promote_open) before recovery \
+             replays the healed prefix into fresh stores; the deposed \
+             primary's appends are refused from the fence onward",
+        );
         let wal = Arc::new(WalWriter::promote_open(
             &dir,
             config.durability.mode,
@@ -389,9 +407,7 @@ impl Engine {
         );
         let dir = config.durability.dir.clone();
         std::fs::create_dir_all(&dir)?;
-        let current = mvcc_durability::read_epoch_marker(&dir)?
-            .map(|m| m.epoch)
-            .unwrap_or(0);
+        let current = mvcc_durability::read_epoch_marker(&dir)?.map_or(0, |m| m.epoch);
         if current <= owned_epoch {
             return Self::recover(kind, config);
         }
@@ -421,7 +437,7 @@ impl Engine {
         wal: Option<Arc<WalWriter>>,
         recovered: RecoveredState,
     ) -> (Arc<Self>, RecoveryReport) {
-        let epoch = wal.as_ref().map(|w| w.epoch()).unwrap_or(0);
+        let epoch = wal.as_ref().map_or(0, |w| w.epoch());
         Self::assemble_recovered_at(kind, config, wal, recovered, epoch)
     }
 
@@ -484,6 +500,7 @@ impl Engine {
             durability: config.durability,
             checkpoint_seq: AtomicU64::new(report.checkpoint_seq.unwrap_or(0)),
             epoch,
+            // lint: allow(clock) — engine uptime anchor for the flight recorder's timeline
             opened_at: Instant::now(),
         });
         (engine, report)
@@ -502,6 +519,7 @@ impl Engine {
         let wal = self
             .wal
             .as_ref()
+            // lint: allow(unwrap) — documented panic: checkpoint requires durability on
             .expect("checkpoint requires durability to be on");
         // The cut runs under the group-commit drain lock: no commit can
         // then sit between its shard apply and its WAL record append, and
@@ -513,7 +531,7 @@ impl Engine {
             &self.metrics,
             || -> std::io::Result<(u64, Vec<ShardCheckpoint>)> {
                 wal.flush()?;
-                let replay_from_lsn = wal.last_lsn().map(|lsn| lsn + 1).unwrap_or(0);
+                let replay_from_lsn = wal.last_lsn().map_or(0, |lsn| lsn + 1);
                 let shards = self
                     .shards
                     .iter()
@@ -656,6 +674,7 @@ impl Engine {
             // The begin record rides along with the first admitted step's
             // WAL append (keeping `begin` itself off the WAL mutex).
             wal_begin_pending: self.wal.is_some(),
+            // lint: allow(clock) — commit latency measurement feeding EngineMetrics
             started: Instant::now(),
         }
     }

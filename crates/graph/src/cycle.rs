@@ -42,6 +42,7 @@ pub fn find_cycle(graph: &DiGraph) -> Option<Vec<NodeId>> {
                         let mut cycle = vec![*node];
                         let mut cur = *node;
                         while cur != next {
+                            // lint: allow(unwrap) — parent[] is set for every node on the walked path
                             cur = parent[cur.index()].expect("grey nodes have parents");
                             cycle.push(cur);
                         }

@@ -57,6 +57,7 @@ pub fn solve_polygraph(polygraph: &Polygraph) -> Option<PolygraphSolution> {
     if backtrack(polygraph, &base, &mut assignment, 0) {
         let selection: Vec<bool> = assignment.into_iter().map(|a| a.unwrap_or(true)).collect();
         let graph = polygraph.compatible_graph(&selection);
+        // lint: allow(unwrap) — acyclicity was just verified, a topo order exists
         let order = topological_sort(&graph).expect("backtracking returned a cyclic selection");
         Some(PolygraphSolution {
             selection,

@@ -50,6 +50,7 @@ pub fn strongly_connected_components(graph: &DiGraph) -> Vec<Vec<NodeId>> {
                     low[node_i] = low[node_i].min(index[next.index()]);
                 }
             } else {
+                // lint: allow(unwrap) — call stack is non-empty inside the loop by construction
                 let (node, _, _) = call.pop().expect("non-empty");
                 if let Some((parent, _, _)) = call.last() {
                     let p = parent.index();
@@ -58,6 +59,7 @@ pub fn strongly_connected_components(graph: &DiGraph) -> Vec<Vec<NodeId>> {
                 if low[node.index()] == index[node.index()] {
                     let mut component = Vec::new();
                     loop {
+                        // lint: allow(unwrap) — Tarjan invariant: the component root is on the stack
                         let w = stack.pop().expect("stack invariant");
                         on_stack[w.index()] = false;
                         component.push(w);

@@ -183,9 +183,8 @@ impl CnfFormula {
                 clause.iter().find(|l| assignment[l.var].is_none()).copied()
             }
         });
-        let lit = match next {
-            None => return true, // every clause satisfied
-            Some(l) => l,
+        let Some(lit) = next else {
+            return true; // every clause satisfied
         };
         for value in [lit.positive, !lit.positive] {
             let snapshot = assignment.clone();

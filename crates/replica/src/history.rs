@@ -13,8 +13,9 @@
 //! [`ReplicaHistory::combined_schedule`] the offline checkers certify is
 //! that merge.
 
+use mvcc_analysis::lock_class;
+use mvcc_analysis::lockdep::TrackedMutex;
 use mvcc_core::{Schedule, Step, TxId};
-use parking_lot::Mutex;
 use std::collections::BTreeSet;
 
 /// One read-only transaction served by the replica.
@@ -49,7 +50,7 @@ struct HistoryInner {
 #[derive(Debug)]
 pub struct ReplicaHistory {
     record: bool,
-    inner: Mutex<HistoryInner>,
+    inner: TrackedMutex<HistoryInner>,
 }
 
 impl ReplicaHistory {
@@ -58,7 +59,7 @@ impl ReplicaHistory {
     pub fn new(record: bool) -> Self {
         ReplicaHistory {
             record,
-            inner: Mutex::new(HistoryInner::default()),
+            inner: TrackedMutex::new(lock_class!("replica.history"), HistoryInner::default()),
         }
     }
 

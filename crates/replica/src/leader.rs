@@ -34,9 +34,10 @@
 
 use crate::replica::Replica;
 use crate::router::WriteRouter;
+use mvcc_analysis::lock_class;
+use mvcc_analysis::lockdep::TrackedMutex;
 use mvcc_engine::{CertifierKind, EngineConfig, EngineMetrics};
 use mvcc_telemetry::{EventKind, Stage};
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -76,7 +77,7 @@ pub struct LeaderDriver {
     stop: Arc<AtomicBool>,
     heartbeat: Arc<AtomicU64>,
     promotions: Arc<AtomicU64>,
-    last_error: Arc<Mutex<Option<String>>>,
+    last_error: Arc<TrackedMutex<Option<String>>>,
     handle: Option<JoinHandle<()>>,
 }
 
@@ -96,7 +97,7 @@ impl LeaderDriver {
         let stop = Arc::new(AtomicBool::new(false));
         let heartbeat = Arc::new(AtomicU64::new(0));
         let promotions = Arc::new(AtomicU64::new(0));
-        let last_error = Arc::new(Mutex::new(None));
+        let last_error = Arc::new(TrackedMutex::new(lock_class!("replica.leader-error"), None));
         let stop_flag = Arc::clone(&stop);
         let beat = Arc::clone(&heartbeat);
         let promoted_count = Arc::clone(&promotions);
@@ -106,6 +107,7 @@ impl LeaderDriver {
             // When the heartbeat last moved — the failover timeline's
             // zero point (Stage::FailoverDetect measures how long the
             // primary was silent before the driver declared it dead).
+            // lint: allow(clock) — lease timing is the leader driver's whole job
             let mut last_move = Instant::now();
             let mut quiet = 0u32;
             let telemetry = config.metrics.as_deref();
@@ -114,6 +116,7 @@ impl LeaderDriver {
                 let now = beat.load(Ordering::Acquire);
                 if now != last_seen {
                     last_seen = now;
+                    // lint: allow(clock) — lease timing is the leader driver's whole job
                     last_move = Instant::now();
                     quiet = 0;
                     continue;
@@ -215,7 +218,9 @@ impl LeaderDriver {
     /// Blocks until a promotion lands or the deadline passes; `true` on
     /// promotion.  Test/ops convenience — the driver works without it.
     pub fn wait_for_promotion(&self, deadline: Duration) -> bool {
+        // lint: allow(clock) — test-support deadline helper
         let until = std::time::Instant::now() + deadline;
+        // lint: allow(clock) — test-support deadline helper
         while std::time::Instant::now() < until {
             if self.promotions() > 0 {
                 return true;

@@ -224,7 +224,7 @@ impl ReadRouter {
     /// The primary's durable horizon as a watermark (one past the newest
     /// flushed LSN; 0 before anything flushed or with durability off).
     fn durable_next(&self) -> u64 {
-        self.primary.durable_lsn().map(|l| l + 1).unwrap_or(0)
+        self.primary.durable_lsn().map_or(0, |l| l + 1)
     }
 
     /// Opens a read-only session under `policy`.
@@ -259,6 +259,7 @@ impl ReadRouter {
         }
         let metrics = self.primary.metrics();
         let start = self.next.fetch_add(1, Ordering::Relaxed);
+        // lint: allow(clock) — bounded-lag routing waits on wall time by definition
         let began = Instant::now();
         let mut waited = false;
         loop {
@@ -314,7 +315,7 @@ impl ReadRouter {
 /// itself fences those at commit ([`mvcc_engine::EngineError::Deposed`]);
 /// the router only keeps *new* sessions off known-deposed engines.
 pub struct WriteRouter {
-    primary: parking_lot::Mutex<Arc<Engine>>,
+    primary: mvcc_analysis::lockdep::TrackedMutex<Arc<Engine>>,
     /// Promotions actually installed (epoch-monotone swaps).
     installs: AtomicUsize,
 }
@@ -332,7 +333,10 @@ impl WriteRouter {
     /// Builds a router with `primary` as the incumbent.
     pub fn new(primary: Arc<Engine>) -> Self {
         WriteRouter {
-            primary: parking_lot::Mutex::new(primary),
+            primary: mvcc_analysis::lockdep::TrackedMutex::new(
+                mvcc_analysis::lock_class!("replica.router-primary"),
+                primary,
+            ),
             installs: AtomicUsize::new(0),
         }
     }

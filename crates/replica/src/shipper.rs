@@ -12,7 +12,8 @@
 //! protect readers either way).
 
 use crate::replica::Replica;
-use parking_lot::Mutex;
+use mvcc_analysis::lock_class;
+use mvcc_analysis::lockdep::TrackedMutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -43,7 +44,7 @@ impl Default for ShipperConfig {
 pub struct LogShipper {
     stop: Arc<AtomicBool>,
     errors: Arc<AtomicU64>,
-    last_error: Arc<Mutex<Option<String>>>,
+    last_error: Arc<TrackedMutex<Option<String>>>,
     handle: Option<JoinHandle<()>>,
 }
 
@@ -53,7 +54,10 @@ impl LogShipper {
     pub fn start(replica: Arc<Replica>, config: ShipperConfig) -> Self {
         let stop = Arc::new(AtomicBool::new(false));
         let errors = Arc::new(AtomicU64::new(0));
-        let last_error = Arc::new(Mutex::new(None));
+        let last_error = Arc::new(TrackedMutex::new(
+            lock_class!("replica.shipper-error"),
+            None,
+        ));
         let stop_flag = Arc::clone(&stop);
         let error_count = Arc::clone(&errors);
         let error_slot = Arc::clone(&last_error);

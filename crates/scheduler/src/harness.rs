@@ -112,6 +112,7 @@ pub fn run_abort(scheduler: &mut dyn Scheduler, schedule: &Schedule) -> AbortOut
                 .entry(step.tx)
                 .or_default()
                 .push((pos, step));
+            // lint: allow(unwrap) — remaining is seeded with every tx before the loop
             *remaining.get_mut(&step.tx).expect("tx known") -= 1;
         } else {
             aborted.insert(step.tx);

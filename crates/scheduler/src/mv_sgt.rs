@@ -163,7 +163,7 @@ impl MvSgtScheduler {
         let mut state: HashMap<TxId, u8> = HashMap::new();
         fn dfs(n: TxId, adj: &HashMap<TxId, Vec<TxId>>, state: &mut HashMap<TxId, u8>) -> bool {
             state.insert(n, 1);
-            for &m in adj.get(&n).map(|v| v.as_slice()).unwrap_or(&[]) {
+            for &m in adj.get(&n).map_or(&[][..], |v| v.as_slice()) {
                 match state.get(&m) {
                     Some(1) => return false,
                     Some(_) => {}

@@ -77,6 +77,7 @@ impl Scheduler for MvtoScheduler {
                     .iter_mut()
                     .filter(|v| v.write_ts <= ts)
                     .max_by_key(|v| v.write_ts)
+                    // lint: allow(unwrap) — MVTO invariant: the read version's writer is tracked
                     .expect("the initial version always qualifies");
                 chosen.max_read_ts = chosen.max_read_ts.max(ts);
                 let read_from = match chosen.writer {
@@ -95,8 +96,7 @@ impl Scheduler for MvtoScheduler {
                     .iter()
                     .filter(|v| v.write_ts < ts)
                     .max_by_key(|v| v.write_ts)
-                    .map(|v| v.max_read_ts > ts)
-                    .unwrap_or(false);
+                    .is_some_and(|v| v.max_read_ts > ts);
                 if conflict {
                     return Decision::Reject;
                 }

@@ -56,15 +56,14 @@ impl Scheduler for TimestampScheduler {
         let entry = self.entities.entry(step.entity).or_default();
         match step.action {
             Action::Read => {
-                if entry.max_write.map(|w| ts < w).unwrap_or(false) {
+                if entry.max_write.is_some_and(|w| ts < w) {
                     return Decision::Reject;
                 }
                 entry.max_read = Some(entry.max_read.map_or(ts, |r| r.max(ts)));
                 Decision::ACCEPT
             }
             Action::Write => {
-                if entry.max_read.map(|r| ts < r).unwrap_or(false)
-                    || entry.max_write.map(|w| ts < w).unwrap_or(false)
+                if entry.max_read.is_some_and(|r| ts < r) || entry.max_write.is_some_and(|w| ts < w)
                 {
                     return Decision::Reject;
                 }
@@ -94,7 +93,7 @@ impl Scheduler for TimestampScheduler {
                 let ts = timestamps[i];
                 decisions[i] = match steps[i].action {
                     Action::Read => {
-                        if entry.max_write.map(|w| ts < w).unwrap_or(false) {
+                        if entry.max_write.is_some_and(|w| ts < w) {
                             Decision::Reject
                         } else {
                             entry.max_read = Some(entry.max_read.map_or(ts, |r| r.max(ts)));
@@ -102,8 +101,8 @@ impl Scheduler for TimestampScheduler {
                         }
                     }
                     Action::Write => {
-                        if entry.max_read.map(|r| ts < r).unwrap_or(false)
-                            || entry.max_write.map(|w| ts < w).unwrap_or(false)
+                        if entry.max_read.is_some_and(|r| ts < r)
+                            || entry.max_write.is_some_and(|w| ts < w)
                         {
                             Decision::Reject
                         } else {

@@ -64,15 +64,13 @@ impl TwoPhaseLockingScheduler {
     }
 
     fn can_lock(&self, tx: TxId, entity: EntityId, action: Action) -> bool {
-        let state = match self.locks.get(&entity) {
-            None => return true,
-            Some(s) => s,
+        let Some(state) = self.locks.get(&entity) else {
+            return true;
         };
         match action {
-            Action::Read => state.exclusive.map(|h| h == tx).unwrap_or(true),
+            Action::Read => state.exclusive.map_or(true, |h| h == tx),
             Action::Write => {
-                state.exclusive.map(|h| h == tx).unwrap_or(true)
-                    && state.shared.iter().all(|&h| h == tx)
+                state.exclusive.map_or(true, |h| h == tx) && state.shared.iter().all(|&h| h == tx)
             }
         }
     }

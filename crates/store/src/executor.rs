@@ -74,6 +74,7 @@ pub fn execute_full_schedule(
             store.write(handle, step.entity, value_for(step.tx, pos))?;
         }
         operations += 1;
+        // lint: allow(unwrap) — remaining is seeded with every tx before the loop
         let left = remaining.get_mut(&step.tx).expect("tx belongs to system");
         *left -= 1;
         if *left == 0 {
@@ -140,8 +141,7 @@ pub fn execute_with_scheduler(
                     store
                         .reads_of(step.tx)
                         .last()
-                        .map(|&(_, w)| w)
-                        .unwrap_or(TxId::INITIAL)
+                        .map_or(TxId::INITIAL, |&(_, w)| w)
                 }),
             };
             match result {
@@ -163,6 +163,7 @@ pub fn execute_with_scheduler(
             store.write(handle, step.entity, value_for(step.tx, pos))?;
         }
         operations += 1;
+        // lint: allow(unwrap) — remaining is seeded with every tx before the loop
         let left = remaining.get_mut(&step.tx).expect("tx belongs to system");
         *left -= 1;
         if *left == 0 {

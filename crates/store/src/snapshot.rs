@@ -102,6 +102,7 @@ pub fn run_schedule_under_si(store: &MvStore, schedule: &Schedule) -> (Vec<TxId>
             continue;
         }
         observed.push((pos, step));
+        // lint: allow(unwrap) — remaining is seeded with every tx before the loop
         let left = remaining.get_mut(&step.tx).expect("known tx");
         *left -= 1;
         if *left == 0 {

@@ -7,16 +7,21 @@
 //! and abort.  A global commit counter provides the timestamps used by
 //! snapshot visibility and garbage collection.
 //!
-//! Concurrency: the store is guarded by a single [`parking_lot::RwLock`]
-//! around the chain map plus a mutex for transaction state, which is ample
+//! Concurrency: the store is guarded by a single tracked `RwLock` around
+//! the chain map plus a tracked mutex for transaction state, which is ample
 //! for the experiment workloads (the paper's contribution is the scheduling
 //! theory, not a lock-free engine); the API is `&self` so the store can be
-//! shared across threads by the bench harness.
+//! shared across threads by the bench harness.  All three locks are
+//! `mvcc-analysis` tracked types, so the store's internal order (`txs` →
+//! `commit-counter`, `txs` → `chains`) is continuously verified by the
+//! lockdep cycle check, and `begin`'s register-atomic-with-snapshot
+//! contract is an executed happens-before assertion.
 
 use crate::version_chain::VersionChain;
 use bytes::Bytes;
+use mvcc_analysis::lock_class;
+use mvcc_analysis::lockdep::{TrackedMutex, TrackedRwLock};
 use mvcc_core::{EntityId, TxId, VersionSource};
-use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -85,17 +90,27 @@ pub struct TxHandle {
 }
 
 /// The multiversion store.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MvStore {
-    chains: RwLock<BTreeMap<EntityId, VersionChain>>,
-    txs: Mutex<BTreeMap<TxId, TxRecord>>,
-    commit_counter: Mutex<u64>,
+    chains: TrackedRwLock<BTreeMap<EntityId, VersionChain>>,
+    txs: TrackedMutex<BTreeMap<TxId, TxRecord>>,
+    commit_counter: TrackedMutex<u64>,
+}
+
+impl Default for MvStore {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl MvStore {
     /// Creates an empty store.
     pub fn new() -> Self {
-        Self::default()
+        MvStore {
+            chains: TrackedRwLock::new(lock_class!("store.chains"), BTreeMap::new()),
+            txs: TrackedMutex::new(lock_class!("store.txs"), BTreeMap::new()),
+            commit_counter: TrackedMutex::new(lock_class!("store.commit-counter"), 0),
+        }
     }
 
     /// Creates a store with an initial version (value `initial`) for each of
@@ -134,6 +149,10 @@ impl MvStore {
             _ => {}
         }
         let snapshot_ts = *self.commit_counter.lock();
+        // hb claim "begin-atomic-with-snapshot": both probes fire inside
+        // the same `store.txs` critical section, which the analysis gate
+        // asserts via `require_same_critical_section`.
+        mvcc_analysis::hb::probe("store.begin_snapshot", u64::from(tx.0));
         txs.insert(
             tx,
             TxRecord {
@@ -143,6 +162,7 @@ impl MvStore {
                 read_set: Vec::new(),
             },
         );
+        mvcc_analysis::hb::probe("store.begin_registered", u64::from(tx.0));
         Ok(TxHandle { id: tx })
     }
 
@@ -286,10 +306,7 @@ impl MvStore {
         for &entity in &record.write_set {
             if let Some(chain) = chains.get(&entity) {
                 let conflict = chain.versions().iter().any(|v| {
-                    v.writer != tx.id
-                        && v.commit_ts
-                            .map(|ts| ts > record.snapshot_ts)
-                            .unwrap_or(false)
+                    v.writer != tx.id && v.commit_ts.is_some_and(|ts| ts > record.snapshot_ts)
                 });
                 if conflict {
                     let winner = chain
@@ -298,12 +315,9 @@ impl MvStore {
                         .rev()
                         .find(|v| {
                             v.writer != tx.id
-                                && v.commit_ts
-                                    .map(|ts| ts > record.snapshot_ts)
-                                    .unwrap_or(false)
+                                && v.commit_ts.is_some_and(|ts| ts > record.snapshot_ts)
                         })
-                        .map(|v| v.writer)
-                        .unwrap_or(TxId::INITIAL);
+                        .map_or(TxId::INITIAL, |v| v.writer);
                     return Err(StoreError::WriteConflict(entity, winner));
                 }
             }
@@ -329,10 +343,7 @@ impl MvStore {
             for &entity in &record.write_set {
                 if let Some(chain) = chains.get(&entity) {
                     let conflict = chain.versions().iter().any(|v| {
-                        v.writer != tx.id
-                            && v.commit_ts
-                                .map(|ts| ts > record.snapshot_ts)
-                                .unwrap_or(false)
+                        v.writer != tx.id && v.commit_ts.is_some_and(|ts| ts > record.snapshot_ts)
                     });
                     if conflict {
                         let winner = chain
@@ -341,12 +352,9 @@ impl MvStore {
                             .rev()
                             .find(|v| {
                                 v.writer != tx.id
-                                    && v.commit_ts
-                                        .map(|ts| ts > record.snapshot_ts)
-                                        .unwrap_or(false)
+                                    && v.commit_ts.is_some_and(|ts| ts > record.snapshot_ts)
                             })
-                            .map(|v| v.writer)
-                            .unwrap_or(TxId::INITIAL);
+                            .map_or(TxId::INITIAL, |v| v.writer);
                         record.status = TxStatus::Aborted;
                         drop(chains);
                         self.purge_writes(tx.id, &record.write_set.clone());
@@ -498,11 +506,7 @@ impl MvStore {
 
     /// Number of versions stored for `entity`.
     pub fn version_count(&self, entity: EntityId) -> usize {
-        self.chains
-            .read()
-            .get(&entity)
-            .map(|c| c.len())
-            .unwrap_or(0)
+        self.chains.read().get(&entity).map_or(0, |c| c.len())
     }
 
     /// Total number of versions across all entities.

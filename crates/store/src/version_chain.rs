@@ -101,8 +101,7 @@ impl VersionChain {
             .versions
             .iter()
             .rposition(|v| v.commit_ts.is_some_and(|t| t <= ts))
-            .map(|i| i + 1)
-            .unwrap_or(0);
+            .map_or(0, |i| i + 1);
         self.versions.insert(
             at,
             Version {
@@ -159,8 +158,7 @@ impl VersionChain {
     /// writes).
     pub fn visible_at(&self, snapshot_ts: u64, own: Option<TxId>) -> Option<&Version> {
         self.versions.iter().rev().find(|v| {
-            own.map(|tx| v.writer == tx).unwrap_or(false)
-                || v.commit_ts.map(|ts| ts <= snapshot_ts).unwrap_or(false)
+            own.is_some_and(|tx| v.writer == tx) || v.commit_ts.is_some_and(|ts| ts <= snapshot_ts)
         })
     }
 
@@ -191,9 +189,8 @@ impl VersionChain {
             .iter()
             .enumerate()
             .rev()
-            .find(|(_, v)| v.commit_ts.map(|ts| ts <= watermark).unwrap_or(false))
-            .map(|(i, _)| i)
-            .unwrap_or(0);
+            .find(|(_, v)| v.commit_ts.is_some_and(|ts| ts <= watermark))
+            .map_or(0, |(i, _)| i);
         if keep_from == 0 {
             return 0;
         }

@@ -15,7 +15,8 @@
 //! incident, not one per step), and a ring shared by readers has to
 //! serialize somewhere.  The hot per-step path never records events.
 
-use parking_lot::Mutex;
+use mvcc_analysis::lock_class;
+use mvcc_analysis::lockdep::TrackedMutex;
 use std::collections::VecDeque;
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -134,7 +135,7 @@ struct Ring {
 pub struct FlightRecorder {
     start: Instant,
     capacity: usize,
-    ring: Mutex<Ring>,
+    ring: TrackedMutex<Ring>,
 }
 
 impl FlightRecorder {
@@ -145,10 +146,13 @@ impl FlightRecorder {
         FlightRecorder {
             start: Instant::now(),
             capacity: capacity.max(1),
-            ring: Mutex::new(Ring {
-                events: VecDeque::new(),
-                dropped: 0,
-            }),
+            ring: TrackedMutex::new(
+                lock_class!("telemetry.flight-ring"),
+                Ring {
+                    events: VecDeque::new(),
+                    dropped: 0,
+                },
+            ),
         }
     }
 

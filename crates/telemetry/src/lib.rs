@@ -24,6 +24,8 @@
 //! `BENCH_*.json` trajectory; the hand-rolled [`json`] module exists
 //! because the vendored serde is a no-op stub.
 
+#![forbid(unsafe_code)]
+
 pub mod flight;
 pub mod histogram;
 pub mod json;

@@ -263,6 +263,7 @@ impl LocalRegistry {
                     stages: (0..Stage::COUNT).map(|_| LocalHistogram::new()).collect(),
                     pending: 0,
                 });
+                // lint: allow(unwrap) — entries is non-empty: an entry was pushed just above
                 self.entries.last_mut().expect("just pushed")
             }
         };

@@ -55,6 +55,7 @@ pub fn random_accesses<R: Rng + ?Sized>(
 /// entities with skew `config.zipf_theta`, reads with probability
 /// `config.read_ratio`, no duplicate writes).
 pub fn random_transaction_system(config: &WorkloadConfig) -> TransactionSystem {
+    // lint: allow(unwrap) — generator config is validated at construction, fail fast
     config.validate().expect("invalid workload configuration");
     let mut rng = SmallRng::seed_from_u64(config.seed);
     let zipf = Zipfian::new(config.entities, config.zipf_theta);

@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use mvcc_analysis as analysis;
 pub use mvcc_classify as classify;
 pub use mvcc_core as core;
 pub use mvcc_durability as durability;

@@ -178,8 +178,7 @@ fn engine_snapshot_reads_survive_aggressive_gc() {
         snap.aborts_by_reason
             .iter()
             .find(|(r, _)| *r == reason)
-            .map(|(_, c)| *c)
-            .unwrap_or(0)
+            .map_or(0, |(_, c)| *c)
     };
     // SI sessions may only lose first-committer-wins races; a snapshot
     // read must never observe a reclaimed or uncommitted version.

@@ -126,7 +126,7 @@ fn replication_soak_survives_a_replica_restart_under_load() {
         let refused = Arc::clone(&refused_total);
         readers.push(std::thread::spawn(move || {
             while !done.load(Ordering::Acquire) {
-                let sampled_next = engine.durable_lsn().map(|l| l + 1).unwrap_or(0);
+                let sampled_next = engine.durable_lsn().map_or(0, |l| l + 1);
                 let current = Arc::clone(&*router.lock().unwrap());
                 match current.begin_read(ReadPolicy::BoundedLag(LAG_BOUND)) {
                     Ok(mut read) => {
