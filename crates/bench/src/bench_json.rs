@@ -1,18 +1,22 @@
-//! The machine-readable bench trajectory (experiment E17): builds and
-//! validates the `BENCH_7.json` document the `telemetry_scaling` binary
-//! emits.
+//! The machine-readable bench trajectories (experiments E17 and E18):
+//! builds and validates the documents the `telemetry_scaling` binary
+//! emits — `BENCH_7.json` (per-stage quantiles), `BENCH_9.json` (the
+//! traced row set: stage quantiles plus exemplar/attribution and
+//! watchdog counts) and the "why slow" trace report.
 //!
-//! The document is the bridge between the bench harness and anything
+//! The documents are the bridge between the bench harness and anything
 //! that wants to track the repo's performance over time without parsing
 //! rendered tables: one JSON object per run, one row per certifier, each
 //! row carrying the per-stage interpolated quantiles of
-//! [`mvcc_telemetry::TelemetrySnapshot::to_json`].  The schema is
-//! deliberately small and checked by [`validate_bench7`] — CI runs the
-//! binary in smoke mode and fails on malformed output, so the document
-//! can be trusted downstream.
+//! [`mvcc_telemetry::TelemetrySnapshot::to_json`].  The schemas are
+//! deliberately small and checked by [`validate_bench7`] /
+//! [`validate_bench9`] / [`validate_trace_report`] — CI runs the binary
+//! in smoke mode and fails on malformed output, so the documents can be
+//! trusted downstream.
 
-use crate::experiments::TelemetryRow;
+use crate::experiments::{TelemetryRow, TraceRun};
 use mvcc_telemetry::json::{self, JsonValue};
+use mvcc_telemetry::Stage;
 
 /// Renders the E17 trajectory document: `{"experiment": …, "rows":
 /// [{"certifier", "threads", "txn_s", "p99_commit_us", "stages"}…]}`.
@@ -101,6 +105,329 @@ pub fn validate_bench7(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Renders the E18 trajectory document: the E17 row fields plus the
+/// trace scalars — `exemplars` (reservoir size), `attribution`
+/// (fraction of exemplars with a dominant stage), `watchdog_windows`
+/// and `watchdog_violations`.  `experiment` names the run (`"E18"`, or
+/// a variant tag for smoke runs).
+pub fn bench9_document(experiment: &str, runs: &[TraceRun]) -> String {
+    let mut out = String::with_capacity(2048);
+    out.push_str("{\"experiment\": ");
+    json::write_string(&mut out, experiment);
+    out.push_str(", \"rows\": [");
+    for (i, run) in runs.iter().enumerate() {
+        let row = &run.row;
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str("{\"certifier\": ");
+        json::write_string(&mut out, row.certifier.name());
+        out.push_str(", \"threads\": ");
+        json::write_number(&mut out, row.threads as f64);
+        out.push_str(", \"txn_s\": ");
+        json::write_number(&mut out, row.throughput_tps);
+        out.push_str(", \"p99_commit_us\": ");
+        json::write_number(&mut out, row.p99_latency_us);
+        out.push_str(", \"exemplars\": ");
+        json::write_number(&mut out, row.exemplar_count as f64);
+        out.push_str(", \"attribution\": ");
+        json::write_number(&mut out, row.attribution);
+        out.push_str(", \"watchdog_windows\": ");
+        json::write_number(&mut out, row.watchdog_windows as f64);
+        out.push_str(", \"watchdog_violations\": ");
+        json::write_number(&mut out, row.watchdog_violations as f64);
+        out.push_str(", \"stages\": ");
+        out.push_str(&row.stages.to_json());
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Checks a `BENCH_9.json` document against the E18 schema: everything
+/// [`validate_bench7`] checks (a BENCH_9 row is a superset of a BENCH_7
+/// row), plus the trace scalars — `exemplars` a non-negative count,
+/// `attribution` a fraction in `[0, 1]`, and watchdog counts with
+/// `violations <= windows`.  Returns the first violation as an error.
+pub fn validate_bench9(text: &str) -> Result<(), String> {
+    validate_bench7(text)?;
+    let doc = json::parse(text)?;
+    let rows = doc
+        .get("rows")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing or non-array key: rows")?;
+    for (i, row) in rows.iter().enumerate() {
+        let certifier = row
+            .get("certifier")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("?");
+        let number = |key: &str| {
+            row.get(key)
+                .and_then(JsonValue::as_number)
+                .ok_or_else(|| format!("row {i} ({certifier}): missing or non-number key: {key}"))
+        };
+        let exemplars = number("exemplars")?;
+        if exemplars < 0.0 {
+            return Err(format!("row {i} ({certifier}): negative exemplars"));
+        }
+        let attribution = number("attribution")?;
+        if !(0.0..=1.0).contains(&attribution) {
+            return Err(format!(
+                "row {i} ({certifier}): attribution {attribution} outside [0, 1]"
+            ));
+        }
+        let windows = number("watchdog_windows")?;
+        let violations = number("watchdog_violations")?;
+        if violations > windows {
+            return Err(format!(
+                "row {i} ({certifier}): watchdog_violations {violations} > windows {windows}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Renders the "why slow" trace report: per certifier, the tail
+/// exemplars aggregated by dominant stage (`by_stage`, descending
+/// count) and the slowest span trees in full (`slowest`, at most 8), so
+/// a reader can see *which* pipeline stage the slow commits spent their
+/// time in and inspect the exact spans of the worst offenders.
+pub fn trace_report_document(experiment: &str, runs: &[TraceRun]) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\"experiment\": ");
+    json::write_string(&mut out, experiment);
+    out.push_str(", \"certifiers\": [");
+    for (i, run) in runs.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str("{\"certifier\": ");
+        json::write_string(&mut out, run.row.certifier.name());
+        out.push_str(", \"exemplars\": ");
+        json::write_number(&mut out, run.exemplars.len() as f64);
+        out.push_str(", \"attribution\": ");
+        json::write_number(&mut out, run.row.attribution);
+        out.push_str(", \"watchdog\": {\"windows\": ");
+        json::write_number(&mut out, run.row.watchdog_windows as f64);
+        out.push_str(", \"violations\": ");
+        json::write_number(&mut out, run.row.watchdog_violations as f64);
+        out.push_str("}, \"by_stage\": [");
+        // Aggregate exemplars by dominant stage, descending count, so the
+        // first entry names where the tail latency concentrates.
+        let mut counts: Vec<(Stage, usize)> = Vec::new();
+        for tree in &run.exemplars {
+            if let Some(stage) = tree.dominant_stage() {
+                match counts.iter_mut().find(|(s, _)| *s == stage) {
+                    Some((_, n)) => *n += 1,
+                    None => counts.push((stage, 1)),
+                }
+            }
+        }
+        counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.index().cmp(&b.0.index())));
+        for (j, (stage, count)) in counts.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let dominated: Vec<&mvcc_telemetry::TraceTree> = run
+                .exemplars
+                .iter()
+                .filter(|t| t.dominant_stage() == Some(*stage))
+                .collect();
+            let total: u64 = dominated.iter().map(|t| t.total_us).sum();
+            let max = dominated.iter().map(|t| t.total_us).max().unwrap_or(0);
+            out.push_str("{\"stage\": ");
+            json::write_string(&mut out, stage.name());
+            out.push_str(", \"count\": ");
+            json::write_number(&mut out, *count as f64);
+            out.push_str(", \"mean_total_us\": ");
+            json::write_number(&mut out, total as f64 / *count as f64);
+            out.push_str(", \"max_total_us\": ");
+            json::write_number(&mut out, max as f64);
+            out.push('}');
+        }
+        out.push_str("], \"slowest\": [");
+        for (j, tree) in run.exemplars.iter().take(8).enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str("{\"trace\": ");
+            json::write_string(&mut out, &tree.trace.to_string());
+            out.push_str(", \"total_us\": ");
+            json::write_number(&mut out, tree.total_us as f64);
+            out.push_str(", \"dominant\": ");
+            match tree.dominant_stage() {
+                Some(stage) => json::write_string(&mut out, stage.name()),
+                None => out.push_str("null"),
+            }
+            out.push_str(", \"flush_lsn\": ");
+            match tree.flush_lsn() {
+                Some(lsn) => json::write_number(&mut out, lsn as f64),
+                None => out.push_str("null"),
+            }
+            out.push_str(", \"spans\": [");
+            for (k, span) in tree.spans.iter().enumerate() {
+                if k > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str("{\"stage\": ");
+                json::write_string(&mut out, span.stage.name());
+                out.push_str(", \"us\": ");
+                json::write_number(&mut out, span.dur_us as f64);
+                out.push_str(", \"depth\": ");
+                json::write_number(&mut out, f64::from(span.depth));
+                if let Some(lsn) = span.lsn {
+                    out.push_str(", \"lsn\": ");
+                    json::write_number(&mut out, lsn as f64);
+                }
+                out.push('}');
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Checks a trace-report document: top-level keys present, every
+/// certifier entry carries valid counts (`attribution` in `[0, 1]`,
+/// watchdog `violations <= windows`), every `by_stage` entry names a
+/// known pipeline stage with a positive count and the counts sum to at
+/// most `exemplars`, and `slowest` is at most 8 trees sorted slowest
+/// first whose spans all name known stages at depth ≥ 1.
+pub fn validate_trace_report(text: &str) -> Result<(), String> {
+    let doc = json::parse(text)?;
+    doc.get("experiment")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing or non-string key: experiment")?;
+    let certifiers = doc
+        .get("certifiers")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing or non-array key: certifiers")?;
+    for (i, entry) in certifiers.iter().enumerate() {
+        let certifier = entry
+            .get("certifier")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("certifier {i}: missing or non-string key: certifier"))?;
+        let number = |value: &JsonValue, key: &str| {
+            value
+                .get(key)
+                .and_then(JsonValue::as_number)
+                .ok_or_else(|| {
+                    format!("certifier {i} ({certifier}): missing or non-number key: {key}")
+                })
+        };
+        let exemplars = number(entry, "exemplars")?;
+        let attribution = number(entry, "attribution")?;
+        if !(0.0..=1.0).contains(&attribution) {
+            return Err(format!(
+                "certifier {i} ({certifier}): attribution {attribution} outside [0, 1]"
+            ));
+        }
+        let watchdog = entry
+            .get("watchdog")
+            .and_then(JsonValue::as_object)
+            .ok_or_else(|| format!("certifier {i} ({certifier}): missing watchdog object"))?;
+        let get_wd = |key: &str| {
+            watchdog
+                .iter()
+                .find(|(k, _)| k == key)
+                .and_then(|(_, v)| v.as_number())
+                .ok_or_else(|| format!("certifier {i} ({certifier}): missing watchdog.{key}"))
+        };
+        if get_wd("violations")? > get_wd("windows")? {
+            return Err(format!(
+                "certifier {i} ({certifier}): watchdog violations exceed windows"
+            ));
+        }
+        let by_stage = entry
+            .get("by_stage")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| format!("certifier {i} ({certifier}): missing by_stage array"))?;
+        let mut attributed = 0.0;
+        for (j, bucket) in by_stage.iter().enumerate() {
+            let stage = bucket
+                .get("stage")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| format!("certifier {i} ({certifier}) by_stage {j}: no stage"))?;
+            if Stage::from_name(stage).is_none() {
+                return Err(format!(
+                    "certifier {i} ({certifier}) by_stage {j}: unknown stage {stage}"
+                ));
+            }
+            let count = number(bucket, "count")?;
+            if count < 1.0 {
+                return Err(format!(
+                    "certifier {i} ({certifier}) by_stage {j} ({stage}): non-positive count"
+                ));
+            }
+            number(bucket, "mean_total_us")?;
+            number(bucket, "max_total_us")?;
+            attributed += count;
+        }
+        if attributed > exemplars {
+            return Err(format!(
+                "certifier {i} ({certifier}): by_stage counts {attributed} exceed exemplars \
+                 {exemplars}"
+            ));
+        }
+        let slowest = entry
+            .get("slowest")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| format!("certifier {i} ({certifier}): missing slowest array"))?;
+        if slowest.len() > 8 {
+            return Err(format!(
+                "certifier {i} ({certifier}): slowest holds {} trees, cap is 8",
+                slowest.len()
+            ));
+        }
+        let mut previous = f64::INFINITY;
+        for (j, tree) in slowest.iter().enumerate() {
+            let trace = tree
+                .get("trace")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| format!("certifier {i} ({certifier}) slowest {j}: no trace"))?;
+            if !trace.starts_with('t') {
+                return Err(format!(
+                    "certifier {i} ({certifier}) slowest {j}: malformed trace id {trace}"
+                ));
+            }
+            let total = number(tree, "total_us")?;
+            if total > previous {
+                return Err(format!(
+                    "certifier {i} ({certifier}) slowest {j}: not sorted slowest-first \
+                     ({total} after {previous})"
+                ));
+            }
+            previous = total;
+            let spans = tree
+                .get("spans")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| format!("certifier {i} ({certifier}) slowest {j}: no spans"))?;
+            for (k, span) in spans.iter().enumerate() {
+                let stage = span
+                    .get("stage")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| {
+                        format!("certifier {i} ({certifier}) slowest {j} span {k}: no stage")
+                    })?;
+                if Stage::from_name(stage).is_none() {
+                    return Err(format!(
+                        "certifier {i} ({certifier}) slowest {j} span {k}: unknown stage {stage}"
+                    ));
+                }
+                number(span, "us")?;
+                if number(span, "depth")? < 1.0 {
+                    return Err(format!(
+                        "certifier {i} ({certifier}) slowest {j} span {k}: depth below 1"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,6 +441,10 @@ mod tests {
             throughput_tps: 1234.5,
             p99_latency_us: 88.0,
             stages: TelemetrySnapshot::empty(),
+            exemplar_count: 0,
+            attribution: 1.0,
+            watchdog_windows: 0,
+            watchdog_violations: 0,
         }
     }
 
@@ -166,6 +497,10 @@ mod tests {
             throughput_tps: report.throughput_tps(),
             p99_latency_us: report.metrics.latency_us(0.99).unwrap_or(0.0),
             stages: report.metrics.stages.clone(),
+            exemplar_count: report.exemplars.len(),
+            attribution: report.exemplar_attribution(),
+            watchdog_windows: 0,
+            watchdog_violations: 0,
         }];
         assert!(
             !rows[0].stages.is_empty(),
@@ -193,5 +528,161 @@ mod tests {
         assert!(validate_bench7(bad_quantiles)
             .unwrap_err()
             .contains("not monotone"));
+    }
+
+    /// A synthetic traced run: two exemplars dominated by WAL flush and
+    /// certify respectively, slowest first, with a flush LSN on the first.
+    fn trace_run(kind: CertifierKind) -> TraceRun {
+        use mvcc_telemetry::{SpanRecord, TraceId, TraceTree};
+        let mut slow = TraceTree::new(TraceId::pack(0, 7));
+        slow.total_us = 900;
+        slow.push(SpanRecord {
+            stage: Stage::Certify,
+            dur_us: 40,
+            depth: 1,
+            lsn: None,
+        });
+        slow.push(SpanRecord {
+            stage: Stage::GroupCommitApply,
+            dur_us: 120,
+            depth: 1,
+            lsn: Some(3),
+        });
+        slow.push(SpanRecord {
+            stage: Stage::WalFlush,
+            dur_us: 700,
+            depth: 2,
+            lsn: Some(3),
+        });
+        let mut fast = TraceTree::new(TraceId::pack(0, 9));
+        fast.total_us = 200;
+        fast.push(SpanRecord {
+            stage: Stage::Certify,
+            dur_us: 150,
+            depth: 1,
+            lsn: None,
+        });
+        TraceRun {
+            row: TelemetryRow {
+                exemplar_count: 2,
+                attribution: 1.0,
+                watchdog_windows: 4,
+                watchdog_violations: 0,
+                ..row(kind)
+            },
+            exemplars: vec![slow, fast],
+        }
+    }
+
+    #[test]
+    fn an_emitted_bench9_document_validates() {
+        let runs: Vec<TraceRun> = CertifierKind::all().into_iter().map(trace_run).collect();
+        let doc = bench9_document("E18-test", &runs);
+        validate_bench9(&doc).unwrap();
+        // A BENCH_9 row is a superset of a BENCH_7 row, so the old
+        // validator (and the bench_diff gate built on it) accepts it too.
+        validate_bench7(&doc).unwrap();
+        let parsed = json::parse(&doc).unwrap();
+        let rows = parsed.get("rows").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(rows.len(), 6);
+        assert_eq!(
+            rows[0].get("exemplars").and_then(JsonValue::as_number),
+            Some(2.0)
+        );
+    }
+
+    #[test]
+    fn an_emitted_trace_report_validates_and_names_the_dominant_stage() {
+        let runs = vec![trace_run(CertifierKind::Sgt)];
+        let doc = trace_report_document("E18-test", &runs);
+        validate_trace_report(&doc).unwrap();
+        let parsed = json::parse(&doc).unwrap();
+        let entry = &parsed
+            .get("certifiers")
+            .and_then(JsonValue::as_array)
+            .unwrap()[0];
+        // GroupCommitApply dwarfs the depth-2 WalFlush child in the slow
+        // tree only at depth 1 — the dominant stage is a depth-1 ranking.
+        let slowest = entry.get("slowest").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(
+            slowest[0].get("trace").and_then(JsonValue::as_str),
+            Some("t0.7")
+        );
+        assert_eq!(
+            slowest[0].get("flush_lsn").and_then(JsonValue::as_number),
+            Some(3.0)
+        );
+        let by_stage = entry.get("by_stage").and_then(JsonValue::as_array).unwrap();
+        assert!(!by_stage.is_empty());
+        for bucket in by_stage {
+            let stage = bucket.get("stage").and_then(JsonValue::as_str).unwrap();
+            assert!(Stage::from_name(stage).is_some(), "unknown stage {stage}");
+        }
+    }
+
+    #[test]
+    fn a_traced_live_run_round_trips_through_both_documents() {
+        use crate::experiments::trace_scaling_table;
+        use mvcc_workload::LoadProfile;
+        let profile = LoadProfile {
+            threads: 2,
+            shards: 2,
+            ops: 200,
+            entities: 8,
+            steps_per_transaction: 3,
+            read_ratio: 0.7,
+            zipf_theta: 0.0,
+            seed: 0xb9,
+        };
+        let runs = trace_scaling_table(&profile, &[CertifierKind::Sgt], 1);
+        assert_eq!(runs.len(), 1);
+        assert!(
+            !runs[0].exemplars.is_empty(),
+            "a traced run must retain tail exemplars"
+        );
+        assert_eq!(
+            runs[0].row.watchdog_violations, 0,
+            "the watchdog must not false-alarm on a correct engine"
+        );
+        assert!(runs[0].row.watchdog_windows >= 1);
+        let doc = bench9_document("E18-live", &runs);
+        validate_bench9(&doc).unwrap();
+        let report = trace_report_document("E18-live", &runs);
+        validate_trace_report(&report).unwrap();
+    }
+
+    #[test]
+    fn malformed_bench9_and_trace_reports_are_rejected() {
+        let mut runs = vec![trace_run(CertifierKind::Sgt)];
+        runs[0].row.attribution = 1.5;
+        assert!(validate_bench9(&bench9_document("E18", &runs))
+            .unwrap_err()
+            .contains("attribution"));
+        runs[0].row.attribution = 1.0;
+        runs[0].row.watchdog_violations = 9;
+        assert!(validate_bench9(&bench9_document("E18", &runs))
+            .unwrap_err()
+            .contains("watchdog_violations"));
+        assert!(validate_trace_report("not json").is_err());
+        assert!(validate_trace_report("{\"experiment\": \"E18\"}")
+            .unwrap_err()
+            .contains("certifiers"));
+        let unknown_stage = "{\"experiment\": \"E18\", \"certifiers\": [{\"certifier\": \"sgt\", \
+             \"exemplars\": 1, \"attribution\": 1.0, \
+             \"watchdog\": {\"windows\": 1, \"violations\": 0}, \
+             \"by_stage\": [{\"stage\": \"nonsense\", \"count\": 1, \
+             \"mean_total_us\": 1.0, \"max_total_us\": 1}], \"slowest\": []}]}";
+        assert!(validate_trace_report(unknown_stage)
+            .unwrap_err()
+            .contains("unknown stage"));
+        let unsorted = "{\"experiment\": \"E18\", \"certifiers\": [{\"certifier\": \"sgt\", \
+             \"exemplars\": 2, \"attribution\": 1.0, \
+             \"watchdog\": {\"windows\": 1, \"violations\": 0}, \"by_stage\": [], \
+             \"slowest\": [{\"trace\": \"t0.1\", \"total_us\": 5, \"dominant\": null, \
+             \"flush_lsn\": null, \"spans\": []}, {\"trace\": \"t0.2\", \"total_us\": 9, \
+             \"dominant\": null, \"flush_lsn\": null, \"spans\": []}]}]}";
+        assert!(validate_trace_report(unsorted)
+            .unwrap_err()
+            .contains("slowest-first"));
     }
 }

@@ -726,6 +726,29 @@ pub struct TelemetryRow {
     /// (admission queue-wait and service, certify, group-commit apply,
     /// WAL flush, batch sizes, commit latency).
     pub stages: mvcc_telemetry::TelemetrySnapshot,
+    /// Tail exemplars captured by the trace reservoir (0 when tracing
+    /// never sampled a commit, as in telemetry-off runs).
+    pub exemplar_count: usize,
+    /// Fraction of captured exemplars whose dominant stage is
+    /// attributable (1.0 when no exemplars were captured).
+    pub attribution: f64,
+    /// Committed-history windows the classification watchdog checked
+    /// during the run (0 when the watchdog was off).
+    pub watchdog_windows: u64,
+    /// Watchdog windows that violated the certifier's class — any
+    /// non-zero value here is a correctness alarm, not a perf number.
+    pub watchdog_violations: u64,
+}
+
+/// One E18 cell: the scalar row plus the full span trees of the tail
+/// exemplars the reservoir retained, so the trace report can explain
+/// *why* the slow commits were slow instead of only counting them.
+#[derive(Debug, Clone)]
+pub struct TraceRun {
+    /// Scalar row (throughput, stage quantiles, exemplar/watchdog counts).
+    pub row: TelemetryRow,
+    /// Retained tail-exemplar span trees, slowest first.
+    pub exemplars: Vec<mvcc_telemetry::TraceTree>,
 }
 
 /// Runs the per-stage telemetry trajectory (experiment E17): each
@@ -773,9 +796,76 @@ pub fn telemetry_scaling_table(
                 throughput_tps: report.throughput_tps(),
                 p99_latency_us: report.metrics.latency_us(0.99).unwrap_or(0.0),
                 stages: report.metrics.stages.clone(),
+                exemplar_count: report.exemplars.len(),
+                attribution: report.exemplar_attribution(),
+                watchdog_windows: 0,
+                watchdog_violations: 0,
             });
         }
         runs.sort_by(|a, b| a.throughput_tps.total_cmp(&b.throughput_tps));
+        rows.push(runs.swap_remove(runs.len() / 2));
+    }
+    rows
+}
+
+/// Runs the causal-tracing trajectory (experiment E18): each certifier
+/// drives one closed loop with tracing on, a bounded ring history, and
+/// the online classification watchdog sampling committed windows while
+/// the load runs.  The row set is what `telemetry_scaling --trace`
+/// exports as `BENCH_9.json`; the retained exemplar trees feed the
+/// "why slow" trace report.
+///
+/// `trials` keeps the median-throughput run per cell (same rationale as
+/// E17); exemplars and watchdog counts are the median run's, so the
+/// report describes one coherent execution.
+pub fn trace_scaling_table(
+    base: &LoadProfile,
+    kinds: &[CertifierKind],
+    trials: usize,
+) -> Vec<TraceRun> {
+    use mvcc_engine::load::run_closed_loop_traced;
+    use mvcc_engine::{AdmissionMode, DurabilityConfig, TelemetryMode};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static CELL: AtomicU64 = AtomicU64::new(0);
+    let trials = trials.max(1);
+    let mut rows = Vec::with_capacity(kinds.len());
+    for &kind in kinds {
+        let mut runs = Vec::with_capacity(trials);
+        for _ in 0..trials {
+            let dir = std::env::temp_dir().join(format!(
+                "mvcc-e18-{}-{}-{}",
+                std::process::id(),
+                kind.name(),
+                CELL.fetch_add(1, Ordering::Relaxed)
+            ));
+            let report = run_closed_loop_traced(
+                kind,
+                base,
+                true,
+                Some(512),
+                AdmissionMode::Batched,
+                DurabilityConfig::buffered(&dir),
+                TelemetryMode::On,
+                true,
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+            let watchdog = report.watchdog.unwrap_or_default();
+            runs.push(TraceRun {
+                row: TelemetryRow {
+                    certifier: kind,
+                    threads: base.threads,
+                    throughput_tps: report.throughput_tps(),
+                    p99_latency_us: report.metrics.latency_us(0.99).unwrap_or(0.0),
+                    stages: report.metrics.stages.clone(),
+                    exemplar_count: report.exemplars.len(),
+                    attribution: report.exemplar_attribution(),
+                    watchdog_windows: watchdog.windows,
+                    watchdog_violations: watchdog.violations,
+                },
+                exemplars: report.exemplars,
+            });
+        }
+        runs.sort_by(|a, b| a.row.throughput_tps.total_cmp(&b.row.throughput_tps));
         rows.push(runs.swap_remove(runs.len() / 2));
     }
     rows

@@ -85,6 +85,7 @@ pub mod metrics;
 pub mod pipeline;
 pub mod session;
 pub mod shard;
+pub mod watchdog;
 
 pub use certifier::{
     Admission, AdmissionScope, Certifier, CertifierKind, HistoryClass, ReadPlan,
@@ -92,11 +93,12 @@ pub use certifier::{
 };
 pub use checkpoint::CheckpointDriver;
 pub use gc::GcDriver;
-pub use load::{run_closed_loop, run_closed_loop_instrumented, LoadReport};
+pub use load::{run_closed_loop, run_closed_loop_instrumented, run_closed_loop_traced, LoadReport};
 pub use metrics::{AbortReason, EngineMetrics, MetricsSnapshot};
 pub use pipeline::{AdmissionMode, ChaosHook, KillSite};
 pub use session::{Engine, EngineConfig, EngineError, History, Session};
 pub use shard::ShardedStore;
+pub use watchdog::{ClassificationWatchdog, WatchdogConfig, WatchdogStats};
 
 // Re-export the durability surface so engine users configure and recover
 // without naming the durability crate directly.
@@ -105,8 +107,9 @@ pub use mvcc_durability::{DurabilityConfig, DurabilityMode, RecoveryReport};
 // Re-export the telemetry surface so engine users switch tracing on and
 // read per-stage snapshots without naming the telemetry crate directly.
 pub use mvcc_telemetry::{
-    EventKind, FlightRecorder, HistogramSnapshot, Stage, StageSnapshot, Telemetry, TelemetryMode,
-    TelemetrySnapshot,
+    EventKind, ExemplarReservoir, FlightRecorder, HistogramSnapshot, SpanRecord, Stage,
+    StageSnapshot, Telemetry, TelemetryMode, TelemetrySnapshot, TraceEvent, TraceId, TraceLog,
+    TraceTree,
 };
 
 // Re-export the value type so callers construct payloads with the exact

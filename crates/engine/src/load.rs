@@ -15,10 +15,11 @@ use crate::gc::GcDriver;
 use crate::metrics::MetricsSnapshot;
 use crate::pipeline::AdmissionMode;
 use crate::session::{Engine, EngineConfig, History};
+use crate::watchdog::{ClassificationWatchdog, WatchdogConfig, WatchdogStats};
 use bytes::Bytes;
 use mvcc_core::Action;
 use mvcc_durability::DurabilityConfig;
-use mvcc_telemetry::TelemetryMode;
+use mvcc_telemetry::{TelemetryMode, TraceTree};
 use mvcc_workload::{random_accesses, LoadProfile, Zipfian};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -43,6 +44,12 @@ pub struct LoadReport {
     pub metrics: MetricsSnapshot,
     /// The admission history (empty if recording was off).
     pub history: History,
+    /// Tail-latency exemplars the reservoir retained, slowest first
+    /// (empty with telemetry off — no transaction is ever traced then).
+    pub exemplars: Vec<TraceTree>,
+    /// Final counters of the online classification watchdog, when one ran
+    /// alongside the load ([`run_closed_loop_traced`] with `watchdog`).
+    pub watchdog: Option<WatchdogStats>,
 }
 
 impl LoadReport {
@@ -70,6 +77,21 @@ impl LoadReport {
             return true;
         }
         self.class.check(&self.history.committed_schedule())
+    }
+
+    /// Fraction of retained exemplars whose span tree names a dominant
+    /// stage (1.0 when no exemplars were captured) — the attribution
+    /// coverage the tracing acceptance gate asserts ≥ 0.95 on.
+    pub fn exemplar_attribution(&self) -> f64 {
+        if self.exemplars.is_empty() {
+            return 1.0;
+        }
+        let named = self
+            .exemplars
+            .iter()
+            .filter(|t| t.dominant_stage().is_some())
+            .count();
+        named as f64 / self.exemplars.len() as f64
     }
 }
 
@@ -141,6 +163,36 @@ pub fn run_closed_loop_instrumented(
     durability: DurabilityConfig,
     telemetry: TelemetryMode,
 ) -> LoadReport {
+    run_closed_loop_traced(
+        kind,
+        profile,
+        record_history,
+        None,
+        admission,
+        durability,
+        telemetry,
+        false,
+    )
+}
+
+/// The fully traced closed loop (experiment E18): everything
+/// [`run_closed_loop_instrumented`] configures, plus a ring bound on the
+/// recorded history (`history_capacity` — long soaks keep memory O(1)
+/// while the online watchdog still sees classifiable windows) and the
+/// [`ClassificationWatchdog`] itself (`watchdog: true` runs it alongside
+/// the load and reports its final counters).  With telemetry on, the
+/// report also carries the tail-latency exemplars the reservoir retained.
+#[allow(clippy::too_many_arguments)]
+pub fn run_closed_loop_traced(
+    kind: CertifierKind,
+    profile: &LoadProfile,
+    record_history: bool,
+    history_capacity: Option<usize>,
+    admission: AdmissionMode,
+    durability: DurabilityConfig,
+    telemetry: TelemetryMode,
+    watchdog: bool,
+) -> LoadReport {
     // lint: allow(unwrap) — load harness: an invalid profile is a caller bug, fail fast
     profile.validate().expect("invalid load profile");
     let engine = Arc::new(Engine::new(
@@ -150,15 +202,41 @@ pub fn run_closed_loop_instrumented(
             entities: profile.entities,
             initial: Bytes::from_static(b"0"),
             record_history,
+            history_capacity,
             admission,
             durability,
             telemetry,
             ..EngineConfig::default()
         },
     ));
+    // The benched loop samples at a coarser cadence than the chaos-soak
+    // default: each window check is a full graph classification whose CPU
+    // time is stolen from the workers on small runners, and the bench
+    // rows feed a throughput regression gate.  The final deterministic
+    // pass below still guarantees at least one checked window.
+    let dog = watchdog.then(|| {
+        ClassificationWatchdog::start(
+            Arc::clone(&engine),
+            WatchdogConfig {
+                interval: Duration::from_millis(100),
+                ..WatchdogConfig::default()
+            },
+        )
+    });
     let gc = GcDriver::start(Arc::clone(&engine), Duration::from_millis(1));
     let elapsed = drive_closed_loop(&engine, profile);
     gc.stop();
+    let watchdog = dog.map(|d| {
+        // One final deterministic pass over the settled history, so even
+        // a very short run reports at least one checked window.
+        let _ = d.check_once();
+        d.stop()
+    });
+    let exemplars = engine
+        .metrics()
+        .exemplars()
+        .map(|r| r.snapshot())
+        .unwrap_or_default();
     LoadReport {
         kind,
         admission,
@@ -167,6 +245,8 @@ pub fn run_closed_loop_instrumented(
         elapsed,
         metrics: engine.metrics().snapshot(),
         history: engine.history(),
+        exemplars,
+        watchdog,
     }
 }
 
@@ -288,6 +368,47 @@ mod tests {
         assert!(report.history.admitted.is_empty());
         assert!(report.history_in_class(), "vacuously true");
         assert!(report.metrics.committed > 0);
+    }
+
+    #[test]
+    fn traced_run_collects_exemplars_and_watchdog_verdicts() {
+        let report = run_closed_loop_traced(
+            CertifierKind::Sgt,
+            &small_profile(0.6),
+            true,
+            Some(64),
+            AdmissionMode::Batched,
+            DurabilityConfig::off(),
+            TelemetryMode::On,
+            true,
+        );
+        assert!(report.metrics.committed > 0);
+        // 1-in-32 per-thread sampling with the first transaction on every
+        // fresh worker always sampled: 4 workers guarantee exemplars.
+        assert!(!report.exemplars.is_empty(), "no exemplars retained");
+        assert!(
+            report.exemplar_attribution() >= 0.95,
+            "attribution {}",
+            report.exemplar_attribution()
+        );
+        // Slowest-first ordering.
+        for pair in report.exemplars.windows(2) {
+            assert!(pair[0].total_us >= pair[1].total_us);
+        }
+        let stats = report.watchdog.expect("watchdog ran");
+        assert!(stats.windows >= 1, "watchdog never checked: {stats:?}");
+        assert_eq!(stats.violations, 0, "false alarms: {stats:?}");
+        // Untraced baseline keeps the old shape.
+        let report = run_closed_loop_instrumented(
+            CertifierKind::Sgt,
+            &small_profile(0.0),
+            true,
+            AdmissionMode::Batched,
+            DurabilityConfig::off(),
+            TelemetryMode::Off,
+        );
+        assert!(report.exemplars.is_empty());
+        assert!(report.watchdog.is_none());
     }
 
     #[test]

@@ -49,7 +49,7 @@ use mvcc_analysis::lockdep::TrackedMutex;
 use mvcc_core::{EntityId, Step, TxId, VersionSource};
 use mvcc_durability::{is_fence_error, CommitEntry, WalRecord, WalWriter};
 use mvcc_store::{StoreError, TxHandle};
-use mvcc_telemetry::{EventKind, Stage};
+use mvcc_telemetry::{EventKind, SpanRecord, Stage, TraceId};
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -190,6 +190,12 @@ pub(crate) struct HistoryLog {
 struct AdmittedLog {
     steps: std::collections::VecDeque<Step>,
     dropped: u64,
+    /// Largest transaction id among dropped steps — the *drop horizon*.
+    /// Transaction ids are allocated monotonically, so every transaction
+    /// with an id above the horizon still has all of its steps in the
+    /// retained window; the online watchdog classifies exactly that
+    /// self-contained sub-history when the ring has truncated.
+    dropped_max_tx: Option<TxId>,
 }
 
 impl HistoryLog {
@@ -214,8 +220,10 @@ impl HistoryLog {
             log.steps.extend(steps.iter().copied());
             if let Some(cap) = self.capacity {
                 while log.steps.len() > cap {
-                    log.steps.pop_front();
-                    log.dropped += 1;
+                    if let Some(dropped) = log.steps.pop_front() {
+                        log.dropped += 1;
+                        log.dropped_max_tx = log.dropped_max_tx.max(Some(dropped.tx));
+                    }
                 }
             }
         }
@@ -241,6 +249,7 @@ impl HistoryLog {
         History {
             admitted: log.steps.iter().copied().collect(),
             dropped: log.dropped,
+            drop_horizon: log.dropped_max_tx,
             committed,
         }
     }
@@ -269,7 +278,56 @@ struct StepRequest {
     /// logs the transaction's begin record with it (merging the two keeps
     /// session begin off the WAL mutex entirely).
     log_begin: bool,
-    outcome: TrackedMutex<Option<StepOutcome>>,
+    /// The owning session's trace id when it is sampled for span
+    /// collection: the drain leader measuring this step's certify time
+    /// hands the span back through the outcome slot — attribution to the
+    /// *owner*, not the thread that happened to lead the batch.
+    trace: Option<TraceId>,
+    /// The verdict plus, for traced owners, the certify span the leader
+    /// measured on their behalf (rides the same slot handoff — no new
+    /// synchronization edge).
+    outcome: TrackedMutex<Option<(StepOutcome, Option<SpanRecord>)>>,
+}
+
+/// Microseconds elapsed since `clock`, saturating.
+fn elapsed_us(clock: Instant) -> u64 {
+    u64::try_from(clock.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// The depth-1 certify span measured from `clock`, when one was started
+/// (a clock is only started when the batch holds a traced member).
+fn certify_span(clock: Option<Instant>) -> Option<SpanRecord> {
+    clock.map(|c| SpanRecord {
+        stage: Stage::Certify,
+        dur_us: elapsed_us(c),
+        depth: 1,
+        lsn: None,
+    })
+}
+
+/// Appends a traced waiter's queue-wait span plus whatever span its
+/// drain leader handed back through the outcome slot.  The wait span
+/// covers the whole parked interval (the leader's certify of this step
+/// included) — it is the contention signal, not a disjoint partition.
+fn finish_queue_wait(
+    trace: Option<TraceId>,
+    wait_clock: Option<Instant>,
+    span: Option<SpanRecord>,
+    spans: &mut Vec<SpanRecord>,
+) {
+    if trace.is_some() {
+        if let Some(started) = wait_clock {
+            spans.push(SpanRecord {
+                stage: Stage::AdmissionQueueWait,
+                dur_us: elapsed_us(started),
+                depth: 1,
+                lsn: None,
+            });
+        }
+        if let Some(span) = span {
+            spans.push(span);
+        }
+    }
 }
 
 /// The WAL record for one admitted step.
@@ -293,7 +351,12 @@ fn step_record(step: Step, value: Option<&Bytes>) -> WalRecord {
 struct CommitRequest {
     tx: TxId,
     begun_shards: Vec<bool>,
-    outcome: TrackedMutex<Option<CommitOutcome>>,
+    /// The owning session's trace id when sampled (see [`StepRequest`]).
+    trace: Option<TraceId>,
+    /// The verdict plus, for traced owners, the group-commit spans the
+    /// leader measured on their behalf (apply, and the nested WAL flush
+    /// with its batch LSN).
+    outcome: TrackedMutex<Option<(CommitOutcome, Vec<SpanRecord>)>>,
 }
 
 /// Everything that must change atomically with a certifier ruling on one
@@ -567,12 +630,17 @@ impl AdmissionPipeline {
     /// Fires the chaos hook at `site` (no-op without a hook installed).
     /// The flight-recorder event lands *before* the hook runs: a hook
     /// that freezes the calling thread forever (the chaos harness's
-    /// scripted kill) still leaves the kill site on the timeline.
-    fn chaos_point(&self, site: KillSite, metrics: &EngineMetrics) {
+    /// scripted kill) still leaves the kill site on the timeline —
+    /// attributed to a trace when the site knows which transaction's
+    /// batch it froze.
+    fn chaos_point(&self, site: KillSite, metrics: &EngineMetrics, trace: Option<TraceId>) {
         if let Some(hook) = &self.chaos {
-            metrics.flight(EventKind::KillSite {
-                site: site.to_string(),
-            });
+            metrics.flight_traced(
+                EventKind::KillSite {
+                    site: site.to_string(),
+                },
+                trace,
+            );
             (hook.0)(site);
         }
     }
@@ -651,6 +719,7 @@ impl AdmissionPipeline {
     /// filled in by another leader or becomes the leader and rules the
     /// whole backlog (its own step included) in one
     /// [`Certifier::admit_batch`] call.
+    #[allow(clippy::too_many_arguments)] // internal pipeline plumbing; the args are the pipeline's layers
     pub(crate) fn submit_step(
         &self,
         step: Step,
@@ -659,12 +728,19 @@ impl AdmissionPipeline {
         shards: &ShardedStore,
         history: &HistoryLog,
         metrics: &EngineMetrics,
+        trace: Option<TraceId>,
+        spans: &mut Vec<SpanRecord>,
     ) -> StepOutcome {
         let lane = &self.lanes[self.lane_of(step.entity, shards)];
         match self.mode {
             AdmissionMode::PerStep => {
                 let mut state = lane.state.lock();
+                // lint: allow(clock) — span clock, read only for sampled (traced) transactions
+                let certify_clock = trace.map(|_| Instant::now());
                 let admission = state.certifier.admit(step);
+                if let Some(span) = certify_span(certify_clock) {
+                    spans.push(span);
+                }
                 let mut admitted = AdmittedBatch::new(1, self.wal.is_some());
                 let outcome = state.resolve(step, admission);
                 if matches!(outcome, StepOutcome::Admitted(_)) {
@@ -681,16 +757,20 @@ impl AdmissionPipeline {
                 // contended.
                 if let Some(mut state) = lane.state.try_lock() {
                     let queued = std::mem::take(&mut *lane.queue.lock());
-                    return self
+                    let (outcome, span) = self
                         .lead_batch(
                             &mut state,
                             &queued,
-                            Some((step, value, log_begin)),
+                            Some((step, value, log_begin, trace)),
                             history,
                             metrics,
                         )
                         // lint: allow(unwrap) — leaders fill every batch slot before release
                         .expect("own step is part of the batch");
+                    if let Some(span) = span {
+                        spans.push(span);
+                    }
+                    return outcome;
                 }
                 // Slow path: park the step and contend for the lane.
                 // Either a leader rules on us while we wait, or we acquire
@@ -706,18 +786,21 @@ impl AdmissionPipeline {
                     step,
                     value: value.cloned(),
                     log_begin,
+                    trace,
                     outcome: TrackedMutex::new(lock_class!("engine.step-slot"), None),
                 });
                 lane.queue.lock().push(Arc::clone(&request));
                 loop {
                     // A previous leader may have ruled on us already.
-                    if let Some(outcome) = request.outcome.lock().take() {
+                    if let Some((outcome, span)) = request.outcome.lock().take() {
                         metrics.record_stage_since(Stage::AdmissionQueueWait, wait_clock);
+                        finish_queue_wait(trace, wait_clock, span, spans);
                         return outcome;
                     }
                     let mut state = lane.state.lock();
-                    if let Some(outcome) = request.outcome.lock().take() {
+                    if let Some((outcome, span)) = request.outcome.lock().take() {
                         metrics.record_stage_since(Stage::AdmissionQueueWait, wait_clock);
+                        finish_queue_wait(trace, wait_clock, span, spans);
                         return outcome;
                     }
                     // We hold the lane and have no verdict, so our request
@@ -740,20 +823,29 @@ impl AdmissionPipeline {
         &self,
         state: &mut LaneState,
         queued: &[Arc<StepRequest>],
-        own: Option<(Step, Option<&Bytes>, bool)>,
+        own: Option<(Step, Option<&Bytes>, bool, Option<TraceId>)>,
         history: &HistoryLog,
         metrics: &EngineMetrics,
-    ) -> Option<StepOutcome> {
+    ) -> Option<(StepOutcome, Option<SpanRecord>)> {
         // Sampled batch trace (1-in-32 per leading thread): service time
         // is the whole drain, certify time just the certifier's ruling.
         let trace = metrics.trace_batch();
+        // Span collection fires whenever *any* batch member is a traced
+        // transaction — the leader measures once and hands the span to
+        // every traced owner through its outcome slot.
+        let own_trace = own.and_then(|(_, _, _, t)| t);
+        let traced = own_trace.is_some() || queued.iter().any(|r| r.trace.is_some());
         if queued.is_empty() {
             // Uncontended: a batch of exactly our own step, ruled without
             // building batch vectors.
-            let (step, value, log_begin) = own?;
-            let certify_clock = trace.map(|_| Instant::now()); // lint: allow(clock) — sampled stage trace
+            let (step, value, log_begin, _) = own?;
+            // lint: allow(clock) — stage/span clock, read only when sampled or traced
+            let certify_clock = (trace.is_some() || traced).then(Instant::now);
             let admission = state.certifier.admit(step);
-            metrics.record_stage_since(Stage::Certify, certify_clock);
+            if trace.is_some() {
+                metrics.record_stage_since(Stage::Certify, certify_clock);
+            }
+            let span = own_trace.and(certify_span(certify_clock));
             let mut admitted = AdmittedBatch::new(1, self.wal.is_some());
             let outcome = state.resolve(step, admission);
             if matches!(outcome, StepOutcome::Admitted(_)) {
@@ -765,15 +857,23 @@ impl AdmissionPipeline {
                 metrics.record_stage_value(Stage::AdmissionBatchSteps, 1);
                 metrics.record_stage_since(Stage::AdmissionService, trace);
             }
-            return Some(outcome);
+            return Some((outcome, span));
         }
         let mut steps: Vec<Step> = queued.iter().map(|r| r.step).collect();
-        if let Some((step, _, _)) = own {
+        if let Some((step, _, _, _)) = own {
             steps.push(step);
         }
-        let certify_clock = trace.map(|_| Instant::now()); // lint: allow(clock) — sampled stage trace
+        // lint: allow(clock) — stage/span clock, read only when sampled or traced
+        let certify_clock = (trace.is_some() || traced).then(Instant::now);
         let admissions = state.certifier.admit_batch(&steps);
-        metrics.record_stage_since(Stage::Certify, certify_clock);
+        if trace.is_some() {
+            metrics.record_stage_since(Stage::Certify, certify_clock);
+        }
+        // One measurement for the whole ruling: every traced member of
+        // the batch receives the same certify span (the ruling is one
+        // shared `admit_batch` call — there is no per-member cost to
+        // apportion).
+        let span = traced.then(|| certify_span(certify_clock)).flatten();
         debug_assert_eq!(admissions.len(), steps.len());
         let mut admitted = AdmittedBatch::new(steps.len(), self.wal.is_some());
         let mut own_outcome = None;
@@ -783,15 +883,17 @@ impl AdmissionPipeline {
                 let (value, log_begin) = match queued.get(i) {
                     Some(request) => (request.value.as_ref(), request.log_begin),
                     None => match own {
-                        Some((_, value, log_begin)) => (value, log_begin),
+                        Some((_, value, log_begin, _)) => (value, log_begin),
                         None => (None, false),
                     },
                 };
                 admitted.push(steps[i], value, log_begin);
             }
             match queued.get(i) {
-                Some(request) => *request.outcome.lock() = Some(outcome),
-                None => own_outcome = Some(outcome),
+                // Attribution across flat combining: the span goes to the
+                // slot of the member that *owns* the work, whoever leads.
+                Some(request) => *request.outcome.lock() = Some((outcome, request.trace.and(span))),
+                None => own_outcome = Some((outcome, own_trace.and(span))),
             }
         }
         self.finish_admission(admitted, history, metrics);
@@ -821,7 +923,7 @@ impl AdmissionPipeline {
         history: &HistoryLog,
         metrics: &EngineMetrics,
     ) {
-        self.chaos_point(KillSite::AdmissionDrain, metrics);
+        self.chaos_point(KillSite::AdmissionDrain, metrics, None);
         // With per-shard lanes the lane lock alone doesn't order this
         // batch's two appends against another lane's: fence them so the
         // history and the WAL record the same cross-lane interleaving
@@ -856,12 +958,15 @@ impl AdmissionPipeline {
         shards: &ShardedStore,
         history: &HistoryLog,
         metrics: &EngineMetrics,
+        trace: Option<TraceId>,
+        spans: &mut Vec<SpanRecord>,
     ) -> CommitOutcome {
         match self.mode {
             AdmissionMode::PerStep => {
                 let request = CommitRequest {
                     tx,
                     begun_shards: begun_shards.to_vec(),
+                    trace,
                     outcome: TrackedMutex::new(lock_class!("engine.commit-slot"), None),
                 };
                 // Matches the PR 2 baseline: only first-committer-wins
@@ -873,12 +978,13 @@ impl AdmissionPipeline {
                 let _drain = (self.validates_at_commit || self.wal.is_some())
                     .then(|| self.commit.drain.lock());
                 self.process_commit_batch(&[&request], shards, history, metrics);
-                let outcome = request
+                let (outcome, commit_spans) = request
                     .outcome
                     .lock()
                     .take()
                     // lint: allow(unwrap) — process_commit_batch fills every slot
                     .expect("commit batch fills every slot");
+                spans.extend(commit_spans);
                 outcome
             }
             AdmissionMode::Batched => {
@@ -894,6 +1000,7 @@ impl AdmissionPipeline {
                         let own = CommitRequest {
                             tx,
                             begun_shards: begun_shards.to_vec(),
+                            trace,
                             outcome: TrackedMutex::new(lock_class!("engine.commit-slot"), None),
                         };
                         let mut refs: Vec<&CommitRequest> =
@@ -903,18 +1010,20 @@ impl AdmissionPipeline {
                         if committed > 0 {
                             metrics.record_commit_batch(committed);
                         }
-                        let outcome = own
+                        let (outcome, commit_spans) = own
                             .outcome
                             .lock()
                             .take()
                             // lint: allow(unwrap) — process_commit_batch fills every slot
                             .expect("commit batch fills every slot");
+                        spans.extend(commit_spans);
                         return outcome;
                     }
                 }
                 let request = Arc::new(CommitRequest {
                     tx,
                     begun_shards: begun_shards.to_vec(),
+                    trace,
                     outcome: TrackedMutex::new(lock_class!("engine.commit-slot"), None),
                 });
                 self.commit.queue.lock().push(Arc::clone(&request));
@@ -932,11 +1041,13 @@ impl AdmissionPipeline {
                     std::thread::yield_now();
                 }
                 loop {
-                    if let Some(outcome) = request.outcome.lock().take() {
+                    if let Some((outcome, commit_spans)) = request.outcome.lock().take() {
+                        spans.extend(commit_spans);
                         return outcome;
                     }
                     let _drain = self.commit.drain.lock();
-                    if let Some(outcome) = request.outcome.lock().take() {
+                    if let Some((outcome, commit_spans)) = request.outcome.lock().take() {
+                        spans.extend(commit_spans);
                         return outcome;
                     }
                     let batch = std::mem::take(&mut *self.commit.queue.lock());
@@ -975,6 +1086,12 @@ impl AdmissionPipeline {
         // Sampled batch trace (1-in-32 per leading thread): the whole
         // apply is Stage::GroupCommitApply, the flush alone WalFlush.
         let trace = metrics.trace_batch();
+        // Span collection fires whenever any member is traced; the leader
+        // measures once and hands spans to every traced owner's slot.
+        let batch_traced = batch.iter().any(|r| r.trace.is_some());
+        let lead_trace = batch.iter().find_map(|r| r.trace);
+        // lint: allow(clock) — stage/span clock, read only when sampled or traced
+        let apply_clock = (trace.is_some() || batch_traced).then(Instant::now);
         // Fence check *before* any shard effect: a deposed primary must
         // not apply commits its WAL can no longer record — its in-memory
         // state would diverge from the durable prefix the promoted
@@ -987,9 +1104,12 @@ impl AdmissionPipeline {
                 Some(wal) => match wal.check_fence() {
                     Ok(()) => false,
                     Err(e) if is_fence_error(&e) => {
-                        metrics.flight(EventKind::FenceRefusal {
-                            site: "commit-fence-check".into(),
-                        });
+                        metrics.flight_traced(
+                            EventKind::FenceRefusal {
+                                site: "commit-fence-check".into(),
+                            },
+                            lead_trace,
+                        );
                         self.depose();
                         true
                     }
@@ -999,7 +1119,7 @@ impl AdmissionPipeline {
             };
         if fenced {
             for request in batch {
-                *request.outcome.lock() = Some(CommitOutcome::Deposed);
+                *request.outcome.lock() = Some((CommitOutcome::Deposed, Vec::new()));
             }
             return 0;
         }
@@ -1077,6 +1197,7 @@ impl AdmissionPipeline {
             .map(|(r, _)| r.tx)
             .collect();
         let mut batch_lsn = None;
+        let mut flush_us: Option<u64> = None;
         // Durability point: one commit record for the whole batch, one
         // flush (at most one fsync), before anyone can learn of the
         // commits.
@@ -1092,8 +1213,9 @@ impl AdmissionPipeline {
                         })
                     })
                     .collect();
-                self.chaos_point(KillSite::GroupCommitFlush, metrics);
-                let flush_clock = trace.map(|_| Instant::now()); // lint: allow(clock) — sampled stage trace
+                self.chaos_point(KillSite::GroupCommitFlush, metrics, lead_trace);
+                // lint: allow(clock) — stage/span clock, read only when sampled or traced
+                let flush_clock = (trace.is_some() || batch_traced).then(Instant::now);
                 let receipt = match wal.append_and_flush(&[WalRecord::Commit { entries }]) {
                     Ok(receipt) => receipt,
                     Err(e) if is_fence_error(&e) => {
@@ -1104,12 +1226,15 @@ impl AdmissionPipeline {
                         // invisible to admission, and the stranded
                         // in-memory versions die with this engine (every
                         // session is now fenced too).
-                        metrics.flight(EventKind::FenceRefusal {
-                            site: "commit-flush".into(),
-                        });
+                        metrics.flight_traced(
+                            EventKind::FenceRefusal {
+                                site: "commit-flush".into(),
+                            },
+                            lead_trace,
+                        );
                         self.depose();
                         for request in batch {
-                            *request.outcome.lock() = Some(CommitOutcome::Deposed);
+                            *request.outcome.lock() = Some((CommitOutcome::Deposed, Vec::new()));
                         }
                         return 0;
                     }
@@ -1117,7 +1242,12 @@ impl AdmissionPipeline {
                         "WAL commit flush failed: durability can no longer be guaranteed: {e}"
                     ),
                 };
-                metrics.record_stage_since(Stage::WalFlush, flush_clock);
+                flush_us = flush_clock.map(elapsed_us);
+                if trace.is_some() {
+                    if let Some(us) = flush_us {
+                        metrics.record_stage_value(Stage::WalFlush, us);
+                    }
+                }
                 metrics.record_wal_flush(receipt.bytes, receipt.fsynced, committed.len());
                 if trace.is_some() {
                     metrics.record_stage_value(Stage::WalFlushTxns, committed.len() as u64);
@@ -1137,6 +1267,17 @@ impl AdmissionPipeline {
                     // flush (durability is prefix-shaped, PR 4).
                     mvcc_analysis::hb::probe("engine.wal_append", lsn);
                     batch_lsn = Some(lsn);
+                    if batch_traced {
+                        // The cross-process correlation point: this flush
+                        // span's LSN is the same LSN a replica's apply
+                        // span records for the same commit batch.
+                        metrics.record_trace_event(
+                            Stage::WalFlush,
+                            lead_trace,
+                            Some(lsn),
+                            flush_us.unwrap_or(0),
+                        );
+                    }
                     // Every member shares the batch's one commit record.
                     for outcome in &mut outcomes {
                         if let CommitOutcome::Committed { wal_lsn } = outcome {
@@ -1144,7 +1285,7 @@ impl AdmissionPipeline {
                         }
                     }
                 }
-                self.chaos_point(KillSite::CommitNotifyGap, metrics);
+                self.chaos_point(KillSite::CommitNotifyGap, metrics, lead_trace);
             }
         }
         // Certifier + history bookkeeping for the transactions that made
@@ -1162,10 +1303,39 @@ impl AdmissionPipeline {
             }
             history.commit_all(&committed);
         }
+        let apply_us = apply_clock.map(elapsed_us);
         for (request, outcome) in batch.iter().zip(outcomes) {
-            *request.outcome.lock() = Some(outcome);
+            // Attribution: every traced member receives the batch's shared
+            // spans (the apply and flush are one shared cost — there is no
+            // per-member slice to apportion) through its own outcome slot,
+            // whichever session led the drain.
+            let commit_spans = match (request.trace, apply_us) {
+                (Some(_), Some(us)) => {
+                    let mut spans = vec![SpanRecord {
+                        stage: Stage::GroupCommitApply,
+                        dur_us: us,
+                        depth: 1,
+                        lsn: batch_lsn,
+                    }];
+                    if let (Some(lsn), Some(fus)) = (batch_lsn, flush_us) {
+                        spans.push(SpanRecord {
+                            stage: Stage::WalFlush,
+                            dur_us: fus,
+                            depth: 2,
+                            lsn: Some(lsn),
+                        });
+                    }
+                    spans
+                }
+                _ => Vec::new(),
+            };
+            *request.outcome.lock() = Some((outcome, commit_spans));
         }
-        metrics.record_stage_since(Stage::GroupCommitApply, trace);
+        if trace.is_some() {
+            if let Some(us) = apply_us {
+                metrics.record_stage_value(Stage::GroupCommitApply, us);
+            }
+        }
         committed.len()
     }
 
@@ -1180,7 +1350,7 @@ impl AdmissionPipeline {
     /// snapshot, not an I/O marathon.
     pub(crate) fn checkpoint_cut<R>(&self, metrics: &EngineMetrics, f: impl FnOnce() -> R) -> R {
         let _drain = self.commit.drain.lock();
-        self.chaos_point(KillSite::Checkpoint, metrics);
+        self.chaos_point(KillSite::Checkpoint, metrics, None);
         f()
     }
 
@@ -1199,5 +1369,130 @@ impl AdmissionPipeline {
     /// sessions to skip double abort notification.
     pub(crate) fn ruling_lane(&self, entity: EntityId, shards: &ShardedStore) -> usize {
         self.lane_of(entity, shards)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::certifier::CertifierKind;
+    use mvcc_telemetry::Telemetry;
+
+    /// The attribution rule, deterministically: a traced foreign step is
+    /// parked in the lane queue, an *untraced* session leads the drain —
+    /// the certify span must land in the foreign owner's outcome slot,
+    /// and none on the leader.
+    #[test]
+    fn drain_leader_hands_the_certify_span_to_the_traced_owner() {
+        let shards = ShardedStore::new(1, 4, Bytes::from_static(b"0"));
+        let history = HistoryLog::new(true, None);
+        let metrics = EngineMetrics::with_telemetry(1, Some(Telemetry::new()));
+        let pipeline =
+            AdmissionPipeline::new(CertifierKind::Sgt, 1, AdmissionMode::Batched, None, None);
+        let foreign = Arc::new(StepRequest {
+            step: Step::write(TxId(7), EntityId(0)),
+            value: Some(Bytes::from_static(b"foreign")),
+            log_begin: false,
+            trace: Some(TraceId::pack(0, 7)),
+            outcome: TrackedMutex::new(lock_class!("engine.step-slot"), None),
+        });
+        pipeline.lanes[0].queue.lock().push(Arc::clone(&foreign));
+        let mut spans = Vec::new();
+        let own_value = Bytes::from_static(b"own");
+        let outcome = pipeline.submit_step(
+            Step::write(TxId(8), EntityId(1)),
+            Some(&own_value),
+            false,
+            &shards,
+            &history,
+            &metrics,
+            None,
+            &mut spans,
+        );
+        assert!(matches!(outcome, StepOutcome::Admitted(_)));
+        assert!(spans.is_empty(), "untraced leader keeps no spans");
+        let (foreign_outcome, foreign_span) = foreign
+            .outcome
+            .lock()
+            .take()
+            .expect("the leader fills every drained slot");
+        assert!(matches!(foreign_outcome, StepOutcome::Admitted(_)));
+        let span = foreign_span.expect("traced owner receives the leader's certify span");
+        assert_eq!(span.stage, Stage::Certify);
+        assert_eq!(span.depth, 1);
+        assert_eq!(span.lsn, None);
+    }
+
+    /// With tracing off entirely, a traced-looking queue entry is
+    /// impossible — but an untraced foreign entry ruled by a *traced*
+    /// leader must stay span-free: attribution never leaks the leader's
+    /// trace onto other owners.
+    #[test]
+    fn traced_leader_does_not_leak_spans_onto_untraced_waiters() {
+        let shards = ShardedStore::new(1, 4, Bytes::from_static(b"0"));
+        let history = HistoryLog::new(true, None);
+        let metrics = EngineMetrics::with_telemetry(1, Some(Telemetry::new()));
+        let pipeline =
+            AdmissionPipeline::new(CertifierKind::Sgt, 1, AdmissionMode::Batched, None, None);
+        let foreign = Arc::new(StepRequest {
+            step: Step::write(TxId(3), EntityId(0)),
+            value: Some(Bytes::from_static(b"foreign")),
+            log_begin: false,
+            trace: None,
+            outcome: TrackedMutex::new(lock_class!("engine.step-slot"), None),
+        });
+        pipeline.lanes[0].queue.lock().push(Arc::clone(&foreign));
+        let mut spans = Vec::new();
+        let own_value = Bytes::from_static(b"own");
+        let outcome = pipeline.submit_step(
+            Step::write(TxId(4), EntityId(1)),
+            Some(&own_value),
+            false,
+            &shards,
+            &history,
+            &metrics,
+            Some(TraceId::pack(1, 4)),
+            &mut spans,
+        );
+        assert!(matches!(outcome, StepOutcome::Admitted(_)));
+        assert_eq!(spans.len(), 1, "traced leader keeps its own certify span");
+        assert_eq!(spans[0].stage, Stage::Certify);
+        let (_, foreign_span) = foreign
+            .outcome
+            .lock()
+            .take()
+            .expect("the leader fills every drained slot");
+        assert!(
+            foreign_span.is_none(),
+            "untraced owner must not inherit the leader's span"
+        );
+    }
+
+    /// Ring mode records the drop horizon, and the windowed projection
+    /// keeps exactly the transactions wholly above it.
+    #[test]
+    fn ring_history_tracks_the_drop_horizon() {
+        let history = HistoryLog::new(true, Some(2));
+        history.append_batch(&[
+            Step::write(TxId(1), EntityId(0)),
+            Step::write(TxId(2), EntityId(0)),
+        ]);
+        assert_eq!(history.snapshot().drop_horizon, None);
+        history.append_batch(&[Step::write(TxId(3), EntityId(0))]);
+        history.commit_all(&[TxId(1), TxId(2), TxId(3)]);
+        let snap = history.snapshot();
+        assert_eq!(snap.dropped, 1);
+        assert_eq!(snap.drop_horizon, Some(TxId(1)));
+        assert!(!snap.is_complete());
+        // tx1's step fell off the front: the window is tx2 and tx3, both
+        // of which still have every step retained.
+        assert_eq!(snap.committed_schedule().len(), 2);
+        assert_eq!(snap.windowed_schedule().len(), 2);
+        // A complete history windows to the full committed projection.
+        let full = HistoryLog::new(true, None);
+        full.append_batch(&[Step::write(TxId(1), EntityId(0))]);
+        full.commit_all(&[TxId(1)]);
+        let snap = full.snapshot();
+        assert_eq!(snap.windowed_schedule().len(), 1);
     }
 }

@@ -56,7 +56,7 @@ use mvcc_durability::{
     RecoveredState, RecoveryOptions, RecoveryReport, ShardCheckpoint, WalRecord, WalWriter,
 };
 use mvcc_store::{gc, StoreError, TxHandle};
-use mvcc_telemetry::{EventKind, Telemetry, TelemetryMode};
+use mvcc_telemetry::{EventKind, SpanRecord, Telemetry, TelemetryMode, TraceId, TraceTree};
 use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
@@ -195,6 +195,12 @@ pub struct History {
     /// mode).  A history with drops is no longer classifiable as a whole
     /// — [`History::is_complete`] says which case holds.
     pub dropped: u64,
+    /// The highest transaction id among the dropped steps (`None` when
+    /// nothing was dropped).  Transaction ids are allocated monotonically,
+    /// so every transaction with an id *above* this horizon has all of its
+    /// admitted steps still in the window — the projection
+    /// [`History::windowed_schedule`] builds on for online checking.
+    pub drop_horizon: Option<TxId>,
     /// Transactions that committed.
     pub committed: BTreeSet<TxId>,
 }
@@ -216,6 +222,32 @@ impl History {
                 .filter(|s| self.committed.contains(&s.tx))
                 .collect(),
         )
+    }
+
+    /// The classifiable *window* of a ring-mode history: the committed
+    /// projection restricted to transactions wholly above
+    /// [`History::drop_horizon`] — every one of their admitted steps is
+    /// still in the window, so the projection is a genuine sub-schedule
+    /// (no transaction with half its steps missing).  On a complete
+    /// history this is exactly [`History::committed_schedule`].
+    ///
+    /// Soundness caveat for checkers: a window is a transaction-subset
+    /// projection of the full committed history, so only properties
+    /// *closed under transaction-subset projection* may be asserted on
+    /// it.  Conflict-graph classes qualify (CSR and MVCSR: a subgraph of
+    /// an acyclic conflict graph is acyclic); exact MVSR membership does
+    /// not.  The online watchdog restricts itself accordingly.
+    pub fn windowed_schedule(&self) -> Schedule {
+        match self.drop_horizon {
+            None => self.committed_schedule(),
+            Some(horizon) => Schedule::from_steps(
+                self.admitted
+                    .iter()
+                    .copied()
+                    .filter(|s| s.tx > horizon && self.committed.contains(&s.tx))
+                    .collect(),
+            ),
+        }
     }
 }
 
@@ -676,6 +708,8 @@ impl Engine {
             wal_begin_pending: self.wal.is_some(),
             // lint: allow(clock) — commit latency measurement feeding EngineMetrics
             started: Instant::now(),
+            trace: self.metrics.trace_begin(self.epoch, tx.0),
+            spans: Vec::new(),
         }
     }
 
@@ -714,6 +748,14 @@ pub struct Session {
     /// off.
     wal_begin_pending: bool,
     started: Instant,
+    /// `Some` when this transaction was sampled for causal tracing at
+    /// `begin` (1-in-32 per thread, telemetry on): every pipeline stage it
+    /// passes through hands a span back through the outcome slots, and the
+    /// finished tree is offered to the tail-exemplar reservoir at commit.
+    trace: Option<TraceId>,
+    /// Spans collected so far for a traced transaction (always empty when
+    /// `trace` is `None`).
+    spans: Vec<SpanRecord>,
 }
 
 impl Session {
@@ -770,6 +812,8 @@ impl Session {
             &self.engine.shards,
             &self.engine.history,
             &self.engine.metrics,
+            self.trace,
+            &mut self.spans,
         );
         let plan = match outcome {
             StepOutcome::Rejected => {
@@ -823,6 +867,8 @@ impl Session {
             &self.engine.shards,
             &self.engine.history,
             &self.engine.metrics,
+            self.trace,
+            &mut self.spans,
         );
         match outcome {
             StepOutcome::Rejected => {
@@ -861,11 +907,25 @@ impl Session {
             &self.engine.shards,
             &self.engine.history,
             &self.engine.metrics,
+            self.trace,
+            &mut self.spans,
         );
         match outcome {
             CommitOutcome::Committed { wal_lsn } => {
                 self.active = false;
                 self.engine.metrics.record_commit(self.started.elapsed());
+                if let Some(trace) = self.trace {
+                    // The finished span tree: whole-transaction latency at
+                    // the root, stage spans beneath.  The reservoir keeps
+                    // it only if it is among the slowest outliers.
+                    let mut tree = TraceTree::new(trace);
+                    tree.total_us =
+                        u64::try_from(self.started.elapsed().as_micros()).unwrap_or(u64::MAX);
+                    for span in self.spans.drain(..) {
+                        tree.push(span);
+                    }
+                    self.engine.metrics.offer_exemplar(tree);
+                }
                 if self.engine.epoch > 0 {
                     // First commit under a promoted epoch closes the
                     // failover timeline: time from this (promoted)
@@ -935,9 +995,11 @@ impl Session {
             }
         }
         self.active = false;
-        self.engine
-            .metrics
-            .record_abort(reason, trigger.map(|e| self.engine.shards.shard_of(e)));
+        self.engine.metrics.record_abort_traced(
+            reason,
+            trigger.map(|e| self.engine.shards.shard_of(e)),
+            self.trace,
+        );
     }
 }
 

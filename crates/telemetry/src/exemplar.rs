@@ -1,0 +1,235 @@
+//! The tail-exemplar reservoir: full span trees for the slowest commits
+//! only.
+//!
+//! Keeping every transaction's span tree would cost memory proportional
+//! to throughput; keeping none would leave the stage histograms without
+//! witnesses.  The reservoir keeps the middle ground the "why slow"
+//! report needs: the **slowest ~[`EXEMPLAR_CAPACITY`] commit-latency
+//! outliers**, each with its full [`TraceTree`], in O(capacity) memory.
+//!
+//! The admission check is O(1) on the hot path: an atomic *dynamic
+//! threshold* holds the latency of the fastest retained exemplar once
+//! the reservoir is full, so the common case — a commit faster than the
+//! current tail — is a pair of relaxed atomics and no lock.  Only genuine tail
+//! candidates take the short mutex, where the new tree evicts the
+//! current minimum.  The threshold is therefore **monotone
+//! nondecreasing** once the reservoir fills: every eviction replaces
+//! the minimum with something larger, so the new minimum can only rise.
+//! The 8-thread reservoir test pins both the bound and that
+//! monotonicity.
+
+use crate::trace::TraceTree;
+use mvcc_analysis::lock_class;
+use mvcc_analysis::lockdep::TrackedMutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How many tail exemplars are retained per registry (per certifier in
+/// the bench harness — each engine owns one registry).
+pub const EXEMPLAR_CAPACITY: usize = 64;
+
+#[derive(Debug, Default)]
+struct Kept {
+    trees: Vec<TraceTree>,
+}
+
+/// The dynamic-threshold reservoir of the slowest commit span trees.
+#[derive(Debug)]
+pub struct ExemplarReservoir {
+    capacity: usize,
+    /// Latency of the fastest retained exemplar once full; 0 while the
+    /// reservoir still has room (everything traced is admitted).
+    threshold_us: AtomicU64,
+    offered: AtomicU64,
+    retained: AtomicU64,
+    kept: TrackedMutex<Kept>,
+}
+
+impl ExemplarReservoir {
+    /// A reservoir retaining at most `capacity` trees (zero bumped to 1).
+    pub fn new(capacity: usize) -> ExemplarReservoir {
+        ExemplarReservoir {
+            capacity: capacity.max(1),
+            threshold_us: AtomicU64::new(0),
+            offered: AtomicU64::new(0),
+            retained: AtomicU64::new(0),
+            kept: TrackedMutex::new(lock_class!("telemetry.exemplars"), Kept::default()),
+        }
+    }
+
+    /// Offers a committed transaction's tree; returns whether it was
+    /// retained.  The fast path for sub-threshold commits is two relaxed
+    /// atomics — no lock, no allocation touched.  Rejection on the fast
+    /// path is always sound: the threshold is monotone, so a latency at
+    /// or below it can never beat a future minimum either.
+    pub fn offer(&self, tree: TraceTree) -> bool {
+        self.offered.fetch_add(1, Ordering::Relaxed);
+        let threshold = self.threshold_us.load(Ordering::Relaxed);
+        if threshold > 0 && tree.total_us <= threshold {
+            return false;
+        }
+        let mut kept = self.kept.lock();
+        if kept.trees.len() < self.capacity {
+            kept.trees.push(tree);
+            self.retained.fetch_add(1, Ordering::Relaxed);
+            if kept.trees.len() == self.capacity {
+                self.store_threshold(&kept);
+            }
+            return true;
+        }
+        // Full: re-check under the lock (the atomic read above may have
+        // raced), then evict the current minimum.
+        let (min_idx, min_us) = kept
+            .trees
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i, t.total_us))
+            .min_by_key(|&(_, us)| us)
+            .unwrap_or((0, 0));
+        if tree.total_us <= min_us {
+            return false;
+        }
+        kept.trees[min_idx] = tree;
+        self.retained.fetch_add(1, Ordering::Relaxed);
+        self.store_threshold(&kept);
+        true
+    }
+
+    fn store_threshold(&self, kept: &Kept) {
+        let min = kept.trees.iter().map(|t| t.total_us).min().unwrap_or(0);
+        self.threshold_us.store(min, Ordering::Relaxed);
+    }
+
+    /// The current admission threshold in µs (0 until the reservoir
+    /// fills).  Monotone nondecreasing once non-zero.
+    pub fn threshold_us(&self) -> u64 {
+        self.threshold_us.load(Ordering::Relaxed)
+    }
+
+    /// Trees currently retained, slowest first.
+    pub fn snapshot(&self) -> Vec<TraceTree> {
+        let kept = self.kept.lock();
+        let mut trees = kept.trees.clone();
+        trees.sort_by_key(|t| std::cmp::Reverse(t.total_us));
+        trees
+    }
+
+    /// `(offered, retained)` counters — retained counts admissions, not
+    /// the current size (an admitted tree may later be evicted).
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.offered.load(Ordering::Relaxed),
+            self.retained.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of trees currently retained.
+    pub fn len(&self) -> usize {
+        self.kept.lock().trees.len()
+    }
+
+    /// True when nothing has been retained yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceId;
+
+    fn tree(tx: u32, total_us: u64) -> TraceTree {
+        TraceTree {
+            total_us,
+            ..TraceTree::new(TraceId::pack(0, tx))
+        }
+    }
+
+    #[test]
+    fn the_reservoir_keeps_exactly_the_slowest() {
+        let res = ExemplarReservoir::new(4);
+        for i in 0..20u64 {
+            // Offer latencies 0,7,14,…,133 in a scrambled order.
+            let latency = (i * 7) % 140;
+            res.offer(tree(i as u32, latency));
+        }
+        let kept: Vec<u64> = res.snapshot().iter().map(|t| t.total_us).collect();
+        assert_eq!(kept.len(), 4);
+        let mut all: Vec<u64> = (0..20).map(|i| (i * 7) % 140).collect();
+        all.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(kept, all[..4].to_vec(), "kept must be the global top-4");
+        assert_eq!(res.threshold_us(), all[3]);
+        let (offered, _) = res.counters();
+        assert_eq!(offered, 20);
+    }
+
+    #[test]
+    fn below_threshold_offers_are_rejected_without_eviction() {
+        let res = ExemplarReservoir::new(2);
+        assert!(res.offer(tree(1, 100)));
+        assert!(res.offer(tree(2, 200)));
+        assert_eq!(res.threshold_us(), 100);
+        assert!(!res.offer(tree(3, 50)), "below the tail: rejected");
+        assert!(!res.offer(tree(4, 100)), "ties lose to the incumbent");
+        assert!(res.offer(tree(5, 150)), "a new outlier evicts the min");
+        assert_eq!(res.threshold_us(), 150);
+        assert_eq!(res.len(), 2);
+    }
+
+    #[test]
+    fn the_bound_and_threshold_monotonicity_hold_under_eight_threads() {
+        // Satellite: 8 threads hammer one reservoir with distinct
+        // latencies; the bound must hold exactly, the retained set must
+        // be the global top-capacity, and every thread must observe a
+        // nondecreasing threshold sequence (the dynamic threshold only
+        // ever rises once the reservoir is full).
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 2_000;
+        let res = std::sync::Arc::new(ExemplarReservoir::new(EXEMPLAR_CAPACITY));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let res = std::sync::Arc::clone(&res);
+                std::thread::spawn(move || {
+                    let mut last = 0u64;
+                    for i in 0..PER_THREAD {
+                        // Distinct latencies across all threads, offered
+                        // in an interleaved (non-monotone) order.
+                        let latency = (i * THREADS + t) ^ 0x155;
+                        res.offer(tree((t * PER_THREAD + i) as u32, latency));
+                        let now = res.threshold_us();
+                        assert!(
+                            now >= last,
+                            "threshold regressed: {last} -> {now} on thread {t}"
+                        );
+                        last = now;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let kept: Vec<u64> = res.snapshot().iter().map(|t| t.total_us).collect();
+        assert_eq!(kept.len(), EXEMPLAR_CAPACITY, "bound violated");
+        let mut all: Vec<u64> = (0..THREADS)
+            .flat_map(|t| (0..PER_THREAD).map(move |i| (i * THREADS + t) ^ 0x155))
+            .collect();
+        all.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(
+            kept,
+            all[..EXEMPLAR_CAPACITY].to_vec(),
+            "retained set must be the global slowest {EXEMPLAR_CAPACITY}"
+        );
+        let (offered, _) = res.counters();
+        assert_eq!(offered, THREADS * PER_THREAD);
+    }
+
+    #[test]
+    fn zero_capacity_is_bumped_to_one() {
+        let res = ExemplarReservoir::new(0);
+        assert!(res.offer(tree(1, 5)));
+        assert!(res.offer(tree(2, 9)));
+        assert_eq!(res.len(), 1);
+        assert_eq!(res.snapshot()[0].total_us, 9);
+    }
+}

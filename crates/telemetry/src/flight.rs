@@ -15,6 +15,7 @@
 //! incident, not one per step), and a ring shared by readers has to
 //! serialize somewhere.  The hot per-step path never records events.
 
+use crate::trace::TraceId;
 use mvcc_analysis::lock_class;
 use mvcc_analysis::lockdep::TrackedMutex;
 use std::collections::VecDeque;
@@ -31,6 +32,10 @@ pub struct FlightEvent {
     pub at_us: u64,
     /// What happened.
     pub kind: EventKind,
+    /// The transaction this event belongs to, when the recording site
+    /// knew one — lets a dumped kill-site/fence/abort event be joined
+    /// against that transaction's span tree.
+    pub trace: Option<TraceId>,
 }
 
 /// The structured event vocabulary.
@@ -92,6 +97,19 @@ pub enum EventKind {
         /// The new epoch.
         epoch: u64,
     },
+    /// The online classification watchdog ruled on a sampled
+    /// committed-history window.
+    WatchdogVerdict {
+        /// The certifier's claimed class (e.g. `CSR`).
+        class: String,
+        /// Whether the window classified into the class.
+        ok: bool,
+        /// Committed transactions in the checked window.
+        txns: u64,
+        /// Free-form detail: window shape, or the offending trace ids
+        /// on a violation.
+        detail: String,
+    },
     /// Free-form annotation from tests or harnesses.
     Note {
         /// The annotation.
@@ -118,6 +136,14 @@ impl fmt::Display for EventKind {
             EventKind::Abort { reason } => write!(f, "abort reason={reason}"),
             EventKind::EpochFirstCommit { epoch } => {
                 write!(f, "epoch-first-commit epoch={epoch}")
+            }
+            EventKind::WatchdogVerdict {
+                class,
+                ok,
+                txns,
+                detail,
+            } => {
+                write!(f, "watchdog class={class} ok={ok} txns={txns} {detail}")
             }
             EventKind::Note { text } => write!(f, "note {text}"),
         }
@@ -156,15 +182,21 @@ impl FlightRecorder {
         }
     }
 
-    /// Records one event, timestamped now.
+    /// Records one event, timestamped now, with no trace attribution.
     pub fn record(&self, kind: EventKind) {
+        self.record_traced(kind, None);
+    }
+
+    /// Records one event attributed to a transaction's trace (when the
+    /// recording site knows one).
+    pub fn record_traced(&self, kind: EventKind, trace: Option<TraceId>) {
         let at_us = duration_to_us(self.start.elapsed());
         let mut ring = self.ring.lock();
         if ring.events.len() == self.capacity {
             ring.events.pop_front();
             ring.dropped += 1;
         }
-        ring.events.push_back(FlightEvent { at_us, kind });
+        ring.events.push_back(FlightEvent { at_us, kind, trace });
     }
 
     /// Number of events currently held.
@@ -203,7 +235,13 @@ impl FlightRecorder {
             ring.dropped
         ));
         for event in &ring.events {
-            out.push_str(&format!("  +{:>10}µs  {}\n", event.at_us, event.kind));
+            match event.trace {
+                Some(trace) => out.push_str(&format!(
+                    "  +{:>10}µs  {} trace={}\n",
+                    event.at_us, event.kind, trace
+                )),
+                None => out.push_str(&format!("  +{:>10}µs  {}\n", event.at_us, event.kind)),
+            }
         }
         out
     }
@@ -290,6 +328,12 @@ mod tests {
                 reason: "write-conflict".into(),
             },
             EventKind::EpochFirstCommit { epoch: 1 },
+            EventKind::WatchdogVerdict {
+                class: "CSR".into(),
+                ok: true,
+                txns: 42,
+                detail: "complete".into(),
+            },
             EventKind::Note { text: "hi".into() },
         ];
         let rec = FlightRecorder::new(kinds.len());
@@ -307,9 +351,34 @@ mod tests {
             "gc-reclaim",
             "abort",
             "epoch-first-commit",
+            "watchdog class=CSR ok=true txns=42",
             "note hi",
         ] {
             assert!(dump.contains(needle), "missing {needle} in:\n{dump}");
         }
+    }
+
+    #[test]
+    fn traced_events_render_their_trace_id_untraced_ones_do_not() {
+        let rec = FlightRecorder::new(4);
+        rec.record_traced(
+            EventKind::KillSite {
+                site: "group-commit-flush".into(),
+            },
+            Some(TraceId::pack(1, 9)),
+        );
+        rec.record(EventKind::CheckpointCut { seq: 2 });
+        let dump = rec.dump();
+        assert!(
+            dump.contains("kill-site site=group-commit-flush trace=t1.9"),
+            "{dump}"
+        );
+        assert!(
+            !dump.contains("checkpoint-cut seq=2 trace="),
+            "untraced events must not grow a trace suffix: {dump}"
+        );
+        let events = rec.events();
+        assert_eq!(events[0].trace, Some(TraceId::pack(1, 9)));
+        assert_eq!(events[1].trace, None);
     }
 }

@@ -59,6 +59,10 @@ pub enum Stage {
     /// committed transaction (µs).  Summed with the three failover
     /// stages above this is the measured MTTR.
     EpochFirstCommit,
+    /// Time a follower read spent pinning its transaction-consistent
+    /// safe point on a replica (µs) — the read-path half of the causal
+    /// trace, correlated to the apply path by the pinned safe LSN.
+    FollowerReadPin,
 }
 
 /// The unit a stage's histogram is denominated in.
@@ -95,11 +99,12 @@ const ALL: [Stage; Stage::COUNT] = [
     Stage::FailoverElect,
     Stage::FailoverPromote,
     Stage::EpochFirstCommit,
+    Stage::FollowerReadPin,
 ];
 
 impl Stage {
     /// Number of stages in the registry.
-    pub const COUNT: usize = 13;
+    pub const COUNT: usize = 14;
 
     /// Every stage, in registry order (the order histograms are laid out
     /// and the order snapshots and JSON documents list them).
@@ -123,6 +128,7 @@ impl Stage {
             Stage::FailoverElect => 10,
             Stage::FailoverPromote => 11,
             Stage::EpochFirstCommit => 12,
+            Stage::FollowerReadPin => 13,
         }
     }
 
@@ -147,7 +153,15 @@ impl Stage {
             Stage::FailoverElect => "failover-elect",
             Stage::FailoverPromote => "failover-promote",
             Stage::EpochFirstCommit => "epoch-first-commit",
+            Stage::FollowerReadPin => "follower-read-pin",
         }
+    }
+
+    /// The stage with the given kebab-case name, if any — the inverse of
+    /// [`Stage::name`], used by schema validators that read stage names
+    /// back out of exported documents.
+    pub fn from_name(name: &str) -> Option<Stage> {
+        Stage::all().into_iter().find(|s| s.name() == name)
     }
 
     /// The unit this stage's histogram is denominated in.
@@ -174,7 +188,9 @@ mod tests {
         for (i, stage) in Stage::all().iter().enumerate() {
             assert_eq!(stage.index(), i);
             assert_eq!(Stage::from_index(i), Some(*stage));
+            assert_eq!(Stage::from_name(stage.name()), Some(*stage));
         }
+        assert_eq!(Stage::from_name("no-such-stage"), None);
         assert_eq!(Stage::all().len(), Stage::COUNT);
         assert_eq!(Stage::from_index(Stage::COUNT), None);
     }

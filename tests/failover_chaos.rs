@@ -41,8 +41,8 @@ use common::chaos::{kill_sites, ChaosRng, Freezer};
 use common::{committed_sets, FlightDumpGuard};
 use mvcc_repro::durability::{read_epoch_marker, recover, RecoveryOptions};
 use mvcc_repro::engine::{
-    Bytes, CertifierKind, DurabilityConfig, DurabilityMode, Engine, EngineConfig, EngineError,
-    KillSite, TelemetryMode,
+    Bytes, CertifierKind, ClassificationWatchdog, DurabilityConfig, DurabilityMode, Engine,
+    EngineConfig, EngineError, KillSite, TelemetryMode, WatchdogConfig,
 };
 use mvcc_repro::prelude::*;
 use mvcc_repro::replica::{
@@ -152,6 +152,11 @@ fn failover_soak(kind: CertifierKind, site: KillSite) {
         format!("failover_soak {kind}/{site}"),
         engine.metrics_handle(),
     );
+    // The online classification watchdog samples the doomed primary's
+    // committed windows while the chaos load runs — continuous
+    // verification right up to (and past) the kill.  Zero false alarms
+    // is part of the soak's acceptance.
+    let primary_dog = ClassificationWatchdog::start(Arc::clone(&engine), WatchdogConfig::default());
     let router = Arc::new(WriteRouter::new(Arc::clone(&engine)));
 
     // Two candidates tailing the log live; either may win the election.
@@ -335,6 +340,38 @@ fn failover_soak(kind: CertifierKind, site: KillSite) {
         kind.class()
     );
 
+    // The watchdog's version of the same two claims, online: the doomed
+    // primary's sampled windows never false-alarmed (a forced final pass
+    // guarantees at least one verdict on the pre-kill traffic), and a
+    // watchdog attached to the promoted engine classifies the *merged*
+    // failover history with zero violations too.
+    let _ = primary_dog.check_once();
+    let primary_verdicts = primary_dog.stop();
+    assert_eq!(
+        primary_verdicts.violations, 0,
+        "{kind}/{site}: the watchdog false-alarmed on the doomed primary"
+    );
+    if kind != CertifierKind::Mvto {
+        // MVTO's class (MVSR) is only soundly checkable on a *complete*
+        // history, and the frozen primary leaks in-flight sessions.
+        assert!(
+            primary_verdicts.windows >= 1,
+            "{kind}/{site}: the watchdog never classified a pre-kill window"
+        );
+    }
+    let promoted_dog =
+        ClassificationWatchdog::start(Arc::clone(&promoted), WatchdogConfig::default());
+    let _ = promoted_dog.check_once();
+    let promoted_verdicts = promoted_dog.stop();
+    assert_eq!(
+        promoted_verdicts.violations, 0,
+        "{kind}/{site}: the watchdog false-alarmed on the merged failover history"
+    );
+    assert!(
+        promoted_verdicts.windows >= 1,
+        "{kind}/{site}: the watchdog never classified the merged history"
+    );
+
     ship_electee.stop();
     ship_bystander.stop();
     driver.stop();
@@ -516,6 +553,13 @@ fn the_flight_recorder_captures_a_scripted_kill_site() {
     assert!(
         dump.contains("kill-site site=group-commit-flush"),
         "the dump must carry the scripted kill event:\n{dump}"
+    );
+    // Correlation: the committer is the first transaction on a fresh
+    // thread, so it is always trace-sampled, and the kill event carries
+    // its trace id — the dump line names *which* commit died there.
+    assert!(
+        dump.contains("kill-site site=group-commit-flush trace=t0."),
+        "the kill event must carry the doomed commit's trace id:\n{dump}"
     );
     // Wake the frozen committer so the test exits cleanly (this is the
     // observability test — the fencing story is pinned elsewhere).
