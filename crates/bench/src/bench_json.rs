@@ -1,8 +1,10 @@
-//! The machine-readable bench trajectories (experiments E17 and E18):
-//! builds and validates the documents the `telemetry_scaling` binary
-//! emits — `BENCH_7.json` (per-stage quantiles), `BENCH_9.json` (the
-//! traced row set: stage quantiles plus exemplar/attribution and
-//! watchdog counts) and the "why slow" trace report.
+//! The machine-readable bench trajectories (experiments E17, E18 and
+//! E19): builds and validates the documents the `telemetry_scaling`
+//! binary emits — `BENCH_7.json` (per-stage quantiles), `BENCH_9.json`
+//! (the traced row set: stage quantiles plus exemplar/attribution and
+//! watchdog counts), `BENCH_10.json` (the monitored row set: a BENCH_9
+//! row plus a per-row timeline summary), the `timeline.jsonl` frame
+//! export `mvccstat replay` consumes, and the "why slow" trace report.
 //!
 //! The documents are the bridge between the bench harness and anything
 //! that wants to track the repo's performance over time without parsing
@@ -14,7 +16,7 @@
 //! in smoke mode and fails on malformed output, so the documents can be
 //! trusted downstream.
 
-use crate::experiments::{TelemetryRow, TraceRun};
+use crate::experiments::{TelemetryRow, TimelineRun, TraceRun};
 use mvcc_telemetry::json::{self, JsonValue};
 use mvcc_telemetry::Stage;
 
@@ -185,6 +187,160 @@ pub fn validate_bench9(text: &str) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Renders the E19 trajectory document: the E18 row fields plus a
+/// per-row `timeline` summary block — `frames` (how many windows the
+/// continuous recorder captured), `max_abort_rate` (worst single-window
+/// abort rate), `worst_p99_us` (worst single-window p99 commit latency)
+/// and `alarms` (anomaly-detector alarms raised; a steady run must show
+/// 0).  A BENCH_10 row is a superset of a BENCH_9 row, so the
+/// `bench_diff` gate (which reads only `certifier` and `txn_s`) compares
+/// BENCH_10 against a committed BENCH_9 unchanged.  `experiment` names
+/// the run (`"E19"`, or a variant tag for smoke runs).
+pub fn bench10_document(experiment: &str, runs: &[TimelineRun]) -> String {
+    let mut out = String::with_capacity(2048);
+    out.push_str("{\"experiment\": ");
+    json::write_string(&mut out, experiment);
+    out.push_str(", \"rows\": [");
+    for (i, run) in runs.iter().enumerate() {
+        let row = &run.row;
+        let summary = run.summary();
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str("{\"certifier\": ");
+        json::write_string(&mut out, row.certifier.name());
+        out.push_str(", \"threads\": ");
+        json::write_number(&mut out, row.threads as f64);
+        out.push_str(", \"txn_s\": ");
+        json::write_number(&mut out, row.throughput_tps);
+        out.push_str(", \"p99_commit_us\": ");
+        json::write_number(&mut out, row.p99_latency_us);
+        out.push_str(", \"exemplars\": ");
+        json::write_number(&mut out, row.exemplar_count as f64);
+        out.push_str(", \"attribution\": ");
+        json::write_number(&mut out, row.attribution);
+        out.push_str(", \"watchdog_windows\": ");
+        json::write_number(&mut out, row.watchdog_windows as f64);
+        out.push_str(", \"watchdog_violations\": ");
+        json::write_number(&mut out, row.watchdog_violations as f64);
+        out.push_str(", \"timeline\": {\"frames\": ");
+        json::write_number(&mut out, summary.frames as f64);
+        out.push_str(", \"max_abort_rate\": ");
+        json::write_number(&mut out, summary.max_abort_rate);
+        out.push_str(", \"worst_p99_us\": ");
+        json::write_number(&mut out, summary.worst_p99_us);
+        out.push_str(", \"alarms\": ");
+        json::write_number(&mut out, summary.alarms as f64);
+        out.push_str("}, \"stages\": ");
+        out.push_str(&row.stages.to_json());
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Checks a `BENCH_10.json` document against the E19 schema: everything
+/// [`validate_bench9`] checks (a BENCH_10 row is a superset of a BENCH_9
+/// row), plus the `timeline` summary block — `frames >= 1` (the recorder
+/// always takes a closing sample), `max_abort_rate` a fraction in
+/// `[0, 1]`, `worst_p99_us` non-negative, and `alarms` a non-negative
+/// count.  Returns the first violation as an error.
+pub fn validate_bench10(text: &str) -> Result<(), String> {
+    validate_bench9(text)?;
+    let doc = json::parse(text)?;
+    let rows = doc
+        .get("rows")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing or non-array key: rows")?;
+    for (i, row) in rows.iter().enumerate() {
+        let certifier = row
+            .get("certifier")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("?");
+        let timeline = row
+            .get("timeline")
+            .and_then(JsonValue::as_object)
+            .ok_or_else(|| format!("row {i} ({certifier}): missing or non-object key: timeline"))?;
+        let number = |key: &str| {
+            timeline
+                .iter()
+                .find(|(k, _)| k == key)
+                .and_then(|(_, v)| v.as_number())
+                .ok_or_else(|| {
+                    format!("row {i} ({certifier}): missing or non-number key: timeline.{key}")
+                })
+        };
+        let frames = number("frames")?;
+        if frames < 1.0 {
+            return Err(format!(
+                "row {i} ({certifier}): timeline.frames {frames} below 1 \
+                 (the recorder always takes a closing sample)"
+            ));
+        }
+        let max_abort_rate = number("max_abort_rate")?;
+        if !(0.0..=1.0).contains(&max_abort_rate) {
+            return Err(format!(
+                "row {i} ({certifier}): timeline.max_abort_rate {max_abort_rate} outside [0, 1]"
+            ));
+        }
+        let worst_p99 = number("worst_p99_us")?;
+        if worst_p99 < 0.0 {
+            return Err(format!(
+                "row {i} ({certifier}): negative timeline.worst_p99_us"
+            ));
+        }
+        let alarms = number("alarms")?;
+        if alarms < 0.0 {
+            return Err(format!("row {i} ({certifier}): negative timeline.alarms"));
+        }
+    }
+    Ok(())
+}
+
+/// Checks a committed `timeline.jsonl` export (one
+/// [`mvcc_telemetry::TimelineFrame`] JSON object per line) for internal
+/// consistency: frames parse, `seq` strictly increases, `at_us` never
+/// goes backwards, `window_us > 0`, `abort_rate` stays in `[0, 1]` and
+/// `txn_s` is finite and non-negative.  Returns the frame count, so
+/// callers can assert the export is non-trivial.
+pub fn validate_timeline_jsonl(text: &str) -> Result<usize, String> {
+    let frames = mvcc_telemetry::parse_jsonl(text)?;
+    if frames.is_empty() {
+        return Err("timeline export holds no frames".into());
+    }
+    let mut prev_seq: Option<u64> = None;
+    let mut prev_at_us: u64 = 0;
+    for frame in &frames {
+        let seq = frame.seq;
+        if let Some(prev) = prev_seq {
+            if seq <= prev {
+                return Err(format!("frame seq {seq} does not increase past {prev}"));
+            }
+        }
+        prev_seq = Some(seq);
+        if frame.at_us < prev_at_us {
+            return Err(format!(
+                "frame {seq}: at_us {} goes backwards past {prev_at_us}",
+                frame.at_us
+            ));
+        }
+        prev_at_us = frame.at_us;
+        if frame.window_us == 0 {
+            return Err(format!("frame {seq}: zero window_us"));
+        }
+        if !(0.0..=1.0).contains(&frame.abort_rate) {
+            return Err(format!(
+                "frame {seq}: abort_rate {} outside [0, 1]",
+                frame.abort_rate
+            ));
+        }
+        if !frame.txn_s.is_finite() || frame.txn_s < 0.0 {
+            return Err(format!("frame {seq}: invalid txn_s {}", frame.txn_s));
+        }
+    }
+    Ok(frames.len())
 }
 
 /// Renders the "why slow" trace report: per certifier, the tail
@@ -684,5 +840,145 @@ mod tests {
         assert!(validate_trace_report(unsorted)
             .unwrap_err()
             .contains("slowest-first"));
+    }
+
+    /// A synthetic monitored run: the trace row plus a two-frame
+    /// timeline whose second window carries the worst abort rate and
+    /// p99, and no alarms.
+    fn timeline_run(kind: CertifierKind) -> TimelineRun {
+        use mvcc_telemetry::TimelineFrame;
+        let mut first = TimelineFrame::zeroed(1);
+        first.at_us = 100_000;
+        first.window_us = 100_000;
+        first.begun = 50;
+        first.committed = 48;
+        first.aborted = 2;
+        first.txn_s = 480.0;
+        first.abort_rate = 0.04;
+        first.commit.count = 48;
+        first.commit.p99 = 90.0;
+        let mut second = TimelineFrame::zeroed(2);
+        second.at_us = 200_000;
+        second.window_us = 100_000;
+        second.begun = 40;
+        second.committed = 30;
+        second.aborted = 10;
+        second.txn_s = 300.0;
+        second.abort_rate = 0.25;
+        second.commit.count = 30;
+        second.commit.p99 = 240.0;
+        TimelineRun {
+            row: trace_run(kind).row,
+            timeline: vec![first, second],
+            alarms: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn an_emitted_bench10_document_validates_and_summarizes_the_worst_window() {
+        let runs: Vec<TimelineRun> = CertifierKind::all().into_iter().map(timeline_run).collect();
+        let doc = bench10_document("E19-test", &runs);
+        validate_bench10(&doc).unwrap();
+        // A BENCH_10 row is a superset of BENCH_9 and BENCH_7 rows, so
+        // the older validators (and the bench_diff gate, which reads only
+        // certifier + txn_s) accept the document unchanged.
+        validate_bench9(&doc).unwrap();
+        validate_bench7(&doc).unwrap();
+        let parsed = json::parse(&doc).unwrap();
+        let rows = parsed.get("rows").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(rows.len(), 6);
+        let timeline = rows[0].get("timeline").unwrap();
+        assert_eq!(
+            timeline.get("frames").and_then(JsonValue::as_number),
+            Some(2.0)
+        );
+        assert_eq!(
+            timeline
+                .get("max_abort_rate")
+                .and_then(JsonValue::as_number),
+            Some(0.25)
+        );
+        assert_eq!(
+            timeline.get("worst_p99_us").and_then(JsonValue::as_number),
+            Some(240.0)
+        );
+        assert_eq!(
+            timeline.get("alarms").and_then(JsonValue::as_number),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn malformed_bench10_documents_are_rejected() {
+        let mut runs = vec![timeline_run(CertifierKind::Sgt)];
+        runs[0].timeline.clear();
+        assert!(validate_bench10(&bench10_document("E19", &runs))
+            .unwrap_err()
+            .contains("frames"));
+        let mut runs = vec![timeline_run(CertifierKind::Sgt)];
+        runs[0].timeline[1].abort_rate = 1.5;
+        assert!(validate_bench10(&bench10_document("E19", &runs))
+            .unwrap_err()
+            .contains("max_abort_rate"));
+        // A BENCH_9 document (no timeline block) fails the E19 schema.
+        let runs = vec![trace_run(CertifierKind::Sgt)];
+        assert!(validate_bench10(&bench9_document("E19", &runs))
+            .unwrap_err()
+            .contains("timeline"));
+    }
+
+    #[test]
+    fn a_timeline_export_round_trips_through_the_jsonl_validator() {
+        use mvcc_telemetry::write_jsonl;
+        let run = timeline_run(CertifierKind::Sgt);
+        let text = write_jsonl(&run.timeline);
+        assert_eq!(validate_timeline_jsonl(&text), Ok(2));
+        assert!(validate_timeline_jsonl("").is_err());
+        // Repeating a frame breaks strict seq monotonicity.
+        let stuck = write_jsonl(&[run.timeline[0].clone(), run.timeline[0].clone()]);
+        assert!(validate_timeline_jsonl(&stuck)
+            .unwrap_err()
+            .contains("does not increase"));
+        let mut backwards = run.timeline.clone();
+        backwards[1].at_us = 50_000;
+        assert!(validate_timeline_jsonl(&write_jsonl(&backwards))
+            .unwrap_err()
+            .contains("backwards"));
+        let mut hot = run.timeline.clone();
+        hot.get_mut(1).unwrap().abort_rate = 2.0;
+        assert!(validate_timeline_jsonl(&write_jsonl(&hot))
+            .unwrap_err()
+            .contains("abort_rate"));
+    }
+
+    #[test]
+    fn a_monitored_live_run_round_trips_through_bench10() {
+        use crate::experiments::timeline_scaling_table;
+        use mvcc_workload::LoadProfile;
+        let profile = LoadProfile {
+            threads: 2,
+            shards: 2,
+            ops: 200,
+            entities: 8,
+            steps_per_transaction: 3,
+            read_ratio: 0.7,
+            zipf_theta: 0.0,
+            seed: 0xb10,
+        };
+        let runs = timeline_scaling_table(&profile, &[CertifierKind::Sgt], 1);
+        assert_eq!(runs.len(), 1);
+        assert!(
+            !runs[0].timeline.is_empty(),
+            "a monitored run must record at least the closing frame"
+        );
+        assert!(
+            runs[0].alarms.is_empty(),
+            "the detector must not false-alarm on a steady run: {:?}",
+            runs[0].alarms
+        );
+        let doc = bench10_document("E19-live", &runs);
+        validate_bench10(&doc).unwrap();
+        let text = mvcc_telemetry::write_jsonl(&runs[0].timeline);
+        validate_timeline_jsonl(&text).unwrap();
     }
 }

@@ -11,6 +11,12 @@
 //! CI runs this in the bench-smoke job: the committed `BENCH_7.json` is
 //! the baseline trajectory, the freshly generated `BENCH_8.json` the
 //! candidate.  Improvements and sub-threshold noise print but pass.
+//!
+//! The gate reads only `rows[].certifier` and `rows[].txn_s`, which every
+//! later document schema keeps as a superset — so the same binary also
+//! gates E18's `BENCH_9.json` (vs. `BENCH_8`) and E19's `BENCH_10.json`
+//! (vs. the committed `BENCH_9`): the timeline-recorder overhead rides
+//! the same 10% throughput threshold as everything else.
 
 use mvcc_telemetry::json::{parse, JsonValue};
 use std::process::ExitCode;

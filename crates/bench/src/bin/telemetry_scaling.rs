@@ -1,11 +1,14 @@
-//! Experiments E17/E18: the per-stage telemetry trajectory and the
-//! causal-tracing trajectory — every certifier under the closed loop
-//! with tracing on, exported as `BENCH_7.json` (E17) or, with
-//! `--trace`, as `BENCH_9.json` plus the "why slow" trace report (E18).
+//! Experiments E17/E18/E19: the per-stage telemetry trajectory, the
+//! causal-tracing trajectory and the continuous-observability
+//! trajectory — every certifier under the closed loop with tracing on,
+//! exported as `BENCH_7.json` (E17), with `--trace` as `BENCH_9.json`
+//! plus the "why slow" trace report (E18), or with `--timeline` as
+//! `BENCH_10.json` plus the `timeline.jsonl` frame export (E19).
 //!
 //! Prints the human-readable table and writes the machine-readable
-//! document ([`mvcc_bench::bench_json::bench7_document`] or
-//! [`mvcc_bench::bench_json::bench9_document`]) to `--out`, then
+//! document ([`mvcc_bench::bench_json::bench7_document`],
+//! [`mvcc_bench::bench_json::bench9_document`] or
+//! [`mvcc_bench::bench_json::bench10_document`]) to `--out`, then
 //! re-validates what it wrote — the same schema check CI runs, so a
 //! malformed document fails here first.
 //!
@@ -19,23 +22,37 @@
 //!   classification watchdog sampling committed windows under load, and
 //!   tail-exemplar capture.  Changes the default `--out` to
 //!   `BENCH_9.json`.
+//! * `--timeline` — run E19 instead: everything E18 runs *plus* the
+//!   continuous health monitor sampling the metrics registry on a fixed
+//!   cadence, so each row carries a windowed timeline summary (frames,
+//!   worst abort-rate window, worst p99 window, alarms).  Changes the
+//!   default `--out` to `BENCH_10.json`.
 //! * `--out PATH` — where to write the JSON document.
 //! * `--trace-out PATH` — (E18 only) also write the exemplar /
 //!   attribution trace report, schema-checked by
 //!   [`mvcc_bench::bench_json::validate_trace_report`].
+//! * `--timeline-out PATH` — (E19 only) also write the recorded frames
+//!   of the densest row as JSONL, schema-checked by
+//!   [`mvcc_bench::bench_json::validate_timeline_jsonl`] — the file
+//!   `mvccstat replay` consumes.
 //! * `--validate PATH` — validate an existing document and exit (no
 //!   benchmark runs).  E18 documents (experiment tag `E18*`) are held
-//!   to the stricter BENCH_9 schema.
+//!   to the stricter BENCH_9 schema, E19 documents (`E19*`) to the
+//!   BENCH_10 schema.
 //! * `--validate-trace PATH` — validate an existing trace report and
 //!   exit.
+//! * `--validate-timeline PATH` — validate an existing `timeline.jsonl`
+//!   export and exit.
 //!
 //! Run with `cargo run -p mvcc-bench --bin telemetry_scaling --release`.
 
 use mvcc_bench::bench_json::{
-    bench7_document, bench9_document, trace_report_document, validate_bench7, validate_bench9,
-    validate_trace_report,
+    bench10_document, bench7_document, bench9_document, trace_report_document, validate_bench10,
+    validate_bench7, validate_bench9, validate_timeline_jsonl, validate_trace_report,
 };
-use mvcc_bench::experiments::{telemetry_scaling_table, trace_scaling_table, TelemetryRow};
+use mvcc_bench::experiments::{
+    telemetry_scaling_table, timeline_scaling_table, trace_scaling_table, TelemetryRow,
+};
 use mvcc_bench::Table;
 use mvcc_engine::CertifierKind;
 use mvcc_telemetry::json::{self, JsonValue};
@@ -43,15 +60,17 @@ use mvcc_telemetry::Stage;
 use mvcc_workload::LoadProfile;
 
 /// Validates a trajectory document against the schema its experiment
-/// tag announces: `E18*` documents must satisfy the BENCH_9 schema,
-/// everything else the BENCH_7 schema.
+/// tag announces: `E19*` documents must satisfy the BENCH_10 schema,
+/// `E18*` the BENCH_9 schema, everything else the BENCH_7 schema.
 fn validate_document(text: &str) -> Result<&'static str, String> {
     let tag = json::parse(text)?
         .get("experiment")
         .and_then(JsonValue::as_str)
         .map(str::to_owned)
         .ok_or("missing or non-string key: experiment")?;
-    if tag.starts_with("E18") {
+    if tag.starts_with("E19") {
+        validate_bench10(text).map(|()| "E19")
+    } else if tag.starts_with("E18") {
         validate_bench9(text).map(|()| "E18")
     } else {
         validate_bench7(text).map(|()| "E17")
@@ -61,20 +80,31 @@ fn validate_document(text: &str) -> Result<&'static str, String> {
 fn main() {
     let mut smoke = false;
     let mut trace = false;
+    let mut timeline = false;
     let mut out: Option<String> = None;
     let mut trace_out: Option<String> = None;
+    let mut timeline_out: Option<String> = None;
     let mut validate_only: Option<String> = None;
     let mut validate_trace_only: Option<String> = None;
+    let mut validate_timeline_only: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--trace" => trace = true,
+            "--timeline" => timeline = true,
             "--out" => out = Some(args.next().expect("--out needs a path")),
             "--trace-out" => trace_out = Some(args.next().expect("--trace-out needs a path")),
+            "--timeline-out" => {
+                timeline_out = Some(args.next().expect("--timeline-out needs a path"));
+            }
             "--validate" => validate_only = Some(args.next().expect("--validate needs a path")),
             "--validate-trace" => {
                 validate_trace_only = Some(args.next().expect("--validate-trace needs a path"));
+            }
+            "--validate-timeline" => {
+                validate_timeline_only =
+                    Some(args.next().expect("--validate-timeline needs a path"));
             }
             other => panic!("unknown flag: {other}"),
         }
@@ -107,6 +137,23 @@ fn main() {
             }
         }
     }
+    if let Some(path) = validate_timeline_only {
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        match validate_timeline_jsonl(&text) {
+            Ok(frames) => {
+                println!("{path}: valid timeline export ({frames} frames)");
+                return;
+            }
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if trace && timeline {
+        panic!("--trace and --timeline are mutually exclusive");
+    }
 
     // Smoke rows feed the CI regression diffs against a *committed*
     // baseline, so they are capability snapshots: the best of `reps`
@@ -116,14 +163,19 @@ fn main() {
     // *maximum* concentrates tightly near the configuration's capability
     // and the 10% gate measures the code, not the scheduler.  Full rows
     // stay medians — they are the representative trajectory record.
-    let (ops, trials, reps, tag) = match (smoke, trace) {
-        (true, false) => (2_000, 1, 5, "E17-smoke"),
-        (false, false) => (20_000, 5, 1, "E17"),
-        (true, true) => (2_000, 1, 5, "E18-smoke"),
-        (false, true) => (20_000, 5, 1, "E18"),
+    let (ops, trials, reps, tag) = match (smoke, trace, timeline) {
+        (true, false, false) => (2_000, 1, 5, "E17-smoke"),
+        (false, false, false) => (20_000, 5, 1, "E17"),
+        (true, true, false) => (2_000, 1, 5, "E18-smoke"),
+        (false, true, false) => (20_000, 5, 1, "E18"),
+        (true, false, true) => (2_000, 1, 5, "E19-smoke"),
+        (false, false, true) => (20_000, 5, 1, "E19"),
+        (_, true, true) => unreachable!("rejected above"),
     };
     let out = out.unwrap_or_else(|| {
-        String::from(if trace {
+        String::from(if timeline {
+            "BENCH_10.json"
+        } else if trace {
             "BENCH_9.json"
         } else {
             "BENCH_7.json"
@@ -134,10 +186,18 @@ fn main() {
         shards: 4,
         ops,
         zipf_theta: 0.0,
-        seed: if trace { 0xe18 } else { 0xe17 },
+        seed: if timeline {
+            0xe19
+        } else if trace {
+            0xe18
+        } else {
+            0xe17
+        },
         ..LoadProfile::default()
     };
-    let experiment = if trace {
+    let experiment = if timeline {
+        "E19: continuous-observability trajectory"
+    } else if trace {
         "E18: causal-tracing trajectory"
     } else {
         "E17: per-stage telemetry trajectory"
@@ -154,7 +214,63 @@ fn main() {
             .and_then(|h| h.quantile(0.99))
             .map_or_else(|| "-".into(), |q| format!("{q:.1}"))
     };
-    if trace {
+    if timeline {
+        let mut runs = timeline_scaling_table(&base, &CertifierKind::all(), trials);
+        for _ in 1..reps {
+            let next = timeline_scaling_table(&base, &CertifierKind::all(), trials);
+            for (best, candidate) in runs.iter_mut().zip(next) {
+                if candidate.row.throughput_tps > best.row.throughput_tps {
+                    *best = candidate;
+                }
+            }
+        }
+        let mut table = Table::new(
+            base.to_string(),
+            &[
+                "certifier",
+                "throughput (txn/s)",
+                "p99 commit (µs)",
+                "frames",
+                "max abort window",
+                "worst p99 window (µs)",
+                "alarms",
+            ],
+        );
+        for run in &runs {
+            let summary = run.summary();
+            table.row(&[
+                run.row.certifier.to_string(),
+                format!("{:.0}", run.row.throughput_tps),
+                format!("{:.0}", run.row.p99_latency_us),
+                format!("{}", summary.frames),
+                format!("{:.1}%", summary.max_abort_rate * 100.0),
+                format!("{:.0}", summary.worst_p99_us),
+                format!("{}", summary.alarms),
+            ]);
+        }
+        println!("{}", table.render());
+
+        let doc = bench10_document(tag, &runs);
+        validate_bench10(&doc).expect("the emitted document must satisfy its own schema");
+        std::fs::write(&out, &doc).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+        println!("wrote {} rows to {out} (schema validated)", runs.len());
+        if let Some(path) = timeline_out {
+            // Export the densest row's frames: the most complete single
+            // execution for `mvccstat replay` to narrate.
+            let densest = runs
+                .iter()
+                .max_by_key(|r| r.timeline.len())
+                .expect("at least one certifier row");
+            let text = mvcc_telemetry::write_jsonl(&densest.timeline);
+            let frames = validate_timeline_jsonl(&text)
+                .expect("the emitted timeline must satisfy its own schema");
+            std::fs::write(&path, &text).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            println!(
+                "wrote {frames} timeline frames ({}) to {path} (schema validated)",
+                densest.row.certifier
+            );
+        }
+    } else if trace {
         let mut runs = trace_scaling_table(&base, &CertifierKind::all(), trials);
         for _ in 1..reps {
             let next = trace_scaling_table(&base, &CertifierKind::all(), trials);

@@ -871,6 +871,119 @@ pub fn trace_scaling_table(
     rows
 }
 
+/// One E19 cell: the scalar row plus the continuous metrics timeline the
+/// health monitor recorded during the run and the alarms its anomaly
+/// detector raised.  A release run of the steady closed loop must report
+/// zero alarms — any entry here is a detector false positive (or a real
+/// engine regression), not a perf number.
+#[derive(Debug, Clone)]
+pub struct TimelineRun {
+    /// Scalar row (throughput, stage quantiles, exemplar/watchdog counts).
+    pub row: TelemetryRow,
+    /// Timeline frames the 100 ms-cadence recorder captured, oldest first.
+    pub timeline: Vec<mvcc_telemetry::TimelineFrame>,
+    /// Alarms the anomaly detector raised while observing those frames.
+    pub alarms: Vec<mvcc_engine::Alarm>,
+}
+
+/// Windowed extrema of one run's timeline — the per-row summary block
+/// `BENCH_10.json` carries so the bench trajectory can gate on worst-case
+/// *windows*, not only run-wide aggregates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineSummary {
+    /// Frames the recorder captured (≥ 1: stop always takes a closing sample).
+    pub frames: usize,
+    /// Largest single-window abort rate observed (0.0 when nothing finished).
+    pub max_abort_rate: f64,
+    /// Worst single-window p99 commit latency in µs.
+    pub worst_p99_us: f64,
+    /// Alarms raised during the run (steady-state runs must report 0).
+    pub alarms: usize,
+}
+
+impl TimelineRun {
+    /// Reduces the timeline to its windowed extrema.
+    pub fn summary(&self) -> TimelineSummary {
+        let mut max_abort_rate: f64 = 0.0;
+        let mut worst_p99_us: f64 = 0.0;
+        for frame in &self.timeline {
+            max_abort_rate = max_abort_rate.max(frame.abort_rate);
+            worst_p99_us = worst_p99_us.max(frame.commit.p99);
+        }
+        TimelineSummary {
+            frames: self.timeline.len(),
+            max_abort_rate,
+            worst_p99_us,
+            alarms: self.alarms.len(),
+        }
+    }
+}
+
+/// Runs the continuous-observability trajectory (experiment E19): each
+/// certifier drives one closed loop with tracing, the watchdog, *and* the
+/// health monitor sampling the metrics registry on a fixed cadence while
+/// the load runs.  The row set is what `telemetry_scaling --timeline`
+/// exports as `BENCH_10.json`; the median run's frames are what
+/// `--timeline-out` writes as `timeline.jsonl` for `mvccstat replay`.
+///
+/// `trials` keeps the median-throughput run per cell (same rationale as
+/// E17/E18); the timeline and alarms are the median run's, so the frames
+/// describe one coherent execution.
+pub fn timeline_scaling_table(
+    base: &LoadProfile,
+    kinds: &[CertifierKind],
+    trials: usize,
+) -> Vec<TimelineRun> {
+    use mvcc_engine::load::run_closed_loop_monitored;
+    use mvcc_engine::{AdmissionMode, DurabilityConfig, HealthConfig, TelemetryMode};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static CELL: AtomicU64 = AtomicU64::new(0);
+    let trials = trials.max(1);
+    let mut rows = Vec::with_capacity(kinds.len());
+    for &kind in kinds {
+        let mut runs = Vec::with_capacity(trials);
+        for _ in 0..trials {
+            let dir = std::env::temp_dir().join(format!(
+                "mvcc-e19-{}-{}-{}",
+                std::process::id(),
+                kind.name(),
+                CELL.fetch_add(1, Ordering::Relaxed)
+            ));
+            let report = run_closed_loop_monitored(
+                kind,
+                base,
+                true,
+                Some(512),
+                AdmissionMode::Batched,
+                DurabilityConfig::buffered(&dir),
+                TelemetryMode::On,
+                true,
+                Some(HealthConfig::default()),
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+            let watchdog = report.watchdog.unwrap_or_default();
+            runs.push(TimelineRun {
+                row: TelemetryRow {
+                    certifier: kind,
+                    threads: base.threads,
+                    throughput_tps: report.throughput_tps(),
+                    p99_latency_us: report.metrics.latency_us(0.99).unwrap_or(0.0),
+                    stages: report.metrics.stages.clone(),
+                    exemplar_count: report.exemplars.len(),
+                    attribution: report.exemplar_attribution(),
+                    watchdog_windows: watchdog.windows,
+                    watchdog_violations: watchdog.violations,
+                },
+                timeline: report.timeline,
+                alarms: report.alarms,
+            });
+        }
+        runs.sort_by(|a, b| a.row.throughput_tps.total_cmp(&b.row.throughput_tps));
+        rows.push(runs.swap_remove(runs.len() / 2));
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -80,6 +80,7 @@
 pub mod certifier;
 pub mod checkpoint;
 pub mod gc;
+pub mod health;
 pub mod load;
 pub mod metrics;
 pub mod pipeline;
@@ -93,7 +94,14 @@ pub use certifier::{
 };
 pub use checkpoint::CheckpointDriver;
 pub use gc::GcDriver;
-pub use load::{run_closed_loop, run_closed_loop_instrumented, run_closed_loop_traced, LoadReport};
+pub use health::{
+    failover_mttr, Alarm, AnomalyDetector, AnomalyKind, ClusterHealth, DetectorConfig,
+    EngineSampler, HealthConfig, HealthMonitor, MemberHealth, MemberProbe,
+};
+pub use load::{
+    run_closed_loop, run_closed_loop_instrumented, run_closed_loop_monitored,
+    run_closed_loop_traced, LoadReport,
+};
 pub use metrics::{AbortReason, EngineMetrics, MetricsSnapshot};
 pub use pipeline::{AdmissionMode, ChaosHook, KillSite};
 pub use session::{Engine, EngineConfig, EngineError, History, Session};
@@ -107,9 +115,10 @@ pub use mvcc_durability::{DurabilityConfig, DurabilityMode, RecoveryReport};
 // Re-export the telemetry surface so engine users switch tracing on and
 // read per-stage snapshots without naming the telemetry crate directly.
 pub use mvcc_telemetry::{
-    EventKind, ExemplarReservoir, FlightRecorder, HistogramSnapshot, SpanRecord, Stage,
-    StageSnapshot, Telemetry, TelemetryMode, TelemetrySnapshot, TraceEvent, TraceId, TraceLog,
-    TraceTree,
+    metrics_text, parse_jsonl, write_jsonl, EventKind, ExemplarReservoir, FlightRecorder,
+    FrameSource, HistogramSnapshot, QuantileSummary, ReplicaFrame, SpanRecord, Stage,
+    StageSnapshot, Telemetry, TelemetryMode, TelemetrySnapshot, TimelineFrame, TimelineRecorder,
+    TimelineRing, TraceEvent, TraceId, TraceLog, TraceTree,
 };
 
 // Re-export the value type so callers construct payloads with the exact

@@ -12,6 +12,7 @@
 
 use crate::certifier::{CertifierKind, HistoryClass};
 use crate::gc::GcDriver;
+use crate::health::{Alarm, EngineSampler, HealthConfig, HealthMonitor, MemberProbe};
 use crate::metrics::MetricsSnapshot;
 use crate::pipeline::AdmissionMode;
 use crate::session::{Engine, EngineConfig, History};
@@ -19,7 +20,7 @@ use crate::watchdog::{ClassificationWatchdog, WatchdogConfig, WatchdogStats};
 use bytes::Bytes;
 use mvcc_core::Action;
 use mvcc_durability::DurabilityConfig;
-use mvcc_telemetry::{TelemetryMode, TraceTree};
+use mvcc_telemetry::{TelemetryMode, TimelineFrame, TraceTree};
 use mvcc_workload::{random_accesses, LoadProfile, Zipfian};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -50,6 +51,13 @@ pub struct LoadReport {
     /// Final counters of the online classification watchdog, when one ran
     /// alongside the load ([`run_closed_loop_traced`] with `watchdog`).
     pub watchdog: Option<WatchdogStats>,
+    /// The timeline frames a health monitor recorded, when one ran
+    /// alongside the load ([`run_closed_loop_monitored`]); empty
+    /// otherwise.
+    pub timeline: Vec<TimelineFrame>,
+    /// The anomaly alarms that monitor raised (a steady-state run must
+    /// leave this empty — the release soak asserts it).
+    pub alarms: Vec<Alarm>,
 }
 
 impl LoadReport {
@@ -193,6 +201,39 @@ pub fn run_closed_loop_traced(
     telemetry: TelemetryMode,
     watchdog: bool,
 ) -> LoadReport {
+    run_closed_loop_monitored(
+        kind,
+        profile,
+        record_history,
+        history_capacity,
+        admission,
+        durability,
+        telemetry,
+        watchdog,
+        None,
+    )
+}
+
+/// The continuously observed closed loop (experiment E19): everything
+/// [`run_closed_loop_traced`] configures, plus an optional
+/// [`HealthMonitor`] sampling the engine on `monitor`'s cadence — the
+/// report then carries the recorded timeline frames and any anomaly
+/// alarms.  When the watchdog also runs, its verdict counters flow into
+/// the frames through a detached stats probe, so the monitor's closing
+/// frame still sees the final counts even though the watchdog handle is
+/// consumed first.
+#[allow(clippy::too_many_arguments)]
+pub fn run_closed_loop_monitored(
+    kind: CertifierKind,
+    profile: &LoadProfile,
+    record_history: bool,
+    history_capacity: Option<usize>,
+    admission: AdmissionMode,
+    durability: DurabilityConfig,
+    telemetry: TelemetryMode,
+    watchdog: bool,
+    monitor: Option<HealthConfig>,
+) -> LoadReport {
     // lint: allow(unwrap) — load harness: an invalid profile is a caller bug, fail fast
     profile.validate().expect("invalid load profile");
     let engine = Arc::new(Engine::new(
@@ -223,6 +264,14 @@ pub fn run_closed_loop_traced(
             },
         )
     });
+    let health = monitor.map(|config| {
+        let mut sampler =
+            EngineSampler::for_engine(&engine, Vec::<MemberProbe>::new(), config.detector);
+        if let Some(d) = &dog {
+            sampler = sampler.with_watchdog(d.stats_probe());
+        }
+        HealthMonitor::start_with(engine.metrics_handle(), sampler, config)
+    });
     let gc = GcDriver::start(Arc::clone(&engine), Duration::from_millis(1));
     let elapsed = drive_closed_loop(&engine, profile);
     gc.stop();
@@ -232,6 +281,10 @@ pub fn run_closed_loop_traced(
         let _ = d.check_once();
         d.stop()
     });
+    // Stop order matters: the watchdog is consumed above, then the
+    // monitor takes its closing frame — the detached stats probe keeps
+    // reading the final counters through the shared inner state.
+    let (timeline, alarms) = health.map_or_else(|| (Vec::new(), Vec::new()), |h| h.stop());
     let exemplars = engine
         .metrics()
         .exemplars()
@@ -247,6 +300,8 @@ pub fn run_closed_loop_traced(
         history: engine.history(),
         exemplars,
         watchdog,
+        timeline,
+        alarms,
     }
 }
 
@@ -409,6 +464,47 @@ mod tests {
         );
         assert!(report.exemplars.is_empty());
         assert!(report.watchdog.is_none());
+    }
+
+    #[test]
+    fn monitored_run_records_a_timeline_with_no_false_alarms() {
+        let report = run_closed_loop_monitored(
+            CertifierKind::Sgt,
+            &small_profile(0.6),
+            true,
+            Some(64),
+            AdmissionMode::Batched,
+            DurabilityConfig::off(),
+            TelemetryMode::On,
+            true,
+            Some(HealthConfig {
+                interval: Duration::from_millis(5),
+                ..HealthConfig::default()
+            }),
+        );
+        assert!(report.metrics.committed > 0);
+        // The closing sample guarantees at least one frame even if the
+        // run finishes inside the first cadence tick.
+        assert!(!report.timeline.is_empty(), "no frames recorded");
+        for pair in report.timeline.windows(2) {
+            assert_eq!(pair[1].seq, pair[0].seq + 1, "frame sequence gap");
+            assert!(pair[1].at_us >= pair[0].at_us);
+        }
+        // Windowed deltas must account for the lifetime totals.
+        let committed: u64 = report.timeline.iter().map(|f| f.committed).sum();
+        assert_eq!(committed, report.metrics.committed);
+        // Watchdog verdicts flow into the frames via the detached probe.
+        let windows: u64 = report.timeline.iter().map(|f| f.watchdog_windows).sum();
+        assert_eq!(windows, report.watchdog.unwrap().windows);
+        assert!(
+            report.alarms.is_empty(),
+            "steady-state run must not alarm: {:?}",
+            report.alarms
+        );
+        // An unmonitored run keeps the old shape.
+        let report = run_closed_loop(CertifierKind::Sgt, &small_profile(0.0));
+        assert!(report.timeline.is_empty());
+        assert!(report.alarms.is_empty());
     }
 
     #[test]

@@ -225,6 +225,20 @@ impl ClassificationWatchdog {
         self.inner.check_once()
     }
 
+    /// A detached stats reader: clones the shared inner state, so a
+    /// timeline sampler can keep reading verdict counters after the
+    /// watchdog handle itself has been consumed by `stop()` (the stop
+    /// order in a monitored run is watchdog first, monitor last — the
+    /// closing frame still sees the final counts).
+    pub fn stats_probe(&self) -> impl Fn() -> WatchdogStats + Send + Sync + 'static {
+        let inner = Arc::clone(&self.inner);
+        move || WatchdogStats {
+            windows: inner.windows.load(Ordering::Relaxed),
+            violations: inner.violations.load(Ordering::Relaxed),
+            skipped: inner.skipped.load(Ordering::Relaxed),
+        }
+    }
+
     /// The counters accumulated so far.
     pub fn stats(&self) -> WatchdogStats {
         WatchdogStats {

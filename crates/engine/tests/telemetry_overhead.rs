@@ -19,10 +19,14 @@
 //! stage probes never read a clock (an `Option` check each), and with it
 //! on, the high-frequency batch probes are sampled 1-in-32 per thread, so
 //! the true overhead sits well under the 5% gate.
+//!
+//! A second guard applies the same harness to the continuous timeline
+//! recorder (100 ms cadence) — sampling must also stay within 5% of off.
 
-use mvcc_engine::load::run_closed_loop_instrumented;
-use mvcc_engine::{AdmissionMode, CertifierKind, DurabilityConfig, TelemetryMode};
+use mvcc_engine::load::{run_closed_loop_instrumented, run_closed_loop_monitored};
+use mvcc_engine::{AdmissionMode, CertifierKind, DurabilityConfig, HealthConfig, TelemetryMode};
 use mvcc_workload::LoadProfile;
+use std::time::Duration;
 
 #[test]
 #[cfg_attr(
@@ -88,6 +92,81 @@ fn telemetry_on_stays_within_five_percent_of_telemetry_off() {
     }
     panic!(
         "telemetry-on throughput fell below 95% of telemetry-off in all \
+         {ATTEMPTS} attempts; last: {last}"
+    );
+}
+
+/// The timeline recorder's budget, same harness and same 5% gate: a
+/// 100 ms-cadence health monitor On vs. Off on the E13 workload.  The
+/// budget holds by construction — the sampler reads lock-free counters
+/// on its own thread ten times a second; the only shared write is the
+/// ring push, which no worker thread ever touches.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "throughput differentials are only meaningful in release builds"
+)]
+fn timeline_recorder_stays_within_five_percent_of_off() {
+    let profile = LoadProfile {
+        threads: 1,
+        shards: 4,
+        ops: 30_000,
+        zipf_theta: 0.0,
+        seed: 0x0e19,
+        ..LoadProfile::default()
+    };
+    let throughput = |monitor: bool| {
+        let report = run_closed_loop_monitored(
+            CertifierKind::Sgt,
+            &profile,
+            false,
+            None,
+            AdmissionMode::Batched,
+            DurabilityConfig::off(),
+            TelemetryMode::Off,
+            false,
+            monitor.then(|| HealthConfig {
+                interval: Duration::from_millis(100),
+                ..HealthConfig::default()
+            }),
+        );
+        assert!(report.metrics.committed > 0);
+        if monitor {
+            assert!(!report.timeline.is_empty(), "monitor recorded nothing");
+        }
+        report.throughput_tps()
+    };
+    let _ = throughput(false);
+    let _ = throughput(true);
+    const ROUNDS: usize = 12;
+    const ATTEMPTS: usize = 3;
+    let mut last = String::new();
+    for attempt in 1..=ATTEMPTS {
+        let mut offs = Vec::with_capacity(ROUNDS);
+        let mut ons = Vec::with_capacity(ROUNDS);
+        for _ in 0..ROUNDS {
+            offs.push(throughput(false));
+            ons.push(throughput(true));
+        }
+        let second_best = |samples: &[f64]| {
+            let mut sorted = samples.to_vec();
+            sorted.sort_by(|a, b| a.total_cmp(b));
+            sorted[sorted.len() - 2]
+        };
+        let off = second_best(&offs);
+        let on = second_best(&ons);
+        let ratio = on / off;
+        if ratio >= 0.95 {
+            return;
+        }
+        last = format!(
+            "attempt {attempt}: second-best-of-{ROUNDS} ratio {ratio:.3} \
+             (on {on:.0} / off {off:.0} txn/s; off rounds: {offs:?}; on rounds: {ons:?})"
+        );
+        eprintln!("timeline overhead guard below gate, retrying — {last}");
+    }
+    panic!(
+        "monitor-on throughput fell below 95% of monitor-off in all \
          {ATTEMPTS} attempts; last: {last}"
     );
 }

@@ -110,6 +110,18 @@ pub enum EventKind {
         /// on a violation.
         detail: String,
     },
+    /// An anomaly detector transition: an alarm fired (`onset`) or
+    /// stopped holding (`clear`) at a timeline frame.
+    Anomaly {
+        /// The anomaly's name, e.g. `abort-storm`, `lag-stall`.
+        anomaly: String,
+        /// `onset` or `clear`.
+        phase: String,
+        /// The timeline frame sequence number of the transition.
+        frame: u64,
+        /// Free-form detail: the triggering member / rate / baseline.
+        detail: String,
+    },
     /// Free-form annotation from tests or harnesses.
     Note {
         /// The annotation.
@@ -144,6 +156,14 @@ impl fmt::Display for EventKind {
                 detail,
             } => {
                 write!(f, "watchdog class={class} ok={ok} txns={txns} {detail}")
+            }
+            EventKind::Anomaly {
+                anomaly,
+                phase,
+                frame,
+                detail,
+            } => {
+                write!(f, "anomaly {anomaly} phase={phase} frame={frame} {detail}")
             }
             EventKind::Note { text } => write!(f, "note {text}"),
         }
@@ -334,6 +354,12 @@ mod tests {
                 txns: 42,
                 detail: "complete".into(),
             },
+            EventKind::Anomaly {
+                anomaly: "lag-stall".into(),
+                phase: "onset".into(),
+                frame: 17,
+                detail: "member=replica-1 lag=9".into(),
+            },
             EventKind::Note { text: "hi".into() },
         ];
         let rec = FlightRecorder::new(kinds.len());
@@ -352,6 +378,7 @@ mod tests {
             "abort",
             "epoch-first-commit",
             "watchdog class=CSR ok=true txns=42",
+            "anomaly lag-stall phase=onset frame=17 member=replica-1 lag=9",
             "note hi",
         ] {
             assert!(dump.contains(needle), "missing {needle} in:\n{dump}");

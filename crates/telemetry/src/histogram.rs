@@ -248,6 +248,39 @@ impl HistogramSnapshot {
         None
     }
 
+    /// The windowed delta `self − earlier`, where `earlier` is a prior
+    /// snapshot of the *same* histogram (counters are monotone, so the
+    /// per-bucket difference is exactly the window's recordings — this
+    /// is what makes the timeline's windowed quantiles exact rather than
+    /// approximations).  Subtraction saturates per bucket so a racy pair
+    /// degrades to an undercount instead of wrapping; the total is
+    /// recomputed from the bucket deltas so quantile ranks stay
+    /// consistent with the counts.  Returns an empty snapshot when the
+    /// window recorded nothing.
+    pub fn diff(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        if self.total <= earlier.total || self.counts.is_empty() {
+            return HistogramSnapshot::empty();
+        }
+        if earlier.counts.is_empty() {
+            return self.clone();
+        }
+        let mut counts = vec![0u64; self.counts.len()];
+        let mut total = 0u64;
+        for (i, slot) in counts.iter_mut().enumerate() {
+            let before = earlier.counts.get(i).copied().unwrap_or(0);
+            *slot = self.counts[i].saturating_sub(before);
+            total += *slot;
+        }
+        if total == 0 {
+            return HistogramSnapshot::empty();
+        }
+        HistogramSnapshot {
+            counts,
+            total,
+            sum: self.sum.saturating_sub(earlier.sum),
+        }
+    }
+
     /// Merges another snapshot into this one (exact — shared layout).
     pub fn merge(&mut self, other: &HistogramSnapshot) {
         if other.total == 0 {
@@ -372,6 +405,30 @@ mod tests {
         assert_eq!(local.total(), 0);
         shared.merge(&local); // merging an empty local is a no-op
         assert_eq!(shared.snapshot(), direct.snapshot());
+    }
+
+    #[test]
+    fn snapshot_diff_recovers_the_window_exactly() {
+        let h = Histogram::new();
+        h.record(10);
+        h.record(500);
+        let earlier = h.snapshot();
+        h.record(500);
+        h.record(9000);
+        let later = h.snapshot();
+
+        // The diff must equal a histogram that saw only the window.
+        let window_only = Histogram::new();
+        window_only.record(500);
+        window_only.record(9000);
+        let window = later.diff(&earlier);
+        assert_eq!(window, window_only.snapshot());
+        assert_eq!(window.count(), 2);
+
+        // Empty windows and empty earlier snapshots degrade cleanly.
+        assert!(later.diff(&later).is_empty());
+        assert_eq!(later.diff(&HistogramSnapshot::empty()), later);
+        assert!(HistogramSnapshot::empty().diff(&earlier).is_empty());
     }
 
     #[test]

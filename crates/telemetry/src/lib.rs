@@ -24,6 +24,12 @@
 //! `BENCH_*.json` trajectory; the hand-rolled [`json`] module exists
 //! because the vendored serde is a no-op stub.
 //!
+//! The **timeline layer** adds the time axis on top of the cumulative
+//! registry: a [`TimelineRecorder`] samples delta frames
+//! ([`TimelineFrame`]) on a fixed cadence into a bounded
+//! [`TimelineRing`], exportable as JSONL and as a Prometheus-style text
+//! exposition ([`metrics_text`]) — see the timeline module docs.
+//!
 //! On top of the histograms sits the **causal tracing layer**: every
 //! transaction carries a [`TraceId`]; sampled ones collect a bounded
 //! span tree ([`TraceTree`]) whose slowest instances the
@@ -39,6 +45,7 @@ pub mod histogram;
 pub mod json;
 pub mod recorder;
 pub mod stage;
+pub mod timeline;
 pub mod trace;
 
 pub use exemplar::{ExemplarReservoir, EXEMPLAR_CAPACITY};
@@ -46,6 +53,10 @@ pub use flight::{EventKind, FlightEvent, FlightRecorder, DEFAULT_FLIGHT_CAPACITY
 pub use histogram::{Histogram, HistogramSnapshot, LocalHistogram};
 pub use recorder::{StageSnapshot, Telemetry, TelemetryMode, TelemetrySnapshot, FLUSH_EVERY};
 pub use stage::{Stage, StageUnit};
+pub use timeline::{
+    metrics_text, parse_jsonl, write_jsonl, FrameSource, QuantileSummary, ReplicaFrame,
+    TimelineFrame, TimelineRecorder, TimelineRing, DEFAULT_TIMELINE_CAPACITY,
+};
 pub use trace::{
     SpanRecord, TraceEvent, TraceId, TraceLog, TraceTree, DEFAULT_TRACE_LOG_CAPACITY,
     MAX_TRACE_SPANS,

@@ -215,6 +215,28 @@ impl TelemetrySnapshot {
             .map(|s| &s.histogram)
     }
 
+    /// The windowed delta `self − earlier`, where `earlier` is a prior
+    /// snapshot of the *same* registry: the per-stage
+    /// [`HistogramSnapshot::diff`], keeping only stages that recorded
+    /// inside the window.  This is what turns the cumulative registry
+    /// into timeline frames.
+    pub fn diff(&self, earlier: &TelemetrySnapshot) -> TelemetrySnapshot {
+        let mut stages = Vec::new();
+        for entry in &self.stages {
+            let window = match earlier.get(entry.stage) {
+                Some(before) => entry.histogram.diff(before),
+                None => entry.histogram.clone(),
+            };
+            if !window.is_empty() {
+                stages.push(StageSnapshot {
+                    stage: entry.stage,
+                    histogram: window,
+                });
+            }
+        }
+        TelemetrySnapshot { stages }
+    }
+
     /// Serializes the snapshot as a JSON object keyed by stage name:
     ///
     /// ```json
@@ -331,6 +353,27 @@ impl Drop for LocalRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn snapshot_diff_keeps_only_window_active_stages() {
+        let telemetry = Telemetry::new();
+        telemetry.record_value(Stage::Certify, 10);
+        telemetry.record_value(Stage::WalFlush, 100);
+        let earlier = telemetry.snapshot();
+        telemetry.record_value(Stage::Certify, 20);
+        telemetry.record_value(Stage::ReplicaApply, 5);
+        let later = telemetry.snapshot();
+
+        let window = later.diff(&earlier);
+        // WalFlush was idle inside the window, so it must vanish.
+        assert!(window.get(Stage::WalFlush).is_none());
+        let certify = window.get(Stage::Certify).expect("certify in window");
+        assert_eq!(certify.count(), 1, "only the windowed sample remains");
+        // ReplicaApply first appeared inside the window: kept whole.
+        assert_eq!(window.get(Stage::ReplicaApply).map(|h| h.count()), Some(1));
+        // Diffing identical snapshots yields nothing.
+        assert!(later.diff(&later).is_empty());
+    }
 
     #[test]
     fn concurrent_recording_is_deterministic_after_joins() {

@@ -46,6 +46,7 @@ impl Drop for FlightDumpGuard {
 /// commit counter, order-insensitive: the primary's chains are in append
 /// order, a replica's in timestamp order — equality means the same
 /// committed state.
+#[allow(dead_code)] // the timeline suite pulls this module in but compares frames, not state
 pub fn committed_sets(shards: &ShardedStore) -> Vec<(u64, BTreeSet<String>)> {
     shards
         .iter()

@@ -35,14 +35,23 @@
 //! woken deposed primary's late flushes are refused with zero
 //! resurrected writes — and the promoted-state-equals-WAL-projection
 //! property under random kill sites and promotion targets.
+//!
+//! Every soak also runs the continuous [`HealthMonitor`] with a
+//! router-following LSN probe and per-candidate watermark probes: at
+//! the group-commit-flush site the anomaly detector must raise a
+//! replication-lag-stall alarm *before* the promotion lands and clear
+//! it once the replicas converge on the promoted lineage — the
+//! lag-stall → promotion → clear sequence is part of the soak's
+//! acceptance, as is zero watchdog-violation alarms.
 
 mod common;
 use common::chaos::{kill_sites, ChaosRng, Freezer};
 use common::{committed_sets, FlightDumpGuard};
 use mvcc_repro::durability::{read_epoch_marker, recover, RecoveryOptions};
 use mvcc_repro::engine::{
-    Bytes, CertifierKind, ClassificationWatchdog, DurabilityConfig, DurabilityMode, Engine,
-    EngineConfig, EngineError, KillSite, TelemetryMode, WatchdogConfig,
+    AnomalyKind, Bytes, CertifierKind, ClassificationWatchdog, DetectorConfig, DurabilityConfig,
+    DurabilityMode, Engine, EngineConfig, EngineError, EngineSampler, HealthConfig, HealthMonitor,
+    KillSite, MemberProbe, TelemetryMode, WatchdogConfig,
 };
 use mvcc_repro::prelude::*;
 use mvcc_repro::replica::{
@@ -165,6 +174,47 @@ fn failover_soak(kind: CertifierKind, site: KillSite) {
     let ship_electee = LogShipper::start(Arc::clone(&electee), ShipperConfig::default());
     let ship_bystander = LogShipper::start(Arc::clone(&bystander), ShipperConfig::default());
 
+    // The continuous health monitor watches the whole soak: the LSN
+    // probe follows the router (after promotion it must read the
+    // promoted engine, or the replication-lag alarm could never clear),
+    // the member probes read both candidates' apply watermarks, and the
+    // watchdog's verdict counters flow into the frames.  The probes are
+    // deadlock-safe against the frozen primary: the chaos point parks
+    // the drain leader *before* `append_and_flush` takes the WAL lock,
+    // and the durable horizon is an atomic.
+    let monitor = {
+        let probe_router = Arc::clone(&router);
+        let probe_electee = Arc::clone(&electee);
+        let probe_bystander = Arc::clone(&bystander);
+        let sampler = EngineSampler::new(
+            engine.metrics_handle(),
+            move || {
+                let primary = probe_router.primary();
+                (
+                    primary.wal_last_lsn().unwrap_or(0),
+                    primary.durable_lsn().unwrap_or(0),
+                )
+            },
+            vec![
+                MemberProbe::new("electee", move || probe_electee.watermark()),
+                MemberProbe::new("bystander", move || probe_bystander.watermark()),
+            ],
+            DetectorConfig::default(),
+        )
+        .with_watchdog(primary_dog.stats_probe());
+        HealthMonitor::start_with(
+            engine.metrics_handle(),
+            sampler,
+            HealthConfig {
+                // Fast cadence: the lag-stall rule needs `stall_frames`
+                // flat windows *inside* the frozen-primary gap, before
+                // the lease lapses and the failover heals the lag.
+                interval: Duration::from_millis(5),
+                ..HealthConfig::default()
+            },
+        )
+    };
+
     // The promoted engine must not inherit the chaos hook.
     let driver = LeaderDriver::start(
         Arc::clone(&router),
@@ -172,8 +222,12 @@ fn failover_soak(kind: CertifierKind, site: KillSite) {
         kind,
         durable_config(&dir),
         LeaderConfig {
-            check: Duration::from_millis(2),
-            silence: 5,
+            check: Duration::from_millis(5),
+            // The lease lapses ~200 ms after the freeze: long enough
+            // that the 5 ms-cadence monitor observes the stalled
+            // replicas and raises lag-stall *before* the promotion —
+            // the ordering the alarm assertions below pin.
+            silence: 40,
             // The failover stages (detect/elect/promote) land in the old
             // primary's telemetry — the registry the dump guard watches.
             metrics: Some(engine.metrics_handle()),
@@ -243,6 +297,33 @@ fn failover_soak(kind: CertifierKind, site: KillSite) {
         "{kind}/{site}: the kill site was never reached"
     );
     heartbeat.join().unwrap();
+
+    // Lag-stall → promotion: the frozen-primary gap (appended-but-
+    // unflushed commit record) holds the replicas' watermarks flat with
+    // lag, so the 5 ms-cadence monitor raises its alarm within ~15 ms —
+    // long before the driver's ~200 ms silence threshold lapses.  Poll
+    // for the onset *now*, while the driver is still counting silence,
+    // and record whether promotion had happened yet; reading
+    // `active_alarms()` after promotion instead would race the clear
+    // (the healed replica catches up within one monitor tick of
+    // `installed`).  Only the group-commit-flush site guarantees the
+    // gap — the other sites freeze at points where the flushed horizon
+    // and the appended tail coincide.
+    let mut stalled_before_promotion = false;
+    if site == KillSite::GroupCommitFlush {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while Instant::now() < deadline {
+            if monitor
+                .active_alarms()
+                .iter()
+                .any(|a| a.kind == AnomalyKind::LagStall)
+            {
+                stalled_before_promotion = driver.promotions() == 0;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
 
     // The lease lapses; the driver elects, promotes and installs.
     assert!(
@@ -371,6 +452,42 @@ fn failover_soak(kind: CertifierKind, site: KillSite) {
         promoted_verdicts.windows >= 1,
         "{kind}/{site}: the watchdog never classified the merged history"
     );
+
+    // Promotion → clear: the bystander has converged on the promoted
+    // lineage above, so every lag-stall alarm the freeze raised must
+    // have released by the closing frame — and the watchdog rule must
+    // never have fired (it forwards correctness verdicts, and both
+    // watchdog passes above reported zero violations).
+    let (frames, alarms) = monitor.stop();
+    assert!(
+        !frames.is_empty(),
+        "{kind}/{site}: the monitor recorded no frames"
+    );
+    assert!(
+        alarms
+            .iter()
+            .all(|a| a.kind != AnomalyKind::WatchdogViolation),
+        "{kind}/{site}: a watchdog-violation alarm fired: {alarms:?}"
+    );
+    if site == KillSite::GroupCommitFlush {
+        assert!(
+            stalled_before_promotion,
+            "{kind}/{site}: the lag-stall alarm was not up before the promotion landed"
+        );
+        assert!(
+            alarms.iter().any(
+                |a| a.kind == AnomalyKind::LagStall && a.member.as_deref() == Some("bystander")
+            ),
+            "{kind}/{site}: the stalled bystander never alarmed: {alarms:?}"
+        );
+        assert!(
+            alarms
+                .iter()
+                .filter(|a| a.kind == AnomalyKind::LagStall)
+                .all(|a| !a.is_active()),
+            "{kind}/{site}: a lag-stall alarm never cleared after the failover: {alarms:?}"
+        );
+    }
 
     ship_electee.stop();
     ship_bystander.stop();
